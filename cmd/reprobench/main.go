@@ -1,0 +1,175 @@
+// Command reprobench regenerates the paper's figures. Each figure prints
+// its series as aligned columns (and optionally CSV) so the curves can be
+// compared with the paper directly.
+//
+// Usage:
+//
+//	reprobench -fig 6a            # one figure
+//	reprobench -fig all           # everything + headline summary
+//	reprobench -fig summary       # tuple-time figures + aggregate claim
+//	reprobench -fidelity full     # paper-faithful training budgets
+//	reprobench -csv out/          # also write CSV per figure
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+
+	"repro/internal/apps"
+	"repro/internal/experiments"
+)
+
+func main() {
+	fig := flag.String("fig", "all", "figure to reproduce: 6a|6b|6c|7|8|9|10|11|12a|12b|12c|summary|all")
+	fidelity := flag.String("fidelity", "reduced", "training budget: quick|lite|reduced|full")
+	csvDir := flag.String("csv", "", "directory to write per-figure CSV files (optional)")
+	seed := flag.Int64("seed", 1, "experiment seed")
+	flag.Parse()
+
+	var cfg experiments.Config
+	switch *fidelity {
+	case "quick":
+		cfg = experiments.Quick()
+	case "lite":
+		cfg = experiments.Lite()
+	case "reduced":
+		cfg = experiments.Reduced()
+	case "full":
+		cfg = experiments.Defaults()
+	default:
+		fmt.Fprintf(os.Stderr, "unknown -fidelity %q\n", *fidelity)
+		os.Exit(2)
+	}
+	cfg.Seed = *seed
+	cfg.Progress = os.Stderr
+
+	runners := map[string]func() (*experiments.Result, error){
+		"6a":  func() (*experiments.Result, error) { return experiments.Fig6(apps.Small, cfg) },
+		"6b":  func() (*experiments.Result, error) { return experiments.Fig6(apps.Medium, cfg) },
+		"6c":  func() (*experiments.Result, error) { return experiments.Fig6(apps.Large, cfg) },
+		"7":   func() (*experiments.Result, error) { return experiments.Fig7(cfg) },
+		"8":   func() (*experiments.Result, error) { return experiments.Fig8(cfg) },
+		"9":   func() (*experiments.Result, error) { return experiments.Fig9(cfg) },
+		"10":  func() (*experiments.Result, error) { return experiments.Fig10(cfg) },
+		"11":  func() (*experiments.Result, error) { return experiments.Fig11(cfg) },
+		"12a": func() (*experiments.Result, error) { return experiments.Fig12("cq", cfg) },
+		"12b": func() (*experiments.Result, error) { return experiments.Fig12("log", cfg) },
+		"12c": func() (*experiments.Result, error) { return experiments.Fig12("wc", cfg) },
+	}
+	order := []string{"6a", "6b", "6c", "7", "8", "9", "10", "11", "12a", "12b", "12c"}
+
+	var ids []string
+	switch *fig {
+	case "all":
+		ids = order
+	case "summary":
+		ids = []string{"6a", "6b", "6c", "8", "10"}
+	default:
+		if _, ok := runners[*fig]; !ok {
+			fmt.Fprintf(os.Stderr, "unknown -fig %q\n", *fig)
+			os.Exit(2)
+		}
+		ids = []string{*fig}
+	}
+
+	var results []*experiments.Result
+	for _, id := range ids {
+		res, err := runners[id]()
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "figure %s: %v\n", id, err)
+			os.Exit(1)
+		}
+		results = append(results, res)
+		printResult(res)
+		if *csvDir != "" {
+			if err := writeCSV(*csvDir, res); err != nil {
+				fmt.Fprintf(os.Stderr, "csv: %v\n", err)
+				os.Exit(1)
+			}
+		}
+	}
+
+	if *fig == "all" || *fig == "summary" {
+		overDef, overMB, lines := experiments.Summary(results)
+		fmt.Println("\n=== Headline summary (paper: 33.5% over default, 14.0% over model-based) ===")
+		for _, l := range lines {
+			fmt.Println(l)
+		}
+		fmt.Printf("average improvement of actor-critic DRL: %.1f%% over default, %.1f%% over model-based\n",
+			overDef, overMB)
+	}
+}
+
+func printResult(r *experiments.Result) {
+	fmt.Printf("\n=== Figure %s: %s ===\n", r.ID, r.Title)
+	if len(r.Series) == 0 {
+		return
+	}
+	// Header.
+	fmt.Printf("%10s", xLabel(r.ID))
+	for _, s := range r.Series {
+		fmt.Printf("  %22s", s.Name)
+	}
+	fmt.Println()
+	// Rows: downsample long series to ≤ 40 rows for the console.
+	n := len(r.Series[0].X)
+	step := 1
+	if n > 40 {
+		step = n / 40
+	}
+	for i := 0; i < n; i += step {
+		fmt.Printf("%10.2f", r.Series[0].X[i])
+		for _, s := range r.Series {
+			if i < len(s.Y) {
+				fmt.Printf("  %22.3f", s.Y[i])
+			} else {
+				fmt.Printf("  %22s", "-")
+			}
+		}
+		fmt.Println()
+	}
+	if r.Stabilized != nil {
+		fmt.Println("stabilized (mean of last 5 windows):")
+		for _, s := range r.Series {
+			if v, ok := r.Stabilized[s.Name]; ok {
+				fmt.Printf("  %-24s %.3f ms\n", s.Name, v)
+			}
+		}
+	}
+}
+
+func xLabel(id string) string {
+	if strings.HasPrefix(id, "7") || strings.HasPrefix(id, "9") || strings.HasPrefix(id, "11") {
+		return "epoch"
+	}
+	return "minute"
+}
+
+func writeCSV(dir string, r *experiments.Result) error {
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return err
+	}
+	var b strings.Builder
+	b.WriteString(xLabel(r.ID))
+	for _, s := range r.Series {
+		b.WriteString("," + s.Name)
+	}
+	b.WriteString("\n")
+	if len(r.Series) > 0 {
+		for i := range r.Series[0].X {
+			fmt.Fprintf(&b, "%g", r.Series[0].X[i])
+			for _, s := range r.Series {
+				if i < len(s.Y) {
+					fmt.Fprintf(&b, ",%g", s.Y[i])
+				} else {
+					b.WriteString(",")
+				}
+			}
+			b.WriteString("\n")
+		}
+	}
+	return os.WriteFile(filepath.Join(dir, "fig"+r.ID+".csv"), []byte(b.String()), 0o644)
+}

@@ -1,0 +1,122 @@
+// Command simulate runs one deployment of a benchmark system under a
+// chosen scheduler on the discrete-event simulator and prints the
+// average-tuple-processing-time windows — a single curve of the kind the
+// paper's Figures 6, 8 and 10 are built from.
+//
+// Usage:
+//
+//	simulate -app cq-large -scheduler default -minutes 20
+//	simulate -app wc -scheduler ac -minutes 20 -train 500
+package main
+
+import (
+	"flag"
+	"fmt"
+	"math/rand"
+	"os"
+
+	"repro"
+	"repro/internal/sim"
+)
+
+func main() {
+	app := flag.String("app", "cq-small", "system: cq-small|cq-medium|cq-large|log|wc")
+	scheduler := flag.String("scheduler", "default", "scheduler: default|random|traffic|model|dqn|ac")
+	minutes := flag.Float64("minutes", 20, "simulated minutes")
+	train := flag.Int("train", 500, "training budget for the learning schedulers")
+	seed := flag.Int64("seed", 1, "simulation seed")
+	flag.Parse()
+
+	sys, err := systemFor(*app)
+	if err != nil {
+		fail(err)
+	}
+	assign, err := schedule(sys, *scheduler, *train, *seed)
+	if err != nil {
+		fail(err)
+	}
+
+	cfg := sim.DefaultConfig(sys.Top, sys.Cl, sys.Arrivals, *seed)
+	s, err := sim.New(cfg)
+	if err != nil {
+		fail(err)
+	}
+	if err := s.Deploy(assign); err != nil {
+		fail(err)
+	}
+	fmt.Printf("%s under %q for %.0f simulated minutes (N=%d, M=%d)\n",
+		sys.Name, *scheduler, *minutes, sys.Top.NumExecutors(), sys.Cl.Size())
+	s.RunUntil(*minutes * 60_000)
+
+	fmt.Println(" minute   avg tuple time (ms)   tuples")
+	for i, w := range s.Windows() {
+		if i%3 != 2 { // every 30 s
+			continue
+		}
+		fmt.Printf("  %5.1f   %12.3f   %10d\n", w.TimeMS/60_000, w.AvgMS, w.Count)
+	}
+	fmt.Printf("\nstabilized (last 5 windows): %.3f ms over %d completed tuples\n",
+		s.AvgOverLastWindows(5), s.Completed())
+}
+
+func schedule(sys *repro.System, kind string, train int, seed int64) ([]int, error) {
+	simEnv := repro.NewSimEnv(sys, seed)
+	switch kind {
+	case "default":
+		return repro.NewRoundRobinScheduler().Schedule(simEnv)
+	case "traffic":
+		return repro.NewTrafficAwareScheduler(sys).Schedule(simEnv)
+	case "random":
+		n, m := sys.Top.NumExecutors(), sys.Cl.Size()
+		space := repro.NewActionSpace(n, m)
+		rng := rand.New(rand.NewSource(seed))
+		return space.Random(rng), nil
+	case "model":
+		trainEnv, err := repro.NewAnalyticEnv(sys)
+		if err != nil {
+			return nil, err
+		}
+		return repro.NewModelBasedScheduler(sys, seed).Schedule(trainEnv)
+	case "dqn", "ac":
+		trainEnv, err := repro.NewAnalyticEnv(sys)
+		if err != nil {
+			return nil, err
+		}
+		var agent repro.Agent
+		if kind == "ac" {
+			agent = repro.NewActorCriticAgent(sys, seed)
+		} else {
+			agent = repro.NewDQNAgent(sys, seed)
+		}
+		ctrl := repro.NewController(trainEnv, agent)
+		if err := ctrl.CollectOffline(train); err != nil {
+			return nil, err
+		}
+		ctrl.OnlineLearn(train/2, nil)
+		return ctrl.GreedySolution(), nil
+	default:
+		return nil, fmt.Errorf("unknown -scheduler %q", kind)
+	}
+}
+
+func systemFor(app string) (*repro.System, error) {
+	switch app {
+	case "cq-small":
+		return repro.ContinuousQueries(repro.Small)
+	case "cq-medium":
+		return repro.ContinuousQueries(repro.Medium)
+	case "cq-large":
+		return repro.ContinuousQueries(repro.Large)
+	case "log":
+		return repro.LogStream()
+	case "wc":
+		return repro.WordCount()
+	default:
+		return nil, fmt.Errorf("unknown -app %q", app)
+	}
+}
+
+func fail(err error) {
+	fmt.Fprintln(os.Stderr, "simulate:", err)
+	os.Exit(1)
+}

@@ -1,0 +1,116 @@
+// Command train runs the offline + online training pipeline for a DRL
+// scheduling agent on one of the benchmark systems and persists the trained
+// networks and the transition-sample database.
+//
+// Usage:
+//
+//	train -app cq-large -agent ac -offline 2500 -online 800 -out ./models
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+
+	"repro"
+	"repro/internal/core"
+	"repro/internal/nn"
+)
+
+func main() {
+	app := flag.String("app", "cq-small", "system: cq-small|cq-medium|cq-large|log|wc")
+	agentKind := flag.String("agent", "ac", "agent: ac|dqn")
+	offline := flag.Int("offline", 2500, "offline random-action samples (paper: 10000)")
+	online := flag.Int("online", 800, "online learning epochs (paper: 1500-2000)")
+	outDir := flag.String("out", "models", "output directory")
+	seed := flag.Int64("seed", 1, "training seed")
+	flag.Parse()
+
+	sys, err := systemFor(*app)
+	if err != nil {
+		fail(err)
+	}
+	trainEnv, err := repro.NewAnalyticEnv(sys)
+	if err != nil {
+		fail(err)
+	}
+
+	var agent repro.Agent
+	var ac *repro.ActorCritic
+	switch *agentKind {
+	case "ac":
+		ac = repro.NewActorCriticAgent(sys, *seed)
+		agent = ac
+	case "dqn":
+		agent = repro.NewDQNAgent(sys, *seed)
+	default:
+		fail(fmt.Errorf("unknown -agent %q", *agentKind))
+	}
+
+	ctrl := repro.NewController(trainEnv, agent)
+	ctrl.DB = &core.Database{}
+
+	fmt.Printf("collecting %d offline samples on %s...\n", *offline, sys.Name)
+	if err := ctrl.CollectOffline(*offline); err != nil {
+		fail(err)
+	}
+	fmt.Printf("online learning for %d epochs...\n", *online)
+	ctrl.OnlineLearn(*online, func(epoch int, lat float64) {
+		if (epoch+1)%100 == 0 {
+			fmt.Printf("  epoch %4d: %.3f ms\n", epoch+1, lat)
+		}
+	})
+
+	best := ctrl.GreedySolution()
+	fmt.Printf("trained solution latency (analytic): %.3f ms\n", trainEnv.AvgTupleTimeMS(best))
+
+	if err := os.MkdirAll(*outDir, 0o755); err != nil {
+		fail(err)
+	}
+	prefix := filepath.Join(*outDir, fmt.Sprintf("%s-%s", *app, *agentKind))
+	if err := ctrl.DB.Save(prefix + ".samples.gob"); err != nil {
+		fail(err)
+	}
+	fmt.Printf("saved %d transition samples to %s.samples.gob\n", ctrl.DB.Len(), prefix)
+	if ac != nil {
+		actor, _, critic, _ := ac.Networks()
+		if err := saveNet(actor, prefix+".actor.gob"); err != nil {
+			fail(err)
+		}
+		if err := saveNet(critic, prefix+".critic.gob"); err != nil {
+			fail(err)
+		}
+		fmt.Printf("saved actor/critic networks to %s.{actor,critic}.gob\n", prefix)
+	}
+}
+
+func systemFor(app string) (*repro.System, error) {
+	switch app {
+	case "cq-small":
+		return repro.ContinuousQueries(repro.Small)
+	case "cq-medium":
+		return repro.ContinuousQueries(repro.Medium)
+	case "cq-large":
+		return repro.ContinuousQueries(repro.Large)
+	case "log":
+		return repro.LogStream()
+	case "wc":
+		return repro.WordCount()
+	default:
+		return nil, fmt.Errorf("unknown -app %q", app)
+	}
+}
+
+func saveNet(n *nn.Network, path string) error {
+	blob, err := n.MarshalBinary()
+	if err != nil {
+		return err
+	}
+	return os.WriteFile(path, blob, 0o644)
+}
+
+func fail(err error) {
+	fmt.Fprintln(os.Stderr, "train:", err)
+	os.Exit(1)
+}

@@ -1,0 +1,59 @@
+package repro_test
+
+import (
+	"fmt"
+
+	"repro"
+)
+
+// ExampleNewTopology shows how to define and validate an application graph.
+func ExampleNewTopology() {
+	top, err := repro.NewTopology("pipeline").
+		AddSpout("events", 2, 0.05, 1, 200).
+		AddBolt("enrich", 4, 0.4, 1, 250).
+		AddBolt("store", 2, 0.2, 0, 0).
+		Connect("events", "enrich", repro.Shuffle).
+		Connect("enrich", "store", repro.Fields).
+		Build()
+	if err != nil {
+		fmt.Println("error:", err)
+		return
+	}
+	fmt.Println(top.NumExecutors(), "executors")
+	fmt.Println(top.Order())
+	// Output:
+	// 8 executors
+	// [events enrich store]
+}
+
+// ExampleActionSpace demonstrates the exact K-nearest-neighbor search over
+// scheduling solutions that replaces the paper's Gurobi MIQP step.
+func ExampleActionSpace() {
+	space := repro.NewActionSpace(3, 2) // 3 threads, 2 machines
+	// A proto-action that strongly prefers machine 0 for threads 0 and 1
+	// and is ambivalent about thread 2.
+	proto := []float64{
+		0.9, 0.1,
+		0.8, 0.2,
+		0.5, 0.5,
+	}
+	for _, cand := range space.KNearest(proto, 3) {
+		fmt.Println(cand)
+	}
+	// Output:
+	// [0 0 0]
+	// [0 0 1]
+	// [0 1 0]
+}
+
+// ExampleConstantRate shows arrival processes, including the workload step
+// used in the paper's Figure 12.
+func ExampleConstantRate() {
+	var steady repro.ArrivalProcess = repro.ConstantRate{PerSecond: 1000}
+	var stepped repro.ArrivalProcess = repro.StepRate{Base: 1000, Factor: 1.5, AtMS: 60_000}
+	fmt.Println(steady.RateAt(0), steady.RateAt(120_000))
+	fmt.Println(stepped.RateAt(0), stepped.RateAt(120_000))
+	// Output:
+	// 1000 1000
+	// 1000 1500
+}

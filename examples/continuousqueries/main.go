@@ -1,0 +1,80 @@
+// Continuous queries: the paper's first benchmark (Figure 3). This example
+// exercises both planes of the reproduction:
+//
+//   - the data plane: random vehicle-plate records, speeding-vehicle
+//     queries and table scans from internal/workload (stood in for the
+//     paper's in-memory database table), and
+//   - the control plane: all four schedulers compared on the small-scale
+//     setup, as in Figure 6(a).
+package main
+
+import (
+	"fmt"
+	"log"
+	"math/rand"
+
+	"repro"
+	"repro/internal/workload"
+)
+
+func main() {
+	// --- Data plane -------------------------------------------------------
+	rng := rand.New(rand.NewSource(1))
+	gen := workload.NewQueryGen(rng, 2000) // 2000-row vehicle table
+	fmt.Println("sample continuous queries against the in-memory table:")
+	for i := int64(0); i < 3; i++ {
+		q := gen.Next(i)
+		hits := gen.Execute(q)
+		fmt.Printf("  query %d: speed > %d mph -> %d matching vehicles (first: %+v)\n",
+			q.ID, q.MinSpeed, len(hits), hits[0].Plate)
+	}
+
+	// --- Control plane ----------------------------------------------------
+	sys, err := repro.ContinuousQueries(repro.Small)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("\nscheduling %d executors over %d machines (small-scale setup)\n",
+		sys.Top.NumExecutors(), sys.Cl.Size())
+
+	simEnv := repro.NewSimEnv(sys, 3)
+	trainEnv, err := repro.NewAnalyticEnv(sys)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	// Storm default.
+	rrSched := repro.NewRoundRobinScheduler()
+	rr, err := rrSched.Schedule(simEnv)
+	if err != nil {
+		log.Fatal(err)
+	}
+	report("Default (round-robin)", simEnv, rr)
+
+	// Traffic-aware heuristic (extra baseline).
+	ta, err := repro.NewTrafficAwareScheduler(sys).Schedule(simEnv)
+	if err != nil {
+		log.Fatal(err)
+	}
+	report("Traffic-aware (T-Storm)", simEnv, ta)
+
+	// Model-based [25].
+	mb, err := repro.NewModelBasedScheduler(sys, 5).Schedule(trainEnv)
+	if err != nil {
+		log.Fatal(err)
+	}
+	report("Model-based (SVR)", simEnv, mb)
+
+	// Actor-critic DRL (short training for the example).
+	agent := repro.NewActorCriticAgent(sys, 9)
+	ctrl := repro.NewController(trainEnv, agent)
+	if err := ctrl.CollectOffline(600); err != nil {
+		log.Fatal(err)
+	}
+	ctrl.OnlineLearn(300, nil)
+	report("Actor-critic DRL", simEnv, ctrl.GreedySolution())
+}
+
+func report(name string, e repro.Environment, assign []int) {
+	fmt.Printf("  %-26s %.3f ms\n", name, e.AvgTupleTimeMS(assign))
+}

@@ -1,0 +1,75 @@
+// Log stream processing: the paper's second benchmark (Figure 4). The data
+// plane runs synthetic IIS log lines through the LogRules/Indexer/Counter
+// pipeline semantics; the control plane compares the default scheduler with
+// a trained actor-critic agent on the 100-executor topology.
+package main
+
+import (
+	"fmt"
+	"log"
+	"math/rand"
+
+	"repro"
+	"repro/internal/workload"
+)
+
+func main() {
+	// --- Data plane: rule-based log analysis ------------------------------
+	rng := rand.New(rand.NewSource(1))
+	gen := workload.NewLogGen(rng)
+	index := map[string]int{} // Indexer bolt: hits per URI
+	errors := 0               // Counter bolt: error entries
+	const lines = 10_000
+	for i := 0; i < lines; i++ {
+		entry := gen.Next()
+		// LogStash → Redis → spout → LogRules bolt (parse + rules).
+		parsed, err := workload.ParseLine(entry.Line())
+		if err != nil {
+			log.Fatalf("log line failed to parse: %v", err)
+		}
+		index[parsed.URI]++
+		if parsed.IsError() {
+			errors++
+		}
+	}
+	fmt.Printf("processed %d synthetic IIS log lines: %d distinct URIs, %d error entries (%.1f%%)\n",
+		lines, len(index), errors, 100*float64(errors)/lines)
+
+	// --- Control plane ----------------------------------------------------
+	sys, err := repro.LogStream()
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("\nlog-stream topology: %d executors over %d machines\n",
+		sys.Top.NumExecutors(), sys.Cl.Size())
+	for _, c := range sys.Top.Components {
+		fmt.Printf("  %-10s ×%d (%s)\n", c.Name, c.Parallelism, c.Kind)
+	}
+
+	simEnv := repro.NewSimEnv(sys, 3)
+	trainEnv, err := repro.NewAnalyticEnv(sys)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	rr, err := repro.NewRoundRobinScheduler().Schedule(simEnv)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("\nDefault (round-robin): %.3f ms avg tuple processing time\n",
+		simEnv.AvgTupleTimeMS(rr))
+
+	// A compressed training budget for the example (cmd/reprobench runs the
+	// full budgets); extra SGD updates per epoch compensate somewhat.
+	acCfg := repro.DefaultACConfig()
+	acCfg.UpdatesPerStep = 3
+	agent := repro.NewActorCriticAgentWith(sys, acCfg, 9)
+	ctrl := repro.NewController(trainEnv, agent)
+	fmt.Println("training actor-critic agent (compressed budget for the example)...")
+	if err := ctrl.CollectOffline(900); err != nil {
+		log.Fatal(err)
+	}
+	ctrl.OnlineLearn(450, nil)
+	fmt.Printf("Actor-critic DRL:      %.3f ms avg tuple processing time\n",
+		simEnv.AvgTupleTimeMS(ctrl.GreedySolution()))
+}

@@ -1,0 +1,99 @@
+// Word count (stream version): the paper's third benchmark (Figure 5). The
+// data plane splits generated text lines and counts words with
+// fields-grouping semantics (equal words always reach the same counter
+// task); the control plane compares schedulers on the 100-executor
+// topology.
+package main
+
+import (
+	"fmt"
+	"log"
+	"math/rand"
+	"sort"
+
+	"repro"
+	"repro/internal/workload"
+)
+
+func main() {
+	// --- Data plane: split + fields-grouped count --------------------------
+	rng := rand.New(rand.NewSource(1))
+	gen := workload.NewTextGen(rng)
+	const counterTasks = 30
+	counters := make([]*workload.WordCounter, counterTasks)
+	for i := range counters {
+		counters[i] = workload.NewWordCounter()
+	}
+	const lines = 5_000
+	words := 0
+	for i := 0; i < lines; i++ {
+		for _, w := range workload.SplitWords(gen.NextLine()) {
+			// Fields grouping: the task is a pure function of the word.
+			counters[workload.FieldsHash(w, counterTasks)].Add(w)
+			words++
+		}
+	}
+	// Merge for display.
+	total := map[string]int{}
+	for _, c := range counters {
+		for w, n := range c.Counts {
+			total[w] += n
+		}
+	}
+	type wc struct {
+		w string
+		n int
+	}
+	var top []wc
+	for w, n := range total {
+		top = append(top, wc{w, n})
+	}
+	sort.Slice(top, func(i, j int) bool { return top[i].n > top[j].n })
+	fmt.Printf("counted %d words from %d lines; top five:\n", words, lines)
+	for _, e := range top[:5] {
+		fmt.Printf("  %-10s %6d\n", e.w, e.n)
+	}
+	// Verify fields grouping kept each word on exactly one task.
+	for w := range total {
+		owners := 0
+		for _, c := range counters {
+			if c.Counts[w] > 0 {
+				owners++
+			}
+		}
+		if owners != 1 {
+			log.Fatalf("word %q counted on %d tasks; fields grouping broken", w, owners)
+		}
+	}
+	fmt.Println("fields grouping invariant holds: every word lives on exactly one counter task")
+
+	// --- Control plane ----------------------------------------------------
+	sys, err := repro.WordCount()
+	if err != nil {
+		log.Fatal(err)
+	}
+	simEnv := repro.NewSimEnv(sys, 3)
+	trainEnv, err := repro.NewAnalyticEnv(sys)
+	if err != nil {
+		log.Fatal(err)
+	}
+	rr, err := repro.NewRoundRobinScheduler().Schedule(simEnv)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("\nDefault (round-robin): %.3f ms avg tuple processing time\n",
+		simEnv.AvgTupleTimeMS(rr))
+	// A compressed training budget for the example (cmd/reprobench runs the
+	// full budgets); extra SGD updates per epoch compensate somewhat.
+	acCfg := repro.DefaultACConfig()
+	acCfg.UpdatesPerStep = 3
+	agent := repro.NewActorCriticAgentWith(sys, acCfg, 9)
+	ctrl := repro.NewController(trainEnv, agent)
+	fmt.Println("training actor-critic agent (compressed budget for the example)...")
+	if err := ctrl.CollectOffline(900); err != nil {
+		log.Fatal(err)
+	}
+	ctrl.OnlineLearn(450, nil)
+	fmt.Printf("Actor-critic DRL:      %.3f ms avg tuple processing time\n",
+		simEnv.AvgTupleTimeMS(ctrl.GreedySolution()))
+}

@@ -1,0 +1,366 @@
+// Package actionspace models the scheduling action space of the paper and
+// implements the K-nearest-neighbor optimizer over it.
+//
+// An action assigns each of N threads (executors) to one of M machines:
+// a = <a_ij> with Σ_j a_ij = 1 (§3.2). Flattened row-major, an action is a
+// point in R^(N·M) with one-hot rows, and |A| = M^N.
+//
+// The paper finds the K feasible actions nearest to the actor's continuous
+// proto-action â by solving a series of MIQP-NN problems with the Gurobi
+// optimizer (§3.2.1). This package replaces Gurobi with an *exact*
+// polynomial-time algorithm: because the one-hot row constraints are
+// independent, ‖a − â‖² decomposes into per-row column costs, and the K best
+// full assignments are exactly the K smallest sums picking one column per
+// row — enumerable with a best-first heap (k-smallest-sums). The result set
+// is identical to what the MIQP series would return.
+package actionspace
+
+import (
+	"container/heap"
+	"fmt"
+	"math/rand"
+	"sort"
+)
+
+// Space describes the feasible action space for N threads and M machines.
+// If Capacity is non-nil it gives, per machine, the maximum number of
+// threads assignable to it (slot limits); the paper's formulation (3.2) has
+// no capacity constraint, so Capacity is normally nil.
+type Space struct {
+	N, M     int
+	Capacity []int // optional, len M
+}
+
+// NewSpace returns an unconstrained N×M action space.
+func NewSpace(n, m int) *Space {
+	if n <= 0 || m <= 0 {
+		panic(fmt.Sprintf("actionspace: invalid dimensions N=%d M=%d", n, m))
+	}
+	return &Space{N: n, M: m}
+}
+
+// Dim returns the flattened action dimension N·M.
+func (s *Space) Dim() int { return s.N * s.M }
+
+// Encode writes the one-hot flattening of assign (len N, values in [0,M))
+// into dst (len N·M) and returns dst. A nil dst is allocated.
+func (s *Space) Encode(assign []int, dst []float64) []float64 {
+	if len(assign) != s.N {
+		panic(fmt.Sprintf("actionspace: Encode got %d threads want %d", len(assign), s.N))
+	}
+	if dst == nil {
+		dst = make([]float64, s.Dim())
+	} else {
+		for i := range dst {
+			dst[i] = 0
+		}
+	}
+	for i, j := range assign {
+		if j < 0 || j >= s.M {
+			panic(fmt.Sprintf("actionspace: thread %d assigned to invalid machine %d", i, j))
+		}
+		dst[i*s.M+j] = 1
+	}
+	return dst
+}
+
+// Decode recovers an assignment from a flat (possibly continuous) action by
+// taking the argmax of each row. This is the K=1 rounding ("the most natural
+// way": nearest feasible neighbor of the proto-action).
+func (s *Space) Decode(flat []float64) []int {
+	if len(flat) != s.Dim() {
+		panic(fmt.Sprintf("actionspace: Decode got dim %d want %d", len(flat), s.Dim()))
+	}
+	assign := make([]int, s.N)
+	for i := 0; i < s.N; i++ {
+		row := flat[i*s.M : (i+1)*s.M]
+		best, bj := row[0], 0
+		for j := 1; j < s.M; j++ {
+			if row[j] > best {
+				best, bj = row[j], j
+			}
+		}
+		assign[i] = bj
+	}
+	return assign
+}
+
+// Random returns a uniformly random feasible assignment. With capacities it
+// retries machine choices per thread; the space must be feasible
+// (Σ capacity ≥ N), otherwise Random panics.
+func (s *Space) Random(rng *rand.Rand) []int {
+	assign := make([]int, s.N)
+	if s.Capacity == nil {
+		for i := range assign {
+			assign[i] = rng.Intn(s.M)
+		}
+		return assign
+	}
+	remaining := append([]int(nil), s.Capacity...)
+	total := 0
+	for _, c := range remaining {
+		total += c
+	}
+	if total < s.N {
+		panic(fmt.Sprintf("actionspace: total capacity %d < N=%d", total, s.N))
+	}
+	for i := range assign {
+		for {
+			j := rng.Intn(s.M)
+			if remaining[j] > 0 {
+				remaining[j]--
+				assign[i] = j
+				break
+			}
+		}
+	}
+	return assign
+}
+
+// RandomStratified returns a random feasible assignment whose
+// *consolidation level* is itself uniform: it draws k ~ U{1..M}, picks k
+// machines, and assigns each thread uniformly among them. Uniform sampling
+// (Random) concentrates mass at even spreads — for N ≫ M the probability
+// of drawing a schedule that uses few machines is astronomically small —
+// so offline collections that rely on it never observe the consolidated
+// region of the action space. Stratified sampling covers the whole
+// spectrum, which is what lets the full-action-space agent explore where
+// the move-restricted DQN cannot (§3.2).
+func (s *Space) RandomStratified(rng *rand.Rand) []int {
+	if s.Capacity != nil {
+		// Capacity constraints make arbitrary consolidation infeasible;
+		// fall back to plain feasible sampling.
+		return s.Random(rng)
+	}
+	k := 1 + rng.Intn(s.M)
+	machines := rng.Perm(s.M)[:k]
+	assign := make([]int, s.N)
+	for i := range assign {
+		assign[i] = machines[rng.Intn(k)]
+	}
+	return assign
+}
+
+// SqDistTo returns ‖Encode(assign) − proto‖² without materializing the
+// one-hot vector.
+func (s *Space) SqDistTo(assign []int, proto []float64) float64 {
+	if len(proto) != s.Dim() || len(assign) != s.N {
+		panic("actionspace: SqDistTo dimension mismatch")
+	}
+	var d float64
+	for i, j := range assign {
+		row := proto[i*s.M : (i+1)*s.M]
+		for c, v := range row {
+			if c == j {
+				d += (1 - v) * (1 - v)
+			} else {
+				d += v * v
+			}
+		}
+	}
+	return d
+}
+
+// Feasible reports whether assign respects the capacity constraints.
+func (s *Space) Feasible(assign []int) bool {
+	if len(assign) != s.N {
+		return false
+	}
+	counts := make([]int, s.M)
+	for _, j := range assign {
+		if j < 0 || j >= s.M {
+			return false
+		}
+		counts[j]++
+	}
+	if s.Capacity != nil {
+		for j, c := range counts {
+			if c > s.Capacity[j] {
+				return false
+			}
+		}
+	}
+	return true
+}
+
+// rowChoice is one column option for a row, with its distance contribution
+// delta relative to the row's best column.
+type rowChoice struct {
+	col   int
+	delta float64
+}
+
+// knnNode is a heap node in the k-smallest-sums enumeration: a vector of
+// per-row pointers into the sorted choice lists plus the total delta.
+type knnNode struct {
+	delta    float64
+	ptrs     []int16 // index into choices[i] per row
+	frontier int     // rows < frontier are frozen (dedup rule)
+}
+
+type knnHeap []*knnNode
+
+func (h knnHeap) Len() int            { return len(h) }
+func (h knnHeap) Less(i, j int) bool  { return h[i].delta < h[j].delta }
+func (h knnHeap) Swap(i, j int)       { h[i], h[j] = h[j], h[i] }
+func (h *knnHeap) Push(x interface{}) { *h = append(*h, x.(*knnNode)) }
+func (h *knnHeap) Pop() interface{} {
+	old := *h
+	n := len(old)
+	x := old[n-1]
+	*h = old[:n-1]
+	return x
+}
+
+// maxExpansions bounds the search when capacity constraints make many
+// combinations infeasible; without capacities every popped node is feasible
+// and the bound is never approached.
+const maxExpansions = 200000
+
+// KNearest returns the k feasible assignments nearest to proto in squared
+// Euclidean distance, nearest first. This is the exact solution of the
+// paper's series of MIQP-NN problems (§3.2.1). Fewer than k results are
+// returned only if the (capacity-constrained) space is exhausted or the
+// expansion budget is hit.
+func (s *Space) KNearest(proto []float64, k int) [][]int {
+	if len(proto) != s.Dim() {
+		panic(fmt.Sprintf("actionspace: KNearest got dim %d want %d", len(proto), s.Dim()))
+	}
+	if k <= 0 {
+		return nil
+	}
+	// Per-row sorted column choices. Within row i the squared distance of
+	// choosing column j is 1 − 2·â_ij + ‖â_i‖²; the constant terms are
+	// shared, so choices sort by −â_ij. Deltas store the exact distance
+	// difference to the row optimum: Δ = 2(â_i,best − â_ij).
+	choices := make([][]rowChoice, s.N)
+	for i := 0; i < s.N; i++ {
+		row := proto[i*s.M : (i+1)*s.M]
+		cs := make([]rowChoice, s.M)
+		for j := 0; j < s.M; j++ {
+			cs[j] = rowChoice{col: j, delta: -2 * row[j]}
+		}
+		sort.Slice(cs, func(a, b int) bool {
+			if cs[a].delta != cs[b].delta {
+				return cs[a].delta < cs[b].delta
+			}
+			return cs[a].col < cs[b].col
+		})
+		base := cs[0].delta
+		for j := range cs {
+			cs[j].delta -= base
+		}
+		choices[i] = cs
+	}
+
+	assignOf := func(ptrs []int16) []int {
+		a := make([]int, s.N)
+		for i, p := range ptrs {
+			a[i] = choices[i][p].col
+		}
+		return a
+	}
+
+	h := &knnHeap{{delta: 0, ptrs: make([]int16, s.N), frontier: 0}}
+	heap.Init(h)
+	var out [][]int
+	expansions := 0
+	for h.Len() > 0 && len(out) < k && expansions < maxExpansions {
+		node := heap.Pop(h).(*knnNode)
+		expansions++
+		a := assignOf(node.ptrs)
+		if s.Capacity == nil || s.Feasible(a) {
+			out = append(out, a)
+		}
+		// Children: advance one row pointer at or beyond the frontier. The
+		// frontier rule generates each pointer vector exactly once.
+		for r := node.frontier; r < s.N; r++ {
+			p := node.ptrs[r]
+			if int(p)+1 >= len(choices[r]) {
+				continue
+			}
+			child := &knnNode{
+				delta:    node.delta - choices[r][p].delta + choices[r][p+1].delta,
+				ptrs:     append([]int16(nil), node.ptrs...),
+				frontier: r,
+			}
+			child.ptrs[r]++
+			heap.Push(h, child)
+		}
+	}
+	return out
+}
+
+// Nearest is the K=1 fast path: the single nearest feasible assignment.
+// Without capacity constraints it is simply the per-row argmax.
+func (s *Space) Nearest(proto []float64) []int {
+	if s.Capacity == nil {
+		return s.Decode(proto)
+	}
+	res := s.KNearest(proto, 1)
+	if len(res) == 0 {
+		panic("actionspace: no feasible assignment found")
+	}
+	return res[0]
+}
+
+// RelaxedRound implements the paper's fallback for very large cases: relax
+// the integrality constraint (the relaxed optimum of the row subproblem is a
+// simplex projection, whose mass concentrates on the largest entries) and
+// round randomly with probability proportional to the positive part of each
+// row. It trades exactness for O(N·M) time and is used in the scalability
+// ablation.
+func (s *Space) RelaxedRound(rng *rand.Rand, proto []float64) []int {
+	if len(proto) != s.Dim() {
+		panic("actionspace: RelaxedRound dimension mismatch")
+	}
+	assign := make([]int, s.N)
+	for i := 0; i < s.N; i++ {
+		row := proto[i*s.M : (i+1)*s.M]
+		var sum float64
+		for _, v := range row {
+			if v > 0 {
+				sum += v
+			}
+		}
+		if sum <= 0 {
+			assign[i] = rng.Intn(s.M)
+			continue
+		}
+		r := rng.Float64() * sum
+		acc := 0.0
+		assign[i] = s.M - 1
+		for j, v := range row {
+			if v <= 0 {
+				continue
+			}
+			acc += v
+			if r < acc {
+				assign[i] = j
+				break
+			}
+		}
+	}
+	return assign
+}
+
+// MoveAction is the DQN baseline's restricted action: reassign a single
+// thread to a machine (§3.2), giving |A| = N·M.
+type MoveAction struct {
+	Thread, Machine int
+}
+
+// ApplyMove returns a copy of assign with the move applied.
+func ApplyMove(assign []int, m MoveAction) []int {
+	out := append([]int(nil), assign...)
+	out[m.Thread] = m.Machine
+	return out
+}
+
+// MoveIndex maps a MoveAction to its flat index in [0, N·M).
+func (s *Space) MoveIndex(m MoveAction) int { return m.Thread*s.M + m.Machine }
+
+// MoveFromIndex inverts MoveIndex.
+func (s *Space) MoveFromIndex(idx int) MoveAction {
+	return MoveAction{Thread: idx / s.M, Machine: idx % s.M}
+}

@@ -1,0 +1,60 @@
+package actionspace
+
+import (
+	"math/rand"
+	"testing"
+)
+
+func machinesUsed(assign []int) int {
+	seen := map[int]bool{}
+	for _, m := range assign {
+		seen[m] = true
+	}
+	return len(seen)
+}
+
+func TestRandomStratifiedCoversConsolidationSpectrum(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	s := NewSpace(100, 10)
+	counts := map[int]int{}
+	for trial := 0; trial < 2000; trial++ {
+		a := s.RandomStratified(rng)
+		if !s.Feasible(a) {
+			t.Fatalf("infeasible: %v", a)
+		}
+		counts[machinesUsed(a)]++
+	}
+	// Every consolidation level from 1 machine to all 10 must appear with
+	// non-trivial frequency (~200 each expected).
+	for k := 1; k <= 10; k++ {
+		if counts[k] < 50 {
+			t.Fatalf("consolidation level %d sampled only %d/2000 times: %v", k, counts[k], counts)
+		}
+	}
+}
+
+func TestUniformRandomNeverConsolidatesAtScale(t *testing.T) {
+	// The property motivating stratified sampling: with N=100, M=10,
+	// uniform assignment draws essentially never use fewer than 8 machines.
+	rng := rand.New(rand.NewSource(2))
+	s := NewSpace(100, 10)
+	minUsed := 10
+	for trial := 0; trial < 2000; trial++ {
+		if u := machinesUsed(s.Random(rng)); u < minUsed {
+			minUsed = u
+		}
+	}
+	if minUsed < 8 {
+		t.Fatalf("uniform sampling unexpectedly consolidated to %d machines", minUsed)
+	}
+}
+
+func TestRandomStratifiedHonorsCapacityFallback(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	s := &Space{N: 8, M: 4, Capacity: []int{2, 2, 2, 2}}
+	for trial := 0; trial < 100; trial++ {
+		if a := s.RandomStratified(rng); !s.Feasible(a) {
+			t.Fatalf("capacity violated: %v", a)
+		}
+	}
+}

@@ -1,0 +1,108 @@
+package apps
+
+import (
+	"testing"
+
+	"repro/internal/topology"
+)
+
+func TestContinuousQueriesScales(t *testing.T) {
+	cases := []struct {
+		scale Scale
+		execs int
+		comps []int // spout, query, file parallelism
+	}{
+		{Small, 20, []int{2, 9, 9}},
+		{Medium, 50, []int{5, 25, 20}},
+		{Large, 100, []int{10, 45, 45}},
+	}
+	for _, c := range cases {
+		sys, err := ContinuousQueries(c.scale)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got := sys.Top.NumExecutors(); got != c.execs {
+			t.Fatalf("%v: %d executors want %d", c.scale, got, c.execs)
+		}
+		for i, name := range []string{"spout", "query", "file"} {
+			if p := sys.Top.Component(name).Parallelism; p != c.comps[i] {
+				t.Fatalf("%v %s parallelism %d want %d", c.scale, name, p, c.comps[i])
+			}
+		}
+		if sys.Cl.Size() != 10 {
+			t.Fatalf("cluster size %d want 10 (paper: 10 worker machines)", sys.Cl.Size())
+		}
+		if sys.BaseRate <= 0 || sys.NumSpouts() != 1 {
+			t.Fatalf("rates/spouts wrong: %v %v", sys.BaseRate, sys.NumSpouts())
+		}
+	}
+	if _, err := ContinuousQueries(Scale(99)); err == nil {
+		t.Fatal("unknown scale should error")
+	}
+}
+
+func TestLogStreamShape(t *testing.T) {
+	sys, err := LogStream()
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Paper §4.1: 100 executors — 10 spout, 20 LogRules, 20 Indexer,
+	// 20 Counter, 15 per Database bolt.
+	if sys.Top.NumExecutors() != 100 {
+		t.Fatalf("N=%d want 100", sys.Top.NumExecutors())
+	}
+	want := map[string]int{"spout": 10, "logrules": 20, "indexer": 20, "counter": 20, "db-index": 15, "db-count": 15}
+	for name, p := range want {
+		if got := sys.Top.Component(name).Parallelism; got != p {
+			t.Fatalf("%s parallelism %d want %d", name, got, p)
+		}
+	}
+	// The two parallel branches of Figure 4.
+	outs := sys.Top.Out("logrules")
+	if len(outs) != 2 {
+		t.Fatalf("logrules should feed 2 branches, got %d", len(outs))
+	}
+}
+
+func TestWordCountShape(t *testing.T) {
+	sys, err := WordCount()
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Paper §4.1: 10 spout, 30 split, 30 count, 30 db.
+	if sys.Top.NumExecutors() != 100 {
+		t.Fatalf("N=%d want 100", sys.Top.NumExecutors())
+	}
+	// Fields grouping between split and count (counting requires keyed
+	// routing, Figure 5).
+	for _, e := range sys.Top.Edges {
+		if e.From == "split" && e.To == "count" && e.Grouping != topology.Fields {
+			t.Fatalf("split->count grouping %v want fields", e.Grouping)
+		}
+	}
+}
+
+func TestWithStepWorkload(t *testing.T) {
+	sys, err := ContinuousQueries(Small)
+	if err != nil {
+		t.Fatal(err)
+	}
+	stepped := sys.WithStepWorkload(1.5, 60_000)
+	p := stepped.Arrivals["spout"]
+	if p.RateAt(0) != sys.BaseRate {
+		t.Fatalf("pre-step rate %v want %v", p.RateAt(0), sys.BaseRate)
+	}
+	if p.RateAt(61_000) != sys.BaseRate*1.5 {
+		t.Fatalf("post-step rate %v want %v", p.RateAt(61_000), sys.BaseRate*1.5)
+	}
+	// Original untouched.
+	if sys.Arrivals["spout"].RateAt(61_000) != sys.BaseRate {
+		t.Fatal("WithStepWorkload mutated the original system")
+	}
+}
+
+func TestScaleString(t *testing.T) {
+	if Small.String() != "small" || Medium.String() != "medium" || Large.String() != "large" {
+		t.Fatal("scale strings")
+	}
+}

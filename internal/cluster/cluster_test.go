@@ -1,0 +1,149 @@
+package cluster
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestNewUniform(t *testing.T) {
+	c := NewUniform(10)
+	if c.Size() != 10 {
+		t.Fatalf("Size=%d", c.Size())
+	}
+	if err := c.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	m := c.Machines[3]
+	if m.Slots != 10 || m.Cores != 2 || m.NetMbps != 1000 {
+		t.Fatalf("machine defaults wrong: %+v", m)
+	}
+	if c.SerializeMS <= 0 {
+		t.Fatal("serialization cost should default on")
+	}
+	if m.Name != "machine-3" {
+		t.Fatalf("name %q", m.Name)
+	}
+}
+
+func TestValidateErrors(t *testing.T) {
+	c := &Cluster{}
+	if err := c.Validate(); err == nil {
+		t.Fatal("empty cluster should fail validation")
+	}
+	c = NewUniform(2)
+	c.Machines[1].Cores = 0
+	if err := c.Validate(); err == nil {
+		t.Fatal("zero cores should fail validation")
+	}
+}
+
+func TestTransferMS(t *testing.T) {
+	c := NewUniform(3)
+	// Same machine: intra-process constant.
+	if got := c.TransferMS(1, 1, 1e6); got != c.IntraProcessMS {
+		t.Fatalf("same-machine transfer %v", got)
+	}
+	// Cross machine: latency + wire time. 1000 bytes at 1 Gbps = 8e-6 s = 0.008 ms.
+	got := c.TransferMS(0, 1, 1000)
+	want := c.NetworkMS + 0.008
+	if diff := got - want; diff > 1e-9 || diff < -1e-9 {
+		t.Fatalf("cross transfer %v want %v", got, want)
+	}
+	// Slower destination NIC dominates.
+	c.Machines[2].NetMbps = 100
+	if c.TransferMS(0, 2, 1000) <= c.TransferMS(0, 1, 1000) {
+		t.Fatal("slower NIC should raise transfer time")
+	}
+}
+
+func TestAssignmentCloneAndEqual(t *testing.T) {
+	a := FromSlice([]int{0, 1, 2, 1})
+	b := a.Clone()
+	if !a.Equal(b) {
+		t.Fatal("clone not equal")
+	}
+	b.MachineOf[0] = 2
+	if a.Equal(b) {
+		t.Fatal("Equal after mutation")
+	}
+	if a.MachineOf[0] != 0 {
+		t.Fatal("clone aliased original")
+	}
+	if a.Equal(FromSlice([]int{0, 1})) {
+		t.Fatal("different lengths cannot be equal")
+	}
+}
+
+func TestAssignmentDiff(t *testing.T) {
+	a := FromSlice([]int{0, 1, 2, 3})
+	b := FromSlice([]int{0, 2, 2, 0})
+	moved := a.Diff(b)
+	if len(moved) != 2 || moved[0] != 1 || moved[1] != 3 {
+		t.Fatalf("Diff=%v want [1 3]", moved)
+	}
+	if len(a.Diff(a)) != 0 {
+		t.Fatal("self diff should be empty")
+	}
+}
+
+func TestDiffPanicsOnSizeMismatch(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	FromSlice([]int{0}).Diff(FromSlice([]int{0, 1}))
+}
+
+func TestCounts(t *testing.T) {
+	a := FromSlice([]int{0, 1, 1, 2, 1})
+	counts := a.Counts(4)
+	want := []int{1, 3, 1, 0}
+	for i := range want {
+		if counts[i] != want[i] {
+			t.Fatalf("Counts=%v want %v", counts, want)
+		}
+	}
+}
+
+func TestAssignmentValidate(t *testing.T) {
+	c := NewUniform(2)
+	if err := FromSlice([]int{0, 1, 0}).Validate(c); err != nil {
+		t.Fatal(err)
+	}
+	if err := FromSlice([]int{0, 5}).Validate(c); err == nil {
+		t.Fatal("out-of-range machine should fail")
+	}
+	if err := FromSlice([]int{-1}).Validate(c); err == nil {
+		t.Fatal("negative machine should fail")
+	}
+}
+
+// Property: Counts always sums to N and Diff(a,b) symmetric in length.
+func TestAssignmentProperties(t *testing.T) {
+	f := func(raw []uint8) bool {
+		if len(raw) == 0 {
+			return true
+		}
+		const m = 5
+		av := make([]int, len(raw))
+		bv := make([]int, len(raw))
+		for i, r := range raw {
+			av[i] = int(r) % m
+			bv[i] = int(r/7) % m
+		}
+		a, b := FromSlice(av), FromSlice(bv)
+		counts := a.Counts(m)
+		sum := 0
+		for _, c := range counts {
+			sum += c
+		}
+		if sum != a.N() {
+			return false
+		}
+		return len(a.Diff(b)) == len(b.Diff(a))
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,317 @@
+package core
+
+import (
+	"math"
+	"math/rand"
+
+	"repro/internal/actionspace"
+	"repro/internal/nn"
+	"repro/internal/rl"
+)
+
+// ACConfig holds the actor-critic hyperparameters. Defaults follow §3.2.1:
+// two hidden layers of 64 and 32 tanh neurons for both networks, τ = 0.01,
+// γ = 0.99, replay buffer |B| = 1000, mini-batch H = 32, uniform [0,1]
+// exploration noise applied with a decaying probability ε.
+type ACConfig struct {
+	K           int     // K-NN candidates scored by the critic
+	Gamma       float64 // discount factor γ
+	Tau         float64 // target-network tracking rate τ
+	BufferSize  int     // replay buffer capacity |B|
+	BatchSize   int     // mini-batch size H
+	ActorLR     float64
+	CriticLR    float64
+	Hidden      []int // hidden layer widths
+	Epsilon     rl.EpsilonSchedule
+	RewardScale float64 // multiplies raw rewards before storage
+	GradClip    float64 // global L2 gradient clip (0 disables)
+	// UpdatesPerStep runs this many mini-batch updates per TrainStep call
+	// (default 1). Each environment measurement is expensive relative to a
+	// gradient step, so squeezing more SGD out of the replay buffer speeds
+	// convergence per decision epoch.
+	UpdatesPerStep int
+	// UseOUNoise replaces the paper's uniform exploration noise with the
+	// Ornstein-Uhlenbeck process of the original DDPG paper [26]
+	// (exploration-noise ablation).
+	UseOUNoise bool
+}
+
+// DefaultACConfig returns the paper's hyperparameters.
+func DefaultACConfig() ACConfig {
+	return ACConfig{
+		K:           8,
+		Gamma:       0.99,
+		Tau:         0.01,
+		BufferSize:  1000,
+		BatchSize:   32,
+		ActorLR:     1e-3,
+		CriticLR:    1e-3,
+		Hidden:      []int{64, 32},
+		Epsilon:     rl.EpsilonSchedule{Start: 1.0, End: 0.05, Decay: 500, Kind: rl.ExpDecay},
+		RewardScale: 1.0,
+		GradClip:    1.0,
+	}
+}
+
+// ActorCritic is the paper's proposed agent (Algorithm 1): an actor network
+// f(s;θπ) emits a continuous proto-action â; the K nearest feasible
+// scheduling solutions are found exactly (the MIQP-NN step, here solved by
+// internal/actionspace); the critic Q(s,a;θQ) scores the K candidates and
+// the argmax is executed. Both networks have slowly-tracked target copies
+// and learn from a uniform replay buffer.
+type ActorCritic struct {
+	cfg   ACConfig
+	space *actionspace.Space
+	codec *StateCodec
+
+	actor, actorT   *nn.Network
+	critic, criticT *nn.Network
+	actorOpt        *nn.Adam
+	criticOpt       *nn.Adam
+
+	buffer *rl.ReplayBuffer
+	rng    *rand.Rand
+	norm   rewardNorm
+	ou     *rl.OUNoise
+	epoch  int
+
+	lastAction []float64 // flat one-hot action recorded by the last selection
+
+	// scratch
+	batch []rl.Transition
+	sa    []float64 // concat(state, action) input for the critic
+}
+
+// NewActorCritic builds the agent for an N×M action space with numSpouts
+// data sources.
+func NewActorCritic(n, m, numSpouts int, cfg ACConfig, seed int64) *ActorCritic {
+	rng := rand.New(rand.NewSource(seed))
+	space := actionspace.NewSpace(n, m)
+	codec := NewStateCodec(space, numSpouts)
+	actorSizes := append(append([]int{codec.Dim()}, cfg.Hidden...), space.Dim())
+	criticSizes := append(append([]int{codec.Dim() + space.Dim()}, cfg.Hidden...), 1)
+	a := &ActorCritic{
+		cfg:       cfg,
+		space:     space,
+		codec:     codec,
+		actor:     nn.New(actorSizes, nn.Tanh, nn.Tanh, rng),
+		critic:    nn.New(criticSizes, nn.Tanh, nn.Identity, rng),
+		actorOpt:  nn.NewAdam(cfg.ActorLR),
+		criticOpt: nn.NewAdam(cfg.CriticLR),
+		buffer:    rl.NewReplayBuffer(cfg.BufferSize),
+		rng:       rng,
+		sa:        make([]float64, codec.Dim()+space.Dim()),
+	}
+	a.actorT = a.actor.Clone()
+	a.criticT = a.critic.Clone()
+	if cfg.UseOUNoise {
+		a.ou = rl.NewOUNoise(space.Dim())
+	}
+	return a
+}
+
+// Name implements Agent.
+func (*ActorCritic) Name() string { return "Actor-critic-based DRL" }
+
+// Epoch implements Agent.
+func (a *ActorCritic) Epoch() int { return a.epoch }
+
+// Space exposes the action space (used by experiment harnesses).
+func (a *ActorCritic) Space() *actionspace.Space { return a.space }
+
+// qValue runs the online critic on (state, flatAction).
+func (a *ActorCritic) qValue(net *nn.Network, state, action []float64) float64 {
+	copy(a.sa[:len(state)], state)
+	copy(a.sa[len(state):], action)
+	return net.Forward(a.sa)[0]
+}
+
+// SelectAssignment implements Agent: Algorithm 1 lines 8–11.
+func (a *ActorCritic) SelectAssignment(assign []int, work []float64) []int {
+	state := a.codec.Encode(assign, work, nil)
+	proto := a.actor.ForwardCopy(state)
+	// Line 9: exploration R(â) = â + ε·I, applied with probability ε; each
+	// element of I is uniform in [0,1] (§3.2.1).
+	eps := a.cfg.Epsilon.At(a.epoch)
+	if a.ou != nil {
+		noise := make([]float64, len(proto))
+		a.ou.Sample(a.rng, noise)
+		for i := range proto {
+			proto[i] += eps * noise[i]
+		}
+	} else if a.rng.Float64() < eps {
+		for i := range proto {
+			proto[i] += eps * a.rng.Float64()
+		}
+	}
+	// Line 10: K nearest feasible actions of the proto-action.
+	cands := a.space.KNearest(proto, a.cfg.K)
+	// Line 11: critic argmax over the candidate set.
+	bestIdx, bestQ := 0, 0.0
+	flat := make([]float64, a.space.Dim())
+	for i, cand := range cands {
+		a.space.Encode(cand, flat)
+		q := a.qValue(a.critic, state, flat)
+		if i == 0 || q > bestQ {
+			bestIdx, bestQ = i, q
+		}
+	}
+	chosen := cands[bestIdx]
+	a.lastAction = a.space.Encode(chosen, nil)
+	a.epoch++
+	return chosen
+}
+
+// RandomAssignment implements Agent: a random scheduling solution for
+// offline sample collection. Half the draws are uniform over assignments
+// and half are stratified by consolidation level, so the collected
+// transitions cover the full spectrum from all-on-one-machine to fully
+// spread — the action-space coverage the paper credits the full-action
+// method with (§3.2).
+func (a *ActorCritic) RandomAssignment([]int) []int {
+	var chosen []int
+	if a.rng.Intn(2) == 0 {
+		chosen = a.space.Random(a.rng)
+	} else {
+		chosen = a.space.RandomStratified(a.rng)
+	}
+	a.lastAction = a.space.Encode(chosen, nil)
+	return chosen
+}
+
+// Observe implements Agent (Algorithm 1 line 13).
+func (a *ActorCritic) Observe(prevAssign []int, prevWork []float64, reward float64, nextAssign []int, nextWork []float64) {
+	if a.lastAction == nil {
+		panic("core: Observe called before any selection")
+	}
+	t := rl.Transition{
+		State:     a.codec.Encode(prevAssign, prevWork, nil),
+		Action:    a.lastAction,
+		Reward:    a.norm.normalize(reward) * a.cfg.RewardScale,
+		NextState: a.codec.Encode(nextAssign, nextWork, nil),
+	}
+	a.lastAction = nil
+	a.buffer.Add(t)
+}
+
+// AddTransition inserts a pre-built raw transition (offline pretraining
+// from a Database); reward scaling is applied here.
+func (a *ActorCritic) AddTransition(t rl.Transition) {
+	t.Reward *= a.cfg.RewardScale
+	a.buffer.Add(t)
+}
+
+// TrainStep implements Agent: Algorithm 1 lines 14–18.
+func (a *ActorCritic) TrainStep() {
+	n := a.cfg.UpdatesPerStep
+	if n <= 0 {
+		n = 1
+	}
+	for i := 0; i < n; i++ {
+		a.trainOnce()
+	}
+}
+
+func (a *ActorCritic) trainOnce() {
+	if a.buffer.Len() < a.cfg.BatchSize {
+		return
+	}
+	a.batch = a.buffer.Sample(a.rng, a.cfg.BatchSize, a.batch)
+	h := float64(len(a.batch))
+	flat := make([]float64, a.space.Dim())
+
+	// Line 15: targets y_i = r_i + γ·max_{a∈A_K(f′(s_{i+1}))} Q′(s_{i+1}, a).
+	targets := make([]float64, len(a.batch))
+	for i, tr := range a.batch {
+		protoNext := a.actorT.ForwardCopy(tr.NextState)
+		cands := a.space.KNearest(protoNext, a.cfg.K)
+		best := 0.0
+		for j, cand := range cands {
+			a.space.Encode(cand, flat)
+			q := a.qValue(a.criticT, tr.NextState, flat)
+			if j == 0 || q > best {
+				best = q
+			}
+		}
+		targets[i] = tr.Reward + a.cfg.Gamma*best
+	}
+
+	// Line 16: critic regression toward the targets (MSE).
+	a.critic.ZeroGrads()
+	for i, tr := range a.batch {
+		q := a.qValue(a.critic, tr.State, tr.Action)
+		a.critic.Backward([]float64{(q - targets[i]) / h}, 1)
+	}
+	if a.cfg.GradClip > 0 {
+		a.critic.ClipGrads(a.cfg.GradClip)
+	}
+	a.criticOpt.Step(a.critic)
+
+	// Line 17: deterministic policy gradient
+	// ∇θπ f ≈ 1/H Σ ∇â Q(s, â)|â=f(s_i) · ∇θπ f(s)|s_i.
+	a.actor.ZeroGrads()
+	for _, tr := range a.batch {
+		proto := a.actor.ForwardCopy(tr.State)
+		// ∇â Q: run the critic forward on (s, â) and backprop a unit
+		// output gradient to its inputs with weight-gradient scale 0; the
+		// action slice of the input gradient is ∇â Q.
+		copy(a.sa[:len(tr.State)], tr.State)
+		copy(a.sa[len(tr.State):], proto)
+		a.critic.Forward(a.sa)
+		dIn := a.critic.Backward([]float64{1}, 0) // scale 0: no weight grads
+		gradA := dIn[len(tr.State):]
+		// Ascend Q: upstream gradient for the actor is −∇â Q (we minimize).
+		up := make([]float64, len(gradA))
+		for j := range up {
+			up[j] = -gradA[j] / h
+		}
+		a.actor.Backward(up, 1)
+	}
+	if a.cfg.GradClip > 0 {
+		a.actor.ClipGrads(a.cfg.GradClip)
+	}
+	a.actorOpt.Step(a.actor)
+
+	// Line 18: soft-update both target networks.
+	a.criticT.SoftUpdate(a.critic, a.cfg.Tau)
+	a.actorT.SoftUpdate(a.actor, a.cfg.Tau)
+}
+
+// Greedy returns the agent's exploitation-only choice for a state: proto
+// action without noise, K-NN, critic argmax. Used to extract the final
+// scheduling solution of a trained agent.
+func (a *ActorCritic) Greedy(assign []int, work []float64) []int {
+	state := a.codec.Encode(assign, work, nil)
+	proto := a.actor.ForwardCopy(state)
+	cands := a.space.KNearest(proto, a.cfg.K)
+	bestIdx, bestQ := 0, 0.0
+	flat := make([]float64, a.space.Dim())
+	for i, cand := range cands {
+		a.space.Encode(cand, flat)
+		q := a.qValue(a.critic, state, flat)
+		if i == 0 || q > bestQ {
+			bestIdx, bestQ = i, q
+		}
+	}
+	return cands[bestIdx]
+}
+
+// Networks returns the four networks (actor, actor target, critic, critic
+// target) for serialization by cmd/train.
+func (a *ActorCritic) Networks() (actor, actorT, critic, criticT *nn.Network) {
+	return a.actor, a.actorT, a.critic, a.criticT
+}
+
+// protoSanity reports the max |â| of the current policy on a state; used in
+// tests to detect divergence.
+func (a *ActorCritic) protoSanity(assign []int, work []float64) float64 {
+	state := a.codec.Encode(assign, work, nil)
+	out := a.actor.Forward(state)
+	m := 0.0
+	for _, v := range out {
+		if x := math.Abs(v); x > m {
+			m = x
+		}
+	}
+	return m
+}

@@ -1,0 +1,30 @@
+package core
+
+// Agent is a DRL scheduling agent driving one decision epoch at a time.
+//
+// Usage protocol (one decision epoch, Algorithm 1 lines 8–14): call
+// SelectAssignment (or RandomAssignment during offline sample collection)
+// to obtain the action; deploy it; measure the reward; then call Observe
+// with the outcome and TrainStep to learn. SelectAssignment/RandomAssignment
+// record the chosen action internally, so Observe must follow the selection
+// it reports on.
+type Agent interface {
+	// Name identifies the agent in experiment output.
+	Name() string
+	// SelectAssignment chooses the next scheduling solution from the
+	// current state (assignment + workload), applying the agent's
+	// exploration policy, and advances the decision epoch.
+	SelectAssignment(assign []int, work []float64) []int
+	// RandomAssignment chooses a purely random action from the current
+	// state — the offline-training collection policy (§3.2.1).
+	RandomAssignment(assign []int) []int
+	// Observe stores the transition (s, a, r, s′) for the most recent
+	// selection. Reward is the raw reward (negative measured average tuple
+	// processing time in ms); running standardization is internal.
+	Observe(prevAssign []int, prevWork []float64, reward float64, nextAssign []int, nextWork []float64)
+	// TrainStep performs one mini-batch update from the replay buffer
+	// (a no-op until the buffer holds a full batch).
+	TrainStep()
+	// Epoch returns the number of decision epochs taken so far.
+	Epoch() int
+}

@@ -1,0 +1,138 @@
+package core
+
+import (
+	"fmt"
+
+	"repro/internal/env"
+	"repro/internal/rl"
+)
+
+// Controller wires an Agent to an Environment and runs the two phases of
+// Algorithm 1: offline training from randomly-deployed schedules and online
+// learning with the trained policy in the loop. It plays the role of the
+// "DRL-based Control" half of Figure 1, with the environment standing in
+// for the DSDPS + custom scheduler.
+type Controller struct {
+	Env   env.Environment
+	Agent Agent
+	// DB optionally records every raw transition for persistence
+	// (Figure 1's Database component).
+	DB *Database
+
+	// Assign is the currently deployed scheduling solution.
+	Assign []int
+	// Rewards is the raw reward history (−avg tuple time, ms) of online
+	// learning, one entry per decision epoch.
+	Rewards []float64
+	// RewardClipMS caps the latency used for rewards: schedules that
+	// overload a machine produce latencies orders of magnitude above
+	// normal, and unclipped they dominate the critic's mean-squared error.
+	// Zero auto-calibrates to 10× the round-robin deployment's latency on
+	// first use.
+	RewardClipMS float64
+}
+
+// NewController starts from the environment's round-robin default
+// deployment (what a fresh Storm cluster runs before any rescheduling).
+func NewController(e env.Environment, agent Agent) *Controller {
+	assign := make([]int, e.N())
+	for i := range assign {
+		assign[i] = i % e.M()
+	}
+	return &Controller{Env: e, Agent: agent, Assign: assign}
+}
+
+// CollectOffline performs the offline-training phase (§3.2.1: "we first
+// collected 10,000 transition samples with random actions ... and then
+// pre-trained the actor and critic networks offline"): deploy random
+// actions, record transitions, and interleave training steps once the
+// replay buffer warms up.
+func (c *Controller) CollectOffline(samples int) error {
+	if samples <= 0 {
+		return fmt.Errorf("core: offline sample count must be positive, got %d", samples)
+	}
+	work := c.Env.Workload()
+	for i := 0; i < samples; i++ {
+		next := c.Agent.RandomAssignment(c.Assign)
+		lat := c.Env.AvgTupleTimeMS(next)
+		reward := c.reward(lat)
+		nextWork := c.Env.Workload()
+		c.Agent.Observe(c.Assign, work, reward, next, nextWork)
+		if c.DB != nil {
+			c.DB.Add(rl.Transition{
+				State:     floatsOf(c.Assign, work),
+				Action:    floatsOf(next, nil),
+				Reward:    reward,
+				NextState: floatsOf(next, nextWork),
+			})
+		}
+		c.Agent.TrainStep()
+		c.Assign = next
+		work = nextWork
+	}
+	return nil
+}
+
+// OnlineLearn runs T decision epochs of online learning (Algorithm 1 lines
+// 7–19). cb, if non-nil, is invoked after each epoch with the measured
+// average tuple processing time. Rewards are appended to c.Rewards.
+func (c *Controller) OnlineLearn(T int, cb func(epoch int, avgTupleMS float64)) {
+	work := c.Env.Workload()
+	for t := 0; t < T; t++ {
+		next := c.Agent.SelectAssignment(c.Assign, work)
+		lat := c.Env.AvgTupleTimeMS(next)
+		reward := c.reward(lat)
+		nextWork := c.Env.Workload()
+		c.Agent.Observe(c.Assign, work, reward, next, nextWork)
+		c.Agent.TrainStep()
+		c.Assign = next
+		work = nextWork
+		c.Rewards = append(c.Rewards, reward)
+		if cb != nil {
+			cb(t, lat)
+		}
+	}
+}
+
+// GreedySolution returns the trained agent's exploitation-only scheduling
+// solution from the current state — what gets deployed to the cluster for
+// the 20-minute measurement runs of Figures 6, 8 and 10.
+func (c *Controller) GreedySolution() []int {
+	type greedy interface {
+		Greedy(assign []int, work []float64) []int
+	}
+	if g, ok := c.Agent.(greedy); ok {
+		return g.Greedy(c.Assign, c.Env.Workload())
+	}
+	return append([]int(nil), c.Assign...)
+}
+
+// reward converts a measured latency into the (clipped) reward.
+func (c *Controller) reward(lat float64) float64 {
+	if c.RewardClipMS == 0 {
+		// Auto-calibrate against the round-robin baseline.
+		rr := make([]int, c.Env.N())
+		for i := range rr {
+			rr[i] = i % c.Env.M()
+		}
+		base := c.Env.AvgTupleTimeMS(rr)
+		if base <= 0 {
+			base = 1
+		}
+		c.RewardClipMS = 10 * base
+	}
+	if lat > c.RewardClipMS {
+		lat = c.RewardClipMS
+	}
+	return -lat
+}
+
+// floatsOf flattens an assignment plus optional workload into a float
+// vector for Database storage.
+func floatsOf(assign []int, work []float64) []float64 {
+	out := make([]float64, 0, len(assign)+len(work))
+	for _, m := range assign {
+		out = append(out, float64(m))
+	}
+	return append(out, work...)
+}

@@ -1,0 +1,54 @@
+package core
+
+import (
+	"bytes"
+	"encoding/gob"
+	"fmt"
+	"os"
+
+	"repro/internal/rl"
+)
+
+// Database stores transition samples — the component labeled "Database" in
+// the framework architecture (Figure 1), which persists state, action and
+// reward information for offline training (§3.1). It is an append-only
+// in-memory store with gob persistence.
+type Database struct {
+	samples []rl.Transition
+}
+
+// Add appends one transition.
+func (db *Database) Add(t rl.Transition) { db.samples = append(db.samples, t) }
+
+// Len returns the number of stored samples.
+func (db *Database) Len() int { return len(db.samples) }
+
+// All returns the stored samples (shared backing array; callers must not
+// mutate).
+func (db *Database) All() []rl.Transition { return db.samples }
+
+// Save writes the database to path with encoding/gob.
+func (db *Database) Save(path string) error {
+	var buf bytes.Buffer
+	if err := gob.NewEncoder(&buf).Encode(db.samples); err != nil {
+		return fmt.Errorf("core: encode database: %w", err)
+	}
+	if err := os.WriteFile(path, buf.Bytes(), 0o644); err != nil {
+		return fmt.Errorf("core: write database: %w", err)
+	}
+	return nil
+}
+
+// Load replaces the database contents from a file written by Save.
+func (db *Database) Load(path string) error {
+	raw, err := os.ReadFile(path)
+	if err != nil {
+		return fmt.Errorf("core: read database: %w", err)
+	}
+	var samples []rl.Transition
+	if err := gob.NewDecoder(bytes.NewReader(raw)).Decode(&samples); err != nil {
+		return fmt.Errorf("core: decode database: %w", err)
+	}
+	db.samples = samples
+	return nil
+}

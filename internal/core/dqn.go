@@ -1,0 +1,201 @@
+package core
+
+import (
+	"math/rand"
+
+	"repro/internal/actionspace"
+	"repro/internal/nn"
+	"repro/internal/rl"
+)
+
+// DQNConfig holds the DQN baseline's hyperparameters. Per §3.2, the action
+// space is restricted to moving a single thread to a machine (|A| = N·M)
+// so the Q-network output is one value per move; ε-greedy exploration and
+// a periodically synchronized target network follow [33].
+type DQNConfig struct {
+	Gamma       float64
+	BufferSize  int
+	BatchSize   int
+	LR          float64
+	Hidden      []int
+	Epsilon     rl.EpsilonSchedule
+	RewardScale float64
+	GradClip    float64
+	// TargetSync hard-copies the online network into the target every C
+	// training steps (C > 1, §2.3).
+	TargetSync int
+	// Double enables double Q-learning [23] (cited by the paper as a DQN
+	// refinement): actions are selected by the online network and evaluated
+	// by the target network, reducing maximization bias.
+	Double bool
+}
+
+// DefaultDQNConfig returns hyperparameters matching the paper's DQN
+// baseline setup.
+func DefaultDQNConfig() DQNConfig {
+	return DQNConfig{
+		Gamma:       0.99,
+		BufferSize:  1000,
+		BatchSize:   32,
+		LR:          1e-3,
+		Hidden:      []int{64, 32},
+		Epsilon:     rl.EpsilonSchedule{Start: 1.0, End: 0.05, Decay: 500, Kind: rl.ExpDecay},
+		RewardScale: 1.0,
+		GradClip:    1.0,
+		TargetSync:  100,
+	}
+}
+
+// DQN is the straightforward DQN-based DRL method of §3.2: the natural way
+// to shrink the M^N action space is to restrict each action to assigning
+// one thread to one machine, which the paper shows explores the space too
+// weakly and underperforms at scale.
+type DQN struct {
+	cfg   DQNConfig
+	space *actionspace.Space
+	codec *StateCodec
+
+	qnet, qtarget *nn.Network
+	opt           *nn.Adam
+
+	buffer *rl.ReplayBuffer
+	rng    *rand.Rand
+	norm   rewardNorm
+	epoch  int
+	steps  int
+
+	lastMove int // flat move index recorded by the last selection
+
+	batch []rl.Transition
+}
+
+// NewDQN builds the baseline agent for an N×M space with numSpouts data
+// sources.
+func NewDQN(n, m, numSpouts int, cfg DQNConfig, seed int64) *DQN {
+	rng := rand.New(rand.NewSource(seed))
+	space := actionspace.NewSpace(n, m)
+	codec := NewStateCodec(space, numSpouts)
+	sizes := append(append([]int{codec.Dim()}, cfg.Hidden...), space.Dim())
+	d := &DQN{
+		cfg:      cfg,
+		space:    space,
+		codec:    codec,
+		qnet:     nn.New(sizes, nn.Tanh, nn.Identity, rng),
+		opt:      nn.NewAdam(cfg.LR),
+		buffer:   rl.NewReplayBuffer(cfg.BufferSize),
+		rng:      rng,
+		lastMove: -1,
+	}
+	d.qtarget = d.qnet.Clone()
+	return d
+}
+
+// Name implements Agent.
+func (*DQN) Name() string { return "DQN-based DRL" }
+
+// Epoch implements Agent.
+func (d *DQN) Epoch() int { return d.epoch }
+
+// SelectAssignment implements Agent: ε-greedy over the N·M single-thread
+// moves, applied to the current assignment.
+func (d *DQN) SelectAssignment(assign []int, work []float64) []int {
+	state := d.codec.Encode(assign, work, nil)
+	eps := d.cfg.Epsilon.At(d.epoch)
+	var move int
+	if d.rng.Float64() < eps {
+		move = d.rng.Intn(d.space.Dim())
+	} else {
+		q := d.qnet.Forward(state)
+		move = argmaxIdx(q)
+	}
+	d.lastMove = move
+	d.epoch++
+	m := d.space.MoveFromIndex(move)
+	return actionspace.ApplyMove(assign, m)
+}
+
+// RandomAssignment implements Agent: a random single-thread move (the
+// restricted action space's random collection policy).
+func (d *DQN) RandomAssignment(assign []int) []int {
+	move := d.rng.Intn(d.space.Dim())
+	d.lastMove = move
+	return actionspace.ApplyMove(assign, d.space.MoveFromIndex(move))
+}
+
+// Observe implements Agent.
+func (d *DQN) Observe(prevAssign []int, prevWork []float64, reward float64, nextAssign []int, nextWork []float64) {
+	if d.lastMove < 0 {
+		panic("core: Observe called before any selection")
+	}
+	t := rl.Transition{
+		State:     d.codec.Encode(prevAssign, prevWork, nil),
+		Action:    []float64{float64(d.lastMove)},
+		Reward:    d.norm.normalize(reward) * d.cfg.RewardScale,
+		NextState: d.codec.Encode(nextAssign, nextWork, nil),
+	}
+	d.lastMove = -1
+	d.buffer.Add(t)
+}
+
+// AddTransition inserts a pre-built raw transition whose Action holds the
+// flat move index; reward scaling is applied here.
+func (d *DQN) AddTransition(t rl.Transition) {
+	t.Reward *= d.cfg.RewardScale
+	d.buffer.Add(t)
+}
+
+// TrainStep implements Agent: one mini-batch Q-learning update.
+func (d *DQN) TrainStep() {
+	if d.buffer.Len() < d.cfg.BatchSize {
+		return
+	}
+	d.batch = d.buffer.Sample(d.rng, d.cfg.BatchSize, d.batch)
+	h := float64(len(d.batch))
+	d.qnet.ZeroGrads()
+	dOut := make([]float64, d.space.Dim())
+	for _, tr := range d.batch {
+		// Target: y = r + γ·max_a Q′(s′, a); with double Q-learning the
+		// argmax comes from the online network and the value from the
+		// target network [23].
+		var y float64
+		if d.cfg.Double {
+			aStar := argmaxIdx(d.qnet.Forward(tr.NextState))
+			y = tr.Reward + d.cfg.Gamma*d.qtarget.Forward(tr.NextState)[aStar]
+		} else {
+			qNext := d.qtarget.Forward(tr.NextState)
+			y = tr.Reward + d.cfg.Gamma*qNext[argmaxIdx(qNext)]
+		}
+		q := d.qnet.Forward(tr.State)
+		move := int(tr.Action[0])
+		for i := range dOut {
+			dOut[i] = 0
+		}
+		dOut[move] = (q[move] - y) / h
+		d.qnet.Backward(dOut, 1)
+	}
+	if d.cfg.GradClip > 0 {
+		d.qnet.ClipGrads(d.cfg.GradClip)
+	}
+	d.opt.Step(d.qnet)
+	d.steps++
+	if d.cfg.TargetSync > 0 && d.steps%d.cfg.TargetSync == 0 {
+		d.qtarget.HardCopy(d.qnet)
+	}
+}
+
+// Greedy applies the best move by Q-value (no exploration).
+func (d *DQN) Greedy(assign []int, work []float64) []int {
+	state := d.codec.Encode(assign, work, nil)
+	q := d.qnet.Forward(state)
+	return actionspace.ApplyMove(assign, d.space.MoveFromIndex(argmaxIdx(q)))
+}
+
+func argmaxIdx(v []float64) int {
+	best, bi := v[0], 0
+	for i := 1; i < len(v); i++ {
+		if v[i] > best {
+			best, bi = v[i], i
+		}
+	}
+	return bi
+}

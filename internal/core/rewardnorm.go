@@ -1,0 +1,48 @@
+package core
+
+import "math"
+
+// rewardNorm standardizes rewards with running estimates of their mean and
+// variance (exponential moving averages). Scheduling rewards are negative
+// latencies clustered far from zero; with γ = 0.99 the raw value function
+// is ≈ 100× the per-step reward, so the critic would spend its capacity
+// representing a constant while the action-ranking signal hides in a ~1%
+// residual. Standardizing the reward stream is an affine transform — it
+// preserves the argmax over actions — and makes the residual the whole
+// signal.
+type rewardNorm struct {
+	mean, varEst float64
+	n            int
+}
+
+const rewardNormAlpha = 0.01
+
+// normalize folds r into the running statistics and returns the
+// standardized value, clipped to ±5 standard deviations.
+func (rn *rewardNorm) normalize(r float64) float64 {
+	rn.n++
+	if rn.n == 1 {
+		rn.mean = r
+		rn.varEst = 1
+		return 0
+	}
+	// Warm-up: average quickly at first, then settle to the EMA rate.
+	alpha := rewardNormAlpha
+	if warm := 1.0 / float64(rn.n); warm > alpha {
+		alpha = warm
+	}
+	delta := r - rn.mean
+	rn.mean += alpha * delta
+	rn.varEst = (1-alpha)*rn.varEst + alpha*delta*delta
+	std := math.Sqrt(rn.varEst)
+	if std < 1e-6 {
+		std = 1e-6
+	}
+	z := (r - rn.mean) / std
+	if z > 5 {
+		z = 5
+	} else if z < -5 {
+		z = -5
+	}
+	return z
+}

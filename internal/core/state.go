@@ -1,0 +1,58 @@
+// Package core implements the paper's contribution: the DRL-based
+// model-free control framework for DSDPS scheduling (§3). It contains the
+// state encoding s = (X, w), the transition-sample database, the DQN-based
+// baseline agent (§3.2), the actor-critic agent with K-NN action selection
+// (Algorithm 1, §3.2.1), and the controller that runs offline training and
+// online learning against an environment.
+package core
+
+import (
+	"fmt"
+
+	"repro/internal/actionspace"
+)
+
+// StateCodec encodes the DRL state s = (X, w): the current scheduling
+// solution X as a flattened one-hot N×M matrix, followed by the tuple
+// arrival rate of each data source (§3.2). Rates are scaled to keep inputs
+// in a range friendly to tanh networks.
+type StateCodec struct {
+	Space     *actionspace.Space
+	NumSpouts int
+	// RateScale divides raw tuples/s rates (default 1000).
+	RateScale float64
+}
+
+// NewStateCodec returns a codec for an N×M space with the given number of
+// data sources.
+func NewStateCodec(space *actionspace.Space, numSpouts int) *StateCodec {
+	return &StateCodec{Space: space, NumSpouts: numSpouts, RateScale: 1000}
+}
+
+// Dim returns the state vector length N·M + numSpouts.
+func (c *StateCodec) Dim() int { return c.Space.Dim() + c.NumSpouts }
+
+// Encode writes the state for (assign, work) into dst (allocated if nil)
+// and returns it.
+func (c *StateCodec) Encode(assign []int, work []float64, dst []float64) []float64 {
+	if len(work) != c.NumSpouts {
+		panic(fmt.Sprintf("core: state has %d spout rates, want %d", len(work), c.NumSpouts))
+	}
+	if dst == nil {
+		dst = make([]float64, c.Dim())
+	}
+	c.Space.Encode(assign, dst[:c.Space.Dim()])
+	scale := c.RateScale
+	if scale <= 0 {
+		scale = 1000
+	}
+	for i, w := range work {
+		dst[c.Space.Dim()+i] = w / scale
+	}
+	return dst
+}
+
+// DecodeAssign recovers the assignment part of an encoded state.
+func (c *StateCodec) DecodeAssign(state []float64) []int {
+	return c.Space.Decode(state[:c.Space.Dim()])
+}

@@ -1,0 +1,179 @@
+package core
+
+import (
+	"bufio"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"net"
+)
+
+// This file reproduces the control-plane plumbing of Figure 1: "A socket is
+// implemented for communications between the custom scheduler and the DRL
+// agent" (§3.1). The DRL agent runs as an external process and pushes
+// scheduling solutions over a socket; the custom scheduler (inside
+// Nimbus/the master) deploys them and replies with the measured average
+// tuple processing time and the current workload. Keeping the agent
+// external is what enables hot swapping of control algorithms without
+// shutting down the DSDPS.
+//
+// The wire protocol is newline-delimited JSON, one request/response pair
+// per decision epoch.
+
+// SolutionMsg is the agent→scheduler message carrying a scheduling
+// solution.
+type SolutionMsg struct {
+	// Epoch is the agent's decision epoch (informational).
+	Epoch int `json:"epoch"`
+	// Assign maps executor index to machine index.
+	Assign []int `json:"assign"`
+}
+
+// MeasurementMsg is the scheduler→agent reply after deployment and
+// re-stabilization.
+type MeasurementMsg struct {
+	// AvgTupleTimeMS is the measured average end-to-end tuple processing
+	// time.
+	AvgTupleTimeMS float64 `json:"avg_tuple_time_ms"`
+	// Workload is the current arrival rate of each data source.
+	Workload []float64 `json:"workload"`
+	// Err carries a deployment failure, empty on success.
+	Err string `json:"err,omitempty"`
+}
+
+// Deployer is the custom scheduler's view of the DSDPS: deploy a solution
+// (minimal-diff, §3.1) and measure after re-stabilization.
+type Deployer interface {
+	// Deploy installs the assignment on the cluster.
+	Deploy(assign []int) error
+	// Measure waits for stabilization and returns the average tuple
+	// processing time and the current per-spout workload.
+	Measure() (avgTupleMS float64, workload []float64)
+}
+
+// ServeScheduler accepts one agent connection at a time on l and services
+// its solution pushes until the listener closes. It returns the first
+// non-temporary accept error (or nil when the listener is closed).
+func ServeScheduler(l net.Listener, d Deployer) error {
+	for {
+		conn, err := l.Accept()
+		if err != nil {
+			if errors.Is(err, net.ErrClosed) {
+				return nil
+			}
+			return err
+		}
+		serveConn(conn, d)
+	}
+}
+
+// serveConn handles one agent session.
+func serveConn(conn net.Conn, d Deployer) {
+	defer conn.Close()
+	HandleSchedulerSession(conn, d)
+}
+
+// HandleSchedulerSession runs the scheduler side of the protocol over any
+// stream (exposed separately so in-process pipes can be used in tests and
+// embeddings).
+func HandleSchedulerSession(rw io.ReadWriter, d Deployer) {
+	dec := json.NewDecoder(bufio.NewReader(rw))
+	enc := json.NewEncoder(rw)
+	for {
+		var msg SolutionMsg
+		if err := dec.Decode(&msg); err != nil {
+			return // connection closed or protocol error
+		}
+		var reply MeasurementMsg
+		if err := d.Deploy(msg.Assign); err != nil {
+			reply.Err = err.Error()
+		} else {
+			reply.AvgTupleTimeMS, reply.Workload = d.Measure()
+		}
+		if err := enc.Encode(&reply); err != nil {
+			return
+		}
+	}
+}
+
+// AgentClient is the DRL agent's connection to the custom scheduler.
+type AgentClient struct {
+	conn io.ReadWriteCloser
+	dec  *json.Decoder
+	enc  *json.Encoder
+}
+
+// DialScheduler connects to a scheduler server at addr ("host:port").
+func DialScheduler(addr string) (*AgentClient, error) {
+	conn, err := net.Dial("tcp", addr)
+	if err != nil {
+		return nil, fmt.Errorf("core: dial scheduler: %w", err)
+	}
+	return NewAgentClient(conn), nil
+}
+
+// NewAgentClient wraps an established stream as an agent session.
+func NewAgentClient(conn io.ReadWriteCloser) *AgentClient {
+	return &AgentClient{conn: conn, dec: json.NewDecoder(bufio.NewReader(conn)), enc: json.NewEncoder(conn)}
+}
+
+// Push deploys a scheduling solution and returns the measured reward inputs.
+func (c *AgentClient) Push(epoch int, assign []int) (avgTupleMS float64, workload []float64, err error) {
+	if err := c.enc.Encode(&SolutionMsg{Epoch: epoch, Assign: assign}); err != nil {
+		return 0, nil, fmt.Errorf("core: push solution: %w", err)
+	}
+	var reply MeasurementMsg
+	if err := c.dec.Decode(&reply); err != nil {
+		return 0, nil, fmt.Errorf("core: read measurement: %w", err)
+	}
+	if reply.Err != "" {
+		return 0, nil, fmt.Errorf("core: scheduler rejected solution: %s", reply.Err)
+	}
+	return reply.AvgTupleTimeMS, reply.Workload, nil
+}
+
+// Close terminates the session.
+func (c *AgentClient) Close() error { return c.conn.Close() }
+
+// RemoteEnvironment adapts an AgentClient to the env.Environment contract,
+// so a Controller can drive a DSDPS living in another process exactly like
+// a local one.
+type RemoteEnvironment struct {
+	Client   *AgentClient
+	NExec    int
+	MMachine int
+
+	epoch    int
+	lastWork []float64
+}
+
+// N implements env.Environment.
+func (r *RemoteEnvironment) N() int { return r.NExec }
+
+// M implements env.Environment.
+func (r *RemoteEnvironment) M() int { return r.MMachine }
+
+// Workload implements env.Environment, returning the workload reported by
+// the most recent measurement (zeros before the first deployment).
+func (r *RemoteEnvironment) Workload() []float64 {
+	if r.lastWork == nil {
+		return make([]float64, 1)
+	}
+	return r.lastWork
+}
+
+// AvgTupleTimeMS implements env.Environment by pushing the assignment over
+// the socket.
+func (r *RemoteEnvironment) AvgTupleTimeMS(assign []int) float64 {
+	r.epoch++
+	avg, work, err := r.Client.Push(r.epoch, assign)
+	if err != nil {
+		// A broken control channel looks like an unresponsive system.
+		return 0
+	}
+	if len(work) > 0 {
+		r.lastWork = work
+	}
+	return avg
+}

@@ -1,0 +1,108 @@
+package core
+
+import (
+	"fmt"
+	"net"
+	"testing"
+)
+
+// simDeployer is a Deployer backed by the toy environment.
+type simDeployer struct {
+	env    *toyEnv
+	assign []int
+	fail   bool
+}
+
+func (d *simDeployer) Deploy(assign []int) error {
+	if d.fail {
+		return fmt.Errorf("deploy refused")
+	}
+	if len(assign) != d.env.n {
+		return fmt.Errorf("bad assignment length %d", len(assign))
+	}
+	d.assign = append([]int(nil), assign...)
+	return nil
+}
+
+func (d *simDeployer) Measure() (float64, []float64) {
+	return d.env.AvgTupleTimeMS(d.assign), d.env.Workload()
+}
+
+func TestTransportOverTCP(t *testing.T) {
+	deployer := &simDeployer{env: newToy()}
+	l, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	done := make(chan error, 1)
+	go func() { done <- ServeScheduler(l, deployer) }()
+
+	client, err := DialScheduler(l.Addr().String())
+	if err != nil {
+		t.Fatal(err)
+	}
+	assign := []int{0, 0, 0, 1, 1, 1}
+	avg, work, err := client.Push(1, assign)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := deployer.env.AvgTupleTimeMS(assign)
+	if avg != want {
+		t.Fatalf("measured %v want %v", avg, want)
+	}
+	if len(work) != 1 || work[0] != 100 {
+		t.Fatalf("workload %v", work)
+	}
+	// Multiple epochs over one session.
+	for epoch := 2; epoch < 5; epoch++ {
+		if _, _, err := client.Push(epoch, assign); err != nil {
+			t.Fatal(err)
+		}
+	}
+	client.Close()
+	l.Close()
+	if err := <-done; err != nil {
+		t.Fatalf("server error: %v", err)
+	}
+}
+
+func TestTransportDeployError(t *testing.T) {
+	deployer := &simDeployer{env: newToy(), fail: true}
+	server, client := net.Pipe()
+	go HandleSchedulerSession(server, deployer)
+	c := NewAgentClient(client)
+	defer c.Close()
+	if _, _, err := c.Push(1, []int{0, 0, 0, 0, 0, 0}); err == nil {
+		t.Fatal("expected deployment error")
+	}
+}
+
+// TestRemoteControllerLoop drives a full offline+online training loop over
+// the socket transport: the controller and agent live on one side, the
+// "cluster" on the other — the architecture of Figure 1.
+func TestRemoteControllerLoop(t *testing.T) {
+	deployer := &simDeployer{env: newToy()}
+	server, client := net.Pipe()
+	go HandleSchedulerSession(server, deployer)
+
+	remote := &RemoteEnvironment{Client: NewAgentClient(client), NExec: 6, MMachine: 3}
+	// Prime the workload cache with a first deployment.
+	rr := []int{0, 1, 2, 0, 1, 2}
+	if lat := remote.AvgTupleTimeMS(rr); lat <= 0 {
+		t.Fatalf("remote measurement %v", lat)
+	}
+
+	cfg := DefaultACConfig()
+	cfg.Epsilon.Decay = 50
+	agent := NewActorCritic(6, 3, 1, cfg, 21)
+	ctrl := NewController(remote, agent)
+	if err := ctrl.CollectOffline(150); err != nil {
+		t.Fatal(err)
+	}
+	ctrl.OnlineLearn(150, nil)
+	got := deployer.env.AvgTupleTimeMS(ctrl.GreedySolution())
+	rrLat := deployer.env.AvgTupleTimeMS(rr)
+	if got >= rrLat {
+		t.Fatalf("remote-trained solution %.2f not better than round-robin %.2f", got, rrLat)
+	}
+}

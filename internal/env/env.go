@@ -1,0 +1,41 @@
+// Package env defines the control-plane contract between schedulers (the
+// DRL agents and the baselines) and the DSDPS under control.
+//
+// The paper's framework interacts with Storm through exactly this narrow
+// interface (§3.1): push a scheduling solution, wait for the system to
+// re-stabilize, and read back the average end-to-end tuple processing time.
+// Two implementations exist: the discrete-event simulator (internal/sim),
+// which stands in for the physical Storm cluster, and the fast analytic
+// queueing evaluator (internal/analytic) used inside training loops.
+package env
+
+import "math/rand"
+
+// Environment is a DSDPS that can be scheduled and measured.
+type Environment interface {
+	// N returns the number of schedulable threads (executors).
+	N() int
+	// M returns the number of worker machines.
+	M() int
+	// Workload returns the current tuple arrival rate of each data source
+	// (spout component), in tuples/second — the w part of the DRL state.
+	Workload() []float64
+	// AvgTupleTimeMS deploys the assignment (len N, values in [0,M)),
+	// lets the system stabilize, and returns the measured average
+	// end-to-end tuple processing time in milliseconds.
+	AvgTupleTimeMS(assign []int) float64
+}
+
+// Noisy wraps an Environment and perturbs measurements with multiplicative
+// Gaussian noise, modeling real-cluster measurement jitter.
+type Noisy struct {
+	Environment
+	Sigma float64
+	Rng   *rand.Rand
+}
+
+// AvgTupleTimeMS implements Environment with jitter.
+func (n *Noisy) AvgTupleTimeMS(assign []int) float64 {
+	v := n.Environment.AvgTupleTimeMS(assign)
+	return v * (1 + n.Sigma*n.Rng.NormFloat64())
+}

@@ -1,0 +1,44 @@
+package env
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+)
+
+// fixed is a stub environment with a constant measurement.
+type fixed struct{ v float64 }
+
+func (f fixed) N() int                         { return 4 }
+func (f fixed) M() int                         { return 2 }
+func (f fixed) Workload() []float64            { return []float64{100} }
+func (f fixed) AvgTupleTimeMS(a []int) float64 { return f.v }
+
+func TestNoisyPerturbsAroundTruth(t *testing.T) {
+	n := &Noisy{Environment: fixed{v: 10}, Sigma: 0.05, Rng: rand.New(rand.NewSource(1))}
+	var sum, sumSq float64
+	const trials = 5000
+	for i := 0; i < trials; i++ {
+		v := n.AvgTupleTimeMS(nil)
+		sum += v
+		sumSq += v * v
+	}
+	mean := sum / trials
+	std := math.Sqrt(sumSq/trials - mean*mean)
+	if math.Abs(mean-10) > 0.05 {
+		t.Fatalf("noisy mean %v want ≈10", mean)
+	}
+	if std < 0.3 || std > 0.7 {
+		t.Fatalf("noisy std %v want ≈0.5", std)
+	}
+}
+
+func TestNoisyDelegates(t *testing.T) {
+	n := &Noisy{Environment: fixed{v: 1}, Sigma: 0, Rng: rand.New(rand.NewSource(2))}
+	if n.N() != 4 || n.M() != 2 || n.Workload()[0] != 100 {
+		t.Fatal("Noisy must delegate metadata")
+	}
+	if n.AvgTupleTimeMS(nil) != 1 {
+		t.Fatal("zero sigma should pass measurements through")
+	}
+}

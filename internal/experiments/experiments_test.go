@@ -1,0 +1,166 @@
+package experiments
+
+import (
+	"testing"
+
+	"repro/internal/apps"
+)
+
+func TestQuickFig6aOrderingAndShape(t *testing.T) {
+	cfg := Quick()
+	res, err := Fig6(apps.Small, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.ID != "6a" || len(res.Series) != 4 {
+		t.Fatalf("ID=%q series=%d", res.ID, len(res.Series))
+	}
+	for _, s := range res.Series {
+		if len(s.X) == 0 || len(s.X) != len(s.Y) {
+			t.Fatalf("series %q malformed: %d/%d points", s.Name, len(s.X), len(s.Y))
+		}
+	}
+	def := res.Stabilized["Default"]
+	ac := res.Stabilized["Actor-critic-based DRL"]
+	if def <= 0 || ac <= 0 {
+		t.Fatalf("stabilized values missing: %v", res.Stabilized)
+	}
+	// Even with smoke-test training budgets the trained agent must at
+	// least not lose to round-robin.
+	if ac > def*1.05 {
+		t.Fatalf("actor-critic %.3f worse than default %.3f", ac, def)
+	}
+}
+
+func TestQuickRewardFigure(t *testing.T) {
+	cfg := Quick()
+	res, err := rewardFigureForTest(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Series) != 2 {
+		t.Fatalf("series %d", len(res.Series))
+	}
+	for _, s := range res.Series {
+		if len(s.Y) != cfg.OnlineEpochs {
+			t.Fatalf("series %q has %d points want %d", s.Name, len(s.Y), cfg.OnlineEpochs)
+		}
+		for _, v := range s.Y {
+			if v < -1e-9 || v > 1+1e-9 {
+				t.Fatalf("normalized reward %v outside [0,1]", v)
+			}
+		}
+	}
+}
+
+// rewardFigureForTest runs the reward figure machinery on the small CQ
+// system (the large-scale one used by Fig7 is too slow for a unit test).
+func rewardFigureForTest(cfg Config) (*Result, error) {
+	sys, err := apps.ContinuousQueries(apps.Small)
+	if err != nil {
+		return nil, err
+	}
+	return rewardFigure("7-test", "test", sys, cfg, cfg.OnlineEpochs)
+}
+
+func TestQuickFig12Structure(t *testing.T) {
+	if testing.Short() {
+		t.Skip("slow")
+	}
+	cfg := Quick()
+	res, err := Fig12("cq", cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.ID != "12a" || len(res.Series) != 2 {
+		t.Fatalf("ID=%q series=%d", res.ID, len(res.Series))
+	}
+	// The step at 40% of the horizon must be visible as increased load:
+	// completions keep flowing and the series covers the full span.
+	total := 2.5 * cfg.CurveMinutes
+	for _, s := range res.Series {
+		if len(s.X) == 0 {
+			t.Fatalf("series %q empty", s.Name)
+		}
+		if last := s.X[len(s.X)-1]; last < total*0.9 {
+			t.Fatalf("series %q ends at %.1f min want ≈%.1f", s.Name, last, total)
+		}
+	}
+	if res.Stabilized["Actor-critic-based DRL"] <= 0 || res.Stabilized["Model-based"] <= 0 {
+		t.Fatalf("stabilized: %v", res.Stabilized)
+	}
+}
+
+func TestFig12RejectsUnknownTopology(t *testing.T) {
+	if _, err := Fig12("nope", Quick()); err == nil {
+		t.Fatal("expected error")
+	}
+}
+
+func TestSummary(t *testing.T) {
+	results := []*Result{
+		{ID: "6a", Stabilized: map[string]float64{
+			"Default": 2.0, "Model-based": 1.5, "DQN-based DRL": 1.6, "Actor-critic-based DRL": 1.2,
+		}},
+		{ID: "8", Stabilized: map[string]float64{
+			"Default": 10.0, "Model-based": 8.0, "DQN-based DRL": 8.5, "Actor-critic-based DRL": 7.0,
+		}},
+		{ID: "7"}, // reward figure: no stabilized values, skipped
+	}
+	overDef, overMB, lines := Summary(results)
+	if len(lines) != 2 {
+		t.Fatalf("lines: %v", lines)
+	}
+	// fig6a: 40% over default, 20% over MB; fig8: 30%, 12.5% → means 35, 16.25.
+	if overDef < 34.9 || overDef > 35.1 {
+		t.Fatalf("overDefault=%v", overDef)
+	}
+	if overMB < 16.2 || overMB > 16.3 {
+		t.Fatalf("overModelBased=%v", overMB)
+	}
+	if _, _, l := Summary(nil); l != nil {
+		t.Fatal("empty input should produce no lines")
+	}
+}
+
+func TestTrainEnvScaling(t *testing.T) {
+	sys, err := apps.ContinuousQueries(apps.Small)
+	if err != nil {
+		t.Fatal(err)
+	}
+	te, err := newTrainEnv(sys)
+	if err != nil {
+		t.Fatal(err)
+	}
+	base := te.Workload()[0]
+	if base != sys.BaseRate {
+		t.Fatalf("base workload %v want %v", base, sys.BaseRate)
+	}
+	te.setScale(1.5)
+	if got := te.Workload()[0]; got != sys.BaseRate*1.5 {
+		t.Fatalf("scaled workload %v want %v", got, sys.BaseRate*1.5)
+	}
+	te.setScale(1)
+	if got := te.Workload()[0]; got != sys.BaseRate {
+		t.Fatalf("restore failed: %v", got)
+	}
+}
+
+func TestConfigPresets(t *testing.T) {
+	full, red, quick := Defaults(), Reduced(), Quick()
+	if full.OfflineSamples != 10_000 || full.OnlineEpochs != 2_000 {
+		t.Fatalf("paper budgets wrong: %+v", full)
+	}
+	if red.OfflineSamples >= full.OfflineSamples || red.ACUpdates < 2 {
+		t.Fatalf("reduced preset wrong: %+v", red)
+	}
+	if quick.OfflineSamples >= red.OfflineSamples {
+		t.Fatalf("quick preset wrong: %+v", quick)
+	}
+	if full.acConfig().UpdatesPerStep != 0 && full.acConfig().UpdatesPerStep != 1 {
+		t.Fatalf("full fidelity should use the paper's single update per epoch")
+	}
+	if red.acConfig().UpdatesPerStep != 2 {
+		t.Fatalf("reduced fidelity should compensate with 2 updates, got %d", red.acConfig().UpdatesPerStep)
+	}
+}

@@ -1,0 +1,308 @@
+// Package mat provides the dense float64 vector and matrix kernels used by
+// the neural-network and reinforcement-learning packages.
+//
+// The package is deliberately small: it implements exactly the operations a
+// 2-layer feedforward network with backpropagation needs (GEMM, GEMV, outer
+// products, element-wise maps, axpy) plus a handful of statistics helpers.
+// Matrices are stored row-major in a single backing slice so that the hot
+// loops are cache-friendly and allocation-free when the caller reuses
+// destinations.
+package mat
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+)
+
+// Matrix is a dense row-major matrix of float64.
+type Matrix struct {
+	Rows, Cols int
+	Data       []float64 // len == Rows*Cols, row-major
+}
+
+// NewMatrix returns a zeroed rows×cols matrix.
+func NewMatrix(rows, cols int) *Matrix {
+	if rows < 0 || cols < 0 {
+		panic(fmt.Sprintf("mat: negative dimensions %dx%d", rows, cols))
+	}
+	return &Matrix{Rows: rows, Cols: cols, Data: make([]float64, rows*cols)}
+}
+
+// FromSlice wraps data (row-major) as a rows×cols matrix without copying.
+func FromSlice(rows, cols int, data []float64) *Matrix {
+	if len(data) != rows*cols {
+		panic(fmt.Sprintf("mat: FromSlice got %d values for %dx%d", len(data), rows, cols))
+	}
+	return &Matrix{Rows: rows, Cols: cols, Data: data}
+}
+
+// At returns the element at row i, column j.
+func (m *Matrix) At(i, j int) float64 { return m.Data[i*m.Cols+j] }
+
+// Set assigns the element at row i, column j.
+func (m *Matrix) Set(i, j int, v float64) { m.Data[i*m.Cols+j] = v }
+
+// Row returns a view (no copy) of row i.
+func (m *Matrix) Row(i int) []float64 { return m.Data[i*m.Cols : (i+1)*m.Cols] }
+
+// Clone returns a deep copy of m.
+func (m *Matrix) Clone() *Matrix {
+	c := NewMatrix(m.Rows, m.Cols)
+	copy(c.Data, m.Data)
+	return c
+}
+
+// CopyFrom copies src into m. Dimensions must match.
+func (m *Matrix) CopyFrom(src *Matrix) {
+	if m.Rows != src.Rows || m.Cols != src.Cols {
+		panic(fmt.Sprintf("mat: CopyFrom dimension mismatch %dx%d vs %dx%d", m.Rows, m.Cols, src.Rows, src.Cols))
+	}
+	copy(m.Data, src.Data)
+}
+
+// Zero sets every element of m to 0.
+func (m *Matrix) Zero() {
+	for i := range m.Data {
+		m.Data[i] = 0
+	}
+}
+
+// Fill sets every element of m to v.
+func (m *Matrix) Fill(v float64) {
+	for i := range m.Data {
+		m.Data[i] = v
+	}
+}
+
+// Randomize fills m with samples from U[-scale, scale] drawn from rng.
+func (m *Matrix) Randomize(rng *rand.Rand, scale float64) {
+	for i := range m.Data {
+		m.Data[i] = (rng.Float64()*2 - 1) * scale
+	}
+}
+
+// XavierInit fills m with the Glorot/Xavier uniform initialization for a
+// layer with fanIn inputs and fanOut outputs.
+func (m *Matrix) XavierInit(rng *rand.Rand, fanIn, fanOut int) {
+	limit := math.Sqrt(6.0 / float64(fanIn+fanOut))
+	m.Randomize(rng, limit)
+}
+
+// MulVec computes dst = m · x (GEMV). dst must have length m.Rows and x
+// length m.Cols. dst may not alias x.
+func (m *Matrix) MulVec(dst, x []float64) {
+	if len(x) != m.Cols || len(dst) != m.Rows {
+		panic(fmt.Sprintf("mat: MulVec %dx%d with |x|=%d |dst|=%d", m.Rows, m.Cols, len(x), len(dst)))
+	}
+	for i := 0; i < m.Rows; i++ {
+		row := m.Data[i*m.Cols : (i+1)*m.Cols]
+		var s float64
+		for j, w := range row {
+			s += w * x[j]
+		}
+		dst[i] = s
+	}
+}
+
+// MulVecT computes dst = mᵀ · x. dst must have length m.Cols and x length
+// m.Rows. Used for backpropagating deltas through a weight matrix.
+func (m *Matrix) MulVecT(dst, x []float64) {
+	if len(x) != m.Rows || len(dst) != m.Cols {
+		panic(fmt.Sprintf("mat: MulVecT %dx%d with |x|=%d |dst|=%d", m.Rows, m.Cols, len(x), len(dst)))
+	}
+	for j := range dst {
+		dst[j] = 0
+	}
+	for i := 0; i < m.Rows; i++ {
+		xi := x[i]
+		if xi == 0 {
+			continue
+		}
+		row := m.Data[i*m.Cols : (i+1)*m.Cols]
+		for j, w := range row {
+			dst[j] += w * xi
+		}
+	}
+}
+
+// AddOuterScaled accumulates m += scale · a ⊗ b, where a has length m.Rows
+// and b length m.Cols. Used for weight-gradient accumulation.
+func (m *Matrix) AddOuterScaled(a, b []float64, scale float64) {
+	if len(a) != m.Rows || len(b) != m.Cols {
+		panic(fmt.Sprintf("mat: AddOuterScaled %dx%d with |a|=%d |b|=%d", m.Rows, m.Cols, len(a), len(b)))
+	}
+	for i, ai := range a {
+		if ai == 0 {
+			continue
+		}
+		f := ai * scale
+		row := m.Data[i*m.Cols : (i+1)*m.Cols]
+		for j, bj := range b {
+			row[j] += f * bj
+		}
+	}
+}
+
+// Axpy computes m += scale · other element-wise.
+func (m *Matrix) Axpy(other *Matrix, scale float64) {
+	if m.Rows != other.Rows || m.Cols != other.Cols {
+		panic("mat: Axpy dimension mismatch")
+	}
+	for i, v := range other.Data {
+		m.Data[i] += scale * v
+	}
+}
+
+// Scale multiplies every element of m by s.
+func (m *Matrix) Scale(s float64) {
+	for i := range m.Data {
+		m.Data[i] *= s
+	}
+}
+
+// MaxAbs returns the largest absolute element value in m (0 for empty).
+func (m *Matrix) MaxAbs() float64 {
+	var mx float64
+	for _, v := range m.Data {
+		if a := math.Abs(v); a > mx {
+			mx = a
+		}
+	}
+	return mx
+}
+
+// Vector helpers ------------------------------------------------------------
+
+// Dot returns the inner product of a and b.
+func Dot(a, b []float64) float64 {
+	if len(a) != len(b) {
+		panic(fmt.Sprintf("mat: Dot length mismatch %d vs %d", len(a), len(b)))
+	}
+	var s float64
+	for i, v := range a {
+		s += v * b[i]
+	}
+	return s
+}
+
+// AxpyVec computes dst += scale · src element-wise.
+func AxpyVec(dst, src []float64, scale float64) {
+	if len(dst) != len(src) {
+		panic(fmt.Sprintf("mat: AxpyVec length mismatch %d vs %d", len(dst), len(src)))
+	}
+	for i, v := range src {
+		dst[i] += scale * v
+	}
+}
+
+// ScaleVec multiplies every element of v by s in place.
+func ScaleVec(v []float64, s float64) {
+	for i := range v {
+		v[i] *= s
+	}
+}
+
+// SumVec returns the sum of the elements of v.
+func SumVec(v []float64) float64 {
+	var s float64
+	for _, x := range v {
+		s += x
+	}
+	return s
+}
+
+// MeanVec returns the arithmetic mean of v (0 for empty input).
+func MeanVec(v []float64) float64 {
+	if len(v) == 0 {
+		return 0
+	}
+	return SumVec(v) / float64(len(v))
+}
+
+// Argmax returns the index of the largest element of v (-1 for empty input).
+// Ties resolve to the lowest index.
+func Argmax(v []float64) int {
+	if len(v) == 0 {
+		return -1
+	}
+	best, bi := v[0], 0
+	for i := 1; i < len(v); i++ {
+		if v[i] > best {
+			best, bi = v[i], i
+		}
+	}
+	return bi
+}
+
+// Argmin returns the index of the smallest element of v (-1 for empty input).
+func Argmin(v []float64) int {
+	if len(v) == 0 {
+		return -1
+	}
+	best, bi := v[0], 0
+	for i := 1; i < len(v); i++ {
+		if v[i] < best {
+			best, bi = v[i], i
+		}
+	}
+	return bi
+}
+
+// Norm2 returns the Euclidean norm of v.
+func Norm2(v []float64) float64 {
+	var s float64
+	for _, x := range v {
+		s += x * x
+	}
+	return math.Sqrt(s)
+}
+
+// SqDist returns the squared Euclidean distance between a and b.
+func SqDist(a, b []float64) float64 {
+	if len(a) != len(b) {
+		panic(fmt.Sprintf("mat: SqDist length mismatch %d vs %d", len(a), len(b)))
+	}
+	var s float64
+	for i, v := range a {
+		d := v - b[i]
+		s += d * d
+	}
+	return s
+}
+
+// Clip bounds every element of v to [lo, hi] in place.
+func Clip(v []float64, lo, hi float64) {
+	for i, x := range v {
+		if x < lo {
+			v[i] = lo
+		} else if x > hi {
+			v[i] = hi
+		}
+	}
+}
+
+// Softmax writes the softmax of src into dst (numerically stable).
+func Softmax(dst, src []float64) {
+	if len(dst) != len(src) {
+		panic("mat: Softmax length mismatch")
+	}
+	if len(src) == 0 {
+		return
+	}
+	mx := src[0]
+	for _, v := range src[1:] {
+		if v > mx {
+			mx = v
+		}
+	}
+	var sum float64
+	for i, v := range src {
+		e := math.Exp(v - mx)
+		dst[i] = e
+		sum += e
+	}
+	for i := range dst {
+		dst[i] /= sum
+	}
+}

@@ -1,0 +1,113 @@
+package nn
+
+import (
+	"math"
+
+	"repro/internal/mat"
+)
+
+// Optimizer applies accumulated gradients to a network's weights.
+// Implementations must be used with exactly one network: they keep per-layer
+// moment state keyed by layer index.
+type Optimizer interface {
+	// Step applies the accumulated gradients of net (descending the loss)
+	// and leaves the gradient buffers untouched; callers typically follow
+	// with net.ZeroGrads().
+	Step(net *Network)
+}
+
+// SGD is plain stochastic gradient descent with optional momentum and L2
+// weight decay.
+type SGD struct {
+	LR          float64
+	Momentum    float64
+	WeightDecay float64
+
+	vw []*mat.Matrix
+	vb [][]float64
+}
+
+// NewSGD returns an SGD optimizer with the given learning rate.
+func NewSGD(lr float64) *SGD { return &SGD{LR: lr} }
+
+// Step implements Optimizer.
+func (o *SGD) Step(net *Network) {
+	if o.vw == nil && o.Momentum != 0 {
+		for _, l := range net.Layers {
+			o.vw = append(o.vw, mat.NewMatrix(l.Out, l.In))
+			o.vb = append(o.vb, make([]float64, l.Out))
+		}
+	}
+	for li, l := range net.Layers {
+		if o.WeightDecay != 0 {
+			l.GradW.Axpy(l.W, o.WeightDecay)
+		}
+		if o.Momentum == 0 {
+			l.W.Axpy(l.GradW, -o.LR)
+			mat.AxpyVec(l.B, l.GradB, -o.LR)
+			continue
+		}
+		vw, vb := o.vw[li], o.vb[li]
+		for i, g := range l.GradW.Data {
+			vw.Data[i] = o.Momentum*vw.Data[i] + g
+			l.W.Data[i] -= o.LR * vw.Data[i]
+		}
+		for i, g := range l.GradB {
+			vb[i] = o.Momentum*vb[i] + g
+			l.B[i] -= o.LR * vb[i]
+		}
+	}
+}
+
+// Adam implements the Adam optimizer (Kingma & Ba 2015), the standard choice
+// for training DDPG-style actor-critic networks.
+type Adam struct {
+	LR      float64
+	Beta1   float64
+	Beta2   float64
+	Epsilon float64
+
+	t  int
+	mw []*mat.Matrix
+	vw []*mat.Matrix
+	mb [][]float64
+	vb [][]float64
+}
+
+// NewAdam returns an Adam optimizer with standard β₁=0.9, β₂=0.999, ε=1e-8.
+func NewAdam(lr float64) *Adam {
+	return &Adam{LR: lr, Beta1: 0.9, Beta2: 0.999, Epsilon: 1e-8}
+}
+
+// Step implements Optimizer.
+func (o *Adam) Step(net *Network) {
+	if o.mw == nil {
+		for _, l := range net.Layers {
+			o.mw = append(o.mw, mat.NewMatrix(l.Out, l.In))
+			o.vw = append(o.vw, mat.NewMatrix(l.Out, l.In))
+			o.mb = append(o.mb, make([]float64, l.Out))
+			o.vb = append(o.vb, make([]float64, l.Out))
+		}
+	}
+	o.t++
+	bc1 := 1 - math.Pow(o.Beta1, float64(o.t))
+	bc2 := 1 - math.Pow(o.Beta2, float64(o.t))
+	for li, l := range net.Layers {
+		mw, vw := o.mw[li], o.vw[li]
+		for i, g := range l.GradW.Data {
+			mw.Data[i] = o.Beta1*mw.Data[i] + (1-o.Beta1)*g
+			vw.Data[i] = o.Beta2*vw.Data[i] + (1-o.Beta2)*g*g
+			mHat := mw.Data[i] / bc1
+			vHat := vw.Data[i] / bc2
+			l.W.Data[i] -= o.LR * mHat / (math.Sqrt(vHat) + o.Epsilon)
+		}
+		mb, vb := o.mb[li], o.vb[li]
+		for i, g := range l.GradB {
+			mb[i] = o.Beta1*mb[i] + (1-o.Beta1)*g
+			vb[i] = o.Beta2*vb[i] + (1-o.Beta2)*g*g
+			mHat := mb[i] / bc1
+			vHat := vb[i] / bc2
+			l.B[i] -= o.LR * mHat / (math.Sqrt(vHat) + o.Epsilon)
+		}
+	}
+}

@@ -1,0 +1,275 @@
+package sched
+
+import (
+	"fmt"
+	"math/rand"
+
+	"repro/internal/cluster"
+	"repro/internal/env"
+	"repro/internal/svr"
+	"repro/internal/topology"
+)
+
+// ModelBased reproduces the state-of-the-art model-based scheduler of Li et
+// al. [25]: collect runtime statistics for candidate schedules, fit a
+// supervised model (SVR) that predicts average tuple processing time from
+// topology-aware features, then search the assignment space under the
+// model's guidance.
+//
+// Its two failure modes called out in the paper (§1) are inherent here too:
+// the features cannot capture every factor of end-to-end delay, and
+// per-feature prediction error compounds — which is exactly why the DRL
+// methods overtake it.
+type ModelBased struct {
+	Top *topology.Topology
+	Cl  *cluster.Cluster
+	Rng *rand.Rand
+
+	// Samples is how many random schedules are measured to fit the model
+	// (default 300).
+	Samples int
+	// SearchIters bounds the local-search moves (default 3·N).
+	SearchIters int
+
+	model *svr.SVR
+}
+
+// Name implements Scheduler.
+func (*ModelBased) Name() string { return "Model-based" }
+
+// features builds the predictor input for an assignment under the current
+// workload. Following [25], the model composes topology-aware component
+// estimates: the expected per-tuple transfer latency (communication-tier
+// aware), the expected per-tuple serialization CPU, per-edge co-location
+// fractions, sorted per-machine CPU demand, and the spout rates. The
+// composition assumes delays add linearly — the simplification whose error
+// the paper's §1 critique (and our reproduction) turns on: queueing and
+// contention near saturation are anything but linear.
+func (mb *ModelBased) features(assign []int, work []float64) []float64 {
+	top, cl := mb.Top, mb.Cl
+	m := cl.Size()
+
+	// Component input rates assuming even splits (the model's
+	// simplification — one source of its prediction error).
+	compIn := map[string]float64{}
+	spouts := top.Spouts()
+	var totalSpout float64
+	for i, sp := range spouts {
+		rate := 0.0
+		if i < len(work) {
+			rate = work[i]
+		}
+		compIn[sp.Name] = rate
+		totalSpout += rate
+	}
+	if totalSpout <= 0 {
+		totalSpout = 1
+	}
+	for _, name := range top.Order() {
+		c := top.Component(name)
+		out := compIn[name] * c.Selectivity
+		for _, e := range top.Out(name) {
+			d := top.Component(e.To)
+			if e.Grouping == topology.All {
+				compIn[e.To] += out * float64(d.Parallelism)
+			} else {
+				compIn[e.To] += out
+			}
+		}
+	}
+
+	var feats []float64
+	// Composed per-tuple transfer latency and serialization CPU: for each
+	// edge, the traffic-weighted expected cost over (src task, dst task)
+	// pairs — the estimate [25]'s per-edge delay predictors provide.
+	var transferMS, serMS float64
+	for _, e := range top.Edges {
+		src, dst := top.Component(e.From), top.Component(e.To)
+		sLo, _ := top.ExecutorRange(e.From)
+		dLo, _ := top.ExecutorRange(e.To)
+		edgeRate := compIn[e.From] * src.Selectivity
+		co, pairs := 0, 0
+		for st := 0; st < src.Parallelism; st++ {
+			for dt := 0; dt < dst.Parallelism; dt++ {
+				pairs++
+				if assign[sLo+st] == assign[dLo+dt] {
+					co++
+				}
+			}
+		}
+		frac := float64(co) / float64(pairs)
+		crossRate := edgeRate * (1 - frac)
+		localRate := edgeRate * frac
+		transferMS += (crossRate*cl.TransferMS(0, 1, src.TupleBytes) +
+			localRate*cl.IntraProcessMS) / totalSpout
+		serMS += crossRate * cl.SerializeMS / totalSpout
+		feats = append(feats, frac)
+	}
+	feats = append(feats, transferMS, serMS)
+
+	// Sorted per-machine CPU demand (permutation-invariant for homogeneous
+	// machines).
+	load := make([]float64, m)
+	for _, c := range top.Components {
+		lo, hi := top.ExecutorRange(c.Name)
+		perExec := compIn[c.Name] / float64(c.Parallelism) * c.ServiceMeanMS
+		for x := lo; x < hi; x++ {
+			load[assign[x]] += perExec
+		}
+	}
+	sortFloats(load)
+	feats = append(feats, load...)
+	feats = append(feats, load[m-1]) // max load (hotspot indicator)
+
+	// Workload rates.
+	feats = append(feats, work...)
+	return feats
+}
+
+func sortFloats(v []float64) {
+	for i := 1; i < len(v); i++ {
+		for j := i; j > 0 && v[j] < v[j-1]; j-- {
+			v[j], v[j-1] = v[j-1], v[j]
+		}
+	}
+}
+
+// capacityOK estimates per-machine CPU demand (the same topology-aware
+// bookkeeping [25]'s model performs) and rejects assignments whose hottest
+// machine exceeds 80% of capacity. The linear SVR cannot represent the
+// overload cliff, so the search must not be allowed to walk off it; the
+// margin also keeps chosen schedules stable through deployment warm-up.
+func (mb *ModelBased) capacityOK(assign []int, work []float64) bool {
+	top, cl := mb.Top, mb.Cl
+	compIn := map[string]float64{}
+	for i, sp := range top.Spouts() {
+		if i < len(work) {
+			compIn[sp.Name] = work[i]
+		}
+	}
+	for _, name := range top.Order() {
+		c := top.Component(name)
+		out := compIn[name] * c.Selectivity
+		for _, e := range top.Out(name) {
+			d := top.Component(e.To)
+			if e.Grouping == topology.All {
+				compIn[e.To] += out * float64(d.Parallelism)
+			} else {
+				compIn[e.To] += out
+			}
+		}
+	}
+	load := make([]float64, cl.Size())
+	for _, c := range top.Components {
+		lo, hi := top.ExecutorRange(c.Name)
+		// Charge half the serialization overhead (the average over mixed
+		// placements): fully pessimistic accounting would veto the
+		// consolidated schedules whose *lower* cross traffic is the whole
+		// point of consolidating.
+		perExec := compIn[c.Name] / float64(c.Parallelism) * (c.ServiceMeanMS + 0.5*cl.SerializeMS)
+		for x := lo; x < hi; x++ {
+			load[assign[x]] += perExec
+		}
+	}
+	for m, l := range load {
+		mach := cl.Machines[m]
+		if l/1000 > 0.8*float64(mach.Cores)*mach.SpeedFactor {
+			return false
+		}
+	}
+	return true
+}
+
+// Fit measures random schedules on e and trains the SVR predictor.
+func (mb *ModelBased) Fit(e env.Environment) error {
+	samples := mb.Samples
+	if samples <= 0 {
+		samples = 300
+	}
+	n, m := e.N(), e.M()
+	if n != mb.Top.NumExecutors() || m != mb.Cl.Size() {
+		return fmt.Errorf("sched: model-based configured for %d×%d, env is %d×%d",
+			mb.Top.NumExecutors(), mb.Cl.Size(), n, m)
+	}
+	work := e.Workload()
+	X := make([][]float64, 0, samples)
+	y := make([]float64, 0, samples)
+	for i := 0; i < samples; i++ {
+		assign := make([]int, n)
+		for j := range assign {
+			assign[j] = mb.Rng.Intn(m)
+		}
+		X = append(X, mb.features(assign, work))
+		y = append(y, e.AvgTupleTimeMS(assign))
+	}
+	// Clip overload outliers at 10× the median latency so a handful of
+	// saturated random schedules cannot dominate the regression.
+	sorted := append([]float64(nil), y...)
+	sortFloats(sorted)
+	clip := 10 * sorted[len(sorted)/2]
+	for i := range y {
+		if y[i] > clip {
+			y[i] = clip
+		}
+	}
+	mb.model = svr.NewSVR(0.02)
+	mb.model.Epochs = 80
+	return mb.model.Fit(mb.Rng, X, y)
+}
+
+// Schedule implements Scheduler: if the model is not yet fitted it is
+// trained first, then a steepest-descent local search over single-thread
+// moves minimizes the *predicted* tuple processing time.
+func (mb *ModelBased) Schedule(e env.Environment) ([]int, error) {
+	if mb.model == nil {
+		if err := mb.Fit(e); err != nil {
+			return nil, err
+		}
+	}
+	n, m := e.N(), e.M()
+	work := e.Workload()
+	assign := make([]int, n)
+	for i := range assign {
+		assign[i] = i % m
+	}
+	best := mb.model.Predict(mb.features(assign, work))
+	iters := mb.SearchIters
+	if iters <= 0 {
+		iters = 3 * n
+	}
+	for it := 0; it < iters; it++ {
+		improved := false
+		// One pass of first-improvement moves in random thread order.
+		order := mb.Rng.Perm(n)
+		for _, th := range order {
+			orig := assign[th]
+			bestMachine, bestVal := orig, best
+			for mm := 0; mm < m; mm++ {
+				if mm == orig {
+					continue
+				}
+				assign[th] = mm
+				if !mb.capacityOK(assign, work) {
+					continue
+				}
+				v := mb.model.Predict(mb.features(assign, work))
+				if v < bestVal {
+					bestMachine, bestVal = mm, v
+				}
+			}
+			assign[th] = bestMachine
+			if bestMachine != orig {
+				best = bestVal
+				improved = true
+			}
+			it++
+			if it >= iters {
+				break
+			}
+		}
+		if !improved {
+			break
+		}
+	}
+	return assign, nil
+}

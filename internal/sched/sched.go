@@ -1,0 +1,67 @@
+// Package sched implements the non-DRL schedulers the paper compares
+// against: Storm's default round-robin scheduler, a uniformly random
+// scheduler (used to collect offline training samples), the model-based
+// predictive scheduler of Li et al. [25] (SVR delay prediction + assignment
+// search), and a T-Storm-style traffic-aware heuristic [52] as an extra
+// baseline.
+package sched
+
+import (
+	"fmt"
+	"math/rand"
+
+	"repro/internal/env"
+)
+
+// Scheduler produces a thread→machine assignment for an environment.
+type Scheduler interface {
+	// Name identifies the scheduler in experiment output.
+	Name() string
+	// Schedule returns an assignment of length e.N() with values in
+	// [0, e.M()).
+	Schedule(e env.Environment) ([]int, error)
+}
+
+// RoundRobin reproduces Storm's default scheduler (§2.1): executors are
+// dealt to machines in order, yielding an almost even distribution of
+// workload with no regard for communication.
+type RoundRobin struct{}
+
+// Name implements Scheduler.
+func (RoundRobin) Name() string { return "Default" }
+
+// Schedule implements Scheduler.
+func (RoundRobin) Schedule(e env.Environment) ([]int, error) {
+	n, m := e.N(), e.M()
+	if m <= 0 {
+		return nil, fmt.Errorf("sched: no machines")
+	}
+	assign := make([]int, n)
+	for i := range assign {
+		assign[i] = i % m
+	}
+	return assign, nil
+}
+
+// Random assigns every thread to a uniformly random machine; the paper's
+// offline-training phase deploys exactly such randomly-generated solutions
+// to collect transition samples (§3.2).
+type Random struct {
+	Rng *rand.Rand
+}
+
+// Name implements Scheduler.
+func (Random) Name() string { return "Random" }
+
+// Schedule implements Scheduler.
+func (r Random) Schedule(e env.Environment) ([]int, error) {
+	n, m := e.N(), e.M()
+	if m <= 0 {
+		return nil, fmt.Errorf("sched: no machines")
+	}
+	assign := make([]int, n)
+	for i := range assign {
+		assign[i] = r.Rng.Intn(m)
+	}
+	return assign, nil
+}

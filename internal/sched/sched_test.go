@@ -1,0 +1,250 @@
+package sched
+
+import (
+	"math/rand"
+	"testing"
+
+	"repro/internal/analytic"
+	"repro/internal/cluster"
+	"repro/internal/topology"
+	"repro/internal/workload"
+)
+
+// testSystem builds a small continuous-queries-like system plus its
+// analytic environment.
+func testSystem(t testing.TB, rate float64) (*topology.Topology, *cluster.Cluster, *analytic.Evaluator) {
+	t.Helper()
+	top, err := topology.NewBuilder("cq").
+		AddSpout("spout", 2, 0.05, 1, 150).
+		AddBolt("query", 5, 0.8, 0.3, 200).
+		AddBolt("file", 3, 0.3, 0, 0).
+		Connect("spout", "query", topology.Shuffle).
+		Connect("query", "file", topology.Shuffle).
+		Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	cl := cluster.NewUniform(4)
+	arr := map[string]workload.ArrivalProcess{"spout": workload.ConstantRate{PerSecond: rate}}
+	ev, err := analytic.New(top, cl, arr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return top, cl, ev
+}
+
+func TestRoundRobin(t *testing.T) {
+	_, _, ev := testSystem(t, 400)
+	s := RoundRobin{}
+	if s.Name() != "Default" {
+		t.Fatal("name")
+	}
+	assign, err := s.Schedule(ev)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(assign) != ev.N() {
+		t.Fatalf("len %d", len(assign))
+	}
+	// Even distribution: counts differ by at most 1.
+	counts := make([]int, ev.M())
+	for _, m := range assign {
+		counts[m]++
+	}
+	lo, hi := counts[0], counts[0]
+	for _, c := range counts {
+		if c < lo {
+			lo = c
+		}
+		if c > hi {
+			hi = c
+		}
+	}
+	if hi-lo > 1 {
+		t.Fatalf("round robin uneven: %v", counts)
+	}
+}
+
+func TestRandomScheduler(t *testing.T) {
+	_, _, ev := testSystem(t, 400)
+	s := Random{Rng: rand.New(rand.NewSource(1))}
+	a, err := s.Schedule(ev)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := s.Schedule(ev)
+	if err != nil {
+		t.Fatal(err)
+	}
+	same := true
+	for i := range a {
+		if a[i] < 0 || a[i] >= ev.M() {
+			t.Fatalf("invalid machine %d", a[i])
+		}
+		if a[i] != b[i] {
+			same = false
+		}
+	}
+	if same {
+		t.Fatal("two random schedules identical (suspicious)")
+	}
+}
+
+func TestModelBasedBeatsRoundRobin(t *testing.T) {
+	top, cl, ev := testSystem(t, 600)
+	mb := &ModelBased{Top: top, Cl: cl, Rng: rand.New(rand.NewSource(2)), Samples: 200}
+	assign, err := mb.Schedule(ev)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(assign) != ev.N() {
+		t.Fatalf("len %d", len(assign))
+	}
+	rr, _ := RoundRobin{}.Schedule(ev)
+	mbLat := ev.AvgTupleTimeMS(assign)
+	rrLat := ev.AvgTupleTimeMS(rr)
+	if mbLat >= rrLat {
+		t.Fatalf("model-based %.3f should beat round-robin %.3f", mbLat, rrLat)
+	}
+}
+
+func TestModelBasedReusesFittedModel(t *testing.T) {
+	top, cl, ev := testSystem(t, 500)
+	mb := &ModelBased{Top: top, Cl: cl, Rng: rand.New(rand.NewSource(3)), Samples: 100}
+	if err := mb.Fit(ev); err != nil {
+		t.Fatal(err)
+	}
+	if mb.model == nil {
+		t.Fatal("model not stored")
+	}
+	if _, err := mb.Schedule(ev); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestModelBasedDimensionMismatch(t *testing.T) {
+	top, cl, _ := testSystem(t, 500)
+	// Environment from a *different* system.
+	otherTop, err := topology.NewBuilder("other").
+		AddSpout("s", 1, 0.1, 1, 100).
+		AddBolt("b", 1, 0.1, 0, 0).
+		Connect("s", "b", topology.Shuffle).
+		Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	otherEv, err := analytic.New(otherTop, cluster.NewUniform(2),
+		map[string]workload.ArrivalProcess{"s": workload.ConstantRate{PerSecond: 10}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	mb := &ModelBased{Top: top, Cl: cl, Rng: rand.New(rand.NewSource(4))}
+	if err := mb.Fit(otherEv); err == nil {
+		t.Fatal("expected dimension mismatch error")
+	}
+}
+
+func TestTrafficAware(t *testing.T) {
+	top, cl, ev := testSystem(t, 600)
+	ta := &TrafficAware{Top: top, Cl: cl}
+	assign, err := ta.Schedule(ev)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(assign) != ev.N() {
+		t.Fatalf("len %d", len(assign))
+	}
+	for _, m := range assign {
+		if m < 0 || m >= ev.M() {
+			t.Fatalf("invalid machine %d", m)
+		}
+	}
+	// The heuristic should keep latency at or below round-robin's since it
+	// co-locates communicating executors.
+	rr, _ := RoundRobin{}.Schedule(ev)
+	if ta2, rr2 := ev.AvgTupleTimeMS(assign), ev.AvgTupleTimeMS(rr); ta2 > rr2*1.1 {
+		t.Fatalf("traffic-aware %.3f much worse than round-robin %.3f", ta2, rr2)
+	}
+	// Load cap honored.
+	counts := make([]int, ev.M())
+	for _, m := range assign {
+		counts[m]++
+	}
+	cap := int(float64((ev.N()+ev.M()-1)/ev.M())*1.5) + 1
+	for m, c := range counts {
+		if c > cap {
+			t.Fatalf("machine %d holds %d executors, cap %d", m, c, cap)
+		}
+	}
+}
+
+func TestSchedulerNames(t *testing.T) {
+	if (RoundRobin{}).Name() != "Default" {
+		t.Fatal("RoundRobin name")
+	}
+	if (Random{}).Name() != "Random" {
+		t.Fatal("Random name")
+	}
+	if (&ModelBased{}).Name() != "Model-based" {
+		t.Fatal("ModelBased name")
+	}
+	if (&TrafficAware{}).Name() != "Traffic-aware" {
+		t.Fatal("TrafficAware name")
+	}
+}
+
+func TestModelBasedAvoidsOverload(t *testing.T) {
+	// On a system whose full consolidation overloads a machine, the
+	// capacity guard must keep the search out of saturated schedules.
+	top, cl, ev := testSystem(t, 2500)
+	mb := &ModelBased{Top: top, Cl: cl, Rng: rand.New(rand.NewSource(7)), Samples: 150}
+	assign, err := mb.Schedule(ev)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !mb.capacityOK(assign, ev.Workload()) {
+		t.Fatalf("model-based chose a schedule violating its own capacity guard: %v", assign)
+	}
+	// The resulting latency must be finite/sane, not an overload artifact.
+	if lat := ev.AvgTupleTimeMS(assign); lat <= 0 || lat > 100 {
+		t.Fatalf("model-based schedule latency %v", lat)
+	}
+}
+
+func TestCapacityOKDetectsHotMachine(t *testing.T) {
+	top, cl, ev := testSystem(t, 2500)
+	mb := &ModelBased{Top: top, Cl: cl, Rng: rand.New(rand.NewSource(8))}
+	n := top.NumExecutors()
+	allOnOne := make([]int, n)
+	if mb.capacityOK(allOnOne, ev.Workload()) {
+		t.Fatal("packing everything on one machine at high rate should violate capacity")
+	}
+	rr := make([]int, n)
+	for i := range rr {
+		rr[i] = i % cl.Size()
+	}
+	if !mb.capacityOK(rr, ev.Workload()) {
+		t.Fatal("round-robin should satisfy capacity")
+	}
+}
+
+func TestModelBasedClipsOutliers(t *testing.T) {
+	// Fit must tolerate environments that return huge overload latencies
+	// for some random schedules.
+	top, cl, ev := testSystem(t, 2500)
+	mb := &ModelBased{Top: top, Cl: cl, Rng: rand.New(rand.NewSource(9)), Samples: 120}
+	if err := mb.Fit(ev); err != nil {
+		t.Fatal(err)
+	}
+	rr := make([]int, top.NumExecutors())
+	for i := range rr {
+		rr[i] = i % cl.Size()
+	}
+	pred := mb.model.Predict(mb.features(rr, ev.Workload()))
+	actual := ev.AvgTupleTimeMS(rr)
+	// Prediction must be in the right ballpark (not dragged to the
+	// overload magnitude by outliers).
+	if pred < actual/4 || pred > actual*4 {
+		t.Fatalf("prediction %v far from actual %v", pred, actual)
+	}
+}

@@ -1,0 +1,93 @@
+package sim
+
+// Fault-tolerance mechanics of §2.1: "if a message ID is marked failure due
+// to acknowledgment timeout, data processing will be recovered by replaying
+// the corresponding data source tuple", and "the master monitors heartbeat
+// signals from all worker processes periodically [and] re-schedules them
+// when it discovers a failure."
+//
+// The simulator reproduces both: an optional ack timeout that replays root
+// tuples whose trees did not complete in time, and machine-failure
+// injection that drops in-flight work on a machine until it recovers.
+
+// EnableAckTimeout turns on tuple-replay fault tolerance: any root tuple
+// not fully acked within timeoutMS of its (re-)emission is marked failed
+// and re-emitted at its originating spout executor. Latency for a replayed
+// tuple is measured from the replay emission, matching how Storm reports
+// complete latency for re-played tuples. Must be called before Deploy.
+func (s *Sim) EnableAckTimeout(timeoutMS float64) {
+	s.ackTimeoutMS = timeoutMS
+}
+
+// Replayed returns the number of root-tuple replays triggered by ack
+// timeouts or machine failures.
+func (s *Sim) Replayed() int64 { return s.replays }
+
+// FailMachine injects a machine failure at the current simulation time: the
+// machine drops every queued and in-flight tuple (their ack trees will time
+// out and replay if ack timeouts are enabled) and its executors stay down
+// for downMS. This models a worker-process crash detected by the master's
+// heartbeat monitoring.
+func (s *Sim) FailMachine(machine int, downMS float64) {
+	until := s.now + downMS
+	s.failedUntil[machine] = until
+	for i := range s.execs {
+		e := &s.execs[i]
+		if e.machine != machine {
+			continue
+		}
+		// Queued tuples are lost; their trees can no longer complete.
+		for _, tup := range e.queue {
+			s.orphanTuple(tup)
+		}
+		e.queue = e.queue[:0]
+		e.pausedUntil = until
+		s.push(event{t: until, kind: evResume, exec: i})
+	}
+}
+
+// orphanTuple removes a tuple's contribution from its ack tree and marks
+// the tree failed. With ack timeouts enabled the entry is kept so the
+// deadline check replays the root; without them a fully-accounted failed
+// tree is dropped.
+func (s *Sim) orphanTuple(tup tupleRef) {
+	ack, ok := s.acks[tup.root]
+	if !ok {
+		return
+	}
+	ack.pending--
+	ack.failed = true
+	if ack.pending <= 0 && s.ackTimeoutMS <= 0 {
+		delete(s.acks, tup.root)
+		s.dropped++
+	}
+}
+
+// checkAck handles an evAckCheck event: any root still outstanding (slow or
+// failed) at its deadline is replayed at its spout executor; completed
+// roots have already left the ack table.
+func (s *Sim) checkAck(root int64, spoutExec, comp int) {
+	if _, ok := s.acks[root]; !ok {
+		return // completed in time
+	}
+	delete(s.acks, root)
+	s.replayRoot(spoutExec, comp)
+}
+
+// replayRoot re-emits a fresh root tuple at the spout executor.
+func (s *Sim) replayRoot(spoutExec, comp int) {
+	s.replays++
+	root := s.nextRoot
+	s.nextRoot++
+	tup := tupleRef{root: root, comp: comp, key: s.rng.Uint64(), emitMS: s.now}
+	s.acks[root] = &ackState{pending: 1, emitMS: s.now}
+	if s.ackTimeoutMS > 0 {
+		s.push(event{t: s.now + s.ackTimeoutMS, kind: evAckCheck, exec: spoutExec, tup: tupleRef{root: root, comp: comp}})
+	}
+	e := &s.execs[spoutExec]
+	e.queue = append(e.queue, tup)
+	s.tryStartService(spoutExec)
+}
+
+// Dropped returns roots lost to failures with ack timeouts disabled.
+func (s *Sim) Dropped() int64 { return s.dropped }

@@ -1,0 +1,122 @@
+package sim
+
+import (
+	"testing"
+
+	"repro/internal/cluster"
+	"repro/internal/workload"
+)
+
+func faultSim(t *testing.T, ackTimeoutMS float64) *Sim {
+	t.Helper()
+	top := chainTopology(t)
+	cl := cluster.NewUniform(3)
+	arr := map[string]workload.ArrivalProcess{"spout": workload.ConstantRate{PerSecond: 150}}
+	cfg := DefaultConfig(top, cl, arr, 21)
+	cfg.WarmupAmplitude = 0
+	cfg.MoveOutageMS = 0
+	s, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ackTimeoutMS > 0 {
+		s.EnableAckTimeout(ackTimeoutMS)
+	}
+	if err := s.Deploy(roundRobin(top.NumExecutors(), 3)); err != nil {
+		t.Fatal(err)
+	}
+	return s
+}
+
+func TestNoReplaysWithoutFaults(t *testing.T) {
+	s := faultSim(t, 30_000) // generous deadline, healthy cluster
+	s.RunUntil(30_000)
+	if s.Replayed() != 0 {
+		t.Fatalf("healthy run replayed %d tuples", s.Replayed())
+	}
+	if s.Completed() == 0 {
+		t.Fatal("no completions")
+	}
+}
+
+func TestMachineFailureTriggersReplays(t *testing.T) {
+	s := faultSim(t, 5_000)
+	s.RunUntil(20_000)
+	before := s.Completed()
+	s.FailMachine(1, 10_000)
+	s.RunUntil(60_000)
+	if s.Replayed() == 0 {
+		t.Fatal("machine failure with ack timeouts should replay lost tuples")
+	}
+	if s.Completed() <= before {
+		t.Fatal("pipeline did not recover after machine failure")
+	}
+	// After recovery, in-flight set must not leak.
+	if len(s.acks) > 1000 {
+		t.Fatalf("%d ack entries outstanding after recovery", len(s.acks))
+	}
+}
+
+func TestMachineFailureWithoutTimeoutDropsTuples(t *testing.T) {
+	s := faultSim(t, 0)
+	// Fail repeatedly so some tuples are reliably in flight on the failed
+	// machine at a failure instant.
+	for i := 0; i < 10; i++ {
+		s.RunUntil(float64(5_000 + i*3_000))
+		s.FailMachine(i%3, 2_000)
+	}
+	s.RunUntil(60_000)
+	if s.Replayed() != 0 {
+		t.Fatal("replays should not occur with timeouts disabled")
+	}
+	if s.Dropped() == 0 {
+		t.Fatal("a failure without ack timeouts should drop tuples")
+	}
+	if s.Completed() == 0 {
+		t.Fatal("surviving machines should keep completing tuples")
+	}
+}
+
+func TestTightAckDeadlineReplaysSlowTuples(t *testing.T) {
+	// A deadline near the typical end-to-end latency forces replays of the
+	// slower tuples even on a healthy cluster (kept short: every replay
+	// re-enters the pipeline).
+	s := faultSim(t, 1.5)
+	s.RunUntil(5_000)
+	if s.Replayed() == 0 {
+		t.Fatal("near-latency ack deadline should trigger replays")
+	}
+	if s.Completed() == 0 {
+		t.Fatal("most tuples should still complete")
+	}
+}
+
+func TestFailedMachineProcessesNothingWhileDown(t *testing.T) {
+	s := faultSim(t, 5_000)
+	s.RunUntil(10_000)
+	s.FailMachine(2, 20_000)
+	s.RunUntil(15_000)
+	for i := range s.execs {
+		e := &s.execs[i]
+		if e.machine == 2 && e.busy {
+			t.Fatalf("executor %d busy on failed machine", i)
+		}
+	}
+	s.RunUntil(60_000)
+	if s.Completed() == 0 {
+		t.Fatal("cluster should keep working")
+	}
+}
+
+func TestReplayLatencyMeasuredFromReplayEmission(t *testing.T) {
+	// Replayed tuples must not poison the latency metric with the full
+	// timeout span: stabilized average should stay far below the deadline.
+	s := faultSim(t, 2_000)
+	s.RunUntil(10_000)
+	s.FailMachine(1, 3_000)
+	s.RunUntil(60_000)
+	avg := s.AvgOverLastWindows(5)
+	if avg <= 0 || avg > 500 {
+		t.Fatalf("post-recovery stabilized latency %v implausible", avg)
+	}
+}

@@ -1,0 +1,95 @@
+package repro_test
+
+import (
+	"testing"
+
+	"repro"
+)
+
+// TestFacadeEndToEnd exercises the public API the way the README's
+// quickstart does: build a system, train briefly, and verify the learned
+// schedule is deployable and measurable.
+func TestFacadeEndToEnd(t *testing.T) {
+	sys, err := repro.ContinuousQueries(repro.Small)
+	if err != nil {
+		t.Fatal(err)
+	}
+	trainEnv, err := repro.NewAnalyticEnv(sys)
+	if err != nil {
+		t.Fatal(err)
+	}
+	agent := repro.NewActorCriticAgent(sys, 42)
+	ctrl := repro.NewController(trainEnv, agent)
+	if err := ctrl.CollectOffline(100); err != nil {
+		t.Fatal(err)
+	}
+	ctrl.OnlineLearn(50, nil)
+	best := ctrl.GreedySolution()
+	if len(best) != trainEnv.N() {
+		t.Fatalf("solution covers %d executors want %d", len(best), trainEnv.N())
+	}
+	simEnv := repro.NewSimEnv(sys, 7)
+	if lat := simEnv.AvgTupleTimeMS(best); lat <= 0 {
+		t.Fatalf("latency %v", lat)
+	}
+}
+
+func TestFacadeCustomTopology(t *testing.T) {
+	top, err := repro.NewTopology("custom").
+		AddSpout("in", 1, 0.05, 1, 100).
+		AddBolt("out", 2, 0.2, 0, 0).
+		Connect("in", "out", repro.Shuffle).
+		Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	sys := &repro.System{
+		Name: "custom", Top: top, Cl: repro.NewCluster(2),
+		Arrivals: map[string]repro.ArrivalProcess{"in": repro.ConstantRate{PerSecond: 100}},
+		BaseRate: 100,
+	}
+	e := repro.NewSimEnv(sys, 1)
+	if e.N() != 3 || e.M() != 2 {
+		t.Fatalf("N=%d M=%d", e.N(), e.M())
+	}
+	rr, err := repro.NewRoundRobinScheduler().Schedule(e)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if lat := e.AvgTupleTimeMS(rr); lat <= 0 {
+		t.Fatalf("latency %v", lat)
+	}
+}
+
+func TestFacadeSchedulers(t *testing.T) {
+	sys, err := repro.ContinuousQueries(repro.Small)
+	if err != nil {
+		t.Fatal(err)
+	}
+	trainEnv, err := repro.NewAnalyticEnv(sys)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, s := range []repro.Scheduler{
+		repro.NewRoundRobinScheduler(),
+		repro.NewTrafficAwareScheduler(sys),
+	} {
+		assign, err := s.Schedule(trainEnv)
+		if err != nil {
+			t.Fatalf("%s: %v", s.Name(), err)
+		}
+		if len(assign) != trainEnv.N() {
+			t.Fatalf("%s: bad assignment length", s.Name())
+		}
+	}
+}
+
+func TestActionSpaceFacade(t *testing.T) {
+	space := repro.NewActionSpace(4, 3)
+	proto := make([]float64, space.Dim())
+	proto[0] = 1 // thread 0 prefers machine 0
+	res := space.KNearest(proto, 3)
+	if len(res) != 3 || res[0][0] != 0 {
+		t.Fatalf("KNearest unexpected: %v", res)
+	}
+}
