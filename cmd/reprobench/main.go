@@ -9,16 +9,21 @@
 //	reprobench -fig summary       # tuple-time figures + aggregate claim
 //	reprobench -fidelity full     # paper-faithful training budgets
 //	reprobench -csv out/          # also write CSV per figure
+//	reprobench -workers 1         # force sequential execution
+//
+// Figure suites fan out on a bounded worker pool (one worker per CPU by
+// default); results are assembled and printed in paper order and are
+// byte-identical for any -workers setting.
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"os"
 	"path/filepath"
 	"strings"
 
-	"repro/internal/apps"
 	"repro/internal/experiments"
 )
 
@@ -27,6 +32,7 @@ func main() {
 	fidelity := flag.String("fidelity", "reduced", "training budget: quick|lite|reduced|full")
 	csvDir := flag.String("csv", "", "directory to write per-figure CSV files (optional)")
 	seed := flag.Int64("seed", 1, "experiment seed")
+	workers := flag.Int("workers", 0, "worker pool size (0 = one per CPU, 1 = sequential)")
 	flag.Parse()
 
 	var cfg experiments.Config
@@ -44,52 +50,43 @@ func main() {
 		os.Exit(2)
 	}
 	cfg.Seed = *seed
+	cfg.Workers = *workers
 	cfg.Progress = os.Stderr
 
-	runners := map[string]func() (*experiments.Result, error){
-		"6a":  func() (*experiments.Result, error) { return experiments.Fig6(apps.Small, cfg) },
-		"6b":  func() (*experiments.Result, error) { return experiments.Fig6(apps.Medium, cfg) },
-		"6c":  func() (*experiments.Result, error) { return experiments.Fig6(apps.Large, cfg) },
-		"7":   func() (*experiments.Result, error) { return experiments.Fig7(cfg) },
-		"8":   func() (*experiments.Result, error) { return experiments.Fig8(cfg) },
-		"9":   func() (*experiments.Result, error) { return experiments.Fig9(cfg) },
-		"10":  func() (*experiments.Result, error) { return experiments.Fig10(cfg) },
-		"11":  func() (*experiments.Result, error) { return experiments.Fig11(cfg) },
-		"12a": func() (*experiments.Result, error) { return experiments.Fig12("cq", cfg) },
-		"12b": func() (*experiments.Result, error) { return experiments.Fig12("log", cfg) },
-		"12c": func() (*experiments.Result, error) { return experiments.Fig12("wc", cfg) },
+	known := map[string]bool{}
+	for _, id := range experiments.FigureIDs {
+		known[id] = true
 	}
-	order := []string{"6a", "6b", "6c", "7", "8", "9", "10", "11", "12a", "12b", "12c"}
-
 	var ids []string
 	switch *fig {
 	case "all":
-		ids = order
+		ids = experiments.FigureIDs
 	case "summary":
-		ids = []string{"6a", "6b", "6c", "8", "10"}
+		ids = experiments.TupleTimeFigureIDs
 	default:
-		if _, ok := runners[*fig]; !ok {
+		if !known[*fig] {
 			fmt.Fprintf(os.Stderr, "unknown -fig %q\n", *fig)
 			os.Exit(2)
 		}
 		ids = []string{*fig}
 	}
 
-	var results []*experiments.Result
-	for _, id := range ids {
-		res, err := runners[id]()
-		if err != nil {
-			fmt.Fprintf(os.Stderr, "figure %s: %v\n", id, err)
-			os.Exit(1)
-		}
-		results = append(results, res)
-		printResult(res)
-		if *csvDir != "" {
-			if err := writeCSV(*csvDir, res); err != nil {
-				fmt.Fprintf(os.Stderr, "csv: %v\n", err)
-				os.Exit(1)
+	// Stream each figure (in paper order) as soon as it and its
+	// predecessors finish: long suites print and persist completed figures
+	// instead of holding everything until the end.
+	results, err := experiments.RunFiguresStream(context.Background(), ids, cfg,
+		func(_ int, res *experiments.Result) {
+			printResult(res)
+			if *csvDir != "" {
+				if err := writeCSV(*csvDir, res); err != nil {
+					fmt.Fprintf(os.Stderr, "csv: %v\n", err)
+					os.Exit(1)
+				}
 			}
-		}
+		})
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "reprobench: %v\n", err)
+		os.Exit(1)
 	}
 
 	if *fig == "all" || *fig == "summary" {

@@ -7,30 +7,49 @@
 //
 //	simulate -app cq-large -scheduler default -minutes 20
 //	simulate -app wc -scheduler ac -minutes 20 -train 500
+//	simulate -app cq-small -scheduler all       # every scheduler, in parallel
+//
+// With -scheduler all, each scheduler's training and deployment runs
+// concurrently on a bounded worker pool and the stabilized latencies are
+// printed as one comparison table (ordered, deterministic for a seed).
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"math/rand"
 	"os"
 
 	"repro"
+	"repro/internal/parallel"
 	"repro/internal/sim"
 )
 
+// allSchedulers is the comparison set run by -scheduler all.
+var allSchedulers = []string{"default", "random", "traffic", "model", "dqn", "ac"}
+
 func main() {
 	app := flag.String("app", "cq-small", "system: cq-small|cq-medium|cq-large|log|wc")
-	scheduler := flag.String("scheduler", "default", "scheduler: default|random|traffic|model|dqn|ac")
+	scheduler := flag.String("scheduler", "default", "scheduler: default|random|traffic|model|dqn|ac|all")
 	minutes := flag.Float64("minutes", 20, "simulated minutes")
 	train := flag.Int("train", 500, "training budget for the learning schedulers")
 	seed := flag.Int64("seed", 1, "simulation seed")
+	workers := flag.Int("workers", 0, "worker pool size for -scheduler all (0 = one per CPU)")
 	flag.Parse()
 
 	sys, err := systemFor(*app)
 	if err != nil {
 		fail(err)
 	}
+
+	if *scheduler == "all" {
+		if err := compareAll(sys, *minutes, *train, *seed, *workers); err != nil {
+			fail(err)
+		}
+		return
+	}
+
 	assign, err := schedule(sys, *scheduler, *train, *seed)
 	if err != nil {
 		fail(err)
@@ -57,6 +76,43 @@ func main() {
 	}
 	fmt.Printf("\nstabilized (last 5 windows): %.3f ms over %d completed tuples\n",
 		s.AvgOverLastWindows(5), s.Completed())
+}
+
+// compareAll trains and deploys every scheduler concurrently (each task owns
+// its agents, environments and simulator) and prints a comparison table in
+// the fixed allSchedulers order.
+func compareAll(sys *repro.System, minutes float64, train int, seed int64, workers int) error {
+	fmt.Printf("%s under all schedulers for %.0f simulated minutes (N=%d, M=%d)\n",
+		sys.Name, minutes, sys.Top.NumExecutors(), sys.Cl.Size())
+	type row struct {
+		stabilized float64
+		completed  int64
+	}
+	rows, err := parallel.Map(context.Background(), len(allSchedulers), workers,
+		func(_ context.Context, i int) (row, error) {
+			assign, err := schedule(sys, allSchedulers[i], train, seed)
+			if err != nil {
+				return row{}, err
+			}
+			cfg := sim.DefaultConfig(sys.Top, sys.Cl, sys.Arrivals, seed)
+			s, err := sim.New(cfg)
+			if err != nil {
+				return row{}, err
+			}
+			if err := s.Deploy(assign); err != nil {
+				return row{}, err
+			}
+			s.RunUntil(minutes * 60_000)
+			return row{stabilized: s.AvgOverLastWindows(5), completed: s.Completed()}, nil
+		})
+	if err != nil {
+		return err
+	}
+	fmt.Println(" scheduler   stabilized (ms)      tuples")
+	for i, r := range rows {
+		fmt.Printf("  %-9s   %12.3f   %10d\n", allSchedulers[i], r.stabilized, r.completed)
+	}
+	return nil
 }
 
 func schedule(sys *repro.System, kind string, train int, seed int64) ([]int, error) {

@@ -16,10 +16,8 @@
 package actionspace
 
 import (
-	"container/heap"
 	"fmt"
 	"math/rand"
-	"sort"
 )
 
 // Space describes the feasible action space for N threads and M machines.
@@ -29,6 +27,10 @@ import (
 type Space struct {
 	N, M     int
 	Capacity []int // optional, len M
+
+	// knn is the reusable k-smallest-sums workspace; because of it a Space
+	// must not run KNearest searches concurrently from multiple goroutines.
+	knn knnScratch
 }
 
 // NewSpace returns an unconstrained N×M action space.
@@ -198,18 +200,69 @@ type knnNode struct {
 	frontier int     // rows < frontier are frozen (dedup rule)
 }
 
-type knnHeap []*knnNode
+// knnScratch is the reusable workspace of the k-smallest-sums search. It is
+// owned by the Space, so a Space must not run KNearest searches from
+// multiple goroutines concurrently (each agent owns its own Space, and the
+// parallel experiment engine never shares agents across workers).
+type knnScratch struct {
+	choices []rowChoice // N·M backing, row i at [i·M, (i+1)·M)
+	heap    []*knnNode  // binary min-heap by delta
+	free    []*knnNode  // node pool
+	counts  []int       // per-machine load buffer for feasibility checks
+}
 
-func (h knnHeap) Len() int            { return len(h) }
-func (h knnHeap) Less(i, j int) bool  { return h[i].delta < h[j].delta }
-func (h knnHeap) Swap(i, j int)       { h[i], h[j] = h[j], h[i] }
-func (h *knnHeap) Push(x interface{}) { *h = append(*h, x.(*knnNode)) }
-func (h *knnHeap) Pop() interface{} {
-	old := *h
-	n := len(old)
-	x := old[n-1]
-	*h = old[:n-1]
-	return x
+func (sc *knnScratch) get(n int) *knnNode {
+	if l := len(sc.free); l > 0 {
+		nd := sc.free[l-1]
+		sc.free = sc.free[:l-1]
+		return nd
+	}
+	return &knnNode{ptrs: make([]int16, n)}
+}
+
+func (sc *knnScratch) put(nd *knnNode) { sc.free = append(sc.free, nd) }
+
+// heapPush inserts nd into the typed min-heap (no interface boxing).
+func (sc *knnScratch) heapPush(nd *knnNode) {
+	h := append(sc.heap, nd)
+	i := len(h) - 1
+	for i > 0 {
+		parent := (i - 1) / 2
+		if h[parent].delta <= h[i].delta {
+			break
+		}
+		h[parent], h[i] = h[i], h[parent]
+		i = parent
+	}
+	sc.heap = h
+}
+
+// heapPop removes and returns the minimum-delta node.
+func (sc *knnScratch) heapPop() *knnNode {
+	h := sc.heap
+	top := h[0]
+	last := len(h) - 1
+	h[0] = h[last]
+	h[last] = nil
+	h = h[:last]
+	i := 0
+	for {
+		l, r := 2*i+1, 2*i+2
+		small := i
+		if l < len(h) && h[l].delta < h[small].delta {
+			small = l
+		}
+		if r < len(h) && h[r].delta < h[small].delta {
+			small = r
+		}
+		if small == i {
+			break
+		}
+		h[i], h[small] = h[small], h[i]
+		i = small
+	}
+	sc.heap = h
+	return top
 }
 
 // maxExpansions bounds the search when capacity constraints make many
@@ -222,73 +275,143 @@ const maxExpansions = 200000
 // paper's series of MIQP-NN problems (§3.2.1). Fewer than k results are
 // returned only if the (capacity-constrained) space is exhausted or the
 // expansion budget is hit.
+//
+// KNearest and KNearestInto reuse a search workspace owned by the Space
+// and are therefore NOT safe for concurrent use on a shared Space; give
+// each goroutine (each agent) its own Space.
 func (s *Space) KNearest(proto []float64, k int) [][]int {
+	return s.KNearestInto(proto, k, nil)
+}
+
+// KNearestInto is KNearest with caller-owned result storage: dst's backing
+// slices are reused when large enough, so a training loop that calls it with
+// the same dst every mini-batch performs no steady-state allocations. The
+// returned slice (a resliced dst) and its contents are valid until the next
+// call with the same dst.
+func (s *Space) KNearestInto(proto []float64, k int, dst [][]int) [][]int {
 	if len(proto) != s.Dim() {
 		panic(fmt.Sprintf("actionspace: KNearest got dim %d want %d", len(proto), s.Dim()))
 	}
 	if k <= 0 {
-		return nil
+		return dst[:0]
 	}
+	sc := &s.knn
 	// Per-row sorted column choices. Within row i the squared distance of
 	// choosing column j is 1 − 2·â_ij + ‖â_i‖²; the constant terms are
 	// shared, so choices sort by −â_ij. Deltas store the exact distance
-	// difference to the row optimum: Δ = 2(â_i,best − â_ij).
-	choices := make([][]rowChoice, s.N)
+	// difference to the row optimum: Δ = 2(â_i,best − â_ij). M is small, so
+	// an insertion sort is both allocation-free and fastest.
+	if cap(sc.choices) < s.N*s.M {
+		sc.choices = make([]rowChoice, s.N*s.M)
+	}
+	choices := sc.choices[:s.N*s.M]
 	for i := 0; i < s.N; i++ {
 		row := proto[i*s.M : (i+1)*s.M]
-		cs := make([]rowChoice, s.M)
+		cs := choices[i*s.M : (i+1)*s.M]
 		for j := 0; j < s.M; j++ {
 			cs[j] = rowChoice{col: j, delta: -2 * row[j]}
 		}
-		sort.Slice(cs, func(a, b int) bool {
-			if cs[a].delta != cs[b].delta {
-				return cs[a].delta < cs[b].delta
+		for a := 1; a < len(cs); a++ {
+			x := cs[a]
+			b := a - 1
+			for b >= 0 && (cs[b].delta > x.delta || (cs[b].delta == x.delta && cs[b].col > x.col)) {
+				cs[b+1] = cs[b]
+				b--
 			}
-			return cs[a].col < cs[b].col
-		})
+			cs[b+1] = x
+		}
 		base := cs[0].delta
 		for j := range cs {
 			cs[j].delta -= base
 		}
-		choices[i] = cs
 	}
 
-	assignOf := func(ptrs []int16) []int {
-		a := make([]int, s.N)
-		for i, p := range ptrs {
-			a[i] = choices[i][p].col
+	// appendAssign materializes a pointer vector into dst, reusing backing
+	// storage from previous calls where possible.
+	appendAssign := func(ptrs []int16) {
+		var a []int
+		if len(dst) < cap(dst) {
+			dst = dst[:len(dst)+1]
+			a = dst[len(dst)-1]
+			if cap(a) >= s.N {
+				a = a[:s.N]
+				dst[len(dst)-1] = a
+			} else {
+				a = make([]int, s.N)
+				dst[len(dst)-1] = a
+			}
+		} else {
+			a = make([]int, s.N)
+			dst = append(dst, a)
 		}
-		return a
+		for i, p := range ptrs {
+			a[i] = choices[i*s.M+int(p)].col
+		}
 	}
 
-	h := &knnHeap{{delta: 0, ptrs: make([]int16, s.N), frontier: 0}}
-	heap.Init(h)
-	var out [][]int
+	if cap(sc.counts) < s.M {
+		sc.counts = make([]int, s.M)
+	}
+	// feasible checks capacity directly on the pointer vector (columns are
+	// valid by construction), reusing the counts buffer: the capacity-
+	// constrained search is exactly the one that expands many nodes, so it
+	// must not allocate per expansion.
+	feasible := func(ptrs []int16) bool {
+		if s.Capacity == nil {
+			return true
+		}
+		counts := sc.counts[:s.M]
+		for j := range counts {
+			counts[j] = 0
+		}
+		for i, p := range ptrs {
+			counts[choices[i*s.M+int(p)].col]++
+		}
+		for j, c := range counts {
+			if c > s.Capacity[j] {
+				return false
+			}
+		}
+		return true
+	}
+
+	dst = dst[:0]
+	root := sc.get(s.N)
+	root.delta = 0
+	root.frontier = 0
+	for i := range root.ptrs {
+		root.ptrs[i] = 0
+	}
+	sc.heapPush(root)
 	expansions := 0
-	for h.Len() > 0 && len(out) < k && expansions < maxExpansions {
-		node := heap.Pop(h).(*knnNode)
+	for len(sc.heap) > 0 && len(dst) < k && expansions < maxExpansions {
+		node := sc.heapPop()
 		expansions++
-		a := assignOf(node.ptrs)
-		if s.Capacity == nil || s.Feasible(a) {
-			out = append(out, a)
+		if feasible(node.ptrs) {
+			appendAssign(node.ptrs)
 		}
 		// Children: advance one row pointer at or beyond the frontier. The
 		// frontier rule generates each pointer vector exactly once.
 		for r := node.frontier; r < s.N; r++ {
 			p := node.ptrs[r]
-			if int(p)+1 >= len(choices[r]) {
+			if int(p)+1 >= s.M {
 				continue
 			}
-			child := &knnNode{
-				delta:    node.delta - choices[r][p].delta + choices[r][p+1].delta,
-				ptrs:     append([]int16(nil), node.ptrs...),
-				frontier: r,
-			}
+			child := sc.get(s.N)
+			child.delta = node.delta - choices[r*s.M+int(p)].delta + choices[r*s.M+int(p)+1].delta
+			child.frontier = r
+			copy(child.ptrs, node.ptrs)
 			child.ptrs[r]++
-			heap.Push(h, child)
+			sc.heapPush(child)
 		}
+		sc.put(node)
 	}
-	return out
+	// Drain leftover heap nodes back into the pool for the next search.
+	for _, nd := range sc.heap {
+		sc.put(nd)
+	}
+	sc.heap = sc.heap[:0]
+	return dst
 }
 
 // Nearest is the K=1 fast path: the single nearest feasible assignment.

@@ -5,6 +5,7 @@ import (
 	"math/rand"
 
 	"repro/internal/actionspace"
+	"repro/internal/mat"
 	"repro/internal/nn"
 	"repro/internal/rl"
 )
@@ -80,6 +81,29 @@ type ActorCritic struct {
 	// scratch
 	batch []rl.Transition
 	sa    []float64 // concat(state, action) input for the critic
+	sc    acScratch
+}
+
+// acScratch holds the preallocated minibatch workspaces of trainOnce; all
+// buffers are sized on first use and reused while the batch size stays
+// constant, so steady-state training does not allocate.
+type acScratch struct {
+	states, nextStates *mat.Matrix // H×sdim minibatch states
+	saCand             *mat.Matrix // (H·K)×(sdim+adim) candidate-scoring rows
+	saCandView         mat.Matrix  // rows-trimmed view of saCand
+	sa                 *mat.Matrix // H×(sdim+adim) critic inputs
+	dQ                 *mat.Matrix // H×1 critic output gradients
+	ones               *mat.Matrix // H×1 unit output gradients (∇â Q probe)
+	dProto             *mat.Matrix // H×adim actor upstream gradients
+	targets            []float64
+	candCount          []int
+	knn                [][]int
+
+	// Action-selection scratch (SelectAssignment/Greedy run once per
+	// decision epoch; only the chosen assignment and the recorded one-hot
+	// action escape, so everything else is reused).
+	selState, selProto, selNoise, selFlat []float64
+	selKnn                                [][]int
 }
 
 // NewActorCritic builds the agent for an N×M action space with numSpouts
@@ -128,13 +152,14 @@ func (a *ActorCritic) qValue(net *nn.Network, state, action []float64) float64 {
 
 // SelectAssignment implements Agent: Algorithm 1 lines 8–11.
 func (a *ActorCritic) SelectAssignment(assign []int, work []float64) []int {
-	state := a.codec.Encode(assign, work, nil)
-	proto := a.actor.ForwardCopy(state)
+	state := a.codec.Encode(assign, work, ensureFloats(&a.sc.selState, a.codec.Dim()))
+	proto := ensureFloats(&a.sc.selProto, a.space.Dim())
+	copy(proto, a.actor.Forward(state))
 	// Line 9: exploration R(â) = â + ε·I, applied with probability ε; each
 	// element of I is uniform in [0,1] (§3.2.1).
 	eps := a.cfg.Epsilon.At(a.epoch)
 	if a.ou != nil {
-		noise := make([]float64, len(proto))
+		noise := ensureFloats(&a.sc.selNoise, len(proto))
 		a.ou.Sample(a.rng, noise)
 		for i := range proto {
 			proto[i] += eps * noise[i]
@@ -144,11 +169,22 @@ func (a *ActorCritic) SelectAssignment(assign []int, work []float64) []int {
 			proto[i] += eps * a.rng.Float64()
 		}
 	}
+	chosen := a.criticArgmax(state, proto)
+	a.lastAction = a.space.Encode(chosen, nil)
+	a.epoch++
+	return chosen
+}
+
+// criticArgmax performs lines 10–11: K-NN candidates of the proto-action,
+// critic argmax over them. The returned assignment is caller-owned (copied
+// out of the selection scratch).
+func (a *ActorCritic) criticArgmax(state, proto []float64) []int {
 	// Line 10: K nearest feasible actions of the proto-action.
-	cands := a.space.KNearest(proto, a.cfg.K)
+	a.sc.selKnn = a.space.KNearestInto(proto, a.cfg.K, a.sc.selKnn)
+	cands := a.sc.selKnn
 	// Line 11: critic argmax over the candidate set.
 	bestIdx, bestQ := 0, 0.0
-	flat := make([]float64, a.space.Dim())
+	flat := ensureFloats(&a.sc.selFlat, a.space.Dim())
 	for i, cand := range cands {
 		a.space.Encode(cand, flat)
 		q := a.qValue(a.critic, state, flat)
@@ -156,10 +192,7 @@ func (a *ActorCritic) SelectAssignment(assign []int, work []float64) []int {
 			bestIdx, bestQ = i, q
 		}
 	}
-	chosen := cands[bestIdx]
-	a.lastAction = a.space.Encode(chosen, nil)
-	a.epoch++
-	return chosen
+	return append([]int(nil), cands[bestIdx]...)
 }
 
 // RandomAssignment implements Agent: a random scheduling solution for
@@ -217,31 +250,68 @@ func (a *ActorCritic) trainOnce() {
 		return
 	}
 	a.batch = a.buffer.Sample(a.rng, a.cfg.BatchSize, a.batch)
-	h := float64(len(a.batch))
-	flat := make([]float64, a.space.Dim())
+	hN := len(a.batch)
+	h := float64(hN)
+	sdim := a.codec.Dim()
+	adim := a.space.Dim()
+
+	st := ensureMat(&a.sc.states, hN, sdim)
+	nx := ensureMat(&a.sc.nextStates, hN, sdim)
+	for i, tr := range a.batch {
+		copy(st.Row(i), tr.State)
+		copy(nx.Row(i), tr.NextState)
+	}
 
 	// Line 15: targets y_i = r_i + γ·max_{a∈A_K(f′(s_{i+1}))} Q′(s_{i+1}, a).
-	targets := make([]float64, len(a.batch))
+	// One batched target-actor pass over the H next states, then one batched
+	// target-critic pass over all H·K candidate (s′, a) rows, instead of
+	// H·(1+K) per-sample forwards.
+	protoNext := a.actorT.ForwardBatch(nx)
+	saCand := ensureMat(&a.sc.saCand, hN*a.cfg.K, sdim+adim)
+	candCount := ensureInts(&a.sc.candCount, hN)
+	rows := 0
+	for i := range a.batch {
+		a.sc.knn = a.space.KNearestInto(protoNext.Row(i), a.cfg.K, a.sc.knn)
+		candCount[i] = len(a.sc.knn)
+		for _, cand := range a.sc.knn {
+			row := saCand.Row(rows)
+			copy(row[:sdim], a.batch[i].NextState)
+			a.space.Encode(cand, row[sdim:])
+			rows++
+		}
+	}
+	// KNearest can return fewer than K candidates under capacity
+	// constraints; score only the rows actually filled.
+	a.sc.saCandView = mat.Matrix{Rows: rows, Cols: sdim + adim, Data: saCand.Data[:rows*(sdim+adim)]}
+	qCand := a.criticT.ForwardBatch(&a.sc.saCandView)
+	targets := ensureFloats(&a.sc.targets, hN)
+	rows = 0
 	for i, tr := range a.batch {
-		protoNext := a.actorT.ForwardCopy(tr.NextState)
-		cands := a.space.KNearest(protoNext, a.cfg.K)
 		best := 0.0
-		for j, cand := range cands {
-			a.space.Encode(cand, flat)
-			q := a.qValue(a.criticT, tr.NextState, flat)
-			if j == 0 || q > best {
+		for j := 0; j < candCount[i]; j++ {
+			if q := qCand.Row(rows)[0]; j == 0 || q > best {
 				best = q
 			}
+			rows++
 		}
 		targets[i] = tr.Reward + a.cfg.Gamma*best
 	}
 
-	// Line 16: critic regression toward the targets (MSE).
-	a.critic.ZeroGrads()
+	// Line 16: critic regression toward the targets (MSE), one batched
+	// forward/backward pair.
+	sa := ensureMat(&a.sc.sa, hN, sdim+adim)
 	for i, tr := range a.batch {
-		q := a.qValue(a.critic, tr.State, tr.Action)
-		a.critic.Backward([]float64{(q - targets[i]) / h}, 1)
+		row := sa.Row(i)
+		copy(row[:sdim], tr.State)
+		copy(row[sdim:], tr.Action)
 	}
+	qs := a.critic.ForwardBatch(sa)
+	dQ := ensureMat(&a.sc.dQ, hN, 1)
+	for i := range a.batch {
+		dQ.Row(i)[0] = (qs.Row(i)[0] - targets[i]) / h
+	}
+	a.critic.ZeroGrads()
+	a.critic.BackwardBatch(dQ, 1)
 	if a.cfg.GradClip > 0 {
 		a.critic.ClipGrads(a.cfg.GradClip)
 	}
@@ -249,24 +319,30 @@ func (a *ActorCritic) trainOnce() {
 
 	// Line 17: deterministic policy gradient
 	// ∇θπ f ≈ 1/H Σ ∇â Q(s, â)|â=f(s_i) · ∇θπ f(s)|s_i.
-	a.actor.ZeroGrads()
-	for _, tr := range a.batch {
-		proto := a.actor.ForwardCopy(tr.State)
-		// ∇â Q: run the critic forward on (s, â) and backprop a unit
-		// output gradient to its inputs with weight-gradient scale 0; the
-		// action slice of the input gradient is ∇â Q.
-		copy(a.sa[:len(tr.State)], tr.State)
-		copy(a.sa[len(tr.State):], proto)
-		a.critic.Forward(a.sa)
-		dIn := a.critic.Backward([]float64{1}, 0) // scale 0: no weight grads
-		gradA := dIn[len(tr.State):]
-		// Ascend Q: upstream gradient for the actor is −∇â Q (we minimize).
-		up := make([]float64, len(gradA))
-		for j := range up {
-			up[j] = -gradA[j] / h
-		}
-		a.actor.Backward(up, 1)
+	// ∇â Q for all samples at once: critic forward on (s, f(s)) rows, then a
+	// unit-output-gradient backward with weight-gradient scale 0; the action
+	// columns of the critic's input gradient are ∇â Q.
+	proto := a.actor.ForwardBatch(st)
+	for i, tr := range a.batch {
+		row := sa.Row(i)
+		copy(row[:sdim], tr.State)
+		copy(row[sdim:], proto.Row(i))
 	}
+	a.critic.ForwardBatch(sa)
+	ones := ensureMat(&a.sc.ones, hN, 1)
+	ones.Fill(1)
+	dIn := a.critic.BackwardBatch(ones, 0) // scale 0: no weight grads
+	dProto := ensureMat(&a.sc.dProto, hN, adim)
+	for i := 0; i < hN; i++ {
+		gradA := dIn.Row(i)[sdim:]
+		// Ascend Q: upstream gradient for the actor is −∇â Q (we minimize).
+		up := dProto.Row(i)
+		for j, g := range gradA {
+			up[j] = -g / h
+		}
+	}
+	a.actor.ZeroGrads()
+	a.actor.BackwardBatch(dProto, 1)
 	if a.cfg.GradClip > 0 {
 		a.actor.ClipGrads(a.cfg.GradClip)
 	}
@@ -281,19 +357,10 @@ func (a *ActorCritic) trainOnce() {
 // action without noise, K-NN, critic argmax. Used to extract the final
 // scheduling solution of a trained agent.
 func (a *ActorCritic) Greedy(assign []int, work []float64) []int {
-	state := a.codec.Encode(assign, work, nil)
-	proto := a.actor.ForwardCopy(state)
-	cands := a.space.KNearest(proto, a.cfg.K)
-	bestIdx, bestQ := 0, 0.0
-	flat := make([]float64, a.space.Dim())
-	for i, cand := range cands {
-		a.space.Encode(cand, flat)
-		q := a.qValue(a.critic, state, flat)
-		if i == 0 || q > bestQ {
-			bestIdx, bestQ = i, q
-		}
-	}
-	return cands[bestIdx]
+	state := a.codec.Encode(assign, work, ensureFloats(&a.sc.selState, a.codec.Dim()))
+	proto := ensureFloats(&a.sc.selProto, a.space.Dim())
+	copy(proto, a.actor.Forward(state))
+	return a.criticArgmax(state, proto)
 }
 
 // Networks returns the four networks (actor, actor target, critic, critic

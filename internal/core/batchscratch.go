@@ -1,0 +1,29 @@
+package core
+
+import "repro/internal/mat"
+
+// ensureMat returns *m resized to rows×cols, reallocating only when the
+// shape changes. Training loops use a fixed mini-batch size, so after the
+// first call every mini-batch update reuses the same backing storage.
+func ensureMat(m **mat.Matrix, rows, cols int) *mat.Matrix {
+	if *m == nil || (*m).Rows != rows || (*m).Cols != cols {
+		*m = mat.NewMatrix(rows, cols)
+	}
+	return *m
+}
+
+// ensureFloats resizes a float scratch slice.
+func ensureFloats(s *[]float64, n int) []float64 {
+	if cap(*s) < n {
+		*s = make([]float64, n)
+	}
+	return (*s)[:n]
+}
+
+// ensureInts resizes an int scratch slice.
+func ensureInts(s *[]int, n int) []int {
+	if cap(*s) < n {
+		*s = make([]int, n)
+	}
+	return (*s)[:n]
+}

@@ -1,0 +1,53 @@
+package core
+
+import (
+	"math/rand"
+	"testing"
+)
+
+// fillBuffer seeds an agent's replay buffer with enough random transitions
+// that TrainStep performs real mini-batch updates.
+func fillBuffer(agent Agent, n, m, numSpouts, count int, seed int64) {
+	rng := rand.New(rand.NewSource(seed))
+	assign := make([]int, n)
+	for i := range assign {
+		assign[i] = i % m
+	}
+	work := make([]float64, numSpouts)
+	for i := range work {
+		work[i] = 100 + 10*rng.Float64()
+	}
+	for i := 0; i < count; i++ {
+		next := agent.RandomAssignment(assign)
+		agent.Observe(assign, work, -(1 + rng.Float64()), next, work)
+		assign = next
+	}
+}
+
+// BenchmarkTrainStepAC measures one actor-critic mini-batch update
+// (Algorithm 1 lines 14-18) at the small continuous-queries scale
+// (N=20 executors, M=6 machines).
+func BenchmarkTrainStepAC(b *testing.B) {
+	cfg := DefaultACConfig()
+	cfg.UpdatesPerStep = 1
+	a := NewActorCritic(20, 6, 2, cfg, 1)
+	fillBuffer(a, 20, 6, 2, 2*cfg.BatchSize, 2)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		a.TrainStep()
+	}
+}
+
+// BenchmarkTrainStepDQN measures one DQN mini-batch update at the same
+// scale.
+func BenchmarkTrainStepDQN(b *testing.B) {
+	cfg := DefaultDQNConfig()
+	d := NewDQN(20, 6, 2, cfg, 1)
+	fillBuffer(d, 20, 6, 2, 2*cfg.BatchSize, 2)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		d.TrainStep()
+	}
+}

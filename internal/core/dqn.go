@@ -4,6 +4,7 @@ import (
 	"math/rand"
 
 	"repro/internal/actionspace"
+	"repro/internal/mat"
 	"repro/internal/nn"
 	"repro/internal/rl"
 )
@@ -67,6 +68,16 @@ type DQN struct {
 	lastMove int // flat move index recorded by the last selection
 
 	batch []rl.Transition
+	sc    dqnScratch
+}
+
+// dqnScratch holds TrainStep's preallocated minibatch workspaces (see
+// acScratch; same reuse discipline).
+type dqnScratch struct {
+	states, nextStates *mat.Matrix // H×sdim
+	dOut               *mat.Matrix // H×|A| output gradients (one nonzero/row)
+	targets            []float64
+	argmax             []int
 }
 
 // NewDQN builds the baseline agent for an N×M space with numSpouts data
@@ -144,35 +155,58 @@ func (d *DQN) AddTransition(t rl.Transition) {
 	d.buffer.Add(t)
 }
 
-// TrainStep implements Agent: one mini-batch Q-learning update.
+// TrainStep implements Agent: one mini-batch Q-learning update, executed as
+// batched network passes (one target-network forward over the H next
+// states, one online forward/backward pair over the H states) instead of
+// 2–3 per-sample passes per transition.
 func (d *DQN) TrainStep() {
 	if d.buffer.Len() < d.cfg.BatchSize {
 		return
 	}
 	d.batch = d.buffer.Sample(d.rng, d.cfg.BatchSize, d.batch)
-	h := float64(len(d.batch))
-	d.qnet.ZeroGrads()
-	dOut := make([]float64, d.space.Dim())
-	for _, tr := range d.batch {
-		// Target: y = r + γ·max_a Q′(s′, a); with double Q-learning the
-		// argmax comes from the online network and the value from the
-		// target network [23].
-		var y float64
-		if d.cfg.Double {
-			aStar := argmaxIdx(d.qnet.Forward(tr.NextState))
-			y = tr.Reward + d.cfg.Gamma*d.qtarget.Forward(tr.NextState)[aStar]
-		} else {
-			qNext := d.qtarget.Forward(tr.NextState)
-			y = tr.Reward + d.cfg.Gamma*qNext[argmaxIdx(qNext)]
-		}
-		q := d.qnet.Forward(tr.State)
-		move := int(tr.Action[0])
-		for i := range dOut {
-			dOut[i] = 0
-		}
-		dOut[move] = (q[move] - y) / h
-		d.qnet.Backward(dOut, 1)
+	hN := len(d.batch)
+	h := float64(hN)
+	sdim := d.codec.Dim()
+	st := ensureMat(&d.sc.states, hN, sdim)
+	nx := ensureMat(&d.sc.nextStates, hN, sdim)
+	for i, tr := range d.batch {
+		copy(st.Row(i), tr.State)
+		copy(nx.Row(i), tr.NextState)
 	}
+
+	// Targets: y = r + γ·max_a Q′(s′, a); with double Q-learning the argmax
+	// comes from the online network and the value from the target network
+	// [23].
+	targets := ensureFloats(&d.sc.targets, hN)
+	if d.cfg.Double {
+		// The online net's batch caches are overwritten by the state forward
+		// below; only the argmax indices are kept, so that is safe.
+		qOnline := d.qnet.ForwardBatch(nx)
+		argmax := ensureInts(&d.sc.argmax, hN)
+		for i := 0; i < hN; i++ {
+			argmax[i] = argmaxIdx(qOnline.Row(i))
+		}
+		qT := d.qtarget.ForwardBatch(nx)
+		for i, tr := range d.batch {
+			targets[i] = tr.Reward + d.cfg.Gamma*qT.Row(i)[argmax[i]]
+		}
+	} else {
+		qT := d.qtarget.ForwardBatch(nx)
+		for i, tr := range d.batch {
+			row := qT.Row(i)
+			targets[i] = tr.Reward + d.cfg.Gamma*row[argmaxIdx(row)]
+		}
+	}
+
+	q := d.qnet.ForwardBatch(st)
+	dOut := ensureMat(&d.sc.dOut, hN, d.space.Dim())
+	dOut.Zero()
+	for i, tr := range d.batch {
+		move := int(tr.Action[0])
+		dOut.Row(i)[move] = (q.Row(i)[move] - targets[i]) / h
+	}
+	d.qnet.ZeroGrads()
+	d.qnet.BackwardBatch(dOut, 1)
 	if d.cfg.GradClip > 0 {
 		d.qnet.ClipGrads(d.cfg.GradClip)
 	}

@@ -1,0 +1,88 @@
+package experiments
+
+import (
+	"context"
+	"reflect"
+	"testing"
+
+	"repro/internal/apps"
+)
+
+// tinyConfig is the smallest configuration that exercises every stage of a
+// tuple-time figure (model-based fit, DQN + actor-critic training, four DES
+// deployments); the determinism test runs the whole pipeline twice, and in
+// CI it runs under -race.
+func tinyConfig() Config {
+	return Config{
+		OfflineSamples: 120,
+		OnlineEpochs:   60,
+		MBSamples:      40,
+		CurveMinutes:   2,
+		MeasureSigma:   0.02,
+		WorkloadJitter: 0.5,
+		Seed:           1,
+	}
+}
+
+// TestParallelFigureMatchesSequential is the determinism guarantee of the
+// parallel experiment engine: every task owns its RNGs and results are
+// assembled by index, so a fully parallel run must be *identical* — every
+// curve point, every stabilized value — to a sequential (Workers=1) run
+// with the same seed.
+func TestParallelFigureMatchesSequential(t *testing.T) {
+	seqCfg := tinyConfig()
+	seqCfg.Workers = 1
+	parCfg := tinyConfig()
+	parCfg.Workers = 8
+
+	seq, err := Fig6(context.Background(), apps.Small, seqCfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	par, err := Fig6(context.Background(), apps.Small, parCfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(seq, par) {
+		for i := range seq.Series {
+			if !reflect.DeepEqual(seq.Series[i], par.Series[i]) {
+				t.Errorf("series %q differs between sequential and parallel runs", seq.Series[i].Name)
+			}
+		}
+		t.Fatalf("parallel figure output differs from sequential:\nsequential stabilized: %v\nparallel stabilized:   %v",
+			seq.Stabilized, par.Stabilized)
+	}
+}
+
+// TestRunFiguresMatchesIndividualRuns: the suite-level fan-out must return
+// the same results, in input order, as running each figure alone.
+func TestRunFiguresMatchesIndividualRuns(t *testing.T) {
+	cfg := tinyConfig()
+	ids := []string{"6a", "12a"}
+
+	suite, err := RunFigures(context.Background(), ids, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(suite) != len(ids) {
+		t.Fatalf("got %d results for %d ids", len(suite), len(ids))
+	}
+	for i, id := range ids {
+		alone, err := Run(context.Background(), id, cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !reflect.DeepEqual(suite[i], alone) {
+			t.Fatalf("figure %s from RunFigures differs from a standalone run", id)
+		}
+	}
+}
+
+// TestRunFiguresUnknownID: a bad id must fail the whole suite with a
+// helpful error rather than panic mid-pool.
+func TestRunFiguresUnknownID(t *testing.T) {
+	_, err := RunFigures(context.Background(), []string{"99x"}, tinyConfig())
+	if err == nil {
+		t.Fatal("expected an error for unknown figure id")
+	}
+}

@@ -11,14 +11,17 @@
 package experiments
 
 import (
+	"context"
 	"fmt"
 	"io"
 	"math/rand"
+	"sync"
 
 	"repro/internal/analytic"
 	"repro/internal/apps"
 	"repro/internal/core"
 	"repro/internal/env"
+	"repro/internal/parallel"
 	"repro/internal/sched"
 	"repro/internal/sim"
 	"repro/internal/workload"
@@ -48,6 +51,13 @@ type Config struct {
 	// epoch); reduced-budget configurations compensate with more updates.
 	ACUpdates int
 	Seed      int64
+	// Workers bounds the experiment engine's worker pool: scheduler
+	// training, deployment simulations and (via RunFigures) whole figures
+	// run concurrently on up to Workers goroutines. Zero means one worker
+	// per CPU (GOMAXPROCS); 1 forces fully sequential execution. Every
+	// task owns its RNGs and results are assembled by index, so the output
+	// is byte-identical for every Workers setting (see PERFORMANCE.md).
+	Workers int
 	// Progress, if non-nil, receives human-readable progress lines.
 	Progress io.Writer
 }
@@ -101,8 +111,14 @@ func Quick() Config {
 	}
 }
 
+// progressMu serializes progress lines: figure pipelines run concurrently
+// and usually share one Progress writer (stderr).
+var progressMu sync.Mutex
+
 func (c Config) logf(format string, args ...interface{}) {
 	if c.Progress != nil {
+		progressMu.Lock()
+		defer progressMu.Unlock()
 		fmt.Fprintf(c.Progress, format+"\n", args...)
 	}
 }
@@ -240,55 +256,70 @@ type solutionSet struct {
 	dqnRewards  []float64
 }
 
-func solutions(sys *apps.System, cfg Config, epochs int) (*solutionSet, error) {
+func solutions(ctx context.Context, sys *apps.System, cfg Config, epochs int) (*solutionSet, error) {
 	n, m := sys.Top.NumExecutors(), sys.Cl.Size()
 	numSpouts := sys.NumSpouts()
-	out := &solutionSet{assignments: map[string][]int{}}
 
 	// Default: Storm's round-robin.
 	rr := make([]int, n)
 	for i := range rr {
 		rr[i] = i % m
 	}
-	out.assignments["Default"] = rr
 
-	// Model-based [25].
-	te, err := newTrainEnv(sys)
+	// The three trained schedulers are independent: each task builds its
+	// own environment and agent from its own seed, so they fan out on the
+	// worker pool. Results land in per-task variables and are assembled
+	// into the map after the pool drains (map writes are not concurrent).
+	var (
+		mbAssign           []int
+		dqnTrained, acQual *trained
+	)
+	err := parallel.Run(ctx, cfg.Workers,
+		func() error {
+			// Model-based [25].
+			te, err := newTrainEnv(sys)
+			if err != nil {
+				return err
+			}
+			mb := &sched.ModelBased{
+				Top: sys.Top, Cl: sys.Cl,
+				Rng:     rand.New(rand.NewSource(cfg.Seed + 300)),
+				Samples: cfg.MBSamples,
+			}
+			cfg.logf("  fitting model-based scheduler (%d samples)", cfg.MBSamples)
+			mbAssign, err = mb.Schedule(&env.Noisy{Environment: te, Sigma: cfg.MeasureSigma,
+				Rng: rand.New(rand.NewSource(cfg.Seed + 301))})
+			return err
+		},
+		func() error {
+			// DQN-based DRL (§3.2).
+			cfg.logf("  training DQN agent (%d offline, %d online)", cfg.OfflineSamples, max(epochs, cfg.OnlineEpochs))
+			dqn := core.NewDQN(n, m, numSpouts, core.DefaultDQNConfig(), cfg.Seed+400)
+			var err error
+			dqnTrained, err = trainAgent(sys, dqn, cfg, epochs)
+			return err
+		},
+		func() error {
+			// Actor-critic-based DRL (Algorithm 1).
+			cfg.logf("  training actor-critic agent (%d offline, %d online)", cfg.OfflineSamples, max(epochs, cfg.OnlineEpochs))
+			ac := core.NewActorCritic(n, m, numSpouts, cfg.acConfig(), cfg.Seed+500)
+			var err error
+			acQual, err = trainAgent(sys, ac, cfg, epochs)
+			return err
+		},
+	)
 	if err != nil {
 		return nil, err
 	}
-	mb := &sched.ModelBased{
-		Top: sys.Top, Cl: sys.Cl,
-		Rng:     rand.New(rand.NewSource(cfg.Seed + 300)),
-		Samples: cfg.MBSamples,
-	}
-	cfg.logf("  fitting model-based scheduler (%d samples)", cfg.MBSamples)
-	mbAssign, err := mb.Schedule(&env.Noisy{Environment: te, Sigma: cfg.MeasureSigma,
-		Rng: rand.New(rand.NewSource(cfg.Seed + 301))})
-	if err != nil {
-		return nil, err
-	}
-	out.assignments["Model-based"] = mbAssign
 
-	// DQN-based DRL (§3.2).
-	cfg.logf("  training DQN agent (%d offline, %d online)", cfg.OfflineSamples, max(epochs, cfg.OnlineEpochs))
-	dqn := core.NewDQN(n, m, numSpouts, core.DefaultDQNConfig(), cfg.Seed+400)
-	dqnTrained, err := trainAgent(sys, dqn, cfg, epochs)
-	if err != nil {
-		return nil, err
-	}
-	out.assignments["DQN-based DRL"] = dqnTrained.ctrl.GreedySolution()
+	out := &solutionSet{assignments: map[string][]int{
+		"Default":                rr,
+		"Model-based":            mbAssign,
+		"DQN-based DRL":          dqnTrained.ctrl.GreedySolution(),
+		"Actor-critic-based DRL": acQual.ctrl.GreedySolution(),
+	}}
 	out.dqnRewards = dqnTrained.rewards
-
-	// Actor-critic-based DRL (Algorithm 1).
-	cfg.logf("  training actor-critic agent (%d offline, %d online)", cfg.OfflineSamples, max(epochs, cfg.OnlineEpochs))
-	ac := core.NewActorCritic(n, m, numSpouts, cfg.acConfig(), cfg.Seed+500)
-	acTrained, err := trainAgent(sys, ac, cfg, epochs)
-	if err != nil {
-		return nil, err
-	}
-	out.assignments["Actor-critic-based DRL"] = acTrained.ctrl.GreedySolution()
-	out.acRewards = acTrained.rewards
+	out.acRewards = acQual.rewards
 	return out, nil
 }
 

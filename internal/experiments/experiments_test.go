@@ -1,6 +1,7 @@
 package experiments
 
 import (
+	"context"
 	"testing"
 
 	"repro/internal/apps"
@@ -8,7 +9,7 @@ import (
 
 func TestQuickFig6aOrderingAndShape(t *testing.T) {
 	cfg := Quick()
-	res, err := Fig6(apps.Small, cfg)
+	res, err := Fig6(context.Background(), apps.Small, cfg)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -60,7 +61,7 @@ func rewardFigureForTest(cfg Config) (*Result, error) {
 	if err != nil {
 		return nil, err
 	}
-	return rewardFigure("7-test", "test", sys, cfg, cfg.OnlineEpochs)
+	return rewardFigure(context.Background(), "7-test", "test", sys, cfg, cfg.OnlineEpochs)
 }
 
 func TestQuickFig12Structure(t *testing.T) {
@@ -68,7 +69,7 @@ func TestQuickFig12Structure(t *testing.T) {
 		t.Skip("slow")
 	}
 	cfg := Quick()
-	res, err := Fig12("cq", cfg)
+	res, err := Fig12(context.Background(), "cq", cfg)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -92,7 +93,7 @@ func TestQuickFig12Structure(t *testing.T) {
 }
 
 func TestFig12RejectsUnknownTopology(t *testing.T) {
-	if _, err := Fig12("nope", Quick()); err == nil {
+	if _, err := Fig12(context.Background(), "nope", Quick()); err == nil {
 		t.Fatal("expected error")
 	}
 }

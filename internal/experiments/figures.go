@@ -1,12 +1,14 @@
 package experiments
 
 import (
+	"context"
 	"fmt"
 	mrand "math/rand"
 	"sort"
 
 	"repro/internal/apps"
 	"repro/internal/core"
+	"repro/internal/parallel"
 	"repro/internal/sched"
 	"repro/internal/sim"
 	"repro/internal/stats"
@@ -18,83 +20,98 @@ var schedulerOrder = []string{"Default", "Model-based", "DQN-based DRL", "Actor-
 // Fig6 reproduces Figure 6(a/b/c): average tuple processing time over 20
 // minutes for the four schedulers on the continuous-queries topology at the
 // given scale.
-func Fig6(scale apps.Scale, cfg Config) (*Result, error) {
+func Fig6(ctx context.Context, scale apps.Scale, cfg Config) (*Result, error) {
 	sys, err := apps.ContinuousQueries(scale)
 	if err != nil {
 		return nil, err
 	}
 	sub := map[apps.Scale]string{apps.Small: "a", apps.Medium: "b", apps.Large: "c"}[scale]
-	return tupleTimeFigure(fmt.Sprintf("6%s", sub),
+	return tupleTimeFigure(ctx, fmt.Sprintf("6%s", sub),
 		fmt.Sprintf("Average tuple processing time, continuous queries (%s)", scale), sys, cfg)
 }
 
 // Fig8 reproduces Figure 8 (log stream processing, large-scale).
-func Fig8(cfg Config) (*Result, error) {
+func Fig8(ctx context.Context, cfg Config) (*Result, error) {
 	sys, err := apps.LogStream()
 	if err != nil {
 		return nil, err
 	}
-	return tupleTimeFigure("8", "Average tuple processing time, log stream processing", sys, cfg)
+	return tupleTimeFigure(ctx, "8", "Average tuple processing time, log stream processing", sys, cfg)
 }
 
 // Fig10 reproduces Figure 10 (word count, large-scale).
-func Fig10(cfg Config) (*Result, error) {
+func Fig10(ctx context.Context, cfg Config) (*Result, error) {
 	sys, err := apps.WordCount()
 	if err != nil {
 		return nil, err
 	}
-	return tupleTimeFigure("10", "Average tuple processing time, word count", sys, cfg)
+	return tupleTimeFigure(ctx, "10", "Average tuple processing time, word count", sys, cfg)
 }
 
-func tupleTimeFigure(id, title string, sys *apps.System, cfg Config) (*Result, error) {
+func tupleTimeFigure(ctx context.Context, id, title string, sys *apps.System, cfg Config) (*Result, error) {
 	cfg.logf("figure %s: %s", id, sys.Name)
-	sols, err := solutions(sys, cfg, 0)
+	sols, err := solutions(ctx, sys, cfg, 0)
+	if err != nil {
+		return nil, err
+	}
+	// The four deployment simulations are independent (each owns a cold DES
+	// seeded from its legend position); fan them out and assemble in legend
+	// order so the figure is identical for any Workers setting.
+	type curveOut struct {
+		ser  Series
+		stab float64
+	}
+	outs, err := parallel.Map(ctx, len(schedulerOrder), cfg.Workers,
+		func(_ context.Context, i int) (curveOut, error) {
+			name := schedulerOrder[i]
+			cfg.logf("  simulating %q deployment (%.0f min)", name, cfg.CurveMinutes)
+			ser, stab, err := curve(sys, sols.assignments[name], cfg.CurveMinutes, cfg.Seed+int64(1000+i))
+			if err != nil {
+				return curveOut{}, err
+			}
+			ser.Name = name
+			return curveOut{ser: ser, stab: stab}, nil
+		})
 	if err != nil {
 		return nil, err
 	}
 	res := &Result{ID: id, Title: title, Stabilized: map[string]float64{}}
-	for i, name := range schedulerOrder {
-		cfg.logf("  simulating %q deployment (%.0f min)", name, cfg.CurveMinutes)
-		ser, stab, err := curve(sys, sols.assignments[name], cfg.CurveMinutes, cfg.Seed+int64(1000+i))
-		if err != nil {
-			return nil, err
-		}
-		ser.Name = name
-		res.Series = append(res.Series, ser)
-		res.Stabilized[name] = stab
+	for i, out := range outs {
+		res.Series = append(res.Series, out.ser)
+		res.Stabilized[schedulerOrder[i]] = out.stab
 	}
 	return res, nil
 }
 
 // Fig7 reproduces Figure 7: normalized smoothed reward over T = 2000 online
 // decision epochs, actor-critic vs DQN, continuous queries (large).
-func Fig7(cfg Config) (*Result, error) {
+func Fig7(ctx context.Context, cfg Config) (*Result, error) {
 	sys, err := apps.ContinuousQueries(apps.Large)
 	if err != nil {
 		return nil, err
 	}
-	return rewardFigure("7", "Normalized reward, continuous queries (large)", sys, cfg, 2000)
+	return rewardFigure(ctx, "7", "Normalized reward, continuous queries (large)", sys, cfg, 2000)
 }
 
 // Fig9 reproduces Figure 9: reward over T = 1500 epochs on log stream.
-func Fig9(cfg Config) (*Result, error) {
+func Fig9(ctx context.Context, cfg Config) (*Result, error) {
 	sys, err := apps.LogStream()
 	if err != nil {
 		return nil, err
 	}
-	return rewardFigure("9", "Normalized reward, log stream processing", sys, cfg, 1500)
+	return rewardFigure(ctx, "9", "Normalized reward, log stream processing", sys, cfg, 1500)
 }
 
 // Fig11 reproduces Figure 11: reward over T = 1500 epochs on word count.
-func Fig11(cfg Config) (*Result, error) {
+func Fig11(ctx context.Context, cfg Config) (*Result, error) {
 	sys, err := apps.WordCount()
 	if err != nil {
 		return nil, err
 	}
-	return rewardFigure("11", "Normalized reward, word count", sys, cfg, 1500)
+	return rewardFigure(ctx, "11", "Normalized reward, word count", sys, cfg, 1500)
 }
 
-func rewardFigure(id, title string, sys *apps.System, cfg Config, paperEpochs int) (*Result, error) {
+func rewardFigure(ctx context.Context, id, title string, sys *apps.System, cfg Config, paperEpochs int) (*Result, error) {
 	epochs := paperEpochs
 	if cfg.OnlineEpochs < paperEpochs {
 		epochs = cfg.OnlineEpochs // honor reduced/quick configurations
@@ -102,15 +119,25 @@ func rewardFigure(id, title string, sys *apps.System, cfg Config, paperEpochs in
 	cfg.logf("figure %s: %s (T=%d)", id, sys.Name, epochs)
 	n, m, numSpouts := sys.Top.NumExecutors(), sys.Cl.Size(), sys.NumSpouts()
 
-	cfg.logf("  training actor-critic agent online")
-	ac := core.NewActorCritic(n, m, numSpouts, cfg.acConfig(), cfg.Seed+500)
-	acT, err := trainAgent(sys, ac, cfg, epochs)
-	if err != nil {
-		return nil, err
-	}
-	cfg.logf("  training DQN agent online")
-	dqn := core.NewDQN(n, m, numSpouts, core.DefaultDQNConfig(), cfg.Seed+400)
-	dqnT, err := trainAgent(sys, dqn, cfg, epochs)
+	// The two agents learn independently (own seeds, own environments);
+	// train them concurrently.
+	var acT, dqnT *trained
+	err := parallel.Run(ctx, cfg.Workers,
+		func() error {
+			cfg.logf("  training actor-critic agent online")
+			ac := core.NewActorCritic(n, m, numSpouts, cfg.acConfig(), cfg.Seed+500)
+			var err error
+			acT, err = trainAgent(sys, ac, cfg, epochs)
+			return err
+		},
+		func() error {
+			cfg.logf("  training DQN agent online")
+			dqn := core.NewDQN(n, m, numSpouts, core.DefaultDQNConfig(), cfg.Seed+400)
+			var err error
+			dqnT, err = trainAgent(sys, dqn, cfg, epochs)
+			return err
+		},
+	)
 	if err != nil {
 		return nil, err
 	}
@@ -140,7 +167,7 @@ func rewardFigure(id, title string, sys *apps.System, cfg Config, paperEpochs in
 // Fig12 reproduces Figure 12(a/b/c): model-based vs actor-critic under a
 // +50% workload step at 20 minutes, over 50 minutes, for the named
 // topology ("cq", "log" or "wc").
-func Fig12(which string, cfg Config) (*Result, error) {
+func Fig12(ctx context.Context, which string, cfg Config) (*Result, error) {
 	var sys *apps.System
 	var err error
 	var sub, title string
@@ -169,25 +196,39 @@ func Fig12(which string, cfg Config) (*Result, error) {
 	cfg.logf("figure 12%s: %s with +50%% workload at %.0f min", sub, sys.Name, stepAt)
 
 	// Train the actor-critic agent at the base workload (with jitter, so
-	// the workload state input carries signal).
+	// the workload state input carries signal) and fit the model-based
+	// baseline concurrently: the two pipelines share only read-only system
+	// state.
 	n, m, numSpouts := sys.Top.NumExecutors(), sys.Cl.Size(), sys.NumSpouts()
 	ac := core.NewActorCritic(n, m, numSpouts, cfg.acConfig(), cfg.Seed+500)
-	cfg.logf("  training actor-critic agent")
-	acT, err := trainAgent(sys, ac, cfg, 0)
-	if err != nil {
-		return nil, err
-	}
-	acBase := acT.ctrl.GreedySolution()
-
-	// Model-based baseline at the base workload.
-	te, err := newTrainEnv(sys)
-	if err != nil {
-		return nil, err
-	}
-	mb := &sched.ModelBased{Top: sys.Top, Cl: sys.Cl,
-		Rng: seededRand(cfg.Seed + 300), Samples: cfg.MBSamples}
-	cfg.logf("  fitting model-based scheduler")
-	mbBase, err := mb.Schedule(te)
+	var (
+		acBase, mbBase []int
+		te             *trainEnv
+		mb             *sched.ModelBased
+	)
+	err = parallel.Run(ctx, cfg.Workers,
+		func() error {
+			cfg.logf("  training actor-critic agent")
+			acT, err := trainAgent(sys, ac, cfg, 0)
+			if err != nil {
+				return err
+			}
+			acBase = acT.ctrl.GreedySolution()
+			return nil
+		},
+		func() error {
+			var err error
+			te, err = newTrainEnv(sys)
+			if err != nil {
+				return err
+			}
+			mb = &sched.ModelBased{Top: sys.Top, Cl: sys.Cl,
+				Rng: seededRand(cfg.Seed + 300), Samples: cfg.MBSamples}
+			cfg.logf("  fitting model-based scheduler")
+			mbBase, err = mb.Schedule(te)
+			return err
+		},
+	)
 	if err != nil {
 		return nil, err
 	}
@@ -196,7 +237,7 @@ func Fig12(which string, cfg Config) (*Result, error) {
 		Title:      fmt.Sprintf("Workload change, %s (large-scale)", title),
 		Stabilized: map[string]float64{}}
 
-	for _, run := range []struct {
+	runs := []struct {
 		name string
 		base []int
 		next func(cur []int) ([]int, error)
@@ -228,32 +269,48 @@ func Fig12(which string, cfg Config) (*Result, error) {
 			},
 			seed: cfg.Seed + 2001,
 		},
-	} {
-		cfg.logf("  simulating %q over %.0f min", run.name, total)
-		simCfg := sim.DefaultConfig(stepped.Top, stepped.Cl, stepped.Arrivals, run.seed)
-		s, err := sim.New(simCfg)
-		if err != nil {
-			return nil, err
-		}
-		if err := s.Deploy(run.base); err != nil {
-			return nil, err
-		}
-		s.RunUntil(reactAt * 60_000)
-		nxt, err := run.next(run.base)
-		if err != nil {
-			return nil, err
-		}
-		if err := s.Deploy(nxt); err != nil {
-			return nil, err
-		}
-		s.RunUntil(total * 60_000)
-		ser := Series{Name: run.name}
-		for _, w := range s.Windows() {
-			ser.X = append(ser.X, w.TimeMS/60_000)
-			ser.Y = append(ser.Y, w.AvgMS)
-		}
-		res.Series = append(res.Series, ser)
-		res.Stabilized[run.name] = s.AvgOverLastWindows(5)
+	}
+	// The two deployment runs touch disjoint mutable state (the model-based
+	// run re-fits against te, the DRL run queries its own agent), so they
+	// fan out too; results assemble in the fixed legend order above.
+	type runOut struct {
+		ser  Series
+		stab float64
+	}
+	outs, err := parallel.Map(ctx, len(runs), cfg.Workers,
+		func(_ context.Context, i int) (runOut, error) {
+			run := runs[i]
+			cfg.logf("  simulating %q over %.0f min", run.name, total)
+			simCfg := sim.DefaultConfig(stepped.Top, stepped.Cl, stepped.Arrivals, run.seed)
+			s, err := sim.New(simCfg)
+			if err != nil {
+				return runOut{}, err
+			}
+			if err := s.Deploy(run.base); err != nil {
+				return runOut{}, err
+			}
+			s.RunUntil(reactAt * 60_000)
+			nxt, err := run.next(run.base)
+			if err != nil {
+				return runOut{}, err
+			}
+			if err := s.Deploy(nxt); err != nil {
+				return runOut{}, err
+			}
+			s.RunUntil(total * 60_000)
+			ser := Series{Name: run.name}
+			for _, w := range s.Windows() {
+				ser.X = append(ser.X, w.TimeMS/60_000)
+				ser.Y = append(ser.Y, w.AvgMS)
+			}
+			return runOut{ser: ser, stab: s.AvgOverLastWindows(5)}, nil
+		})
+	if err != nil {
+		return nil, err
+	}
+	for i, out := range outs {
+		res.Series = append(res.Series, out.ser)
+		res.Stabilized[runs[i].name] = out.stab
 	}
 	return res, nil
 }

@@ -1,0 +1,144 @@
+package experiments
+
+import (
+	"bytes"
+	"context"
+	"fmt"
+	"io"
+	"sync"
+
+	"repro/internal/apps"
+	"repro/internal/parallel"
+)
+
+// FigureIDs lists every figure of the evaluation in the paper's order.
+var FigureIDs = []string{"6a", "6b", "6c", "7", "8", "9", "10", "11", "12a", "12b", "12c"}
+
+// TupleTimeFigureIDs lists the figures that report stabilized average tuple
+// processing times — the set the headline Summary aggregates.
+var TupleTimeFigureIDs = []string{"6a", "6b", "6c", "8", "10"}
+
+// Run regenerates one figure by id ("6a" ... "12c"). ctx cancellation
+// propagates into every stage of the figure's pipeline.
+func Run(ctx context.Context, id string, cfg Config) (*Result, error) {
+	switch id {
+	case "6a":
+		return Fig6(ctx, apps.Small, cfg)
+	case "6b":
+		return Fig6(ctx, apps.Medium, cfg)
+	case "6c":
+		return Fig6(ctx, apps.Large, cfg)
+	case "7":
+		return Fig7(ctx, cfg)
+	case "8":
+		return Fig8(ctx, cfg)
+	case "9":
+		return Fig9(ctx, cfg)
+	case "10":
+		return Fig10(ctx, cfg)
+	case "11":
+		return Fig11(ctx, cfg)
+	case "12a":
+		return Fig12(ctx, "cq", cfg)
+	case "12b":
+		return Fig12(ctx, "log", cfg)
+	case "12c":
+		return Fig12(ctx, "wc", cfg)
+	default:
+		return nil, fmt.Errorf("experiments: unknown figure %q", id)
+	}
+}
+
+// RunFigures regenerates a whole figure suite on the worker pool: figures
+// fan out across workers, the first error cancels figures not yet started,
+// and results come back in input order — the output is byte-identical to
+// running the ids sequentially. Progress lines are prefixed with the figure
+// id so interleaved output stays attributable.
+func RunFigures(ctx context.Context, ids []string, cfg Config) ([]*Result, error) {
+	return RunFiguresStream(ctx, ids, cfg, nil)
+}
+
+// RunFiguresStream is RunFigures with streaming delivery: when emit is
+// non-nil it is called once per figure, in input order, as soon as that
+// figure and all earlier ones have completed — so long suites print/persist
+// finished figures instead of withholding everything until the end, and a
+// late failure cannot discard already-delivered results. emit is never
+// called concurrently. Errors are tagged with the failing figure's id.
+//
+// When the suite level itself fans out, the pool is divided between the
+// levels: suiteWorkers figures run concurrently and each gets
+// pool/suiteWorkers workers for its internal stages (floor division, min
+// 1), so total in-flight work stays bounded by the pool size without
+// multiplying to Workers × per-figure fan-out — and without idling cores
+// when there are fewer figures than workers. A single-figure run keeps its
+// full internal fan-out.
+func RunFiguresStream(ctx context.Context, ids []string, cfg Config, emit func(i int, r *Result)) ([]*Result, error) {
+	innerWorkers := cfg.Workers
+	if suiteWorkers := parallel.Workers(cfg.Workers, len(ids)); len(ids) > 1 && suiteWorkers > 1 {
+		innerWorkers = parallel.PoolSize(cfg.Workers) / suiteWorkers
+		if innerWorkers < 1 {
+			innerWorkers = 1
+		}
+	}
+	results := make([]*Result, len(ids))
+	var (
+		mu        sync.Mutex
+		delivered int
+	)
+	err := parallel.ForEach(ctx, len(ids), cfg.Workers, func(ctx context.Context, i int) error {
+		if err := ctx.Err(); err != nil {
+			return err
+		}
+		fcfg := cfg
+		fcfg.Workers = innerWorkers
+		if cfg.Progress != nil && len(ids) > 1 {
+			fcfg.Progress = &prefixWriter{w: cfg.Progress, prefix: "[fig " + ids[i] + "] "}
+		}
+		res, err := Run(ctx, ids[i], fcfg)
+		if err != nil {
+			return fmt.Errorf("figure %s: %w", ids[i], err)
+		}
+		mu.Lock()
+		defer mu.Unlock()
+		results[i] = res
+		if emit != nil {
+			for delivered < len(results) && results[delivered] != nil {
+				emit(delivered, results[delivered])
+				delivered++
+			}
+		}
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	return results, nil
+}
+
+// prefixWriter tags every line of progress output with its figure id.
+// Writes arrive whole-line from Config.logf under progressMu, so simple
+// per-line prefixing is race-free.
+type prefixWriter struct {
+	w      io.Writer
+	prefix string
+}
+
+func (p *prefixWriter) Write(b []byte) (int, error) {
+	n := len(b)
+	var buf bytes.Buffer
+	for len(b) > 0 {
+		i := bytes.IndexByte(b, '\n')
+		if i < 0 {
+			buf.WriteString(p.prefix)
+			buf.Write(b)
+			break
+		}
+		buf.WriteString(p.prefix)
+		buf.Write(b[:i+1])
+		b = b[i+1:]
+	}
+	if _, err := p.w.Write(buf.Bytes()); err != nil {
+		return 0, err
+	}
+	return n, nil
+}

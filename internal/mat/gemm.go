@@ -1,0 +1,84 @@
+package mat
+
+import "fmt"
+
+// Batched GEMM kernels for minibatch neural-network passes. All three
+// routines are written so their per-row accumulation order matches the
+// per-sample GEMV kernels (MulVec, MulVecT, AddOuterScaled): a batched
+// forward/backward pass over H rows produces bitwise-identical results to H
+// per-sample passes, which keeps the batched training path numerically
+// interchangeable with the per-sample one.
+
+// Matmul computes dst = a · b. a is R×K, b is K×C, dst is R×C. dst may not
+// alias a or b. The inner loop runs over contiguous rows of b (axpy form),
+// so the row-major layout is traversed sequentially; zero coefficients are
+// skipped, which also makes the backward pass through ReLU layers cheap.
+func Matmul(dst, a, b *Matrix) {
+	if a.Cols != b.Rows || dst.Rows != a.Rows || dst.Cols != b.Cols {
+		panic(fmt.Sprintf("mat: Matmul %dx%d · %dx%d -> %dx%d", a.Rows, a.Cols, b.Rows, b.Cols, dst.Rows, dst.Cols))
+	}
+	for i := 0; i < a.Rows; i++ {
+		arow := a.Row(i)
+		drow := dst.Row(i)
+		for j := range drow {
+			drow[j] = 0
+		}
+		for k, f := range arow {
+			if f == 0 {
+				continue
+			}
+			axpy(drow, b.Data[k*b.Cols:(k+1)*b.Cols], f)
+		}
+	}
+}
+
+// MatmulNT computes dst = a · bᵀ. a is R×K, b is C×K (transposed operand),
+// dst is R×C. Every dst element is a dot product of two contiguous
+// row-major rows, the cache-ideal layout for a forward pass Y = X·Wᵀ with
+// row-major weights W (Out×In): no transposed weight copy is needed.
+func MatmulNT(dst, a, b *Matrix) {
+	if a.Cols != b.Cols || dst.Rows != a.Rows || dst.Cols != b.Rows {
+		panic(fmt.Sprintf("mat: MatmulNT %dx%d · (%dx%d)ᵀ -> %dx%d", a.Rows, a.Cols, b.Rows, b.Cols, dst.Rows, dst.Cols))
+	}
+	for i := 0; i < a.Rows; i++ {
+		arow := a.Row(i)
+		drow := dst.Row(i)
+		for j := 0; j < b.Rows; j++ {
+			drow[j] = dot(arow, b.Data[j*b.Cols:(j+1)*b.Cols])
+		}
+	}
+}
+
+// AddMatmulTNScaled accumulates m += scale · aᵀ · b. a is H×R, b is H×C, m
+// is R×C. This is the weight-gradient kernel: with a = batch deltas and b =
+// batch inputs it accumulates the same sum of scaled outer products as H
+// AddOuterScaled calls, in the same order.
+func (m *Matrix) AddMatmulTNScaled(a, b *Matrix, scale float64) {
+	if a.Rows != b.Rows || m.Rows != a.Cols || m.Cols != b.Cols {
+		panic(fmt.Sprintf("mat: AddMatmulTNScaled (%dx%d)ᵀ · %dx%d -> %dx%d", a.Rows, a.Cols, b.Rows, b.Cols, m.Rows, m.Cols))
+	}
+	for h := 0; h < a.Rows; h++ {
+		arow := a.Row(h)
+		brow := b.Row(h)
+		for i, ai := range arow {
+			if ai == 0 {
+				continue
+			}
+			axpy(m.Data[i*m.Cols:(i+1)*m.Cols], brow, ai*scale)
+		}
+	}
+}
+
+// AddColSumScaled accumulates dst += scale · column-sums of a: the batched
+// bias-gradient kernel. dst has length a.Cols.
+func AddColSumScaled(dst []float64, a *Matrix, scale float64) {
+	if len(dst) != a.Cols {
+		panic(fmt.Sprintf("mat: AddColSumScaled |dst|=%d for %dx%d", len(dst), a.Rows, a.Cols))
+	}
+	for h := 0; h < a.Rows; h++ {
+		row := a.Row(h)
+		for j, v := range row {
+			dst[j] += scale * v
+		}
+	}
+}

@@ -1,0 +1,106 @@
+package mat
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+)
+
+func randMat(rng *rand.Rand, r, c int) *Matrix {
+	m := NewMatrix(r, c)
+	m.Randomize(rng, 2)
+	return m
+}
+
+// naive reference: dst[i][j] = Σ_k a[i][k]·b[k][j]
+func naiveMatmul(a, b *Matrix) *Matrix {
+	dst := NewMatrix(a.Rows, b.Cols)
+	for i := 0; i < a.Rows; i++ {
+		for j := 0; j < b.Cols; j++ {
+			var s float64
+			for k := 0; k < a.Cols; k++ {
+				s += a.At(i, k) * b.At(k, j)
+			}
+			dst.Set(i, j, s)
+		}
+	}
+	return dst
+}
+
+func TestMatmulAgainstNaive(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	for _, dims := range [][3]int{{1, 1, 1}, {3, 5, 7}, {32, 122, 64}, {9, 4, 13}} {
+		r, k, c := dims[0], dims[1], dims[2]
+		a, b := randMat(rng, r, k), randMat(rng, k, c)
+		dst := NewMatrix(r, c)
+		Matmul(dst, a, b)
+		want := naiveMatmul(a, b)
+		for i, v := range dst.Data {
+			if math.Abs(v-want.Data[i]) > 1e-12 {
+				t.Fatalf("Matmul %dx%dx%d: element %d got %g want %g", r, k, c, i, v, want.Data[i])
+			}
+		}
+	}
+}
+
+func TestMatmulNTMatchesMulVec(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	a := randMat(rng, 17, 61) // batch of 17 inputs
+	w := randMat(rng, 23, 61) // Out×In weights
+	dst := NewMatrix(17, 23)
+	MatmulNT(dst, a, w)
+	row := make([]float64, 23)
+	for h := 0; h < 17; h++ {
+		w.MulVec(row, a.Row(h))
+		for j, v := range row {
+			if dst.At(h, j) != v {
+				t.Fatalf("MatmulNT row %d col %d: %g != MulVec %g (must be bitwise identical)", h, j, dst.At(h, j), v)
+			}
+		}
+	}
+}
+
+func TestAddMatmulTNScaledMatchesOuterSum(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	delta := randMat(rng, 11, 9)
+	x := randMat(rng, 11, 14)
+	got := NewMatrix(9, 14)
+	got.Fill(0.5)
+	want := got.Clone()
+	got.AddMatmulTNScaled(delta, x, 0.25)
+	for h := 0; h < 11; h++ {
+		want.AddOuterScaled(delta.Row(h), x.Row(h), 0.25)
+	}
+	for i, v := range got.Data {
+		if v != want.Data[i] {
+			t.Fatalf("element %d: %g != %g (must be bitwise identical)", i, v, want.Data[i])
+		}
+	}
+}
+
+func TestAddColSumScaled(t *testing.T) {
+	a := FromSlice(2, 3, []float64{1, 2, 3, 4, 5, 6})
+	dst := []float64{1, 1, 1}
+	AddColSumScaled(dst, a, 2)
+	want := []float64{11, 15, 19}
+	for i, v := range dst {
+		if v != want[i] {
+			t.Fatalf("col %d: got %g want %g", i, v, want[i])
+		}
+	}
+}
+
+// BenchmarkMatmul measures the batched forward-pass GEMM at the critic's
+// candidate-scoring shape: a 256×242 minibatch against 64×242 weights.
+func BenchmarkMatmul(b *testing.B) {
+	rng := rand.New(rand.NewSource(1))
+	x := randMat(rng, 256, 242)
+	w := randMat(rng, 64, 242)
+	dst := NewMatrix(256, 64)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		MatmulNT(dst, x, w)
+	}
+	b.SetBytes(int64(8 * 256 * 242 * 64))
+}

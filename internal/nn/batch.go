@@ -1,0 +1,93 @@
+package nn
+
+import (
+	"fmt"
+
+	"repro/internal/mat"
+)
+
+// Minibatch passes. A batch of H samples is a row-major H×dim matrix; one
+// ForwardBatch/BackwardBatch pair replaces H per-sample Forward/Backward
+// calls with three GEMMs per layer (Y = X·Wᵀ, GradW += Δᵀ·X, dX = Δ·W).
+// The GEMM kernels accumulate in the same order as the per-sample GEMV
+// kernels, so batched and per-sample passes agree bitwise.
+//
+// All intermediates live in per-layer workspaces that are allocated on
+// first use and reused while the batch size stays constant (the training
+// loops use a fixed H), so steady-state batched training does not allocate.
+
+// ensureBatch sizes the layer's minibatch workspace for h rows.
+func (d *Dense) ensureBatch(h int) {
+	if d.bIn != nil && d.bIn.Rows == h {
+		return
+	}
+	d.bIn = mat.NewMatrix(h, d.In)
+	d.bOut = mat.NewMatrix(h, d.Out)
+	d.bDelta = mat.NewMatrix(h, d.Out)
+	d.bDIn = mat.NewMatrix(h, d.In)
+}
+
+// ForwardBatch computes the layer output for every row of x, caching what
+// BackwardBatch needs. The returned matrix is owned by the layer and valid
+// until the next ForwardBatch call.
+func (d *Dense) ForwardBatch(x *mat.Matrix) *mat.Matrix {
+	if x.Cols != d.In {
+		panic(fmt.Sprintf("nn: ForwardBatch got %d columns, layer input is %d", x.Cols, d.In))
+	}
+	d.ensureBatch(x.Rows)
+	d.bIn.CopyFrom(x)
+	mat.MatmulNT(d.bOut, x, d.W)
+	for r := 0; r < d.bOut.Rows; r++ {
+		row := d.bOut.Row(r)
+		for i := range row {
+			row[i] = d.Act.apply(row[i] + d.B[i])
+		}
+	}
+	return d.bOut
+}
+
+// BackwardBatch takes dL/d(output) for the whole batch, accumulates dL/dW
+// and dL/db scaled by scale (pass 0 to skip weight gradients when only the
+// input gradient is wanted), and returns dL/d(input). The returned matrix
+// is owned by the layer and valid until the next BackwardBatch call.
+func (d *Dense) BackwardBatch(dOut *mat.Matrix, scale float64) *mat.Matrix {
+	if d.bOut == nil || dOut.Rows != d.bOut.Rows || dOut.Cols != d.Out {
+		panic(fmt.Sprintf("nn: BackwardBatch got %dx%d, want %dx%d matching the last ForwardBatch",
+			dOut.Rows, dOut.Cols, d.bOut.Rows, d.Out))
+	}
+	for r := 0; r < dOut.Rows; r++ {
+		src := dOut.Row(r)
+		out := d.bOut.Row(r)
+		dst := d.bDelta.Row(r)
+		for i, g := range src {
+			dst[i] = g * d.Act.derivFromOutput(out[i])
+		}
+	}
+	if scale != 0 {
+		d.GradW.AddMatmulTNScaled(d.bDelta, d.bIn, scale)
+		mat.AddColSumScaled(d.GradB, d.bDelta, scale)
+	}
+	mat.Matmul(d.bDIn, d.bDelta, d.W)
+	return d.bDIn
+}
+
+// ForwardBatch evaluates the network on every row of x. The returned matrix
+// is owned by the final layer and valid until its next ForwardBatch call.
+func (n *Network) ForwardBatch(x *mat.Matrix) *mat.Matrix {
+	h := x
+	for _, l := range n.Layers {
+		h = l.ForwardBatch(h)
+	}
+	return h
+}
+
+// BackwardBatch backpropagates per-row dL/d(output) through the whole stack
+// (which must have just run ForwardBatch on the batch of interest),
+// accumulating gradients scaled by scale, and returns dL/d(input) per row.
+func (n *Network) BackwardBatch(dOut *mat.Matrix, scale float64) *mat.Matrix {
+	g := dOut
+	for i := len(n.Layers) - 1; i >= 0; i-- {
+		g = n.Layers[i].BackwardBatch(g, scale)
+	}
+	return g
+}

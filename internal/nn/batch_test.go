@@ -1,0 +1,146 @@
+package nn
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"repro/internal/mat"
+)
+
+// TestForwardBatchMatchesPerSample: a batched forward over H rows must agree
+// with H per-sample Forward calls to 1e-12 (the kernels share the same
+// accumulation order, so they in fact agree bitwise).
+func TestForwardBatchMatchesPerSample(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	net := New([]int{13, 64, 32, 5}, Tanh, Identity, rng)
+	const H = 9
+	x := mat.NewMatrix(H, 13)
+	x.Randomize(rng, 2)
+
+	got := net.ForwardBatch(x)
+	for h := 0; h < H; h++ {
+		want := net.ForwardCopy(x.Row(h))
+		for i, w := range want {
+			if d := math.Abs(got.At(h, i) - w); d > 1e-12 {
+				t.Fatalf("row %d out %d: batch=%g per-sample=%g (|Δ|=%g)", h, i, got.At(h, i), w, d)
+			}
+		}
+	}
+}
+
+// TestBackwardBatchMatchesPerSample: gradients accumulated by one batched
+// backward pass must agree with the sum of H per-sample backward passes, and
+// so must the returned input gradients.
+func TestBackwardBatchMatchesPerSample(t *testing.T) {
+	rng := rand.New(rand.NewSource(11))
+	sizes := []int{13, 64, 32, 5}
+	net := New(sizes, Tanh, Identity, rng)
+	ref := net.Clone()
+	const H = 9
+
+	x := mat.NewMatrix(H, 13)
+	x.Randomize(rng, 2)
+	dOut := mat.NewMatrix(H, 5)
+	dOut.Randomize(rng, 1)
+	scale := 1.0 / H
+
+	// Reference: per-sample accumulation.
+	ref.ZeroGrads()
+	refDIn := mat.NewMatrix(H, 13)
+	for h := 0; h < H; h++ {
+		ref.Forward(x.Row(h))
+		copy(refDIn.Row(h), ref.Backward(dOut.Row(h), scale))
+	}
+
+	net.ZeroGrads()
+	net.ForwardBatch(x)
+	dIn := net.BackwardBatch(dOut, scale)
+
+	for h := 0; h < H; h++ {
+		for i := 0; i < 13; i++ {
+			if d := math.Abs(dIn.At(h, i) - refDIn.At(h, i)); d > 1e-12 {
+				t.Fatalf("dIn[%d][%d]: batch=%g per-sample=%g", h, i, dIn.At(h, i), refDIn.At(h, i))
+			}
+		}
+	}
+	for li := range net.Layers {
+		bl, rl := net.Layers[li], ref.Layers[li]
+		for i, g := range bl.GradW.Data {
+			if d := math.Abs(g - rl.GradW.Data[i]); d > 1e-12 {
+				t.Fatalf("layer %d GradW[%d]: batch=%g per-sample=%g", li, i, g, rl.GradW.Data[i])
+			}
+		}
+		for i, g := range bl.GradB {
+			if d := math.Abs(g - rl.GradB[i]); d > 1e-12 {
+				t.Fatalf("layer %d GradB[%d]: batch=%g per-sample=%g", li, i, g, rl.GradB[i])
+			}
+		}
+	}
+}
+
+// TestBackwardBatchScaleZeroSkipsWeightGrads: the ∇â Q probe used by the
+// actor update passes scale 0 and must leave gradient buffers untouched
+// while still returning input gradients.
+func TestBackwardBatchScaleZeroSkipsWeightGrads(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	net := New([]int{6, 16, 2}, Tanh, Identity, rng)
+	x := mat.NewMatrix(4, 6)
+	x.Randomize(rng, 1)
+	dOut := mat.NewMatrix(4, 2)
+	dOut.Fill(1)
+
+	net.ZeroGrads()
+	net.ForwardBatch(x)
+	dIn := net.BackwardBatch(dOut, 0)
+	if dIn.Rows != 4 || dIn.Cols != 6 {
+		t.Fatalf("dIn is %dx%d, want 4x6", dIn.Rows, dIn.Cols)
+	}
+	var nonzero bool
+	for _, v := range dIn.Data {
+		if v != 0 {
+			nonzero = true
+		}
+	}
+	if !nonzero {
+		t.Fatal("input gradient is identically zero")
+	}
+	for _, l := range net.Layers {
+		if l.GradW.MaxAbs() != 0 {
+			t.Fatal("scale 0 accumulated weight gradients")
+		}
+	}
+}
+
+// TestForwardBatchInterleavesWithForward: per-sample action-selection calls
+// between ForwardBatch and BackwardBatch must not corrupt the batch caches.
+func TestForwardBatchInterleavesWithForward(t *testing.T) {
+	rng := rand.New(rand.NewSource(5))
+	net := New([]int{6, 16, 2}, Tanh, Identity, rng)
+	ref := net.Clone()
+	x := mat.NewMatrix(4, 6)
+	x.Randomize(rng, 1)
+	dOut := mat.NewMatrix(4, 2)
+	dOut.Randomize(rng, 1)
+	probe := make([]float64, 6)
+	for i := range probe {
+		probe[i] = float64(i)
+	}
+
+	ref.ZeroGrads()
+	ref.ForwardBatch(x)
+	ref.BackwardBatch(dOut, 1)
+
+	net.ZeroGrads()
+	net.ForwardBatch(x)
+	net.Forward(probe) // interleaved per-sample call
+	net.BackwardBatch(dOut, 1)
+
+	for li := range net.Layers {
+		for i, g := range net.Layers[li].GradW.Data {
+			if g != ref.Layers[li].GradW.Data[i] {
+				t.Fatalf("layer %d GradW[%d] diverged after interleaved Forward", li, i)
+			}
+		}
+	}
+}

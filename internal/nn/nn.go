@@ -96,6 +96,11 @@ type Dense struct {
 	// Forward caches for backprop.
 	input  []float64 // last input seen by Forward
 	output []float64 // last activation output
+
+	// Minibatch workspace (see batch.go). Kept separate from the per-sample
+	// caches so action-selection Forward calls can interleave with batched
+	// training without clobbering each other's backprop state.
+	bIn, bOut, bDelta, bDIn *mat.Matrix
 }
 
 // NewDense returns a dense layer with Xavier-initialized weights.

@@ -1,0 +1,108 @@
+package parallel
+
+import (
+	"context"
+	"errors"
+	"sync/atomic"
+	"testing"
+	"time"
+)
+
+func TestForEachRunsEveryTask(t *testing.T) {
+	var count atomic.Int64
+	seen := make([]atomic.Bool, 100)
+	err := ForEach(context.Background(), 100, 8, func(_ context.Context, i int) error {
+		count.Add(1)
+		if seen[i].Swap(true) {
+			t.Errorf("task %d ran twice", i)
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if count.Load() != 100 {
+		t.Fatalf("ran %d tasks, want 100", count.Load())
+	}
+}
+
+func TestForEachPropagatesFirstError(t *testing.T) {
+	boom := errors.New("boom")
+	var after atomic.Int64
+	err := ForEach(context.Background(), 1000, 4, func(ctx context.Context, i int) error {
+		if i == 3 {
+			return boom
+		}
+		if ctx.Err() != nil {
+			after.Add(1)
+		}
+		return nil
+	})
+	if !errors.Is(err, boom) {
+		t.Fatalf("got %v, want boom", err)
+	}
+}
+
+func TestForEachHonorsContextCancellation(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	var ran atomic.Int64
+	done := make(chan error, 1)
+	go func() {
+		done <- ForEach(ctx, 1_000_000, 2, func(ctx context.Context, i int) error {
+			if ran.Add(1) == 10 {
+				cancel()
+			}
+			return nil
+		})
+	}()
+	select {
+	case err := <-done:
+		if !errors.Is(err, context.Canceled) {
+			t.Fatalf("got %v, want context.Canceled", err)
+		}
+	case <-time.After(10 * time.Second):
+		t.Fatal("ForEach did not stop after cancellation")
+	}
+	if ran.Load() >= 1_000_000 {
+		t.Fatal("cancellation did not stop the work")
+	}
+}
+
+func TestMapAssemblesInOrder(t *testing.T) {
+	out, err := Map(context.Background(), 50, 8, func(_ context.Context, i int) (int, error) {
+		return i * i, nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, v := range out {
+		if v != i*i {
+			t.Fatalf("out[%d] = %d, want %d", i, v, i*i)
+		}
+	}
+}
+
+func TestMapDiscardsResultsOnError(t *testing.T) {
+	boom := errors.New("boom")
+	out, err := Map(context.Background(), 10, 2, func(_ context.Context, i int) (int, error) {
+		if i == 5 {
+			return 0, boom
+		}
+		return i, nil
+	})
+	if !errors.Is(err, boom) || out != nil {
+		t.Fatalf("got (%v, %v), want (nil, boom)", out, err)
+	}
+}
+
+func TestWorkers(t *testing.T) {
+	if w := Workers(0, 3); w < 1 || w > 3 {
+		t.Fatalf("Workers(0,3) = %d out of range", w)
+	}
+	if w := Workers(8, 2); w != 2 {
+		t.Fatalf("Workers(8,2) = %d, want 2", w)
+	}
+	if w := Workers(2, 8); w != 2 {
+		t.Fatalf("Workers(2,8) = %d, want 2", w)
+	}
+}

@@ -1,0 +1,39 @@
+package sim
+
+import (
+	"testing"
+
+	"repro/internal/apps"
+)
+
+// BenchmarkSimStep measures the per-event cost of the DES hot path on the
+// medium continuous-queries system in steady state. The event queue never
+// drains (spouts reschedule themselves), so each iteration processes exactly
+// one event.
+func BenchmarkSimStep(b *testing.B) {
+	sys, err := apps.ContinuousQueries(apps.Medium)
+	if err != nil {
+		b.Fatal(err)
+	}
+	cfg := DefaultConfig(sys.Top, sys.Cl, sys.Arrivals, 1)
+	s, err := New(cfg)
+	if err != nil {
+		b.Fatal(err)
+	}
+	rr := make([]int, sys.Top.NumExecutors())
+	for i := range rr {
+		rr[i] = i % sys.Cl.Size()
+	}
+	if err := s.Deploy(rr); err != nil {
+		b.Fatal(err)
+	}
+	// Reach steady state so queue/heap capacities stop growing.
+	s.RunUntil(10_000)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if !s.step() {
+			b.Fatal("event queue drained")
+		}
+	}
+}

@@ -1,0 +1,88 @@
+package sim
+
+import (
+	"container/heap"
+	"math/rand"
+	"testing"
+)
+
+// refHeap is the container/heap implementation the typed queue replaced,
+// kept here as the property-test oracle.
+type refHeap []event
+
+func (h refHeap) Len() int { return len(h) }
+func (h refHeap) Less(i, j int) bool {
+	if h[i].t != h[j].t {
+		return h[i].t < h[j].t
+	}
+	return h[i].seq < h[j].seq
+}
+func (h refHeap) Swap(i, j int)       { h[i], h[j] = h[j], h[i] }
+func (h *refHeap) Push(x interface{}) { *h = append(*h, x.(event)) }
+func (h *refHeap) Pop() interface{} {
+	old := *h
+	n := len(old)
+	x := old[n-1]
+	*h = old[:n-1]
+	return x
+}
+
+// TestEventQueueMatchesContainerHeap drives the typed 4-ary heap and the
+// container/heap reference with an identical random sequence of interleaved
+// pushes and pops (including many tied timestamps, which the seq tiebreaker
+// must order) and requires identical pop sequences.
+func TestEventQueueMatchesContainerHeap(t *testing.T) {
+	rng := rand.New(rand.NewSource(42))
+	var q eventQueue
+	var ref refHeap
+	heap.Init(&ref)
+
+	seq := int64(0)
+	push := func() {
+		// Coarse timestamps force frequent ties.
+		ev := event{t: float64(rng.Intn(50)), kind: rng.Intn(5), exec: rng.Intn(100), seq: seq}
+		seq++
+		q.push(ev)
+		heap.Push(&ref, ev)
+	}
+	popBoth := func() {
+		got := q.pop()
+		want := heap.Pop(&ref).(event)
+		if got != want {
+			t.Fatalf("pop mismatch: typed heap returned t=%v seq=%d, reference t=%v seq=%d",
+				got.t, got.seq, want.t, want.seq)
+		}
+	}
+
+	for iter := 0; iter < 20000; iter++ {
+		if q.len() == 0 || rng.Float64() < 0.55 {
+			push()
+		} else {
+			popBoth()
+		}
+		if q.len() != ref.Len() {
+			t.Fatalf("length mismatch: typed %d reference %d", q.len(), ref.Len())
+		}
+	}
+	for q.len() > 0 {
+		popBoth()
+	}
+}
+
+// TestEventQueuePopOrderIsSorted pops a batch of random events and checks
+// the (t, seq) total order directly.
+func TestEventQueuePopOrderIsSorted(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	var q eventQueue
+	for i := 0; i < 5000; i++ {
+		q.push(event{t: float64(rng.Intn(20)), seq: int64(i)})
+	}
+	prev := q.pop()
+	for q.len() > 0 {
+		cur := q.pop()
+		if cur.t < prev.t || (cur.t == prev.t && cur.seq < prev.seq) {
+			t.Fatalf("pop order violated: (t=%v seq=%d) after (t=%v seq=%d)", cur.t, cur.seq, prev.t, prev.seq)
+		}
+		prev = cur
+	}
+}

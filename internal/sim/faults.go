@@ -37,10 +37,10 @@ func (s *Sim) FailMachine(machine int, downMS float64) {
 			continue
 		}
 		// Queued tuples are lost; their trees can no longer complete.
-		for _, tup := range e.queue {
+		for _, tup := range e.queue[e.head:] {
 			s.orphanTuple(tup)
 		}
-		e.queue = e.queue[:0]
+		e.qReset()
 		e.pausedUntil = until
 		s.push(event{t: until, kind: evResume, exec: i})
 	}
@@ -58,7 +58,7 @@ func (s *Sim) orphanTuple(tup tupleRef) {
 	ack.pending--
 	ack.failed = true
 	if ack.pending <= 0 && s.ackTimeoutMS <= 0 {
-		delete(s.acks, tup.root)
+		s.freeAck(tup.root, ack)
 		s.dropped++
 	}
 }
@@ -67,10 +67,11 @@ func (s *Sim) orphanTuple(tup tupleRef) {
 // failed) at its deadline is replayed at its spout executor; completed
 // roots have already left the ack table.
 func (s *Sim) checkAck(root int64, spoutExec, comp int) {
-	if _, ok := s.acks[root]; !ok {
+	ack, ok := s.acks[root]
+	if !ok {
 		return // completed in time
 	}
-	delete(s.acks, root)
+	s.freeAck(root, ack)
 	s.replayRoot(spoutExec, comp)
 }
 
@@ -80,12 +81,11 @@ func (s *Sim) replayRoot(spoutExec, comp int) {
 	root := s.nextRoot
 	s.nextRoot++
 	tup := tupleRef{root: root, comp: comp, key: s.rng.Uint64(), emitMS: s.now}
-	s.acks[root] = &ackState{pending: 1, emitMS: s.now}
+	s.acks[root] = s.newAck(s.now)
 	if s.ackTimeoutMS > 0 {
 		s.push(event{t: s.now + s.ackTimeoutMS, kind: evAckCheck, exec: spoutExec, tup: tupleRef{root: root, comp: comp}})
 	}
-	e := &s.execs[spoutExec]
-	e.queue = append(e.queue, tup)
+	s.execs[spoutExec].qPush(tup)
 	s.tryStartService(spoutExec)
 }
 

@@ -21,7 +21,6 @@
 package sim
 
 import (
-	"container/heap"
 	"fmt"
 	"math"
 	"math/rand"
@@ -109,32 +108,60 @@ type event struct {
 	seq         int64 // tiebreaker for determinism
 }
 
-type eventHeap []event
-
-func (h eventHeap) Len() int { return len(h) }
-func (h eventHeap) Less(i, j int) bool {
-	if h[i].t != h[j].t {
-		return h[i].t < h[j].t
-	}
-	return h[i].seq < h[j].seq
-}
-func (h eventHeap) Swap(i, j int)       { h[i], h[j] = h[j], h[i] }
-func (h *eventHeap) Push(x interface{}) { *h = append(*h, x.(event)) }
-func (h *eventHeap) Pop() interface{} {
-	old := *h
-	n := len(old)
-	x := old[n-1]
-	*h = old[:n-1]
-	return x
-}
-
 type execState struct {
-	machine     int
+	machine int
+	// queue is a FIFO ring: live tuples occupy queue[head:]. Popping
+	// advances head instead of reslicing, so the backing array is reused
+	// rather than "slid" off (which forced a reallocation on nearly every
+	// append cycle); see qPush/qPop.
 	queue       []tupleRef
+	head        int
 	busy        bool
 	serviceOn   int // machine the in-flight service started on (for busyCount)
 	pausedUntil float64
 	warmStart   float64 // when this executor last (re)started
+}
+
+// qLen returns the number of queued tuples.
+func (e *execState) qLen() int { return len(e.queue) - e.head }
+
+// qPush enqueues a tuple, compacting the drained prefix instead of growing
+// when the backing array still has dead capacity at the front.
+func (e *execState) qPush(tup tupleRef) {
+	if len(e.queue) == cap(e.queue) && e.head > 0 {
+		n := copy(e.queue, e.queue[e.head:])
+		e.queue = e.queue[:n]
+		e.head = 0
+	}
+	e.queue = append(e.queue, tup)
+}
+
+// qPop dequeues the head tuple; the queue must be non-empty.
+func (e *execState) qPop() tupleRef {
+	tup := e.queue[e.head]
+	e.head++
+	if e.head == len(e.queue) {
+		e.queue = e.queue[:0]
+		e.head = 0
+	}
+	return tup
+}
+
+// qReset drops all queued tuples.
+func (e *execState) qReset() {
+	e.queue = e.queue[:0]
+	e.head = 0
+}
+
+// route is one precomputed downstream edge of a component: everything
+// emitChildren needs per tuple, resolved from the topology maps once at
+// construction instead of per emission.
+type route struct {
+	dst      int // destination component index
+	grouping topology.Grouping
+	par      int    // destination parallelism
+	base     int    // first executor index of the destination
+	hashMix  uint64 // fields-grouping salt: dst · golden ratio
 }
 
 type machineState struct {
@@ -180,14 +207,21 @@ type Sim struct {
 	cidx  map[string]int // component name -> index
 	outs  [][]topology.Edge
 	base  []int // component index -> first executor index
+	// routes[c] holds the precomputed downstream edges of component c, the
+	// hot-path replacement for the cidx/outs map lookups.
+	routes [][]route
 
 	execs    []execState
 	machines []machineState
-	events   eventHeap
+	events   eventQueue
 	seq      int64
 	now      float64
 
-	acks      map[int64]*ackState
+	acks map[int64]*ackState
+	// ackFree is a free list of ackState records: root tuples are created
+	// and retired constantly, and recycling the records keeps the steady
+	// state of the hot loop allocation-free.
+	ackFree   []*ackState
 	nextRoot  int64
 	completed int64
 
@@ -241,6 +275,21 @@ func New(cfg Config) (*Sim, error) {
 		s.outs = append(s.outs, s.top.Out(c.Name))
 		lo, _ := s.top.ExecutorRange(c.Name)
 		s.base = append(s.base, lo)
+	}
+	// Resolve every downstream edge once: emitChildren runs per processed
+	// tuple and must not chase name→index maps there.
+	s.routes = make([][]route, len(s.comps))
+	for i := range s.comps {
+		for _, edge := range s.outs[i] {
+			dst := s.cidx[edge.To]
+			s.routes[i] = append(s.routes[i], route{
+				dst:      dst,
+				grouping: edge.Grouping,
+				par:      s.comps[dst].Parallelism,
+				base:     s.base[dst],
+				hashMix:  uint64(dst) * 0x9e3779b97f4a7c15,
+			})
+		}
 	}
 	s.execs = make([]execState, s.top.NumExecutors())
 	s.machines = make([]machineState, s.cl.Size())
@@ -307,7 +356,29 @@ func (s *Sim) push(ev event) {
 	}
 	ev.seq = s.seq
 	s.seq++
-	heap.Push(&s.events, ev)
+	s.events.push(ev)
+}
+
+// newAck takes an ackState from the free list (or allocates one) and
+// initializes it for a freshly emitted root tuple.
+func (s *Sim) newAck(emitMS float64) *ackState {
+	var a *ackState
+	if n := len(s.ackFree); n > 0 {
+		a = s.ackFree[n-1]
+		s.ackFree = s.ackFree[:n-1]
+	} else {
+		a = &ackState{}
+	}
+	a.pending = 1
+	a.emitMS = emitMS
+	a.failed = false
+	return a
+}
+
+// freeAck retires a root tuple's ack record back to the free list.
+func (s *Sim) freeAck(root int64, a *ackState) {
+	delete(s.acks, root)
+	s.ackFree = append(s.ackFree, a)
 }
 
 // perExecRate returns the arrival rate (tuples/s) for one executor of the
@@ -380,11 +451,10 @@ func (s *Sim) transferMS(src, dst int, bytes float64) float64 {
 // is idle, unpaused and has work.
 func (s *Sim) tryStartService(exec int) {
 	e := &s.execs[exec]
-	if e.busy || len(e.queue) == 0 || s.now < e.pausedUntil {
+	if e.busy || e.qLen() == 0 || s.now < e.pausedUntil {
 		return
 	}
-	tup := e.queue[0]
-	e.queue = e.queue[1:]
+	tup := e.qPop()
 	e.busy = true
 	e.serviceOn = e.machine
 	s.updateBusy(e.machine, +1)
@@ -393,11 +463,14 @@ func (s *Sim) tryStartService(exec int) {
 }
 
 // emitChildren sends downstream tuples after comp processed tup, updating
-// the ack tree. Returns the number of children emitted.
+// the ack tree. Returns the number of children emitted. Routing runs
+// entirely off the precomputed route table: no map lookups and no per-tuple
+// task-list allocations (the All grouping iterates the destination range
+// directly).
 func (s *Sim) emitChildren(exec int, tup tupleRef) int {
 	comp := s.comps[tup.comp]
-	outs := s.outs[tup.comp]
-	if len(outs) == 0 || comp.Selectivity <= 0 {
+	routes := s.routes[tup.comp]
+	if len(routes) == 0 || comp.Selectivity <= 0 {
 		return 0
 	}
 	ack, ok := s.acks[tup.root]
@@ -406,9 +479,8 @@ func (s *Sim) emitChildren(exec int, tup tupleRef) int {
 	}
 	children := 0
 	srcMachine := s.execs[exec].machine
-	for _, edge := range outs {
-		dst := s.cidx[edge.To]
-		dstComp := s.comps[dst]
+	for ri := range routes {
+		r := &routes[ri]
 		// Number of tuples emitted on this edge: selectivity with
 		// stochastic rounding.
 		count := int(comp.Selectivity)
@@ -416,41 +488,45 @@ func (s *Sim) emitChildren(exec int, tup tupleRef) int {
 			count++
 		}
 		for c := 0; c < count; c++ {
-			var tasks []int
-			switch edge.Grouping {
+			switch r.grouping {
 			case topology.Shuffle:
-				tasks = []int{s.rng.Intn(dstComp.Parallelism)}
+				s.sendChild(r, s.rng.Intn(r.par), tup, srcMachine, comp.TupleBytes, ack)
+				children++
 			case topology.Fields:
-				mix := tup.key ^ (uint64(dst) * 0x9e3779b97f4a7c15)
+				mix := tup.key ^ r.hashMix
 				mix ^= mix >> 33
 				mix *= 0xff51afd7ed558ccd
 				mix ^= mix >> 33
-				tasks = []int{int(mix % uint64(dstComp.Parallelism))}
-			case topology.Global:
-				tasks = []int{0}
-			case topology.All:
-				tasks = make([]int, dstComp.Parallelism)
-				for i := range tasks {
-					tasks[i] = i
-				}
-			}
-			for _, task := range tasks {
-				dstExec := s.base[dst] + task
-				dstMachine := s.execs[dstExec].machine
-				delay := s.transferMS(srcMachine, dstMachine, comp.TupleBytes)
-				from := -1
-				if srcMachine != dstMachine {
-					s.machines[srcMachine].outInFlight++
-					from = srcMachine
-				}
-				child := tupleRef{root: tup.root, comp: dst, key: tup.key, emitMS: tup.emitMS, crossed: from >= 0}
-				s.push(event{t: s.now + delay, kind: evArrive, exec: dstExec, tup: child, fromMachine: from})
-				ack.pending++
+				s.sendChild(r, int(mix%uint64(r.par)), tup, srcMachine, comp.TupleBytes, ack)
 				children++
+			case topology.Global:
+				s.sendChild(r, 0, tup, srcMachine, comp.TupleBytes, ack)
+				children++
+			case topology.All:
+				for task := 0; task < r.par; task++ {
+					s.sendChild(r, task, tup, srcMachine, comp.TupleBytes, ack)
+					children++
+				}
 			}
 		}
 	}
 	return children
+}
+
+// sendChild schedules one downstream tuple arrival on route r at the given
+// destination task.
+func (s *Sim) sendChild(r *route, task int, tup tupleRef, srcMachine int, bytes float64, ack *ackState) {
+	dstExec := r.base + task
+	dstMachine := s.execs[dstExec].machine
+	delay := s.transferMS(srcMachine, dstMachine, bytes)
+	from := -1
+	if srcMachine != dstMachine {
+		s.machines[srcMachine].outInFlight++
+		from = srcMachine
+	}
+	child := tupleRef{root: tup.root, comp: r.dst, key: tup.key, emitMS: tup.emitMS, crossed: from >= 0}
+	s.push(event{t: s.now + delay, kind: evArrive, exec: dstExec, tup: child, fromMachine: from})
+	ack.pending++
 }
 
 // reservoirCap bounds the memory used by percentile tracking.
@@ -478,10 +554,10 @@ func (s *Sim) recordCompletion(emitMS float64) {
 
 // step processes one event. Returns false when no events remain.
 func (s *Sim) step() bool {
-	if s.events.Len() == 0 {
+	if s.events.len() == 0 {
 		return false
 	}
-	ev := heap.Pop(&s.events).(event)
+	ev := s.events.pop()
 	s.now = ev.t
 	switch ev.kind {
 	case evSpoutEmit:
@@ -492,13 +568,12 @@ func (s *Sim) step() bool {
 			root := s.nextRoot
 			s.nextRoot++
 			tup := tupleRef{root: root, comp: comp, key: s.rng.Uint64(), emitMS: s.now}
-			s.acks[root] = &ackState{pending: 1, emitMS: s.now}
+			s.acks[root] = s.newAck(s.now)
 			if s.ackTimeoutMS > 0 {
 				s.push(event{t: s.now + s.ackTimeoutMS, kind: evAckCheck, exec: ev.exec,
 					tup: tupleRef{root: root, comp: comp}})
 			}
-			e := &s.execs[ev.exec]
-			e.queue = append(e.queue, tup)
+			s.execs[ev.exec].qPush(tup)
 			s.tryStartService(ev.exec)
 		}
 		s.scheduleNextEmit(ev.exec, comp)
@@ -507,8 +582,7 @@ func (s *Sim) step() bool {
 			// The tuple left the network; release the congestion counter.
 			s.machines[ev.fromMachine].outInFlight--
 		}
-		e := &s.execs[ev.exec]
-		e.queue = append(e.queue, ev.tup)
+		s.execs[ev.exec].qPush(ev.tup)
 		s.tryStartService(ev.exec)
 	case evFinish:
 		e := &s.execs[ev.exec]
@@ -526,11 +600,11 @@ func (s *Sim) step() bool {
 			if ack.pending == 0 {
 				if !ack.failed {
 					s.recordCompletion(ack.emitMS)
-					delete(s.acks, ev.tup.root)
+					s.freeAck(ev.tup.root, ack)
 				} else if s.ackTimeoutMS <= 0 {
 					// Failed tree fully accounted for and no replay
 					// mechanism: the root is lost.
-					delete(s.acks, ev.tup.root)
+					s.freeAck(ev.tup.root, ack)
 					s.dropped++
 				}
 			}
@@ -546,7 +620,7 @@ func (s *Sim) step() bool {
 
 // RunUntil advances the simulation to time tMS (milliseconds).
 func (s *Sim) RunUntil(tMS float64) {
-	for s.events.Len() > 0 && s.events[0].t <= tMS {
+	for s.events.len() > 0 && s.events.peekTime() <= tMS {
 		s.step()
 	}
 	if s.now < tMS {

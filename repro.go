@@ -27,6 +27,7 @@
 package repro
 
 import (
+	"context"
 	mrand "math/rand"
 
 	"repro/internal/actionspace"
@@ -183,7 +184,9 @@ func NewDQNAgent(sys *System, seed int64) *DQN {
 func NewController(e Environment, a Agent) *Controller { return core.NewController(e, a) }
 
 // ActionSpace is the N×M scheduling action space with exact K-NN search
-// (the MIQP-NN substitute).
+// (the MIQP-NN substitute). The K-NN search reuses a workspace owned by
+// the space, so an ActionSpace is not safe for concurrent use — give each
+// goroutine its own.
 type ActionSpace = actionspace.Space
 
 // NewActionSpace returns an unconstrained N×M action space.
@@ -218,33 +221,61 @@ var (
 )
 
 // Figure runners, one per figure in the paper's evaluation (§4.2).
-func Figure6(s Scale, cfg ExperimentConfig) (*FigureResult, error) { return experiments.Fig6(s, cfg) }
+func Figure6(s Scale, cfg ExperimentConfig) (*FigureResult, error) {
+	return experiments.Fig6(context.Background(), s, cfg)
+}
 
 // Figure7 regenerates the CQ-large online-learning reward curves.
-func Figure7(cfg ExperimentConfig) (*FigureResult, error) { return experiments.Fig7(cfg) }
+func Figure7(cfg ExperimentConfig) (*FigureResult, error) {
+	return experiments.Fig7(context.Background(), cfg)
+}
 
 // Figure8 regenerates the log-stream tuple-time curves.
-func Figure8(cfg ExperimentConfig) (*FigureResult, error) { return experiments.Fig8(cfg) }
+func Figure8(cfg ExperimentConfig) (*FigureResult, error) {
+	return experiments.Fig8(context.Background(), cfg)
+}
 
 // Figure9 regenerates the log-stream reward curves.
-func Figure9(cfg ExperimentConfig) (*FigureResult, error) { return experiments.Fig9(cfg) }
+func Figure9(cfg ExperimentConfig) (*FigureResult, error) {
+	return experiments.Fig9(context.Background(), cfg)
+}
 
 // Figure10 regenerates the word-count tuple-time curves.
-func Figure10(cfg ExperimentConfig) (*FigureResult, error) { return experiments.Fig10(cfg) }
+func Figure10(cfg ExperimentConfig) (*FigureResult, error) {
+	return experiments.Fig10(context.Background(), cfg)
+}
 
 // Figure11 regenerates the word-count reward curves.
-func Figure11(cfg ExperimentConfig) (*FigureResult, error) { return experiments.Fig11(cfg) }
+func Figure11(cfg ExperimentConfig) (*FigureResult, error) {
+	return experiments.Fig11(context.Background(), cfg)
+}
 
 // Figure12 regenerates the workload-change comparison for "cq", "log" or
 // "wc".
 func Figure12(which string, cfg ExperimentConfig) (*FigureResult, error) {
-	return experiments.Fig12(which, cfg)
+	return experiments.Fig12(context.Background(), which, cfg)
 }
 
 // SummarizeFigures aggregates stabilized values into the paper's headline
 // claim (average improvement over default and model-based scheduling).
 func SummarizeFigures(results []*FigureResult) (overDefault, overModelBased float64, lines []string) {
 	return experiments.Summary(results)
+}
+
+// Figure id sets accepted by RunFigures.
+var (
+	// FigureIDs lists every figure of the evaluation in paper order.
+	FigureIDs = experiments.FigureIDs
+	// TupleTimeFigureIDs lists the figures the headline summary aggregates.
+	TupleTimeFigureIDs = experiments.TupleTimeFigureIDs
+)
+
+// RunFigures regenerates a whole figure suite on a bounded worker pool
+// (cfg.Workers goroutines; 0 means one per CPU, 1 forces sequential). The
+// first error cancels figures not yet started; results come back in input
+// order and are byte-identical for any worker count.
+func RunFigures(ctx context.Context, ids []string, cfg ExperimentConfig) ([]*FigureResult, error) {
+	return experiments.RunFigures(ctx, ids, cfg)
 }
 
 // newRand builds a seeded math/rand source for facade constructors.
