@@ -1,0 +1,132 @@
+// Command agentd is the DRL scheduling agent daemon: the external agent
+// process of the paper's Figure 1 architecture, grown into a multi-tenant
+// service. It accepts any number of concurrent scheduler sessions over the
+// NDJSON protocol (one session per topology), coalesces their state→action
+// requests into batched neural-network passes, sheds load explicitly under
+// backpressure, and exports /metrics and /healthz over HTTP.
+//
+// Usage:
+//
+//	agentd -listen 127.0.0.1:7700 -http 127.0.0.1:7701
+//
+// Trained weights from cmd/train can be installed for one topology shape:
+//
+//	agentd -n 24 -m 8 -spouts 3 -actor actor.net -critic critic.net
+//
+// Sessions for other shapes get freshly initialized networks.
+package main
+
+import (
+	"context"
+	"flag"
+	"fmt"
+	"log"
+	"net"
+	"net/http"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"repro/internal/nn"
+	"repro/internal/serve"
+)
+
+func main() {
+	var (
+		listen   = flag.String("listen", "127.0.0.1:7700", "scheduler session listen address")
+		httpAddr = flag.String("http", "127.0.0.1:7701", "HTTP control surface address (/metrics, /healthz); empty disables")
+		sessions = flag.Int("max-sessions", 4096, "max concurrent scheduler sessions")
+		queue    = flag.Int("queue", 1024, "per-model pending inference queue depth")
+		window   = flag.Duration("batch-window", 200*time.Microsecond, "micro-batch gather window (negative disables coalescing)")
+		maxBatch = flag.Int("max-batch", 64, "max inference micro-batch size (1 = per-request)")
+		idle     = flag.Duration("idle-timeout", 2*time.Minute, "per-session idle timeout")
+		k        = flag.Int("k", 8, "K-NN candidates scored by the critic")
+		seed     = flag.Int64("seed", 1, "seed for per-model network initialization")
+		n        = flag.Int("n", 0, "executors of the preloaded topology (with -actor/-critic)")
+		m        = flag.Int("m", 0, "machines of the preloaded topology")
+		spouts   = flag.Int("spouts", 0, "data sources of the preloaded topology")
+		actorF   = flag.String("actor", "", "actor network checkpoint (cmd/train format)")
+		criticF  = flag.String("critic", "", "critic network checkpoint (cmd/train format)")
+	)
+	flag.Parse()
+
+	s := serve.New(serve.Config{
+		MaxSessions: *sessions,
+		QueueDepth:  *queue,
+		BatchWindow: *window,
+		MaxBatch:    *maxBatch,
+		IdleTimeout: *idle,
+		K:           *k,
+		Seed:        *seed,
+	})
+
+	if *actorF != "" || *criticF != "" {
+		if *n <= 0 || *m <= 0 || *spouts <= 0 {
+			fail(fmt.Errorf("-actor/-critic need the topology shape: -n, -m and -spouts"))
+		}
+		pol, err := s.Preload(*n, *m, *spouts)
+		if err != nil {
+			fail(err)
+		}
+		actor, err := loadNet(*actorF)
+		if err != nil {
+			fail(err)
+		}
+		critic, err := loadNet(*criticF)
+		if err != nil {
+			fail(err)
+		}
+		if err := pol.SetNetworks(actor, critic); err != nil {
+			fail(err)
+		}
+		log.Printf("agentd: preloaded %dx%d/%d model from %s, %s", *n, *m, *spouts, *actorF, *criticF)
+	}
+
+	l, err := net.Listen("tcp", *listen)
+	if err != nil {
+		fail(err)
+	}
+	log.Printf("agentd: serving scheduler sessions on %s", l.Addr())
+
+	var httpSrv *http.Server
+	if *httpAddr != "" {
+		httpSrv = &http.Server{Addr: *httpAddr, Handler: s.Handler()}
+		go func() {
+			log.Printf("agentd: control surface on http://%s/metrics", *httpAddr)
+			if err := httpSrv.ListenAndServe(); err != nil && err != http.ErrServerClosed {
+				log.Printf("agentd: http: %v", err)
+			}
+		}()
+	}
+
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+	err = s.Serve(ctx, l)
+	if httpSrv != nil {
+		shutCtx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+		httpSrv.Shutdown(shutCtx)
+		cancel()
+	}
+	if err != nil {
+		fail(err)
+	}
+	log.Printf("agentd: drained, bye")
+}
+
+func loadNet(path string) (*nn.Network, error) {
+	blob, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	var net nn.Network
+	if err := net.UnmarshalBinary(blob); err != nil {
+		return nil, fmt.Errorf("%s: %w", path, err)
+	}
+	return &net, nil
+}
+
+func fail(err error) {
+	fmt.Fprintln(os.Stderr, "agentd:", err)
+	os.Exit(1)
+}

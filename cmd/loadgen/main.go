@@ -1,0 +1,107 @@
+// Command loadgen drives simulated scheduler sessions against an agentd
+// daemon and reports sustained throughput and tail latency. Each session
+// is one topology: it opens a connection, performs the hello handshake,
+// then loops measurement→solution with a synthetic drifting workload,
+// timing every round trip.
+//
+//	loadgen -addr 127.0.0.1:7700 -sessions 1000 -duration 10s
+//
+// The process exits non-zero if any session hits a protocol error, which
+// is what the CI smoke job asserts.
+package main
+
+import (
+	"context"
+	"errors"
+	"flag"
+	"fmt"
+	"math/rand"
+	"os"
+	"sync/atomic"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/serve"
+)
+
+func main() {
+	var (
+		addr     = flag.String("addr", "127.0.0.1:7700", "agentd address")
+		sessions = flag.Int("sessions", 100, "concurrent scheduler sessions")
+		duration = flag.Duration("duration", 10*time.Second, "how long to drive load")
+		n        = flag.Int("n", 12, "executors per topology")
+		m        = flag.Int("m", 4, "machines per topology")
+		spouts   = flag.Int("spouts", 2, "data sources per topology")
+		think    = flag.Duration("think", 0, "per-session pause between epochs (0 = closed loop)")
+		seed     = flag.Int64("seed", 1, "workload randomization seed")
+	)
+	flag.Parse()
+
+	pool := serve.NewPool(serve.ClientConfig{
+		Addr:  *addr,
+		Hello: serve.HelloMsg{Topology: "loadgen", N: *n, M: *m, Spouts: *spouts},
+	}, *sessions)
+
+	var (
+		lat      serve.Histogram
+		epochs   atomic.Int64
+		failures atomic.Int64
+	)
+	ctx, cancel := context.WithTimeout(context.Background(), *duration)
+	defer cancel()
+	start := time.Now()
+	runErr := pool.Run(ctx, func(ctx context.Context, i int, sess *serve.Session) error {
+		rng := rand.New(rand.NewSource(*seed + int64(i)))
+		base := 100 + 900*rng.Float64()
+		meas := core.MeasurementMsg{AvgTupleTimeMS: 50, Workload: make([]float64, *spouts)}
+		for ctx.Err() == nil {
+			for j := range meas.Workload {
+				meas.Workload[j] = base * (0.8 + 0.4*rng.Float64())
+			}
+			t0 := time.Now()
+			if _, err := sess.Step(ctx, meas); err != nil {
+				if ctx.Err() != nil {
+					return nil // deadline hit mid-step: not a failure
+				}
+				failures.Add(1)
+				return fmt.Errorf("session %d: %w", i, err)
+			}
+			lat.Observe(time.Since(t0))
+			epochs.Add(1)
+			meas.AvgTupleTimeMS = 30 + 40*rng.Float64()
+			if *think > 0 {
+				select {
+				case <-time.After(*think):
+				case <-ctx.Done():
+				}
+			}
+		}
+		return nil
+	})
+	elapsed := time.Since(start)
+	if elapsed > *duration {
+		elapsed = *duration
+	}
+	// The deadline firing is how a run normally ends; only real failures
+	// count.
+	if errors.Is(runErr, context.DeadlineExceeded) || errors.Is(runErr, context.Canceled) {
+		runErr = nil
+	}
+
+	stats := pool.Stats()
+	total := epochs.Load()
+	fmt.Printf("sessions:    %d (topology %dx%d/%d)\n", *sessions, *n, *m, *spouts)
+	fmt.Printf("duration:    %v\n", elapsed.Round(time.Millisecond))
+	fmt.Printf("requests:    %d (%.0f req/s sustained)\n", total, float64(total)/elapsed.Seconds())
+	fmt.Printf("latency:     p50 %v  p99 %v  mean %v\n", lat.Quantile(0.5), lat.Quantile(0.99), lat.Mean())
+	fmt.Printf("retries:     %d (load-shed replies honored)\n", stats.Retries.Load())
+	fmt.Printf("reconnects:  %d\n", stats.Reconnects.Load())
+	fmt.Printf("errors:      %d\n", stats.Errors.Load()+failures.Load())
+	if runErr != nil {
+		fmt.Fprintln(os.Stderr, "loadgen:", runErr)
+		os.Exit(1)
+	}
+	if stats.Errors.Load()+failures.Load() > 0 {
+		os.Exit(1)
+	}
+}

@@ -7,6 +7,8 @@ import (
 	"fmt"
 	"io"
 	"net"
+	"sync"
+	"time"
 )
 
 // This file reproduces the control-plane plumbing of Figure 1: "A socket is
@@ -28,6 +30,14 @@ type SolutionMsg struct {
 	Epoch int `json:"epoch"`
 	// Assign maps executor index to machine index.
 	Assign []int `json:"assign"`
+	// Err carries an agent-side failure (empty on success). The serving
+	// daemon (internal/serve) uses it to reject malformed sessions and,
+	// with Retry set, to shed load.
+	Err string `json:"err,omitempty"`
+	// Retry marks a load-shedding reply: the request was not processed and
+	// the scheduler should resubmit the same measurement after a short
+	// backoff (admission control, internal/serve).
+	Retry bool `json:"retry,omitempty"`
 }
 
 // MeasurementMsg is the scheduler→agent reply after deployment and
@@ -52,10 +62,89 @@ type Deployer interface {
 	Measure() (avgTupleMS float64, workload []float64)
 }
 
-// ServeScheduler accepts one agent connection at a time on l and services
-// its solution pushes until the listener closes. It returns the first
-// non-temporary accept error (or nil when the listener is closed).
+// ServeScheduler accepts agent connections on l and serves them
+// concurrently — multiple agents (e.g. an A/B pair during a hot swap,
+// §3.1) can hold sessions at once, while each Deploy+Measure pair runs
+// under a lock so a session never measures another session's deployment.
+// Temporary accept errors (in practice: EMFILE and friends under load) are
+// retried with exponential backoff instead of tearing the server down; the
+// call returns nil when the listener closes, or the first fatal accept
+// error otherwise. On return every in-flight session has been unblocked
+// (its connection's deadlines fire immediately, so a session parked in a
+// read does not pin the shutdown) and drained.
 func ServeScheduler(l net.Listener, d Deployer) error {
+	var (
+		wg    sync.WaitGroup
+		mu    sync.Mutex
+		cmu   sync.Mutex
+		conns = map[net.Conn]struct{}{}
+	)
+	// drain kicks every live connection out of blocking I/O and waits for
+	// its session goroutine; an in-flight Deploy+Measure finishes first
+	// (it does no socket I/O), then the reply write fails and the session
+	// exits.
+	drain := func() {
+		cmu.Lock()
+		for c := range conns {
+			c.SetDeadline(time.Now())
+		}
+		cmu.Unlock()
+		wg.Wait()
+	}
+	defer drain()
+	for {
+		conn, err := AcceptRetry(l)
+		if err != nil {
+			if errors.Is(err, net.ErrClosed) {
+				return nil
+			}
+			return err
+		}
+		cmu.Lock()
+		conns[conn] = struct{}{}
+		cmu.Unlock()
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			defer func() {
+				cmu.Lock()
+				delete(conns, conn)
+				cmu.Unlock()
+				conn.Close()
+			}()
+			handleSchedulerSession(conn, d, &mu)
+		}()
+	}
+}
+
+// AcceptRetry accepts the next connection, retrying temporary errors
+// (accept-queue conditions like EMFILE/ENFILE/ECONNABORTED) with
+// exponential backoff from 5ms up to 1s instead of tearing the server
+// down. The first fatal error — including net.ErrClosed when the listener
+// closes — is returned. Shared by ServeScheduler and internal/serve.
+func AcceptRetry(l net.Listener) (net.Conn, error) {
+	backoff := 5 * time.Millisecond
+	for {
+		conn, err := l.Accept()
+		if err == nil {
+			return conn, nil
+		}
+		if !isTemporary(err) {
+			return nil, err
+		}
+		time.Sleep(backoff)
+		if backoff *= 2; backoff > time.Second {
+			backoff = time.Second
+		}
+	}
+}
+
+// ServeSchedulerSequential keeps the original one-connection-at-a-time
+// accept loop: sessions are served back-to-back on the calling goroutine,
+// so a Deployer that is not safe for concurrent use (the deterministic
+// figure pipeline's simulators) needs no locking and observes deployments
+// in a single total order.
+func ServeSchedulerSequential(l net.Listener, d Deployer) error {
 	for {
 		conn, err := l.Accept()
 		if err != nil {
@@ -64,20 +153,33 @@ func ServeScheduler(l net.Listener, d Deployer) error {
 			}
 			return err
 		}
-		serveConn(conn, d)
+		func() {
+			defer conn.Close()
+			HandleSchedulerSession(conn, d)
+		}()
 	}
 }
 
-// serveConn handles one agent session.
-func serveConn(conn net.Conn, d Deployer) {
-	defer conn.Close()
-	HandleSchedulerSession(conn, d)
+// isTemporary reports whether an accept error is transient. net.Error's
+// Temporary is deprecated for general errors but remains the only signal
+// for accept-queue conditions like EMFILE/ENFILE/ECONNABORTED.
+func isTemporary(err error) bool {
+	var te interface{ Temporary() bool }
+	return errors.As(err, &te) && te.Temporary()
 }
 
 // HandleSchedulerSession runs the scheduler side of the protocol over any
 // stream (exposed separately so in-process pipes can be used in tests and
 // embeddings).
 func HandleSchedulerSession(rw io.ReadWriter, d Deployer) {
+	handleSchedulerSession(rw, d, nil)
+}
+
+// handleSchedulerSession services one agent session. When mu is non-nil
+// each Deploy+Measure pair is one critical section, so concurrent sessions
+// sharing a Deployer get attributable measurements (a session never
+// measures a solution another session deployed in between).
+func handleSchedulerSession(rw io.ReadWriter, d Deployer, mu *sync.Mutex) {
 	dec := json.NewDecoder(bufio.NewReader(rw))
 	enc := json.NewEncoder(rw)
 	for {
@@ -86,10 +188,16 @@ func HandleSchedulerSession(rw io.ReadWriter, d Deployer) {
 			return // connection closed or protocol error
 		}
 		var reply MeasurementMsg
+		if mu != nil {
+			mu.Lock()
+		}
 		if err := d.Deploy(msg.Assign); err != nil {
 			reply.Err = err.Error()
 		} else {
 			reply.AvgTupleTimeMS, reply.Workload = d.Measure()
+		}
+		if mu != nil {
+			mu.Unlock()
 		}
 		if err := enc.Encode(&reply); err != nil {
 			return

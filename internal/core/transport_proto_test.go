@@ -1,0 +1,359 @@
+package core
+
+import (
+	"bufio"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"net"
+	"reflect"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+)
+
+// TestWireRoundTrip pins the NDJSON wire format: both message types must
+// survive encode→decode unchanged, including the error paths, and the
+// encoded form must be a single '\n'-terminated line (the framing the
+// serving daemon's line reader relies on).
+func TestWireRoundTrip(t *testing.T) {
+	sols := []SolutionMsg{
+		{Epoch: 7, Assign: []int{0, 2, 1, 2}},
+		{Epoch: 0, Assign: nil, Err: "no feasible solution"},
+		{Epoch: 3, Err: "retry: inference queue full", Retry: true},
+	}
+	for _, in := range sols {
+		blob, err := json.Marshal(in)
+		if err != nil {
+			t.Fatal(err)
+		}
+		var out SolutionMsg
+		if err := json.Unmarshal(blob, &out); err != nil {
+			t.Fatal(err)
+		}
+		if !reflect.DeepEqual(in, out) {
+			t.Fatalf("SolutionMsg round trip: %+v -> %s -> %+v", in, blob, out)
+		}
+	}
+	// Err/Retry must stay off the wire for plain solutions (old peers see
+	// the exact seed protocol).
+	if blob, _ := json.Marshal(sols[0]); strings.Contains(string(blob), "err") || strings.Contains(string(blob), "retry") {
+		t.Fatalf("plain solution leaked error fields: %s", blob)
+	}
+
+	meas := []MeasurementMsg{
+		{AvgTupleTimeMS: 41.25, Workload: []float64{120, 80.5}},
+		{Err: "deploy refused"},
+	}
+	for _, in := range meas {
+		blob, err := json.Marshal(in)
+		if err != nil {
+			t.Fatal(err)
+		}
+		var out MeasurementMsg
+		if err := json.Unmarshal(blob, &out); err != nil {
+			t.Fatal(err)
+		}
+		if !reflect.DeepEqual(in, out) {
+			t.Fatalf("MeasurementMsg round trip: %+v -> %s -> %+v", in, blob, out)
+		}
+	}
+
+	// One message per line, as produced by json.Encoder.
+	var sb strings.Builder
+	enc := json.NewEncoder(&sb)
+	if err := enc.Encode(&sols[0]); err != nil {
+		t.Fatal(err)
+	}
+	if got := sb.String(); strings.Count(got, "\n") != 1 || !strings.HasSuffix(got, "\n") {
+		t.Fatalf("encoded frame is not one line: %q", got)
+	}
+}
+
+// TestSessionGarbageLine: a non-JSON line must terminate the session
+// cleanly (no reply, no hang) rather than desynchronize the stream.
+func TestSessionGarbageLine(t *testing.T) {
+	server, client := net.Pipe()
+	done := make(chan struct{})
+	go func() {
+		HandleSchedulerSession(server, &simDeployer{env: newToy()})
+		server.Close()
+		close(done)
+	}()
+	if _, err := client.Write([]byte("this is not json\n")); err != nil {
+		t.Fatal(err)
+	}
+	// The session must end; the client sees EOF (or a closed pipe) instead
+	// of a reply.
+	client.SetReadDeadline(time.Now().Add(5 * time.Second))
+	buf := make([]byte, 64)
+	if n, err := client.Read(buf); err == nil {
+		t.Fatalf("got %q after garbage, want closed session", buf[:n])
+	}
+	select {
+	case <-done:
+	case <-time.After(5 * time.Second):
+		t.Fatal("session did not terminate on garbage input")
+	}
+	client.Close()
+}
+
+// TestSessionMidMessageDrop: the peer vanishing halfway through a frame
+// must terminate the session, and the client side must surface an error
+// from Push rather than blocking.
+func TestSessionMidMessageDrop(t *testing.T) {
+	server, client := net.Pipe()
+	done := make(chan struct{})
+	go func() {
+		HandleSchedulerSession(server, &simDeployer{env: newToy()})
+		close(done)
+	}()
+	// Half a SolutionMsg, then hang up.
+	if _, err := client.Write([]byte(`{"epoch":1,"assign":[0,1,`)); err != nil {
+		t.Fatal(err)
+	}
+	client.Close()
+	select {
+	case <-done:
+	case <-time.After(5 * time.Second):
+		t.Fatal("session did not terminate on mid-message drop")
+	}
+
+	// Client side: server drops mid-reply.
+	server2, client2 := net.Pipe()
+	go func() {
+		dec := json.NewDecoder(bufio.NewReader(server2))
+		var msg SolutionMsg
+		if err := dec.Decode(&msg); err == nil {
+			server2.Write([]byte(`{"avg_tuple_time_ms":12`)) // truncated reply
+		}
+		server2.Close()
+	}()
+	c := NewAgentClient(client2)
+	defer c.Close()
+	if _, _, err := c.Push(1, []int{0, 0}); err == nil {
+		t.Fatal("Push succeeded across a mid-message drop")
+	}
+}
+
+// TestPushSurfacesRemoteError pins the client-side Err path end to end.
+func TestPushSurfacesRemoteError(t *testing.T) {
+	server, client := net.Pipe()
+	go HandleSchedulerSession(server, &simDeployer{env: newToy(), fail: true})
+	c := NewAgentClient(client)
+	defer c.Close()
+	_, _, err := c.Push(1, []int{0, 0, 0, 0, 0, 0})
+	if err == nil || !strings.Contains(err.Error(), "deploy refused") {
+		t.Fatalf("err = %v, want remote deploy refusal", err)
+	}
+}
+
+// countingDeployer tracks concurrent Deploy+Measure critical sections.
+type countingDeployer struct {
+	env               *toyEnv
+	inside, maxInside atomic.Int32
+	calls             atomic.Int32
+	assign            []int
+	mu                sync.Mutex
+}
+
+func (d *countingDeployer) Deploy(assign []int) error {
+	n := d.inside.Add(1)
+	for {
+		old := d.maxInside.Load()
+		if n <= old || d.maxInside.CompareAndSwap(old, n) {
+			break
+		}
+	}
+	d.mu.Lock()
+	d.assign = append(d.assign[:0], assign...)
+	d.mu.Unlock()
+	time.Sleep(time.Millisecond) // widen the race window
+	return nil
+}
+
+func (d *countingDeployer) Measure() (float64, []float64) {
+	d.calls.Add(1)
+	d.mu.Lock()
+	a := append([]int(nil), d.assign...)
+	d.mu.Unlock()
+	d.inside.Add(-1)
+	return d.env.AvgTupleTimeMS(a), d.env.Workload()
+}
+
+// TestServeSchedulerConcurrentSessions: several agents hold sessions at
+// once, every push gets a valid measurement, and Deploy+Measure pairs
+// never interleave (the lock in ServeScheduler).
+func TestServeSchedulerConcurrentSessions(t *testing.T) {
+	d := &countingDeployer{env: newToy()}
+	l, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	done := make(chan error, 1)
+	go func() { done <- ServeScheduler(l, d) }()
+
+	const sessions = 8
+	var wg sync.WaitGroup
+	errs := make(chan error, sessions)
+	for s := 0; s < sessions; s++ {
+		wg.Add(1)
+		go func(s int) {
+			defer wg.Done()
+			c, err := DialScheduler(l.Addr().String())
+			if err != nil {
+				errs <- err
+				return
+			}
+			defer c.Close()
+			for e := 1; e <= 5; e++ {
+				avg, work, err := c.Push(e, []int{0, 0, 1, 1, 2, 2})
+				if err != nil {
+					errs <- fmt.Errorf("session %d epoch %d: %w", s, e, err)
+					return
+				}
+				if avg <= 0 || len(work) == 0 {
+					errs <- fmt.Errorf("session %d: bad measurement %v %v", s, avg, work)
+					return
+				}
+			}
+		}(s)
+	}
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		t.Error(err)
+	}
+	l.Close()
+	if err := <-done; err != nil {
+		t.Fatalf("server error: %v", err)
+	}
+	if got := d.calls.Load(); got != sessions*5 {
+		t.Fatalf("measured %d deployments, want %d", got, sessions*5)
+	}
+	if m := d.maxInside.Load(); m != 1 {
+		t.Fatalf("Deploy+Measure critical sections overlapped (max %d inside)", m)
+	}
+}
+
+// tempErrListener injects a temporary accept error before delegating.
+type tempErrListener struct {
+	net.Listener
+	fails atomic.Int32
+}
+
+type tempErr struct{}
+
+func (tempErr) Error() string   { return "accept: resource temporarily unavailable" }
+func (tempErr) Timeout() bool   { return false }
+func (tempErr) Temporary() bool { return true }
+
+func (l *tempErrListener) Accept() (net.Conn, error) {
+	if l.fails.Add(-1) >= 0 {
+		return nil, tempErr{}
+	}
+	return l.Listener.Accept()
+}
+
+// TestServeSchedulerTemporaryAcceptError: transient accept failures must
+// be retried with backoff, not returned.
+func TestServeSchedulerTemporaryAcceptError(t *testing.T) {
+	inner, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	l := &tempErrListener{Listener: inner}
+	l.fails.Store(3)
+	done := make(chan error, 1)
+	go func() { done <- ServeScheduler(l, &simDeployer{env: newToy()}) }()
+
+	c, err := DialScheduler(inner.Addr().String())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, _, err := c.Push(1, []int{0, 0, 0, 1, 1, 1}); err != nil {
+		t.Fatalf("push after temporary accept errors: %v", err)
+	}
+	c.Close()
+	inner.Close()
+	if err := <-done; err != nil {
+		t.Fatalf("server returned %v after temporary accept errors", err)
+	}
+	if l.fails.Load() >= 0 {
+		t.Fatal("injected failures were not consumed")
+	}
+}
+
+// TestServeSchedulerShutdownUnblocksIdleSession: closing the listener
+// must return even while a connected agent sits idle — the drain kicks
+// the session out of its blocking read instead of waiting on it forever.
+func TestServeSchedulerShutdownUnblocksIdleSession(t *testing.T) {
+	l, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	done := make(chan error, 1)
+	go func() { done <- ServeScheduler(l, &simDeployer{env: newToy()}) }()
+
+	c, err := DialScheduler(l.Addr().String())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+	// Exchange once so the session is definitely established, then go idle.
+	if _, _, err := c.Push(1, []int{0, 0, 0, 1, 1, 1}); err != nil {
+		t.Fatal(err)
+	}
+	l.Close()
+	select {
+	case err := <-done:
+		if err != nil {
+			t.Fatalf("server returned %v after listener close", err)
+		}
+	case <-time.After(10 * time.Second):
+		t.Fatal("ServeScheduler did not return: idle session pinned the drain")
+	}
+}
+
+// TestServeSchedulerFatalAcceptError: non-temporary accept errors still
+// surface.
+func TestServeSchedulerFatalAcceptError(t *testing.T) {
+	boom := errors.New("accept: fatal")
+	if err := ServeScheduler(fatalListener{err: boom}, &simDeployer{env: newToy()}); !errors.Is(err, boom) {
+		t.Fatalf("err = %v, want fatal accept error", err)
+	}
+}
+
+type fatalListener struct{ err error }
+
+func (l fatalListener) Accept() (net.Conn, error) { return nil, l.err }
+func (l fatalListener) Close() error              { return nil }
+func (l fatalListener) Addr() net.Addr            { return &net.TCPAddr{} }
+
+// TestServeSchedulerSequentialStillWorks keeps the figure pipeline's
+// one-at-a-time path covered.
+func TestServeSchedulerSequentialStillWorks(t *testing.T) {
+	deployer := &simDeployer{env: newToy()}
+	l, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	done := make(chan error, 1)
+	go func() { done <- ServeSchedulerSequential(l, deployer) }()
+	for i := 0; i < 3; i++ {
+		c, err := DialScheduler(l.Addr().String())
+		if err != nil {
+			t.Fatal(err)
+		}
+		if _, _, err := c.Push(1, []int{0, 0, 0, 1, 1, 1}); err != nil {
+			t.Fatal(err)
+		}
+		c.Close()
+	}
+	l.Close()
+	if err := <-done; err != nil {
+		t.Fatalf("server error: %v", err)
+	}
+}

@@ -60,6 +60,13 @@ type Config struct {
 	Workers int
 	// Progress, if non-nil, receives human-readable progress lines.
 	Progress io.Writer
+
+	// sem is the weighted semaphore shared across the suite and per-figure
+	// fan-out levels; RunFiguresStream installs it so workers idled by a
+	// draining suite are reclaimed by the remaining figures' inner stages
+	// (see internal/parallel.Sem). Nil outside suite runs, in which case
+	// every fan-out falls back to its own Workers-bounded pool.
+	sem *parallel.Sem
 }
 
 // Defaults returns paper-faithful settings (a full run takes tens of
@@ -274,7 +281,7 @@ func solutions(ctx context.Context, sys *apps.System, cfg Config, epochs int) (*
 		mbAssign           []int
 		dqnTrained, acQual *trained
 	)
-	err := parallel.Run(ctx, cfg.Workers,
+	err := parallel.RunSem(ctx, cfg.sem, cfg.Workers,
 		func() error {
 			// Model-based [25].
 			te, err := newTrainEnv(sys)

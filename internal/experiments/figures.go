@@ -61,7 +61,7 @@ func tupleTimeFigure(ctx context.Context, id, title string, sys *apps.System, cf
 		ser  Series
 		stab float64
 	}
-	outs, err := parallel.Map(ctx, len(schedulerOrder), cfg.Workers,
+	outs, err := parallel.MapSem(ctx, cfg.sem, len(schedulerOrder), cfg.Workers,
 		func(_ context.Context, i int) (curveOut, error) {
 			name := schedulerOrder[i]
 			cfg.logf("  simulating %q deployment (%.0f min)", name, cfg.CurveMinutes)
@@ -122,7 +122,7 @@ func rewardFigure(ctx context.Context, id, title string, sys *apps.System, cfg C
 	// The two agents learn independently (own seeds, own environments);
 	// train them concurrently.
 	var acT, dqnT *trained
-	err := parallel.Run(ctx, cfg.Workers,
+	err := parallel.RunSem(ctx, cfg.sem, cfg.Workers,
 		func() error {
 			cfg.logf("  training actor-critic agent online")
 			ac := core.NewActorCritic(n, m, numSpouts, cfg.acConfig(), cfg.Seed+500)
@@ -206,7 +206,7 @@ func Fig12(ctx context.Context, which string, cfg Config) (*Result, error) {
 		te             *trainEnv
 		mb             *sched.ModelBased
 	)
-	err = parallel.Run(ctx, cfg.Workers,
+	err = parallel.RunSem(ctx, cfg.sem, cfg.Workers,
 		func() error {
 			cfg.logf("  training actor-critic agent")
 			acT, err := trainAgent(sys, ac, cfg, 0)
@@ -277,7 +277,7 @@ func Fig12(ctx context.Context, which string, cfg Config) (*Result, error) {
 		ser  Series
 		stab float64
 	}
-	outs, err := parallel.Map(ctx, len(runs), cfg.Workers,
+	outs, err := parallel.MapSem(ctx, cfg.sem, len(runs), cfg.Workers,
 		func(_ context.Context, i int) (runOut, error) {
 			run := runs[i]
 			cfg.logf("  simulating %q over %.0f min", run.name, total)

@@ -65,32 +65,28 @@ func RunFigures(ctx context.Context, ids []string, cfg Config) ([]*Result, error
 // late failure cannot discard already-delivered results. emit is never
 // called concurrently. Errors are tagged with the failing figure's id.
 //
-// When the suite level itself fans out, the pool is divided between the
-// levels: suiteWorkers figures run concurrently and each gets
-// pool/suiteWorkers workers for its internal stages (floor division, min
-// 1), so total in-flight work stays bounded by the pool size without
-// multiplying to Workers × per-figure fan-out — and without idling cores
-// when there are fewer figures than workers. A single-figure run keeps its
-// full internal fan-out.
+// When the suite level itself fans out, the suite and per-figure levels
+// share one weighted semaphore sized to the pool (capacity PoolSize−1 plus
+// the calling goroutine), so total in-flight work stays bounded by the
+// pool size without multiplying to Workers × per-figure fan-out — and when
+// the suite drains to its last slow figures, the tokens released by
+// finished figures are reclaimed by the survivors' inner stages instead of
+// idling in a static per-level share. A single-figure run keeps its full
+// internal fan-out.
 func RunFiguresStream(ctx context.Context, ids []string, cfg Config, emit func(i int, r *Result)) ([]*Result, error) {
-	innerWorkers := cfg.Workers
-	if suiteWorkers := parallel.Workers(cfg.Workers, len(ids)); len(ids) > 1 && suiteWorkers > 1 {
-		innerWorkers = parallel.PoolSize(cfg.Workers) / suiteWorkers
-		if innerWorkers < 1 {
-			innerWorkers = 1
-		}
+	if cfg.sem == nil && len(ids) > 1 && parallel.PoolSize(cfg.Workers) > 1 {
+		cfg.sem = parallel.NewSem(parallel.PoolSize(cfg.Workers) - 1)
 	}
 	results := make([]*Result, len(ids))
 	var (
 		mu        sync.Mutex
 		delivered int
 	)
-	err := parallel.ForEach(ctx, len(ids), cfg.Workers, func(ctx context.Context, i int) error {
+	err := parallel.ForEachSem(ctx, cfg.sem, len(ids), cfg.Workers, func(ctx context.Context, i int) error {
 		if err := ctx.Err(); err != nil {
 			return err
 		}
 		fcfg := cfg
-		fcfg.Workers = innerWorkers
 		if cfg.Progress != nil && len(ids) > 1 {
 			fcfg.Progress = &prefixWriter{w: cfg.Progress, prefix: "[fig " + ids[i] + "] "}
 		}

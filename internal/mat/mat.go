@@ -29,6 +29,21 @@ func NewMatrix(rows, cols int) *Matrix {
 	return &Matrix{Rows: rows, Cols: cols, Data: make([]float64, rows*cols)}
 }
 
+// Reshape resizes m to rows×cols in place: the backing array is reused
+// (and its retained prefix preserved) when it has capacity, and grown —
+// zeroed, prior contents discarded — otherwise. Grow-only workspaces use
+// it to track fluctuating batch sizes off one high-water-mark allocation
+// instead of reallocating whenever the batch size changes.
+func (m *Matrix) Reshape(rows, cols int) {
+	if rows < 0 || cols < 0 {
+		panic(fmt.Sprintf("mat: negative dimensions %dx%d", rows, cols))
+	}
+	if cap(m.Data) < rows*cols {
+		m.Data = make([]float64, rows*cols)
+	}
+	m.Rows, m.Cols, m.Data = rows, cols, m.Data[:rows*cols]
+}
+
 // FromSlice wraps data (row-major) as a rows×cols matrix without copying.
 func FromSlice(rows, cols int, data []float64) *Matrix {
 	if len(data) != rows*cols {

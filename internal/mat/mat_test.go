@@ -282,3 +282,40 @@ func BenchmarkMulVec64x64(b *testing.B) {
 		m.MulVec(dst, x)
 	}
 }
+
+// TestReshape pins the grow-only workspace contract: growth reallocates
+// zeroed storage, shrink-then-regrow within capacity reuses the backing
+// array and preserves the retained prefix.
+func TestReshape(t *testing.T) {
+	var m Matrix
+	m.Reshape(2, 3)
+	if m.Rows != 2 || m.Cols != 3 || len(m.Data) != 6 {
+		t.Fatalf("after grow: %dx%d len %d", m.Rows, m.Cols, len(m.Data))
+	}
+	for i, v := range m.Data {
+		if v != 0 {
+			t.Fatalf("grown storage not zeroed at %d: %v", i, v)
+		}
+	}
+	for i := range m.Data {
+		m.Data[i] = float64(i + 1)
+	}
+	backing := &m.Data[0]
+	m.Reshape(1, 3)
+	if m.Rows != 1 || len(m.Data) != 3 || &m.Data[0] != backing {
+		t.Fatal("shrink within capacity must reuse the backing array")
+	}
+	m.Reshape(2, 3)
+	if &m.Data[0] != backing {
+		t.Fatal("regrow within capacity must reuse the backing array")
+	}
+	for i, want := range []float64{1, 2, 3, 4, 5, 6} {
+		if m.Data[i] != want {
+			t.Fatalf("retained prefix clobbered at %d: %v", i, m.Data[i])
+		}
+	}
+	m.Reshape(4, 3)
+	if m.Rows != 4 || len(m.Data) != 12 {
+		t.Fatalf("after realloc: %dx%d len %d", m.Rows, m.Cols, len(m.Data))
+	}
+}

@@ -16,15 +16,19 @@ import (
 // first use and reused while the batch size stays constant (the training
 // loops use a fixed H), so steady-state batched training does not allocate.
 
-// ensureBatch sizes the layer's minibatch workspace for h rows.
+// ensureBatch sizes the layer's minibatch workspace for h rows. The
+// backing arrays grow monotonically (mat.Reshape), so a serving path whose
+// micro-batch size fluctuates request-to-request (see internal/serve)
+// reuses one high-water-mark allocation instead of reallocating every time
+// the batch size changes.
 func (d *Dense) ensureBatch(h int) {
-	if d.bIn != nil && d.bIn.Rows == h {
-		return
+	if d.bIn == nil {
+		d.bIn, d.bOut, d.bDelta, d.bDIn = &mat.Matrix{}, &mat.Matrix{}, &mat.Matrix{}, &mat.Matrix{}
 	}
-	d.bIn = mat.NewMatrix(h, d.In)
-	d.bOut = mat.NewMatrix(h, d.Out)
-	d.bDelta = mat.NewMatrix(h, d.Out)
-	d.bDIn = mat.NewMatrix(h, d.In)
+	d.bIn.Reshape(h, d.In)
+	d.bOut.Reshape(h, d.Out)
+	d.bDelta.Reshape(h, d.Out)
+	d.bDIn.Reshape(h, d.In)
 }
 
 // ForwardBatch computes the layer output for every row of x, caching what
@@ -69,6 +73,61 @@ func (d *Dense) BackwardBatch(dOut *mat.Matrix, scale float64) *mat.Matrix {
 	}
 	mat.Matmul(d.bDIn, d.bDelta, d.W)
 	return d.bDIn
+}
+
+// ForwardBatchInfer is the inference-only batched pass used by the serving
+// path (internal/serve): no backprop caches are written, and each layer
+// computes Y = X·Wᵀ through the zero-skipping axpy GEMM (mat.Matmul) over
+// a lazily cached In×Out transpose of its weights. For the serving
+// workload the input rows are one-hot dominated (flattened assignment
+// matrices), so skipping zero coefficients drops most of the layer-1
+// multiply-accumulates — the layer that dominates inference cost.
+//
+// The transpose cache is built on first use and never invalidated, so the
+// network's weights must be frozen before the first call (serving installs
+// trained weights once); training paths must keep using ForwardBatch.
+// Summation order differs from Forward/ForwardBatch (single accumulator
+// per output instead of the 4-lane dot), so outputs may differ in the last
+// bits — irrelevant for action selection, which is why only the inference
+// path uses it.
+func (d *Dense) forwardBatchInfer(x *mat.Matrix) *mat.Matrix {
+	if x.Cols != d.In {
+		panic(fmt.Sprintf("nn: forwardBatchInfer got %d columns, layer input is %d", x.Cols, d.In))
+	}
+	if d.wt == nil {
+		d.wt = mat.NewMatrix(d.In, d.Out)
+		for i := 0; i < d.Out; i++ {
+			row := d.W.Row(i)
+			for j, v := range row {
+				d.wt.Data[j*d.Out+i] = v
+			}
+		}
+	}
+	if d.iOut == nil {
+		d.iOut = &mat.Matrix{}
+	}
+	h := x.Rows
+	d.iOut.Reshape(h, d.Out)
+	mat.Matmul(d.iOut, x, d.wt)
+	for r := 0; r < h; r++ {
+		row := d.iOut.Row(r)
+		for i := range row {
+			row[i] = d.Act.apply(row[i] + d.B[i])
+		}
+	}
+	return d.iOut
+}
+
+// ForwardBatchInfer evaluates the network on every row of x through the
+// inference-only path (see Dense.forwardBatchInfer for the contract). The
+// returned matrix is owned by the final layer and valid until its next
+// ForwardBatchInfer call.
+func (n *Network) ForwardBatchInfer(x *mat.Matrix) *mat.Matrix {
+	h := x
+	for _, l := range n.Layers {
+		h = l.forwardBatchInfer(h)
+	}
+	return h
 }
 
 // ForwardBatch evaluates the network on every row of x. The returned matrix

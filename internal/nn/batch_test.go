@@ -144,3 +144,74 @@ func TestForwardBatchInterleavesWithForward(t *testing.T) {
 		}
 	}
 }
+
+// TestForwardBatchVaryingSizes drives one network through shrinking and
+// regrowing batch sizes — the serving batcher's access pattern — and checks
+// every size still agrees with per-sample Forward and that sizes within the
+// high-water mark do not reallocate the workspaces.
+func TestForwardBatchVaryingSizes(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	net := New([]int{11, 32, 16, 4}, Tanh, Identity, rng)
+
+	check := func(h int) {
+		t.Helper()
+		x := mat.NewMatrix(h, 11)
+		x.Randomize(rng, 2)
+		got := net.ForwardBatch(x)
+		if got.Rows != h {
+			t.Fatalf("batch %d: got %d output rows", h, got.Rows)
+		}
+		for r := 0; r < h; r++ {
+			want := net.ForwardCopy(x.Row(r))
+			for i, w := range want {
+				if d := math.Abs(got.At(r, i) - w); d > 1e-12 {
+					t.Fatalf("batch %d row %d out %d: batch=%g per-sample=%g", h, r, i, got.At(r, i), w)
+				}
+			}
+		}
+	}
+	for _, h := range []int{16, 3, 9, 1, 16, 7} {
+		check(h)
+	}
+
+	// Once the high-water mark (16 rows) is allocated, smaller and equal
+	// batches must reuse the same backing arrays.
+	base := net.Layers[0].bIn.Data[:1]
+	for _, h := range []int{5, 16, 2} {
+		x := mat.NewMatrix(h, 11)
+		x.Randomize(rng, 2)
+		net.ForwardBatch(x)
+		if &net.Layers[0].bIn.Data[0] != &base[0] {
+			t.Fatalf("batch %d reallocated the workspace below the high-water mark", h)
+		}
+	}
+}
+
+// TestForwardBatchInferMatchesForward: the inference-only path (transposed
+// zero-skipping kernel, no backprop caches) must agree with the reference
+// forward to floating-point reassociation tolerance, including on sparse
+// one-hot-style inputs and across varying batch sizes.
+func TestForwardBatchInferMatchesForward(t *testing.T) {
+	rng := rand.New(rand.NewSource(19))
+	net := New([]int{24, 32, 16, 6}, Tanh, Identity, rng)
+	for _, h := range []int{8, 1, 5, 8} {
+		x := mat.NewMatrix(h, 24)
+		// One-hot-dominated rows: a few ones, a couple of dense entries.
+		for r := 0; r < h; r++ {
+			row := x.Row(r)
+			for k := 0; k < 4; k++ {
+				row[rng.Intn(20)] = 1
+			}
+			row[20+rng.Intn(4)] = rng.Float64()
+		}
+		got := net.ForwardBatchInfer(x)
+		for r := 0; r < h; r++ {
+			want := net.ForwardCopy(x.Row(r))
+			for i, w := range want {
+				if d := math.Abs(got.At(r, i) - w); d > 1e-9 {
+					t.Fatalf("h=%d row %d out %d: infer=%g forward=%g (|Δ|=%g)", h, r, i, got.At(r, i), w, d)
+				}
+			}
+		}
+	}
+}

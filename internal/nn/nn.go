@@ -101,6 +101,12 @@ type Dense struct {
 	// caches so action-selection Forward calls can interleave with batched
 	// training without clobbering each other's backprop state.
 	bIn, bOut, bDelta, bDIn *mat.Matrix
+
+	// Inference-only caches (see forwardBatchInfer): the In×Out weight
+	// transpose, built lazily from frozen weights, and its output
+	// workspace. Never copied by Clone, never touched by training.
+	wt   *mat.Matrix
+	iOut *mat.Matrix
 }
 
 // NewDense returns a dense layer with Xavier-initialized weights.
@@ -341,8 +347,10 @@ func (n *Network) UnmarshalBinary(data []byte) error {
 	if err := gob.NewDecoder(bytes.NewReader(data)).Decode(&st); err != nil {
 		return fmt.Errorf("nn: decode: %w", err)
 	}
-	if len(st.Sizes) < 2 || len(st.Acts) != len(st.Sizes)-1 {
-		return fmt.Errorf("nn: decode: malformed state (%d sizes, %d acts)", len(st.Sizes), len(st.Acts))
+	if len(st.Sizes) < 2 || len(st.Acts) != len(st.Sizes)-1 ||
+		len(st.W) != len(st.Sizes)-1 || len(st.B) != len(st.Sizes)-1 {
+		return fmt.Errorf("nn: decode: malformed state (%d sizes, %d acts, %d weight sets, %d bias sets)",
+			len(st.Sizes), len(st.Acts), len(st.W), len(st.B))
 	}
 	n.Layers = nil
 	for i := 0; i < len(st.Sizes)-1; i++ {

@@ -1,0 +1,211 @@
+package parallel
+
+import (
+	"context"
+	"sync"
+	"sync/atomic"
+)
+
+// Sem is a weighted semaphore shared across the nesting levels of a
+// fan-out pipeline. It fixes the tail-reclamation problem of statically
+// dividing a pool between levels: when an outer level (a figure suite)
+// drains to its last slow task, the tokens released by the finished
+// siblings become available to that task's *inner* fan-out immediately,
+// instead of sitting idle in the outer level's static share.
+//
+// Deadlock freedom is structural, not a usage convention. ForEachSem never
+// parks a goroutine that other work depends on: the calling goroutine runs
+// tasks itself without ever acquiring a token (it *is* a worker already),
+// and only helper goroutines block in Acquire — and those are abandoned
+// (via context) the moment the task list is fully claimed, so nothing ever
+// waits on a goroutine that is itself waiting for a token. An outer task
+// therefore never holds tokens while waiting on inner tasks; it lends its
+// own goroutine to the inner level instead, and while it is parked waiting
+// for its helpers it lends its worker slot back to the pool (lend/unlend),
+// so deeper levels can run on it.
+type Sem struct {
+	base int // nominal capacity (excludes lends)
+
+	mu   sync.Mutex
+	cap  int           // current capacity: base + active lends
+	held int           // tokens currently held
+	wake chan struct{} // closed and replaced whenever a token may free up
+}
+
+// NewSem returns a semaphore with the given capacity. Capacity n means at
+// most n helper goroutines run concurrently on top of the calling
+// goroutine, so total parallelism of a pipeline sharing the Sem is n+1.
+// Capacity <= 0 yields a semaphore that never grants tokens — every
+// ForEachSem level runs sequentially on its caller.
+func NewSem(capacity int) *Sem {
+	if capacity < 0 {
+		capacity = 0
+	}
+	return &Sem{base: capacity, cap: capacity, wake: make(chan struct{})}
+}
+
+// Cap returns the nominal token capacity (lends excluded).
+func (s *Sem) Cap() int { return s.base }
+
+// Acquire blocks until a token is available or ctx is done, reporting
+// whether a token was obtained.
+func (s *Sem) Acquire(ctx context.Context) bool {
+	for {
+		s.mu.Lock()
+		if s.held < s.cap {
+			s.held++
+			s.mu.Unlock()
+			return true
+		}
+		wake := s.wake
+		s.mu.Unlock()
+		select {
+		case <-wake:
+		case <-ctx.Done():
+			return false
+		}
+	}
+}
+
+// Release returns a token.
+func (s *Sem) Release() {
+	s.mu.Lock()
+	s.held--
+	s.notifyLocked()
+	s.mu.Unlock()
+}
+
+// lend temporarily raises capacity by one: a parked caller donates its
+// worker slot to whoever is blocked in Acquire.
+func (s *Sem) lend() {
+	s.mu.Lock()
+	s.cap++
+	s.notifyLocked()
+	s.mu.Unlock()
+}
+
+// unlend takes the donated slot back when the caller resumes.
+func (s *Sem) unlend() {
+	s.mu.Lock()
+	s.cap--
+	s.mu.Unlock()
+}
+
+// notifyLocked wakes every Acquire waiter to re-check availability.
+func (s *Sem) notifyLocked() {
+	close(s.wake)
+	s.wake = make(chan struct{})
+}
+
+// ForEachSem runs fn(ctx, i) for every i in [0, n), drawing extra
+// parallelism from the shared semaphore. The calling goroutine claims and
+// runs tasks in index order; up to min(s.Cap(), n-1) helper goroutines
+// each wait for a token and join the task loop when one frees up, then
+// release it when the work is gone. The first error cancels the context
+// handed to remaining tasks and is returned; all spawned work is waited
+// for, so no task outlives the call.
+//
+// The same determinism contract as ForEach applies: the semaphore only
+// decides when (and on which goroutine) task i runs, never what it
+// computes, and results must be assembled by index.
+//
+// A nil Sem falls back to ForEach with the workers setting, so call sites
+// work unchanged when no shared pool is in play.
+func ForEachSem(ctx context.Context, s *Sem, n, workers int, fn func(ctx context.Context, i int) error) error {
+	if s == nil {
+		return ForEach(ctx, n, workers, fn)
+	}
+	if n <= 0 {
+		return ctx.Err()
+	}
+	ctx, cancel := context.WithCancel(ctx)
+	defer cancel()
+	// acqCtx gates only the helpers' token waits: it is cancelled as soon
+	// as every task has been claimed, so helpers never linger blocked in
+	// Acquire after the work is spoken for.
+	acqCtx, acqCancel := context.WithCancel(ctx)
+	defer acqCancel()
+
+	var (
+		next     atomic.Int64
+		errOnce  sync.Once
+		firstErr error
+	)
+	runTasks := func() {
+		for {
+			i := int(next.Add(1)) - 1
+			if i >= n {
+				if i == n {
+					acqCancel() // all tasks claimed; release waiting helpers
+				}
+				return
+			}
+			if ctx.Err() != nil {
+				return
+			}
+			if err := fn(ctx, i); err != nil {
+				errOnce.Do(func() {
+					firstErr = err
+					cancel()
+				})
+				return
+			}
+		}
+	}
+
+	helpers := s.Cap()
+	if helpers > n-1 {
+		helpers = n - 1
+	}
+	var wg sync.WaitGroup
+	for h := 0; h < helpers; h++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			if int(next.Load()) >= n || !s.Acquire(acqCtx) {
+				return
+			}
+			runTasks()
+			s.Release()
+		}()
+	}
+	runTasks()
+	acqCancel()
+	if helpers > 0 {
+		// Parked until the helpers drain: donate this goroutine's worker
+		// slot so the tail of the pipeline is not one slot short.
+		s.lend()
+		wg.Wait()
+		s.unlend()
+	}
+	if firstErr != nil {
+		return firstErr
+	}
+	return ctx.Err()
+}
+
+// RunSem is the heterogeneous-task form of ForEachSem (the shared-pool
+// analogue of Run).
+func RunSem(ctx context.Context, s *Sem, workers int, tasks ...func() error) error {
+	return ForEachSem(ctx, s, len(tasks), workers, func(_ context.Context, i int) error {
+		return tasks[i]()
+	})
+}
+
+// MapSem is ForEachSem with order-stable result assembly (the shared-pool
+// analogue of Map). On error the partial results are discarded.
+func MapSem[T any](ctx context.Context, s *Sem, n, workers int, fn func(ctx context.Context, i int) (T, error)) ([]T, error) {
+	out := make([]T, n)
+	err := ForEachSem(ctx, s, n, workers, func(ctx context.Context, i int) error {
+		v, err := fn(ctx, i)
+		if err != nil {
+			return err
+		}
+		out[i] = v
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	return out, nil
+}

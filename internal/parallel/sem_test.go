@@ -1,0 +1,170 @@
+package parallel
+
+import (
+	"context"
+	"errors"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+)
+
+// TestForEachSemRunsAllTasks checks basic coverage and index assembly for a
+// range of capacities, including 0 (fully sequential on the caller).
+func TestForEachSemRunsAllTasks(t *testing.T) {
+	for _, capacity := range []int{0, 1, 3, 16} {
+		s := NewSem(capacity)
+		const n = 57
+		var hits [n]atomic.Int32
+		err := ForEachSem(context.Background(), s, n, 1, func(_ context.Context, i int) error {
+			hits[i].Add(1)
+			return nil
+		})
+		if err != nil {
+			t.Fatalf("cap %d: %v", capacity, err)
+		}
+		for i := range hits {
+			if got := hits[i].Load(); got != 1 {
+				t.Fatalf("cap %d: task %d ran %d times", capacity, i, got)
+			}
+		}
+	}
+}
+
+// TestForEachSemNestedNoDeadlock is the deadlock-freedom pin for the shared
+// semaphore: three nesting levels contend for a single token (and, in the
+// zero-capacity case, for none at all). An outer task never holds a token
+// while waiting on inner tasks — it lends its own goroutine to the inner
+// level — so this must complete for any capacity.
+func TestForEachSemNestedNoDeadlock(t *testing.T) {
+	for _, capacity := range []int{0, 1, 2} {
+		s := NewSem(capacity)
+		var leaves atomic.Int32
+		done := make(chan error, 1)
+		go func() {
+			done <- ForEachSem(context.Background(), s, 3, 1, func(ctx context.Context, _ int) error {
+				return ForEachSem(ctx, s, 3, 1, func(ctx context.Context, _ int) error {
+					return ForEachSem(ctx, s, 3, 1, func(_ context.Context, _ int) error {
+						leaves.Add(1)
+						return nil
+					})
+				})
+			})
+		}()
+		select {
+		case err := <-done:
+			if err != nil {
+				t.Fatalf("cap %d: %v", capacity, err)
+			}
+		case <-time.After(30 * time.Second):
+			t.Fatalf("cap %d: nested ForEachSem deadlocked", capacity)
+		}
+		if got := leaves.Load(); got != 27 {
+			t.Fatalf("cap %d: %d leaf tasks ran, want 27", capacity, got)
+		}
+	}
+}
+
+// TestForEachSemTailReclamation reproduces the ROADMAP scenario: a suite of
+// four outer tasks on a pool of four (capacity 3 + the caller), where three
+// outer tasks finish immediately and the last fans out into slow inner
+// tasks. Under static pool division the last task would keep one worker;
+// with the shared semaphore the tokens released by its finished siblings
+// must be reclaimed by its inner level.
+func TestForEachSemTailReclamation(t *testing.T) {
+	s := NewSem(3)
+	var (
+		inFlight, peak atomic.Int32
+		release        = make(chan struct{})
+	)
+	err := ForEachSem(context.Background(), s, 4, 1, func(ctx context.Context, i int) error {
+		if i != 3 {
+			return nil // fast siblings: release their tokens right away
+		}
+		return ForEachSem(ctx, s, 8, 1, func(_ context.Context, _ int) error {
+			cur := inFlight.Add(1)
+			for {
+				old := peak.Load()
+				if cur <= old || peak.CompareAndSwap(old, cur) {
+					break
+				}
+			}
+			if cur == 4 {
+				select {
+				case <-release:
+				default:
+					close(release)
+				}
+			}
+			// Hold until full-width concurrency is observed (or give up
+			// after a generous grace period so the test can fail with a
+			// message instead of hanging).
+			select {
+			case <-release:
+			case <-time.After(20 * time.Second):
+			}
+			inFlight.Add(-1)
+			return nil
+		})
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := peak.Load(); got < 4 {
+		t.Fatalf("inner fan-out peaked at %d concurrent tasks, want the full pool of 4 reclaimed", got)
+	}
+}
+
+// TestForEachSemFirstError checks error propagation and cancellation of
+// unstarted tasks.
+func TestForEachSemFirstError(t *testing.T) {
+	s := NewSem(2)
+	boom := errors.New("boom")
+	var started atomic.Int32
+	err := ForEachSem(context.Background(), s, 100, 1, func(ctx context.Context, i int) error {
+		started.Add(1)
+		if i == 3 {
+			return boom
+		}
+		return nil
+	})
+	if !errors.Is(err, boom) {
+		t.Fatalf("err = %v, want boom", err)
+	}
+	if n := started.Load(); n >= 100 {
+		t.Fatalf("all %d tasks started despite early error", n)
+	}
+}
+
+// TestForEachSemNilFallsBack ensures a nil Sem degrades to the plain
+// bounded pool so single-figure call sites keep their old behavior.
+func TestForEachSemNilFallsBack(t *testing.T) {
+	var mu sync.Mutex
+	seen := map[int]bool{}
+	err := ForEachSem(context.Background(), nil, 10, 2, func(_ context.Context, i int) error {
+		mu.Lock()
+		seen[i] = true
+		mu.Unlock()
+		return nil
+	})
+	if err != nil || len(seen) != 10 {
+		t.Fatalf("err=%v seen=%d", err, len(seen))
+	}
+}
+
+// TestMapSemAssemblesByIndex pins the determinism contract for the shared
+// pool: results land at their task index regardless of execution order.
+func TestMapSemAssemblesByIndex(t *testing.T) {
+	s := NewSem(4)
+	out, err := MapSem(context.Background(), s, 32, 1, func(_ context.Context, i int) (int, error) {
+		return i * i, nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, v := range out {
+		if v != i*i {
+			t.Fatalf("out[%d] = %d", i, v)
+		}
+	}
+}

@@ -1,0 +1,130 @@
+package serve
+
+import (
+	"context"
+	"time"
+
+	"repro/internal/mat"
+)
+
+// inferReq is one state→action request travelling from a session goroutine
+// to its model's batch loop. The session owns state and result; the
+// batcher writes result and closes done, which publishes the write.
+type inferReq struct {
+	state  []float64
+	result []int
+	done   chan struct{}
+}
+
+// model is one topology shape's serving state: the policy (networks +
+// action space + scratch, confined to the batch loop goroutine) and the
+// bounded request queue that sessions feed.
+type model struct {
+	srv   *Server
+	key   modelKey
+	pol   *Policy
+	queue chan *inferReq
+
+	// batch-loop scratch
+	states *mat.Matrix
+	reqs   []*inferReq
+	outs   [][]int
+}
+
+func newModel(s *Server, key modelKey) *model {
+	return &model{
+		srv:   s,
+		key:   key,
+		pol:   NewPolicy(key.n, key.m, key.spouts, s.cfg.K, s.cfg.Seed+int64(key.n*1_000_003+key.m*1009+key.spouts)),
+		queue: make(chan *inferReq, s.cfg.QueueDepth),
+	}
+}
+
+// start launches the batch loop under the server's run context.
+func (m *model) start() {
+	m.srv.wg.Add(1)
+	go func() {
+		defer m.srv.wg.Done()
+		m.run(m.srv.ctx)
+	}()
+}
+
+// run is the inference batch loop: block for the first pending request,
+// gather more for up to BatchWindow (or until MaxBatch), then serve the
+// whole micro-batch with one batched policy pass. Amortizing the actor and
+// critic GEMMs across sessions is what turns N concurrent sessions from N
+// GEMVs into one GEMM per window — the serving-path analogue of the
+// batched training step.
+func (m *model) run(ctx context.Context) {
+	cfg := m.srv.cfg
+	for {
+		if m.srv.testGate != nil {
+			select {
+			case <-m.srv.testGate:
+			case <-ctx.Done():
+				return
+			}
+		}
+		var first *inferReq
+		select {
+		case first = <-m.queue:
+		case <-ctx.Done():
+			return
+		}
+		m.reqs = append(m.reqs[:0], first)
+
+		if cfg.MaxBatch > 1 && cfg.BatchWindow > 0 {
+			timer := time.NewTimer(cfg.BatchWindow)
+		gather:
+			for len(m.reqs) < cfg.MaxBatch {
+				select {
+				case r := <-m.queue:
+					m.reqs = append(m.reqs, r)
+				case <-timer.C:
+					break gather
+				case <-ctx.Done():
+					break gather
+				}
+			}
+			timer.Stop()
+		} else {
+			// No window: take whatever is already queued.
+			for len(m.reqs) < cfg.MaxBatch {
+				select {
+				case r := <-m.queue:
+					m.reqs = append(m.reqs, r)
+				default:
+					goto serve
+				}
+			}
+		}
+	serve:
+		m.serveBatch(m.reqs)
+		if ctx.Err() != nil {
+			return
+		}
+	}
+}
+
+// serveBatch runs one batched policy pass and completes every request.
+func (m *model) serveBatch(reqs []*inferReq) {
+	start := time.Now()
+	h := len(reqs)
+	sdim := m.pol.StateDim()
+	if m.states == nil {
+		m.states = &mat.Matrix{}
+	}
+	m.states.Reshape(h, sdim)
+	m.outs = m.outs[:0]
+	for i, r := range reqs {
+		copy(m.states.Data[i*sdim:(i+1)*sdim], r.state)
+		m.outs = append(m.outs, r.result)
+	}
+	m.pol.SelectBatch(m.states, m.outs)
+	for _, r := range reqs {
+		close(r.done)
+	}
+	m.srv.mBatches.Inc()
+	m.srv.mBatchedReqs.Add(int64(h))
+	m.srv.mInference.Observe(time.Since(start))
+}

@@ -1,0 +1,227 @@
+// Package serve is the production serving layer for the DRL scheduling
+// agent: a daemon that holds many concurrent scheduler sessions (one per
+// topology) over the NDJSON protocol of internal/core, coalesces their
+// state→action requests into batched neural-network passes, sheds load
+// explicitly when queues fill, and exports its health over HTTP.
+//
+// The paper's deployment (§3.1, Figure 1) runs the agent as an external
+// process serving scheduling solutions to the DSDPS over a socket; this
+// package is that process grown to serve a fleet of DSDPS topologies at
+// once, with the inference path built on the batched kernels of
+// internal/nn and internal/actionspace (one GEMM per micro-batch instead
+// of one GEMV per request).
+package serve
+
+import (
+	"fmt"
+	"io"
+	"net/http"
+	"sort"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// Counter is a monotonically increasing metric.
+type Counter struct{ v atomic.Int64 }
+
+// Inc adds one.
+func (c *Counter) Inc() { c.v.Add(1) }
+
+// Add adds n.
+func (c *Counter) Add(n int64) { c.v.Add(n) }
+
+// Value returns the current count.
+func (c *Counter) Value() int64 { return c.v.Load() }
+
+// Gauge is a metric that can go up and down.
+type Gauge struct{ v atomic.Int64 }
+
+// Set replaces the value.
+func (g *Gauge) Set(n int64) { g.v.Store(n) }
+
+// Add adjusts the value by n (negative to decrease).
+func (g *Gauge) Add(n int64) int64 { return g.v.Add(n) }
+
+// Value returns the current value.
+func (g *Gauge) Value() int64 { return g.v.Load() }
+
+// histBuckets is the number of latency buckets: powers of two starting at
+// 1µs, so bucket i covers (1µs·2^(i−1), 1µs·2^i] for i ≤ 23 (top finite
+// bound 1µs·2^23 ≈ 8.4s) and bucket 24 is unbounded — anything slower is
+// pathological anyway.
+const histBuckets = 25
+
+// Histogram is a lock-free latency histogram with log₂-spaced buckets.
+// Observation and quantile estimation are both O(histBuckets); quantiles
+// are upper-bound estimates (the bucket boundary), which at 2× resolution
+// is plenty for p50/p99 tail reporting.
+type Histogram struct {
+	count   atomic.Int64
+	sumNS   atomic.Int64
+	buckets [histBuckets]atomic.Int64
+}
+
+// bucketFor maps a duration to its bucket index.
+func bucketFor(d time.Duration) int {
+	ns := d.Nanoseconds()
+	bound := int64(1000) // 1µs
+	for i := 0; i < histBuckets-1; i++ {
+		if ns <= bound {
+			return i
+		}
+		bound <<= 1
+	}
+	return histBuckets - 1
+}
+
+// Observe records one duration.
+func (h *Histogram) Observe(d time.Duration) {
+	h.count.Add(1)
+	h.sumNS.Add(d.Nanoseconds())
+	h.buckets[bucketFor(d)].Add(1)
+}
+
+// Count returns the number of observations.
+func (h *Histogram) Count() int64 { return h.count.Load() }
+
+// Mean returns the average observed duration (0 when empty).
+func (h *Histogram) Mean() time.Duration {
+	n := h.count.Load()
+	if n == 0 {
+		return 0
+	}
+	return time.Duration(h.sumNS.Load() / n)
+}
+
+// Quantile returns an upper-bound estimate of the q-quantile (q in [0,1]),
+// 0 when the histogram is empty.
+func (h *Histogram) Quantile(q float64) time.Duration {
+	if q < 0 {
+		q = 0
+	}
+	if q > 1 {
+		q = 1
+	}
+	var counts [histBuckets]int64
+	var total int64
+	for i := range counts {
+		counts[i] = h.buckets[i].Load()
+		total += counts[i]
+	}
+	if total == 0 {
+		return 0
+	}
+	// Exclusive rank: the smallest bucket bound with more than q·total
+	// observations at or below it, so a 1% tail is still visible at p99.
+	target := int64(q*float64(total)) + 1
+	if target > total {
+		target = total
+	}
+	var cum int64
+	bound := int64(1000)
+	for i := 0; i < histBuckets; i++ {
+		cum += counts[i]
+		if cum >= target {
+			return time.Duration(bound)
+		}
+		if i < histBuckets-2 {
+			bound <<= 1
+		}
+	}
+	return time.Duration(bound)
+}
+
+// Registry is a named collection of metrics with a text exposition format
+// (one "name value" line per metric, Prometheus-style), served over
+// /metrics by Server.Handler.
+type Registry struct {
+	mu       sync.Mutex
+	counters map[string]*Counter
+	gauges   map[string]*Gauge
+	hists    map[string]*Histogram
+}
+
+// NewRegistry returns an empty registry.
+func NewRegistry() *Registry {
+	return &Registry{
+		counters: map[string]*Counter{},
+		gauges:   map[string]*Gauge{},
+		hists:    map[string]*Histogram{},
+	}
+}
+
+// Counter returns the counter registered under name, creating it on first
+// use.
+func (r *Registry) Counter(name string) *Counter {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	c, ok := r.counters[name]
+	if !ok {
+		c = &Counter{}
+		r.counters[name] = c
+	}
+	return c
+}
+
+// Gauge returns the gauge registered under name, creating it on first use.
+func (r *Registry) Gauge(name string) *Gauge {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	g, ok := r.gauges[name]
+	if !ok {
+		g = &Gauge{}
+		r.gauges[name] = g
+	}
+	return g
+}
+
+// Histogram returns the histogram registered under name, creating it on
+// first use.
+func (r *Registry) Histogram(name string) *Histogram {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	h, ok := r.hists[name]
+	if !ok {
+		h = &Histogram{}
+		r.hists[name] = h
+	}
+	return h
+}
+
+// WriteText writes every metric as "name value" lines in sorted name
+// order. Histograms expand to _count, _sum_seconds, _avg_seconds,
+// _p50_seconds and _p99_seconds.
+func (r *Registry) WriteText(w io.Writer) error {
+	r.mu.Lock()
+	lines := make([]string, 0, len(r.counters)+len(r.gauges)+5*len(r.hists))
+	for name, c := range r.counters {
+		lines = append(lines, fmt.Sprintf("%s %d", name, c.Value()))
+	}
+	for name, g := range r.gauges {
+		lines = append(lines, fmt.Sprintf("%s %d", name, g.Value()))
+	}
+	for name, h := range r.hists {
+		lines = append(lines,
+			fmt.Sprintf("%s_count %d", name, h.Count()),
+			fmt.Sprintf("%s_sum_seconds %.6f", name, float64(h.sumNS.Load())/1e9),
+			fmt.Sprintf("%s_avg_seconds %.6f", name, h.Mean().Seconds()),
+			fmt.Sprintf("%s_p50_seconds %.6f", name, h.Quantile(0.5).Seconds()),
+			fmt.Sprintf("%s_p99_seconds %.6f", name, h.Quantile(0.99).Seconds()),
+		)
+	}
+	r.mu.Unlock()
+	sort.Strings(lines)
+	for _, l := range lines {
+		if _, err := fmt.Fprintln(w, l); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// ServeHTTP implements http.Handler with the text exposition.
+func (r *Registry) ServeHTTP(w http.ResponseWriter, _ *http.Request) {
+	w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+	r.WriteText(w)
+}

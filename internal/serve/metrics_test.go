@@ -1,0 +1,64 @@
+package serve
+
+import (
+	"strings"
+	"testing"
+	"time"
+)
+
+func TestHistogramQuantiles(t *testing.T) {
+	var h Histogram
+	// 99 fast observations and 1 slow one: p50 must stay near the fast
+	// cluster, p99 must reach the tail.
+	for i := 0; i < 99; i++ {
+		h.Observe(100 * time.Microsecond)
+	}
+	h.Observe(500 * time.Millisecond)
+
+	if p50 := h.Quantile(0.5); p50 > time.Millisecond {
+		t.Fatalf("p50 = %v, want <= 1ms", p50)
+	}
+	if p99 := h.Quantile(0.99); p99 < 100*time.Millisecond {
+		t.Fatalf("p99 = %v, want >= 100ms", p99)
+	}
+	if h.Count() != 100 {
+		t.Fatalf("count %d", h.Count())
+	}
+	if m := h.Mean(); m < 2*time.Millisecond || m > 20*time.Millisecond {
+		t.Fatalf("mean = %v, want ~5ms", m)
+	}
+}
+
+func TestHistogramEmpty(t *testing.T) {
+	var h Histogram
+	if h.Quantile(0.5) != 0 || h.Mean() != 0 || h.Count() != 0 {
+		t.Fatal("empty histogram must report zeros")
+	}
+}
+
+func TestRegistryTextExposition(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("a_total").Add(3)
+	r.Gauge("b").Set(-2)
+	r.Histogram("lat").Observe(2 * time.Millisecond)
+	// Same name returns the same metric.
+	r.Counter("a_total").Inc()
+
+	var sb strings.Builder
+	if err := r.WriteText(&sb); err != nil {
+		t.Fatal(err)
+	}
+	out := sb.String()
+	for _, want := range []string{"a_total 4", "b -2", "lat_count 1", "lat_p50_seconds", "lat_p99_seconds", "lat_avg_seconds"} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("exposition missing %q:\n%s", want, out)
+		}
+	}
+	// Sorted, one metric per line.
+	lines := strings.Split(strings.TrimSpace(out), "\n")
+	for i := 1; i < len(lines); i++ {
+		if lines[i-1] >= lines[i] {
+			t.Fatalf("lines not sorted: %q before %q", lines[i-1], lines[i])
+		}
+	}
+}

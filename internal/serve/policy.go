@@ -1,0 +1,165 @@
+package serve
+
+import (
+	"fmt"
+	"math/rand"
+
+	"repro/internal/actionspace"
+	"repro/internal/core"
+	"repro/internal/mat"
+	"repro/internal/nn"
+)
+
+// Policy is the serving-side inference engine for one topology shape: the
+// exploitation-only actor-critic decision rule of Algorithm 1 (actor
+// proto-action → exact K-NN over feasible solutions → critic argmax),
+// restructured around the batched kernels so a micro-batch of H requests
+// costs one actor GEMM plus one critic GEMM over all H·K candidate rows,
+// instead of H GEMVs plus H·K critic rows scored one request at a time.
+//
+// A Policy owns per-call scratch (including the Space's K-NN workspace),
+// so it is confined to a single goroutine — the model's batch loop.
+type Policy struct {
+	Space  *actionspace.Space
+	Codec  *core.StateCodec
+	Actor  *nn.Network
+	Critic *nn.Network
+	K      int
+
+	// scratch, grown to the high-water batch size and reused
+	saCand    *mat.Matrix // (H·K)×(sdim+adim) candidate-scoring rows
+	saView    mat.Matrix  // rows-trimmed view of saCand
+	knn       [][]int
+	candCount []int
+	one       [1][]int // Select's fixed out slice
+}
+
+// NewPolicy builds a policy for an n×m action space with numSpouts data
+// sources and randomly initialized networks (the paper's serving sizes:
+// hidden layers from DefaultACConfig). Trained weights can be installed
+// afterwards with SetNetworks.
+func NewPolicy(n, m, numSpouts, k int, seed int64) *Policy {
+	cfg := core.DefaultACConfig()
+	if k <= 0 {
+		k = cfg.K
+	}
+	rng := rand.New(rand.NewSource(seed))
+	space := actionspace.NewSpace(n, m)
+	codec := core.NewStateCodec(space, numSpouts)
+	actorSizes := append(append([]int{codec.Dim()}, cfg.Hidden...), space.Dim())
+	criticSizes := append(append([]int{codec.Dim() + space.Dim()}, cfg.Hidden...), 1)
+	return &Policy{
+		Space:  space,
+		Codec:  codec,
+		Actor:  nn.New(actorSizes, nn.Tanh, nn.Tanh, rng),
+		Critic: nn.New(criticSizes, nn.Tanh, nn.Identity, rng),
+		K:      k,
+	}
+}
+
+// SetNetworks installs trained actor/critic weights (e.g. loaded from a
+// cmd/train checkpoint). Dimensions must match the policy's topology.
+func (p *Policy) SetNetworks(actor, critic *nn.Network) error {
+	if actor.InDim() != p.Codec.Dim() || actor.OutDim() != p.Space.Dim() {
+		return fmt.Errorf("serve: actor is %d→%d, policy needs %d→%d",
+			actor.InDim(), actor.OutDim(), p.Codec.Dim(), p.Space.Dim())
+	}
+	if critic.InDim() != p.Codec.Dim()+p.Space.Dim() || critic.OutDim() != 1 {
+		return fmt.Errorf("serve: critic is %d→%d, policy needs %d→1",
+			critic.InDim(), critic.OutDim(), p.Codec.Dim()+p.Space.Dim())
+	}
+	p.Actor, p.Critic = actor, critic
+	return nil
+}
+
+// StateDim returns the encoded state length.
+func (p *Policy) StateDim() int { return p.Codec.Dim() }
+
+// SelectBatch computes the greedy assignment for every row of states
+// (H×StateDim) and writes result i into out[i], which must be length
+// Space.N. It allocates nothing once the scratch has grown to the
+// high-water batch size.
+func (p *Policy) SelectBatch(states *mat.Matrix, out [][]int) {
+	h := states.Rows
+	if len(out) != h {
+		panic(fmt.Sprintf("serve: SelectBatch got %d outputs for %d states", len(out), h))
+	}
+	sdim, adim := p.Codec.Dim(), p.Space.Dim()
+
+	// One actor GEMM for the whole micro-batch, through the inference-only
+	// path: the state rows are one-hot dominated, so the zero-skipping
+	// kernel does ~7× fewer multiply-accumulates on the first layer.
+	protos := p.Actor.ForwardBatchInfer(states)
+
+	// Exact K-NN per request, candidates packed into one (s, a) matrix.
+	if p.saCand == nil {
+		p.saCand = &mat.Matrix{}
+	}
+	p.saCand.Reshape(h*p.K, sdim+adim)
+	if cap(p.candCount) < h {
+		p.candCount = make([]int, h)
+	}
+	candCount := p.candCount[:h]
+	rows := 0
+	for i := 0; i < h; i++ {
+		p.knn = p.Space.KNearestInto(protos.Row(i), p.K, p.knn)
+		candCount[i] = len(p.knn)
+		state := states.Row(i)
+		for _, cand := range p.knn {
+			row := p.saCand.Data[rows*(sdim+adim) : (rows+1)*(sdim+adim)]
+			copy(row[:sdim], state)
+			p.Space.Encode(cand, row[sdim:])
+			rows++
+		}
+	}
+
+	// One critic GEMM over all H·K candidate rows (capacity constraints can
+	// yield fewer than K candidates; score only the filled rows).
+	p.saView = mat.Matrix{Rows: rows, Cols: sdim + adim, Data: p.saCand.Data[:rows*(sdim+adim)]}
+	q := p.Critic.ForwardBatchInfer(&p.saView)
+
+	// Per-request critic argmax; the winning action is recovered from its
+	// one-hot columns in the candidate matrix (the K-NN scratch has been
+	// overwritten by later requests by now).
+	rows = 0
+	for i := 0; i < h; i++ {
+		if candCount[i] == 0 {
+			// No feasible candidate (over-constrained space): round-robin.
+			for r := range out[i] {
+				out[i][r] = r % p.Space.M
+			}
+			continue
+		}
+		best, bestQ := rows, 0.0
+		for j := 0; j < candCount[i]; j++ {
+			if v := q.Row(rows)[0]; j == 0 || v > bestQ {
+				best, bestQ = rows, v
+			}
+			rows++
+		}
+		p.decodeInto(p.saCand.Data[best*(sdim+adim)+sdim:(best+1)*(sdim+adim)], out[i])
+	}
+}
+
+// Select is the per-request path (micro-batch of one); used when batching
+// is disabled and as the baseline in the serving benchmarks.
+func (p *Policy) Select(state []float64, out []int) {
+	one := mat.Matrix{Rows: 1, Cols: len(state), Data: state}
+	p.one[0] = out
+	p.SelectBatch(&one, p.one[:])
+}
+
+// decodeInto recovers an assignment from its flat one-hot encoding without
+// allocating.
+func (p *Policy) decodeInto(flat []float64, dst []int) {
+	m := p.Space.M
+	for r := 0; r < p.Space.N; r++ {
+		row := flat[r*m : (r+1)*m]
+		for j, v := range row {
+			if v != 0 {
+				dst[r] = j
+				break
+			}
+		}
+	}
+}

@@ -1,0 +1,88 @@
+package serve
+
+import (
+	"fmt"
+	"math/rand"
+	"testing"
+
+	"repro/internal/mat"
+)
+
+// TestSelectBatchMatchesPerRequest pins the correctness of the serving
+// batcher's core amortization: one batched pass over H states must produce
+// exactly the decisions of H per-request passes (same networks, greedy
+// rule, no exploration noise — so equality is exact, not approximate).
+func TestSelectBatchMatchesPerRequest(t *testing.T) {
+	const (
+		n, m, spouts = 8, 4, 2
+		H            = 37 // not a power of two, not the max batch
+	)
+	batched := NewPolicy(n, m, spouts, 8, 99)
+	single := NewPolicy(n, m, spouts, 8, 99) // same seed => identical nets
+
+	rng := rand.New(rand.NewSource(5))
+	states := mat.NewMatrix(H, batched.StateDim())
+	// Feasible random states: encoded assignment + workloads.
+	assign := make([]int, n)
+	work := make([]float64, spouts)
+	for i := 0; i < H; i++ {
+		for j := range assign {
+			assign[j] = rng.Intn(m)
+		}
+		for j := range work {
+			work[j] = 500 * rng.Float64()
+		}
+		batched.Codec.Encode(assign, work, states.Row(i))
+	}
+
+	outB := make([][]int, H)
+	for i := range outB {
+		outB[i] = make([]int, n)
+	}
+	batched.SelectBatch(states, outB)
+
+	outS := make([]int, n)
+	for i := 0; i < H; i++ {
+		single.Select(states.Row(i), outS)
+		if fmt.Sprint(outB[i]) != fmt.Sprint(outS) {
+			t.Fatalf("state %d: batched %v per-request %v", i, outB[i], outS)
+		}
+	}
+
+	// Feasibility of every batched decision.
+	for i, a := range outB {
+		for _, mach := range a {
+			if mach < 0 || mach >= m {
+				t.Fatalf("decision %d infeasible: %v", i, a)
+			}
+		}
+	}
+}
+
+// TestSelectBatchSteadyStateAllocs: after warmup at the high-water batch
+// size, batched selection must not allocate (the serving hot path).
+func TestSelectBatchSteadyStateAllocs(t *testing.T) {
+	const n, m, spouts, H = 8, 4, 2, 32
+	p := NewPolicy(n, m, spouts, 8, 1)
+	states := mat.NewMatrix(H, p.StateDim())
+	rng := rand.New(rand.NewSource(2))
+	assign := make([]int, n)
+	work := []float64{100, 200}
+	for i := 0; i < H; i++ {
+		for j := range assign {
+			assign[j] = rng.Intn(m)
+		}
+		p.Codec.Encode(assign, work, states.Row(i))
+	}
+	out := make([][]int, H)
+	for i := range out {
+		out[i] = make([]int, n)
+	}
+	p.SelectBatch(states, out) // warm up scratch
+	allocs := testing.AllocsPerRun(20, func() {
+		p.SelectBatch(states, out)
+	})
+	if allocs > 0 {
+		t.Fatalf("SelectBatch allocates %.1f per call at steady state", allocs)
+	}
+}

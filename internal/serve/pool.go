@@ -1,0 +1,309 @@
+package serve
+
+import (
+	"bufio"
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"net"
+	"sync/atomic"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/parallel"
+)
+
+// ClientConfig configures scheduler-side sessions against the daemon.
+type ClientConfig struct {
+	// Addr is the daemon's "host:port".
+	Addr string
+	// Hello declares the topology shape (one session == one topology).
+	Hello HelloMsg
+	// DialTimeout bounds one dial attempt (default 5s).
+	DialTimeout time.Duration
+	// IOTimeout bounds one request/reply round trip (default 30s).
+	IOTimeout time.Duration
+	// BaseBackoff/MaxBackoff shape the exponential backoff used both for
+	// reconnects and for server retry replies (defaults 10ms/2s).
+	BaseBackoff time.Duration
+	MaxBackoff  time.Duration
+	// MaxAttempts bounds dial/retry attempts per operation (default 8).
+	MaxAttempts int
+	// MaxLineBytes bounds one reply frame (default 1MiB).
+	MaxLineBytes int
+}
+
+func (c ClientConfig) withDefaults() ClientConfig {
+	if c.DialTimeout <= 0 {
+		c.DialTimeout = 5 * time.Second
+	}
+	if c.IOTimeout <= 0 {
+		c.IOTimeout = 30 * time.Second
+	}
+	if c.BaseBackoff <= 0 {
+		c.BaseBackoff = 10 * time.Millisecond
+	}
+	if c.MaxBackoff <= 0 {
+		c.MaxBackoff = 2 * time.Second
+	}
+	if c.MaxAttempts <= 0 {
+		c.MaxAttempts = 8
+	}
+	if c.MaxLineBytes <= 0 {
+		c.MaxLineBytes = 1 << 20
+	}
+	return c
+}
+
+// PoolStats aggregates client-side outcomes across a pool's sessions.
+// Retries counts server load-shed replies honored, Reconnects counts
+// re-dialed sessions, Errors counts protocol-level failures.
+type PoolStats struct {
+	Steps      atomic.Int64
+	Retries    atomic.Int64
+	Reconnects atomic.Int64
+	Errors     atomic.Int64
+}
+
+// Session is one scheduler session: a connection with its hello handshake,
+// current solution, and reconnect/backoff logic. Not safe for concurrent
+// use; a Pool gives each goroutine its own Session.
+type Session struct {
+	cfg   ClientConfig
+	stats *PoolStats
+
+	conn   net.Conn
+	enc    *json.Encoder
+	lr     *lineReader
+	assign []int
+	epoch  int
+	// everConnected distinguishes the first (lazy) dial from a true
+	// reconnect in the Reconnects stat.
+	everConnected bool
+}
+
+// NewSession builds a disconnected session (Connect or the first Step
+// dials).
+func NewSession(cfg ClientConfig) *Session {
+	return &Session{cfg: cfg.withDefaults(), stats: &PoolStats{}}
+}
+
+// Assign returns the most recent scheduling solution (nil before the first
+// successful exchange).
+func (s *Session) Assign() []int { return s.assign }
+
+// Epoch returns the last served epoch.
+func (s *Session) Epoch() int { return s.epoch }
+
+// backoff is one exponential-backoff schedule: wait sleeps the current
+// delay (or returns early on ctx), then doubles it up to max.
+type backoff struct {
+	cur, max time.Duration
+}
+
+func (b *backoff) wait(ctx context.Context) error {
+	select {
+	case <-time.After(b.cur):
+	case <-ctx.Done():
+		return ctx.Err()
+	}
+	if b.cur *= 2; b.cur > b.max {
+		b.cur = b.max
+	}
+	return nil
+}
+
+func (c ClientConfig) backoff() backoff {
+	return backoff{cur: c.BaseBackoff, max: c.MaxBackoff}
+}
+
+// Connect dials with exponential backoff and performs the hello handshake,
+// leaving the session holding its starting solution.
+func (s *Session) Connect(ctx context.Context) error {
+	bo := s.cfg.backoff()
+	var lastErr error
+	for attempt := 0; attempt < s.cfg.MaxAttempts; attempt++ {
+		if err := ctx.Err(); err != nil {
+			return err
+		}
+		if lastErr != nil {
+			if err := bo.wait(ctx); err != nil {
+				return err
+			}
+		}
+		if lastErr = s.dialOnce(ctx); lastErr == nil {
+			return nil
+		}
+		if errors.Is(lastErr, errRejected) {
+			// Deterministic rejection (bad shape): the same hello cannot
+			// succeed on retry, so don't burn the backoff schedule on it.
+			return lastErr
+		}
+	}
+	return fmt.Errorf("serve: connect %s: %w", s.cfg.Addr, lastErr)
+}
+
+// errRejected marks a deterministic hello rejection — the daemon judged
+// the session's declared shape invalid, so redialing with the same hello
+// is pointless.
+var errRejected = errors.New("hello rejected")
+
+// dialOnce performs one dial + hello exchange.
+func (s *Session) dialOnce(ctx context.Context) error {
+	s.close()
+	d := net.Dialer{Timeout: s.cfg.DialTimeout}
+	conn, err := d.DialContext(ctx, "tcp", s.cfg.Addr)
+	if err != nil {
+		return err
+	}
+	s.conn = conn
+	s.enc = json.NewEncoder(conn)
+	s.lr = newLineReader(bufio.NewReader(conn), s.cfg.MaxLineBytes)
+	sol, err := s.roundTrip(&s.cfg.Hello)
+	if err != nil {
+		s.close()
+		return err
+	}
+	if sol.Retry {
+		s.close()
+		return fmt.Errorf("serve: session rejected: %s", sol.Err)
+	}
+	if sol.Err != "" {
+		s.close()
+		return fmt.Errorf("serve: %w: %s", errRejected, sol.Err)
+	}
+	if len(sol.Assign) != s.cfg.Hello.N {
+		s.close()
+		return fmt.Errorf("serve: starting solution has %d executors, want %d", len(sol.Assign), s.cfg.Hello.N)
+	}
+	s.assign = append(s.assign[:0], sol.Assign...)
+	s.epoch = sol.Epoch
+	s.everConnected = true
+	return nil
+}
+
+// roundTrip writes one message and reads one SolutionMsg under IOTimeout.
+func (s *Session) roundTrip(msg any) (core.SolutionMsg, error) {
+	var sol core.SolutionMsg
+	deadline := time.Now().Add(s.cfg.IOTimeout)
+	s.conn.SetWriteDeadline(deadline)
+	if err := s.enc.Encode(msg); err != nil {
+		return sol, err
+	}
+	s.conn.SetReadDeadline(deadline)
+	line, err := s.lr.next()
+	if err != nil {
+		return sol, err
+	}
+	if err := json.Unmarshal(line, &sol); err != nil {
+		return sol, err
+	}
+	return sol, nil
+}
+
+// Step submits one measurement and returns the daemon's next scheduling
+// solution. Connection failures reconnect (with backoff) and resubmit;
+// load-shed replies back off and resubmit. The returned slice is owned by
+// the session and valid until the next Step.
+func (s *Session) Step(ctx context.Context, meas core.MeasurementMsg) ([]int, error) {
+	bo := s.cfg.backoff()
+	var lastErr error
+	for attempt := 0; attempt < s.cfg.MaxAttempts; attempt++ {
+		if err := ctx.Err(); err != nil {
+			return nil, err
+		}
+		if s.conn == nil {
+			reconnect := s.everConnected
+			if err := s.Connect(ctx); err != nil {
+				return nil, err
+			}
+			if reconnect {
+				s.stats.Reconnects.Add(1)
+			}
+		}
+		sol, err := s.roundTrip(&meas)
+		if err != nil {
+			// Broken transport: drop the connection and retry on a fresh
+			// one (the daemon treats each connection as a new session, so
+			// no state is lost beyond the in-flight request).
+			s.close()
+			lastErr = err
+			if werr := bo.wait(ctx); werr != nil {
+				return nil, werr
+			}
+			continue
+		}
+		if sol.Retry {
+			s.stats.Retries.Add(1)
+			lastErr = errors.New(sol.Err)
+			if werr := bo.wait(ctx); werr != nil {
+				return nil, werr
+			}
+			continue
+		}
+		if sol.Err != "" {
+			s.stats.Errors.Add(1)
+			return nil, fmt.Errorf("serve: daemon error: %s", sol.Err)
+		}
+		if len(sol.Assign) != s.cfg.Hello.N {
+			s.stats.Errors.Add(1)
+			return nil, fmt.Errorf("serve: solution has %d executors, want %d", len(sol.Assign), s.cfg.Hello.N)
+		}
+		s.assign = append(s.assign[:0], sol.Assign...)
+		s.epoch = sol.Epoch
+		s.stats.Steps.Add(1)
+		return s.assign, nil
+	}
+	return nil, fmt.Errorf("serve: step gave up after %d attempts: %w", s.cfg.MaxAttempts, lastErr)
+}
+
+// close tears down the connection quietly.
+func (s *Session) close() {
+	if s.conn != nil {
+		s.conn.Close()
+		s.conn = nil
+	}
+}
+
+// Close terminates the session.
+func (s *Session) Close() { s.close() }
+
+// Pool drives n concurrent scheduler sessions against one daemon — the
+// client half of the load story. Sessions share a ClientConfig and a
+// PoolStats; each gets its own connection and goroutine.
+type Pool struct {
+	cfg      ClientConfig
+	sessions []*Session
+	stats    PoolStats
+}
+
+// NewPool builds n disconnected sessions.
+func NewPool(cfg ClientConfig, n int) *Pool {
+	p := &Pool{cfg: cfg.withDefaults(), sessions: make([]*Session, n)}
+	for i := range p.sessions {
+		p.sessions[i] = &Session{cfg: p.cfg, stats: &p.stats}
+	}
+	return p
+}
+
+// Stats exposes the shared counters.
+func (p *Pool) Stats() *PoolStats { return &p.stats }
+
+// Session returns session i.
+func (p *Pool) Session(i int) *Session { return p.sessions[i] }
+
+// Run connects every session and runs fn once per session concurrently
+// (one goroutine each), closing the sessions afterwards. The first error
+// cancels the remaining sessions' contexts and is returned.
+func (p *Pool) Run(ctx context.Context, fn func(ctx context.Context, i int, s *Session) error) error {
+	n := len(p.sessions)
+	return parallel.ForEach(ctx, n, n, func(ctx context.Context, i int) error {
+		s := p.sessions[i]
+		defer s.Close()
+		if err := s.Connect(ctx); err != nil {
+			return fmt.Errorf("session %d: %w", i, err)
+		}
+		return fn(ctx, i, s)
+	})
+}

@@ -1,0 +1,297 @@
+package serve
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"net"
+	"net/http"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"repro/internal/core"
+)
+
+// HelloMsg opens a session: the scheduler announces its topology shape so
+// the daemon can route it to (or create) the matching model. It is the
+// only message the daemon reads before entering the measurement→solution
+// loop of the core protocol.
+type HelloMsg struct {
+	// Topology is a free-form name used for logging/metrics only.
+	Topology string `json:"topology"`
+	// N is the executor count, M the machine count, Spouts the number of
+	// data sources — together the state/action dimensions.
+	N      int `json:"n"`
+	M      int `json:"m"`
+	Spouts int `json:"spouts"`
+}
+
+// Config holds the daemon's knobs.
+type Config struct {
+	// MaxSessions caps concurrent scheduler sessions; connections beyond
+	// the cap are told to retry and closed (admission control).
+	MaxSessions int
+	// QueueDepth bounds each model's pending-inference queue; a session
+	// whose enqueue would block instead receives an explicit retry reply
+	// (load shedding) so backpressure is visible to the scheduler rather
+	// than silently queueing without bound.
+	QueueDepth int
+	// BatchWindow is how long the batcher waits for more requests after
+	// the first one arrives (micro-batching); 0 takes the default and a
+	// negative value disables coalescing beyond whatever is already
+	// queued.
+	BatchWindow time.Duration
+	// MaxBatch caps the micro-batch size (1 forces per-request inference).
+	MaxBatch int
+	// IdleTimeout bounds how long a session may sit between measurements
+	// before the daemon reclaims the connection.
+	IdleTimeout time.Duration
+	// WriteTimeout bounds each reply write.
+	WriteTimeout time.Duration
+	// MaxLineBytes bounds one NDJSON frame; longer lines are a protocol
+	// error and close the session.
+	MaxLineBytes int
+	// K is the K-NN candidate count of the decision rule.
+	K int
+	// Seed seeds each model's randomly initialized networks.
+	Seed int64
+	// MaxExecutors/MaxMachines/MaxSpouts bound acceptable hello shapes, so
+	// a bogus client cannot make the daemon allocate a gigantic model.
+	MaxExecutors int
+	MaxMachines  int
+	MaxSpouts    int
+}
+
+// DefaultConfig returns production defaults.
+func DefaultConfig() Config {
+	return Config{
+		MaxSessions:  4096,
+		QueueDepth:   1024,
+		BatchWindow:  200 * time.Microsecond,
+		MaxBatch:     64,
+		IdleTimeout:  2 * time.Minute,
+		WriteTimeout: 10 * time.Second,
+		MaxLineBytes: 1 << 20,
+		K:            8,
+		MaxExecutors: 512,
+		MaxMachines:  128,
+		MaxSpouts:    64,
+	}
+}
+
+// withDefaults fills zero fields.
+func (c Config) withDefaults() Config {
+	d := DefaultConfig()
+	if c.MaxSessions <= 0 {
+		c.MaxSessions = d.MaxSessions
+	}
+	if c.QueueDepth <= 0 {
+		c.QueueDepth = d.QueueDepth
+	}
+	if c.BatchWindow == 0 {
+		c.BatchWindow = d.BatchWindow
+	}
+	if c.MaxBatch <= 0 {
+		c.MaxBatch = d.MaxBatch
+	}
+	if c.IdleTimeout <= 0 {
+		c.IdleTimeout = d.IdleTimeout
+	}
+	if c.WriteTimeout <= 0 {
+		c.WriteTimeout = d.WriteTimeout
+	}
+	if c.MaxLineBytes <= 0 {
+		c.MaxLineBytes = d.MaxLineBytes
+	}
+	if c.K <= 0 {
+		c.K = d.K
+	}
+	if c.MaxExecutors <= 0 {
+		c.MaxExecutors = d.MaxExecutors
+	}
+	if c.MaxMachines <= 0 {
+		c.MaxMachines = d.MaxMachines
+	}
+	if c.MaxSpouts <= 0 {
+		c.MaxSpouts = d.MaxSpouts
+	}
+	return c
+}
+
+// modelKey identifies a model by topology shape; sessions with the same
+// shape share one model and therefore one inference batch stream.
+type modelKey struct{ n, m, spouts int }
+
+// Server is the multi-tenant agent daemon: a session manager over a
+// net.Listener plus one inference batcher per topology shape.
+type Server struct {
+	cfg Config
+	reg *Registry
+
+	started time.Time
+	active  atomic.Int64 // current sessions (admission control)
+
+	mu     sync.Mutex
+	models map[modelKey]*model
+
+	// run state, owned by Serve
+	ctx context.Context
+	wg  sync.WaitGroup
+
+	// metric handles (hot path: no map lookups)
+	mSessions     *Gauge
+	mSessionsPeak *Gauge
+	mAccepted     *Counter
+	mRejected     *Counter
+	mRequests     *Counter
+	mShed         *Counter
+	mProtoErrs    *Counter
+	mDeployErrs   *Counter
+	mBatches      *Counter
+	mBatchedReqs  *Counter
+	mLatency      *Histogram
+	mInference    *Histogram
+
+	// testGate, when non-nil, is received from before each micro-batch is
+	// gathered — test-only hook to hold the batcher and force queue
+	// buildup deterministically.
+	testGate chan struct{}
+}
+
+// New builds a Server with zero Config fields defaulted.
+func New(cfg Config) *Server {
+	cfg = cfg.withDefaults()
+	reg := NewRegistry()
+	return &Server{
+		cfg:           cfg,
+		reg:           reg,
+		started:       time.Now(),
+		models:        map[modelKey]*model{},
+		mSessions:     reg.Gauge("serve_sessions"),
+		mSessionsPeak: reg.Gauge("serve_sessions_peak"),
+		mAccepted:     reg.Counter("serve_sessions_accepted_total"),
+		mRejected:     reg.Counter("serve_sessions_rejected_total"),
+		mRequests:     reg.Counter("serve_requests_total"),
+		mShed:         reg.Counter("serve_requests_shed_total"),
+		mProtoErrs:    reg.Counter("serve_protocol_errors_total"),
+		mDeployErrs:   reg.Counter("serve_deploy_errors_total"),
+		mBatches:      reg.Counter("serve_inference_batches_total"),
+		mBatchedReqs:  reg.Counter("serve_inference_requests_total"),
+		mLatency:      reg.Histogram("serve_request_latency"),
+		mInference:    reg.Histogram("serve_inference_batch_latency"),
+	}
+}
+
+// Registry exposes the server's metrics.
+func (s *Server) Registry() *Registry { return s.reg }
+
+// Preload creates (or returns) the model for a topology shape before any
+// session arrives, so trained weights can be installed on its policy. It
+// must be called before Serve: once the server is running, the model's
+// batch loop reads the policy's networks concurrently, so a late
+// SetNetworks would race — Preload refuses rather than hand out a policy
+// it is no longer safe to mutate.
+func (s *Server) Preload(n, m, spouts int) (*Policy, error) {
+	if err := s.validShape(n, m, spouts); err != nil {
+		return nil, err
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.ctx != nil {
+		return nil, errors.New("serve: Preload after Serve started")
+	}
+	key := modelKey{n, m, spouts}
+	mdl, ok := s.models[key]
+	if !ok {
+		mdl = newModel(s, key)
+		s.models[key] = mdl
+		s.reg.Gauge("serve_models").Set(int64(len(s.models)))
+	}
+	return mdl.pol, nil
+}
+
+func (s *Server) validShape(n, m, spouts int) error {
+	switch {
+	case n < 1 || n > s.cfg.MaxExecutors:
+		return fmt.Errorf("executors %d out of range [1,%d]", n, s.cfg.MaxExecutors)
+	case m < 1 || m > s.cfg.MaxMachines:
+		return fmt.Errorf("machines %d out of range [1,%d]", m, s.cfg.MaxMachines)
+	case spouts < 1 || spouts > s.cfg.MaxSpouts:
+		return fmt.Errorf("spouts %d out of range [1,%d]", spouts, s.cfg.MaxSpouts)
+	}
+	return nil
+}
+
+// model returns the model for key, creating (and, once Serve is running,
+// starting) it on first use.
+func (s *Server) model(key modelKey) *model {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	m, ok := s.models[key]
+	if !ok {
+		m = newModel(s, key)
+		s.models[key] = m
+		s.reg.Gauge("serve_models").Set(int64(len(s.models)))
+		if s.ctx != nil {
+			m.start()
+		}
+	}
+	return m
+}
+
+// Serve accepts scheduler sessions on l until the listener closes or ctx
+// is cancelled, serving every session concurrently. Temporary accept
+// errors back off and retry. On return all sessions and batch loops have
+// drained.
+func (s *Server) Serve(ctx context.Context, l net.Listener) error {
+	sctx, cancel := context.WithCancel(ctx)
+	s.mu.Lock()
+	s.ctx = sctx
+	for _, m := range s.models {
+		m.start() // models preloaded before Serve
+	}
+	s.mu.Unlock()
+	defer s.wg.Wait()
+	defer cancel()
+
+	// Close the listener when ctx ends so Accept unblocks.
+	stop := context.AfterFunc(sctx, func() { l.Close() })
+	defer stop()
+
+	for {
+		conn, err := core.AcceptRetry(l)
+		if err != nil {
+			if sctx.Err() != nil || errors.Is(err, net.ErrClosed) {
+				return nil
+			}
+			return err
+		}
+		s.wg.Add(1)
+		go func() {
+			defer s.wg.Done()
+			s.handleConn(sctx, conn)
+		}()
+	}
+}
+
+// Handler returns the HTTP control surface: /metrics (text exposition)
+// and /healthz (JSON liveness with session/model counts).
+func (s *Server) Handler() http.Handler {
+	mux := http.NewServeMux()
+	mux.Handle("/metrics", s.reg)
+	mux.HandleFunc("/healthz", func(w http.ResponseWriter, _ *http.Request) {
+		s.mu.Lock()
+		nModels := len(s.models)
+		s.mu.Unlock()
+		w.Header().Set("Content-Type", "application/json")
+		json.NewEncoder(w).Encode(map[string]any{
+			"status":         "ok",
+			"uptime_seconds": time.Since(s.started).Seconds(),
+			"sessions":       s.active.Load(),
+			"models":         nModels,
+		})
+	})
+	return mux
+}

@@ -1,0 +1,233 @@
+package serve
+
+import (
+	"bufio"
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"net"
+	"time"
+
+	"repro/internal/core"
+)
+
+// errLineTooLong marks an NDJSON frame exceeding MaxLineBytes.
+var errLineTooLong = errors.New("serve: line exceeds max frame size")
+
+// lineReader reads '\n'-delimited frames with a hard size cap, so one
+// misbehaving peer cannot make the daemon buffer an unbounded line.
+type lineReader struct {
+	r   *bufio.Reader
+	max int
+	buf []byte
+	// eol records whether the frame that just exceeded max was consumed
+	// through its newline already (it fit in the bufio buffer), so
+	// drainLine must not wait for another one.
+	eol bool
+}
+
+func newLineReader(r *bufio.Reader, max int) *lineReader {
+	return &lineReader{r: r, max: max}
+}
+
+// next returns the next frame without its trailing newline. The returned
+// slice is valid until the following call. A connection that ends mid-
+// frame yields io.ErrUnexpectedEOF (a protocol error), while one that ends
+// on a frame boundary yields a clean io.EOF.
+func (lr *lineReader) next() ([]byte, error) {
+	lr.buf = lr.buf[:0]
+	for {
+		frag, err := lr.r.ReadSlice('\n')
+		lr.buf = append(lr.buf, frag...)
+		payload := len(lr.buf)
+		if err == nil {
+			payload-- // the trailing '\n' is framing, not payload
+		}
+		if payload > lr.max {
+			lr.eol = err == nil
+			return nil, errLineTooLong
+		}
+		switch err {
+		case nil:
+			return lr.buf[:len(lr.buf)-1], nil
+		case bufio.ErrBufferFull:
+			continue
+		case io.EOF:
+			if len(lr.buf) > 0 {
+				return nil, io.ErrUnexpectedEOF
+			}
+			return nil, io.EOF
+		default:
+			return nil, err
+		}
+	}
+}
+
+// drainLine consumes input up to and including the next '\n', discarding
+// it. Used to finish reading an oversized frame before replying: closing
+// a socket with received-but-unread data sends RST, which would destroy
+// the error reply in flight (closed-loop peers have exactly one frame in
+// flight, so draining to the newline empties the receive buffer).
+func (lr *lineReader) drainLine() error {
+	if lr.eol {
+		lr.eol = false
+		return nil
+	}
+	for {
+		_, err := lr.r.ReadSlice('\n')
+		switch err {
+		case nil:
+			return nil
+		case bufio.ErrBufferFull:
+			continue
+		default:
+			return err
+		}
+	}
+}
+
+// handleConn services one scheduler session end to end: admission, hello,
+// then the measurement→solution loop. Everything the session owns
+// (buffers, request object) lives here, so a session costs one goroutine
+// plus a few small allocations no matter how many epochs it runs.
+func (s *Server) handleConn(ctx context.Context, conn net.Conn) {
+	defer conn.Close()
+	enc := json.NewEncoder(conn)
+	write := func(msg *core.SolutionMsg) error {
+		conn.SetWriteDeadline(time.Now().Add(s.cfg.WriteTimeout))
+		return enc.Encode(msg)
+	}
+
+	lr := newLineReader(bufio.NewReader(conn), s.cfg.MaxLineBytes)
+
+	// Admission control: beyond MaxSessions the daemon is explicit about
+	// being full instead of letting sessions pile up. The client's hello is
+	// drained before replying — closing a socket with unread received data
+	// sends RST, which would destroy the retry reply in flight.
+	if s.active.Add(1) > int64(s.cfg.MaxSessions) {
+		s.active.Add(-1)
+		s.mRejected.Inc()
+		conn.SetReadDeadline(time.Now().Add(s.cfg.WriteTimeout))
+		lr.next()
+		write(&core.SolutionMsg{Err: "retry: server at session capacity", Retry: true})
+		return
+	}
+	defer s.active.Add(-1)
+	s.mAccepted.Inc()
+	cur := s.active.Load()
+	if cur > s.mSessionsPeak.Value() {
+		s.mSessionsPeak.Set(cur) // racy max: fine for a monitoring gauge
+	}
+	s.mSessions.Add(1)
+	defer s.mSessions.Add(-1)
+
+	// Unblock blocking reads/writes when the server shuts down.
+	stop := context.AfterFunc(ctx, func() { conn.SetDeadline(time.Now()) })
+	defer stop()
+
+	// Hello: topology shape, answered with the session's starting solution.
+	conn.SetReadDeadline(time.Now().Add(s.cfg.IdleTimeout))
+	line, err := lr.next()
+	if err != nil {
+		if isProtoErr(err) {
+			s.mProtoErrs.Inc()
+		}
+		return
+	}
+	var hello HelloMsg
+	if err := json.Unmarshal(line, &hello); err != nil {
+		s.mProtoErrs.Inc()
+		write(&core.SolutionMsg{Err: fmt.Sprintf("bad hello: %v", err)})
+		return
+	}
+	if err := s.validShape(hello.N, hello.M, hello.Spouts); err != nil {
+		s.mProtoErrs.Inc()
+		write(&core.SolutionMsg{Err: fmt.Sprintf("bad hello: %v", err)})
+		return
+	}
+	mdl := s.model(modelKey{hello.N, hello.M, hello.Spouts})
+
+	// The session owns its per-topology state: the last solution the agent
+	// issued is the "current assignment" half of the next state encoding.
+	assign := make([]int, hello.N)
+	for i := range assign {
+		assign[i] = i % hello.M
+	}
+	if err := write(&core.SolutionMsg{Epoch: 0, Assign: assign}); err != nil {
+		return
+	}
+
+	req := &inferReq{
+		state:  make([]float64, mdl.pol.StateDim()),
+		result: make([]int, hello.N),
+	}
+	var meas core.MeasurementMsg
+	for epoch := 1; ; epoch++ {
+		conn.SetReadDeadline(time.Now().Add(s.cfg.IdleTimeout))
+		line, err := lr.next()
+		if err != nil {
+			if ctx.Err() == nil && isProtoErr(err) {
+				s.mProtoErrs.Inc()
+				if errors.Is(err, errLineTooLong) {
+					conn.SetReadDeadline(time.Now().Add(s.cfg.WriteTimeout))
+					if lr.drainLine() == nil {
+						write(&core.SolutionMsg{Epoch: epoch, Err: errLineTooLong.Error()})
+					}
+				}
+			}
+			return
+		}
+		meas = core.MeasurementMsg{}
+		if err := json.Unmarshal(line, &meas); err != nil {
+			s.mProtoErrs.Inc()
+			write(&core.SolutionMsg{Epoch: epoch, Err: fmt.Sprintf("bad measurement: %v", err)})
+			return
+		}
+		s.mRequests.Inc()
+		if meas.Err != "" {
+			// The scheduler failed to deploy the previous solution; keep
+			// serving from the same state rather than tearing down.
+			s.mDeployErrs.Inc()
+		}
+		if len(meas.Workload) != hello.Spouts {
+			s.mProtoErrs.Inc()
+			write(&core.SolutionMsg{Epoch: epoch, Err: fmt.Sprintf("measurement has %d spout rates, session declared %d", len(meas.Workload), hello.Spouts)})
+			return
+		}
+
+		start := time.Now()
+		mdl.pol.Codec.Encode(assign, meas.Workload, req.state)
+		req.done = make(chan struct{})
+		select {
+		case mdl.queue <- req:
+		default:
+			// Queue full: shed with an explicit retry instead of blocking —
+			// the scheduler sees backpressure and resubmits after backoff.
+			s.mShed.Inc()
+			if err := write(&core.SolutionMsg{Epoch: epoch, Err: "retry: inference queue full", Retry: true}); err != nil {
+				return
+			}
+			epoch--
+			continue
+		}
+		select {
+		case <-req.done:
+		case <-ctx.Done():
+			return
+		}
+		copy(assign, req.result)
+		if err := write(&core.SolutionMsg{Epoch: epoch, Assign: assign}); err != nil {
+			return
+		}
+		s.mLatency.Observe(time.Since(start))
+	}
+}
+
+// isProtoErr classifies read failures: oversized frames and mid-frame
+// drops are protocol errors; a clean EOF, a closed connection, or an idle
+// timeout are normal session ends.
+func isProtoErr(err error) bool {
+	return errors.Is(err, errLineTooLong) || errors.Is(err, io.ErrUnexpectedEOF)
+}
