@@ -14,6 +14,18 @@
 //	agentd -n 24 -m 8 -spouts 3 -actor actor.net -critic critic.net
 //
 // Sessions for other shapes get freshly initialized networks.
+//
+// With -learn the daemon keeps improving from live measurements: sessions
+// feed their (state, action, reward) transitions into a per-model replay
+// buffer, a background trainer runs batched actor-critic updates, and
+// inference swaps in the new weights between micro-batches. -checkpoint-dir
+// with -checkpoint-every persists the learned weights periodically:
+//
+//	agentd -learn -checkpoint-dir /var/lib/agentd -checkpoint-every 1m
+//
+// Disconnected schedulers resume their sessions by presenting the token
+// from their first hello reply; detached session state is kept for
+// -session-ttl.
 package main
 
 import (
@@ -48,18 +60,36 @@ func main() {
 		spouts   = flag.Int("spouts", 0, "data sources of the preloaded topology")
 		actorF   = flag.String("actor", "", "actor network checkpoint (cmd/train format)")
 		criticF  = flag.String("critic", "", "critic network checkpoint (cmd/train format)")
+
+		learn      = flag.Bool("learn", false, "learn online from session measurements (batched AC updates + atomic weight swaps)")
+		trainEvery = flag.Duration("train-interval", 100*time.Millisecond, "background trainer cadence (with -learn)")
+		trainBatch = flag.Int("train-batch", 32, "training mini-batch size (with -learn)")
+		updates    = flag.Int("train-updates", 4, "mini-batch updates per train round (with -learn)")
+		ckptDir    = flag.String("checkpoint-dir", "", "directory for periodic weight checkpoints (with -learn)")
+		ckptEvery  = flag.Duration("checkpoint-every", time.Minute, "checkpoint cadence (with -learn and -checkpoint-dir)")
+		sessTTL    = flag.Duration("session-ttl", 10*time.Minute, "how long detached sessions stay resumable")
 	)
 	flag.Parse()
 
 	s := serve.New(serve.Config{
-		MaxSessions: *sessions,
-		QueueDepth:  *queue,
-		BatchWindow: *window,
-		MaxBatch:    *maxBatch,
-		IdleTimeout: *idle,
-		K:           *k,
-		Seed:        *seed,
+		MaxSessions:     *sessions,
+		QueueDepth:      *queue,
+		BatchWindow:     *window,
+		MaxBatch:        *maxBatch,
+		IdleTimeout:     *idle,
+		K:               *k,
+		Seed:            *seed,
+		SessionTTL:      *sessTTL,
+		Learn:           *learn,
+		TrainInterval:   *trainEvery,
+		TrainBatch:      *trainBatch,
+		UpdatesPerRound: *updates,
+		CheckpointDir:   *ckptDir,
+		CheckpointEvery: *ckptEvery,
 	})
+	if *learn {
+		log.Printf("agentd: online learning enabled (train every %v, batch %d, %d updates/round)", *trainEvery, *trainBatch, *updates)
+	}
 
 	if *actorF != "" || *criticF != "" {
 		if *n <= 0 || *m <= 0 || *spouts <= 0 {
@@ -103,6 +133,15 @@ func main() {
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
 	defer stop()
 	err = s.Serve(ctx, l)
+	if *learn && *ckptDir != "" {
+		// Final checkpoint on drain so an orderly shutdown never loses
+		// more than the in-flight train round.
+		if cerr := s.Checkpoint(*ckptDir); cerr != nil {
+			log.Printf("agentd: final checkpoint: %v", cerr)
+		} else {
+			log.Printf("agentd: final checkpoint written to %s", *ckptDir)
+		}
+	}
 	if httpSrv != nil {
 		shutCtx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
 		httpSrv.Shutdown(shutCtx)

@@ -6,8 +6,13 @@
 //
 //	loadgen -addr 127.0.0.1:7700 -sessions 1000 -duration 10s
 //
-// The process exits non-zero if any session hits a protocol error, which
-// is what the CI smoke job asserts.
+// With -drop-every N each session deliberately drops its connection every
+// N epochs and reconnects presenting its resumption token, exercising the
+// daemon's session-resumption path under load.
+//
+// The process exits non-zero if any session hits a protocol error or dies
+// mid-run — including sessions still failing when the run deadline fires
+// (serve.AbortedError) — which is what the CI smoke job asserts.
 package main
 
 import (
@@ -15,6 +20,7 @@ import (
 	"errors"
 	"flag"
 	"fmt"
+	"io"
 	"math/rand"
 	"os"
 	"sync/atomic"
@@ -24,54 +30,86 @@ import (
 	"repro/internal/serve"
 )
 
+// options collects the run parameters so tests can drive run directly.
+type options struct {
+	addr      string
+	sessions  int
+	duration  time.Duration
+	n, m      int
+	spouts    int
+	think     time.Duration
+	seed      int64
+	dropEvery int
+}
+
 func main() {
 	var (
-		addr     = flag.String("addr", "127.0.0.1:7700", "agentd address")
-		sessions = flag.Int("sessions", 100, "concurrent scheduler sessions")
-		duration = flag.Duration("duration", 10*time.Second, "how long to drive load")
-		n        = flag.Int("n", 12, "executors per topology")
-		m        = flag.Int("m", 4, "machines per topology")
-		spouts   = flag.Int("spouts", 2, "data sources per topology")
-		think    = flag.Duration("think", 0, "per-session pause between epochs (0 = closed loop)")
-		seed     = flag.Int64("seed", 1, "workload randomization seed")
+		addr      = flag.String("addr", "127.0.0.1:7700", "agentd address")
+		sessions  = flag.Int("sessions", 100, "concurrent scheduler sessions")
+		duration  = flag.Duration("duration", 10*time.Second, "how long to drive load")
+		n         = flag.Int("n", 12, "executors per topology")
+		m         = flag.Int("m", 4, "machines per topology")
+		spouts    = flag.Int("spouts", 2, "data sources per topology")
+		think     = flag.Duration("think", 0, "per-session pause between epochs (0 = closed loop)")
+		seed      = flag.Int64("seed", 1, "workload randomization seed")
+		dropEvery = flag.Int("drop-every", 0, "drop and resume each session every N epochs (0 = never)")
 	)
 	flag.Parse()
+	os.Exit(run(options{
+		addr: *addr, sessions: *sessions, duration: *duration,
+		n: *n, m: *m, spouts: *spouts,
+		think: *think, seed: *seed, dropEvery: *dropEvery,
+	}, os.Stdout))
+}
 
+// run drives the load and returns the process exit code: 0 only when every
+// session survived to the deadline without a protocol error or an
+// unrecovered failure.
+func run(opt options, out io.Writer) int {
 	pool := serve.NewPool(serve.ClientConfig{
-		Addr:  *addr,
-		Hello: serve.HelloMsg{Topology: "loadgen", N: *n, M: *m, Spouts: *spouts},
-	}, *sessions)
+		Addr:  opt.addr,
+		Hello: serve.HelloMsg{Topology: "loadgen", N: opt.n, M: opt.m, Spouts: opt.spouts},
+	}, opt.sessions)
 
 	var (
 		lat      serve.Histogram
 		epochs   atomic.Int64
+		drops    atomic.Int64
 		failures atomic.Int64
 	)
-	ctx, cancel := context.WithTimeout(context.Background(), *duration)
+	ctx, cancel := context.WithTimeout(context.Background(), opt.duration)
 	defer cancel()
 	start := time.Now()
 	runErr := pool.Run(ctx, func(ctx context.Context, i int, sess *serve.Session) error {
-		rng := rand.New(rand.NewSource(*seed + int64(i)))
+		rng := rand.New(rand.NewSource(opt.seed + int64(i)))
 		base := 100 + 900*rng.Float64()
-		meas := core.MeasurementMsg{AvgTupleTimeMS: 50, Workload: make([]float64, *spouts)}
-		for ctx.Err() == nil {
+		meas := core.MeasurementMsg{AvgTupleTimeMS: 50, Workload: make([]float64, opt.spouts)}
+		for epoch := 1; ctx.Err() == nil; epoch++ {
+			if opt.dropEvery > 0 && epoch%opt.dropEvery == 0 {
+				// Deliberate kill: the next Step redials and presents the
+				// session token, resuming server-side state.
+				sess.Close()
+				drops.Add(1)
+			}
 			for j := range meas.Workload {
 				meas.Workload[j] = base * (0.8 + 0.4*rng.Float64())
 			}
 			t0 := time.Now()
 			if _, err := sess.Step(ctx, meas); err != nil {
-				if ctx.Err() != nil {
-					return nil // deadline hit mid-step: not a failure
+				if benignEnd(err) {
+					return nil // the run's deadline ended this step
 				}
+				// A real failure — even one the deadline interrupted
+				// recovery from — must reach the exit code.
 				failures.Add(1)
 				return fmt.Errorf("session %d: %w", i, err)
 			}
 			lat.Observe(time.Since(t0))
 			epochs.Add(1)
 			meas.AvgTupleTimeMS = 30 + 40*rng.Float64()
-			if *think > 0 {
+			if opt.think > 0 {
 				select {
-				case <-time.After(*think):
+				case <-time.After(opt.think):
 				case <-ctx.Done():
 				}
 			}
@@ -79,29 +117,51 @@ func main() {
 		return nil
 	})
 	elapsed := time.Since(start)
-	if elapsed > *duration {
-		elapsed = *duration
+	if elapsed > opt.duration {
+		elapsed = opt.duration
 	}
 	// The deadline firing is how a run normally ends; only real failures
 	// count.
-	if errors.Is(runErr, context.DeadlineExceeded) || errors.Is(runErr, context.Canceled) {
+	if runErr != nil && benignEnd(runErr) {
 		runErr = nil
 	}
 
 	stats := pool.Stats()
 	total := epochs.Load()
-	fmt.Printf("sessions:    %d (topology %dx%d/%d)\n", *sessions, *n, *m, *spouts)
-	fmt.Printf("duration:    %v\n", elapsed.Round(time.Millisecond))
-	fmt.Printf("requests:    %d (%.0f req/s sustained)\n", total, float64(total)/elapsed.Seconds())
-	fmt.Printf("latency:     p50 %v  p99 %v  mean %v\n", lat.Quantile(0.5), lat.Quantile(0.99), lat.Mean())
-	fmt.Printf("retries:     %d (load-shed replies honored)\n", stats.Retries.Load())
-	fmt.Printf("reconnects:  %d\n", stats.Reconnects.Load())
-	fmt.Printf("errors:      %d\n", stats.Errors.Load()+failures.Load())
+	fmt.Fprintf(out, "sessions:    %d (topology %dx%d/%d)\n", opt.sessions, opt.n, opt.m, opt.spouts)
+	fmt.Fprintf(out, "duration:    %v\n", elapsed.Round(time.Millisecond))
+	fmt.Fprintf(out, "requests:    %d (%.0f req/s sustained)\n", total, float64(total)/elapsed.Seconds())
+	fmt.Fprintf(out, "latency:     p50 %v  p99 %v  mean %v\n", lat.Quantile(0.5), lat.Quantile(0.99), lat.Mean())
+	fmt.Fprintf(out, "retries:     %d (load-shed replies honored)\n", stats.Retries.Load())
+	fmt.Fprintf(out, "reconnects:  %d\n", stats.Reconnects.Load())
+	if opt.dropEvery > 0 {
+		fmt.Fprintf(out, "drops:       %d (sessions resumed: %d)\n", drops.Load(), stats.Resumes.Load())
+	}
+	fmt.Fprintf(out, "errors:      %d\n", stats.Errors.Load()+failures.Load())
 	if runErr != nil {
 		fmt.Fprintln(os.Stderr, "loadgen:", runErr)
-		os.Exit(1)
+		return 1
 	}
 	if stats.Errors.Load()+failures.Load() > 0 {
-		os.Exit(1)
+		return 1
 	}
+	if opt.dropEvery > 0 && drops.Load() > 0 && stats.Resumes.Load() == 0 {
+		fmt.Fprintln(os.Stderr, "loadgen: sessions were dropped but none resumed")
+		return 1
+	}
+	return 0
+}
+
+// benignEnd reports whether err is purely the run deadline (or a sibling
+// session's failure cancelling the pool) ending an otherwise healthy
+// session. A context end that interrupted failure recovery arrives as a
+// serve.AbortedError and is NOT benign — before that distinction, a
+// session that died mid-run and was still backing off at the deadline
+// made loadgen exit zero.
+func benignEnd(err error) bool {
+	var aborted *serve.AbortedError
+	if errors.As(err, &aborted) {
+		return false
+	}
+	return errors.Is(err, context.DeadlineExceeded) || errors.Is(err, context.Canceled)
 }

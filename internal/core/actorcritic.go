@@ -1,6 +1,7 @@
 package core
 
 import (
+	"fmt"
 	"math"
 	"math/rand"
 
@@ -134,6 +135,43 @@ func NewActorCritic(n, m, numSpouts int, cfg ACConfig, seed int64) *ActorCritic 
 	return a
 }
 
+// NewActorCriticFrom builds the agent around existing actor/critic
+// networks instead of freshly initialized ones — the online-learning path
+// of the serving daemon starts training from whatever weights it is
+// currently serving (random or a loaded checkpoint). The networks are
+// owned by the agent afterwards; target copies are cloned from them. seed
+// seeds the agent's sampling/exploration RNG only.
+func NewActorCriticFrom(n, m, numSpouts int, cfg ACConfig, seed int64, actor, critic *nn.Network) (*ActorCritic, error) {
+	space := actionspace.NewSpace(n, m)
+	codec := NewStateCodec(space, numSpouts)
+	if actor.InDim() != codec.Dim() || actor.OutDim() != space.Dim() {
+		return nil, fmt.Errorf("core: actor is %d→%d, agent needs %d→%d",
+			actor.InDim(), actor.OutDim(), codec.Dim(), space.Dim())
+	}
+	if critic.InDim() != codec.Dim()+space.Dim() || critic.OutDim() != 1 {
+		return nil, fmt.Errorf("core: critic is %d→%d, agent needs %d→1",
+			critic.InDim(), critic.OutDim(), codec.Dim()+space.Dim())
+	}
+	a := &ActorCritic{
+		cfg:       cfg,
+		space:     space,
+		codec:     codec,
+		actor:     actor,
+		critic:    critic,
+		actorOpt:  nn.NewAdam(cfg.ActorLR),
+		criticOpt: nn.NewAdam(cfg.CriticLR),
+		buffer:    rl.NewReplayBuffer(cfg.BufferSize),
+		rng:       rand.New(rand.NewSource(seed)),
+		sa:        make([]float64, codec.Dim()+space.Dim()),
+	}
+	a.actorT = a.actor.Clone()
+	a.criticT = a.critic.Clone()
+	if cfg.UseOUNoise {
+		a.ou = rl.NewOUNoise(space.Dim())
+	}
+	return a, nil
+}
+
 // Name implements Agent.
 func (*ActorCritic) Name() string { return "Actor-critic-based DRL" }
 
@@ -250,14 +288,27 @@ func (a *ActorCritic) trainOnce() {
 		return
 	}
 	a.batch = a.buffer.Sample(a.rng, a.cfg.BatchSize, a.batch)
-	hN := len(a.batch)
+	a.TrainOnBatch(a.batch)
+}
+
+// TrainOnBatch runs one batched actor-critic update (Algorithm 1 lines
+// 15–18) on an externally sampled mini-batch — the incremental trainer API
+// used by the serving daemon, whose replay buffer lives outside the agent
+// (sharded per session, internal/rl.ShardedReplay). The internal training
+// path (TrainStep) samples from the agent's own buffer and funnels through
+// here, so both paths share one update implementation.
+func (a *ActorCritic) TrainOnBatch(batch []rl.Transition) {
+	if len(batch) == 0 {
+		return
+	}
+	hN := len(batch)
 	h := float64(hN)
 	sdim := a.codec.Dim()
 	adim := a.space.Dim()
 
 	st := ensureMat(&a.sc.states, hN, sdim)
 	nx := ensureMat(&a.sc.nextStates, hN, sdim)
-	for i, tr := range a.batch {
+	for i, tr := range batch {
 		copy(st.Row(i), tr.State)
 		copy(nx.Row(i), tr.NextState)
 	}
@@ -270,12 +321,12 @@ func (a *ActorCritic) trainOnce() {
 	saCand := ensureMat(&a.sc.saCand, hN*a.cfg.K, sdim+adim)
 	candCount := ensureInts(&a.sc.candCount, hN)
 	rows := 0
-	for i := range a.batch {
+	for i := range batch {
 		a.sc.knn = a.space.KNearestInto(protoNext.Row(i), a.cfg.K, a.sc.knn)
 		candCount[i] = len(a.sc.knn)
 		for _, cand := range a.sc.knn {
 			row := saCand.Row(rows)
-			copy(row[:sdim], a.batch[i].NextState)
+			copy(row[:sdim], batch[i].NextState)
 			a.space.Encode(cand, row[sdim:])
 			rows++
 		}
@@ -286,7 +337,7 @@ func (a *ActorCritic) trainOnce() {
 	qCand := a.criticT.ForwardBatch(&a.sc.saCandView)
 	targets := ensureFloats(&a.sc.targets, hN)
 	rows = 0
-	for i, tr := range a.batch {
+	for i, tr := range batch {
 		best := 0.0
 		for j := 0; j < candCount[i]; j++ {
 			if q := qCand.Row(rows)[0]; j == 0 || q > best {
@@ -300,14 +351,14 @@ func (a *ActorCritic) trainOnce() {
 	// Line 16: critic regression toward the targets (MSE), one batched
 	// forward/backward pair.
 	sa := ensureMat(&a.sc.sa, hN, sdim+adim)
-	for i, tr := range a.batch {
+	for i, tr := range batch {
 		row := sa.Row(i)
 		copy(row[:sdim], tr.State)
 		copy(row[sdim:], tr.Action)
 	}
 	qs := a.critic.ForwardBatch(sa)
 	dQ := ensureMat(&a.sc.dQ, hN, 1)
-	for i := range a.batch {
+	for i := range batch {
 		dQ.Row(i)[0] = (qs.Row(i)[0] - targets[i]) / h
 	}
 	a.critic.ZeroGrads()
@@ -323,7 +374,7 @@ func (a *ActorCritic) trainOnce() {
 	// unit-output-gradient backward with weight-gradient scale 0; the action
 	// columns of the critic's input gradient are ∇â Q.
 	proto := a.actor.ForwardBatch(st)
-	for i, tr := range a.batch {
+	for i, tr := range batch {
 		row := sa.Row(i)
 		copy(row[:sdim], tr.State)
 		copy(row[sdim:], proto.Row(i))

@@ -164,12 +164,24 @@ func (d *DQN) TrainStep() {
 		return
 	}
 	d.batch = d.buffer.Sample(d.rng, d.cfg.BatchSize, d.batch)
-	hN := len(d.batch)
+	d.TrainOnBatch(d.batch)
+}
+
+// TrainOnBatch runs one batched Q-learning update on an externally sampled
+// mini-batch — the incremental trainer API mirroring
+// ActorCritic.TrainOnBatch, for training loops that own their replay
+// buffer (e.g. the serving daemon's sharded replay). TrainStep funnels
+// through here.
+func (d *DQN) TrainOnBatch(batch []rl.Transition) {
+	if len(batch) == 0 {
+		return
+	}
+	hN := len(batch)
 	h := float64(hN)
 	sdim := d.codec.Dim()
 	st := ensureMat(&d.sc.states, hN, sdim)
 	nx := ensureMat(&d.sc.nextStates, hN, sdim)
-	for i, tr := range d.batch {
+	for i, tr := range batch {
 		copy(st.Row(i), tr.State)
 		copy(nx.Row(i), tr.NextState)
 	}
@@ -187,12 +199,12 @@ func (d *DQN) TrainStep() {
 			argmax[i] = argmaxIdx(qOnline.Row(i))
 		}
 		qT := d.qtarget.ForwardBatch(nx)
-		for i, tr := range d.batch {
+		for i, tr := range batch {
 			targets[i] = tr.Reward + d.cfg.Gamma*qT.Row(i)[argmax[i]]
 		}
 	} else {
 		qT := d.qtarget.ForwardBatch(nx)
-		for i, tr := range d.batch {
+		for i, tr := range batch {
 			row := qT.Row(i)
 			targets[i] = tr.Reward + d.cfg.Gamma*row[argmaxIdx(row)]
 		}
@@ -201,7 +213,7 @@ func (d *DQN) TrainStep() {
 	q := d.qnet.ForwardBatch(st)
 	dOut := ensureMat(&d.sc.dOut, hN, d.space.Dim())
 	dOut.Zero()
-	for i, tr := range d.batch {
+	for i, tr := range batch {
 		move := int(tr.Action[0])
 		dOut.Row(i)[move] = (q.Row(i)[move] - targets[i]) / h
 	}

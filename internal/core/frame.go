@@ -1,0 +1,86 @@
+package core
+
+import (
+	"bufio"
+	"errors"
+	"io"
+)
+
+// ErrFrameTooLong marks an NDJSON frame exceeding the reader's size cap.
+var ErrFrameTooLong = errors.New("core: frame exceeds max size")
+
+// FrameReader reads '\n'-delimited NDJSON frames with a hard size cap, so
+// one misbehaving peer cannot make the reader buffer an unbounded line. It
+// is the wire-protocol decoder shared by the serving daemon and its
+// client (internal/serve) and the unit under FuzzWireFrames.
+type FrameReader struct {
+	r   *bufio.Reader
+	max int
+	buf []byte
+	// eol records whether the frame that just exceeded max was consumed
+	// through its newline already (it fit in the bufio buffer), so
+	// DrainLine must not wait for another one.
+	eol bool
+}
+
+// NewFrameReader wraps r with a frame cap of max payload bytes (the
+// delimiting newline is framing, not payload).
+func NewFrameReader(r *bufio.Reader, max int) *FrameReader {
+	return &FrameReader{r: r, max: max}
+}
+
+// Next returns the next frame without its trailing newline. The returned
+// slice is valid until the following call. A stream that ends mid-frame
+// yields io.ErrUnexpectedEOF (a protocol error), while one that ends on a
+// frame boundary yields a clean io.EOF.
+func (fr *FrameReader) Next() ([]byte, error) {
+	fr.buf = fr.buf[:0]
+	for {
+		frag, err := fr.r.ReadSlice('\n')
+		fr.buf = append(fr.buf, frag...)
+		payload := len(fr.buf)
+		if err == nil {
+			payload-- // the trailing '\n' is framing, not payload
+		}
+		if payload > fr.max {
+			fr.eol = err == nil
+			return nil, ErrFrameTooLong
+		}
+		switch err {
+		case nil:
+			return fr.buf[:len(fr.buf)-1], nil
+		case bufio.ErrBufferFull:
+			continue
+		case io.EOF:
+			if len(fr.buf) > 0 {
+				return nil, io.ErrUnexpectedEOF
+			}
+			return nil, io.EOF
+		default:
+			return nil, err
+		}
+	}
+}
+
+// DrainLine consumes input up to and including the next '\n', discarding
+// it. Used to finish reading an oversized frame before replying: closing
+// a socket with received-but-unread data sends RST, which would destroy
+// the error reply in flight (closed-loop peers have exactly one frame in
+// flight, so draining to the newline empties the receive buffer).
+func (fr *FrameReader) DrainLine() error {
+	if fr.eol {
+		fr.eol = false
+		return nil
+	}
+	for {
+		_, err := fr.r.ReadSlice('\n')
+		switch err {
+		case nil:
+			return nil
+		case bufio.ErrBufferFull:
+			continue
+		default:
+			return err
+		}
+	}
+}

@@ -1,0 +1,141 @@
+package core
+
+import (
+	"bufio"
+	"bytes"
+	"encoding/json"
+	"errors"
+	"io"
+	"reflect"
+	"testing"
+)
+
+// FuzzWireFrames fuzzes the NDJSON wire decoder (FrameReader) against a
+// straightforward split-by-newline oracle: whatever byte stream a peer
+// sends — truncated frames, oversized frames, interleaved valid/garbage
+// lines, tokens with hostile contents — the decoder must return exactly
+// the complete lines that fit the cap, flag the rest with the right
+// errors, and never panic or return a frame above the cap. Frames that
+// parse as protocol messages additionally get a decode→encode→decode
+// consistency check, covering the session-resumption token fields.
+func FuzzWireFrames(f *testing.F) {
+	// Protocol-shaped seeds, including the token fields, plus framing abuse.
+	seeds := []string{
+		`{"epoch":1,"assign":[0,1,2]}` + "\n",
+		`{"epoch":3,"assign":[1,0],"token":"s42","resumed":true}` + "\n",
+		`{"err":"retry: inference queue full","retry":true}` + "\n",
+		`{"topology":"wc","n":12,"m":4,"spouts":2,"token":"sess-7"}` + "\n",
+		`{"avg_tuple_time_ms":41.5,"workload":[120,80]}` + "\n",
+		`{"token":"` + string(make([]byte, 40)) + `"}` + "\n",
+		`{"epoch":1,"assign":[0,1`,                    /* truncated mid-frame */
+		string(bytes.Repeat([]byte("x"), 200)) + "\n", // oversized for small caps
+		"\n\n\n",
+		`{"n":4}` + "\n" + string(bytes.Repeat([]byte("y"), 500)) + "\n" + `{"m":2,"token":"t"}` + "\n", // interleaved
+		"not json at all\nstill not json\n",
+	}
+	for _, s := range seeds {
+		f.Add([]byte(s), uint8(64))
+		f.Add([]byte(s), uint8(7))
+	}
+
+	f.Fuzz(func(t *testing.T, data []byte, maxRaw uint8) {
+		max := int(maxRaw)%128 + 1
+		// A minimal bufio buffer forces the ErrBufferFull continuation path
+		// on frames longer than 16 bytes.
+		fr := NewFrameReader(bufio.NewReaderSize(bytes.NewReader(data), 16), max)
+
+		var got [][]byte
+		oversized := 0
+	read:
+		for {
+			frame, err := fr.Next()
+			switch {
+			case err == nil:
+				if len(frame) > max {
+					t.Fatalf("frame of %d bytes above cap %d", len(frame), max)
+				}
+				if bytes.IndexByte(frame, '\n') >= 0 {
+					t.Fatalf("frame contains a newline: %q", frame)
+				}
+				got = append(got, append([]byte(nil), frame...))
+				checkMessageRoundTrip(t, frame)
+			case errors.Is(err, ErrFrameTooLong):
+				oversized++
+				if fr.DrainLine() != nil {
+					break read // oversized tail without a newline: stream over
+				}
+			case err == io.EOF, errors.Is(err, io.ErrUnexpectedEOF):
+				break read
+			default:
+				t.Fatalf("unexpected decode error: %v", err)
+			}
+		}
+
+		// Oracle: the complete lines that fit the cap, in order.
+		var want [][]byte
+		wantOversized := 0
+		rest := data
+		for {
+			i := bytes.IndexByte(rest, '\n')
+			if i < 0 {
+				if len(rest) > max {
+					wantOversized++ // oversized truncated tail still trips the cap
+				}
+				break
+			}
+			if i <= max {
+				want = append(want, rest[:i])
+			} else {
+				wantOversized++
+			}
+			rest = rest[i+1:]
+		}
+		if len(got) != len(want) {
+			t.Fatalf("decoded %d frames, oracle says %d (cap %d)", len(got), len(want), max)
+		}
+		for i := range got {
+			if !bytes.Equal(got[i], want[i]) {
+				t.Fatalf("frame %d: got %q want %q", i, got[i], want[i])
+			}
+		}
+		if oversized != wantOversized {
+			t.Fatalf("flagged %d oversized frames, oracle says %d", oversized, wantOversized)
+		}
+	})
+}
+
+// checkMessageRoundTrip asserts decode→encode→decode consistency for
+// frames that happen to parse as protocol messages (hello replies carrying
+// resumption tokens included): re-encoding a decoded message and decoding
+// it again must reproduce the same value, or the daemon and client would
+// disagree after one hop.
+func checkMessageRoundTrip(t *testing.T, frame []byte) {
+	var sol SolutionMsg
+	if json.Unmarshal(frame, &sol) == nil {
+		blob, err := json.Marshal(&sol)
+		if err != nil {
+			t.Fatalf("re-encode SolutionMsg %+v: %v", sol, err)
+		}
+		var again SolutionMsg
+		if err := json.Unmarshal(blob, &again); err != nil {
+			t.Fatalf("decode re-encoded SolutionMsg %s: %v", blob, err)
+		}
+		if !reflect.DeepEqual(sol, again) {
+			t.Fatalf("SolutionMsg round trip drifted: %+v vs %+v", sol, again)
+		}
+	}
+	var meas MeasurementMsg
+	if json.Unmarshal(frame, &meas) == nil {
+		blob, err := json.Marshal(&meas)
+		if err != nil {
+			t.Fatalf("re-encode MeasurementMsg %+v: %v", meas, err)
+		}
+		var again MeasurementMsg
+		if err := json.Unmarshal(blob, &again); err != nil {
+			t.Fatalf("decode re-encoded MeasurementMsg %s: %v", blob, err)
+		}
+		if !reflect.DeepEqual(meas, again) {
+			t.Fatalf("MeasurementMsg round trip drifted: %+v vs %+v", meas, again)
+		}
+	}
+}

@@ -17,6 +17,17 @@ type rewardNorm struct {
 
 const rewardNormAlpha = 0.01
 
+// RewardNormalizer is the exported form of the running reward
+// standardization, for training loops that live outside this package (the
+// serving daemon normalizes each session's reward stream with its own
+// normalizer, so the statistics — and therefore the stored transitions —
+// depend only on that session's history, never on cross-session timing).
+type RewardNormalizer struct{ rn rewardNorm }
+
+// Normalize folds r into the running statistics and returns the
+// standardized value, clipped to ±5 standard deviations.
+func (r *RewardNormalizer) Normalize(v float64) float64 { return r.rn.normalize(v) }
+
 // normalize folds r into the running statistics and returns the
 // standardized value, clipped to ±5 standard deviations.
 func (rn *rewardNorm) normalize(r float64) float64 {

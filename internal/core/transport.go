@@ -38,11 +38,27 @@ type SolutionMsg struct {
 	// the scheduler should resubmit the same measurement after a short
 	// backoff (admission control, internal/serve).
 	Retry bool `json:"retry,omitempty"`
+	// Token is the session-resumption token, set by the serving daemon on
+	// its hello reply. A reconnecting client presents it in its next hello
+	// to restore the session's per-topology state instead of starting cold
+	// (internal/serve).
+	Token string `json:"token,omitempty"`
+	// Resumed marks a hello reply that restored a prior session's state;
+	// Epoch and Assign then carry where that session left off.
+	Resumed bool `json:"resumed,omitempty"`
 }
 
 // MeasurementMsg is the scheduler→agent reply after deployment and
 // re-stabilization.
 type MeasurementMsg struct {
+	// Epoch, when non-zero, echoes 1 + the decision epoch of the
+	// solution this measurement observed (1-based so that observing the
+	// hello solution, epoch 0, is distinguishable from peers that
+	// predate the field and send nothing). The serving daemon uses it to
+	// detect a resubmitted measurement after a lost reply (the client
+	// measured an older deployment than the daemon's pending transition
+	// assumes) and keeps the mislabeled sample out of online learning.
+	Epoch int `json:"epoch,omitempty"`
 	// AvgTupleTimeMS is the measured average end-to-end tuple processing
 	// time.
 	AvgTupleTimeMS float64 `json:"avg_tuple_time_ms"`

@@ -1,0 +1,103 @@
+package nn
+
+import (
+	"math/rand"
+	"testing"
+
+	"repro/internal/mat"
+)
+
+// TestSnapshotRestoreRoundTrip: a snapshot restored into a clone reproduces
+// the source network bitwise (checksums and forward outputs agree).
+func TestSnapshotRestoreRoundTrip(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	src := New([]int{5, 8, 3}, Tanh, Identity, rng)
+	dst := New([]int{5, 8, 3}, Tanh, Identity, rand.New(rand.NewSource(2)))
+	if src.Checksum() == dst.Checksum() {
+		t.Fatal("differently seeded networks should not collide")
+	}
+	var snap Snapshot
+	src.Snapshot(&snap)
+	if err := dst.Restore(&snap); err != nil {
+		t.Fatal(err)
+	}
+	if src.Checksum() != dst.Checksum() {
+		t.Fatal("restore did not reproduce the source weights")
+	}
+	x := []float64{0.1, -0.4, 0.9, 0, 0.3}
+	a, b := src.ForwardCopy(x), dst.ForwardCopy(x)
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("forward mismatch at %d: %v vs %v", i, a[i], b[i])
+		}
+	}
+}
+
+// TestSnapshotReuseNoRealloc: repeated snapshots of a same-shaped network
+// reuse the snapshot's backing storage.
+func TestSnapshotReuseNoRealloc(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	net := New([]int{4, 6, 2}, Tanh, Tanh, rng)
+	var snap Snapshot
+	net.Snapshot(&snap)
+	w0 := &snap.W[0][0]
+	net.Layers[0].W.Data[0] = 42
+	net.Snapshot(&snap)
+	if &snap.W[0][0] != w0 {
+		t.Fatal("snapshot reallocated its backing storage")
+	}
+	if snap.W[0][0] != 42 {
+		t.Fatal("snapshot did not refresh the weights")
+	}
+}
+
+// TestRestoreShapeMismatch: restoring across shapes is an error, not a
+// corruption.
+func TestRestoreShapeMismatch(t *testing.T) {
+	rng := rand.New(rand.NewSource(4))
+	a := New([]int{4, 6, 2}, Tanh, Tanh, rng)
+	b := New([]int{4, 5, 2}, Tanh, Tanh, rng)
+	var snap Snapshot
+	a.Snapshot(&snap)
+	if err := b.Restore(&snap); err == nil {
+		t.Fatal("restore across shapes succeeded")
+	}
+}
+
+// TestRestoreRefreshesInferCache: a network that has already served through
+// ForwardBatchInfer (and therefore built its weight-transpose cache) must
+// serve the *new* weights after Restore, not the cached ones.
+func TestRestoreRefreshesInferCache(t *testing.T) {
+	rng := rand.New(rand.NewSource(5))
+	net := New([]int{3, 4, 2}, Tanh, Identity, rng)
+	x := mat.FromSlice(1, 3, []float64{0.2, -0.1, 0.7})
+
+	// Build the infer cache with the old weights.
+	net.ForwardBatchInfer(x)
+
+	donor := New([]int{3, 4, 2}, Tanh, Identity, rand.New(rand.NewSource(6)))
+	var snap Snapshot
+	donor.Snapshot(&snap)
+	if err := net.Restore(&snap); err != nil {
+		t.Fatal(err)
+	}
+
+	got := net.ForwardBatchInfer(x)
+	want := donor.ForwardBatchInfer(x)
+	for i := range want.Data {
+		if got.Data[i] != want.Data[i] {
+			t.Fatalf("stale infer cache after restore: got %v want %v", got.Data, want.Data)
+		}
+	}
+}
+
+// TestChecksumSensitivity: flipping one weight changes the checksum.
+func TestChecksumSensitivity(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	net := New([]int{4, 6, 2}, Tanh, Tanh, rng)
+	before := net.Checksum()
+	net.Layers[1].B[0] += 1e-12
+	if net.Checksum() == before {
+		t.Fatal("checksum ignored a bias change")
+	}
+}

@@ -1,0 +1,137 @@
+package rl
+
+import (
+	"math/rand"
+	"sort"
+	"sync"
+)
+
+// ShardedReplay is a replay buffer sharded by contributor key (the serving
+// daemon uses one shard per session token). Sharding serves two goals:
+//
+//   - Determinism: transitions within a shard arrive in their contributor's
+//     own order, which is deterministic even when many sessions feed the
+//     buffer concurrently; interleaving across contributors never matters
+//     because sampling walks shards in sorted key order. Two runs with the
+//     same per-contributor streams therefore sample identical batches from
+//     identical RNG states.
+//   - Lifecycle: a contributor's transitions can be dropped as one unit
+//     when its session is evicted.
+//
+// All methods are safe for concurrent use; Add from many goroutines may
+// interleave with Sample from a trainer goroutine.
+type ShardedReplay struct {
+	mu       sync.Mutex
+	shardCap int
+	shards   map[string]*ReplayBuffer
+	keys     []string // sorted shard keys; the deterministic walk order
+	count    int      // total stored transitions
+
+	// Sample scratch: cumulative shard lengths and the matching buffers,
+	// rebuilt once per Sample so each draw is a binary search instead of
+	// an O(shards) key walk with a map lookup per step.
+	cum  []int
+	bufs []*ReplayBuffer
+}
+
+// NewShardedReplay returns an empty sharded buffer whose per-key shards
+// hold at most shardCap transitions each (oldest evicted first).
+func NewShardedReplay(shardCap int) *ShardedReplay {
+	if shardCap <= 0 {
+		shardCap = 1
+	}
+	return &ShardedReplay{shardCap: shardCap, shards: map[string]*ReplayBuffer{}}
+}
+
+// Add stores t in key's shard, creating the shard on first use.
+func (s *ShardedReplay) Add(key string, t Transition) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	b, ok := s.shards[key]
+	if !ok {
+		b = NewReplayBuffer(s.shardCap)
+		s.shards[key] = b
+		i := sort.SearchStrings(s.keys, key)
+		s.keys = append(s.keys, "")
+		copy(s.keys[i+1:], s.keys[i:])
+		s.keys[i] = key
+	}
+	if b.Len() == b.Cap() {
+		s.count-- // Add below evicts the oldest
+	}
+	b.Add(t)
+	s.count++
+}
+
+// Remove drops key's shard and all its transitions.
+func (s *ShardedReplay) Remove(key string) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	b, ok := s.shards[key]
+	if !ok {
+		return
+	}
+	s.count -= b.Len()
+	delete(s.shards, key)
+	i := sort.SearchStrings(s.keys, key)
+	s.keys = append(s.keys[:i], s.keys[i+1:]...)
+}
+
+// Len returns the total number of stored transitions.
+func (s *ShardedReplay) Len() int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.count
+}
+
+// Shards returns the number of live shards.
+func (s *ShardedReplay) Shards() int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return len(s.shards)
+}
+
+// Sample draws n transitions uniformly at random (with replacement) across
+// all shards into dst, which is resized as needed and returned. The draw
+// treats the shards, walked in sorted key order, as one concatenated
+// buffer, so for a fixed RNG state and fixed shard contents the sampled
+// batch is independent of the goroutine interleaving that filled the
+// shards. Returns dst[:0] when the buffer is empty.
+func (s *ShardedReplay) Sample(rng *rand.Rand, n int, dst []Transition) []Transition {
+	dst = dst[:0]
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.count == 0 {
+		return dst
+	}
+	// One pass over the sorted keys builds the cumulative-length table;
+	// each draw then binary-searches it. Same idx→shard mapping as a
+	// linear walk, so sampled batches are unchanged.
+	s.cum = s.cum[:0]
+	s.bufs = s.bufs[:0]
+	total := 0
+	for _, key := range s.keys {
+		b := s.shards[key]
+		total += b.Len()
+		s.cum = append(s.cum, total)
+		s.bufs = append(s.bufs, b)
+	}
+	for i := 0; i < n; i++ {
+		idx := rng.Intn(s.count)
+		j := sort.SearchInts(s.cum, idx+1)
+		b := s.bufs[j]
+		local := idx - (s.cum[j] - b.Len())
+		dst = append(dst, b.At(ringIndex(b, local)))
+	}
+	return dst
+}
+
+// ringIndex maps a logical in-order index (0 = oldest) to the ring
+// position used by ReplayBuffer.At. The mapping keeps sampling stable
+// under eviction: index i always means "the i-th oldest transition".
+func ringIndex(b *ReplayBuffer, i int) int {
+	if !b.full {
+		return i
+	}
+	return (b.next + i) % b.Cap()
+}

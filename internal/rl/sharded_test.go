@@ -1,0 +1,124 @@
+package rl
+
+import (
+	"fmt"
+	"math/rand"
+	"sync"
+	"testing"
+)
+
+// TestShardedAddRemoveCounts covers shard creation, per-shard eviction and
+// whole-shard removal accounting.
+func TestShardedAddRemoveCounts(t *testing.T) {
+	s := NewShardedReplay(2)
+	for i := 0; i < 3; i++ {
+		s.Add("a", tr(float64(i))) // capacity 2: the first add is evicted
+	}
+	s.Add("b", tr(10))
+	if got := s.Len(); got != 3 {
+		t.Fatalf("Len = %d want 3 (2 in a after eviction + 1 in b)", got)
+	}
+	if got := s.Shards(); got != 2 {
+		t.Fatalf("Shards = %d want 2", got)
+	}
+	s.Remove("a")
+	if got, sh := s.Len(), s.Shards(); got != 1 || sh != 1 {
+		t.Fatalf("after remove: Len=%d Shards=%d want 1/1", got, sh)
+	}
+	s.Remove("missing") // no-op
+	if got := s.Len(); got != 1 {
+		t.Fatalf("Len after removing missing key = %d", got)
+	}
+}
+
+// TestShardedSampleDeterministicAcrossInterleavings: the same per-key
+// streams added in different global interleavings yield identical sampled
+// batches from identical RNG states — the property the online-learning
+// golden test depends on.
+func TestShardedSampleDeterministicAcrossInterleavings(t *testing.T) {
+	build := func(order []int) *ShardedReplay {
+		s := NewShardedReplay(16)
+		next := map[string]int{}
+		for _, who := range order {
+			key := fmt.Sprintf("sess-%d", who)
+			s.Add(key, tr(float64(who*100+next[key])))
+			next[key]++
+		}
+		return s
+	}
+	// Same per-session streams (session 0: 0,1,2..., session 1: 100,101...),
+	// two different arrival interleavings.
+	a := build([]int{0, 1, 0, 1, 2, 0, 2, 1, 0, 2})
+	b := build([]int{2, 2, 2, 1, 1, 1, 0, 0, 0, 0})
+
+	sa := a.Sample(rand.New(rand.NewSource(9)), 20, nil)
+	sb := b.Sample(rand.New(rand.NewSource(9)), 20, nil)
+	if len(sa) != 20 || len(sb) != 20 {
+		t.Fatalf("sample sizes %d/%d", len(sa), len(sb))
+	}
+	for i := range sa {
+		if sa[i].Reward != sb[i].Reward {
+			t.Fatalf("sample %d differs across interleavings: %v vs %v", i, sa[i].Reward, sb[i].Reward)
+		}
+	}
+}
+
+// TestShardedSampleOrderAfterEviction: logical index 0 is the oldest
+// surviving transition even after the ring wraps.
+func TestShardedSampleOrderAfterEviction(t *testing.T) {
+	s := NewShardedReplay(3)
+	for i := 0; i < 5; i++ { // survivors: 2, 3, 4
+		s.Add("k", tr(float64(i)))
+	}
+	seen := map[float64]bool{}
+	batch := s.Sample(rand.New(rand.NewSource(1)), 100, nil)
+	for _, b := range batch {
+		seen[b.Reward] = true
+		if b.Reward < 2 {
+			t.Fatalf("sampled evicted transition %v", b.Reward)
+		}
+	}
+	for _, want := range []float64{2, 3, 4} {
+		if !seen[want] {
+			t.Fatalf("100 draws over 3 survivors never hit %v", want)
+		}
+	}
+}
+
+// TestShardedEmptySample returns an empty batch rather than panicking.
+func TestShardedEmptySample(t *testing.T) {
+	s := NewShardedReplay(4)
+	if got := s.Sample(rand.New(rand.NewSource(1)), 8, nil); len(got) != 0 {
+		t.Fatalf("sampled %d from empty buffer", len(got))
+	}
+}
+
+// TestShardedConcurrentAddSample exercises Add/Sample/Remove under the race
+// detector.
+func TestShardedConcurrentAddSample(t *testing.T) {
+	s := NewShardedReplay(32)
+	var wg sync.WaitGroup
+	for w := 0; w < 4; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			key := fmt.Sprintf("w%d", w)
+			for i := 0; i < 200; i++ {
+				s.Add(key, tr(float64(i)))
+			}
+		}(w)
+	}
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		rng := rand.New(rand.NewSource(2))
+		var batch []Transition
+		for i := 0; i < 100; i++ {
+			batch = s.Sample(rng, 16, batch)
+			if i%10 == 0 {
+				s.Remove("w1")
+			}
+		}
+	}()
+	wg.Wait()
+}

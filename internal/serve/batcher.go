@@ -2,33 +2,60 @@ package serve
 
 import (
 	"context"
+	"log"
 	"time"
 
 	"repro/internal/mat"
 )
 
 // inferReq is one state→action request travelling from a session goroutine
-// to its model's batch loop. The session owns state and result; the
+// to its model's batch loop. The session owns state, noise and result; the
 // batcher writes result and closes done, which publishes the write.
 type inferReq struct {
-	state  []float64
+	state []float64
+	// noise, when non-nil, is the session's exploration perturbation
+	// (ε·U[0,1) per element), added to the actor's proto-action before the
+	// K-NN step. Drawn session-side from the session's own RNG so the
+	// exploration stream is deterministic per session regardless of how
+	// requests get batched.
+	noise  []float64
 	result []int
 	done   chan struct{}
 }
 
 // model is one topology shape's serving state: the policy (networks +
-// action space + scratch, confined to the batch loop goroutine) and the
-// bounded request queue that sessions feed.
+// action space + scratch, confined to the batch loop goroutine), the
+// bounded request queue that sessions feed, and — when learning — the
+// trainer plus the double-buffered weight publication slots.
 type model struct {
 	srv   *Server
 	key   modelKey
 	pol   *Policy
 	queue chan *inferReq
 
+	// learner trains this model online; nil when the daemon is frozen.
+	learner *modelLearner
+	// Weight publication is an explicit ownership transfer, so the
+	// trainer can never write a pair the batch loop is reading: toServe
+	// (cap 1) hands freshly published pairs to the loop — a pending pair
+	// the loop has not picked up is reclaimed and replaced by the next
+	// publish; returned (cap = ring size) hands pairs the loop has
+	// stopped serving back to the trainer. A pair is therefore always
+	// owned by exactly one side: the trainer (free list / being written),
+	// in flight in a channel, or serving. Channel handoff provides the
+	// happens-before edge for the weight writes.
+	toServe  chan *netPair
+	returned chan *netPair
+	// serving is the ring pair currently installed in the policy (nil
+	// while still on the initial networks); owned by the batch loop
+	// goroutine.
+	serving *netPair
+
 	// batch-loop scratch
 	states *mat.Matrix
 	reqs   []*inferReq
 	outs   [][]int
+	noises [][]float64
 }
 
 func newModel(s *Server, key modelKey) *model {
@@ -40,13 +67,51 @@ func newModel(s *Server, key modelKey) *model {
 	}
 }
 
-// start launches the batch loop under the server's run context.
+// start launches the batch loop (and builds the trainer) under the
+// server's run context. It runs with the server lock held, after any
+// Preload has installed checkpoint weights, so the trainer clones the
+// weights actually being served.
 func (m *model) start() {
+	if m.srv.cfg.Learn && m.learner == nil {
+		l, err := newModelLearner(m, m.srv.cfg)
+		if err != nil {
+			// Shapes come from the policy itself, so this is unreachable;
+			// fail safe by serving frozen.
+			log.Printf("serve: model %v: online learning disabled: %v", m.key, err)
+		} else {
+			m.learner = l
+		}
+	}
 	m.srv.wg.Add(1)
 	go func() {
 		defer m.srv.wg.Done()
 		m.run(m.srv.ctx)
 	}()
+}
+
+// installPublished swaps in the newest published weight pair, if the
+// trainer has produced one since the last batch, and returns the pair it
+// stops serving to the trainer.
+func (m *model) installPublished() {
+	if m.toServe == nil {
+		return
+	}
+	select {
+	case p := <-m.toServe:
+		if err := m.pol.SetNetworks(p.actor, p.critic); err != nil {
+			// Unreachable (ring pairs share the policy's architecture);
+			// hand the pair back rather than leak a ring slot.
+			log.Printf("serve: model %v: rejected published weights: %v", m.key, err)
+			m.returned <- p
+			return
+		}
+		if m.serving != nil {
+			m.returned <- m.serving
+		}
+		m.serving = p
+		m.srv.mSwaps.Inc()
+	default:
+	}
 }
 
 // run is the inference batch loop: block for the first pending request,
@@ -109,6 +174,7 @@ func (m *model) run(ctx context.Context) {
 // serveBatch runs one batched policy pass and completes every request.
 func (m *model) serveBatch(reqs []*inferReq) {
 	start := time.Now()
+	m.installPublished()
 	h := len(reqs)
 	sdim := m.pol.StateDim()
 	if m.states == nil {
@@ -116,11 +182,13 @@ func (m *model) serveBatch(reqs []*inferReq) {
 	}
 	m.states.Reshape(h, sdim)
 	m.outs = m.outs[:0]
+	m.noises = m.noises[:0]
 	for i, r := range reqs {
 		copy(m.states.Data[i*sdim:(i+1)*sdim], r.state)
 		m.outs = append(m.outs, r.result)
+		m.noises = append(m.noises, r.noise)
 	}
-	m.pol.SelectBatch(m.states, m.outs)
+	m.pol.SelectBatchExplore(m.states, m.noises, m.outs)
 	for _, r := range reqs {
 		close(r.done)
 	}

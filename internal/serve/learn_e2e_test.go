@@ -1,0 +1,233 @@
+package serve
+
+import (
+	"context"
+	"fmt"
+	"math/rand"
+	"strings"
+	"testing"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/rl"
+)
+
+// The golden end-to-end harness: a seeded daemon plus an in-process
+// client pool run lockstep epochs of online learning against a synthetic
+// deterministic DSDPS. Every source of randomness is seeded and every
+// training step happens at an explicit barrier (TrainNow between
+// epochs), so two runs must agree bitwise — weight checksums and the full
+// per-session solution streams. That is the regression net for the whole
+// train/publish/swap path: any nondeterminism (map iteration, timing
+// dependence, cross-session interleaving leaking into training) shows up
+// as a diff here.
+//
+// The same harness asserts the learning claim itself: after the epochs,
+// the served policy's mean measured latency beats the frozen-weights
+// baseline on the identical seeded workload, and a client killed mid-run
+// resumes its session with its prior state.
+
+// goldenEnv is one session's deterministic DSDPS stand-in: latency is a
+// load-imbalance penalty, so balanced solutions are better — the signal
+// online learning must find.
+type goldenEnv struct {
+	rng  *rand.Rand
+	m    int
+	work []float64
+}
+
+func newGoldenEnv(seed int64, m, spouts int) *goldenEnv {
+	return &goldenEnv{rng: rand.New(rand.NewSource(seed)), m: m, work: make([]float64, spouts)}
+}
+
+// measure returns the measurement for the currently deployed assignment
+// under the next workload draw, and the raw latency for scoring.
+func (e *goldenEnv) measure(assign []int) (core.MeasurementMsg, float64) {
+	for j := range e.work {
+		e.work[j] = 100 * (0.8 + 0.4*e.rng.Float64())
+	}
+	counts := make([]int, e.m)
+	for _, mach := range assign {
+		counts[mach]++
+	}
+	maxC := 0
+	for _, c := range counts {
+		if c > maxC {
+			maxC = c
+		}
+	}
+	// imb ∈ [0,1]: 0 when perfectly balanced, 1 with everything on one
+	// machine.
+	ideal := float64(len(assign)) / float64(e.m)
+	imb := (float64(maxC) - ideal) / (float64(len(assign)) - ideal)
+	loadFac := 0.0
+	for _, w := range e.work {
+		loadFac += w
+	}
+	loadFac /= 100 * float64(len(e.work))
+	lat := 20 + 60*imb*loadFac
+	return core.MeasurementMsg{AvgTupleTimeMS: lat, Workload: e.work}, lat
+}
+
+type goldenResult struct {
+	streams     string  // all sessions' solution streams, concatenated
+	actorSum    uint64  // trainer actor checksum (0 when frozen)
+	criticSum   uint64  // trainer critic checksum (0 when frozen)
+	tailLatency float64 // mean measured latency over the scoring window
+	resumes     int64
+	transitions int64
+}
+
+const (
+	goldenSessions = 4
+	goldenEpochs   = 150
+	goldenKillAt   = 60  // sever one client mid-run; it must resume
+	goldenTail     = 100 // scoring window: the last goldenTail epochs
+	goldenN        = 6
+	goldenM        = 3
+	goldenSpouts   = 2
+)
+
+// runGolden drives one full lockstep run and returns everything the
+// assertions compare.
+func runGolden(t *testing.T, learn bool) goldenResult {
+	t.Helper()
+	s, addr, shutdown := startServer(t, Config{
+		Seed:             123,
+		Learn:            learn,
+		TrainInterval:    -1, // deterministic mode: TrainNow at epoch barriers only
+		TrainBatch:       16,
+		UpdatesPerRound:  2,
+		ReplayPerSession: 200,
+		SessionTTL:       time.Hour,
+		Explore:          rl.EpsilonSchedule{Start: 0.8, End: 0, Decay: 25, Kind: rl.ExpDecay},
+	})
+	defer shutdown()
+
+	clients := make([]*Session, goldenSessions)
+	envs := make([]*goldenEnv, goldenSessions)
+	for i := range clients {
+		clients[i] = NewSession(ClientConfig{
+			Addr:  addr,
+			Hello: HelloMsg{Topology: "golden", N: goldenN, M: goldenM, Spouts: goldenSpouts, Token: fmt.Sprintf("g%d", i)},
+		})
+		if err := clients[i].Connect(context.Background()); err != nil {
+			t.Fatal(err)
+		}
+		defer clients[i].Close()
+		envs[i] = newGoldenEnv(1000+int64(i), goldenM, goldenSpouts)
+	}
+
+	var streams strings.Builder
+	var tailSum float64
+	tailN := 0
+	for epoch := 1; epoch <= goldenEpochs; epoch++ {
+		if epoch == goldenKillAt {
+			// Kill one client's transport mid-run: its next Step redials,
+			// presents the session token, and must land back in the same
+			// daemon-side session.
+			clients[1].conn.Close()
+		}
+		for i, c := range clients {
+			meas, lat := envs[i].measure(c.Assign())
+			assign, err := c.Step(context.Background(), meas)
+			if err != nil {
+				t.Fatalf("epoch %d session %d: %v", epoch, i, err)
+			}
+			fmt.Fprintf(&streams, "s%d e%d %v\n", i, epoch, assign)
+			if epoch > goldenEpochs-goldenTail {
+				tailSum += lat
+				tailN++
+			}
+		}
+		if learn {
+			s.TrainNow()
+		}
+	}
+
+	if got := clients[1].stats.Resumes.Load(); got != 1 {
+		t.Fatalf("killed client resumed %d times, want 1", got)
+	}
+	if got := s.reg.Counter("serve_sessions_resumed_total").Value(); got != 1 {
+		t.Fatalf("daemon resumed %d sessions, want 1", got)
+	}
+
+	res := goldenResult{
+		streams:     streams.String(),
+		tailLatency: tailSum / float64(tailN),
+		resumes:     clients[1].stats.Resumes.Load(),
+		transitions: s.reg.Counter("serve_transitions_total").Value(),
+	}
+	if learn {
+		s.mu.Lock()
+		mdl := s.models[modelKey{goldenN, goldenM, goldenSpouts}]
+		s.mu.Unlock()
+		res.actorSum, res.criticSum = mdl.learner.checksums()
+		// The published double-buffer must hold exactly the trainer's
+		// weights (Restore is bitwise).
+		mdl.learner.mu.Lock()
+		pub := mdl.learner.lastPublished
+		mdl.learner.mu.Unlock()
+		if pub == nil {
+			t.Fatal("trainer never published weights")
+		}
+		if pub.actor.Checksum() != res.actorSum || pub.critic.Checksum() != res.criticSum {
+			t.Fatal("published weight buffer disagrees with the trainer's networks")
+		}
+		if got := s.reg.Counter("serve_train_updates_total").Value(); got == 0 {
+			t.Fatal("no training updates ran")
+		}
+	}
+	return res
+}
+
+// TestGoldenOnlineLearningDeterministic: two complete online-learning
+// runs — live sessions, mid-run kill/resume, lockstep training, weight
+// swaps — produce identical solution streams and identical weight
+// checksums.
+func TestGoldenOnlineLearningDeterministic(t *testing.T) {
+	a := runGolden(t, true)
+	b := runGolden(t, true)
+	if a.actorSum != b.actorSum || a.criticSum != b.criticSum {
+		t.Fatalf("weight checksums diverged across identical runs: %x/%x vs %x/%x",
+			a.actorSum, a.criticSum, b.actorSum, b.criticSum)
+	}
+	if a.streams != b.streams {
+		t.Fatal(firstStreamDiff(a.streams, b.streams))
+	}
+	if a.transitions != b.transitions {
+		t.Fatalf("transition counts diverged: %d vs %d", a.transitions, b.transitions)
+	}
+	// Every epoch after the first closes one transition per session; the
+	// mid-run kill must not lose any (the pending transition is part of
+	// the resumable state).
+	want := int64(goldenSessions * (goldenEpochs - 1))
+	if a.transitions != want {
+		t.Fatalf("collected %d transitions, want %d (kill/resume must not drop any)", a.transitions, want)
+	}
+}
+
+// TestGoldenLearnedBeatsFrozen: after the same seeded workload, the
+// policy that learned online serves measurably better solutions than the
+// frozen-checkpoint baseline it started from.
+func TestGoldenLearnedBeatsFrozen(t *testing.T) {
+	learned := runGolden(t, true)
+	frozen := runGolden(t, false)
+	t.Logf("tail mean latency: learned %.2fms, frozen %.2fms", learned.tailLatency, frozen.tailLatency)
+	if learned.tailLatency >= frozen.tailLatency {
+		t.Fatalf("online learning did not beat the frozen baseline: %.2fms vs %.2fms",
+			learned.tailLatency, frozen.tailLatency)
+	}
+}
+
+// firstStreamDiff locates the first differing line of two solution
+// streams, for a readable failure.
+func firstStreamDiff(a, b string) string {
+	al, bl := strings.Split(a, "\n"), strings.Split(b, "\n")
+	for i := 0; i < len(al) && i < len(bl); i++ {
+		if al[i] != bl[i] {
+			return fmt.Sprintf("solution streams diverged at line %d: %q vs %q", i, al[i], bl[i])
+		}
+	}
+	return fmt.Sprintf("solution streams diverged in length: %d vs %d lines", len(al), len(bl))
+}

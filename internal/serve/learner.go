@@ -1,0 +1,224 @@
+package serve
+
+import (
+	"fmt"
+	"math/rand"
+	"os"
+	"path/filepath"
+	"sync"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/nn"
+	"repro/internal/rl"
+)
+
+// Online learning (tentpole): the daemon no longer serves a frozen policy.
+// Sessions feed (state, action, reward, next-state) transitions distilled
+// from their epoch measurements into a per-model replay buffer sharded by
+// session token, and a trainer runs batched actor-critic updates
+// (core.ActorCritic.TrainOnBatch, built on nn.ForwardBatch/BackwardBatch)
+// against the learner's own copy of the networks. Updated weights are
+// published through a small ring of inference network pairs whose
+// ownership moves over channels (model.toServe / model.returned): the
+// trainer restores a weight snapshot into a pair it exclusively owns,
+// hands it to the batch loop, and reclaims pairs the loop has stopped
+// serving. Inference therefore never blocks on training and never
+// observes a half-written weight set — a pair is never writable and
+// readable at the same time.
+
+// netPair is one double-buffer slot: a full actor/critic network pair
+// (including the inference-only transpose caches) that the batch loop can
+// serve from.
+type netPair struct {
+	actor, critic *nn.Network
+}
+
+// modelLearner owns one model's training side.
+type modelLearner struct {
+	mdl *model
+
+	replay *rl.ShardedReplay
+
+	// mu guards the trainer state below (train rounds, checkpointing).
+	mu        sync.Mutex
+	ac        *core.ActorCritic
+	batchSize int
+	rng       *rand.Rand
+	batch     []rl.Transition
+	updates   int // minibatch updates completed
+
+	// free holds the ring slots the trainer currently owns. Three slots
+	// suffice: at most one is pending in toServe (drained before every
+	// publish) and at most two are loop-held (the serving pair, plus —
+	// for one instant — a newly received pair before the old one is
+	// pushed to returned), so after reclaiming returned at least one
+	// slot is always free.
+	free []*netPair
+	// lastPublished records the most recent publish for introspection
+	// (golden-test checksum assertions); guarded by mu and only ever
+	// rewritten by this trainer after reclaiming the pair.
+	lastPublished *netPair
+
+	// mReplay is this model's replay-occupancy gauge (one per model —
+	// a shared gauge would flap between models' totals).
+	mReplay *Gauge
+
+	snapActor, snapCritic nn.Snapshot
+}
+
+// newModelLearner clones the model's serving networks as the training
+// start point (so a preloaded checkpoint keeps learning from where
+// offline training stopped) and builds the publication ring.
+func newModelLearner(m *model, cfg Config) (*modelLearner, error) {
+	acCfg := core.DefaultACConfig()
+	acCfg.K = cfg.K
+	if cfg.TrainBatch > 0 {
+		acCfg.BatchSize = cfg.TrainBatch
+	}
+	seed := cfg.Seed + int64(m.key.n*7_368_787+m.key.m*104_729+m.key.spouts*31) + 1
+	ac, err := core.NewActorCriticFrom(m.key.n, m.key.m, m.key.spouts, acCfg, seed,
+		m.pol.Actor.Clone(), m.pol.Critic.Clone())
+	if err != nil {
+		return nil, err
+	}
+	l := &modelLearner{
+		mdl:       m,
+		replay:    rl.NewShardedReplay(cfg.ReplayPerSession),
+		ac:        ac,
+		batchSize: acCfg.BatchSize,
+		rng:       rand.New(rand.NewSource(seed + 1)),
+		mReplay:   m.srv.reg.Gauge(fmt.Sprintf("serve_replay_transitions_%dx%d_%d", m.key.n, m.key.m, m.key.spouts)),
+	}
+	const ringSize = 3
+	for i := 0; i < ringSize; i++ {
+		l.free = append(l.free, &netPair{actor: m.pol.Actor.Clone(), critic: m.pol.Critic.Clone()})
+	}
+	m.toServe = make(chan *netPair, 1)
+	m.returned = make(chan *netPair, ringSize)
+	return l, nil
+}
+
+// observe records one session transition into the session's replay shard.
+func (l *modelLearner) observe(token string, t rl.Transition) {
+	l.replay.Add(token, t)
+	l.mdl.srv.mTransitions.Inc()
+}
+
+// dropShard forgets an evicted session's replay contributions.
+func (l *modelLearner) dropShard(token string) {
+	l.replay.Remove(token)
+}
+
+// trainRound runs up to updates mini-batch AC updates and, if any ran,
+// publishes the new weights. It returns the number of updates performed
+// (zero while the replay buffer is still shorter than one batch). Safe to
+// call from the background trainer goroutine and from TrainNow alike; a
+// round is deterministic given the replay contents and the learner's RNG
+// state.
+func (l *modelLearner) trainRound(updates int) int {
+	if updates <= 0 {
+		updates = 1
+	}
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	srv := l.mdl.srv
+	done := 0
+	for i := 0; i < updates; i++ {
+		if l.replay.Len() < l.batchSize {
+			break // not enough experience yet; keep serving the old weights
+		}
+		l.batch = l.replay.Sample(l.rng, l.batchSize, l.batch)
+		start := time.Now()
+		l.ac.TrainOnBatch(l.batch)
+		srv.mTrainLatency.Observe(time.Since(start))
+		done++
+	}
+	if done == 0 {
+		return 0
+	}
+	l.updates += done
+	srv.mTrainUpdates.Add(int64(done))
+	l.mReplay.Set(int64(l.replay.Len()))
+	l.publishLocked()
+	return done
+}
+
+// publishLocked snapshots the trainer's current weights into a ring slot
+// the trainer owns and hands it to the batch loop.
+func (l *modelLearner) publishLocked() {
+	// Reclaim every slot the batch loop has stopped serving, plus a
+	// pending publish it never picked up (stale now anyway).
+reclaim:
+	for {
+		select {
+		case p := <-l.mdl.returned:
+			l.free = append(l.free, p)
+		default:
+			break reclaim
+		}
+	}
+	select {
+	case p := <-l.mdl.toServe:
+		l.free = append(l.free, p)
+	default:
+	}
+
+	pair := l.free[len(l.free)-1]
+	l.free = l.free[:len(l.free)-1]
+	actor, _, critic, _ := l.ac.Networks()
+	actor.Snapshot(&l.snapActor)
+	critic.Snapshot(&l.snapCritic)
+	// Restore cannot fail here: the ring pairs are clones of the same
+	// architecture the trainer updates.
+	pair.actor.Restore(&l.snapActor)
+	pair.critic.Restore(&l.snapCritic)
+	l.mdl.toServe <- pair // cap 1, drained above: never blocks
+	l.lastPublished = pair
+	l.mdl.srv.mPublished.Inc()
+}
+
+// checksums returns the trainer networks' weight checksums (golden-test
+// hook: two deterministic runs must agree bitwise).
+func (l *modelLearner) checksums() (actor, critic uint64) {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	a, _, c, _ := l.ac.Networks()
+	return a.Checksum(), c.Checksum()
+}
+
+// checkpoint writes the trainer's current actor/critic weights to
+// dir/actor-NxM-S.net and dir/critic-NxM-S.net atomically (tmp + rename),
+// in the cmd/train checkpoint format agentd already loads.
+func (l *modelLearner) checkpoint(dir string) error {
+	l.mu.Lock()
+	actor, _, critic, _ := l.ac.Networks()
+	actorBlob, aerr := actor.MarshalBinary()
+	criticBlob, cerr := critic.MarshalBinary()
+	l.mu.Unlock()
+	if aerr != nil {
+		return aerr
+	}
+	if cerr != nil {
+		return cerr
+	}
+	k := l.mdl.key
+	if err := writeFileAtomic(filepath.Join(dir, fmt.Sprintf("actor-%dx%d-%d.net", k.n, k.m, k.spouts)), actorBlob); err != nil {
+		return err
+	}
+	if err := writeFileAtomic(filepath.Join(dir, fmt.Sprintf("critic-%dx%d-%d.net", k.n, k.m, k.spouts)), criticBlob); err != nil {
+		return err
+	}
+	l.mdl.srv.mCheckpoints.Inc()
+	return nil
+}
+
+// writeFileAtomic writes data under a temp name and renames it into
+// place, so a reader (or a crash) never sees a half-written checkpoint.
+func writeFileAtomic(path string, data []byte) error {
+	tmp := path + ".tmp"
+	if err := os.WriteFile(tmp, data, 0o644); err != nil {
+		return err
+	}
+	return os.Rename(tmp, path)
+}

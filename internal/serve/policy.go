@@ -80,9 +80,22 @@ func (p *Policy) StateDim() int { return p.Codec.Dim() }
 // Space.N. It allocates nothing once the scratch has grown to the
 // high-water batch size.
 func (p *Policy) SelectBatch(states *mat.Matrix, out [][]int) {
+	p.SelectBatchExplore(states, nil, out)
+}
+
+// SelectBatchExplore is SelectBatch with optional per-request exploration:
+// noise[i], when non-nil (length Space.Dim()), is added to request i's
+// proto-action before the K-NN step — the serving-side form of the
+// paper's R(â) = â + ε·I, with the noise drawn by the session so that it
+// is deterministic per session no matter how requests are batched. A nil
+// noise slice (or nil entries) is pure exploitation.
+func (p *Policy) SelectBatchExplore(states *mat.Matrix, noise [][]float64, out [][]int) {
 	h := states.Rows
 	if len(out) != h {
 		panic(fmt.Sprintf("serve: SelectBatch got %d outputs for %d states", len(out), h))
+	}
+	if noise != nil && len(noise) != h {
+		panic(fmt.Sprintf("serve: SelectBatchExplore got %d noise rows for %d states", len(noise), h))
 	}
 	sdim, adim := p.Codec.Dim(), p.Space.Dim()
 
@@ -90,6 +103,17 @@ func (p *Policy) SelectBatch(states *mat.Matrix, out [][]int) {
 	// path: the state rows are one-hot dominated, so the zero-skipping
 	// kernel does ~7× fewer multiply-accumulates on the first layer.
 	protos := p.Actor.ForwardBatchInfer(states)
+	if noise != nil {
+		for i, nz := range noise {
+			if nz == nil {
+				continue
+			}
+			row := protos.Row(i)
+			for j, v := range nz {
+				row[j] += v
+			}
+		}
+	}
 
 	// Exact K-NN per request, candidates packed into one (s, a) matrix.
 	if p.saCand == nil {

@@ -58,11 +58,13 @@ func (c ClientConfig) withDefaults() ClientConfig {
 
 // PoolStats aggregates client-side outcomes across a pool's sessions.
 // Retries counts server load-shed replies honored, Reconnects counts
-// re-dialed sessions, Errors counts protocol-level failures.
+// re-dialed sessions, Resumes counts reconnects the daemon restored from
+// its session table, Errors counts protocol-level failures.
 type PoolStats struct {
 	Steps      atomic.Int64
 	Retries    atomic.Int64
 	Reconnects atomic.Int64
+	Resumes    atomic.Int64
 	Errors     atomic.Int64
 }
 
@@ -75,9 +77,15 @@ type Session struct {
 
 	conn   net.Conn
 	enc    *json.Encoder
-	lr     *lineReader
+	lr     *core.FrameReader
 	assign []int
 	epoch  int
+	// token is the daemon-issued resumption token from the last hello
+	// reply; reconnects present it so the daemon restores the session's
+	// state instead of starting cold. cfg.Hello.Token seeds it for
+	// clients that pick their own tokens.
+	token   string
+	resumed bool
 	// everConnected distinguishes the first (lazy) dial from a true
 	// reconnect in the Reconnects stat.
 	everConnected bool
@@ -95,6 +103,14 @@ func (s *Session) Assign() []int { return s.assign }
 
 // Epoch returns the last served epoch.
 func (s *Session) Epoch() int { return s.epoch }
+
+// Token returns the daemon-issued session-resumption token (empty before
+// the first hello reply).
+func (s *Session) Token() string { return s.token }
+
+// Resumed reports whether the latest hello restored a prior session's
+// state on the daemon.
+func (s *Session) Resumed() bool { return s.resumed }
 
 // backoff is one exponential-backoff schedule: wait sleeps the current
 // delay (or returns early on ctx), then doubles it up to max.
@@ -118,22 +134,61 @@ func (c ClientConfig) backoff() backoff {
 	return backoff{cur: c.BaseBackoff, max: c.MaxBackoff}
 }
 
+// AbortedError reports a context end (deadline or cancellation) that
+// interrupted recovery from a real failure: the session was re-dialing or
+// resubmitting after a transport error when the context expired. Callers
+// that map outcomes to exit codes (cmd/loadgen) must treat it as the
+// underlying failure, not as a clean end-of-run — before this type
+// existed, a session that died mid-run and was still backing off when the
+// run deadline fired reported a bare context error and the failure was
+// silently swallowed.
+type AbortedError struct {
+	Ctx   error // the context error that ended the operation
+	Cause error // the failure being recovered from when it ended
+}
+
+// Error implements error.
+func (e *AbortedError) Error() string {
+	return fmt.Sprintf("%v (while recovering from: %v)", e.Ctx, e.Cause)
+}
+
+// Unwrap exposes both the context end and the underlying cause, so
+// errors.Is finds either.
+func (e *AbortedError) Unwrap() []error { return []error{e.Ctx, e.Cause} }
+
+// abortErr wraps a context end with the failure it interrupted, if any. A
+// cause that is itself just the context ending (a cancelled dial, an
+// interrupted backoff) is not a failure.
+func abortErr(ctxErr, cause error) error {
+	if cause != nil && !errors.Is(cause, context.Canceled) && !errors.Is(cause, context.DeadlineExceeded) {
+		return &AbortedError{Ctx: ctxErr, Cause: cause}
+	}
+	return ctxErr
+}
+
 // Connect dials with exponential backoff and performs the hello handshake,
 // leaving the session holding its starting solution.
 func (s *Session) Connect(ctx context.Context) error {
 	bo := s.cfg.backoff()
-	var lastErr error
+	// cause mirrors Step's: dial/transport failures count as aborted
+	// recovery when the context ends mid-backoff, but a daemon shed reply
+	// (capacity, token still attached to a dying connection) is healthy
+	// backpressure, not a failure.
+	var lastErr, cause error
 	for attempt := 0; attempt < s.cfg.MaxAttempts; attempt++ {
 		if err := ctx.Err(); err != nil {
-			return err
+			return abortErr(err, cause)
 		}
 		if lastErr != nil {
 			if err := bo.wait(ctx); err != nil {
-				return err
+				return abortErr(err, cause)
 			}
 		}
 		if lastErr = s.dialOnce(ctx); lastErr == nil {
 			return nil
+		}
+		if !errors.Is(lastErr, errShed) {
+			cause = lastErr
 		}
 		if errors.Is(lastErr, errRejected) {
 			// Deterministic rejection (bad shape): the same hello cannot
@@ -149,6 +204,11 @@ func (s *Session) Connect(ctx context.Context) error {
 // is pointless.
 var errRejected = errors.New("hello rejected")
 
+// errShed marks a transient daemon shed reply on hello (session capacity,
+// resumption token still attached to a dying connection): worth retrying,
+// and never a failure cause in AbortedError terms.
+var errShed = errors.New("shed by daemon")
+
 // dialOnce performs one dial + hello exchange.
 func (s *Session) dialOnce(ctx context.Context) error {
 	s.close()
@@ -159,15 +219,19 @@ func (s *Session) dialOnce(ctx context.Context) error {
 	}
 	s.conn = conn
 	s.enc = json.NewEncoder(conn)
-	s.lr = newLineReader(bufio.NewReader(conn), s.cfg.MaxLineBytes)
-	sol, err := s.roundTrip(&s.cfg.Hello)
+	s.lr = core.NewFrameReader(bufio.NewReader(conn), s.cfg.MaxLineBytes)
+	hello := s.cfg.Hello
+	if s.token != "" {
+		hello.Token = s.token // resume the session the daemon issued this for
+	}
+	sol, err := s.roundTrip(&hello)
 	if err != nil {
 		s.close()
 		return err
 	}
 	if sol.Retry {
 		s.close()
-		return fmt.Errorf("serve: session rejected: %s", sol.Err)
+		return fmt.Errorf("serve: session rejected (%w): %s", errShed, sol.Err)
 	}
 	if sol.Err != "" {
 		s.close()
@@ -179,6 +243,13 @@ func (s *Session) dialOnce(ctx context.Context) error {
 	}
 	s.assign = append(s.assign[:0], sol.Assign...)
 	s.epoch = sol.Epoch
+	if sol.Token != "" {
+		s.token = sol.Token
+	}
+	s.resumed = sol.Resumed
+	if sol.Resumed {
+		s.stats.Resumes.Add(1)
+	}
 	s.everConnected = true
 	return nil
 }
@@ -192,7 +263,7 @@ func (s *Session) roundTrip(msg any) (core.SolutionMsg, error) {
 		return sol, err
 	}
 	s.conn.SetReadDeadline(deadline)
-	line, err := s.lr.next()
+	line, err := s.lr.Next()
 	if err != nil {
 		return sol, err
 	}
@@ -207,15 +278,34 @@ func (s *Session) roundTrip(msg any) (core.SolutionMsg, error) {
 // load-shed replies back off and resubmit. The returned slice is owned by
 // the session and valid until the next Step.
 func (s *Session) Step(ctx context.Context, meas core.MeasurementMsg) ([]int, error) {
+	// Echo which solution this measurement observed (1-based), so the
+	// daemon can tell a resubmission after a lost reply from a fresh
+	// measurement (stable across the reconnects below: s.epoch only
+	// advances on a successful exchange).
+	meas.Epoch = s.epoch + 1
 	bo := s.cfg.backoff()
-	var lastErr error
+	// cause tracks an unrecovered transport failure so a context end that
+	// interrupts the recovery is reported as an AbortedError, not as a
+	// clean end-of-run. A load-shed retry is not a failure and never sets
+	// it.
+	var lastErr, cause error
 	for attempt := 0; attempt < s.cfg.MaxAttempts; attempt++ {
 		if err := ctx.Err(); err != nil {
-			return nil, err
+			return nil, abortErr(err, cause)
 		}
 		if s.conn == nil {
 			reconnect := s.everConnected
 			if err := s.Connect(ctx); err != nil {
+				// Connect wraps its own aborted recoveries; but when it was
+				// ended by the context without ever failing for a reason of
+				// its own (e.g. a blackholed dial that just blocked until
+				// the deadline), the transport failure *this* loop was
+				// recovering from is the real story.
+				var ab *AbortedError
+				if cause != nil && !errors.As(err, &ab) &&
+					(errors.Is(err, context.Canceled) || errors.Is(err, context.DeadlineExceeded)) {
+					err = &AbortedError{Ctx: err, Cause: cause}
+				}
 				return nil, err
 			}
 			if reconnect {
@@ -225,15 +315,16 @@ func (s *Session) Step(ctx context.Context, meas core.MeasurementMsg) ([]int, er
 		sol, err := s.roundTrip(&meas)
 		if err != nil {
 			// Broken transport: drop the connection and retry on a fresh
-			// one (the daemon treats each connection as a new session, so
-			// no state is lost beyond the in-flight request).
+			// one (with session resumption, the daemon restores the
+			// session's state when the new connection presents its token).
 			s.close()
-			lastErr = err
+			lastErr, cause = err, err
 			if werr := bo.wait(ctx); werr != nil {
-				return nil, werr
+				return nil, abortErr(werr, cause)
 			}
 			continue
 		}
+		cause = nil // transport healthy again
 		if sol.Retry {
 			s.stats.Retries.Add(1)
 			lastErr = errors.New(sol.Err)

@@ -1,0 +1,324 @@
+package serve
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"repro/internal/core"
+)
+
+// waitDetached blocks until the daemon has reaped every closed connection
+// (a client Close is only visible to the session table once the session
+// goroutine notices the EOF and detaches).
+func waitDetached(t *testing.T, s *Server) {
+	t.Helper()
+	deadline := time.Now().Add(10 * time.Second)
+	for s.active.Load() != 0 {
+		if time.Now().After(deadline) {
+			t.Fatal("sessions never detached")
+		}
+		time.Sleep(time.Millisecond)
+	}
+}
+
+// step is a test shorthand for one measurement→solution exchange.
+func step(t *testing.T, sess *Session, work ...float64) []int {
+	t.Helper()
+	a, err := sess.Step(context.Background(), core.MeasurementMsg{AvgTupleTimeMS: 42, Workload: work})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return a
+}
+
+// TestSessionResumeRestoresState: a reconnecting client presenting its
+// token gets back its epoch counter and current solution instead of a
+// cold start.
+func TestSessionResumeRestoresState(t *testing.T) {
+	_, addr, shutdown := startServer(t, Config{Seed: 3})
+	defer shutdown()
+
+	first := NewSession(ClientConfig{Addr: addr, Hello: HelloMsg{N: 6, M: 3, Spouts: 1}})
+	if err := first.Connect(context.Background()); err != nil {
+		t.Fatal(err)
+	}
+	for e := 0; e < 3; e++ {
+		step(t, first, 100+float64(e))
+	}
+	token, epoch := first.Token(), first.Epoch()
+	lastAssign := fmt.Sprint(first.Assign())
+	if token == "" {
+		t.Fatal("daemon issued no session token")
+	}
+	if first.Resumed() {
+		t.Fatal("first connection claims to be resumed")
+	}
+	first.Close()
+
+	second := NewSession(ClientConfig{Addr: addr, Hello: HelloMsg{N: 6, M: 3, Spouts: 1, Token: token}})
+	if err := second.Connect(context.Background()); err != nil {
+		t.Fatal(err)
+	}
+	defer second.Close()
+	if !second.Resumed() {
+		t.Fatal("second connection did not resume")
+	}
+	if second.Epoch() != epoch {
+		t.Fatalf("resumed at epoch %d, want %d", second.Epoch(), epoch)
+	}
+	if got := fmt.Sprint(second.Assign()); got != lastAssign {
+		t.Fatalf("resumed solution %s, want %s", got, lastAssign)
+	}
+	// The session keeps serving: epochs continue from where it left off.
+	step(t, second, 104)
+	if second.Epoch() != epoch+1 {
+		t.Fatalf("post-resume epoch %d, want %d", second.Epoch(), epoch+1)
+	}
+}
+
+// TestStepReconnectResumesTransparently: a connection severed mid-run is
+// re-dialed by Step, which presents the token and lands back in the same
+// daemon-side session.
+func TestStepReconnectResumesTransparently(t *testing.T) {
+	s, addr, shutdown := startServer(t, Config{Seed: 3})
+	defer shutdown()
+
+	sess := NewSession(ClientConfig{Addr: addr, Hello: HelloMsg{N: 4, M: 2, Spouts: 1}})
+	if err := sess.Connect(context.Background()); err != nil {
+		t.Fatal(err)
+	}
+	defer sess.Close()
+	step(t, sess, 120)
+	epoch := sess.Epoch()
+
+	sess.conn.Close() // sever the transport under the session's feet
+	step(t, sess, 121)
+	if got := sess.stats.Resumes.Load(); got != 1 {
+		t.Fatalf("resumes = %d, want 1", got)
+	}
+	if sess.Epoch() != epoch+1 {
+		t.Fatalf("epoch after mid-run kill = %d, want %d (state continuity)", sess.Epoch(), epoch+1)
+	}
+	if got := s.reg.Counter("serve_sessions_resumed_total").Value(); got != 1 {
+		t.Fatalf("daemon counted %d resumes, want 1", got)
+	}
+}
+
+// TestResumeAfterTTLEvictionGetsFreshSession: a token whose state the
+// janitor reclaimed must start a fresh session — not return an error.
+func TestResumeAfterTTLEvictionGetsFreshSession(t *testing.T) {
+	s, addr, shutdown := startServer(t, Config{Seed: 3, SessionTTL: time.Minute})
+	defer shutdown()
+
+	var (
+		mu  sync.Mutex
+		now = time.Unix(1000, 0)
+	)
+	s.sessions.now = func() time.Time { mu.Lock(); defer mu.Unlock(); return now }
+
+	sess := NewSession(ClientConfig{Addr: addr, Hello: HelloMsg{N: 4, M: 2, Spouts: 1}})
+	if err := sess.Connect(context.Background()); err != nil {
+		t.Fatal(err)
+	}
+	step(t, sess, 100)
+	token, epoch := sess.Token(), sess.Epoch()
+	if epoch == 0 {
+		t.Fatal("no epochs served before the kill")
+	}
+	sess.Close()
+	waitDetached(t, s)
+
+	mu.Lock()
+	now = now.Add(2 * time.Minute) // detached state outlives its TTL
+	mu.Unlock()
+	if evicted := s.sessions.sweep(); evicted != 1 {
+		t.Fatalf("sweep evicted %d sessions, want 1", evicted)
+	}
+
+	again := NewSession(ClientConfig{Addr: addr, Hello: HelloMsg{N: 4, M: 2, Spouts: 1, Token: token}})
+	if err := again.Connect(context.Background()); err != nil {
+		t.Fatalf("resume after eviction must degrade to a cold start, got %v", err)
+	}
+	defer again.Close()
+	if again.Resumed() {
+		t.Fatal("session claims to have resumed evicted state")
+	}
+	if again.Epoch() != 0 {
+		t.Fatalf("fresh session starts at epoch %d, want 0", again.Epoch())
+	}
+	if again.Token() != token {
+		t.Fatalf("fresh session re-keyed to %q, want the presented token %q", again.Token(), token)
+	}
+}
+
+// TestResumeShapeMismatchRejected: a token can only resume a session of
+// the topology shape it was issued for.
+func TestResumeShapeMismatchRejected(t *testing.T) {
+	s, addr, shutdown := startServer(t, Config{Seed: 3})
+	defer shutdown()
+
+	sess := NewSession(ClientConfig{Addr: addr, Hello: HelloMsg{N: 4, M: 2, Spouts: 1}})
+	if err := sess.Connect(context.Background()); err != nil {
+		t.Fatal(err)
+	}
+	token := sess.Token()
+	sess.Close()
+	waitDetached(t, s)
+
+	wrong := NewSession(ClientConfig{Addr: addr, Hello: HelloMsg{N: 6, M: 3, Spouts: 2, Token: token}, MaxAttempts: 1})
+	err := wrong.Connect(context.Background())
+	if err == nil || !strings.Contains(err.Error(), "belongs to") {
+		t.Fatalf("shape-mismatched resume: err = %v, want topology rejection", err)
+	}
+	if got := s.reg.Counter("serve_resume_rejected_total").Value(); got != 1 {
+		t.Fatalf("resume rejections = %d, want 1", got)
+	}
+}
+
+// TestDuplicateTokenOnLiveSession: while a token's session is attached to
+// a live connection, a second hello with that token is shed with a retry
+// — never served two-headed — and the current holder is kicked so a
+// half-dead socket cannot pin the session until IdleTimeout (connection
+// takeover: the presenter's retry wins once the holder drains).
+func TestDuplicateTokenOnLiveSession(t *testing.T) {
+	s, addr, shutdown := startServer(t, Config{Seed: 3})
+	defer shutdown()
+
+	live := NewSession(ClientConfig{Addr: addr, Hello: HelloMsg{N: 4, M: 2, Spouts: 1}})
+	if err := live.Connect(context.Background()); err != nil {
+		t.Fatal(err)
+	}
+	defer live.Close()
+	step(t, live, 100)
+	epoch := live.Epoch()
+
+	// A single-attempt presenter observes the shed itself.
+	dup := NewSession(ClientConfig{Addr: addr, Hello: HelloMsg{N: 4, M: 2, Spouts: 1, Token: live.Token()}, MaxAttempts: 1})
+	err := dup.Connect(context.Background())
+	if err == nil {
+		t.Fatal("duplicate token on a live session was accepted")
+	}
+	if !strings.Contains(err.Error(), "live session") {
+		t.Fatalf("duplicate token: err = %v, want live-session retry", err)
+	}
+	if got := s.reg.Counter("serve_resume_rejected_total").Value(); got < 1 {
+		t.Fatal("duplicate token not counted as a resume rejection")
+	}
+
+	// A presenter with a normal retry budget takes the session over: the
+	// shed kicked the old holder, whose drain frees the token.
+	takeover := NewSession(ClientConfig{Addr: addr, Hello: HelloMsg{N: 4, M: 2, Spouts: 1, Token: live.Token()}})
+	if err := takeover.Connect(context.Background()); err != nil {
+		t.Fatalf("takeover after kick: %v", err)
+	}
+	defer takeover.Close()
+	if !takeover.Resumed() || takeover.Epoch() != epoch {
+		t.Fatalf("takeover resumed=%v epoch=%d, want resumed at epoch %d", takeover.Resumed(), takeover.Epoch(), epoch)
+	}
+	step(t, takeover, 101)
+}
+
+// TestStaleMeasurementNotLearned: a resubmitted measurement whose epoch
+// echo does not match the last served epoch (lost reply, resume, resend)
+// is still served but must not close the pending transition — its reward
+// was measured on an older deployment.
+func TestStaleMeasurementNotLearned(t *testing.T) {
+	s, addr, shutdown := startServer(t, Config{Seed: 3, Learn: true, TrainInterval: -1})
+	defer shutdown()
+
+	conn := rawDial(t, addr)
+	defer conn.Close()
+	enc := json.NewEncoder(conn)
+	dec := json.NewDecoder(conn)
+	exchange := func(meas core.MeasurementMsg) core.SolutionMsg {
+		t.Helper()
+		if err := enc.Encode(&meas); err != nil {
+			t.Fatal(err)
+		}
+		var sol core.SolutionMsg
+		conn.SetReadDeadline(time.Now().Add(10 * time.Second))
+		if err := dec.Decode(&sol); err != nil {
+			t.Fatal(err)
+		}
+		if sol.Err != "" {
+			t.Fatalf("daemon error: %s", sol.Err)
+		}
+		return sol
+	}
+	if err := enc.Encode(&HelloMsg{N: 4, M: 2, Spouts: 1}); err != nil {
+		t.Fatal(err)
+	}
+	var hello core.SolutionMsg
+	if err := dec.Decode(&hello); err != nil || hello.Err != "" {
+		t.Fatalf("hello: %v %+v", err, hello)
+	}
+
+	// The echo is 1-based: Epoch = 1 + the epoch of the observed
+	// solution, so observing the hello solution (epoch 0) is still a
+	// non-zero echo, distinguishable from an echo-less legacy peer.
+	transitions := s.reg.Counter("serve_transitions_total")
+	stale := s.reg.Counter("serve_stale_measurements_total")
+	exchange(core.MeasurementMsg{Epoch: 1, AvgTupleTimeMS: 50, Workload: []float64{100}}) // observed epoch 0; serves epoch 1, opens pending
+	// Resubmission of the very first measurement (lost epoch-1 reply):
+	// must not close the pending epoch-1 transition — the regression the
+	// 1-based echo exists for (a 0-based echo would be dropped by
+	// omitempty and be indistinguishable from "no echo").
+	exchange(core.MeasurementMsg{Epoch: 1, AvgTupleTimeMS: 50, Workload: []float64{100}})
+	if got, st := transitions.Value(), stale.Value(); got != 0 || st != 1 {
+		t.Fatalf("epoch-0 resubmission: transitions=%d stale=%d, want 0/1", got, st)
+	}
+	exchange(core.MeasurementMsg{Epoch: 3, AvgTupleTimeMS: 48, Workload: []float64{101}}) // observed epoch 2: in sequence, closes pending
+	if got := transitions.Value(); got != 1 {
+		t.Fatalf("transitions after in-sequence measurement = %d, want 1", got)
+	}
+	// Mid-stream resubmission: echo 3 again, but the daemon already
+	// served epoch 3 (expects echo 4).
+	exchange(core.MeasurementMsg{Epoch: 3, AvgTupleTimeMS: 47, Workload: []float64{102}})
+	if got, st := transitions.Value(), stale.Value(); got != 1 || st != 2 {
+		t.Fatalf("stale measurement was learned from (transitions=%d stale=%d, want 1/2)", got, st)
+	}
+	// The next in-sequence measurement (observed epoch 4, echo 5) learns
+	// again.
+	exchange(core.MeasurementMsg{Epoch: 5, AvgTupleTimeMS: 46, Workload: []float64{103}})
+	if got := transitions.Value(); got != 2 {
+		t.Fatalf("learning did not recover after a stale resubmission (transitions = %d, want 2)", got)
+	}
+}
+
+// TestSessionTableCapacityEvictsDetached: at the tracked-session cap the
+// table reclaims the oldest detached state rather than refusing new
+// sessions.
+func TestSessionTableCapacityEvictsDetached(t *testing.T) {
+	s, addr, shutdown := startServer(t, Config{Seed: 3, MaxTrackedSessions: 2})
+	defer shutdown()
+
+	open := func(token string) *Session {
+		sess := NewSession(ClientConfig{Addr: addr, Hello: HelloMsg{N: 4, M: 2, Spouts: 1, Token: token}})
+		if err := sess.Connect(context.Background()); err != nil {
+			t.Fatalf("session %s: %v", token, err)
+		}
+		return sess
+	}
+	// Detach order is what orders lastSeen between the sessions here.
+	a := open("a")
+	a.Close()
+	waitDetached(t, s)
+	b := open("b")
+	b.Close()
+	waitDetached(t, s)
+	// Table is at capacity with two detached entries; a third session
+	// evicts the oldest ("a").
+	c := open("c")
+	defer c.Close()
+
+	again := open("a")
+	defer again.Close()
+	if again.Resumed() {
+		t.Fatal("state of capacity-evicted session survived")
+	}
+}

@@ -5,13 +5,18 @@ import (
 	"encoding/json"
 	"errors"
 	"fmt"
+	"log"
 	"net"
 	"net/http"
+	"runtime"
+	"sort"
 	"sync"
 	"sync/atomic"
 	"time"
 
 	"repro/internal/core"
+	"repro/internal/parallel"
+	"repro/internal/rl"
 )
 
 // HelloMsg opens a session: the scheduler announces its topology shape so
@@ -26,6 +31,12 @@ type HelloMsg struct {
 	N      int `json:"n"`
 	M      int `json:"m"`
 	Spouts int `json:"spouts"`
+	// Token, when set, asks the daemon to resume the session it issued
+	// the token for (in its hello reply's Token field). A token the
+	// daemon no longer tracks — TTL-evicted or from a restarted daemon —
+	// starts a fresh session under that token instead of failing, so a
+	// reconnecting scheduler degrades to a cold start, never to an error.
+	Token string `json:"token,omitempty"`
 }
 
 // Config holds the daemon's knobs.
@@ -62,6 +73,44 @@ type Config struct {
 	MaxExecutors int
 	MaxMachines  int
 	MaxSpouts    int
+
+	// SessionTTL bounds how long a detached session's resumable state is
+	// kept before eviction; a client resuming after eviction gets a fresh
+	// session under its old token.
+	SessionTTL time.Duration
+	// MaxTrackedSessions caps the resumption table (live + detached);
+	// beyond it, expired then oldest-detached entries are evicted first
+	// and, with every slot live, new sessions are shed with a retry.
+	// Defaults to 4× MaxSessions.
+	MaxTrackedSessions int
+
+	// Learn enables online learning: sessions feed transitions into a
+	// per-model sharded replay buffer and a trainer runs batched
+	// actor-critic updates against a double-buffered weight set that the
+	// inference path swaps in between micro-batches.
+	Learn bool
+	// TrainInterval is the background trainer's cadence; zero takes the
+	// default (100ms). A negative value disables the background
+	// goroutine; training then only happens through explicit TrainNow
+	// calls — the deterministic mode the golden end-to-end harness
+	// drives.
+	TrainInterval time.Duration
+	// TrainBatch is the mini-batch size H (default: the paper's 32).
+	TrainBatch int
+	// UpdatesPerRound is how many mini-batch updates one train round runs
+	// before publishing weights (default 4).
+	UpdatesPerRound int
+	// ReplayPerSession caps each session's replay shard (default 256).
+	ReplayPerSession int
+	// Explore is the per-session ε-decay exploration schedule applied to
+	// proto-actions while learning (zero value takes a conservative
+	// serving default when Learn is set; ignored otherwise).
+	Explore rl.EpsilonSchedule
+	// CheckpointDir, when set with CheckpointEvery > 0, makes the daemon
+	// periodically write each learning model's actor/critic weights there
+	// (cmd/train checkpoint format, atomic rename).
+	CheckpointDir   string
+	CheckpointEvery time.Duration
 }
 
 // DefaultConfig returns production defaults.
@@ -78,6 +127,15 @@ func DefaultConfig() Config {
 		MaxExecutors: 512,
 		MaxMachines:  128,
 		MaxSpouts:    64,
+
+		SessionTTL:       10 * time.Minute,
+		TrainInterval:    100 * time.Millisecond,
+		TrainBatch:       32,
+		UpdatesPerRound:  4,
+		ReplayPerSession: 256,
+		// Serving exploration is deliberately tamer than offline training:
+		// live sessions pay for every exploratory deployment.
+		Explore: rl.EpsilonSchedule{Start: 0.3, End: 0.02, Decay: 300, Kind: rl.ExpDecay},
 	}
 }
 
@@ -117,6 +175,27 @@ func (c Config) withDefaults() Config {
 	if c.MaxSpouts <= 0 {
 		c.MaxSpouts = d.MaxSpouts
 	}
+	if c.SessionTTL == 0 {
+		c.SessionTTL = d.SessionTTL
+	}
+	if c.MaxTrackedSessions <= 0 {
+		c.MaxTrackedSessions = 4 * c.MaxSessions
+	}
+	if c.TrainInterval == 0 {
+		c.TrainInterval = d.TrainInterval
+	}
+	if c.TrainBatch <= 0 {
+		c.TrainBatch = d.TrainBatch
+	}
+	if c.UpdatesPerRound <= 0 {
+		c.UpdatesPerRound = d.UpdatesPerRound
+	}
+	if c.ReplayPerSession <= 0 {
+		c.ReplayPerSession = d.ReplayPerSession
+	}
+	if c.Learn && c.Explore == (rl.EpsilonSchedule{}) {
+		c.Explore = d.Explore
+	}
 	return c
 }
 
@@ -125,13 +204,21 @@ func (c Config) withDefaults() Config {
 type modelKey struct{ n, m, spouts int }
 
 // Server is the multi-tenant agent daemon: a session manager over a
-// net.Listener plus one inference batcher per topology shape.
+// net.Listener plus one inference batcher (and, when learning, one
+// trainer) per topology shape.
 type Server struct {
 	cfg Config
 	reg *Registry
 
 	started time.Time
 	active  atomic.Int64 // current sessions (admission control)
+
+	sessions *sessionTable
+
+	// trainSem bounds concurrent per-model train rounds so background
+	// training never oversubscribes the cores the inference batch loops
+	// run on.
+	trainSem *parallel.Sem
 
 	mu     sync.Mutex
 	models map[modelKey]*model
@@ -153,6 +240,15 @@ type Server struct {
 	mBatchedReqs  *Counter
 	mLatency      *Histogram
 	mInference    *Histogram
+	mResumed      *Counter
+	mResumeRej    *Counter
+	mStaleMeas    *Counter
+	mTransitions  *Counter
+	mTrainUpdates *Counter
+	mPublished    *Counter
+	mSwaps        *Counter
+	mCheckpoints  *Counter
+	mTrainLatency *Histogram
 
 	// testGate, when non-nil, is received from before each micro-batch is
 	// gathered — test-only hook to hold the batcher and force queue
@@ -164,10 +260,11 @@ type Server struct {
 func New(cfg Config) *Server {
 	cfg = cfg.withDefaults()
 	reg := NewRegistry()
-	return &Server{
+	s := &Server{
 		cfg:           cfg,
 		reg:           reg,
 		started:       time.Now(),
+		trainSem:      parallel.NewSem(runtime.GOMAXPROCS(0) - 1),
 		models:        map[modelKey]*model{},
 		mSessions:     reg.Gauge("serve_sessions"),
 		mSessionsPeak: reg.Gauge("serve_sessions_peak"),
@@ -181,7 +278,26 @@ func New(cfg Config) *Server {
 		mBatchedReqs:  reg.Counter("serve_inference_requests_total"),
 		mLatency:      reg.Histogram("serve_request_latency"),
 		mInference:    reg.Histogram("serve_inference_batch_latency"),
+		mResumed:      reg.Counter("serve_sessions_resumed_total"),
+		mResumeRej:    reg.Counter("serve_resume_rejected_total"),
+		mStaleMeas:    reg.Counter("serve_stale_measurements_total"),
+		mTransitions:  reg.Counter("serve_transitions_total"),
+		mTrainUpdates: reg.Counter("serve_train_updates_total"),
+		mPublished:    reg.Counter("serve_weights_published_total"),
+		mSwaps:        reg.Counter("serve_weight_swaps_total"),
+		mCheckpoints:  reg.Counter("serve_checkpoints_total"),
+		mTrainLatency: reg.Histogram("serve_train_round_latency"),
 	}
+	s.sessions = newSessionTable(cfg.SessionTTL, cfg.MaxTrackedSessions, cfg.Seed, nil)
+	s.sessions.onEvict = func(st *sessionState) {
+		s.mu.Lock()
+		mdl := s.models[st.key]
+		s.mu.Unlock()
+		if mdl != nil && mdl.learner != nil {
+			mdl.learner.dropShard(st.token)
+		}
+	}
+	return s
 }
 
 // Registry exposes the server's metrics.
@@ -253,6 +369,20 @@ func (s *Server) Serve(ctx context.Context, l net.Listener) error {
 		m.start() // models preloaded before Serve
 	}
 	s.mu.Unlock()
+	if s.cfg.SessionTTL > 0 {
+		s.goLoop(sctx, s.cfg.SessionTTL/2, func() { s.sessions.sweep() })
+	}
+	if s.cfg.Learn && s.cfg.TrainInterval > 0 {
+		s.goLoop(sctx, s.cfg.TrainInterval, func() { s.TrainNow() })
+	}
+	if s.cfg.Learn && s.cfg.CheckpointDir != "" && s.cfg.CheckpointEvery > 0 {
+		s.goLoop(sctx, s.cfg.CheckpointEvery, func() {
+			if err := s.Checkpoint(s.cfg.CheckpointDir); err != nil {
+				// Keep serving, but never fail to persist silently.
+				log.Printf("serve: periodic checkpoint to %s: %v", s.cfg.CheckpointDir, err)
+			}
+		})
+	}
 	defer s.wg.Wait()
 	defer cancel()
 
@@ -274,6 +404,81 @@ func (s *Server) Serve(ctx context.Context, l net.Listener) error {
 			s.handleConn(sctx, conn)
 		}()
 	}
+}
+
+// goLoop runs fn every period under the server's run group until ctx
+// ends (janitor, background trainer, checkpointer).
+func (s *Server) goLoop(ctx context.Context, period time.Duration, fn func()) {
+	s.wg.Add(1)
+	go func() {
+		defer s.wg.Done()
+		t := time.NewTicker(period)
+		defer t.Stop()
+		for {
+			select {
+			case <-t.C:
+				fn()
+			case <-ctx.Done():
+				return
+			}
+		}
+	}()
+}
+
+// learningModels snapshots the models that have a trainer, in
+// deterministic key order.
+func (s *Server) learningModels() []*model {
+	s.mu.Lock()
+	models := make([]*model, 0, len(s.models))
+	for _, m := range s.models {
+		if m.learner != nil {
+			models = append(models, m)
+		}
+	}
+	s.mu.Unlock()
+	sort.Slice(models, func(i, j int) bool {
+		a, b := models[i].key, models[j].key
+		if a.n != b.n {
+			return a.n < b.n
+		}
+		if a.m != b.m {
+			return a.m < b.m
+		}
+		return a.spouts < b.spouts
+	})
+	return models
+}
+
+// TrainNow runs one training round (UpdatesPerRound mini-batch updates
+// followed by a weight publication) on every learning model, bounded by
+// the shared training semaphore, and returns the total updates performed.
+// The background trainer calls it on its interval; deterministic
+// harnesses call it explicitly between lockstep epochs — each model's
+// round depends only on its replay contents and trainer RNG state, so the
+// outcome is schedule-independent either way.
+func (s *Server) TrainNow() int {
+	models := s.learningModels()
+	if len(models) == 0 {
+		return 0
+	}
+	var total atomic.Int64
+	parallel.ForEachSem(context.Background(), s.trainSem, len(models), len(models), func(_ context.Context, i int) error {
+		total.Add(int64(models[i].learner.trainRound(s.cfg.UpdatesPerRound)))
+		return nil
+	})
+	return int(total.Load())
+}
+
+// Checkpoint writes every learning model's current actor/critic weights
+// into dir (cmd/train format, atomic rename), returning the first error.
+func (s *Server) Checkpoint(dir string) error {
+	var first error
+	for _, m := range s.learningModels() {
+		if err := m.learner.checkpoint(dir); err != nil && first == nil {
+			first = err
+		}
+	}
+	return first
 }
 
 // Handler returns the HTTP control surface: /metrics (text exposition)

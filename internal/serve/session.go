@@ -11,82 +11,13 @@ import (
 	"time"
 
 	"repro/internal/core"
+	"repro/internal/rl"
 )
 
-// errLineTooLong marks an NDJSON frame exceeding MaxLineBytes.
-var errLineTooLong = errors.New("serve: line exceeds max frame size")
-
-// lineReader reads '\n'-delimited frames with a hard size cap, so one
-// misbehaving peer cannot make the daemon buffer an unbounded line.
-type lineReader struct {
-	r   *bufio.Reader
-	max int
-	buf []byte
-	// eol records whether the frame that just exceeded max was consumed
-	// through its newline already (it fit in the bufio buffer), so
-	// drainLine must not wait for another one.
-	eol bool
-}
-
-func newLineReader(r *bufio.Reader, max int) *lineReader {
-	return &lineReader{r: r, max: max}
-}
-
-// next returns the next frame without its trailing newline. The returned
-// slice is valid until the following call. A connection that ends mid-
-// frame yields io.ErrUnexpectedEOF (a protocol error), while one that ends
-// on a frame boundary yields a clean io.EOF.
-func (lr *lineReader) next() ([]byte, error) {
-	lr.buf = lr.buf[:0]
-	for {
-		frag, err := lr.r.ReadSlice('\n')
-		lr.buf = append(lr.buf, frag...)
-		payload := len(lr.buf)
-		if err == nil {
-			payload-- // the trailing '\n' is framing, not payload
-		}
-		if payload > lr.max {
-			lr.eol = err == nil
-			return nil, errLineTooLong
-		}
-		switch err {
-		case nil:
-			return lr.buf[:len(lr.buf)-1], nil
-		case bufio.ErrBufferFull:
-			continue
-		case io.EOF:
-			if len(lr.buf) > 0 {
-				return nil, io.ErrUnexpectedEOF
-			}
-			return nil, io.EOF
-		default:
-			return nil, err
-		}
-	}
-}
-
-// drainLine consumes input up to and including the next '\n', discarding
-// it. Used to finish reading an oversized frame before replying: closing
-// a socket with received-but-unread data sends RST, which would destroy
-// the error reply in flight (closed-loop peers have exactly one frame in
-// flight, so draining to the newline empties the receive buffer).
-func (lr *lineReader) drainLine() error {
-	if lr.eol {
-		lr.eol = false
-		return nil
-	}
-	for {
-		_, err := lr.r.ReadSlice('\n')
-		switch err {
-		case nil:
-			return nil
-		case bufio.ErrBufferFull:
-			continue
-		default:
-			return err
-		}
-	}
-}
+// errLineTooLong aliases the shared frame-decoder's cap error; the decoder
+// itself lives in internal/core (core.FrameReader), next to the wire
+// protocol it frames, where the fuzz harness exercises it.
+var errLineTooLong = core.ErrFrameTooLong
 
 // handleConn services one scheduler session end to end: admission, hello,
 // then the measurement→solution loop. Everything the session owns
@@ -100,7 +31,7 @@ func (s *Server) handleConn(ctx context.Context, conn net.Conn) {
 		return enc.Encode(msg)
 	}
 
-	lr := newLineReader(bufio.NewReader(conn), s.cfg.MaxLineBytes)
+	lr := core.NewFrameReader(bufio.NewReader(conn), s.cfg.MaxLineBytes)
 
 	// Admission control: beyond MaxSessions the daemon is explicit about
 	// being full instead of letting sessions pile up. The client's hello is
@@ -110,7 +41,7 @@ func (s *Server) handleConn(ctx context.Context, conn net.Conn) {
 		s.active.Add(-1)
 		s.mRejected.Inc()
 		conn.SetReadDeadline(time.Now().Add(s.cfg.WriteTimeout))
-		lr.next()
+		lr.Next()
 		write(&core.SolutionMsg{Err: "retry: server at session capacity", Retry: true})
 		return
 	}
@@ -129,7 +60,7 @@ func (s *Server) handleConn(ctx context.Context, conn net.Conn) {
 
 	// Hello: topology shape, answered with the session's starting solution.
 	conn.SetReadDeadline(time.Now().Add(s.cfg.IdleTimeout))
-	line, err := lr.next()
+	line, err := lr.Next()
 	if err != nil {
 		if isProtoErr(err) {
 			s.mProtoErrs.Inc()
@@ -147,32 +78,73 @@ func (s *Server) handleConn(ctx context.Context, conn net.Conn) {
 		write(&core.SolutionMsg{Err: fmt.Sprintf("bad hello: %v", err)})
 		return
 	}
-	mdl := s.model(modelKey{hello.N, hello.M, hello.Spouts})
+	key := modelKey{hello.N, hello.M, hello.Spouts}
+	mdl := s.model(key)
 
-	// The session owns its per-topology state: the last solution the agent
-	// issued is the "current assignment" half of the next state encoding.
-	assign := make([]int, hello.N)
-	for i := range assign {
-		assign[i] = i % hello.M
+	// Attach resumable per-topology state: a hello presenting a tracked
+	// token continues that session — same current solution, exploration
+	// schedule position, reward statistics and pending transition — while
+	// an empty or unknown token starts cold under a (possibly new) token.
+	st, resumed, aerr := s.sessions.attach(hello.Token, key, func() {
+		// Fired (under the table lock) when another connection presents
+		// this session's token: unblock this goroutine's I/O so it
+		// detaches and the presenter's retry can take the session over.
+		conn.SetDeadline(time.Now())
+	})
+	if aerr != nil {
+		if hello.Token != "" {
+			// Only hellos actually trying to resume count as resume
+			// rejections; a tokenless hello shed by a full table is plain
+			// admission control.
+			s.mResumeRej.Inc()
+		}
+		if errors.Is(aerr, errTokenLive) || errors.Is(aerr, errTableFull) {
+			// Transient: the stale connection holding the token (or the
+			// table slot) is about to be reaped; the client backs off and
+			// redials.
+			write(&core.SolutionMsg{Err: "retry: " + aerr.Error(), Retry: true})
+		} else {
+			write(&core.SolutionMsg{Err: fmt.Sprintf("bad hello: %v", aerr)})
+		}
+		return
 	}
-	if err := write(&core.SolutionMsg{Epoch: 0, Assign: assign}); err != nil {
+	defer s.sessions.detach(st)
+	if resumed {
+		s.mResumed.Inc()
+	} else {
+		// Cold start: the round-robin prior is the "current assignment"
+		// half of the first state encoding.
+		st.assign = make([]int, hello.N)
+		for i := range st.assign {
+			st.assign[i] = i % hello.M
+		}
+	}
+	if err := write(&core.SolutionMsg{Epoch: st.epoch, Assign: st.assign, Token: st.token, Resumed: resumed}); err != nil {
 		return
 	}
 
+	learner := mdl.learner
+	adim := mdl.pol.Space.Dim()
 	req := &inferReq{
 		state:  make([]float64, mdl.pol.StateDim()),
 		result: make([]int, hello.N),
 	}
 	var meas core.MeasurementMsg
-	for epoch := 1; ; epoch++ {
+	for epoch := st.epoch + 1; ; epoch++ {
+		if s.sessions.isKicked(st) {
+			// A takeover presenter asked for this session: stand down so
+			// its retry can attach (our deadline re-arming below would
+			// otherwise erase the presenter's I/O kick).
+			return
+		}
 		conn.SetReadDeadline(time.Now().Add(s.cfg.IdleTimeout))
-		line, err := lr.next()
+		line, err := lr.Next()
 		if err != nil {
 			if ctx.Err() == nil && isProtoErr(err) {
 				s.mProtoErrs.Inc()
 				if errors.Is(err, errLineTooLong) {
 					conn.SetReadDeadline(time.Now().Add(s.cfg.WriteTimeout))
-					if lr.drainLine() == nil {
+					if lr.DrainLine() == nil {
 						write(&core.SolutionMsg{Epoch: epoch, Err: errLineTooLong.Error()})
 					}
 				}
@@ -196,9 +168,45 @@ func (s *Server) handleConn(ctx context.Context, conn net.Conn) {
 			write(&core.SolutionMsg{Epoch: epoch, Err: fmt.Sprintf("measurement has %d spout rates, session declared %d", len(meas.Workload), hello.Spouts)})
 			return
 		}
+		// A non-zero epoch echo (1-based) not matching the last served
+		// epoch means the client measured an older deployment (lost
+		// reply, then a resubmit after resuming): still serve it, but
+		// its reward does not belong to the pending transition. (Counted
+		// after queue admission so shed-and-resubmit cycles don't inflate
+		// the metric.)
+		stale := meas.Epoch != 0 && meas.Epoch != st.epoch+1
 
 		start := time.Now()
-		mdl.pol.Codec.Encode(assign, meas.Workload, req.state)
+		// s_t: the solution issued at t−1 plus the fresh workload.
+		mdl.pol.Codec.Encode(st.assign, meas.Workload, req.state)
+		req.noise = nil
+		if learner != nil {
+			// ε-decay exploration, per session: the noise stream comes from
+			// the session's own RNG (part of its resumable state), so it is
+			// deterministic per session regardless of batching or timing.
+			// Drawn at most once per epoch — a queue-full shed resubmits the
+			// same epoch and must reuse the same decision, or load shedding
+			// would advance the RNG and the ε schedule timing-dependently.
+			if st.noiseEpoch != epoch {
+				st.noiseEpoch = epoch
+				st.noiseOn = false
+				eps := s.cfg.Explore.At(st.learnEpoch)
+				st.learnEpoch++
+				if eps > 0 && st.rng.Float64() < eps {
+					st.noiseOn = true
+					if cap(st.noise) < adim {
+						st.noise = make([]float64, adim)
+					}
+					st.noise = st.noise[:adim]
+					for i := range st.noise {
+						st.noise[i] = eps * st.rng.Float64()
+					}
+				}
+			}
+			if st.noiseOn {
+				req.noise = st.noise
+			}
+		}
 		req.done = make(chan struct{})
 		select {
 		case mdl.queue <- req:
@@ -217,8 +225,34 @@ func (s *Server) handleConn(ctx context.Context, conn net.Conn) {
 		case <-ctx.Done():
 			return
 		}
-		copy(assign, req.result)
-		if err := write(&core.SolutionMsg{Epoch: epoch, Assign: assign}); err != nil {
+		if stale {
+			s.mStaleMeas.Inc()
+		}
+		if learner != nil {
+			// The measurement closes the pending transition (s_{t−1},
+			// a_{t−1}): its reward is the (standardized) negative latency
+			// this epoch reported for deploying a_{t−1}. A deploy failure
+			// or a stale resubmission poisons the reward, so that
+			// transition is dropped.
+			if meas.Err == "" && !stale && st.hasPrev {
+				learner.observe(st.token, rl.Transition{
+					State:     append([]float64(nil), st.prevState...),
+					Action:    mdl.pol.Space.Encode(st.prevAssign, nil),
+					Reward:    st.norm.Normalize(-meas.AvgTupleTimeMS),
+					NextState: append([]float64(nil), req.state...),
+				})
+			}
+		}
+		copy(st.assign, req.result)
+		if learner != nil {
+			// Open the next pending transition: (s_t, a_t) awaits the next
+			// epoch's reward.
+			st.prevState = append(st.prevState[:0], req.state...)
+			st.prevAssign = append(st.prevAssign[:0], st.assign...)
+			st.hasPrev = true
+		}
+		st.epoch = epoch
+		if err := write(&core.SolutionMsg{Epoch: epoch, Assign: st.assign}); err != nil {
 			return
 		}
 		s.mLatency.Observe(time.Since(start))

@@ -1,0 +1,271 @@
+package serve
+
+import (
+	crand "crypto/rand"
+	"encoding/hex"
+	"errors"
+	"fmt"
+	"hash/fnv"
+	"math/rand"
+	"sync"
+	"time"
+
+	"repro/internal/core"
+)
+
+// Session resumption (tentpole of the serving frontier): a scheduler whose
+// connection dies — process restart, network partition, rolling deploy —
+// used to come back as a brand-new session, losing its per-topology state
+// (current solution, exploration schedule position, reward statistics,
+// replay contributions). The sessionTable keeps that state server-side,
+// keyed by an opaque token issued on the first hello; a reconnecting
+// client presents the token in its next hello and continues where it left
+// off. Detached state lives until a TTL sweep reclaims it.
+
+var (
+	// errTokenLive marks a hello presenting a token that is attached to a
+	// live connection. The condition is transient (the old connection is
+	// usually a half-dead socket about to be reaped), so it maps to a
+	// retry reply rather than a hard rejection.
+	errTokenLive = errors.New("token is attached to a live session")
+	// errTableFull marks resumption-table exhaustion with every tracked
+	// session live; also transient.
+	errTableFull = errors.New("session table full")
+)
+
+// sessionState is one session's resumable state. While a connection is
+// attached the owning goroutine accesses the mutable fields exclusively
+// (the table hands a token's state to at most one live connection); the
+// table itself only touches live/lastSeen under its lock.
+type sessionState struct {
+	token string
+	key   modelKey
+
+	live     bool
+	lastSeen time.Time
+	// kick, while live, unblocks the attached connection's I/O (the
+	// owning goroutine then detaches). attach fires it when another
+	// connection presents this token: a half-dead socket would otherwise
+	// hold the session hostage until IdleTimeout, far longer than any
+	// client's retry budget. The presenter is shed with a retry and wins
+	// once the old connection has drained (connection takeover). kicked
+	// is the sticky record of that request — the deadline kick alone can
+	// be erased by the holder's own per-epoch deadline re-arming, so the
+	// holder also polls kicked (under the table lock) each epoch.
+	kick   func()
+	kicked bool
+
+	// Per-topology serving state, restored on resumption.
+	epoch  int   // last served decision epoch
+	assign []int // current scheduling solution (the state encoding's X half)
+
+	// Online-learning state (used when the daemon learns).
+	learnEpoch int        // position in the ε-decay schedule
+	rng        *rand.Rand // exploration RNG, seeded from the token
+	norm       core.RewardNormalizer
+	prevState  []float64 // s_{t−1}, the pending transition's state
+	prevAssign []int     // a_{t−1}, the pending transition's action
+	hasPrev    bool
+	noise      []float64 // exploration-noise scratch
+	noiseEpoch int       // epoch the exploration decision was drawn for
+	noiseOn    bool      // that decision (shed resubmits must reuse it)
+}
+
+// sessionTable tracks resumable sessions by token.
+type sessionTable struct {
+	ttl  time.Duration
+	max  int
+	seed int64
+	now  func() time.Time
+	// onEvict runs (outside critical paths, inside the table lock) when a
+	// session's state is dropped — the server uses it to drop the
+	// session's replay shard.
+	onEvict func(st *sessionState)
+
+	mu      sync.Mutex
+	entries map[string]*sessionState
+}
+
+func newSessionTable(ttl time.Duration, max int, seed int64, now func() time.Time) *sessionTable {
+	if now == nil {
+		now = time.Now
+	}
+	return &sessionTable{ttl: ttl, max: max, seed: seed, now: now, entries: map[string]*sessionState{}}
+}
+
+// expiredLocked reports whether a detached entry has outlived the TTL.
+func (t *sessionTable) expiredLocked(st *sessionState, now time.Time) bool {
+	return !st.live && t.ttl > 0 && now.Sub(st.lastSeen) > t.ttl
+}
+
+// attach binds a hello to session state: resuming the token's session if
+// it is tracked, or creating fresh state (under the presented token, or a
+// newly issued one) otherwise. A token whose state was TTL-evicted gets a
+// fresh session rather than an error — the client's resume degenerates to
+// a cold start, which is the correct fallback. kick is installed on the
+// attached state so a later presenter of the same token can unblock this
+// connection.
+func (t *sessionTable) attach(token string, key modelKey, kick func()) (st *sessionState, resumed bool, err error) {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	now := t.now()
+
+	if token != "" {
+		if st, ok := t.entries[token]; ok {
+			if t.expiredLocked(st, now) {
+				t.evictLocked(st)
+			} else {
+				switch {
+				case st.key != key:
+					// Checked before the live branch: a presenter whose
+					// takeover could never succeed must not get to kill a
+					// healthy holder.
+					return nil, false, fmt.Errorf("token %s belongs to a %dx%d/%d session, hello declares %dx%d/%d",
+						token, st.key.n, st.key.m, st.key.spouts, key.n, key.m, key.spouts)
+				case st.live:
+					// Connection takeover: kick the current holder (it is
+					// usually a half-dead socket that would otherwise pin
+					// the session until IdleTimeout) and shed the
+					// presenter; its retry lands after the holder drains.
+					st.kicked = true
+					if st.kick != nil {
+						st.kick()
+					}
+					return nil, false, errTokenLive
+				}
+				st.live = true
+				st.lastSeen = now
+				st.kick = kick
+				st.kicked = false
+				return st, true, nil
+			}
+		}
+	}
+
+	if len(t.entries) >= t.max {
+		t.sweepLocked(now)
+		if len(t.entries) >= t.max && !t.evictOldestDetachedLocked() {
+			return nil, false, errTableFull
+		}
+	}
+
+	if token == "" {
+		for {
+			token = newToken()
+			if _, taken := t.entries[token]; !taken {
+				break
+			}
+		}
+	}
+	st = &sessionState{
+		token:    token,
+		key:      key,
+		live:     true,
+		lastSeen: now,
+		kick:     kick,
+		rng:      rand.New(rand.NewSource(t.seed ^ int64(hashToken(token)))),
+	}
+	t.entries[token] = st
+	return st, false, nil
+}
+
+// newToken returns an unguessable session token. Tokens gate access to
+// another tenant's session state, so they must not be enumerable — a
+// sequential scheme would let any client hijack a detached session by
+// counting.
+//
+// Trust model: the wire protocol is unauthenticated (the paper's agent
+// and scheduler share a deployment), so tokens protect cooperating
+// tenants from accidents and enumeration, not from a hostile peer — a
+// hostile peer on the same network could already open sessions and feed
+// adversarial measurements into the shared model. Clients that choose
+// their own tokens (deterministic harnesses, tests) opt out of the
+// unguessability this function provides; production clients should send
+// an empty token on first hello and keep the one the daemon issues.
+func newToken() string {
+	var b [12]byte
+	if _, err := crand.Read(b[:]); err != nil {
+		// crypto/rand never fails on supported platforms; refuse to fall
+		// back to something guessable.
+		panic(fmt.Sprintf("serve: session token entropy unavailable: %v", err))
+	}
+	return "s" + hex.EncodeToString(b[:])
+}
+
+// detach releases a live session's state back to the table, starting its
+// TTL clock.
+func (t *sessionTable) detach(st *sessionState) {
+	t.mu.Lock()
+	st.live = false
+	st.kick = nil
+	st.lastSeen = t.now()
+	t.mu.Unlock()
+}
+
+// isKicked reports whether a takeover presenter has requested this
+// session's holder to stand down; the holder polls it once per epoch
+// because its own deadline re-arming can erase the I/O kick.
+func (t *sessionTable) isKicked(st *sessionState) bool {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return st.kicked
+}
+
+// sweep drops every expired detached session and returns how many went.
+func (t *sessionTable) sweep() int {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return t.sweepLocked(t.now())
+}
+
+func (t *sessionTable) sweepLocked(now time.Time) int {
+	n := 0
+	for _, st := range t.entries {
+		if t.expiredLocked(st, now) {
+			t.evictLocked(st)
+			n++
+		}
+	}
+	return n
+}
+
+// evictOldestDetachedLocked frees one slot by dropping the detached entry
+// with the oldest lastSeen, reporting whether one existed.
+func (t *sessionTable) evictOldestDetachedLocked() bool {
+	var oldest *sessionState
+	for _, st := range t.entries {
+		if st.live {
+			continue
+		}
+		if oldest == nil || st.lastSeen.Before(oldest.lastSeen) {
+			oldest = st
+		}
+	}
+	if oldest == nil {
+		return false
+	}
+	t.evictLocked(oldest)
+	return true
+}
+
+func (t *sessionTable) evictLocked(st *sessionState) {
+	delete(t.entries, st.token)
+	if t.onEvict != nil {
+		t.onEvict(st)
+	}
+}
+
+// len returns the number of tracked sessions (live + detached).
+func (t *sessionTable) len() int {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return len(t.entries)
+}
+
+// hashToken is FNV-1a over the token, used to derive per-session RNG
+// seeds deterministically from the token alone.
+func hashToken(token string) uint64 {
+	h := fnv.New64a()
+	h.Write([]byte(token))
+	return h.Sum64()
+}
