@@ -10,10 +10,17 @@
 //	reprobench -fidelity full     # paper-faithful training budgets
 //	reprobench -csv out/          # also write CSV per figure
 //	reprobench -workers 1         # force sequential execution
+//	reprobench -gemm reference    # reference-order GEMM kernels
+//	reprobench -bench-json p.json # run the benchmark suite, write JSON, exit
 //
 // Figure suites fan out on a bounded worker pool (one worker per CPU by
 // default); results are assembled and printed in paper order and are
-// byte-identical for any -workers setting.
+// byte-identical for any -workers setting, in either GEMM kernel mode.
+//
+// -bench-json runs the signature micro- and serving benchmarks
+// (internal/benchkit) instead of figures and writes machine-readable
+// results (ns/op, allocs/op, req/s) for perf-trajectory tracking: each PR
+// commits a BENCH_PRn.json snapshot.
 package main
 
 import (
@@ -24,7 +31,9 @@ import (
 	"path/filepath"
 	"strings"
 
+	"repro/internal/benchkit"
 	"repro/internal/experiments"
+	"repro/internal/mat"
 )
 
 func main() {
@@ -33,7 +42,34 @@ func main() {
 	csvDir := flag.String("csv", "", "directory to write per-figure CSV files (optional)")
 	seed := flag.Int64("seed", 1, "experiment seed")
 	workers := flag.Int("workers", 0, "worker pool size (0 = one per CPU, 1 = sequential)")
+	gemm := flag.String("gemm", "blocked", "GEMM engine: blocked (default) or reference (bitwise per-sample accumulation order)")
+	benchJSON := flag.String("bench-json", "", "run the benchmark suite and write machine-readable results to this path (skips figures)")
 	flag.Parse()
+
+	switch *gemm {
+	case "blocked":
+		mat.SetKernelMode(mat.KernelBlocked)
+	case "reference":
+		mat.SetKernelMode(mat.KernelReference)
+	default:
+		fmt.Fprintf(os.Stderr, "unknown -gemm %q (want blocked or reference)\n", *gemm)
+		os.Exit(2)
+	}
+
+	if *benchJSON != "" {
+		rep, err := benchkit.Run(func(line string) { fmt.Fprintln(os.Stderr, line) })
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "bench-json: %v\n", err)
+			os.Exit(1)
+		}
+		if err := benchkit.WriteJSON(rep, *benchJSON); err != nil {
+			fmt.Fprintf(os.Stderr, "bench-json: %v\n", err)
+			os.Exit(1)
+		}
+		fmt.Printf("benchmark results written to %s (%d benchmarks, %s kernels, GOMAXPROCS=%d)\n",
+			*benchJSON, len(rep.Results), rep.KernelMode, rep.GOMAXPROCS)
+		return
+	}
 
 	var cfg experiments.Config
 	switch *fidelity {

@@ -92,6 +92,18 @@ func (ev *Evaluator) Workload() []float64 {
 	return w
 }
 
+// AvgTupleTimeMSSlot implements env.SlotMeasurer: the estimate is
+// deterministic (no jitter to stream), so the slot is ignored.
+func (ev *Evaluator) AvgTupleTimeMSSlot(_ int64, assign []int) float64 {
+	return ev.AvgTupleTimeMS(assign)
+}
+
+// SlotsConcurrent implements env.SlotMeasurer: AvgTupleTimeMS works on
+// per-call locals and only reads the topology/cluster/arrival state, so
+// distinct slots may be measured from different goroutines (as long as
+// nothing mutates the arrival rates mid-batch).
+func (ev *Evaluator) SlotsConcurrent() bool { return true }
+
 // AvgTupleTimeMS implements env.Environment: the queueing estimate of the
 // stabilized average end-to-end tuple processing time for the assignment.
 func (ev *Evaluator) AvgTupleTimeMS(assign []int) float64 {

@@ -172,6 +172,17 @@ func NewActorCriticFrom(n, m, numSpouts int, cfg ACConfig, seed int64, actor, cr
 	return a, nil
 }
 
+// SetPool installs a shared GEMM worker pool on all four networks, so one
+// training run's batched passes shard their row bands across the pool
+// (intra-run training parallelism). Results are bitwise identical for
+// every pool capacity; pass nil to restore single-goroutine execution.
+func (a *ActorCritic) SetPool(p *nn.Pool) {
+	a.actor.SetPool(p)
+	a.actorT.SetPool(p)
+	a.critic.SetPool(p)
+	a.criticT.SetPool(p)
+}
+
 // Name implements Agent.
 func (*ActorCritic) Name() string { return "Actor-critic-based DRL" }
 
@@ -232,6 +243,17 @@ func (a *ActorCritic) criticArgmax(state, proto []float64) []int {
 	}
 	return append([]int(nil), cands[bestIdx]...)
 }
+
+// takePending/restorePending implement offlineBatcher (see controller.go):
+// they move the recorded one-hot action of the latest selection out of
+// and back into the agent, bracketing a batched rollout chunk.
+func (a *ActorCritic) takePending() pendingAction {
+	p := pendingAction{act: a.lastAction}
+	a.lastAction = nil
+	return p
+}
+
+func (a *ActorCritic) restorePending(p pendingAction) { a.lastAction = p.act }
 
 // RandomAssignment implements Agent: a random scheduling solution for
 // offline sample collection. Half the draws are uniform over assignments
@@ -362,7 +384,7 @@ func (a *ActorCritic) TrainOnBatch(batch []rl.Transition) {
 		dQ.Row(i)[0] = (qs.Row(i)[0] - targets[i]) / h
 	}
 	a.critic.ZeroGrads()
-	a.critic.BackwardBatch(dQ, 1)
+	a.critic.BackwardBatchGrads(dQ, 1)
 	if a.cfg.GradClip > 0 {
 		a.critic.ClipGrads(a.cfg.GradClip)
 	}
@@ -393,7 +415,7 @@ func (a *ActorCritic) TrainOnBatch(batch []rl.Transition) {
 		}
 	}
 	a.actor.ZeroGrads()
-	a.actor.BackwardBatch(dProto, 1)
+	a.actor.BackwardBatchGrads(dProto, 1)
 	if a.cfg.GradClip > 0 {
 		a.actor.ClipGrads(a.cfg.GradClip)
 	}

@@ -1,8 +1,12 @@
 package core
 
 import (
+	"fmt"
 	"math/rand"
 	"testing"
+
+	"repro/internal/nn"
+	"repro/internal/parallel"
 )
 
 // fillBuffer seeds an agent's replay buffer with enough random transitions
@@ -49,5 +53,29 @@ func BenchmarkTrainStepDQN(b *testing.B) {
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		d.TrainStep()
+	}
+}
+
+// BenchmarkTrainOnBatchACWorkers measures one batched actor-critic update
+// with the GEMM row bands sharded across a worker pool of 1/2/4 workers
+// (1 = no pool). Results are bitwise identical across pool sizes; only
+// wall-clock changes. On a single-core container the >1 variants measure
+// sharding overhead, not speedup — see PERFORMANCE.md §6.
+func BenchmarkTrainOnBatchACWorkers(b *testing.B) {
+	for _, w := range []int{1, 2, 4} {
+		b.Run(fmt.Sprintf("workers=%d", w), func(b *testing.B) {
+			cfg := DefaultACConfig()
+			a := NewActorCritic(20, 6, 2, cfg, 1)
+			fillBuffer(a, 20, 6, 2, 2*cfg.BatchSize, 2)
+			if w > 1 {
+				a.SetPool(nn.NewPool(parallel.NewSem(w - 1)))
+			}
+			batch := a.buffer.Sample(rand.New(rand.NewSource(3)), cfg.BatchSize, nil)
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				a.TrainOnBatch(batch)
+			}
+		})
 	}
 }

@@ -1,9 +1,11 @@
 package core
 
 import (
+	"context"
 	"fmt"
 
 	"repro/internal/env"
+	"repro/internal/parallel"
 	"repro/internal/rl"
 )
 
@@ -30,6 +32,28 @@ type Controller struct {
 	// Zero auto-calibrates to 10× the round-robin deployment's latency on
 	// first use.
 	RewardClipMS float64
+
+	// slot numbers the environment rollouts issued by the parallel
+	// offline collector (each rollout draws its measurement jitter from
+	// its own slot stream; see env.SlotMeasurer).
+	slot int64
+}
+
+// pendingAction is the action record an agent keeps between a selection
+// and the matching Observe call; capturing it lets the offline collector
+// draw a whole chunk of chained random actions before any of their
+// rewards has been measured.
+type pendingAction struct {
+	act  []float64 // actor-critic: flat one-hot action
+	move int       // DQN: flat move index
+}
+
+// offlineBatcher is implemented by agents whose offline collection can be
+// pipelined: takePending removes the record of the latest selection and
+// restorePending reinstates it immediately before the matching Observe.
+type offlineBatcher interface {
+	takePending() pendingAction
+	restorePending(pendingAction)
 }
 
 // NewController starts from the environment's round-robin default
@@ -69,6 +93,76 @@ func (c *Controller) CollectOffline(samples int) error {
 		c.Agent.TrainStep()
 		c.Assign = next
 		work = nextWork
+	}
+	return nil
+}
+
+// CollectOfflineParallel is CollectOffline with the environment rollouts
+// of each chunk fanned out over the shared worker pool: the chunk's
+// random actions are drawn first (chained, on the calling goroutine, so
+// the agent's RNG stream is untouched by scheduling), the chunk's
+// measurements then run concurrently — each drawing its jitter from its
+// own slot stream — and finally the observe/train steps replay in sample
+// order. Results are therefore identical for every pool capacity,
+// including none. Falls back to CollectOffline when the agent cannot
+// capture pending actions or the environment cannot measure slots
+// concurrently.
+func (c *Controller) CollectOfflineParallel(samples, chunk int, sem *parallel.Sem, workers int) error {
+	ob, okA := c.Agent.(offlineBatcher)
+	sm, okE := c.Env.(env.SlotMeasurer)
+	if !okA || !okE || !sm.SlotsConcurrent() {
+		return c.CollectOffline(samples)
+	}
+	if samples <= 0 {
+		return fmt.Errorf("core: offline sample count must be positive, got %d", samples)
+	}
+	if chunk <= 0 {
+		chunk = 25
+	}
+	nexts := make([][]int, chunk)
+	pends := make([]pendingAction, chunk)
+	lats := make([]float64, chunk)
+	work := c.Env.Workload()
+	for done := 0; done < samples; {
+		n := chunk
+		if n > samples-done {
+			n = samples - done
+		}
+		// Phase 1: draw the chunk's chained random actions.
+		cur := c.Assign
+		for i := 0; i < n; i++ {
+			nexts[i] = c.Agent.RandomAssignment(cur)
+			pends[i] = ob.takePending()
+			cur = nexts[i]
+		}
+		// Phase 2: measure every rollout, fanned out over the pool.
+		base := c.slot
+		_ = parallel.ForEachSem(context.Background(), sem, n, workers, func(_ context.Context, i int) error {
+			lats[i] = sm.AvgTupleTimeMSSlot(base+int64(i), nexts[i])
+			return nil
+		})
+		c.slot += int64(n)
+		// Phase 3: observe and train, in sample order.
+		prev := c.Assign
+		for i := 0; i < n; i++ {
+			reward := c.reward(lats[i])
+			nextWork := c.Env.Workload()
+			ob.restorePending(pends[i])
+			c.Agent.Observe(prev, work, reward, nexts[i], nextWork)
+			if c.DB != nil {
+				c.DB.Add(rl.Transition{
+					State:     floatsOf(prev, work),
+					Action:    floatsOf(nexts[i], nil),
+					Reward:    reward,
+					NextState: floatsOf(nexts[i], nextWork),
+				})
+			}
+			c.Agent.TrainStep()
+			prev = nexts[i]
+			work = nextWork
+		}
+		c.Assign = prev
+		done += n
 	}
 	return nil
 }

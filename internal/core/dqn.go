@@ -101,6 +101,13 @@ func NewDQN(n, m, numSpouts int, cfg DQNConfig, seed int64) *DQN {
 	return d
 }
 
+// SetPool installs a shared GEMM worker pool on both networks (see
+// ActorCritic.SetPool).
+func (d *DQN) SetPool(p *nn.Pool) {
+	d.qnet.SetPool(p)
+	d.qtarget.SetPool(p)
+}
+
 // Name implements Agent.
 func (*DQN) Name() string { return "DQN-based DRL" }
 
@@ -124,6 +131,15 @@ func (d *DQN) SelectAssignment(assign []int, work []float64) []int {
 	m := d.space.MoveFromIndex(move)
 	return actionspace.ApplyMove(assign, m)
 }
+
+// takePending/restorePending implement offlineBatcher (see controller.go).
+func (d *DQN) takePending() pendingAction {
+	p := pendingAction{move: d.lastMove}
+	d.lastMove = -1
+	return p
+}
+
+func (d *DQN) restorePending(p pendingAction) { d.lastMove = p.move }
 
 // RandomAssignment implements Agent: a random single-thread move (the
 // restricted action space's random collection policy).
@@ -218,7 +234,7 @@ func (d *DQN) TrainOnBatch(batch []rl.Transition) {
 		dOut.Row(i)[move] = (q.Row(i)[move] - targets[i]) / h
 	}
 	d.qnet.ZeroGrads()
-	d.qnet.BackwardBatch(dOut, 1)
+	d.qnet.BackwardBatchGrads(dOut, 1)
 	if d.cfg.GradClip > 0 {
 		d.qnet.ClipGrads(d.cfg.GradClip)
 	}

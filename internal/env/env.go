@@ -26,16 +26,56 @@ type Environment interface {
 	AvgTupleTimeMS(assign []int) float64
 }
 
+// SlotMeasurer is an Environment whose measurements can also be taken by
+// slot: AvgTupleTimeMSSlot derives any measurement jitter from a
+// dedicated per-slot RNG stream, so the result depends only on
+// (slot, assign) — never on call order — and independent rollouts can fan
+// out across a worker pool while staying deterministic for every worker
+// count. SlotsConcurrent reports whether distinct slots may actually be
+// measured from different goroutines (a wrapper can only be as safe as
+// the environment it wraps).
+type SlotMeasurer interface {
+	Environment
+	AvgTupleTimeMSSlot(slot int64, assign []int) float64
+	SlotsConcurrent() bool
+}
+
 // Noisy wraps an Environment and perturbs measurements with multiplicative
 // Gaussian noise, modeling real-cluster measurement jitter.
 type Noisy struct {
 	Environment
 	Sigma float64
 	Rng   *rand.Rand
+	// StreamSeed seeds the per-slot jitter streams of AvgTupleTimeMSSlot
+	// (the ordered AvgTupleTimeMS path keeps drawing from Rng).
+	StreamSeed int64
 }
 
 // AvgTupleTimeMS implements Environment with jitter.
 func (n *Noisy) AvgTupleTimeMS(assign []int) float64 {
 	v := n.Environment.AvgTupleTimeMS(assign)
 	return v * (1 + n.Sigma*n.Rng.NormFloat64())
+}
+
+// AvgTupleTimeMSSlot implements SlotMeasurer: the jitter comes from a
+// stream derived from (StreamSeed, slot), so a batch of rollouts measured
+// out of order — or concurrently — produces exactly the values an
+// in-order run would.
+func (n *Noisy) AvgTupleTimeMSSlot(slot int64, assign []int) float64 {
+	var v float64
+	if sm, ok := n.Environment.(SlotMeasurer); ok {
+		v = sm.AvgTupleTimeMSSlot(slot, assign)
+	} else {
+		v = n.Environment.AvgTupleTimeMS(assign)
+	}
+	rng := rand.New(rand.NewSource(n.StreamSeed ^ int64(uint64(slot+1)*0x9E3779B97F4A7C15)))
+	return v * (1 + n.Sigma*rng.NormFloat64())
+}
+
+// SlotsConcurrent implements SlotMeasurer: the wrapper adds no shared
+// state on the slot path, so concurrency is inherited from the wrapped
+// environment.
+func (n *Noisy) SlotsConcurrent() bool {
+	sm, ok := n.Environment.(SlotMeasurer)
+	return ok && sm.SlotsConcurrent()
 }

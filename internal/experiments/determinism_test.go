@@ -5,7 +5,7 @@ import (
 	"reflect"
 	"testing"
 
-	"repro/internal/apps"
+	"repro/internal/mat"
 )
 
 // tinyConfig is the smallest configuration that exercises every stage of a
@@ -35,11 +35,11 @@ func TestParallelFigureMatchesSequential(t *testing.T) {
 	parCfg := tinyConfig()
 	parCfg.Workers = 8
 
-	seq, err := Fig6(context.Background(), apps.Small, seqCfg)
+	seq, err := Run(context.Background(), "6a", seqCfg)
 	if err != nil {
 		t.Fatal(err)
 	}
-	par, err := Fig6(context.Background(), apps.Small, parCfg)
+	par, err := Run(context.Background(), "6a", parCfg)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -50,6 +50,38 @@ func TestParallelFigureMatchesSequential(t *testing.T) {
 			}
 		}
 		t.Fatalf("parallel figure output differs from sequential:\nsequential stabilized: %v\nparallel stabilized:   %v",
+			seq.Stabilized, par.Stabilized)
+	}
+}
+
+// TestParallelFigureMatchesSequentialReference is the same guarantee in
+// mat.KernelReference mode (reprobench -gemm reference): the reference
+// kernels run banded under the same fixed tile→worker assignment, so a
+// parallel run must stay byte-identical to a sequential one there too. A
+// smaller budget keeps the doubled pipeline cheap.
+func TestParallelFigureMatchesSequentialReference(t *testing.T) {
+	prev := mat.SetKernelMode(mat.KernelReference)
+	defer mat.SetKernelMode(prev)
+	cfg := tinyConfig()
+	cfg.OfflineSamples = 60
+	cfg.OnlineEpochs = 30
+	cfg.MBSamples = 20
+	cfg.CurveMinutes = 1
+	seqCfg := cfg
+	seqCfg.Workers = 1
+	parCfg := cfg
+	parCfg.Workers = 8
+
+	seq, err := Run(context.Background(), "6a", seqCfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	par, err := Run(context.Background(), "6a", parCfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(seq, par) {
+		t.Fatalf("reference-mode parallel figure output differs from sequential:\nsequential stabilized: %v\nparallel stabilized:   %v",
 			seq.Stabilized, par.Stabilized)
 	}
 }

@@ -21,6 +21,7 @@ import (
 	"repro/internal/apps"
 	"repro/internal/core"
 	"repro/internal/env"
+	"repro/internal/nn"
 	"repro/internal/parallel"
 	"repro/internal/sched"
 	"repro/internal/sim"
@@ -207,6 +208,13 @@ func (j *jitterer) maybe() {
 // trainAgent runs offline collection plus online learning for an agent on
 // the system's analytic environment and returns the controller and reward
 // history. epochs overrides cfg.OnlineEpochs when positive.
+//
+// Intra-run parallelism: the offline phase's environment rollouts fan out
+// over the shared pool in chunks (per-slot jitter streams, results
+// replayed in sample order — see core.Controller.CollectOfflineParallel),
+// and the agent's batched training GEMMs shard across the same pool
+// (SetPool). Both are invariant to the pool capacity, so figure output
+// stays byte-identical for every Workers setting.
 func trainAgent(sys *apps.System, agent core.Agent, cfg Config, epochs int) (*trained, error) {
 	te, err := newTrainEnv(sys)
 	if err != nil {
@@ -216,20 +224,27 @@ func trainAgent(sys *apps.System, agent core.Agent, cfg Config, epochs int) (*tr
 		Environment: te,
 		Sigma:       cfg.MeasureSigma,
 		Rng:         rand.New(rand.NewSource(cfg.Seed + 100)),
+		StreamSeed:  cfg.Seed + 101,
 	}
 	ctrl := core.NewController(noisy, agent)
 	jit := &jitterer{te: te, cfg: cfg, rng: rand.New(rand.NewSource(cfg.Seed + 200))}
+	if p := cfg.gemmPool(); p != nil {
+		type pooled interface{ SetPool(*nn.Pool) }
+		if ag, ok := agent.(pooled); ok {
+			ag.SetPool(p)
+		}
+	}
 
 	// Offline phase: collect in chunks so the workload can vary between
 	// chunks (the paper collects 10,000 samples "for each experimental
-	// setup").
+	// setup"); within a chunk the rollouts run concurrently.
 	remaining := cfg.OfflineSamples
 	for remaining > 0 {
 		chunk := 25
 		if chunk > remaining {
 			chunk = remaining
 		}
-		if err := ctrl.CollectOffline(chunk); err != nil {
+		if err := ctrl.CollectOfflineParallel(chunk, chunk, cfg.sem, cfg.Workers); err != nil {
 			return nil, err
 		}
 		remaining -= chunk
@@ -292,10 +307,13 @@ func solutions(ctx context.Context, sys *apps.System, cfg Config, epochs int) (*
 				Top: sys.Top, Cl: sys.Cl,
 				Rng:     rand.New(rand.NewSource(cfg.Seed + 300)),
 				Samples: cfg.MBSamples,
+				Sem:     cfg.sem,
+				Workers: cfg.Workers,
 			}
 			cfg.logf("  fitting model-based scheduler (%d samples)", cfg.MBSamples)
 			mbAssign, err = mb.Schedule(&env.Noisy{Environment: te, Sigma: cfg.MeasureSigma,
-				Rng: rand.New(rand.NewSource(cfg.Seed + 301))})
+				Rng:        rand.New(rand.NewSource(cfg.Seed + 301)),
+				StreamSeed: cfg.Seed + 302})
 			return err
 		},
 		func() error {
@@ -345,6 +363,29 @@ func (c Config) acConfig() core.ACConfig {
 		ac.UpdatesPerStep = c.ACUpdates
 	}
 	return ac
+}
+
+// withSem installs the weighted semaphore every fan-out level of a run
+// shares (suite, per-figure stages, rollout chunks, GEMM row bands), so
+// total in-flight work stays bounded by one pool size instead of
+// multiplying across nesting levels. Idempotent; a no-op for
+// single-worker configurations.
+func (c Config) withSem() Config {
+	if c.sem == nil && parallel.PoolSize(c.Workers) > 1 {
+		c.sem = parallel.NewSem(parallel.PoolSize(c.Workers) - 1)
+	}
+	return c
+}
+
+// gemmPool returns the worker pool a training run's GEMM row bands shard
+// across: the run-shared semaphore, or nil (sequential) when the
+// configuration is single-worker. The kernels are bitwise invariant to
+// the pool, so this never affects figure output.
+func (c Config) gemmPool() *nn.Pool {
+	if c.sem == nil {
+		return nil
+	}
+	return nn.NewPool(c.sem)
 }
 
 // curve runs one 20-minute deployment of an assignment on a cold DES and

@@ -223,7 +223,8 @@ func Fig12(ctx context.Context, which string, cfg Config) (*Result, error) {
 				return err
 			}
 			mb = &sched.ModelBased{Top: sys.Top, Cl: sys.Cl,
-				Rng: seededRand(cfg.Seed + 300), Samples: cfg.MBSamples}
+				Rng: seededRand(cfg.Seed + 300), Samples: cfg.MBSamples,
+				Sem: cfg.sem, Workers: cfg.Workers}
 			cfg.logf("  fitting model-based scheduler")
 			mbBase, err = mb.Schedule(te)
 			return err

@@ -21,6 +21,7 @@ var TupleTimeFigureIDs = []string{"6a", "6b", "6c", "8", "10"}
 // Run regenerates one figure by id ("6a" ... "12c"). ctx cancellation
 // propagates into every stage of the figure's pipeline.
 func Run(ctx context.Context, id string, cfg Config) (*Result, error) {
+	cfg = cfg.withSem()
 	switch id {
 	case "6a":
 		return Fig6(ctx, apps.Small, cfg)
@@ -65,18 +66,17 @@ func RunFigures(ctx context.Context, ids []string, cfg Config) ([]*Result, error
 // late failure cannot discard already-delivered results. emit is never
 // called concurrently. Errors are tagged with the failing figure's id.
 //
-// When the suite level itself fans out, the suite and per-figure levels
-// share one weighted semaphore sized to the pool (capacity PoolSize−1 plus
-// the calling goroutine), so total in-flight work stays bounded by the
-// pool size without multiplying to Workers × per-figure fan-out — and when
-// the suite drains to its last slow figures, the tokens released by
-// finished figures are reclaimed by the survivors' inner stages instead of
-// idling in a static per-level share. A single-figure run keeps its full
-// internal fan-out.
+// All levels — suite, per-figure stages, offline-rollout chunks and GEMM
+// row bands — share one weighted semaphore sized to the pool (capacity
+// PoolSize−1 plus the calling goroutine), so total in-flight work stays
+// bounded by the pool size without multiplying to Workers × per-level
+// fan-out — and when the suite drains to its last slow figures, the
+// tokens released by finished figures are reclaimed by the survivors'
+// inner stages instead of idling in a static per-level share. Single-
+// figure runs share the same semaphore across their internal levels for
+// the same reason.
 func RunFiguresStream(ctx context.Context, ids []string, cfg Config, emit func(i int, r *Result)) ([]*Result, error) {
-	if cfg.sem == nil && len(ids) > 1 && parallel.PoolSize(cfg.Workers) > 1 {
-		cfg.sem = parallel.NewSem(parallel.PoolSize(cfg.Workers) - 1)
-	}
+	cfg = cfg.withSem()
 	results := make([]*Result, len(ids))
 	var (
 		mu        sync.Mutex

@@ -1,0 +1,695 @@
+package mat
+
+import (
+	"context"
+	"sync"
+	"sync/atomic"
+
+	"repro/internal/parallel"
+)
+
+// Blocked multi-core GEMM engine.
+//
+// The engine is a classical register- and cache-blocked GEMM specialized
+// to this repo's three product forms (NN, NT, and TN-accumulate):
+//
+//   - the K dimension is split into panels of kcBlock and the output
+//     columns into panels of ncBlock; for each (column, K) panel the B
+//     operand is packed once into nr-wide strips (kcBlock·nr floats ≈ 8 KiB
+//     per strip — L1-resident; the whole packed panel ≈ 512 KiB — L2);
+//   - output rows are walked in mr-row strips; each strip of A is packed
+//     into a column-major-by-k tile (mr·kcBlock ≈ 8 KiB, L1-resident);
+//   - a 4×4 micro-kernel multiplies one packed A strip by one packed B
+//     strip with 16 independent scalar accumulators — the FMA-style
+//     unrolled form: every k step issues 8 loads and 16 multiply-adds, so
+//     the kernel is arithmetic-bound where the dot/axpy reference kernels
+//     are load-bound (2 loads per multiply-add).
+//
+// Zero-skipping is preserved two ways. The Matmul (NN) form — the
+// serving path's inference engine — always runs the rowwise zero-skipping
+// axpy form, which elides entire coefficient rows and computes each
+// output row independently of the rest of the batch (see the dispatch in
+// gemm for why that row invariance is load-bearing). Inside the blocked
+// engine, packed A strips with enough zeros run a lane-skipping
+// micro-kernel: it omits multiply-adds whose A
+// coefficient is exactly zero, which is *bitwise identical* to the dense
+// kernel — the skipped products are ±0, adding ±0 to an accumulator that
+// is never −0 (accumulators start at +0 and a rounded sum is −0 only when
+// both addends are −0) returns it unchanged — so the skip is purely a
+// performance dispatch, never a numerical one.
+//
+// Determinism: every output element's reduction runs in ascending-k order
+// within a K panel, panels combine in ascending-panel order, and the
+// sharded variants split the output into *fixed* bandRows-row bands, each
+// computed wholly by one task. The tile→worker assignment moves work, not
+// arithmetic: results are bitwise identical for every worker count
+// (including a nil or exhausted pool) and reproducible run-to-run. What
+// the engine does reassociate is the reduction *relative to the reference
+// kernels* (one strict chain instead of dot's 4-lane split), which is why
+// the batched-vs-per-sample equivalences hold to ~1e-12 in blocked mode
+// and bitwise only in KernelReference mode.
+
+// KernelMode selects the GEMM execution engine behind Matmul/MatmulNT/
+// AddMatmulTNScaled and their P variants.
+type KernelMode int32
+
+const (
+	// KernelBlocked (default) runs the packed-tile 4×4 micro-kernel
+	// engine where profitable, falling back to the reference kernels for
+	// small or heavily sparse operands.
+	KernelBlocked KernelMode = iota
+	// KernelReference forces the scalar reference kernels everywhere —
+	// the accumulation order that matches the per-sample GEMV path
+	// bitwise. Sharding still applies (band results are order-independent).
+	KernelReference
+)
+
+var kernelMode atomic.Int32 // holds a KernelMode; zero value = KernelBlocked
+
+// SetKernelMode switches the GEMM engine process-wide and returns the
+// previous mode. Intended for tests and benchmark harnesses; production
+// code runs the default blocked engine.
+func SetKernelMode(m KernelMode) KernelMode {
+	return KernelMode(kernelMode.Swap(int32(m)))
+}
+
+// CurrentKernelMode reports the active GEMM engine.
+func CurrentKernelMode() KernelMode { return KernelMode(kernelMode.Load()) }
+
+// Tiling parameters. bandRows is the sharding granularity and must be a
+// multiple of mr: bands are a fixed function of the output shape so the
+// tile→worker assignment never depends on pool capacity or timing.
+const (
+	mr       = 4   // micro-kernel rows
+	nr       = 4   // micro-kernel cols
+	kcBlock  = 256 // K panel: one packed A or B strip is kcBlock·4·8 B = 8 KiB (L1)
+	ncBlock  = 256 // column panel: packed B panel ≤ kcBlock·ncBlock·8 B = 512 KiB (L2)
+	bandRows = 64  // rows per shard task
+
+	// blockedMinMACs is the R·K·C work below which packing overhead beats
+	// the register-blocking win and the reference kernels run instead.
+	blockedMinMACs = 1 << 13
+	// shardMinMACs is the work below which a GEMM is not worth fanning
+	// out at all.
+	shardMinMACs = 1 << 18
+	// sparseRowCut is the operand zero fraction above which the rowwise
+	// zero-skipping axpy form (which elides whole coefficient rows) beats
+	// the blocked kernel's lane skipping, flipping the NT/TN forms onto
+	// their transpose/swap fast paths.
+	sparseRowCut = 0.75
+	// laneEngageCut is the operand zero fraction below which the blocked
+	// engine does not engage at all. On scalar float64 the reference
+	// dot/axpy kernels already saturate the FP ports for dense operands
+	// (mul and add share the two FMA ports, capping any scalar kernel at
+	// ~1 MAC/cycle), so register blocking buys nothing there; the blocked
+	// engine's edge is its zero-skipping micro-kernels, which only pay
+	// off once a meaningful fraction of coefficient lanes vanishes —
+	// exactly the shape of this repo's one-hot-dominated layer-1 batches.
+	laneEngageCut = 0.25
+	// laneSkipCut is the zero fraction of one packed A strip at which the
+	// lane-skipping micro-kernel takes over from the dense one. The two
+	// are bitwise identical; this is a pure performance dispatch.
+	laneSkipCut = 0.2
+)
+
+// Workspace holds the grow-only packing buffers of the blocked engine. A
+// long-lived caller (a nn layer's batch workspace, a serving policy)
+// owns one so steady-state GEMMs allocate nothing; kernels called with a
+// nil Workspace borrow one from an internal pool, which amortizes to zero
+// allocations as well.
+type Workspace struct {
+	bpack []float64   // packed B panel, nr-wide strips
+	apack [][]float64 // per-band packed A strips (band i owns apack[i])
+	wt    []float64   // transposed NT operand (sparse-A fast path)
+	g     []float64   // transposed gradient scratch (sparse-B TN fast path)
+	btm   Matrix      // header over wt (kept here so it never escapes per call)
+}
+
+func (ws *Workspace) bbuf(n int) []float64 {
+	if cap(ws.bpack) < n {
+		ws.bpack = make([]float64, n)
+	}
+	return ws.bpack[:n]
+}
+
+// ensureBands pre-sizes the per-band buffer table on the calling
+// goroutine before a fan-out; band tasks then only touch their own entry
+// (abuf may still allocate that entry's backing array — distinct indices,
+// so concurrent bands never write the same element).
+func (ws *Workspace) ensureBands(n int) {
+	for len(ws.apack) < n {
+		ws.apack = append(ws.apack, nil)
+	}
+}
+
+func (ws *Workspace) abuf(band, n int) []float64 {
+	if cap(ws.apack[band]) < n {
+		ws.apack[band] = make([]float64, n)
+	}
+	return ws.apack[band][:n]
+}
+
+func (ws *Workspace) wtbuf(n int) []float64 {
+	if cap(ws.wt) < n {
+		ws.wt = make([]float64, n)
+	}
+	return ws.wt[:n]
+}
+
+func (ws *Workspace) gbuf(n int) []float64 {
+	if cap(ws.g) < n {
+		ws.g = make([]float64, n)
+	}
+	return ws.g[:n]
+}
+
+var wsPool = sync.Pool{New: func() any { return new(Workspace) }}
+
+// gemmForm distinguishes the three product forms the engine serves.
+type gemmForm int
+
+const (
+	formNN    gemmForm = iota // dst = a·b        (a R×K, b K×C)
+	formNT                    // dst = a·bᵀ       (a R×K, b C×K)
+	formTNAdd                 // dst += s·aᵀ·b    (a K×R, b K×C)
+)
+
+// MatmulP is Matmul with deterministic multi-core sharding: fixed
+// bandRows-row bands of dst are distributed over the shared worker pool
+// (the caller's goroutine participates; a nil pool runs everything on it).
+// The result is bitwise identical for every pool capacity. ws, when
+// non-nil, supplies the packing buffers (grow-only); nil borrows pooled
+// ones. Returns the number of shard tasks dispatched to the pool (0 when
+// the GEMM ran unsharded) — the observability hook for the serving
+// daemon's serve_gemm_shards_total metric.
+func MatmulP(dst, a, b *Matrix, ws *Workspace, pool *parallel.Sem) int {
+	if a.Cols != b.Rows || dst.Rows != a.Rows || dst.Cols != b.Cols {
+		shapePanic("Matmul", "%s · %s -> %s",
+			dims(a.Rows, a.Cols), dims(b.Rows, b.Cols), dims(dst.Rows, dst.Cols))
+	}
+	return gemm(dst, a, b, formNN, 0, ws, pool)
+}
+
+// MatmulNTP is MatmulNT with deterministic multi-core sharding (see
+// MatmulP for the contract).
+func MatmulNTP(dst, a, b *Matrix, ws *Workspace, pool *parallel.Sem) int {
+	if a.Cols != b.Cols || dst.Rows != a.Rows || dst.Cols != b.Rows {
+		shapePanic("MatmulNT", "%s · %s -> %s",
+			dims(a.Rows, a.Cols), dimsT(b.Rows, b.Cols), dims(dst.Rows, dst.Cols))
+	}
+	return gemm(dst, a, b, formNT, 0, ws, pool)
+}
+
+// AddMatmulTNScaledP is AddMatmulTNScaled with deterministic multi-core
+// sharding (see MatmulP for the contract). Bands are rows of m, i.e.
+// columns of a; the h reduction stays inside each band in fixed order.
+func (m *Matrix) AddMatmulTNScaledP(a, b *Matrix, scale float64, ws *Workspace, pool *parallel.Sem) int {
+	if a.Rows != b.Rows || m.Rows != a.Cols || m.Cols != b.Cols {
+		shapePanic("AddMatmulTNScaled", "%s · %s -> %s",
+			dimsT(a.Rows, a.Cols), dims(b.Rows, b.Cols), dims(m.Rows, m.Cols))
+	}
+	return gemm(m, a, b, formTNAdd, scale, ws, pool)
+}
+
+// gemmEngine names the execution strategies gemm can dispatch to.
+type gemmEngine int
+
+const (
+	// engRef: the scalar reference kernels (which already zero-skip
+	// Matmul-form coefficients row-wise).
+	engRef gemmEngine = iota
+	// engBlocked: packed tiles + 4×4 micro-kernel with lane skipping.
+	engBlocked
+	// engNTTranspose: transpose the NT operand once (grow-only buffer)
+	// and run the rowwise zero-skipping axpy form — for one-hot-dominated
+	// A this elides ~80% of the multiply-accumulates outright, far more
+	// than the micro-kernel's 4-lane group skip can.
+	engNTTranspose
+	// engTNSwapped: compute scale·bᵀ·a into a transposed scratch with b's
+	// zeros skipped row-wise, then transpose-add — the same trick for the
+	// weight-gradient form, whose sparse operand (the layer-1 input
+	// batch) is b.
+	engTNSwapped
+)
+
+// gemm dispatches one product to an engine and a sharding plan. Every
+// choice below depends only on shapes, operand values and the
+// process-wide kernel mode — never on pool capacity or timing — so a
+// given input produces one canonical result for every worker count.
+func gemm(dst, a, b *Matrix, form gemmForm, scale float64, ws *Workspace, pool *parallel.Sem) int {
+	r, c := dst.Rows, dst.Cols
+	k := a.Cols
+	if form == formTNAdd {
+		k = a.Rows
+	}
+	if r == 0 || c == 0 {
+		return 0
+	}
+	if pool != nil && pool.Cap() == 0 {
+		// A capacity-0 semaphore can never grant a helper a token: treat
+		// it as "no pool" so single-worker configurations skip the
+		// fan-out machinery entirely (and report zero shards) instead of
+		// paying for helpers that cannot run.
+		pool = nil
+	}
+	macs := r * c * k
+
+	// Engine choice is data-driven but deterministic: operand zero
+	// fractions decide, and the O(R·K) scans are noise next to the
+	// O(R·C·K) product. Dense operands stay on the reference kernels —
+	// scalar mul and add share the FP ports, so dense register blocking
+	// cannot beat the dot/axpy forms; the blocked engine's edge is
+	// skipping the zeros of one-hot-dominated operands.
+	// The Matmul (NN) form ALWAYS runs the rowwise reference engine, and
+	// not only because it already zero-skips coefficients row-wise: its
+	// per-row arithmetic is completely independent of the other rows (no
+	// batch-aggregate dispatch, no K-panel partial sums), so a row's
+	// result is bitwise invariant to the batch it arrives in. The serving
+	// path's inference (ForwardBatchInfer = Matmul against the cached
+	// transpose) rides on exactly that: micro-batch composition is
+	// timing-dependent, and a request's action must not be. The
+	// training-only forms (NT, TNAdd) may reassociate per batch — their
+	// batches are fixed-size and deterministic.
+	engine := engRef
+	if form != formNN && CurrentKernelMode() == KernelBlocked && macs >= blockedMinMACs {
+		zfA := zeroFrac(a.Data)
+		tileable := r >= mr && c >= nr
+		if form == formNT {
+			if zfA >= sparseRowCut {
+				engine = engNTTranspose
+			} else if zfA >= laneEngageCut && tileable {
+				engine = engBlocked
+			}
+		} else {
+			if zeroFrac(b.Data) >= sparseRowCut {
+				engine = engTNSwapped
+			} else if zfA >= laneEngageCut && tileable {
+				engine = engBlocked
+			}
+		}
+	}
+
+	if engine == engTNSwapped {
+		// Small by construction in this repo (the reduction is the batch
+		// dimension); not worth sharding.
+		if ws == nil {
+			w := wsPool.Get().(*Workspace)
+			defer wsPool.Put(w)
+			ws = w
+		}
+		tnSwapped(dst, a, b, scale, ws)
+		return 0
+	}
+
+	if engine == engNTTranspose {
+		// One transpose pays for itself many times over; after it the
+		// product is a plain Matmul-form run on the rowwise-skipping
+		// reference kernel (shardable like any other).
+		if ws == nil {
+			w := wsPool.Get().(*Workspace)
+			defer wsPool.Put(w)
+			ws = w
+		}
+		wt := ws.wtbuf(k * c)
+		for j := 0; j < c; j++ {
+			brow := b.Data[j*k : (j+1)*k]
+			for kk, v := range brow {
+				wt[kk*c+j] = v
+			}
+		}
+		ws.btm = Matrix{Rows: k, Cols: c, Data: wt}
+		return gemmRows(dst, a, &ws.btm, formNN, 0, engRef, nil, macs, pool)
+	}
+
+	if engine == engBlocked && ws == nil {
+		w := wsPool.Get().(*Workspace)
+		defer wsPool.Put(w)
+		ws = w
+	}
+	return gemmRows(dst, a, b, form, scale, engine, ws, macs, pool)
+}
+
+// gemmRows runs the chosen engine over the output rows, sharding fixed
+// bandRows-row bands across the pool when the product is big enough.
+func gemmRows(dst, a, b *Matrix, form gemmForm, scale float64, engine gemmEngine, ws *Workspace, macs int, pool *parallel.Sem) int {
+	r := dst.Rows
+	bands := (r + bandRows - 1) / bandRows
+	if pool == nil || bands < 2 || macs < shardMinMACs {
+		if engine == engBlocked {
+			gemmBlocked(dst, a, b, form, scale, ws, 0, r)
+		} else {
+			refBand(dst, a, b, form, scale, 0, r)
+		}
+		return 0
+	}
+
+	if engine != engBlocked {
+		_ = parallel.ForEachSem(context.Background(), pool, bands, 0, func(_ context.Context, band int) error {
+			lo := band * bandRows
+			hi := min(lo+bandRows, r)
+			refBand(dst, a, b, form, scale, lo, hi)
+			return nil
+		})
+		return bands
+	}
+
+	c := dst.Cols
+	k := a.Cols
+	if form == formTNAdd {
+		k = a.Rows
+	}
+	shards := 0
+	// The B panel is packed once per (column, K) panel on the calling
+	// goroutine and then read by every band task; bands write disjoint
+	// rows of dst and pack A into their own per-band buffers.
+	ws.ensureBands(bands)
+	for jc := 0; jc < c; jc += ncBlock {
+		ncEff := min(ncBlock, c-jc)
+		for pc := 0; pc < k; pc += kcBlock {
+			kcEff := min(kcBlock, k-pc)
+			strips := (ncEff + nr - 1) / nr
+			bpack := ws.bbuf(strips * kcEff * nr)
+			packB(bpack, b, form, jc, pc, ncEff, kcEff)
+			first := pc == 0
+			_ = parallel.ForEachSem(context.Background(), pool, bands, 0, func(_ context.Context, band int) error {
+				lo := band * bandRows
+				hi := min(lo+bandRows, r)
+				apack := ws.abuf(band, mr*kcEff)
+				blockedBand(dst, a, form, scale, apack, bpack, lo, hi, jc, pc, ncEff, kcEff, first)
+				return nil
+			})
+			shards += bands
+		}
+	}
+	return shards
+}
+
+// tnSwapped computes m += scale·aᵀ·b for a b that is mostly zeros: it
+// accumulates g = scale·bᵀ·a with b's zero coefficients skipped row-wise
+// (the axpy form, transposed), then adds gᵀ into m. The O(R·C) scratch
+// zeroing and transpose-add are noise next to the skipped products.
+func tnSwapped(m, a, b *Matrix, scale float64, ws *Workspace) {
+	r, c := m.Rows, m.Cols // g is c×r
+	g := ws.gbuf(c * r)
+	for i := range g {
+		g[i] = 0
+	}
+	for h := 0; h < a.Rows; h++ {
+		arow := a.Row(h)
+		brow := b.Row(h)
+		for j, bv := range brow {
+			if bv == 0 {
+				continue
+			}
+			axpy(g[j*r:(j+1)*r], arow, bv*scale)
+		}
+	}
+	for i := 0; i < r; i++ {
+		mrow := m.Data[i*c : (i+1)*c]
+		for j := range mrow {
+			mrow[j] += g[j*r+i]
+		}
+	}
+}
+
+// refBand runs one output band on the reference engine.
+func refBand(dst, a, b *Matrix, form gemmForm, scale float64, lo, hi int) {
+	switch form {
+	case formNN:
+		matmulRefBand(dst, a, b, lo, hi)
+	case formNT:
+		matmulNTRefBand(dst, a, b, lo, hi)
+	default:
+		addMatmulTNScaledRefBand(dst, a, b, scale, lo, hi)
+	}
+}
+
+// gemmBlocked runs rows [lo, hi) of the blocked engine on the calling
+// goroutine: the same panel loop as the sharded path with a single band.
+func gemmBlocked(dst, a, b *Matrix, form gemmForm, scale float64, ws *Workspace, lo, hi int) {
+	c := dst.Cols
+	k := a.Cols
+	if form == formTNAdd {
+		k = a.Rows
+	}
+	if k == 0 {
+		// Empty reduction: a·b is the zero matrix (the accumulate form
+		// adds nothing).
+		if form != formTNAdd {
+			for i := lo; i < hi; i++ {
+				row := dst.Row(i)
+				for j := range row {
+					row[j] = 0
+				}
+			}
+		}
+		return
+	}
+	ws.ensureBands(1)
+	for jc := 0; jc < c; jc += ncBlock {
+		ncEff := min(ncBlock, c-jc)
+		for pc := 0; pc < k; pc += kcBlock {
+			kcEff := min(kcBlock, k-pc)
+			strips := (ncEff + nr - 1) / nr
+			bpack := ws.bbuf(strips * kcEff * nr)
+			packB(bpack, b, form, jc, pc, ncEff, kcEff)
+			apack := ws.abuf(0, mr*kcEff)
+			blockedBand(dst, a, form, scale, apack, bpack, lo, hi, jc, pc, ncEff, kcEff, pc == 0)
+		}
+	}
+}
+
+// packB packs columns [jc, jc+ncEff) × k-range [pc, pc+kcEff) of the B
+// operand into nr-wide strips: strip s holds element (k, c) at
+// s·kcEff·nr + k·nr + c, with missing edge columns zero-padded (their
+// products land in discarded accumulator lanes).
+func packB(bpack []float64, b *Matrix, form gemmForm, jc, pc, ncEff, kcEff int) {
+	strips := (ncEff + nr - 1) / nr
+	for s := 0; s < strips; s++ {
+		j0 := jc + s*nr
+		w := min(nr, jc+ncEff-j0)
+		dst := bpack[s*kcEff*nr : (s+1)*kcEff*nr]
+		if form == formNT {
+			// B columns are rows of the transposed operand.
+			for c := 0; c < w; c++ {
+				brow := b.Data[(j0+c)*b.Cols+pc : (j0+c)*b.Cols+pc+kcEff]
+				for k, v := range brow {
+					dst[k*nr+c] = v
+				}
+			}
+			for c := w; c < nr; c++ {
+				for k := 0; k < kcEff; k++ {
+					dst[k*nr+c] = 0
+				}
+			}
+			continue
+		}
+		for k := 0; k < kcEff; k++ {
+			brow := b.Data[(pc+k)*b.Cols+j0:]
+			o := k * nr
+			for c := 0; c < w; c++ {
+				dst[o+c] = brow[c]
+			}
+			for c := w; c < nr; c++ {
+				dst[o+c] = 0
+			}
+		}
+	}
+}
+
+// packA packs the mr-row strip starting at output row ir (k-range
+// [pc, pc+kcEff)) of the A operand into column-major-by-k order:
+// element (r, k) at k·mr + r. Missing edge rows are zero-padded. Returns
+// the number of valid rows and the count of zero coefficients (padding
+// included — padded lanes benefit from the lane-skipping kernel too).
+func packA(apack []float64, a *Matrix, form gemmForm, ir, pc, kcEff, rowLimit int) (rows, zeros int) {
+	rows = min(mr, rowLimit-ir)
+	if form == formTNAdd {
+		// A is used transposed: output row i is column i of a.
+		for k := 0; k < kcEff; k++ {
+			arow := a.Data[(pc+k)*a.Cols+ir:]
+			o := k * mr
+			for r := 0; r < rows; r++ {
+				v := arow[r]
+				apack[o+r] = v
+				if v == 0 {
+					zeros++
+				}
+			}
+			for r := rows; r < mr; r++ {
+				apack[o+r] = 0
+			}
+		}
+	} else {
+		for r := 0; r < rows; r++ {
+			arow := a.Data[(ir+r)*a.Cols+pc : (ir+r)*a.Cols+pc+kcEff]
+			for k, v := range arow {
+				apack[k*mr+r] = v
+				if v == 0 {
+					zeros++
+				}
+			}
+		}
+		for r := rows; r < mr; r++ {
+			for k := 0; k < kcEff; k++ {
+				apack[k*mr+r] = 0
+			}
+		}
+	}
+	zeros += (mr - rows) * kcEff
+	return rows, zeros
+}
+
+// blockedBand computes output rows [lo, hi) against one packed B panel.
+// Kernel selection (dense vs lane-skipping) is per A strip from its zero
+// count; the two kernels are bitwise identical, so the choice never
+// changes the result.
+func blockedBand(dst, a *Matrix, form gemmForm, scale float64, apack, bpack []float64, lo, hi, jc, pc, ncEff, kcEff int, first bool) {
+	c := dst.Cols
+	strips := (ncEff + nr - 1) / nr
+	for ir := lo; ir < hi; ir += mr {
+		rows, zeros := packA(apack, a, form, ir, pc, kcEff, hi)
+		skipA := float64(zeros) >= laneSkipCut*float64(mr*kcEff)
+		for s := 0; s < strips; s++ {
+			bp := bpack[s*kcEff*nr : (s+1)*kcEff*nr]
+			var acc [mr * nr]float64
+			if skipA {
+				micro4x4Skip(&acc, apack, bp, kcEff)
+			} else {
+				micro4x4(&acc, apack, bp, kcEff)
+			}
+			j0 := jc + s*nr
+			w := min(nr, jc+ncEff-j0)
+			for r := 0; r < rows; r++ {
+				drow := dst.Data[(ir+r)*c+j0 : (ir+r)*c+j0+w]
+				t := acc[r*nr:]
+				switch {
+				case form == formTNAdd:
+					for cc := range drow {
+						drow[cc] += scale * t[cc]
+					}
+				case first:
+					for cc := range drow {
+						drow[cc] = t[cc]
+					}
+				default:
+					for cc := range drow {
+						drow[cc] += t[cc]
+					}
+				}
+			}
+		}
+	}
+}
+
+// micro4x4 is the dense 4×4 micro-kernel: 16 independent scalar
+// accumulators, 8 loads and 16 unrolled multiply-adds per k step. Each
+// accumulator's additions run in ascending-k order.
+func micro4x4(acc *[mr * nr]float64, ap, bp []float64, kc int) {
+	var c00, c01, c02, c03 float64
+	var c10, c11, c12, c13 float64
+	var c20, c21, c22, c23 float64
+	var c30, c31, c32, c33 float64
+	ap = ap[: kc*4 : kc*4]
+	bp = bp[: kc*4 : kc*4]
+	for o := 0; o < len(ap); o += 4 {
+		a0, a1, a2, a3 := ap[o], ap[o+1], ap[o+2], ap[o+3]
+		b0, b1, b2, b3 := bp[o], bp[o+1], bp[o+2], bp[o+3]
+		c00 += a0 * b0
+		c01 += a0 * b1
+		c02 += a0 * b2
+		c03 += a0 * b3
+		c10 += a1 * b0
+		c11 += a1 * b1
+		c12 += a1 * b2
+		c13 += a1 * b3
+		c20 += a2 * b0
+		c21 += a2 * b1
+		c22 += a2 * b2
+		c23 += a2 * b3
+		c30 += a3 * b0
+		c31 += a3 * b1
+		c32 += a3 * b2
+		c33 += a3 * b3
+	}
+	*acc = [mr * nr]float64{
+		c00, c01, c02, c03,
+		c10, c11, c12, c13,
+		c20, c21, c22, c23,
+		c30, c31, c32, c33,
+	}
+}
+
+// micro4x4Skip is micro4x4 with zero-coefficient lanes elided. Skipped
+// products are exactly ±0 and the accumulators are never −0, so the
+// result is bitwise identical to micro4x4 — the dispatch between the two
+// is purely about speed on sparse strips.
+func micro4x4Skip(acc *[mr * nr]float64, ap, bp []float64, kc int) {
+	var c00, c01, c02, c03 float64
+	var c10, c11, c12, c13 float64
+	var c20, c21, c22, c23 float64
+	var c30, c31, c32, c33 float64
+	ap = ap[: kc*4 : kc*4]
+	bp = bp[: kc*4 : kc*4]
+	for o := 0; o < len(ap); o += 4 {
+		a0, a1, a2, a3 := ap[o], ap[o+1], ap[o+2], ap[o+3]
+		if a0 == 0 && a1 == 0 && a2 == 0 && a3 == 0 {
+			continue
+		}
+		b0, b1, b2, b3 := bp[o], bp[o+1], bp[o+2], bp[o+3]
+		if a0 != 0 {
+			c00 += a0 * b0
+			c01 += a0 * b1
+			c02 += a0 * b2
+			c03 += a0 * b3
+		}
+		if a1 != 0 {
+			c10 += a1 * b0
+			c11 += a1 * b1
+			c12 += a1 * b2
+			c13 += a1 * b3
+		}
+		if a2 != 0 {
+			c20 += a2 * b0
+			c21 += a2 * b1
+			c22 += a2 * b2
+			c23 += a2 * b3
+		}
+		if a3 != 0 {
+			c30 += a3 * b0
+			c31 += a3 * b1
+			c32 += a3 * b2
+			c33 += a3 * b3
+		}
+	}
+	*acc = [mr * nr]float64{
+		c00, c01, c02, c03,
+		c10, c11, c12, c13,
+		c20, c21, c22, c23,
+		c30, c31, c32, c33,
+	}
+}
+
+// zeroFrac estimates the fraction of exactly-zero entries in v. Large
+// operands are strided-sampled: the estimate is a pure function of the
+// data (fixed stride, fixed start), so engine dispatch stays deterministic
+// and run-to-run reproducible — a misestimate can only cost speed, never
+// correctness, because every engine computes a valid product.
+func zeroFrac(v []float64) float64 {
+	if len(v) == 0 {
+		return 0
+	}
+	const maxProbe = 2048
+	stride := 1
+	if len(v) > maxProbe {
+		stride = len(v) / maxProbe
+	}
+	z, n := 0, 0
+	for i := 0; i < len(v); i += stride {
+		if v[i] == 0 {
+			z++
+		}
+		n++
+	}
+	return float64(z) / float64(n)
+}

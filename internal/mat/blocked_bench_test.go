@@ -1,0 +1,80 @@
+package mat
+
+import (
+	"math/rand"
+	"testing"
+
+	"repro/internal/parallel"
+)
+
+// Benchmark shapes mirror the repo's hot GEMMs: the actor-critic target
+// pass scores H·K=256 candidate rows of width 242 against 64×242 layer-1
+// weights (MatmulNT), and the weight-gradient kernel accumulates the
+// transposed product of the same batch (AddMatmulTNScaled).
+
+func benchNT(b *testing.B, mode KernelMode, workers int, sparse bool) {
+	prev := SetKernelMode(mode)
+	defer SetKernelMode(prev)
+	rng := rand.New(rand.NewSource(1))
+	x := randMat(rng, 256, 242)
+	if sparse {
+		// One-hot-dominated rows: ~17% density, the serving/candidate
+		// layer-1 shape.
+		x.Zero()
+		for r := 0; r < x.Rows; r++ {
+			row := x.Row(r)
+			for i := 0; i < 40; i++ {
+				row[rng.Intn(len(row))] = 1
+			}
+		}
+	}
+	w := randMat(rng, 64, 242)
+	dst := NewMatrix(256, 64)
+	var pool *parallel.Sem
+	if workers > 1 {
+		pool = parallel.NewSem(workers - 1)
+	}
+	ws := new(Workspace)
+	b.ReportAllocs()
+	b.SetBytes(int64(8 * 256 * 242 * 64))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		MatmulNTP(dst, x, w, ws, pool)
+	}
+}
+
+func BenchmarkMatmulNTReference(b *testing.B)     { benchNT(b, KernelReference, 1, false) }
+func BenchmarkMatmulNTBlocked(b *testing.B)       { benchNT(b, KernelBlocked, 1, false) }
+func BenchmarkMatmulNTBlockedOneHot(b *testing.B) { benchNT(b, KernelBlocked, 1, true) }
+func BenchmarkMatmulNTRefOneHot(b *testing.B)     { benchNT(b, KernelReference, 1, true) }
+
+func benchTN(b *testing.B, mode KernelMode, sparse bool) {
+	prev := SetKernelMode(mode)
+	defer SetKernelMode(prev)
+	rng := rand.New(rand.NewSource(1))
+	delta := randMat(rng, 256, 64)
+	x := randMat(rng, 256, 242)
+	if sparse {
+		// The weight-gradient form's b operand is the layer input batch:
+		// one-hot dominated on layer 1.
+		x.Zero()
+		for r := 0; r < x.Rows; r++ {
+			row := x.Row(r)
+			for i := 0; i < 40; i++ {
+				row[rng.Intn(len(row))] = 1
+			}
+		}
+	}
+	m := NewMatrix(64, 242)
+	ws := new(Workspace)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		m.AddMatmulTNScaledP(delta, x, 1.0/256, ws, nil)
+	}
+}
+
+func BenchmarkAddMatmulTNReference(b *testing.B)     { benchTN(b, KernelReference, false) }
+func BenchmarkAddMatmulTNBlocked(b *testing.B)       { benchTN(b, KernelBlocked, false) }
+func BenchmarkAddMatmulTNRefOneHot(b *testing.B)     { benchTN(b, KernelReference, true) }
+func BenchmarkAddMatmulTNBlockedOneHot(b *testing.B) { benchTN(b, KernelBlocked, true) }

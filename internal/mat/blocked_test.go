@@ -1,0 +1,323 @@
+package mat
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+	"strings"
+	"sync"
+	"testing"
+
+	"repro/internal/parallel"
+)
+
+// forms under test, with closures that run each engine explicitly.
+var gemmForms = []struct {
+	name string
+	form gemmForm
+}{
+	{"NN", formNN},
+	{"NT", formNT},
+	{"TNAdd", formTNAdd},
+}
+
+// operands builds (a, b, dst) for a form given output R×C and reduction K.
+func operands(rng *rand.Rand, form gemmForm, r, k, c int, sparsify float64) (a, b, dst *Matrix) {
+	switch form {
+	case formNN:
+		a, b = randMat(rng, r, k), randMat(rng, k, c)
+	case formNT:
+		a, b = randMat(rng, r, k), randMat(rng, c, k)
+	default: // formTNAdd: a is K×R, b is K×C
+		a, b = randMat(rng, k, r), randMat(rng, k, c)
+	}
+	if sparsify > 0 {
+		for _, m := range []*Matrix{a, b} {
+			for i := range m.Data {
+				if rng.Float64() < sparsify {
+					m.Data[i] = 0
+				}
+			}
+		}
+	}
+	dst = NewMatrix(r, c)
+	dst.Randomize(rng, 1) // nonzero so the TNAdd accumulate semantics are exercised
+	return a, b, dst
+}
+
+// runRef computes the product on the reference band kernels.
+func runRef(dst, a, b *Matrix, form gemmForm, scale float64) {
+	refBand(dst, a, b, form, scale, 0, dst.Rows)
+}
+
+// runBlocked forces the blocked engine regardless of the dispatch
+// thresholds, so odd and tiny shapes exercise the packing/edge handling.
+func runBlocked(dst, a, b *Matrix, form gemmForm, scale float64) {
+	ws := new(Workspace)
+	gemmBlocked(dst, a, b, form, scale, ws, 0, dst.Rows)
+}
+
+// TestBlockedMatchesReferenceOddShapes is the blocked engine's property
+// test: for every form, across shapes chosen to hit each edge case — 1×1,
+// prime dimensions, R/C/K that are not multiples of the 4×4 tile or of
+// the 64-row shard band, empty matrices, K=0, all-zero rows and one-hot
+// sparsity (which flips the engine between its dense, lane-skipping and
+// row-skipping kernels) — the blocked result must agree with the scalar
+// reference to 1e-12.
+func TestBlockedMatchesReferenceOddShapes(t *testing.T) {
+	shapes := [][3]int{
+		{1, 1, 1}, {1, 7, 1}, {3, 1, 2},
+		{5, 7, 11}, {13, 17, 19}, // primes
+		{4, 4, 4}, {8, 16, 8},
+		{6, 10, 9}, {63, 65, 67}, {66, 127, 70}, // non-multiples of mr/nr/bandRows
+		{64, 256, 64},                   // exact tile/panel/band multiples
+		{70, 300, 257},                  // crosses the kc and nc panel boundaries
+		{130, 242, 64},                  // the hot training shape family
+		{0, 5, 3}, {5, 0, 3}, {5, 3, 0}, // empty
+	}
+	for _, f := range gemmForms {
+		for _, sp := range []float64{0, 0.5, 0.9} {
+			for _, sh := range shapes {
+				r, k, c := sh[0], sh[1], sh[2]
+				rng := rand.New(rand.NewSource(int64(1000*r + 10*k + c + int(sp*7))))
+				a, b, dst := operands(rng, f.form, r, k, c, sp)
+				want := dst.Clone()
+				runRef(want, a, b, f.form, 0.25)
+				got := dst.Clone()
+				runBlocked(got, a, b, f.form, 0.25)
+				for i := range got.Data {
+					if d := math.Abs(got.Data[i] - want.Data[i]); d > 1e-12 {
+						t.Fatalf("%s %dx%dx%d sparsity %.1f: element %d blocked=%g ref=%g (|Δ|=%g)",
+							f.name, r, k, c, sp, i, got.Data[i], want.Data[i], d)
+					}
+				}
+			}
+		}
+	}
+}
+
+// TestBlockedAllZeroRows: rows of zeros must produce exactly-zero output
+// rows (and trigger the lane-skipping kernel) in every engine.
+func TestBlockedAllZeroRows(t *testing.T) {
+	rng := rand.New(rand.NewSource(9))
+	a, b, dst := operands(rng, formNT, 24, 40, 12, 0)
+	for r := 0; r < 24; r += 2 {
+		row := a.Row(r)
+		for i := range row {
+			row[i] = 0
+		}
+	}
+	dst.Zero()
+	runBlocked(dst, a, b, formNT, 0)
+	for r := 0; r < 24; r += 2 {
+		for j := 0; j < 12; j++ {
+			if dst.At(r, j) != 0 {
+				t.Fatalf("zero input row %d produced nonzero output %g", r, dst.At(r, j))
+			}
+		}
+	}
+}
+
+// TestPublicDispatchMatchesReference drives the public entry points (which
+// pick engines by sparsity and size) against the reference kernels across
+// the density spectrum, including the transpose (NT) and swapped-gradient
+// (TNAdd) sparse fast paths.
+func TestPublicDispatchMatchesReference(t *testing.T) {
+	prev := SetKernelMode(KernelBlocked)
+	defer SetKernelMode(prev)
+	for _, f := range gemmForms {
+		for _, sp := range []float64{0, 0.3, 0.6, 0.85, 1.0} {
+			rng := rand.New(rand.NewSource(int64(100 * (sp + 1))))
+			a, b, dst := operands(rng, f.form, 66, 150, 30, sp)
+			want := dst.Clone()
+			got := dst.Clone()
+			switch f.form {
+			case formNN:
+				runRef(want, a, b, formNN, 0)
+				MatmulP(got, a, b, nil, nil)
+			case formNT:
+				runRef(want, a, b, formNT, 0)
+				MatmulNTP(got, a, b, nil, nil)
+			default:
+				runRef(want, a, b, formTNAdd, 0.5)
+				got.AddMatmulTNScaledP(a, b, 0.5, nil, nil)
+			}
+			for i := range got.Data {
+				if d := math.Abs(got.Data[i] - want.Data[i]); d > 1e-12 {
+					t.Fatalf("%s sparsity %.2f: element %d got %g want %g (|Δ|=%g)",
+						f.name, sp, i, got.Data[i], want.Data[i], d)
+				}
+			}
+		}
+	}
+}
+
+// TestShardedBitwiseEqualsSequential is the determinism guarantee of the
+// P variants: for every pool capacity (including a saturated pool whose
+// helpers rarely win tokens), the sharded result must be *bitwise*
+// identical to the same engine run with no pool at all — the tile→worker
+// assignment moves work between goroutines, never arithmetic.
+func TestShardedBitwiseEqualsSequential(t *testing.T) {
+	for _, mode := range []KernelMode{KernelBlocked, KernelReference} {
+		for _, sp := range []float64{0, 0.5, 0.85} {
+			rng := rand.New(rand.NewSource(int64(31 + sp*10)))
+			// Big enough to form several bands and exceed shardMinMACs.
+			r, k, c := 300, 242, 64
+			aNN, bNN, dstNN := operands(rng, formNN, r, k, c, sp)
+			aNT, bNT, dstNT := operands(rng, formNT, r, k, c, sp)
+			aTN, bTN, dstTN := operands(rng, formTNAdd, 300, 257, 66, sp)
+
+			prev := SetKernelMode(mode)
+			seqNN, seqNT, seqTN := dstNN.Clone(), dstNT.Clone(), dstTN.Clone()
+			MatmulP(seqNN, aNN, bNN, nil, nil)
+			MatmulNTP(seqNT, aNT, bNT, nil, nil)
+			seqTN.AddMatmulTNScaledP(aTN, bTN, 0.5, nil, nil)
+
+			for _, workers := range []int{1, 2, 4, 8} {
+				pool := parallel.NewSem(workers - 1)
+				gotNN, gotNT, gotTN := dstNN.Clone(), dstNT.Clone(), dstTN.Clone()
+				if shards := MatmulNTP(gotNT, aNT, bNT, nil, pool); workers > 1 && shards == 0 {
+					t.Fatalf("mode %v workers %d: expected MatmulNTP to shard", mode, workers)
+				}
+				MatmulP(gotNN, aNN, bNN, nil, pool)
+				gotTN.AddMatmulTNScaledP(aTN, bTN, 0.5, nil, pool)
+				for i := range gotNN.Data {
+					if gotNN.Data[i] != seqNN.Data[i] {
+						t.Fatalf("mode %v sparsity %.2f workers %d: NN element %d %g != sequential %g",
+							mode, sp, workers, i, gotNN.Data[i], seqNN.Data[i])
+					}
+				}
+				for i := range gotNT.Data {
+					if gotNT.Data[i] != seqNT.Data[i] {
+						t.Fatalf("mode %v sparsity %.2f workers %d: NT element %d %g != sequential %g",
+							mode, sp, workers, i, gotNT.Data[i], seqNT.Data[i])
+					}
+				}
+				for i := range gotTN.Data {
+					if gotTN.Data[i] != seqTN.Data[i] {
+						t.Fatalf("mode %v sparsity %.2f workers %d: TN element %d %g != sequential %g",
+							mode, sp, workers, i, gotTN.Data[i], seqTN.Data[i])
+					}
+				}
+			}
+			SetKernelMode(prev)
+		}
+	}
+}
+
+// TestShardedConcurrentSaturatedPool hammers the P variants from many
+// goroutines sharing one small pool (run under -race in CI): every
+// concurrent caller must still get the canonical sequential result while
+// helpers contend for tokens.
+func TestShardedConcurrentSaturatedPool(t *testing.T) {
+	rng := rand.New(rand.NewSource(77))
+	a, b, dst := operands(rng, formNT, 256, 242, 64, 0.8)
+	dst.Zero()
+	want := dst.Clone()
+	MatmulNTP(want, a, b, nil, nil)
+
+	pool := parallel.NewSem(2)
+	var wg sync.WaitGroup
+	errs := make(chan string, 16)
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			out := NewMatrix(256, 64)
+			ws := new(Workspace)
+			for it := 0; it < 5; it++ {
+				MatmulNTP(out, a, b, ws, pool)
+				for i := range out.Data {
+					if out.Data[i] != want.Data[i] {
+						errs <- fmt.Sprintf("element %d: %g != %g", i, out.Data[i], want.Data[i])
+						return
+					}
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	close(errs)
+	if msg, ok := <-errs; ok {
+		t.Fatal(msg)
+	}
+}
+
+// TestShapePanicsNameTheKernel: every mismatched-shape panic must name the
+// kernel the caller misused and render shapes in the uniform RxC form.
+func TestShapePanicsNameTheKernel(t *testing.T) {
+	m32 := NewMatrix(3, 2)
+	m23 := NewMatrix(2, 3)
+	m44 := NewMatrix(4, 4)
+	v2 := make([]float64, 2)
+	v3 := make([]float64, 3)
+	cases := []struct {
+		op   string
+		call func()
+	}{
+		{"Matmul", func() { Matmul(m32, m32, m32) }},
+		{"MatmulNT", func() { MatmulNT(m32, m32, m44) }},
+		{"AddMatmulTNScaled", func() { m32.AddMatmulTNScaled(m23, m44, 1) }},
+		{"AddColSumScaled", func() { AddColSumScaled(v2, m23, 1) }},
+		{"MulVec", func() { m32.MulVec(v2, v2) }},
+		{"MulVecT", func() { m32.MulVecT(v3, v3) }},
+		{"AddOuterScaled", func() { m32.AddOuterScaled(v2, v2, 1) }},
+		{"CopyFrom", func() { m32.CopyFrom(m23) }},
+		{"Axpy", func() { m32.Axpy(m23, 1) }},
+		{"Dot", func() { Dot(v2, v3) }},
+		{"AxpyVec", func() { AxpyVec(v2, v3, 1) }},
+		{"SqDist", func() { SqDist(v2, v3) }},
+		{"Softmax", func() { Softmax(v2, v3) }},
+		{"FromSlice", func() { FromSlice(2, 2, v3) }},
+		{"NewMatrix", func() { NewMatrix(-1, 2) }},
+		{"Reshape", func() { m32.Reshape(-1, 2) }},
+	}
+	for _, tc := range cases {
+		t.Run(tc.op, func(t *testing.T) {
+			defer func() {
+				r := recover()
+				if r == nil {
+					t.Fatalf("%s: expected a shape panic", tc.op)
+				}
+				msg, ok := r.(string)
+				if !ok {
+					t.Fatalf("%s: panic value %T, want string", tc.op, r)
+				}
+				if !strings.HasPrefix(msg, "mat: "+tc.op+":") {
+					t.Fatalf("%s: panic %q does not start with %q", tc.op, msg, "mat: "+tc.op+":")
+				}
+			}()
+			tc.call()
+		})
+	}
+}
+
+// TestMatmulRowInvariantToBatchComposition pins the serving-path
+// guarantee: the Matmul form computes each output row independently, so a
+// row's result is bitwise identical whether it is measured alone or
+// coalesced into a larger batch — for any density, including the medium
+// sparsity and k > kcBlock shapes where the batched engines reassociate.
+// (ForwardBatchInfer rides on this: micro-batch composition is
+// timing-dependent, a request's action must not be.)
+func TestMatmulRowInvariantToBatchComposition(t *testing.T) {
+	prev := SetKernelMode(KernelBlocked)
+	defer SetKernelMode(prev)
+	for _, sp := range []float64{0, 0.5, 0.9} {
+		rng := rand.New(rand.NewSource(int64(51 + sp*10)))
+		const k, c, h = 387, 64, 8
+		batch, b, _ := operands(rng, formNN, h, k, c, sp)
+		alone := NewMatrix(1, c)
+		got := NewMatrix(h, c)
+		MatmulP(got, batch, b, nil, nil)
+		for r := 0; r < h; r++ {
+			row := FromSlice(1, k, batch.Row(r))
+			MatmulP(alone, row, b, nil, nil)
+			for j := 0; j < c; j++ {
+				if alone.At(0, j) != got.At(r, j) {
+					t.Fatalf("sparsity %.1f row %d col %d: alone %g != batched %g (Matmul must be row-invariant)",
+						sp, r, j, alone.At(0, j), got.At(r, j))
+				}
+			}
+		}
+	}
+}

@@ -1,66 +1,126 @@
 package mat
 
-import "fmt"
-
-// Batched GEMM kernels for minibatch neural-network passes. All three
-// routines are written so their per-row accumulation order matches the
-// per-sample GEMV kernels (MulVec, MulVecT, AddOuterScaled): a batched
-// forward/backward pass over H rows produces bitwise-identical results to H
-// per-sample passes, which keeps the batched training path numerically
-// interchangeable with the per-sample one.
+// Batched GEMM entry points for minibatch neural-network passes.
+//
+// Two execution engines sit behind the three routines (see blocked.go for
+// the engine itself and the dispatch rules):
+//
+//   - the **reference** engine: the PR 1 scalar kernels whose per-row
+//     accumulation order matches the per-sample GEMV kernels (MulVec,
+//     MulVecT, AddOuterScaled) bitwise — a batched pass over H rows equals
+//     H per-sample passes exactly;
+//   - the **blocked** engine (default): a register- and cache-blocked GEMM
+//     with packed tiles and a 4×4 micro-kernel. It reassociates each
+//     output element's reduction (one strict ascending-k chain instead of
+//     the GEMV kernels' 4-lane split), so it agrees with the reference
+//     engine to ~1e-12 relative error rather than bitwise. Its order is
+//     fixed by the shape alone, so results are bitwise reproducible
+//     run-to-run and identical for every worker count.
+//
+// SetKernelMode(KernelReference) forces the reference engine everywhere —
+// the mode the bitwise batched-vs-per-sample equivalences hold in.
+//
+// The P variants (MatmulP, MatmulNTP, AddMatmulTNScaledP) additionally
+// shard fixed row bands of the output across a shared parallel.Sem worker
+// pool; the plain forms are the P forms with no pool.
 
 // Matmul computes dst = a · b. a is R×K, b is K×C, dst is R×C. dst may not
-// alias a or b. The inner loop runs over contiguous rows of b (axpy form),
-// so the row-major layout is traversed sequentially; zero coefficients are
-// skipped, which also makes the backward pass through ReLU layers cheap.
+// alias a or b. The inner loop runs over contiguous rows of b (axpy form)
+// and zero coefficients of a are skipped — the shape that keeps
+// one-hot-dominated inputs and ReLU backward passes cheap. This form runs
+// the rowwise kernels in both engine modes: each output row is computed
+// independently of the others, so a row's result is bitwise invariant to
+// the batch it arrives in — the property the serving path's
+// timing-dependent micro-batching relies on (see blocked.go).
 func Matmul(dst, a, b *Matrix) {
-	if a.Cols != b.Rows || dst.Rows != a.Rows || dst.Cols != b.Cols {
-		panic(fmt.Sprintf("mat: Matmul %dx%d · %dx%d -> %dx%d", a.Rows, a.Cols, b.Rows, b.Cols, dst.Rows, dst.Cols))
-	}
-	for i := 0; i < a.Rows; i++ {
-		arow := a.Row(i)
-		drow := dst.Row(i)
-		for j := range drow {
-			drow[j] = 0
-		}
-		for k, f := range arow {
-			if f == 0 {
-				continue
-			}
-			axpy(drow, b.Data[k*b.Cols:(k+1)*b.Cols], f)
-		}
-	}
+	MatmulP(dst, a, b, nil, nil)
 }
 
 // MatmulNT computes dst = a · bᵀ. a is R×K, b is C×K (transposed operand),
-// dst is R×C. Every dst element is a dot product of two contiguous
-// row-major rows, the cache-ideal layout for a forward pass Y = X·Wᵀ with
-// row-major weights W (Out×In): no transposed weight copy is needed.
+// dst is R×C. In the reference engine every dst element is a dot product of
+// two contiguous row-major rows — the layout of a forward pass Y = X·Wᵀ
+// with row-major weights W (Out×In), needing no transposed weight copy. The
+// blocked engine packs both operands instead, trading the copy for 4×4
+// register reuse.
 func MatmulNT(dst, a, b *Matrix) {
-	if a.Cols != b.Cols || dst.Rows != a.Rows || dst.Cols != b.Rows {
-		panic(fmt.Sprintf("mat: MatmulNT %dx%d · (%dx%d)ᵀ -> %dx%d", a.Rows, a.Cols, b.Rows, b.Cols, dst.Rows, dst.Cols))
-	}
-	for i := 0; i < a.Rows; i++ {
-		arow := a.Row(i)
-		drow := dst.Row(i)
-		for j := 0; j < b.Rows; j++ {
-			drow[j] = dot(arow, b.Data[j*b.Cols:(j+1)*b.Cols])
-		}
-	}
+	MatmulNTP(dst, a, b, nil, nil)
 }
 
 // AddMatmulTNScaled accumulates m += scale · aᵀ · b. a is H×R, b is H×C, m
 // is R×C. This is the weight-gradient kernel: with a = batch deltas and b =
 // batch inputs it accumulates the same sum of scaled outer products as H
-// AddOuterScaled calls, in the same order.
+// AddOuterScaled calls (in the same order, in the reference engine).
 func (m *Matrix) AddMatmulTNScaled(a, b *Matrix, scale float64) {
-	if a.Rows != b.Rows || m.Rows != a.Cols || m.Cols != b.Cols {
-		panic(fmt.Sprintf("mat: AddMatmulTNScaled (%dx%d)ᵀ · %dx%d -> %dx%d", a.Rows, a.Cols, b.Rows, b.Cols, m.Rows, m.Cols))
+	m.AddMatmulTNScaledP(a, b, scale, nil, nil)
+}
+
+// Reference band kernels ----------------------------------------------------
+//
+// Each computes rows [lo, hi) of the output with the PR 1 scalar loops.
+// Per output row the arithmetic is identical to the full-range loop, so a
+// banded run — sequential or sharded — is bitwise identical to the
+// original single-loop kernels.
+
+// matmulRefBand: dst rows [lo, hi) of dst = a·b, axpy form with zero
+// skipping on a's coefficients. Consecutive nonzero coefficients are
+// consumed in pairs through the fused axpy2 kernel — bitwise identical to
+// one axpy per coefficient, with half the dst traffic.
+func matmulRefBand(dst, a, b *Matrix, lo, hi int) {
+	bc := b.Cols
+	for i := lo; i < hi; i++ {
+		arow := a.Row(i)
+		drow := dst.Row(i)
+		for j := range drow {
+			drow[j] = 0
+		}
+		k := 0
+		for k < len(arow) {
+			f1 := arow[k]
+			if f1 == 0 {
+				k++
+				continue
+			}
+			k1 := k
+			for k++; k < len(arow) && arow[k] == 0; k++ {
+			}
+			if k == len(arow) {
+				axpy(drow, b.Data[k1*bc:(k1+1)*bc], f1)
+				break
+			}
+			axpy2(drow, b.Data[k1*bc:(k1+1)*bc], b.Data[k*bc:(k+1)*bc], f1, arow[k])
+			k++
+		}
 	}
+}
+
+// matmulNTRefBand: dst rows [lo, hi) of dst = a·bᵀ, dot form. Output
+// columns are consumed in pairs through the fused dot2 kernel — bitwise
+// identical to one dot per column, loading the shared a row half as often.
+func matmulNTRefBand(dst, a, b *Matrix, lo, hi int) {
+	bc := b.Cols
+	for i := lo; i < hi; i++ {
+		arow := a.Row(i)
+		drow := dst.Row(i)
+		j := 0
+		for ; j+1 < b.Rows; j += 2 {
+			drow[j], drow[j+1] = dot2(arow, b.Data[j*bc:(j+1)*bc], b.Data[(j+1)*bc:(j+2)*bc])
+		}
+		if j < b.Rows {
+			drow[j] = dot(arow, b.Data[j*bc:(j+1)*bc])
+		}
+	}
+}
+
+// addMatmulTNScaledRefBand: m rows [lo, hi) of m += scale·aᵀ·b. The loop
+// is the reference kernel's with the (h, i) loops interchanged; per output
+// row i the contributions still arrive in ascending-h order, so the result
+// is bitwise identical to the reference kernel.
+func addMatmulTNScaledRefBand(m, a, b *Matrix, scale float64, lo, hi int) {
 	for h := 0; h < a.Rows; h++ {
 		arow := a.Row(h)
 		brow := b.Row(h)
-		for i, ai := range arow {
+		for i := lo; i < hi; i++ {
+			ai := arow[i]
 			if ai == 0 {
 				continue
 			}
@@ -73,7 +133,7 @@ func (m *Matrix) AddMatmulTNScaled(a, b *Matrix, scale float64) {
 // bias-gradient kernel. dst has length a.Cols.
 func AddColSumScaled(dst []float64, a *Matrix, scale float64) {
 	if len(dst) != a.Cols {
-		panic(fmt.Sprintf("mat: AddColSumScaled |dst|=%d for %dx%d", len(dst), a.Rows, a.Cols))
+		shapePanic("AddColSumScaled", "%s for %s", vec("dst", len(dst)), dims(a.Rows, a.Cols))
 	}
 	for h := 0; h < a.Rows; h++ {
 		row := a.Row(h)

@@ -43,38 +43,76 @@ func TestMatmulAgainstNaive(t *testing.T) {
 	}
 }
 
+// TestMatmulNTMatchesMulVec pins the two-tier numerical contract against
+// the per-sample GEMV path: bitwise identity in reference mode (the
+// kernels share one accumulation order), 1e-12 agreement in the default
+// blocked mode (the blocked engine reassociates each reduction).
 func TestMatmulNTMatchesMulVec(t *testing.T) {
-	rng := rand.New(rand.NewSource(2))
-	a := randMat(rng, 17, 61) // batch of 17 inputs
-	w := randMat(rng, 23, 61) // Out×In weights
-	dst := NewMatrix(17, 23)
-	MatmulNT(dst, a, w)
-	row := make([]float64, 23)
-	for h := 0; h < 17; h++ {
-		w.MulVec(row, a.Row(h))
-		for j, v := range row {
-			if dst.At(h, j) != v {
-				t.Fatalf("MatmulNT row %d col %d: %g != MulVec %g (must be bitwise identical)", h, j, dst.At(h, j), v)
+	for _, tc := range []struct {
+		name    string
+		mode    KernelMode
+		bitwise bool
+	}{
+		{"reference", KernelReference, true},
+		{"blocked", KernelBlocked, false},
+	} {
+		t.Run(tc.name, func(t *testing.T) {
+			prev := SetKernelMode(tc.mode)
+			defer SetKernelMode(prev)
+			rng := rand.New(rand.NewSource(2))
+			a := randMat(rng, 68, 161) // batch of 68 inputs (big enough to engage the blocked engine)
+			w := randMat(rng, 23, 161) // Out×In weights
+			dst := NewMatrix(68, 23)
+			MatmulNT(dst, a, w)
+			row := make([]float64, 23)
+			for h := 0; h < 68; h++ {
+				w.MulVec(row, a.Row(h))
+				for j, v := range row {
+					if tc.bitwise && dst.At(h, j) != v {
+						t.Fatalf("MatmulNT row %d col %d: %g != MulVec %g (must be bitwise identical in reference mode)", h, j, dst.At(h, j), v)
+					}
+					if d := math.Abs(dst.At(h, j) - v); d > 1e-12 {
+						t.Fatalf("MatmulNT row %d col %d: %g vs MulVec %g (|Δ|=%g)", h, j, dst.At(h, j), v, d)
+					}
+				}
 			}
-		}
+		})
 	}
 }
 
+// TestAddMatmulTNScaledMatchesOuterSum: same two-tier contract for the
+// weight-gradient kernel against per-sample outer products.
 func TestAddMatmulTNScaledMatchesOuterSum(t *testing.T) {
-	rng := rand.New(rand.NewSource(3))
-	delta := randMat(rng, 11, 9)
-	x := randMat(rng, 11, 14)
-	got := NewMatrix(9, 14)
-	got.Fill(0.5)
-	want := got.Clone()
-	got.AddMatmulTNScaled(delta, x, 0.25)
-	for h := 0; h < 11; h++ {
-		want.AddOuterScaled(delta.Row(h), x.Row(h), 0.25)
-	}
-	for i, v := range got.Data {
-		if v != want.Data[i] {
-			t.Fatalf("element %d: %g != %g (must be bitwise identical)", i, v, want.Data[i])
-		}
+	for _, tc := range []struct {
+		name    string
+		mode    KernelMode
+		bitwise bool
+	}{
+		{"reference", KernelReference, true},
+		{"blocked", KernelBlocked, false},
+	} {
+		t.Run(tc.name, func(t *testing.T) {
+			prev := SetKernelMode(tc.mode)
+			defer SetKernelMode(prev)
+			rng := rand.New(rand.NewSource(3))
+			delta := randMat(rng, 41, 29)
+			x := randMat(rng, 41, 34)
+			got := NewMatrix(29, 34)
+			got.Fill(0.5)
+			want := got.Clone()
+			got.AddMatmulTNScaled(delta, x, 0.25)
+			for h := 0; h < 41; h++ {
+				want.AddOuterScaled(delta.Row(h), x.Row(h), 0.25)
+			}
+			for i, v := range got.Data {
+				if tc.bitwise && v != want.Data[i] {
+					t.Fatalf("element %d: %g != %g (must be bitwise identical in reference mode)", i, v, want.Data[i])
+				}
+				if d := math.Abs(v - want.Data[i]); d > 1e-12 {
+					t.Fatalf("element %d: %g vs %g (|Δ|=%g)", i, v, want.Data[i], d)
+				}
+			}
+		})
 	}
 }
 

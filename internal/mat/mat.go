@@ -10,7 +10,6 @@
 package mat
 
 import (
-	"fmt"
 	"math"
 	"math/rand"
 )
@@ -24,7 +23,7 @@ type Matrix struct {
 // NewMatrix returns a zeroed rows×cols matrix.
 func NewMatrix(rows, cols int) *Matrix {
 	if rows < 0 || cols < 0 {
-		panic(fmt.Sprintf("mat: negative dimensions %dx%d", rows, cols))
+		shapePanic("NewMatrix", "negative dimensions %s", dims(rows, cols))
 	}
 	return &Matrix{Rows: rows, Cols: cols, Data: make([]float64, rows*cols)}
 }
@@ -36,7 +35,7 @@ func NewMatrix(rows, cols int) *Matrix {
 // instead of reallocating whenever the batch size changes.
 func (m *Matrix) Reshape(rows, cols int) {
 	if rows < 0 || cols < 0 {
-		panic(fmt.Sprintf("mat: negative dimensions %dx%d", rows, cols))
+		shapePanic("Reshape", "negative dimensions %s", dims(rows, cols))
 	}
 	if cap(m.Data) < rows*cols {
 		m.Data = make([]float64, rows*cols)
@@ -47,7 +46,7 @@ func (m *Matrix) Reshape(rows, cols int) {
 // FromSlice wraps data (row-major) as a rows×cols matrix without copying.
 func FromSlice(rows, cols int, data []float64) *Matrix {
 	if len(data) != rows*cols {
-		panic(fmt.Sprintf("mat: FromSlice got %d values for %dx%d", len(data), rows, cols))
+		shapePanic("FromSlice", "got %d values for %s", len(data), dims(rows, cols))
 	}
 	return &Matrix{Rows: rows, Cols: cols, Data: data}
 }
@@ -71,7 +70,7 @@ func (m *Matrix) Clone() *Matrix {
 // CopyFrom copies src into m. Dimensions must match.
 func (m *Matrix) CopyFrom(src *Matrix) {
 	if m.Rows != src.Rows || m.Cols != src.Cols {
-		panic(fmt.Sprintf("mat: CopyFrom dimension mismatch %dx%d vs %dx%d", m.Rows, m.Cols, src.Rows, src.Cols))
+		shapePanic("CopyFrom", "%s vs %s", dims(m.Rows, m.Cols), dims(src.Rows, src.Cols))
 	}
 	copy(m.Data, src.Data)
 }
@@ -108,7 +107,7 @@ func (m *Matrix) XavierInit(rng *rand.Rand, fanIn, fanOut int) {
 // length m.Cols. dst may not alias x.
 func (m *Matrix) MulVec(dst, x []float64) {
 	if len(x) != m.Cols || len(dst) != m.Rows {
-		panic(fmt.Sprintf("mat: MulVec %dx%d with |x|=%d |dst|=%d", m.Rows, m.Cols, len(x), len(dst)))
+		shapePanic("MulVec", "%s with %s %s", dims(m.Rows, m.Cols), vec("x", len(x)), vec("dst", len(dst)))
 	}
 	for i := 0; i < m.Rows; i++ {
 		dst[i] = dot(m.Data[i*m.Cols:(i+1)*m.Cols], x)
@@ -135,6 +134,58 @@ func dot(a, b []float64) float64 {
 	return (s0 + s1) + (s2 + s3)
 }
 
+// dot2 computes the inner products of a with b1 and with b2 in one pass,
+// each with exactly dot's 4-lane accumulation order — bitwise identical
+// to two dot calls — while loading a once instead of twice.
+func dot2(a, b1, b2 []float64) (float64, float64) {
+	var s0, s1, s2, s3 float64
+	var t0, t1, t2, t3 float64
+	n := len(a) &^ 3
+	b1 = b1[:len(a)]
+	b2 = b2[:len(a)]
+	for t := 0; t < n; t += 4 {
+		a0, a1, a2, a3 := a[t], a[t+1], a[t+2], a[t+3]
+		s0 += a0 * b1[t]
+		s1 += a1 * b1[t+1]
+		s2 += a2 * b1[t+2]
+		s3 += a3 * b1[t+3]
+		t0 += a0 * b2[t]
+		t1 += a1 * b2[t+1]
+		t2 += a2 * b2[t+2]
+		t3 += a3 * b2[t+3]
+	}
+	for t := n; t < len(a); t++ {
+		s0 += a[t] * b1[t]
+		t0 += a[t] * b2[t]
+	}
+	return (s0 + s1) + (s2 + s3), (t0 + t1) + (t2 + t3)
+}
+
+// axpy2 performs dst += f1·s1 followed by dst += f2·s2 in one pass. The
+// two updates stay separate adds per element (the intermediate simply is
+// not stored), so the result is bitwise identical to two consecutive axpy
+// calls — but dst is loaded and stored once instead of twice, which
+// matters because the rowwise GEMM form is store-bound.
+func axpy2(dst, s1, s2 []float64, f1, f2 float64) {
+	n := len(dst) &^ 3
+	s1 = s1[:len(dst)]
+	s2 = s2[:len(dst)]
+	for t := 0; t < n; t += 4 {
+		v0 := dst[t] + f1*s1[t]
+		v1 := dst[t+1] + f1*s1[t+1]
+		v2 := dst[t+2] + f1*s1[t+2]
+		v3 := dst[t+3] + f1*s1[t+3]
+		dst[t] = v0 + f2*s2[t]
+		dst[t+1] = v1 + f2*s2[t+1]
+		dst[t+2] = v2 + f2*s2[t+2]
+		dst[t+3] = v3 + f2*s2[t+3]
+	}
+	for t := n; t < len(dst); t++ {
+		v := dst[t] + f1*s1[t]
+		dst[t] = v + f2*s2[t]
+	}
+}
+
 // axpy is the unrolled dst += f·src kernel shared by the GEMV and GEMM
 // routines. Unrolling amortizes bounds checks and loop overhead; since every
 // element is independent, results are bitwise identical to the naive loop.
@@ -156,7 +207,7 @@ func axpy(dst, src []float64, f float64) {
 // m.Rows. Used for backpropagating deltas through a weight matrix.
 func (m *Matrix) MulVecT(dst, x []float64) {
 	if len(x) != m.Rows || len(dst) != m.Cols {
-		panic(fmt.Sprintf("mat: MulVecT %dx%d with |x|=%d |dst|=%d", m.Rows, m.Cols, len(x), len(dst)))
+		shapePanic("MulVecT", "%s with %s %s", dimsT(m.Rows, m.Cols), vec("x", len(x)), vec("dst", len(dst)))
 	}
 	for j := range dst {
 		dst[j] = 0
@@ -174,7 +225,7 @@ func (m *Matrix) MulVecT(dst, x []float64) {
 // and b length m.Cols. Used for weight-gradient accumulation.
 func (m *Matrix) AddOuterScaled(a, b []float64, scale float64) {
 	if len(a) != m.Rows || len(b) != m.Cols {
-		panic(fmt.Sprintf("mat: AddOuterScaled %dx%d with |a|=%d |b|=%d", m.Rows, m.Cols, len(a), len(b)))
+		shapePanic("AddOuterScaled", "%s with %s %s", dims(m.Rows, m.Cols), vec("a", len(a)), vec("b", len(b)))
 	}
 	for i, ai := range a {
 		if ai == 0 {
@@ -187,7 +238,7 @@ func (m *Matrix) AddOuterScaled(a, b []float64, scale float64) {
 // Axpy computes m += scale · other element-wise.
 func (m *Matrix) Axpy(other *Matrix, scale float64) {
 	if m.Rows != other.Rows || m.Cols != other.Cols {
-		panic("mat: Axpy dimension mismatch")
+		shapePanic("Axpy", "%s vs %s", dims(m.Rows, m.Cols), dims(other.Rows, other.Cols))
 	}
 	for i, v := range other.Data {
 		m.Data[i] += scale * v
@@ -217,7 +268,7 @@ func (m *Matrix) MaxAbs() float64 {
 // Dot returns the inner product of a and b.
 func Dot(a, b []float64) float64 {
 	if len(a) != len(b) {
-		panic(fmt.Sprintf("mat: Dot length mismatch %d vs %d", len(a), len(b)))
+		shapePanic("Dot", "%s vs %s", vec("a", len(a)), vec("b", len(b)))
 	}
 	return dot(a, b)
 }
@@ -225,7 +276,7 @@ func Dot(a, b []float64) float64 {
 // AxpyVec computes dst += scale · src element-wise.
 func AxpyVec(dst, src []float64, scale float64) {
 	if len(dst) != len(src) {
-		panic(fmt.Sprintf("mat: AxpyVec length mismatch %d vs %d", len(dst), len(src)))
+		shapePanic("AxpyVec", "%s vs %s", vec("dst", len(dst)), vec("src", len(src)))
 	}
 	axpy(dst, src, scale)
 }
@@ -295,7 +346,7 @@ func Norm2(v []float64) float64 {
 // SqDist returns the squared Euclidean distance between a and b.
 func SqDist(a, b []float64) float64 {
 	if len(a) != len(b) {
-		panic(fmt.Sprintf("mat: SqDist length mismatch %d vs %d", len(a), len(b)))
+		shapePanic("SqDist", "%s vs %s", vec("a", len(a)), vec("b", len(b)))
 	}
 	var s float64
 	for i, v := range a {
@@ -319,7 +370,7 @@ func Clip(v []float64, lo, hi float64) {
 // Softmax writes the softmax of src into dst (numerically stable).
 func Softmax(dst, src []float64) {
 	if len(dst) != len(src) {
-		panic("mat: Softmax length mismatch")
+		shapePanic("Softmax", "%s vs %s", vec("dst", len(dst)), vec("src", len(src)))
 	}
 	if len(src) == 0 {
 		return

@@ -1,0 +1,23 @@
+package mat
+
+import "fmt"
+
+// Shape-mismatch panics. Every dimension panic in this package goes
+// through shapePanic so the messages are uniform: they start with
+// "mat: <op>:" (naming the kernel the caller misused), and shapes are
+// always rendered R×C as "%dx%d" — transposed operands as "(RxC)ᵀ" —
+// rather than each call site inventing its own format.
+
+// dims renders an R×C shape.
+func dims(r, c int) string { return fmt.Sprintf("%dx%d", r, c) }
+
+// dimsT renders the shape of a transposed operand.
+func dimsT(r, c int) string { return "(" + dims(r, c) + ")ᵀ" }
+
+// vec renders a vector-length operand.
+func vec(name string, n int) string { return fmt.Sprintf("|%s|=%d", name, n) }
+
+// shapePanic raises the uniform dimension-mismatch panic for op.
+func shapePanic(op, format string, args ...any) {
+	panic(fmt.Sprintf("mat: %s: %s", op, fmt.Sprintf(format, args...)))
+}

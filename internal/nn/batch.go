@@ -9,21 +9,28 @@ import (
 // Minibatch passes. A batch of H samples is a row-major H×dim matrix; one
 // ForwardBatch/BackwardBatch pair replaces H per-sample Forward/Backward
 // calls with three GEMMs per layer (Y = X·Wᵀ, GradW += Δᵀ·X, dX = Δ·W).
-// The GEMM kernels accumulate in the same order as the per-sample GEMV
-// kernels, so batched and per-sample passes agree bitwise.
+// The GEMMs run on mat's blocked multi-core engine by default — sparse
+// one-hot-dominated batches hit its zero-skipping fast paths, and a pool
+// installed via Network.SetPool shards the row bands across workers
+// (bitwise invariant to worker count). In mat.KernelReference mode the
+// kernels accumulate in the same order as the per-sample GEMV kernels, so
+// batched and per-sample passes agree bitwise; in the default blocked
+// mode they agree to ~1e-12 (see internal/mat/gemm.go).
 //
 // All intermediates live in per-layer workspaces that are allocated on
 // first use and reused while the batch size stays constant (the training
 // loops use a fixed H), so steady-state batched training does not allocate.
 
 // ensureBatch sizes the layer's minibatch workspace for h rows. The
-// backing arrays grow monotonically (mat.Reshape), so a serving path whose
-// micro-batch size fluctuates request-to-request (see internal/serve)
-// reuses one high-water-mark allocation instead of reallocating every time
-// the batch size changes.
+// backing arrays — including the blocked GEMM engine's packed-tile
+// workspace — grow monotonically (mat.Reshape / mat.Workspace), so a
+// serving path whose micro-batch size fluctuates request-to-request (see
+// internal/serve) reuses one high-water-mark allocation instead of
+// reallocating every time the batch size changes.
 func (d *Dense) ensureBatch(h int) {
 	if d.bIn == nil {
 		d.bIn, d.bOut, d.bDelta, d.bDIn = &mat.Matrix{}, &mat.Matrix{}, &mat.Matrix{}, &mat.Matrix{}
+		d.ws = &mat.Workspace{}
 	}
 	d.bIn.Reshape(h, d.In)
 	d.bOut.Reshape(h, d.Out)
@@ -40,7 +47,7 @@ func (d *Dense) ForwardBatch(x *mat.Matrix) *mat.Matrix {
 	}
 	d.ensureBatch(x.Rows)
 	d.bIn.CopyFrom(x)
-	mat.MatmulNT(d.bOut, x, d.W)
+	d.pool.add(mat.MatmulNTP(d.bOut, x, d.W, d.ws, d.pool.sem()))
 	for r := 0; r < d.bOut.Rows; r++ {
 		row := d.bOut.Row(r)
 		for i := range row {
@@ -55,6 +62,14 @@ func (d *Dense) ForwardBatch(x *mat.Matrix) *mat.Matrix {
 // input gradient is wanted), and returns dL/d(input). The returned matrix
 // is owned by the layer and valid until the next BackwardBatch call.
 func (d *Dense) BackwardBatch(dOut *mat.Matrix, scale float64) *mat.Matrix {
+	return d.backwardBatch(dOut, scale, true)
+}
+
+// backwardBatch is BackwardBatch with the input-gradient GEMM optional:
+// the first layer of a pure weight-update pass never needs dL/d(input)
+// (nothing sits below the network input), and that dX = Δ·W product is a
+// dense GEMM as large as the layer's forward pass.
+func (d *Dense) backwardBatch(dOut *mat.Matrix, scale float64, needDIn bool) *mat.Matrix {
 	if d.bOut == nil || dOut.Rows != d.bOut.Rows || dOut.Cols != d.Out {
 		panic(fmt.Sprintf("nn: BackwardBatch got %dx%d, want %dx%d matching the last ForwardBatch",
 			dOut.Rows, dOut.Cols, d.bOut.Rows, d.Out))
@@ -68,10 +83,13 @@ func (d *Dense) BackwardBatch(dOut *mat.Matrix, scale float64) *mat.Matrix {
 		}
 	}
 	if scale != 0 {
-		d.GradW.AddMatmulTNScaled(d.bDelta, d.bIn, scale)
+		d.pool.add(d.GradW.AddMatmulTNScaledP(d.bDelta, d.bIn, scale, d.ws, d.pool.sem()))
 		mat.AddColSumScaled(d.GradB, d.bDelta, scale)
 	}
-	mat.Matmul(d.bDIn, d.bDelta, d.W)
+	if !needDIn {
+		return nil
+	}
+	d.pool.add(mat.MatmulP(d.bDIn, d.bDelta, d.W, d.ws, d.pool.sem()))
 	return d.bDIn
 }
 
@@ -106,9 +124,12 @@ func (d *Dense) forwardBatchInfer(x *mat.Matrix) *mat.Matrix {
 	if d.iOut == nil {
 		d.iOut = &mat.Matrix{}
 	}
+	if d.ws == nil {
+		d.ws = &mat.Workspace{}
+	}
 	h := x.Rows
 	d.iOut.Reshape(h, d.Out)
-	mat.Matmul(d.iOut, x, d.wt)
+	d.pool.add(mat.MatmulP(d.iOut, x, d.wt, d.ws, d.pool.sem()))
 	for r := 0; r < h; r++ {
 		row := d.iOut.Row(r)
 		for i := range row {
@@ -149,4 +170,16 @@ func (n *Network) BackwardBatch(dOut *mat.Matrix, scale float64) *mat.Matrix {
 		g = n.Layers[i].BackwardBatch(g, scale)
 	}
 	return g
+}
+
+// BackwardBatchGrads is BackwardBatch for weight updates only: it skips
+// the first layer's input-gradient GEMM (dL/dx of the network input,
+// which no optimizer consumes — only probes like the actor update's ∇â Q
+// need it, and they keep using BackwardBatch). The accumulated gradients
+// are identical to BackwardBatch's.
+func (n *Network) BackwardBatchGrads(dOut *mat.Matrix, scale float64) {
+	g := dOut
+	for i := len(n.Layers) - 1; i >= 0; i-- {
+		g = n.Layers[i].backwardBatch(g, scale, i > 0)
+	}
 }

@@ -6,6 +6,7 @@ import (
 	"testing"
 
 	"repro/internal/mat"
+	"repro/internal/parallel"
 )
 
 // TestForwardBatchMatchesPerSample: a batched forward over H rows must agree
@@ -183,6 +184,152 @@ func TestForwardBatchVaryingSizes(t *testing.T) {
 		net.ForwardBatch(x)
 		if &net.Layers[0].bIn.Data[0] != &base[0] {
 			t.Fatalf("batch %d reallocated the workspace below the high-water mark", h)
+		}
+	}
+}
+
+// TestBatchKernelModeTiers pins the two-tier numerical contract of the
+// batched passes at a scale that engages the blocked GEMM engine: in
+// mat.KernelReference mode a batched forward/backward agrees *bitwise*
+// with per-sample passes (shared accumulation order); in the default
+// blocked mode it agrees to 1e-12 (the blocked engine reassociates each
+// reduction). One-hot-dominated inputs exercise the sparse fast paths.
+func TestBatchKernelModeTiers(t *testing.T) {
+	for _, tc := range []struct {
+		name    string
+		mode    mat.KernelMode
+		bitwise bool
+	}{
+		{"reference", mat.KernelReference, true},
+		{"blocked", mat.KernelBlocked, false},
+	} {
+		t.Run(tc.name, func(t *testing.T) {
+			prev := mat.SetKernelMode(tc.mode)
+			defer mat.SetKernelMode(prev)
+			rng := rand.New(rand.NewSource(23))
+			net := New([]int{122, 64, 32, 5}, Tanh, Identity, rng)
+			ref := net.Clone()
+			const H = 70
+			x := mat.NewMatrix(H, 122)
+			for r := 0; r < H; r++ {
+				row := x.Row(r)
+				for k := 0; k < 20; k++ {
+					row[rng.Intn(120)] = 1
+				}
+				row[120] = rng.Float64()
+				row[121] = rng.Float64()
+			}
+			dOut := mat.NewMatrix(H, 5)
+			dOut.Randomize(rng, 1)
+
+			ref.ZeroGrads()
+			refDIn := mat.NewMatrix(H, 122)
+			for h := 0; h < H; h++ {
+				ref.Forward(x.Row(h))
+				copy(refDIn.Row(h), ref.Backward(dOut.Row(h), 1.0/H))
+			}
+
+			net.ZeroGrads()
+			out := net.ForwardBatch(x)
+			dIn := net.BackwardBatch(dOut, 1.0/H)
+
+			check := func(what string, got, want float64) {
+				t.Helper()
+				if tc.bitwise && got != want {
+					t.Fatalf("%s: batch=%g per-sample=%g (must be bitwise identical in reference mode)", what, got, want)
+				}
+				if d := math.Abs(got - want); d > 1e-12 {
+					t.Fatalf("%s: batch=%g per-sample=%g (|Δ|=%g)", what, got, want, d)
+				}
+			}
+			for h := 0; h < H; h++ {
+				want := ref.ForwardCopy(x.Row(h))
+				for i, w := range want {
+					check("out", out.At(h, i), w)
+				}
+				for i := 0; i < 122; i++ {
+					check("dIn", dIn.At(h, i), refDIn.At(h, i))
+				}
+			}
+			for li := range net.Layers {
+				for i, g := range net.Layers[li].GradW.Data {
+					check("GradW", g, ref.Layers[li].GradW.Data[i])
+				}
+			}
+		})
+	}
+}
+
+// TestBackwardBatchGradsMatchesBackwardBatch: the grads-only backward must
+// accumulate exactly the gradients of the full backward — it only skips
+// the first layer's (unused) input-gradient GEMM.
+func TestBackwardBatchGradsMatchesBackwardBatch(t *testing.T) {
+	rng := rand.New(rand.NewSource(29))
+	net := New([]int{13, 16, 4}, Tanh, Identity, rng)
+	ref := net.Clone()
+	x := mat.NewMatrix(6, 13)
+	x.Randomize(rng, 1)
+	dOut := mat.NewMatrix(6, 4)
+	dOut.Randomize(rng, 1)
+
+	ref.ZeroGrads()
+	ref.ForwardBatch(x)
+	ref.BackwardBatch(dOut, 0.5)
+	net.ZeroGrads()
+	net.ForwardBatch(x)
+	net.BackwardBatchGrads(dOut, 0.5)
+
+	for li := range net.Layers {
+		for i, g := range net.Layers[li].GradW.Data {
+			if g != ref.Layers[li].GradW.Data[i] {
+				t.Fatalf("layer %d GradW[%d]: grads-only %g != full %g", li, i, g, ref.Layers[li].GradW.Data[i])
+			}
+		}
+		for i, g := range net.Layers[li].GradB {
+			if g != ref.Layers[li].GradB[i] {
+				t.Fatalf("layer %d GradB[%d]: grads-only %g != full %g", li, i, g, ref.Layers[li].GradB[i])
+			}
+		}
+	}
+}
+
+// TestPoolShardsBatchedPasses: with a pool installed and a batch big
+// enough to shard, results must be bitwise identical to the unpooled run
+// and the pool's shard counter must advance.
+func TestPoolShardsBatchedPasses(t *testing.T) {
+	rng := rand.New(rand.NewSource(31))
+	net := New([]int{242, 64, 32, 1}, Tanh, Identity, rng)
+	ref := net.Clone()
+	const H = 300
+	x := mat.NewMatrix(H, 242)
+	x.Randomize(rng, 1)
+	dOut := mat.NewMatrix(H, 1)
+	dOut.Randomize(rng, 1)
+
+	ref.ZeroGrads()
+	ref.ForwardBatch(x)
+	ref.BackwardBatch(dOut, 1.0/H)
+
+	pool := NewPool(parallel.NewSem(3))
+	net.SetPool(pool)
+	net.ZeroGrads()
+	out := net.ForwardBatch(x)
+	net.BackwardBatch(dOut, 1.0/H)
+
+	if pool.Shards.Load() == 0 {
+		t.Fatal("expected the pooled batched passes to dispatch GEMM shards")
+	}
+	refOut := ref.Layers[len(ref.Layers)-1].bOut
+	for i := range out.Data {
+		if out.Data[i] != refOut.Data[i] {
+			t.Fatalf("output %d: pooled %g != unpooled %g (sharding must be bitwise invariant)", i, out.Data[i], refOut.Data[i])
+		}
+	}
+	for li := range net.Layers {
+		for i, g := range net.Layers[li].GradW.Data {
+			if g != ref.Layers[li].GradW.Data[i] {
+				t.Fatalf("layer %d GradW[%d]: pooled %g != unpooled %g", li, i, g, ref.Layers[li].GradW.Data[i])
+			}
 		}
 	}
 }

@@ -107,6 +107,13 @@ type Dense struct {
 	// workspace. Never copied by Clone, never touched by training.
 	wt   *mat.Matrix
 	iOut *mat.Matrix
+
+	// ws holds the layer's grow-only packed-tile GEMM workspace (sized by
+	// ensureBatch, shared by every batched pass of this layer — all of
+	// which run on one goroutine). pool, when set via Network.SetPool,
+	// shards the batched GEMMs' row bands across a worker pool.
+	ws   *mat.Workspace
+	pool *Pool
 }
 
 // NewDense returns a dense layer with Xavier-initialized weights.

@@ -1,0 +1,47 @@
+package nn
+
+import (
+	"sync/atomic"
+
+	"repro/internal/parallel"
+)
+
+// Pool connects a network's batched passes to a shared worker pool: when
+// set (Network.SetPool), the per-layer GEMMs shard fixed row bands of
+// their outputs across the semaphore (mat.MatmulP and friends), which is
+// bitwise invariant to the pool's capacity. Shards counts the shard tasks
+// dispatched — the observability hook behind the serving daemon's
+// serve_gemm_shards_total metric — and may be read concurrently.
+//
+// A nil *Pool (the default) runs every GEMM on the calling goroutine.
+type Pool struct {
+	Sem    *parallel.Sem
+	Shards atomic.Uint64
+}
+
+// NewPool wraps a shared semaphore for use by networks.
+func NewPool(sem *parallel.Sem) *Pool { return &Pool{Sem: sem} }
+
+func (p *Pool) sem() *parallel.Sem {
+	if p == nil {
+		return nil
+	}
+	return p.Sem
+}
+
+func (p *Pool) add(shards int) {
+	if p == nil || shards == 0 {
+		return
+	}
+	p.Shards.Add(uint64(shards))
+}
+
+// SetPool installs the worker pool on every layer of the network (nil
+// restores single-goroutine execution). The pool only decides where GEMM
+// row bands execute, never what they compute, so training and inference
+// results are bitwise identical for every pool capacity.
+func (n *Network) SetPool(p *Pool) {
+	for _, l := range n.Layers {
+		l.pool = p
+	}
+}

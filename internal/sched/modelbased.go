@@ -1,11 +1,13 @@
 package sched
 
 import (
+	"context"
 	"fmt"
 	"math/rand"
 
 	"repro/internal/cluster"
 	"repro/internal/env"
+	"repro/internal/parallel"
 	"repro/internal/svr"
 	"repro/internal/topology"
 )
@@ -30,6 +32,14 @@ type ModelBased struct {
 	Samples int
 	// SearchIters bounds the local-search moves (default 3·N).
 	SearchIters int
+	// Sem/Workers, when set, fan Fit's sample rollouts out over the
+	// shared worker pool: the candidate schedules are drawn sequentially
+	// (the Rng stream is untouched by scheduling), then measured
+	// concurrently when the environment supports per-slot measurement
+	// (env.SlotMeasurer), with results assembled by index — so the fitted
+	// model is identical for every pool capacity.
+	Sem     *parallel.Sem
+	Workers int
 
 	model *svr.SVR
 }
@@ -191,16 +201,33 @@ func (mb *ModelBased) Fit(e env.Environment) error {
 		return fmt.Errorf("sched: model-based configured for %d×%d, env is %d×%d",
 			mb.Top.NumExecutors(), mb.Cl.Size(), n, m)
 	}
+	// Draw every candidate first (sequentially — the Rng stream must not
+	// depend on scheduling), then measure. When the environment supports
+	// per-slot measurement the expensive rollouts fan out over the pool,
+	// each drawing its jitter from its own slot stream, so y is
+	// index-assembled and worker-count-invariant; otherwise they run in
+	// index order on this goroutine.
 	work := e.Workload()
 	X := make([][]float64, 0, samples)
-	y := make([]float64, 0, samples)
+	y := make([]float64, samples)
+	assigns := make([][]int, samples)
 	for i := 0; i < samples; i++ {
 		assign := make([]int, n)
 		for j := range assign {
 			assign[j] = mb.Rng.Intn(m)
 		}
+		assigns[i] = assign
 		X = append(X, mb.features(assign, work))
-		y = append(y, e.AvgTupleTimeMS(assign))
+	}
+	if sm, ok := e.(env.SlotMeasurer); ok && sm.SlotsConcurrent() {
+		_ = parallel.ForEachSem(context.Background(), mb.Sem, samples, mb.Workers, func(_ context.Context, i int) error {
+			y[i] = sm.AvgTupleTimeMSSlot(int64(i), assigns[i])
+			return nil
+		})
+	} else {
+		for i, assign := range assigns {
+			y[i] = e.AvgTupleTimeMS(assign)
+		}
 	}
 	// Clip overload outliers at 10× the median latency so a handful of
 	// saturated random schedules cannot dominate the regression.

@@ -6,6 +6,7 @@ import (
 	"time"
 
 	"repro/internal/mat"
+	"repro/internal/nn"
 )
 
 // inferReq is one state→action request travelling from a session goroutine
@@ -51,6 +52,13 @@ type model struct {
 	// goroutine.
 	serving *netPair
 
+	// gemmPool shards this model's inference GEMM row bands across the
+	// server's shared pool; lastShards tracks the pool's counter so the
+	// batch loop (its only reader) can publish per-batch deltas to the
+	// serve_gemm_shards_total metric.
+	gemmPool   *nn.Pool
+	lastShards uint64
+
 	// batch-loop scratch
 	states *mat.Matrix
 	reqs   []*inferReq
@@ -59,12 +67,15 @@ type model struct {
 }
 
 func newModel(s *Server, key modelKey) *model {
-	return &model{
-		srv:   s,
-		key:   key,
-		pol:   NewPolicy(key.n, key.m, key.spouts, s.cfg.K, s.cfg.Seed+int64(key.n*1_000_003+key.m*1009+key.spouts)),
-		queue: make(chan *inferReq, s.cfg.QueueDepth),
+	m := &model{
+		srv:      s,
+		key:      key,
+		pol:      NewPolicy(key.n, key.m, key.spouts, s.cfg.K, s.cfg.Seed+int64(key.n*1_000_003+key.m*1009+key.spouts)),
+		queue:    make(chan *inferReq, s.cfg.QueueDepth),
+		gemmPool: nn.NewPool(s.gemmSem),
 	}
+	m.pol.SetPool(m.gemmPool)
+	return m
 }
 
 // start launches the batch loop (and builds the trainer) under the
@@ -191,6 +202,10 @@ func (m *model) serveBatch(reqs []*inferReq) {
 	m.pol.SelectBatchExplore(m.states, m.noises, m.outs)
 	for _, r := range reqs {
 		close(r.done)
+	}
+	if cur := m.gemmPool.Shards.Load(); cur != m.lastShards {
+		m.srv.mGemmShards.Add(int64(cur - m.lastShards))
+		m.lastShards = cur
 	}
 	m.srv.mBatches.Inc()
 	m.srv.mBatchedReqs.Add(int64(h))

@@ -10,6 +10,8 @@ import (
 
 	"repro/internal/core"
 	"repro/internal/mat"
+	"repro/internal/nn"
+	"repro/internal/parallel"
 )
 
 // benchStates builds H encoded states for an n×m×spouts policy.
@@ -173,4 +175,42 @@ func BenchmarkServeBatched64Sessions(b *testing.B) {
 
 func BenchmarkServeUnbatched64Sessions(b *testing.B) {
 	benchServer(b, Config{MaxBatch: 1, Seed: 1})
+}
+
+// BenchmarkInferenceBatched64Workers shards the 64-request micro-batch's
+// GEMMs across a worker pool (the H·K = 512 candidate-row critic pass
+// splits into 64-row bands). Decisions are bitwise identical across pool
+// sizes; on a single-core host the >1 variants measure sharding overhead.
+func BenchmarkInferenceBatched64Workers(b *testing.B) {
+	for _, w := range []int{1, 2, 4} {
+		b.Run(fmt.Sprintf("workers=%d", w), func(b *testing.B) {
+			p := newBenchPolicy()
+			if w > 1 {
+				p.SetPool(nn.NewPool(parallel.NewSem(w - 1)))
+			}
+			states := benchStates(p, benchSessions, 9)
+			out := make([][]int, benchSessions)
+			for i := range out {
+				out[i] = make([]int, p.Space.N)
+			}
+			p.SelectBatch(states, out)
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				p.SelectBatch(states, out)
+			}
+			b.ReportMetric(float64(b.N*benchSessions)/b.Elapsed().Seconds(), "decisions/s")
+		})
+	}
+}
+
+// BenchmarkServeGemmWorkers is the end-to-end variant: 64 concurrent
+// learning-free sessions against a daemon whose micro-batch GEMMs shard
+// across -gemm-workers.
+func BenchmarkServeGemmWorkers(b *testing.B) {
+	for _, w := range []int{1, 2, 4} {
+		b.Run(fmt.Sprintf("workers=%d", w), func(b *testing.B) {
+			benchServer(b, Config{MaxBatch: 64, Seed: 1, GemmWorkers: w})
+		})
+	}
 }

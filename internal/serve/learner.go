@@ -64,6 +64,12 @@ type modelLearner struct {
 	// a shared gauge would flap between models' totals).
 	mReplay *Gauge
 
+	// pool shards the trainer's batched GEMM row bands across the
+	// server's shared pool; lastShards tracks the counter so train rounds
+	// (serialized by mu) can publish deltas to serve_gemm_shards_total.
+	pool       *nn.Pool
+	lastShards uint64
+
 	snapActor, snapCritic nn.Snapshot
 }
 
@@ -89,7 +95,9 @@ func newModelLearner(m *model, cfg Config) (*modelLearner, error) {
 		batchSize: acCfg.BatchSize,
 		rng:       rand.New(rand.NewSource(seed + 1)),
 		mReplay:   m.srv.reg.Gauge(fmt.Sprintf("serve_replay_transitions_%dx%d_%d", m.key.n, m.key.m, m.key.spouts)),
+		pool:      nn.NewPool(m.srv.gemmSem),
 	}
+	ac.SetPool(l.pool)
 	const ringSize = 3
 	for i := 0; i < ringSize; i++ {
 		l.free = append(l.free, &netPair{actor: m.pol.Actor.Clone(), critic: m.pol.Critic.Clone()})
@@ -138,6 +146,10 @@ func (l *modelLearner) trainRound(updates int) int {
 		return 0
 	}
 	l.updates += done
+	if cur := l.pool.Shards.Load(); cur != l.lastShards {
+		srv.mGemmShards.Add(int64(cur - l.lastShards))
+		l.lastShards = cur
+	}
 	srv.mTrainUpdates.Add(int64(done))
 	l.mReplay.Set(int64(l.replay.Len()))
 	l.publishLocked()

@@ -26,6 +26,11 @@ type Policy struct {
 	Critic *nn.Network
 	K      int
 
+	// pool, when set (SetPool), shards the batched GEMMs' row bands
+	// across a shared worker pool; reapplied to networks installed later
+	// through SetNetworks.
+	pool *nn.Pool
+
 	// scratch, grown to the high-water batch size and reused
 	saCand    *mat.Matrix // (H·K)×(sdim+adim) candidate-scoring rows
 	saView    mat.Matrix  // rows-trimmed view of saCand
@@ -69,7 +74,20 @@ func (p *Policy) SetNetworks(actor, critic *nn.Network) error {
 			critic.InDim(), critic.OutDim(), p.Codec.Dim()+p.Space.Dim())
 	}
 	p.Actor, p.Critic = actor, critic
+	actor.SetPool(p.pool)
+	critic.SetPool(p.pool)
 	return nil
+}
+
+// SetPool installs a GEMM worker pool on the policy's networks — and on
+// every network installed later via SetNetworks (weight swaps replace the
+// network objects, so the pool must follow them). Nil restores
+// single-goroutine execution on the current networks too. Sharding is
+// bitwise invariant; the pool only affects latency.
+func (p *Policy) SetPool(pool *nn.Pool) {
+	p.pool = pool
+	p.Actor.SetPool(pool)
+	p.Critic.SetPool(pool)
 }
 
 // StateDim returns the encoded state length.

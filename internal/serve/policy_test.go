@@ -6,6 +6,8 @@ import (
 	"testing"
 
 	"repro/internal/mat"
+	"repro/internal/nn"
+	"repro/internal/parallel"
 )
 
 // TestSelectBatchMatchesPerRequest pins the correctness of the serving
@@ -84,5 +86,38 @@ func TestSelectBatchSteadyStateAllocs(t *testing.T) {
 	})
 	if allocs > 0 {
 		t.Fatalf("SelectBatch allocates %.1f per call at steady state", allocs)
+	}
+}
+
+// TestSelectBatchShardingInvariant: the micro-batcher's decisions must be
+// identical whether or not the policy's GEMMs shard across a pool, and
+// the pool's shard counter (the source of serve_gemm_shards_total) must
+// engage for a 64-request batch whose H·K candidate pass crosses the
+// sharding threshold.
+func TestSelectBatchShardingInvariant(t *testing.T) {
+	ref := NewPolicy(24, 8, 3, 8, 77)
+	sharded := NewPolicy(24, 8, 3, 8, 77)
+	pool := nn.NewPool(parallel.NewSem(3))
+	sharded.SetPool(pool)
+
+	states := benchStates(ref, 64, 5)
+	want := make([][]int, 64)
+	got := make([][]int, 64)
+	for i := range want {
+		want[i] = make([]int, ref.Space.N)
+		got[i] = make([]int, ref.Space.N)
+	}
+	ref.SelectBatch(states, want)
+	sharded.SelectBatch(benchStates(sharded, 64, 5), got)
+
+	for i := range want {
+		for j := range want[i] {
+			if want[i][j] != got[i][j] {
+				t.Fatalf("request %d executor %d: sharded %d != unsharded %d", i, j, got[i][j], want[i][j])
+			}
+		}
+	}
+	if pool.Shards.Load() == 0 {
+		t.Fatal("expected the 64-request batch to dispatch GEMM shards")
 	}
 }

@@ -111,6 +111,13 @@ type Config struct {
 	// (cmd/train checkpoint format, atomic rename).
 	CheckpointDir   string
 	CheckpointEvery time.Duration
+
+	// GemmWorkers bounds the worker pool that large inference and
+	// training GEMMs shard their row bands across (the 64-row micro-batch
+	// is shardable where per-request GEMVs are not). 0 takes the pool
+	// default (one worker per CPU); 1 forces single-goroutine GEMMs.
+	// Sharding is bitwise invariant, so this knob trades only latency.
+	GemmWorkers int
 }
 
 // DefaultConfig returns production defaults.
@@ -219,6 +226,10 @@ type Server struct {
 	// training never oversubscribes the cores the inference batch loops
 	// run on.
 	trainSem *parallel.Sem
+	// gemmSem is the pool that large per-model GEMMs (inference
+	// micro-batches, training passes) shard their row bands across; see
+	// Config.GemmWorkers.
+	gemmSem *parallel.Sem
 
 	mu     sync.Mutex
 	models map[modelKey]*model
@@ -249,6 +260,7 @@ type Server struct {
 	mSwaps        *Counter
 	mCheckpoints  *Counter
 	mTrainLatency *Histogram
+	mGemmShards   *Counter
 
 	// testGate, when non-nil, is received from before each micro-batch is
 	// gathered — test-only hook to hold the batcher and force queue
@@ -260,11 +272,16 @@ type Server struct {
 func New(cfg Config) *Server {
 	cfg = cfg.withDefaults()
 	reg := NewRegistry()
+	gemmWorkers := cfg.GemmWorkers
+	if gemmWorkers <= 0 {
+		gemmWorkers = runtime.GOMAXPROCS(0)
+	}
 	s := &Server{
 		cfg:           cfg,
 		reg:           reg,
 		started:       time.Now(),
 		trainSem:      parallel.NewSem(runtime.GOMAXPROCS(0) - 1),
+		gemmSem:       parallel.NewSem(gemmWorkers - 1),
 		models:        map[modelKey]*model{},
 		mSessions:     reg.Gauge("serve_sessions"),
 		mSessionsPeak: reg.Gauge("serve_sessions_peak"),
@@ -287,6 +304,7 @@ func New(cfg Config) *Server {
 		mSwaps:        reg.Counter("serve_weight_swaps_total"),
 		mCheckpoints:  reg.Counter("serve_checkpoints_total"),
 		mTrainLatency: reg.Histogram("serve_train_round_latency"),
+		mGemmShards:   reg.Counter("serve_gemm_shards_total"),
 	}
 	s.sessions = newSessionTable(cfg.SessionTTL, cfg.MaxTrackedSessions, cfg.Seed, nil)
 	s.sessions.onEvict = func(st *sessionState) {
