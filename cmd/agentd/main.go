@@ -26,6 +26,14 @@
 // Disconnected schedulers resume their sessions by presenting the token
 // from their first hello reply; detached session state is kept for
 // -session-ttl.
+//
+// With -data-dir the daemon is crash-safe: session state, distilled
+// transitions and learned weights are journaled to a CRC-framed WAL and
+// compacted into atomic snapshots, and a restarted daemon — even after
+// SIGKILL — recovers them on boot, so old resumption tokens keep working
+// and learning continues from the last snapshot:
+//
+//	agentd -learn -data-dir /var/lib/agentd -fsync-interval 100ms -snapshot-every 1m
 package main
 
 import (
@@ -69,6 +77,10 @@ func main() {
 		ckptDir    = flag.String("checkpoint-dir", "", "directory for periodic weight checkpoints (with -learn)")
 		ckptEvery  = flag.Duration("checkpoint-every", time.Minute, "checkpoint cadence (with -learn and -checkpoint-dir)")
 		sessTTL    = flag.Duration("session-ttl", 10*time.Minute, "how long detached sessions stay resumable")
+
+		dataDir   = flag.String("data-dir", "", "durability directory: journal sessions/transitions to a CRC-framed WAL, compact into atomic snapshots, and recover everything on restart (empty disables)")
+		fsyncInt  = flag.Duration("fsync-interval", 100*time.Millisecond, "WAL flush+fsync cadence — bounds acknowledged state a crash can lose (negative = fsync every record; with -data-dir)")
+		snapEvery = flag.Duration("snapshot-every", time.Minute, "WAL compaction cadence; a final snapshot is always written on drain (with -data-dir)")
 	)
 	flag.Parse()
 
@@ -88,9 +100,15 @@ func main() {
 		CheckpointDir:   *ckptDir,
 		CheckpointEvery: *ckptEvery,
 		GemmWorkers:     *gemmW,
+		DataDir:         *dataDir,
+		FsyncInterval:   *fsyncInt,
+		SnapshotEvery:   *snapEvery,
 	})
 	if *learn {
 		log.Printf("agentd: online learning enabled (train every %v, batch %d, %d updates/round)", *trainEvery, *trainBatch, *updates)
+	}
+	if *dataDir != "" {
+		log.Printf("agentd: durable mode: data dir %s (fsync every %v, snapshot every %v); sessions and learned weights survive restarts", *dataDir, *fsyncInt, *snapEvery)
 	}
 
 	if *actorF != "" || *criticF != "" {

@@ -1,0 +1,103 @@
+// Command benchgate compares a fresh `reprobench -bench-json` report
+// against the committed baseline (BENCH_PRn.json) and fails when a
+// watched benchmark's ns/op regressed beyond the allowed fraction — the
+// CI perf-regression gate. Allocation growth is reported as a warning
+// only: CI runners are noisy enough that an alloc delta is a review
+// prompt, not a merge blocker, while a >25% time regression on a
+// signature kernel is a real event even on shared hardware.
+//
+//	benchgate -baseline BENCH_PR4.json -current /tmp/bench.json
+//	benchgate -max-regress 0.25 -watch core/TrainStepAC,core/TrainStepDQN
+//
+// Benchmarks present in only one of the two reports are skipped with a
+// note (the gate must not brick CI when the suite gains or loses a
+// benchmark), but an empty watch intersection is an error — a gate that
+// silently compares nothing is worse than no gate.
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"repro/internal/benchkit"
+)
+
+func main() {
+	var (
+		baseline   = flag.String("baseline", "", "committed baseline report (reprobench -bench-json format)")
+		current    = flag.String("current", "", "freshly generated report to gate")
+		maxRegress = flag.Float64("max-regress", 0.25, "allowed fractional ns/op regression before failing (0.25 = +25%)")
+		watch      = flag.String("watch", "core/TrainStepAC,core/TrainStepDQN,nn/ForwardBatchInfer64",
+			"comma-separated benchmark names to gate on")
+	)
+	flag.Parse()
+	if *baseline == "" || *current == "" {
+		fmt.Fprintln(os.Stderr, "benchgate: -baseline and -current are required")
+		os.Exit(2)
+	}
+	base, err := load(*baseline)
+	if err != nil {
+		fail(err)
+	}
+	cur, err := load(*current)
+	if err != nil {
+		fail(err)
+	}
+
+	var failures, compared int
+	fmt.Printf("%-34s %14s %14s %8s\n", "benchmark", "baseline ns/op", "current ns/op", "delta")
+	for _, name := range strings.Split(*watch, ",") {
+		name = strings.TrimSpace(name)
+		if name == "" {
+			continue
+		}
+		b, bok := base[name]
+		c, cok := cur[name]
+		if !bok || !cok {
+			fmt.Printf("%-34s skipped (present in baseline: %v, in current: %v)\n", name, bok, cok)
+			continue
+		}
+		compared++
+		delta := c.NsPerOp/b.NsPerOp - 1
+		verdict := "ok"
+		if delta > *maxRegress {
+			verdict = "FAIL"
+			failures++
+		}
+		fmt.Printf("%-34s %14.0f %14.0f %+7.1f%%  %s\n", name, b.NsPerOp, c.NsPerOp, 100*delta, verdict)
+		if c.AllocsPerOp > b.AllocsPerOp {
+			fmt.Printf("%-34s warning: allocs/op grew %d -> %d (not gating)\n", name, b.AllocsPerOp, c.AllocsPerOp)
+		}
+	}
+	if compared == 0 {
+		fail(fmt.Errorf("no watched benchmark exists in both reports; the gate compared nothing"))
+	}
+	if failures > 0 {
+		fail(fmt.Errorf("%d benchmark(s) regressed more than %.0f%% in ns/op", failures, 100**maxRegress))
+	}
+	fmt.Printf("benchgate: %d benchmark(s) within %.0f%% of baseline\n", compared, 100**maxRegress)
+}
+
+func load(path string) (map[string]benchkit.Result, error) {
+	blob, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	var rep benchkit.Report
+	if err := json.Unmarshal(blob, &rep); err != nil {
+		return nil, fmt.Errorf("%s: %w", path, err)
+	}
+	out := make(map[string]benchkit.Result, len(rep.Results))
+	for _, r := range rep.Results {
+		out[r.Name] = r
+	}
+	return out, nil
+}
+
+func fail(err error) {
+	fmt.Fprintln(os.Stderr, "benchgate:", err)
+	os.Exit(1)
+}

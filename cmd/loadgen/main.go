@@ -40,6 +40,15 @@ type options struct {
 	think     time.Duration
 	seed      int64
 	dropEvery int
+	// tokenPrefix, when set, gives session i the client-chosen resumption
+	// token "<prefix>-<i>" instead of a daemon-issued one, so a later
+	// loadgen run with the same prefix reclaims the same daemon-side
+	// sessions — the restart-recovery smoke drives a durable daemon
+	// through SIGKILL with it.
+	tokenPrefix string
+	// expectResumed makes a run fail unless every session resumed
+	// daemon-side state on connect (the post-restart assertion).
+	expectResumed bool
 }
 
 func main() {
@@ -53,12 +62,15 @@ func main() {
 		think     = flag.Duration("think", 0, "per-session pause between epochs (0 = closed loop)")
 		seed      = flag.Int64("seed", 1, "workload randomization seed")
 		dropEvery = flag.Int("drop-every", 0, "drop and resume each session every N epochs (0 = never)")
+		tokPrefix = flag.String("token-prefix", "", "present client-chosen resumption token <prefix>-<i> per session (restart-recovery testing; empty = daemon-issued tokens)")
+		expectRes = flag.Bool("expect-resumed", false, "fail unless every session resumed existing daemon-side state on connect")
 	)
 	flag.Parse()
 	os.Exit(run(options{
 		addr: *addr, sessions: *sessions, duration: *duration,
 		n: *n, m: *m, spouts: *spouts,
 		think: *think, seed: *seed, dropEvery: *dropEvery,
+		tokenPrefix: *tokPrefix, expectResumed: *expectRes,
 	}, os.Stdout))
 }
 
@@ -70,17 +82,27 @@ func run(opt options, out io.Writer) int {
 		Addr:  opt.addr,
 		Hello: serve.HelloMsg{Topology: "loadgen", N: opt.n, M: opt.m, Spouts: opt.spouts},
 	}, opt.sessions)
+	if opt.tokenPrefix != "" {
+		for i := 0; i < opt.sessions; i++ {
+			pool.Session(i).SetToken(fmt.Sprintf("%s-%d", opt.tokenPrefix, i))
+		}
+	}
 
 	var (
-		lat      serve.Histogram
-		epochs   atomic.Int64
-		drops    atomic.Int64
-		failures atomic.Int64
+		lat        serve.Histogram
+		epochs     atomic.Int64
+		drops      atomic.Int64
+		failures   atomic.Int64
+		notResumed atomic.Int64
 	)
 	ctx, cancel := context.WithTimeout(context.Background(), opt.duration)
 	defer cancel()
 	start := time.Now()
 	runErr := pool.Run(ctx, func(ctx context.Context, i int, sess *serve.Session) error {
+		if opt.expectResumed && !sess.Resumed() {
+			notResumed.Add(1)
+			return fmt.Errorf("session %d: daemon did not resume token %s (started a cold session)", i, sess.Token())
+		}
 		rng := rand.New(rand.NewSource(opt.seed + int64(i)))
 		base := 100 + 900*rng.Float64()
 		meas := core.MeasurementMsg{AvgTupleTimeMS: 50, Workload: make([]float64, opt.spouts)}
@@ -136,6 +158,10 @@ func run(opt options, out io.Writer) int {
 	fmt.Fprintf(out, "reconnects:  %d\n", stats.Reconnects.Load())
 	if opt.dropEvery > 0 {
 		fmt.Fprintf(out, "drops:       %d (sessions resumed: %d)\n", drops.Load(), stats.Resumes.Load())
+	}
+	if opt.expectResumed {
+		fmt.Fprintf(out, "resumed:     %d/%d sessions reclaimed pre-restart state\n",
+			int64(opt.sessions)-notResumed.Load(), opt.sessions)
 	}
 	fmt.Fprintf(out, "errors:      %d\n", stats.Errors.Load()+failures.Load())
 	if runErr != nil {

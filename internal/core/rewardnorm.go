@@ -28,6 +28,19 @@ type RewardNormalizer struct{ rn rewardNorm }
 // standardized value, clipped to ±5 standard deviations.
 func (r *RewardNormalizer) Normalize(v float64) float64 { return r.rn.normalize(v) }
 
+// State exposes the normalizer's running statistics for persistence: the
+// serving daemon journals each session's normalizer alongside the rest of
+// its resumable state, so a recovered session standardizes its reward
+// stream from exactly where it left off instead of re-warming from zero.
+func (r *RewardNormalizer) State() (mean, varEst float64, n int) {
+	return r.rn.mean, r.rn.varEst, r.rn.n
+}
+
+// SetState restores statistics previously captured with State.
+func (r *RewardNormalizer) SetState(mean, varEst float64, n int) {
+	r.rn.mean, r.rn.varEst, r.rn.n = mean, varEst, n
+}
+
 // normalize folds r into the running statistics and returns the
 // standardized value, clipped to ±5 standard deviations.
 func (rn *rewardNorm) normalize(r float64) float64 {

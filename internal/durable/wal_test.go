@@ -1,0 +1,133 @@
+package durable
+
+import (
+	"bytes"
+	"fmt"
+	"math"
+	"reflect"
+	"testing"
+)
+
+func testRecord(i int) *Record {
+	return &Record{
+		T:            RecEpoch,
+		Token:        fmt.Sprintf("tok-%d", i),
+		Key:          SessionKey{N: 6, M: 3, Spouts: 2},
+		Gen:          uint64(i + 1),
+		Epoch:        i,
+		Assign:       []int{0, 1, 2, 0, 1, 2},
+		LearnEpoch:   i,
+		RNGDraws:     uint64(3 * i),
+		NormMeanBits: math.Float64bits(-42.5 + float64(i)),
+		NormVarBits:  math.Float64bits(1.25),
+		NormN:        i,
+		Workload:     F64s{101.25, 87.5},
+		TransSeq:     uint64(i),
+		RewardBits:   math.Float64bits(-1.5),
+	}
+}
+
+func encodeAll(t *testing.T, recs ...*Record) []byte {
+	t.Helper()
+	var buf []byte
+	for _, r := range recs {
+		var err error
+		buf, err = appendRecord(buf, r)
+		if err != nil {
+			t.Fatal(err)
+		}
+	}
+	return buf
+}
+
+// TestWALRoundTrip: framed records decode back to deep-equal values,
+// including exact float bit patterns through the base64 F64s encoding.
+func TestWALRoundTrip(t *testing.T) {
+	recs := []*Record{testRecord(0), testRecord(1), testRecord(2)}
+	// Bit patterns that decimal formatting mangles or loses: -0, denormals,
+	// and values with no short decimal form.
+	recs[1].Workload = F64s{math.Copysign(0, -1), math.SmallestNonzeroFloat64, math.Pi, 1.0 / 3.0, math.MaxFloat64}
+	data := encodeAll(t, recs...)
+
+	got, validLen, truncated := scanWALBytes(data)
+	if truncated {
+		t.Fatal("clean log reported a truncated tail")
+	}
+	if validLen != int64(len(data)) {
+		t.Fatalf("validLen %d, want %d", validLen, len(data))
+	}
+	if len(got) != len(recs) {
+		t.Fatalf("decoded %d records, want %d", len(got), len(recs))
+	}
+	for i := range recs {
+		if !reflect.DeepEqual(got[i], recs[i]) {
+			t.Fatalf("record %d did not round trip:\n got %+v\nwant %+v", i, got[i], recs[i])
+		}
+	}
+	for i, v := range recs[1].Workload {
+		if math.Float64bits(got[1].Workload[i]) != math.Float64bits(v) {
+			t.Fatalf("float bit pattern %d did not survive: %x vs %x", i, math.Float64bits(got[1].Workload[i]), math.Float64bits(v))
+		}
+	}
+}
+
+// TestWALTornTail: a record cut mid-line (crash during append) is
+// discarded; everything before it survives and the truncation point sits
+// exactly at the last intact record's end.
+func TestWALTornTail(t *testing.T) {
+	full := encodeAll(t, testRecord(0), testRecord(1))
+	first := encodeAll(t, testRecord(0))
+	for cut := len(first) + 1; cut < len(full); cut++ {
+		got, validLen, truncated := scanWALBytes(full[:cut])
+		if !truncated {
+			t.Fatalf("cut at %d: torn tail not reported", cut)
+		}
+		if len(got) != 1 || validLen != int64(len(first)) {
+			t.Fatalf("cut at %d: got %d records, validLen %d; want 1 record, validLen %d", cut, len(got), validLen, len(first))
+		}
+	}
+}
+
+// TestWALCRCRejection: any single corrupted byte in a record's payload
+// stops the scan at that record — a partial overwrite can never replay as
+// valid state.
+func TestWALCRCRejection(t *testing.T) {
+	data := encodeAll(t, testRecord(0), testRecord(1), testRecord(2))
+	one := len(encodeAll(t, testRecord(0)))
+	for off := one + 9; off < 2*one-1; off += 7 { // corrupt bytes inside record 1's payload
+		mut := append([]byte(nil), data...)
+		if mut[off] == '\n' {
+			continue
+		}
+		mut[off] ^= 0x20
+		got, validLen, truncated := scanWALBytes(mut)
+		if !truncated {
+			t.Fatalf("corruption at byte %d was not detected", off)
+		}
+		if len(got) != 1 || validLen != int64(one) {
+			t.Fatalf("corruption at byte %d: got %d records, validLen %d; want 1, %d", off, len(got), validLen, one)
+		}
+	}
+}
+
+// TestWALTrailingGarbage: arbitrary junk appended after valid records
+// (a partially recycled block, an editor accident) truncates cleanly.
+func TestWALTrailingGarbage(t *testing.T) {
+	clean := encodeAll(t, testRecord(0), testRecord(1))
+	for _, junk := range [][]byte{
+		[]byte("garbage\n"),
+		[]byte("deadbeef not-json\n"),
+		[]byte("00000000 {\"t\":\"epoch\"}\n"), // wrong CRC for the payload
+		{0xff, 0x00, 0x17},
+		bytes.Repeat([]byte{'z'}, 4096),
+	} {
+		data := append(append([]byte(nil), clean...), junk...)
+		got, validLen, truncated := scanWALBytes(data)
+		if !truncated {
+			t.Fatalf("junk %q not detected", junk[:min(8, len(junk))])
+		}
+		if len(got) != 2 || validLen != int64(len(clean)) {
+			t.Fatalf("junk %q: got %d records, validLen %d; want 2, %d", junk[:min(8, len(junk))], len(got), validLen, len(clean))
+		}
+	}
+}

@@ -23,7 +23,7 @@ import (
 type ShardedReplay struct {
 	mu       sync.Mutex
 	shardCap int
-	shards   map[string]*ReplayBuffer
+	shards   map[string]*replayShard
 	keys     []string // sorted shard keys; the deterministic walk order
 	count    int      // total stored transitions
 
@@ -34,44 +34,98 @@ type ShardedReplay struct {
 	bufs []*ReplayBuffer
 }
 
+// replayShard is one contributor's ring buffer plus the monotone count of
+// transitions ever added to it. The count is the shard's write sequence:
+// the durability layer journals it with each transition so crash recovery
+// can tell a transition the snapshot already holds from one that must be
+// re-applied (see AddRecovered).
+type replayShard struct {
+	buf   *ReplayBuffer
+	added uint64
+}
+
 // NewShardedReplay returns an empty sharded buffer whose per-key shards
 // hold at most shardCap transitions each (oldest evicted first).
 func NewShardedReplay(shardCap int) *ShardedReplay {
 	if shardCap <= 0 {
 		shardCap = 1
 	}
-	return &ShardedReplay{shardCap: shardCap, shards: map[string]*ReplayBuffer{}}
+	return &ShardedReplay{shardCap: shardCap, shards: map[string]*replayShard{}}
 }
 
-// Add stores t in key's shard, creating the shard on first use.
-func (s *ShardedReplay) Add(key string, t Transition) {
-	s.mu.Lock()
-	defer s.mu.Unlock()
-	b, ok := s.shards[key]
+// shard returns key's shard, creating it (and its sorted-keys slot) on
+// first use. Callers hold s.mu.
+func (s *ShardedReplay) shard(key string) *replayShard {
+	sh, ok := s.shards[key]
 	if !ok {
-		b = NewReplayBuffer(s.shardCap)
-		s.shards[key] = b
+		sh = &replayShard{buf: NewReplayBuffer(s.shardCap)}
+		s.shards[key] = sh
 		i := sort.SearchStrings(s.keys, key)
 		s.keys = append(s.keys, "")
 		copy(s.keys[i+1:], s.keys[i:])
 		s.keys[i] = key
 	}
-	if b.Len() == b.Cap() {
+	return sh
+}
+
+// Add stores t in key's shard, creating the shard on first use, and
+// returns the shard's new write sequence (the count of transitions ever
+// added to it, 1-based).
+func (s *ShardedReplay) Add(key string, t Transition) uint64 {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	sh := s.shard(key)
+	if sh.buf.Len() == sh.buf.Cap() {
 		s.count-- // Add below evicts the oldest
 	}
-	b.Add(t)
+	sh.buf.Add(t)
+	sh.added++
 	s.count++
+	return sh.added
+}
+
+// AddRecovered applies a journaled transition during crash recovery: it
+// stores t only if seq is newer than the shard's current write sequence
+// (the snapshot the journal replays over may already contain it), and
+// advances the sequence to seq either way. It returns whether t was
+// stored. Gaps (seq jumping more than one ahead, from journal records
+// dropped under backpressure) are tolerated; the sequence tracks the
+// journal's numbering so later records still compare correctly.
+func (s *ShardedReplay) AddRecovered(key string, seq uint64, t Transition) bool {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	sh := s.shard(key)
+	if seq <= sh.added {
+		return false
+	}
+	if sh.buf.Len() == sh.buf.Cap() {
+		s.count--
+	}
+	sh.buf.Add(t)
+	sh.added = seq
+	s.count++
+	return true
+}
+
+// Seq returns key's current write sequence (0 for an unknown shard).
+func (s *ShardedReplay) Seq(key string) uint64 {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if sh, ok := s.shards[key]; ok {
+		return sh.added
+	}
+	return 0
 }
 
 // Remove drops key's shard and all its transitions.
 func (s *ShardedReplay) Remove(key string) {
 	s.mu.Lock()
 	defer s.mu.Unlock()
-	b, ok := s.shards[key]
+	sh, ok := s.shards[key]
 	if !ok {
 		return
 	}
-	s.count -= b.Len()
+	s.count -= sh.buf.Len()
 	delete(s.shards, key)
 	i := sort.SearchStrings(s.keys, key)
 	s.keys = append(s.keys[:i], s.keys[i+1:]...)
@@ -89,6 +143,58 @@ func (s *ShardedReplay) Shards() int {
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	return len(s.shards)
+}
+
+// ShardExport is one shard's full contents in oldest→newest order, plus
+// its write sequence — the unit of replay-buffer persistence.
+type ShardExport struct {
+	Key   string
+	Added uint64
+	Trans []Transition
+}
+
+// Export captures every shard in sorted-key order, transitions
+// oldest→newest. The returned transitions share backing arrays with the
+// buffer (stored transitions are immutable), so Export is cheap enough to
+// run inside a snapshot pause.
+func (s *ShardedReplay) Export() []ShardExport {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	out := make([]ShardExport, 0, len(s.keys))
+	for _, key := range s.keys {
+		sh := s.shards[key]
+		n := sh.buf.Len()
+		ts := make([]Transition, n)
+		for i := 0; i < n; i++ {
+			ts[i] = sh.buf.At(ringIndex(sh.buf, i))
+		}
+		out = append(out, ShardExport{Key: key, Added: sh.added, Trans: ts})
+	}
+	return out
+}
+
+// Import replaces the buffer's contents with previously exported shards.
+// Shards longer than the configured per-shard capacity keep only their
+// newest transitions (the ring's normal eviction rule). Import walks the
+// input in order, so two imports of the same export build bitwise
+// identical state.
+func (s *ShardedReplay) Import(shards []ShardExport) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.shards = make(map[string]*replayShard, len(shards))
+	s.keys = s.keys[:0]
+	s.count = 0
+	for _, se := range shards {
+		sh := s.shard(se.Key)
+		for _, t := range se.Trans {
+			if sh.buf.Len() == sh.buf.Cap() {
+				s.count--
+			}
+			sh.buf.Add(t)
+			s.count++
+		}
+		sh.added = se.Added
+	}
 }
 
 // Sample draws n transitions uniformly at random (with replacement) across
@@ -111,7 +217,7 @@ func (s *ShardedReplay) Sample(rng *rand.Rand, n int, dst []Transition) []Transi
 	s.bufs = s.bufs[:0]
 	total := 0
 	for _, key := range s.keys {
-		b := s.shards[key]
+		b := s.shards[key].buf
 		total += b.Len()
 		s.cum = append(s.cum, total)
 		s.bufs = append(s.bufs, b)

@@ -83,21 +83,32 @@ func newModel(s *Server, key modelKey) *model {
 // Preload has installed checkpoint weights, so the trainer clones the
 // weights actually being served.
 func (m *model) start() {
-	if m.srv.cfg.Learn && m.learner == nil {
-		l, err := newModelLearner(m, m.srv.cfg)
-		if err != nil {
-			// Shapes come from the policy itself, so this is unreachable;
-			// fail safe by serving frozen.
-			log.Printf("serve: model %v: online learning disabled: %v", m.key, err)
-		} else {
-			m.learner = l
-		}
+	if err := m.ensureLearner(); err != nil {
+		// Shapes come from the policy itself, so this is unreachable;
+		// fail safe by serving frozen.
+		log.Printf("serve: model %v: online learning disabled: %v", m.key, err)
 	}
 	m.srv.wg.Add(1)
 	go func() {
 		defer m.srv.wg.Done()
 		m.run(m.srv.ctx)
 	}()
+}
+
+// ensureLearner builds the trainer if the server learns and this model
+// does not have one yet — at start, or earlier during durability
+// recovery (the recovered replay shards need a learner to live in before
+// the batch loop exists).
+func (m *model) ensureLearner() error {
+	if !m.srv.cfg.Learn || m.learner != nil {
+		return nil
+	}
+	l, err := newModelLearner(m, m.srv.cfg)
+	if err != nil {
+		return err
+	}
+	m.learner = l
+	return nil
 }
 
 // installPublished swaps in the newest published weight pair, if the

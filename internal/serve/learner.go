@@ -107,10 +107,13 @@ func newModelLearner(m *model, cfg Config) (*modelLearner, error) {
 	return l, nil
 }
 
-// observe records one session transition into the session's replay shard.
-func (l *modelLearner) observe(token string, t rl.Transition) {
-	l.replay.Add(token, t)
+// observe records one session transition into the session's replay shard
+// and returns the shard's write sequence (journaled with the transition
+// so recovery can dedupe it against the snapshot's shard state).
+func (l *modelLearner) observe(token string, t rl.Transition) uint64 {
+	seq := l.replay.Add(token, t)
 	l.mdl.srv.mTransitions.Inc()
+	return seq
 }
 
 // dropShard forgets an evicted session's replay contributions.

@@ -112,6 +112,19 @@ func (s *Session) Token() string { return s.token }
 // state on the daemon.
 func (s *Session) Resumed() bool { return s.resumed }
 
+// SetToken sets the resumption token the next hello will present, before
+// the first dial. Clients that own their session identity across process
+// restarts (deterministic harnesses, loadgen's restart-recovery mode)
+// use it to reclaim daemon-side state a previous process created; most
+// clients should instead keep the daemon-issued token. Calling it on a
+// connected session is a misuse (the daemon would treat the next
+// reconnect as a different session) and is ignored.
+func (s *Session) SetToken(token string) {
+	if s.conn == nil {
+		s.token = token
+	}
+}
+
 // backoff is one exponential-backoff schedule: wait sleeps the current
 // delay (or returns early on ctx), then doubles it up to max.
 type backoff struct {

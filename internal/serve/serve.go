@@ -8,6 +8,7 @@ import (
 	"log"
 	"net"
 	"net/http"
+	"net/http/pprof"
 	"runtime"
 	"sort"
 	"sync"
@@ -15,6 +16,7 @@ import (
 	"time"
 
 	"repro/internal/core"
+	"repro/internal/durable"
 	"repro/internal/parallel"
 	"repro/internal/rl"
 )
@@ -112,6 +114,29 @@ type Config struct {
 	CheckpointDir   string
 	CheckpointEvery time.Duration
 
+	// DataDir, when set, makes the daemon crash-safe: session lifecycle,
+	// distilled transitions and exploration/normalizer state are journaled
+	// to a CRC-framed WAL under DataDir, compacted into atomic snapshots
+	// (session table + replay shards + learned weights), and recovered on
+	// the next start — a restarted daemon accepts the resumption tokens it
+	// issued before dying and keeps its learned weights as of the last
+	// snapshot. All journal writes are asynchronous; the serving and
+	// training paths never block on fsync.
+	DataDir string
+	// FsyncInterval bounds how much acknowledged state a crash can lose
+	// (default 100ms; negative = fsync every record).
+	FsyncInterval time.Duration
+	// SnapshotEvery is the WAL compaction cadence (default 1m). A final
+	// snapshot is always written on orderly drain.
+	SnapshotEvery time.Duration
+	// WALBuffer is the async journal queue depth (default 8192 records);
+	// records beyond it are dropped and counted, never blocked on.
+	WALBuffer int
+	// crashOnDrain (tests only) skips the final snapshot AND the journal
+	// flush on shutdown, so in-process tests can exercise the same state a
+	// SIGKILL would leave on disk.
+	crashOnDrain bool
+
 	// GemmWorkers bounds the worker pool that large inference and
 	// training GEMMs shard their row bands across (the 64-row micro-batch
 	// is shardable where per-request GEMVs are not). 0 takes the pool
@@ -140,6 +165,9 @@ func DefaultConfig() Config {
 		TrainBatch:       32,
 		UpdatesPerRound:  4,
 		ReplayPerSession: 256,
+		FsyncInterval:    100 * time.Millisecond,
+		SnapshotEvery:    time.Minute,
+		WALBuffer:        8192,
 		// Serving exploration is deliberately tamer than offline training:
 		// live sessions pay for every exploratory deployment.
 		Explore: rl.EpsilonSchedule{Start: 0.3, End: 0.02, Decay: 300, Kind: rl.ExpDecay},
@@ -203,6 +231,15 @@ func (c Config) withDefaults() Config {
 	if c.Learn && c.Explore == (rl.EpsilonSchedule{}) {
 		c.Explore = d.Explore
 	}
+	if c.FsyncInterval == 0 {
+		c.FsyncInterval = d.FsyncInterval
+	}
+	if c.SnapshotEvery == 0 {
+		c.SnapshotEvery = d.SnapshotEvery
+	}
+	if c.WALBuffer <= 0 {
+		c.WALBuffer = d.WALBuffer
+	}
 	return c
 }
 
@@ -234,6 +271,10 @@ type Server struct {
 	mu     sync.Mutex
 	models map[modelKey]*model
 
+	// dur, when non-nil, is the open durability log (Config.DataDir); the
+	// journaling hooks and the snapshot/recovery paths live in persist.go.
+	dur *durable.Log
+
 	// run state, owned by Serve
 	ctx context.Context
 	wg  sync.WaitGroup
@@ -259,8 +300,13 @@ type Server struct {
 	mPublished    *Counter
 	mSwaps        *Counter
 	mCheckpoints  *Counter
+	mCkptErrs     *Counter
 	mTrainLatency *Histogram
 	mGemmShards   *Counter
+	mSnapErrs     *Counter
+	mRecSessions  *Gauge
+	mRecModels    *Gauge
+	mRecoveryMS   *Gauge
 
 	// testGate, when non-nil, is received from before each micro-batch is
 	// gathered — test-only hook to hold the batcher and force queue
@@ -303,8 +349,13 @@ func New(cfg Config) *Server {
 		mPublished:    reg.Counter("serve_weights_published_total"),
 		mSwaps:        reg.Counter("serve_weight_swaps_total"),
 		mCheckpoints:  reg.Counter("serve_checkpoints_total"),
+		mCkptErrs:     reg.Counter("serve_checkpoint_errors_total"),
 		mTrainLatency: reg.Histogram("serve_train_round_latency"),
 		mGemmShards:   reg.Counter("serve_gemm_shards_total"),
+		mSnapErrs:     reg.Counter("serve_snapshot_errors_total"),
+		mRecSessions:  reg.Gauge("serve_recovered_sessions"),
+		mRecModels:    reg.Gauge("serve_recovered_models"),
+		mRecoveryMS:   reg.Gauge("serve_recovery_ms"),
 	}
 	s.sessions = newSessionTable(cfg.SessionTTL, cfg.MaxTrackedSessions, cfg.Seed, nil)
 	s.sessions.onEvict = func(st *sessionState) {
@@ -313,6 +364,17 @@ func New(cfg Config) *Server {
 		s.mu.Unlock()
 		if mdl != nil && mdl.learner != nil {
 			mdl.learner.dropShard(st.token)
+		}
+		if s.dur != nil {
+			// Tombstone the eviction so recovery does not resurrect the
+			// session (evicted state is only dropped by replay when the
+			// tombstone postdates it).
+			s.dur.Append(&durable.Record{
+				T:     durable.RecEvict,
+				Token: st.token,
+				Key:   durable.SessionKey{N: st.key.n, M: st.key.m, Spouts: st.key.spouts},
+				Gen:   s.sessions.genCtr.Add(1),
+			})
 		}
 	}
 	return s
@@ -380,15 +442,54 @@ func (s *Server) model(key modelKey) *model {
 // errors back off and retry. On return all sessions and batch loops have
 // drained.
 func (s *Server) Serve(ctx context.Context, l net.Listener) error {
+	// Durability first: recovery creates models and session state, which
+	// must exist (with their restored weights installed) before any batch
+	// loop starts or any connection lands.
+	if s.cfg.DataDir != "" && s.dur == nil {
+		if err := s.openDurable(); err != nil {
+			return err
+		}
+	}
+	// The final snapshot must run after every session goroutine has
+	// drained (deferred before wg.Wait so it executes after it); it turns
+	// an orderly shutdown into a recovery that loses nothing.
+	defer func() {
+		if s.dur == nil {
+			return
+		}
+		if s.cfg.crashOnDrain {
+			s.dur.Crash()
+			return
+		}
+		if err := s.SnapshotNow(); err != nil {
+			s.mSnapErrs.Inc()
+			log.Printf("serve: final snapshot: %v", err)
+		}
+		if err := s.dur.Close(); err != nil {
+			log.Printf("serve: closing durability log: %v", err)
+		}
+	}()
+
 	sctx, cancel := context.WithCancel(ctx)
 	s.mu.Lock()
 	s.ctx = sctx
 	for _, m := range s.models {
-		m.start() // models preloaded before Serve
+		m.start() // models preloaded before Serve (or recovered above)
 	}
 	s.mu.Unlock()
 	if s.cfg.SessionTTL > 0 {
 		s.goLoop(sctx, s.cfg.SessionTTL/2, func() { s.sessions.sweep() })
+	}
+	if s.dur != nil && s.cfg.SnapshotEvery > 0 {
+		s.goLoop(sctx, s.cfg.SnapshotEvery, func() {
+			if err := s.SnapshotNow(); err != nil {
+				// Keep serving — but a failing compaction means unbounded
+				// WAL growth and stale recovered weights, so it must be
+				// visible to operators, not just logged.
+				s.mSnapErrs.Inc()
+				log.Printf("serve: periodic snapshot to %s: %v", s.cfg.DataDir, err)
+			}
+		})
 	}
 	if s.cfg.Learn && s.cfg.TrainInterval > 0 {
 		s.goLoop(sctx, s.cfg.TrainInterval, func() { s.TrainNow() })
@@ -489,20 +590,33 @@ func (s *Server) TrainNow() int {
 
 // Checkpoint writes every learning model's current actor/critic weights
 // into dir (cmd/train format, atomic rename), returning the first error.
+// Every per-model failure increments serve_checkpoint_errors_total — a
+// periodic checkpoint that quietly stops persisting is silent durability
+// loss, which operators must be able to alert on.
 func (s *Server) Checkpoint(dir string) error {
 	var first error
 	for _, m := range s.learningModels() {
-		if err := m.learner.checkpoint(dir); err != nil && first == nil {
-			first = err
+		if err := m.learner.checkpoint(dir); err != nil {
+			s.mCkptErrs.Inc()
+			if first == nil {
+				first = err
+			}
 		}
 	}
 	return first
 }
 
-// Handler returns the HTTP control surface: /metrics (text exposition)
-// and /healthz (JSON liveness with session/model counts).
+// Handler returns the HTTP control surface: /metrics (text exposition),
+// /healthz (JSON liveness with session/model counts), and the standard
+// pprof endpoints under /debug/pprof/ (profiling a live daemon is how
+// the WAL overhead numbers in PERFORMANCE.md §7 were attributed).
 func (s *Server) Handler() http.Handler {
 	mux := http.NewServeMux()
+	mux.HandleFunc("/debug/pprof/", pprof.Index)
+	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+	mux.HandleFunc("/debug/pprof/heap", func(w http.ResponseWriter, r *http.Request) {
+		pprof.Handler("heap").ServeHTTP(w, r)
+	})
 	mux.Handle("/metrics", s.reg)
 	mux.HandleFunc("/healthz", func(w http.ResponseWriter, _ *http.Request) {
 		s.mu.Lock()

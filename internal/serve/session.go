@@ -7,10 +7,12 @@ import (
 	"errors"
 	"fmt"
 	"io"
+	"math"
 	"net"
 	"time"
 
 	"repro/internal/core"
+	"repro/internal/durable"
 	"repro/internal/rl"
 )
 
@@ -113,11 +115,15 @@ func (s *Server) handleConn(ctx context.Context, conn net.Conn) {
 		s.mResumed.Inc()
 	} else {
 		// Cold start: the round-robin prior is the "current assignment"
-		// half of the first state encoding.
+		// half of the first state encoding. Under st.mu — the session is
+		// already visible in the table, so the durability snapshotter may
+		// be reading st.assign concurrently.
+		st.mu.Lock()
 		st.assign = make([]int, hello.N)
 		for i := range st.assign {
 			st.assign[i] = i % hello.M
 		}
+		st.mu.Unlock()
 	}
 	if err := write(&core.SolutionMsg{Epoch: st.epoch, Assign: st.assign, Token: st.token, Resumed: resumed}); err != nil {
 		return
@@ -187,21 +193,28 @@ func (s *Server) handleConn(ctx context.Context, conn net.Conn) {
 			// Drawn at most once per epoch — a queue-full shed resubmits the
 			// same epoch and must reuse the same decision, or load shedding
 			// would advance the RNG and the ε schedule timing-dependently.
+			// Mutations run under st.mu (and every draw counts into
+			// st.rngDraws) so the durability snapshotter always sees a
+			// consistent ⟨schedule position, stream position⟩ pair —
+			// recovery reseeds from the token and fast-forwards exactly
+			// rngDraws draws.
 			if st.noiseEpoch != epoch {
+				st.mu.Lock()
 				st.noiseEpoch = epoch
 				st.noiseOn = false
 				eps := s.cfg.Explore.At(st.learnEpoch)
 				st.learnEpoch++
-				if eps > 0 && st.rng.Float64() < eps {
+				if eps > 0 && st.drawFloat() < eps {
 					st.noiseOn = true
 					if cap(st.noise) < adim {
 						st.noise = make([]float64, adim)
 					}
 					st.noise = st.noise[:adim]
 					for i := range st.noise {
-						st.noise[i] = eps * st.rng.Float64()
+						st.noise[i] = eps * st.drawFloat()
 					}
 				}
+				st.mu.Unlock()
 			}
 			if st.noiseOn {
 				req.noise = st.noise
@@ -228,6 +241,8 @@ func (s *Server) handleConn(ctx context.Context, conn net.Conn) {
 		if stale {
 			s.mStaleMeas.Inc()
 		}
+		var transSeq uint64
+		var transReward float64
 		if learner != nil {
 			// The measurement closes the pending transition (s_{t−1},
 			// a_{t−1}): its reward is the (standardized) negative latency
@@ -235,14 +250,19 @@ func (s *Server) handleConn(ctx context.Context, conn net.Conn) {
 			// or a stale resubmission poisons the reward, so that
 			// transition is dropped.
 			if meas.Err == "" && !stale && st.hasPrev {
-				learner.observe(st.token, rl.Transition{
+				st.mu.Lock() // Normalize mutates journaled normalizer state
+				t := rl.Transition{
 					State:     append([]float64(nil), st.prevState...),
 					Action:    mdl.pol.Space.Encode(st.prevAssign, nil),
 					Reward:    st.norm.Normalize(-meas.AvgTupleTimeMS),
 					NextState: append([]float64(nil), req.state...),
-				})
+				}
+				st.mu.Unlock()
+				transSeq = learner.observe(st.token, t)
+				transReward = t.Reward
 			}
 		}
+		st.mu.Lock()
 		copy(st.assign, req.result)
 		if learner != nil {
 			// Open the next pending transition: (s_t, a_t) awaits the next
@@ -252,6 +272,26 @@ func (s *Server) handleConn(ctx context.Context, conn net.Conn) {
 			st.hasPrev = true
 		}
 		st.epoch = epoch
+		var rec *durable.Record
+		if s.dur != nil {
+			// Journal the completed epoch before acknowledging the
+			// solution, so an acknowledged epoch is always
+			// (asynchronously) on its way to disk. Only scalars, the
+			// solution and the raw workload are journaled; recovery
+			// re-derives the state encodings and the transition vectors
+			// by replaying the same computation over the record chain.
+			st.gen = s.sessions.genCtr.Add(1)
+			rec = epochRecord(st)
+			if learner != nil {
+				rec.Workload = append(durable.F64s(nil), meas.Workload...)
+				rec.TransSeq = transSeq
+				rec.RewardBits = math.Float64bits(transReward)
+			}
+		}
+		st.mu.Unlock()
+		if rec != nil {
+			s.dur.Append(rec)
+		}
 		if err := write(&core.SolutionMsg{Epoch: epoch, Assign: st.assign}); err != nil {
 			return
 		}

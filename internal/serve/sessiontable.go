@@ -8,6 +8,7 @@ import (
 	"hash/fnv"
 	"math/rand"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"repro/internal/core"
@@ -40,6 +41,22 @@ var (
 type sessionState struct {
 	token string
 	key   modelKey
+
+	// mu guards the resumable fields below against the durability
+	// snapshotter: the owning connection goroutine mutates them under mu
+	// (two uncontended lock pairs per epoch) and the snapshot capture
+	// reads them under mu, so a snapshot never observes a half-updated
+	// epoch. The goroutine must never call table methods while holding
+	// mu (lock order is table.mu → st.mu).
+	mu sync.Mutex
+	// gen is the session table's monotone mutation counter value at this
+	// session's last journaled mutation; WAL replay applies a record only
+	// when its gen is newer than the state already restored.
+	gen uint64
+	// rngDraws counts Float64 draws consumed from rng since seeding, so
+	// recovery can reseed from the token and fast-forward to the exact
+	// stream position (rng itself is not serializable).
+	rngDraws uint64
 
 	live     bool
 	lastSeen time.Time
@@ -81,6 +98,10 @@ type sessionTable struct {
 	// session's state is dropped — the server uses it to drop the
 	// session's replay shard.
 	onEvict func(st *sessionState)
+
+	// genCtr numbers session mutations for the durability journal; it
+	// only ever grows (recovery fast-forwards it past everything on disk).
+	genCtr atomic.Uint64
 
 	mu      sync.Mutex
 	entries map[string]*sessionState
@@ -190,6 +211,16 @@ func newToken() string {
 		panic(fmt.Sprintf("serve: session token entropy unavailable: %v", err))
 	}
 	return "s" + hex.EncodeToString(b[:])
+}
+
+// drawFloat draws one Float64 from the session's exploration RNG,
+// counting the draw so crash recovery can reseed from the token and
+// fast-forward the stream to the same position (rand.Rand state is not
+// serializable; Float64 consumes exactly one source value per call).
+// Callers hold st.mu.
+func (st *sessionState) drawFloat() float64 {
+	st.rngDraws++
+	return st.rng.Float64()
 }
 
 // detach releases a live session's state back to the table, starting its
