@@ -81,6 +81,9 @@ func main() {
 		dataDir   = flag.String("data-dir", "", "durability directory: journal sessions/transitions to a CRC-framed WAL, compact into atomic snapshots, and recover everything on restart (empty disables)")
 		fsyncInt  = flag.Duration("fsync-interval", 100*time.Millisecond, "WAL flush+fsync cadence — bounds acknowledged state a crash can lose (negative = fsync every record; with -data-dir)")
 		snapEvery = flag.Duration("snapshot-every", time.Minute, "WAL compaction cadence; a final snapshot is always written on drain (with -data-dir)")
+
+		replListen = flag.String("repl-listen", "", "WAL shipping listen address for followers (with -data-dir; empty disables)")
+		replFrom   = flag.String("replicate-from", "", "run as a follower of the leader shipping on this address: tail its WAL into -data-dir instead of serving, until promoted via POST /promote")
 	)
 	flag.Parse()
 
@@ -103,12 +106,17 @@ func main() {
 		DataDir:         *dataDir,
 		FsyncInterval:   *fsyncInt,
 		SnapshotEvery:   *snapEvery,
+		ReplListen:      *replListen,
+		ReplicateFrom:   *replFrom,
 	})
 	if *learn {
 		log.Printf("agentd: online learning enabled (train every %v, batch %d, %d updates/round)", *trainEvery, *trainBatch, *updates)
 	}
 	if *dataDir != "" {
 		log.Printf("agentd: durable mode: data dir %s (fsync every %v, snapshot every %v); sessions and learned weights survive restarts", *dataDir, *fsyncInt, *snapEvery)
+	}
+	if *replFrom != "" {
+		log.Printf("agentd: follower mode: tailing %s into %s (not serving until promoted)", *replFrom, *dataDir)
 	}
 
 	if *actorF != "" || *criticF != "" {

@@ -1,0 +1,117 @@
+// Command agentfleet is the gateway in front of a replicated agentd
+// fleet. It accepts scheduler sessions on one address, hashes each
+// session's resumption token to a replication group (rendezvous hashing),
+// and proxies the session to that group's current leader. A health monitor
+// polls each leader; when one dies, the gateway promotes the next healthy
+// follower via the daemon's /promote endpoint and re-homes traffic, so
+// clients with resumption tokens reconnect and resume with zero protocol
+// errors.
+//
+// Each -group flag names one replication group as a comma-separated member
+// list, every member "sessionAddr@httpAddr"; the first member is the
+// leader at startup:
+//
+//	agentfleet -listen 127.0.0.1:7800 \
+//	  -group 127.0.0.1:7700@127.0.0.1:7701,127.0.0.1:7710@127.0.0.1:7711
+//
+// with the daemons started as
+//
+//	agentd -listen 127.0.0.1:7700 -http 127.0.0.1:7701 -data-dir /var/lib/a -repl-listen 127.0.0.1:7702
+//	agentd -listen 127.0.0.1:7710 -http 127.0.0.1:7711 -data-dir /var/lib/b -replicate-from 127.0.0.1:7702
+package main
+
+import (
+	"context"
+	"flag"
+	"fmt"
+	"log"
+	"net"
+	"net/http"
+	"os"
+	"os/signal"
+	"strings"
+	"syscall"
+	"time"
+
+	"repro/internal/fleet"
+)
+
+// groupFlags collects repeated -group flags.
+type groupFlags []fleet.Group
+
+func (g *groupFlags) String() string { return fmt.Sprintf("%d groups", len(*g)) }
+
+func (g *groupFlags) Set(v string) error {
+	grp := fleet.Group{Name: fmt.Sprintf("g%d", len(*g))}
+	for _, m := range strings.Split(v, ",") {
+		addr, health, ok := strings.Cut(strings.TrimSpace(m), "@")
+		if !ok || addr == "" || health == "" {
+			return fmt.Errorf("member %q: want sessionAddr@httpAddr", m)
+		}
+		grp.Members = append(grp.Members, fleet.Backend{Addr: addr, Health: health})
+	}
+	if len(grp.Members) == 0 {
+		return fmt.Errorf("empty group")
+	}
+	*g = append(*g, grp)
+	return nil
+}
+
+func main() {
+	var groups groupFlags
+	var (
+		listen    = flag.String("listen", "127.0.0.1:7800", "scheduler session listen address")
+		httpAddr  = flag.String("http", "", "HTTP control surface address (/metrics, /healthz); empty disables")
+		healthInt = flag.Duration("health-interval", 200*time.Millisecond, "leader health poll cadence per group")
+		failThr   = flag.Int("fail-threshold", 3, "consecutive failed polls before failover")
+		dialTO    = flag.Duration("dial-timeout", 2*time.Second, "backend dial timeout")
+	)
+	flag.Var(&groups, "group", "replication group \"sessionAddr@httpAddr,...\" (first member = leader; repeatable)")
+	flag.Parse()
+
+	gw, err := fleet.NewGateway(fleet.Config{
+		Groups:         groups,
+		HealthInterval: *healthInt,
+		FailThreshold:  *failThr,
+		DialTimeout:    *dialTO,
+		Logf:           log.Printf,
+	})
+	if err != nil {
+		fail(err)
+	}
+
+	l, err := net.Listen("tcp", *listen)
+	if err != nil {
+		fail(err)
+	}
+	log.Printf("agentfleet: routing %d groups on %s", len(groups), l.Addr())
+
+	var httpSrv *http.Server
+	if *httpAddr != "" {
+		httpSrv = &http.Server{Addr: *httpAddr, Handler: gw.Handler()}
+		go func() {
+			log.Printf("agentfleet: control surface on http://%s/metrics", *httpAddr)
+			if err := httpSrv.ListenAndServe(); err != nil && err != http.ErrServerClosed {
+				log.Printf("agentfleet: http: %v", err)
+			}
+		}()
+	}
+
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+	err = gw.Serve(ctx, l)
+	if httpSrv != nil {
+		shutCtx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+		httpSrv.Shutdown(shutCtx)
+		cancel()
+	}
+	if err != nil {
+		fail(err)
+	}
+	log.Printf("agentfleet: drained, bye")
+}
+
+func fail(err error) {
+	fmt.Fprintln(os.Stderr, "agentfleet:", err)
+	os.Exit(1)
+}

@@ -49,6 +49,11 @@ type options struct {
 	// expectResumed makes a run fail unless every session resumed
 	// daemon-side state on connect (the post-restart assertion).
 	expectResumed bool
+	// maxAttempts widens the client's per-step dial/shed retry budget
+	// (0 = client default). Failover runs raise it: a leader kill costs
+	// the gateway a detection window plus a promotion before retried
+	// steps can land.
+	maxAttempts int
 }
 
 func main() {
@@ -64,6 +69,7 @@ func main() {
 		dropEvery = flag.Int("drop-every", 0, "drop and resume each session every N epochs (0 = never)")
 		tokPrefix = flag.String("token-prefix", "", "present client-chosen resumption token <prefix>-<i> per session (restart-recovery testing; empty = daemon-issued tokens)")
 		expectRes = flag.Bool("expect-resumed", false, "fail unless every session resumed existing daemon-side state on connect")
+		maxAtt    = flag.Int("max-attempts", 0, "per-step dial/shed retry budget (0 = client default; raise for failover runs)")
 	)
 	flag.Parse()
 	os.Exit(run(options{
@@ -71,6 +77,7 @@ func main() {
 		n: *n, m: *m, spouts: *spouts,
 		think: *think, seed: *seed, dropEvery: *dropEvery,
 		tokenPrefix: *tokPrefix, expectResumed: *expectRes,
+		maxAttempts: *maxAtt,
 	}, os.Stdout))
 }
 
@@ -79,8 +86,9 @@ func main() {
 // unrecovered failure.
 func run(opt options, out io.Writer) int {
 	pool := serve.NewPool(serve.ClientConfig{
-		Addr:  opt.addr,
-		Hello: serve.HelloMsg{Topology: "loadgen", N: opt.n, M: opt.m, Spouts: opt.spouts},
+		Addr:        opt.addr,
+		Hello:       serve.HelloMsg{Topology: "loadgen", N: opt.n, M: opt.m, Spouts: opt.spouts},
+		MaxAttempts: opt.maxAttempts,
 	}, opt.sessions)
 	if opt.tokenPrefix != "" {
 		for i := 0; i < opt.sessions; i++ {

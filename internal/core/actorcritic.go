@@ -442,6 +442,14 @@ func (a *ActorCritic) Networks() (actor, actorT, critic, criticT *nn.Network) {
 	return a.actor, a.actorT, a.critic, a.criticT
 }
 
+// Optimizers returns the actor and critic Adam optimizers, so the
+// durability layer can snapshot and restore the full training trajectory
+// (weights alone resume from the right point in parameter space but with
+// reset moment estimates — a different trajectory).
+func (a *ActorCritic) Optimizers() (actorOpt, criticOpt *nn.Adam) {
+	return a.actorOpt, a.criticOpt
+}
+
 // protoSanity reports the max |â| of the current policy on a state; used in
 // tests to detect divergence.
 func (a *ActorCritic) protoSanity(assign []int, work []float64) float64 {

@@ -39,7 +39,14 @@ import (
 // SnapshotVersion is the on-disk snapshot format version. Loading any
 // other version is a hard, explicit error: silently misreading persisted
 // learning state would be far worse than refusing to start.
-const SnapshotVersion = 1
+//
+// Version history:
+//
+//	1  PR 5: sessions, replay shards, weight blobs.
+//	2  PR 6: + per-model Adam optimizer moments (a v1 reader would
+//	   silently reset every trainer's moment estimates) and the lifetime
+//	   record count at the snapshot cut (replication lag accounting).
+const SnapshotVersion = 2
 
 // SessionKey is a model identity — the topology shape sessions of that
 // model share.
@@ -192,10 +199,23 @@ type ShardSnap struct {
 	Trans []TransitionRec `json:"trans"`
 }
 
+// OptimSnap is one Adam optimizer's persisted trajectory: the step
+// counter and the per-layer moment estimates, as F64s so every bit
+// pattern round-trips. An absent OptimSnap (or one with T=0 and no
+// moments) restores the "never stepped" state.
+type OptimSnap struct {
+	T  int    `json:"t"`
+	MW []F64s `json:"mw,omitempty"`
+	VW []F64s `json:"vw,omitempty"`
+	MB []F64s `json:"mb,omitempty"`
+	VB []F64s `json:"vb,omitempty"`
+}
+
 // ModelSnap is one learning model's state: the four network weight blobs
 // (nn binary format), their checksums (verified on load — a snapshot
 // whose weights do not hash to what was recorded is corrupt), the update
-// count, and the replay shards in sorted-token order.
+// count, the actor/critic optimizer moments, and the replay shards in
+// sorted-token order.
 type ModelSnap struct {
 	Key       SessionKey  `json:"k"`
 	Actor     []byte      `json:"actor"`
@@ -205,6 +225,8 @@ type ModelSnap struct {
 	ActorSum  uint64      `json:"actor_sum"`
 	CriticSum uint64      `json:"critic_sum"`
 	Updates   int         `json:"updates"`
+	ActorOpt  *OptimSnap  `json:"actor_opt,omitempty"`
+	CriticOpt *OptimSnap  `json:"critic_opt,omitempty"`
 	Shards    []ShardSnap `json:"shards"`
 }
 
@@ -216,8 +238,14 @@ type Snapshot struct {
 	// exploration RNGs are derived from it, so recovering under a
 	// different seed would silently change every recovered session's
 	// exploration stream — refused instead.
-	Seed     int64         `json:"seed"`
-	NextGen  uint64        `json:"next_gen"`
+	Seed    int64  `json:"seed"`
+	NextGen uint64 `json:"next_gen"`
+	// Recs is the lifetime count of WAL records ever written to this data
+	// directory at the snapshot cut (records in segments the snapshot
+	// supersedes included). It survives restarts — Open rebases its
+	// counter on it — and is the unit the replication protocol measures
+	// follower lag in.
+	Recs     uint64        `json:"recs,omitempty"`
 	Sessions []SessionSnap `json:"sessions"`
 	Models   []ModelSnap   `json:"models"`
 }
@@ -226,6 +254,10 @@ type Snapshot struct {
 // wal_dropped, snapshots); the serving daemon passes its registry
 // counters. A nil Counter field is simply not counted.
 type Counter interface{ Add(n int64) }
+
+// Gauge is the settable metric hook for instantaneous values (the
+// replication layer's follower lag). A nil Gauge is simply not set.
+type Gauge interface{ Set(v int64) }
 
 // Metrics collects the log's counter hooks.
 type Metrics struct {

@@ -20,9 +20,18 @@ import (
 // Appends never block the caller: records go into a bounded channel the
 // writer goroutine drains (dropping — and counting — records when the
 // buffer is full, so a stalled disk degrades durability visibly instead
-// of stalling the serving path). Sync, Snapshot and Close are barriers:
-// they run through the same channel, so everything appended before them
-// is on disk when they return.
+// of stalling the serving path). AppendBlocking is the exception for
+// records whose loss is not a bounded-window data loss but a permanent
+// correctness error (eviction tombstones: a dropped tombstone resurrects
+// the evicted session on every future recovery).
+//
+// Sync, Snapshot and Close are barriers: their op goes through the same
+// FIFO channel the records do, and enqueueing it blocks until the buffer
+// has room — so a full buffer delays the barrier rather than letting it
+// jump the queue, and every record accepted before the barrier call is
+// durably on disk when the barrier returns. A drop can therefore never
+// straddle a barrier: records the barrier caller observed as accepted are
+// flushed by it, and records dropped before it were never accepted.
 type Log struct {
 	dir string
 	cfg LogConfig
@@ -41,11 +50,35 @@ type Log struct {
 	walSeq  atomic.Uint64 // current segment number
 	snapSeq atomic.Uint64 // newest snapshot number (0 = none)
 
+	// posMu guards pos, the flushed (readable-for-replication) position.
+	// A leaf lock: the writer takes it briefly after each flush, readers
+	// (the shipping server) poll it on flush notifications.
+	posMu sync.Mutex
+	pos   Position
+
+	// watchMu guards watchers, each a 1-buffered channel signalled
+	// (coalesced) after every flush and rotation.
+	watchMu  sync.Mutex
+	watchers []chan struct{}
+
 	// writer-goroutine state
 	f     *os.File
 	bw    *bufio.Writer
 	buf   []byte
 	dirty bool
+	off   int64  // bytes written to the current segment (buffered included)
+	recs  uint64 // lifetime records written to this data dir (see Position)
+}
+
+// Position is a durable stream position: a byte offset into one WAL
+// segment, plus the lifetime count of records at or before it. Recs
+// counts every record ever written to the data directory — it is rebased
+// from the newest snapshot's Recs field on Open, so it survives restarts
+// and compactions; replication lag is the difference between two Recs.
+type Position struct {
+	Seg  uint64 // segment the offset refers to
+	Off  int64  // flushed bytes into that segment
+	Recs uint64 // lifetime records flushed
 }
 
 // LogConfig configures Open.
@@ -60,6 +93,12 @@ type LogConfig struct {
 	Metrics Metrics
 	// Logf, when set, receives recovery/rotation diagnostics.
 	Logf func(format string, args ...any)
+
+	// gate, when set (tests only), is received from before the writer
+	// processes each op — the hook that holds the writer mid-queue so
+	// buffer-overflow and barrier-ordering behavior is reproducible.
+	// Close the channel to release the writer permanently.
+	gate chan struct{}
 }
 
 // Recovered is what Open found on disk: the newest snapshot (nil on a
@@ -74,12 +113,24 @@ type Recovered struct {
 	Truncated bool
 }
 
+// DirState is a scanned data directory's durable position: where Open
+// would resume appending, and the lifetime record count at that point.
+// The replication follower hellos with it so the leader ships exactly the
+// suffix it is missing.
+type DirState struct {
+	SnapSeq uint64 // newest snapshot seq (0 = none)
+	WalSeq  uint64 // segment Open appends to
+	WalOff  int64  // intact-prefix size of that segment (0 if absent)
+	Recs    uint64 // lifetime record count (snapshot base + scanned tail)
+}
+
 type walOp struct {
-	rec  *Record
-	sync chan error    // non-nil: flush+fsync barrier, reply on chan
-	snap *snapshotOp   // non-nil: snapshot + rotate
-	stop chan error    // non-nil: flush, fsync, close file, exit
-	die  chan struct{} // non-nil: close file without flushing (crash test hook)
+	rec   *Record
+	block bool          // rec came through AppendBlocking (tombstones)
+	sync  chan error    // non-nil: flush+fsync barrier, reply on chan
+	snap  *snapshotOp   // non-nil: snapshot + rotate
+	stop  chan error    // non-nil: flush, fsync, close file, exit
+	die   chan struct{} // non-nil: close file without flushing (crash test hook)
 }
 
 type snapshotOp struct {
@@ -107,18 +158,24 @@ func walPath(dir string, seq uint64) string {
 	return filepath.Join(dir, fmt.Sprintf("wal-%d.log", seq))
 }
 
-// Open opens (creating if needed) a data directory, recovers its
-// contents, and starts the async writer on the live segment. The returned
-// Recovered holds everything the caller must re-apply; the Log is ready
-// for appends immediately.
-func Open(dir string, cfg LogConfig) (*Log, *Recovered, error) {
+// Recover scans a data directory read-only: it loads the newest snapshot,
+// replays every surviving WAL segment, and reports the durable position —
+// without opening the directory for append or truncating anything. The
+// replication follower uses it to warm its state from the mirror it kept
+// before tailing the leader for the rest.
+func Recover(dir string, cfg LogConfig) (*Recovered, DirState, error) {
 	cfg = cfg.withDefaults()
 	if err := os.MkdirAll(dir, 0o755); err != nil {
-		return nil, nil, fmt.Errorf("durable: open %s: %w", dir, err)
+		return nil, DirState{}, fmt.Errorf("durable: open %s: %w", dir, err)
 	}
+	return recoverDir(dir, cfg)
+}
+
+// recoverDir is the shared scan behind Open and Recover.
+func recoverDir(dir string, cfg LogConfig) (*Recovered, DirState, error) {
 	entries, err := os.ReadDir(dir)
 	if err != nil {
-		return nil, nil, fmt.Errorf("durable: open %s: %w", dir, err)
+		return nil, DirState{}, fmt.Errorf("durable: open %s: %w", dir, err)
 	}
 
 	var snapSeqs, walSeqs []uint64
@@ -139,50 +196,77 @@ func Open(dir string, cfg LogConfig) (*Log, *Recovered, error) {
 	sort.Slice(walSeqs, func(i, j int) bool { return walSeqs[i] < walSeqs[j] })
 
 	rec := &Recovered{}
-	var snapSeq uint64
+	st := DirState{}
 	if n := len(snapSeqs); n > 0 {
-		snapSeq = snapSeqs[n-1]
-		snap, err := loadSnapshot(snapPath(dir, snapSeq))
+		st.SnapSeq = snapSeqs[n-1]
+		snap, err := loadSnapshot(snapPath(dir, st.SnapSeq))
 		if err != nil {
 			// A half-written snapshot cannot exist (tmp+rename), so a
 			// snapshot that fails to load is real corruption or a version
 			// gap — refuse loudly rather than silently discard learned
 			// state.
-			return nil, nil, fmt.Errorf("durable: snapshot %s: %w", snapPath(dir, snapSeq), err)
+			return nil, st, fmt.Errorf("durable: snapshot %s: %w", snapPath(dir, st.SnapSeq), err)
 		}
 		rec.Snapshot = snap
+		st.Recs = snap.Recs
 	}
 
 	// Replay every surviving segment in order. Segments at or below the
 	// snapshot seq can linger if a crash hit the rotation window between
 	// snapshot rename and segment deletion; their records predate the
-	// snapshot and replay as no-ops under the generation guards.
+	// snapshot and replay as no-ops under the generation guards (their
+	// record count is already inside the snapshot's Recs base, so they do
+	// not count again).
+	st.WalSeq = st.SnapSeq + 1
+	if n := len(walSeqs); n > 0 && walSeqs[n-1] >= st.WalSeq {
+		st.WalSeq = walSeqs[n-1]
+	}
 	for _, seq := range walSeqs {
 		recs, validLen, truncated, err := scanWALFile(walPath(dir, seq))
 		if err != nil {
-			return nil, nil, fmt.Errorf("durable: wal %s: %w", walPath(dir, seq), err)
+			return nil, st, fmt.Errorf("durable: wal %s: %w", walPath(dir, seq), err)
 		}
 		rec.Records = append(rec.Records, recs...)
+		if seq > st.SnapSeq {
+			st.Recs += uint64(len(recs))
+		}
+		if seq == st.WalSeq {
+			st.WalOff = validLen
+		}
 		if truncated {
 			rec.Truncated = true
 			cfg.Logf("durable: wal-%d: discarded torn/corrupt tail after %d bytes (%d intact records)", seq, validLen, len(recs))
-			if seq == walSeqs[len(walSeqs)-1] {
-				// The live segment is reopened for append below; cut the
-				// garbage first so the file stays a clean frame sequence.
-				if err := os.Truncate(walPath(dir, seq), validLen); err != nil {
-					return nil, nil, fmt.Errorf("durable: truncate torn tail of wal-%d: %w", seq, err)
-				}
+		}
+	}
+	return rec, st, nil
+}
+
+// Open opens (creating if needed) a data directory, recovers its
+// contents, and starts the async writer on the live segment. The returned
+// Recovered holds everything the caller must re-apply; the Log is ready
+// for appends immediately.
+func Open(dir string, cfg LogConfig) (*Log, *Recovered, error) {
+	cfg = cfg.withDefaults()
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return nil, nil, fmt.Errorf("durable: open %s: %w", dir, err)
+	}
+	rec, st, err := recoverDir(dir, cfg)
+	if err != nil {
+		return nil, nil, err
+	}
+	if rec.Truncated {
+		// The live segment is reopened for append below; cut the garbage
+		// first so the file stays a clean frame sequence. (Torn tails in
+		// older segments are left alone — they are never appended to.)
+		if fi, serr := os.Stat(walPath(dir, st.WalSeq)); serr == nil && fi.Size() > st.WalOff {
+			if err := os.Truncate(walPath(dir, st.WalSeq), st.WalOff); err != nil {
+				return nil, nil, fmt.Errorf("durable: truncate torn tail of wal-%d: %w", st.WalSeq, err)
 			}
 		}
 	}
-
-	walSeq := snapSeq + 1
-	if n := len(walSeqs); n > 0 && walSeqs[n-1] >= walSeq {
-		walSeq = walSeqs[n-1]
-	}
-	f, err := os.OpenFile(walPath(dir, walSeq), os.O_CREATE|os.O_WRONLY|os.O_APPEND, 0o644)
+	f, err := os.OpenFile(walPath(dir, st.WalSeq), os.O_CREATE|os.O_WRONLY|os.O_APPEND, 0o644)
 	if err != nil {
-		return nil, nil, fmt.Errorf("durable: open wal-%d: %w", walSeq, err)
+		return nil, nil, fmt.Errorf("durable: open wal-%d: %w", st.WalSeq, err)
 	}
 
 	l := &Log{
@@ -192,15 +276,66 @@ func Open(dir string, cfg LogConfig) (*Log, *Recovered, error) {
 		done: make(chan struct{}),
 		f:    f,
 		bw:   bufio.NewWriterSize(f, 1<<16),
+		off:  st.WalOff,
+		recs: st.Recs,
 	}
-	l.walSeq.Store(walSeq)
-	l.snapSeq.Store(snapSeq)
+	l.walSeq.Store(st.WalSeq)
+	l.snapSeq.Store(st.SnapSeq)
+	l.pos = Position{Seg: st.WalSeq, Off: st.WalOff, Recs: st.Recs}
 	go l.writer()
 	return l, rec, nil
 }
 
 // SnapSeq returns the newest snapshot's sequence number (0 before any).
 func (l *Log) SnapSeq() uint64 { return l.snapSeq.Load() }
+
+// Dir returns the data directory this log writes.
+func (l *Log) Dir() string { return l.dir }
+
+// FlushedPos returns the durable stream position: everything at or before
+// it is flushed to the segment file and safe for a replication reader.
+func (l *Log) FlushedPos() Position {
+	l.posMu.Lock()
+	defer l.posMu.Unlock()
+	return l.pos
+}
+
+// Watch returns a channel signalled (coalesced to one pending signal)
+// after every flush and rotation — the replication shipper's cue that
+// FlushedPos moved — plus a cancel that unregisters it (follower
+// connections come and go; their watchers must not accumulate).
+func (l *Log) Watch() (<-chan struct{}, func()) {
+	ch := make(chan struct{}, 1)
+	l.watchMu.Lock()
+	l.watchers = append(l.watchers, ch)
+	l.watchMu.Unlock()
+	cancel := func() {
+		l.watchMu.Lock()
+		for i, w := range l.watchers {
+			if w == ch {
+				l.watchers = append(l.watchers[:i], l.watchers[i+1:]...)
+				break
+			}
+		}
+		l.watchMu.Unlock()
+	}
+	return ch, cancel
+}
+
+// Done returns a channel closed when the writer goroutine has exited
+// (after Close or Crash).
+func (l *Log) Done() <-chan struct{} { return l.done }
+
+func (l *Log) notifyWatchers() {
+	l.watchMu.Lock()
+	for _, ch := range l.watchers {
+		select {
+		case ch <- struct{}{}:
+		default:
+		}
+	}
+	l.watchMu.Unlock()
+}
 
 // Append enqueues one record. It never blocks and never takes the
 // barrier lock: when the async buffer is full (or the log is closed) the
@@ -218,8 +353,32 @@ func (l *Log) Append(r *Record) {
 	}
 }
 
+// AppendBlocking enqueues one record, waiting for buffer space instead of
+// dropping on overflow. It exists for records whose loss is a permanent
+// correctness error rather than a bounded data loss: an eviction
+// tombstone that is dropped silently resurrects the evicted session on
+// every future recovery, where a dropped epoch record merely loses one
+// epoch's tail. Returns false only when the log is already closed (the
+// record then cannot be written at all, which is counted as a drop).
+func (l *Log) AppendBlocking(r *Record) bool {
+	if l.closed.Load() {
+		l.cfg.Metrics.add(l.cfg.Metrics.Dropped, 1)
+		return false
+	}
+	select {
+	case l.ops <- walOp{rec: r, block: true}:
+		return true
+	case <-l.done:
+		// The writer exited (Close/Crash raced ahead of us).
+		l.cfg.Metrics.add(l.cfg.Metrics.Dropped, 1)
+		return false
+	}
+}
+
 // barrier sends op and waits for the writer's reply; reply must be a
-// 1-buffered channel already stored in op.
+// 1-buffered channel already stored in op. The send blocks until the
+// (FIFO) buffer has room, so everything accepted before the barrier is
+// processed before it.
 func (l *Log) barrier(op walOp, reply chan error) error {
 	l.mu.Lock()
 	if l.closed.Load() {
@@ -240,8 +399,8 @@ func (l *Log) Sync() error {
 // Snapshot drains pending appends, captures a snapshot via the callback
 // (which runs on the writer goroutine, so it sits at a record boundary),
 // writes it atomically, rotates to a fresh WAL segment, and deletes the
-// superseded files. The callback's Snapshot gets its Version and Seq
-// filled in here. A capture error aborts the snapshot; the current
+// superseded files. The callback's Snapshot gets its Version, Seq and
+// Recs filled in here. A capture error aborts the snapshot; the current
 // segment keeps appending.
 func (l *Log) Snapshot(capture func() (*Snapshot, error)) error {
 	reply := make(chan error, 1)
@@ -291,6 +450,9 @@ func (l *Log) writer() {
 	for {
 		select {
 		case op := <-l.ops:
+			if l.cfg.gate != nil {
+				<-l.cfg.gate
+			}
 			switch {
 			case op.rec != nil:
 				l.writeRecord(op.rec)
@@ -335,6 +497,8 @@ func (l *Log) writeRecord(r *Record) {
 		return
 	}
 	l.dirty = true
+	l.off += int64(len(l.buf))
+	l.recs++
 	l.cfg.Metrics.add(l.cfg.Metrics.Records, 1)
 	l.cfg.Metrics.add(l.cfg.Metrics.Bytes, int64(len(l.buf)))
 }
@@ -347,7 +511,16 @@ func (l *Log) flushSync() error {
 		return err
 	}
 	l.dirty = false
+	l.publishPos()
 	return nil
+}
+
+// publishPos records the flushed position and wakes replication watchers.
+func (l *Log) publishPos() {
+	l.posMu.Lock()
+	l.pos = Position{Seg: l.walSeq.Load(), Off: l.off, Recs: l.recs}
+	l.posMu.Unlock()
+	l.notifyWatchers()
 }
 
 // rotate is the compaction step: capture → write snap-<walSeq> → open
@@ -363,6 +536,7 @@ func (l *Log) rotate(capture func() (*Snapshot, error)) error {
 	oldWal, oldSnap := l.walSeq.Load(), l.snapSeq.Load()
 	snap.Version = SnapshotVersion
 	snap.Seq = oldWal
+	snap.Recs = l.recs
 	if err := writeSnapshot(snapPath(l.dir, oldWal), snap); err != nil {
 		return err
 	}
@@ -376,8 +550,10 @@ func (l *Log) rotate(capture func() (*Snapshot, error)) error {
 	l.f = nf
 	l.bw = bufio.NewWriterSize(nf, 1<<16)
 	l.dirty = false
+	l.off = 0
 	l.walSeq.Store(newSeq)
 	l.snapSeq.Store(oldWal)
+	l.publishPos()
 
 	// Best-effort cleanup: leftovers are harmless (replay no-ops) and
 	// removed at the next rotation.
@@ -427,11 +603,9 @@ func writeSnapshot(path string, snap *Snapshot) error {
 	return syncDir(filepath.Dir(path))
 }
 
-func loadSnapshot(path string) (*Snapshot, error) {
-	data, err := os.ReadFile(path)
-	if err != nil {
-		return nil, err
-	}
+// parseSnapshot decodes snapshot bytes with the same version policy as
+// loading from disk: any version other than this build's is a hard error.
+func parseSnapshot(data []byte) (*Snapshot, error) {
 	// One decode on the happy path (snapshots run to tens of MB; parsing
 	// twice doubles recovery's JSON bill). A failed decode re-probes just
 	// the version field so a format bump still fails with "unsupported
@@ -452,6 +626,14 @@ func loadSnapshot(path string) (*Snapshot, error) {
 			snap.Version, SnapshotVersion)
 	}
 	return snap, nil
+}
+
+func loadSnapshot(path string) (*Snapshot, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	return parseSnapshot(data)
 }
 
 // syncDir fsyncs a directory so renames/creates within it are durable.

@@ -1,0 +1,498 @@
+package durable
+
+import (
+	"bufio"
+	"bytes"
+	"context"
+	"encoding/json"
+	"net"
+	"os"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+)
+
+// recHandler records everything the tailer verified, in apply order.
+type recHandler struct {
+	mu     sync.Mutex
+	recs   []*Record
+	snaps  []*Snapshot
+	resets int
+}
+
+func (h *recHandler) ApplySnapshot(s *Snapshot, reset bool) error {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	h.snaps = append(h.snaps, s)
+	if reset {
+		h.resets++
+	}
+	return nil
+}
+
+func (h *recHandler) ApplyRecord(r *Record) error {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	h.recs = append(h.recs, r)
+	return nil
+}
+
+func (h *recHandler) count() int {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	return len(h.recs)
+}
+
+func (h *recHandler) epochs() []int {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	out := make([]int, len(h.recs))
+	for i, r := range h.recs {
+		out[i] = r.Epoch
+	}
+	return out
+}
+
+func (h *recHandler) stats() (snaps, resets int) {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	return len(h.snaps), h.resets
+}
+
+// startShip serves lg over a loopback listener and returns its address.
+func startShip(t *testing.T, lg *Log, gen uint64) string {
+	t.Helper()
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	ss := NewShipServer(ShipConfig{Log: lg, Gen: gen, HeartbeatEvery: 10 * time.Millisecond})
+	go ss.Serve(ln)
+	t.Cleanup(func() {
+		ln.Close()
+		ss.Close()
+	})
+	return ln.Addr().String()
+}
+
+// startTail recovers dir's mirror state and runs a tailer against addr.
+func startTail(t *testing.T, dir, addr string, h TailHandler) (*Tailer, chan error) {
+	t.Helper()
+	_, st, err := Recover(dir, LogConfig{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	tl, err := NewTailer(TailConfig{
+		Dir: dir, Addr: addr, Handler: h,
+		BaseBackoff: 5 * time.Millisecond, MaxBackoff: 50 * time.Millisecond,
+	}, st)
+	if err != nil {
+		t.Fatal(err)
+	}
+	done := make(chan error, 1)
+	go func() { done <- tl.Run(context.Background()) }()
+	t.Cleanup(tl.Stop)
+	return tl, done
+}
+
+func waitUntil(t *testing.T, what string, cond func() bool) {
+	t.Helper()
+	deadline := time.Now().Add(10 * time.Second)
+	for time.Now().Before(deadline) {
+		if cond() {
+			return
+		}
+		time.Sleep(2 * time.Millisecond)
+	}
+	t.Fatalf("timed out waiting for %s", what)
+}
+
+// TestShipTailLiveFollowAndRotation drives the full happy path: bulk
+// catch-up from a cold connect, the live tail as the leader keeps
+// flushing, a rotation while the follower is attached (the snapshot ships
+// as a compaction marker), and post-rotation records — after which the
+// follower's mirror is position-identical to the leader's directory and
+// every record was applied exactly once, in order.
+func TestShipTailLiveFollowAndRotation(t *testing.T) {
+	leaderDir, followerDir := t.TempDir(), t.TempDir()
+	lg, _ := openTest(t, leaderDir)
+	defer lg.Close()
+	for i := 0; i < 20; i++ {
+		lg.Append(testRecord(i))
+	}
+	if err := lg.Sync(); err != nil {
+		t.Fatal(err)
+	}
+
+	addr := startShip(t, lg, 1)
+	h := &recHandler{}
+	tl, done := startTail(t, followerDir, addr, h)
+	waitUntil(t, "bulk catch-up", func() bool { return tl.AppliedRecs() == 20 })
+
+	// Live tail.
+	for i := 20; i < 30; i++ {
+		lg.Append(testRecord(i))
+	}
+	if err := lg.Sync(); err != nil {
+		t.Fatal(err)
+	}
+	waitUntil(t, "live tail", func() bool { return tl.AppliedRecs() == 30 })
+
+	// Rotation while the follower is attached: the new snapshot ships as a
+	// compaction marker, never as a reset.
+	if err := lg.Snapshot(func() (*Snapshot, error) {
+		return &Snapshot{Seed: 9, NextGen: 30}, nil
+	}); err != nil {
+		t.Fatal(err)
+	}
+	for i := 30; i < 35; i++ {
+		lg.Append(testRecord(i))
+	}
+	if err := lg.Sync(); err != nil {
+		t.Fatal(err)
+	}
+	waitUntil(t, "post-rotation records", func() bool { return tl.AppliedRecs() == 35 && h.count() == 35 })
+	waitUntil(t, "leader position frame", func() bool { return tl.LeaderRecs() == 35 })
+
+	if snaps, resets := h.stats(); snaps != 1 || resets != 0 {
+		t.Fatalf("follower saw %d snapshots (%d resets); want exactly one compaction marker", snaps, resets)
+	}
+	for i, e := range h.epochs() {
+		if e != i {
+			t.Fatalf("record %d applied with epoch %d; stream order broken", i, e)
+		}
+	}
+
+	tl.Stop()
+	if err := <-done; err != nil {
+		t.Fatalf("tailer: %v", err)
+	}
+	// The stopped mirror is a valid data dir at exactly the leader's
+	// durable position.
+	_, lst, err := Recover(leaderDir, LogConfig{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, fst, err := Recover(followerDir, LogConfig{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if fst != lst {
+		t.Fatalf("mirror position %+v != leader position %+v", fst, lst)
+	}
+	frec, _, err := Recover(followerDir, LogConfig{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if frec.Snapshot == nil || frec.Snapshot.Seed != 9 || len(frec.Records) != 5 {
+		t.Fatalf("mirror recovers snapshot=%v records=%d; want the leader's snapshot + 5 tail records",
+			frec.Snapshot, len(frec.Records))
+	}
+}
+
+// TestShipResetsLaggedFollower: a follower whose position predates the
+// leader's newest snapshot (here: a fresh one attaching after a rotation
+// already deleted the early segments) cannot resume and is rebuilt from
+// the snapshot — ApplySnapshot(reset) carries the base, and only the
+// post-snapshot records stream as WAL frames.
+func TestShipResetsLaggedFollower(t *testing.T) {
+	leaderDir, followerDir := t.TempDir(), t.TempDir()
+	lg, _ := openTest(t, leaderDir)
+	defer lg.Close()
+	for i := 0; i < 10; i++ {
+		lg.Append(testRecord(i))
+	}
+	if err := lg.Snapshot(func() (*Snapshot, error) {
+		return &Snapshot{Seed: 3, NextGen: 10}, nil
+	}); err != nil {
+		t.Fatal(err)
+	}
+	for i := 10; i < 15; i++ {
+		lg.Append(testRecord(i))
+	}
+	if err := lg.Sync(); err != nil {
+		t.Fatal(err)
+	}
+
+	addr := startShip(t, lg, 1)
+	h := &recHandler{}
+	tl, _ := startTail(t, followerDir, addr, h)
+	waitUntil(t, "reset + catch-up", func() bool { return tl.AppliedRecs() == 15 })
+
+	if snaps, resets := h.stats(); snaps != 1 || resets != 1 {
+		t.Fatalf("follower saw %d snapshots (%d resets); want exactly one reset", snaps, resets)
+	}
+	if h.snaps[0].Seed != 3 || h.snaps[0].Recs != 10 {
+		t.Fatalf("reset snapshot came through as %+v", h.snaps[0])
+	}
+	if got := h.epochs(); len(got) != 5 || got[0] != 10 || got[4] != 14 {
+		t.Fatalf("streamed records %v; want exactly the post-snapshot tail 10..14", got)
+	}
+}
+
+// TestShipRefusesFutureGenFollower: a leader must refuse a follower that
+// has already followed a newer generation (the leader is the resurrected
+// stale node). The follower's mirror is never rewound — it applies
+// nothing and keeps retrying until an operator intervenes or a real
+// leader appears.
+func TestShipRefusesFutureGenFollower(t *testing.T) {
+	leaderDir, followerDir := t.TempDir(), t.TempDir()
+	lg, _ := openTest(t, leaderDir)
+	defer lg.Close()
+	lg.Append(testRecord(0))
+	if err := lg.Sync(); err != nil {
+		t.Fatal(err)
+	}
+	if err := WriteGen(followerDir, 5); err != nil {
+		t.Fatal(err)
+	}
+
+	addr := startShip(t, lg, 1) // generation 1 < the follower's 5
+	var recon countingCounter
+	_, st, err := Recover(followerDir, LogConfig{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	tl, err := NewTailer(TailConfig{
+		Dir: followerDir, Addr: addr, Handler: &recHandler{},
+		BaseBackoff: time.Millisecond, MaxBackoff: 5 * time.Millisecond,
+		Reconnects: &recon,
+	}, st)
+	if err != nil {
+		t.Fatal(err)
+	}
+	done := make(chan error, 1)
+	go func() { done <- tl.Run(context.Background()) }()
+	waitUntil(t, "repeated refusals", func() bool { return recon.n.Load() >= 3 })
+	if tl.AppliedRecs() != 0 {
+		t.Fatalf("stale leader shipped %d records into a generation-5 mirror", tl.AppliedRecs())
+	}
+	tl.Stop()
+	if err := <-done; err != nil {
+		t.Fatalf("tailer: %v", err)
+	}
+}
+
+// TestTailStaleLeaderGenTerminal: if a dialed leader somehow ACCEPTS the
+// hello but announces a generation below what this mirror has already
+// followed, the tailer treats it as terminal (retrying a generation that
+// can never grow back is pointless) rather than reconnecting forever.
+func TestTailStaleLeaderGenTerminal(t *testing.T) {
+	dir := t.TempDir()
+	if err := WriteGen(dir, 5); err != nil {
+		t.Fatal(err)
+	}
+	srv, cli := net.Pipe()
+	defer srv.Close()
+	_, st, err := Recover(dir, LogConfig{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	tl, err := NewTailer(TailConfig{
+		Dir: dir, Addr: "pipe", Handler: &recHandler{},
+		Dial: func(context.Context) (net.Conn, error) { return cli, nil },
+	}, st)
+	if err != nil {
+		t.Fatal(err)
+	}
+	go func() {
+		br := bufio.NewReader(srv)
+		if _, err := br.ReadBytes('\n'); err != nil {
+			return
+		}
+		b, _ := json.Marshal(&shipFrame{T: "gen", Gen: 3})
+		srv.Write(append(b, '\n'))
+	}()
+	if err := tl.Run(context.Background()); err != errStaleLeader {
+		t.Fatalf("Run returned %v; want the terminal errStaleLeader", err)
+	}
+}
+
+// TestTailRefusesDisjointSegFrames: a seg frame that moves the mirror
+// backward, skips a segment, or leaves a byte gap is refused outright — a
+// stale or confused leader must not be able to rewind or hole the mirror.
+func TestTailRefusesDisjointSegFrames(t *testing.T) {
+	for _, fr := range []*shipFrame{
+		{T: "seg", Seq: 2, Off: 0},  // backward segment
+		{T: "seg", Seq: 3, Off: 39}, // backward offset
+		{T: "seg", Seq: 3, Off: 41}, // byte gap
+		{T: "seg", Seq: 5, Off: 0},  // skipped segment
+	} {
+		tl := &Tailer{cfg: TailConfig{Dir: t.TempDir(), Handler: &recHandler{}}, seg: 3, off: 40}
+		err := tl.applySeg(fr, bufio.NewReader(bytes.NewReader(nil)))
+		if err == nil || !strings.Contains(err.Error(), "refusing stale/disjoint") {
+			t.Fatalf("frame %+v: got %v; want a stale/disjoint refusal", fr, err)
+		}
+	}
+}
+
+// TestTailTornChunkAppliesIntactPrefix: a chunk whose tail fails CRC
+// verification (leader died mid-frame, bytes mangled in transit) applies
+// and mirrors exactly the intact frame prefix, then errors so the
+// reconnect hello resumes from the last verified byte.
+func TestTailTornChunkAppliesIntactPrefix(t *testing.T) {
+	dir := t.TempDir()
+	h := &recHandler{}
+	tl := &Tailer{cfg: TailConfig{Dir: dir, Handler: h}, seg: 1, off: 0}
+	var payload []byte
+	var err error
+	for i := 0; i < 2; i++ {
+		if payload, err = appendRecord(payload, testRecord(i)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	valid := int64(len(payload))
+	payload = append(payload, []byte("deadbeef torn mid-frame")...)
+
+	err = tl.applySeg(&shipFrame{T: "seg", Seq: 1, Off: 0, Len: int64(len(payload))},
+		bufio.NewReader(bytes.NewReader(payload)))
+	if err == nil || !strings.Contains(err.Error(), "torn frame") {
+		t.Fatalf("torn chunk returned %v; want a torn-frame resync error", err)
+	}
+	if h.count() != 2 || tl.off != valid || tl.AppliedRecs() != 2 {
+		t.Fatalf("applied %d records, mirror at %d (want 2 records at %d)", h.count(), tl.off, valid)
+	}
+	fi, err := os.Stat(walPath(dir, 1))
+	if err != nil || fi.Size() != valid {
+		t.Fatalf("mirror segment holds %v bytes (err %v); the unverified tail must never hit disk", fi, err)
+	}
+}
+
+// TestShipTailFollowerRestartResume: a stopped follower that restarts —
+// even with a torn tail scribbled onto its mirror in between — truncates
+// to the intact prefix, hellos with its position, and receives exactly
+// the missing suffix: nothing is re-applied, nothing is skipped.
+func TestShipTailFollowerRestartResume(t *testing.T) {
+	leaderDir, followerDir := t.TempDir(), t.TempDir()
+	lg, _ := openTest(t, leaderDir)
+	defer lg.Close()
+	for i := 0; i < 10; i++ {
+		lg.Append(testRecord(i))
+	}
+	if err := lg.Sync(); err != nil {
+		t.Fatal(err)
+	}
+	addr := startShip(t, lg, 1)
+
+	h1 := &recHandler{}
+	tl1, done1 := startTail(t, followerDir, addr, h1)
+	waitUntil(t, "first tailer catch-up", func() bool { return tl1.AppliedRecs() == 10 })
+	tl1.Stop()
+	if err := <-done1; err != nil {
+		t.Fatal(err)
+	}
+
+	// The leader moves on while the follower is down; the follower's
+	// mirror grows a torn tail (unsynced page the crash half-wrote).
+	for i := 10; i < 20; i++ {
+		lg.Append(testRecord(i))
+	}
+	if err := lg.Sync(); err != nil {
+		t.Fatal(err)
+	}
+	f, err := os.OpenFile(walPath(followerDir, 1), os.O_WRONLY|os.O_APPEND, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	f.WriteString("half-written torn tail")
+	f.Close()
+
+	h2 := &recHandler{}
+	tl2, done2 := startTail(t, followerDir, addr, h2)
+	waitUntil(t, "resumed catch-up", func() bool { return tl2.AppliedRecs() == 20 })
+	if got := h2.epochs(); len(got) != 10 || got[0] != 10 || got[9] != 19 {
+		t.Fatalf("restart re-shipped %v; want exactly the missed suffix 10..19", got)
+	}
+	tl2.Stop()
+	if err := <-done2; err != nil {
+		t.Fatal(err)
+	}
+	_, lst, err := Recover(leaderDir, LogConfig{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, fst, err := Recover(followerDir, LogConfig{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if fst != lst {
+		t.Fatalf("mirror position %+v != leader position %+v", fst, lst)
+	}
+}
+
+// TestLogBarrierBlocksUntilDrainNoStraddle pins the durability-loss fix:
+// a barrier (Sync here; Snapshot and Close share the path) must drain the
+// queue it joined — it cannot jump ahead of a full buffer — and every
+// record the log ACCEPTED before the barrier returned is on disk
+// afterwards, even when overflow was dropping records around it. A drop
+// can therefore never straddle a barrier: what was dropped was never
+// acknowledged, and what was acknowledged is durable.
+func TestLogBarrierBlocksUntilDrainNoStraddle(t *testing.T) {
+	dir := t.TempDir()
+	var dropped countingCounter
+	gate := make(chan struct{})
+	lg, _, err := Open(dir, LogConfig{
+		FsyncInterval: time.Hour, Buffer: 4,
+		Metrics: Metrics{Dropped: &dropped},
+		gate:    gate,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Park the writer: it dequeues this record, then blocks on the gate.
+	lg.Append(testRecord(0))
+	// Overflow the 4-slot buffer behind the stall.
+	appended := 0
+	for dropped.n.Load() == 0 && appended < 1000 {
+		appended++
+		lg.Append(testRecord(appended))
+	}
+	if dropped.n.Load() == 0 {
+		t.Fatal("could not overflow the buffer")
+	}
+	// A blocking append (eviction tombstone) and a sync barrier both queue
+	// behind the stalled writer...
+	abDone := make(chan bool, 1)
+	go func() { abDone <- lg.AppendBlocking(&Record{T: RecEvict, Token: "tomb"}) }()
+	syncDone := make(chan error, 1)
+	go func() { syncDone <- lg.Sync() }()
+	select {
+	case <-abDone:
+		t.Fatal("AppendBlocking completed while the writer was stalled")
+	case err := <-syncDone:
+		t.Fatalf("Sync returned %v while the writer was stalled — the barrier jumped the queue", err)
+	case <-time.After(50 * time.Millisecond):
+		// ...and neither completes until the writer drains.
+	}
+	close(gate)
+	if !<-abDone {
+		t.Fatal("AppendBlocking reported the log closed")
+	}
+	if err := <-syncDone; err != nil {
+		t.Fatal(err)
+	}
+	// A final barrier covers the tombstone regardless of which side of the
+	// first barrier it landed on, then an unflushed crash: everything the
+	// log accepted must already be on disk.
+	if err := lg.Sync(); err != nil {
+		t.Fatal(err)
+	}
+	lg.Crash()
+
+	_, rec := openTest(t, dir)
+	accepted := 1 + appended - int(dropped.n.Load()) + 1
+	if len(rec.Records) != accepted {
+		t.Fatalf("recovered %d records; parked 1 + appended %d − dropped %d + tombstone 1 = %d — a drop straddled a barrier",
+			len(rec.Records), appended, dropped.n.Load(), accepted)
+	}
+	tomb := false
+	for _, r := range rec.Records {
+		if r.T == RecEvict && r.Token == "tomb" {
+			tomb = true
+		}
+	}
+	if !tomb {
+		t.Fatal("the blocking-appended tombstone was dropped")
+	}
+}

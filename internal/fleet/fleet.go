@@ -1,0 +1,344 @@
+// Package fleet is the gateway in front of a replicated serving fleet: it
+// accepts scheduler sessions on one address and routes each to a
+// replication group of agentd daemons (a leader plus its followers,
+// internal/serve replica mode). Routing is by session token with
+// rendezvous hashing, so a group can be added without remapping every
+// session, and a reconnecting client with a resumption token always lands
+// on the same group — including after that group's leader died and a
+// follower was promoted in its place.
+//
+// The gateway is a layer-4 proxy with exactly one protocol smart: it reads
+// the hello frame (the first NDJSON line of every session) to learn the
+// token. A hello without a token gets one injected before forwarding — the
+// daemon honors client-chosen tokens and echoes them in its hello reply,
+// so the client adopts the gateway's token and every future reconnect
+// hashes to the same group. After the hello the connection is spliced
+// byte-for-byte; the gateway never parses another frame.
+//
+// Failover is the health monitor's job (health.go): when a group's head
+// stops answering /healthz it promotes the next healthy member via
+// /promote and re-homes new connections there. Clients riding a dead
+// leader see a transport error, back off, re-dial the gateway, present
+// their token, and resume on the promoted follower — zero protocol errors.
+package fleet
+
+import (
+	"bufio"
+	"context"
+	"crypto/rand"
+	"encoding/hex"
+	"encoding/json"
+	"fmt"
+	"hash/fnv"
+	"io"
+	"net"
+	"net/http"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/serve"
+)
+
+// Backend is one daemon of a replication group.
+type Backend struct {
+	// Addr is the scheduler-session (NDJSON) address.
+	Addr string
+	// Health is the daemon's HTTP control address (/healthz, /promote).
+	Health string
+}
+
+// Group is one replication group: a leader and its followers. Members[0]
+// is the leader at gateway start; the health monitor moves the head on
+// failover.
+type Group struct {
+	Name    string
+	Members []Backend
+}
+
+// Config holds the gateway's knobs.
+type Config struct {
+	// Groups are the replication groups traffic is hashed across. At
+	// least one, each with at least one member.
+	Groups []Group
+	// HealthInterval is the monitor's poll cadence per group (default
+	// 200ms). One poll must answer within the interval to count healthy.
+	HealthInterval time.Duration
+	// FailThreshold is how many consecutive failed polls trigger failover
+	// (default 3).
+	FailThreshold int
+	// DialTimeout bounds one backend dial (default 2s).
+	DialTimeout time.Duration
+	// HelloTimeout bounds reading the client's hello frame (default 5s).
+	HelloTimeout time.Duration
+	// MaxLineBytes bounds the hello frame (default 1MiB, matching the
+	// daemon).
+	MaxLineBytes int
+	// Logf receives progress lines (default: silent).
+	Logf func(format string, args ...any)
+	// Registry receives the gateway's metrics (default: a fresh one).
+	Registry *serve.Registry
+}
+
+func (c Config) withDefaults() Config {
+	if c.HealthInterval <= 0 {
+		c.HealthInterval = 200 * time.Millisecond
+	}
+	if c.FailThreshold <= 0 {
+		c.FailThreshold = 3
+	}
+	if c.DialTimeout <= 0 {
+		c.DialTimeout = 2 * time.Second
+	}
+	if c.HelloTimeout <= 0 {
+		c.HelloTimeout = 5 * time.Second
+	}
+	if c.MaxLineBytes <= 0 {
+		c.MaxLineBytes = 1 << 20
+	}
+	if c.Logf == nil {
+		c.Logf = func(string, ...any) {}
+	}
+	if c.Registry == nil {
+		c.Registry = serve.NewRegistry()
+	}
+	return c
+}
+
+// group is a Group plus its runtime routing state.
+type group struct {
+	Group
+	// head indexes Members at the current leader; swapped by the health
+	// monitor on failover, read by every routed connection.
+	head atomic.Int32
+	// fails counts consecutive failed health polls (monitor goroutine
+	// only).
+	fails int
+}
+
+// Gateway routes scheduler sessions across replication groups.
+type Gateway struct {
+	cfg    Config
+	groups []*group
+	reg    *serve.Registry
+	wg     sync.WaitGroup
+
+	mConns     *serve.Counter
+	mActive    *serve.Gauge
+	mIssued    *serve.Counter
+	mDialErrs  *serve.Counter
+	mFailovers *serve.Counter
+	mPromErrs  *serve.Counter
+}
+
+// NewGateway validates cfg and builds a gateway (no I/O yet; Serve runs
+// it).
+func NewGateway(cfg Config) (*Gateway, error) {
+	cfg = cfg.withDefaults()
+	if len(cfg.Groups) == 0 {
+		return nil, fmt.Errorf("fleet: no groups configured")
+	}
+	gw := &Gateway{cfg: cfg, reg: cfg.Registry}
+	seen := map[string]bool{}
+	for i, g := range cfg.Groups {
+		if g.Name == "" {
+			return nil, fmt.Errorf("fleet: group %d has no name", i)
+		}
+		if seen[g.Name] {
+			return nil, fmt.Errorf("fleet: duplicate group name %q", g.Name)
+		}
+		seen[g.Name] = true
+		if len(g.Members) == 0 {
+			return nil, fmt.Errorf("fleet: group %q has no members", g.Name)
+		}
+		for _, b := range g.Members {
+			if b.Addr == "" || b.Health == "" {
+				return nil, fmt.Errorf("fleet: group %q: every member needs addr and health address", g.Name)
+			}
+		}
+		gw.groups = append(gw.groups, &group{Group: g})
+	}
+	gw.mConns = gw.reg.Counter("fleet_conns_total")
+	gw.mActive = gw.reg.Gauge("fleet_conns_active")
+	gw.mIssued = gw.reg.Counter("fleet_tokens_issued_total")
+	gw.mDialErrs = gw.reg.Counter("fleet_backend_dial_errors_total")
+	gw.mFailovers = gw.reg.Counter("fleet_failovers_total")
+	gw.mPromErrs = gw.reg.Counter("fleet_promote_errors_total")
+	return gw, nil
+}
+
+// Serve accepts and routes sessions on l until ctx ends or the listener
+// closes, then waits for the health monitors (spliced connections drain on
+// their own as the peers hang up).
+func (gw *Gateway) Serve(ctx context.Context, l net.Listener) error {
+	mctx, cancel := context.WithCancel(ctx)
+	defer cancel()
+	for _, g := range gw.groups {
+		gw.wg.Add(1)
+		go func(g *group) {
+			defer gw.wg.Done()
+			gw.monitor(mctx, g)
+		}(g)
+	}
+	stop := context.AfterFunc(ctx, func() { l.Close() })
+	defer stop()
+	var err error
+	for {
+		conn, aerr := core.AcceptRetry(l)
+		if aerr != nil {
+			if ctx.Err() == nil {
+				err = aerr
+			}
+			break
+		}
+		gw.wg.Add(1)
+		go func() {
+			defer gw.wg.Done()
+			gw.handleConn(conn)
+		}()
+	}
+	cancel()
+	gw.wg.Wait()
+	return err
+}
+
+// route picks the rendezvous-hash winner for token: the group whose
+// keyed hash of the token is highest. Every gateway instance computes the
+// same winner, and adding a group only moves the tokens that now hash
+// highest there.
+func (gw *Gateway) route(token string) *group {
+	best, bestScore := gw.groups[0], uint64(0)
+	for i, g := range gw.groups {
+		h := fnv.New64a()
+		io.WriteString(h, token)
+		io.WriteString(h, "/")
+		io.WriteString(h, g.Name)
+		if s := h.Sum64(); i == 0 || s > bestScore {
+			best, bestScore = g, s
+		}
+	}
+	return best
+}
+
+// newToken mints a session token no daemon has seen: 16 random bytes,
+// hex-encoded. Randomness (not a counter) keeps tokens unique across
+// gateway restarts, so a fresh client can never collide with — and silently
+// resume — a session some earlier gateway issued.
+func (gw *Gateway) newToken() string {
+	var b [16]byte
+	rand.Read(b[:]) // crypto/rand.Read cannot fail (it panics instead)
+	return "fleet-" + hex.EncodeToString(b[:])
+}
+
+// handleConn reads the hello, routes by token, forwards the hello to the
+// group's head, and splices the rest of the session byte-for-byte.
+func (gw *Gateway) handleConn(conn net.Conn) {
+	defer conn.Close()
+	gw.mConns.Inc()
+	gw.mActive.Add(1)
+	defer gw.mActive.Add(-1)
+
+	br := bufio.NewReader(conn)
+	conn.SetReadDeadline(time.Now().Add(gw.cfg.HelloTimeout))
+	line, err := core.NewFrameReader(br, gw.cfg.MaxLineBytes).Next()
+	if err != nil {
+		return // no hello, nothing to route
+	}
+	var hello serve.HelloMsg
+	if err := json.Unmarshal(line, &hello); err != nil {
+		gw.reply(conn, &core.SolutionMsg{Err: "fleet: malformed hello"})
+		return
+	}
+	if hello.Token == "" {
+		// Inject a token: the daemon echoes it in the hello reply, the
+		// client adopts it, and every reconnect hashes back to this group.
+		hello.Token = gw.newToken()
+		gw.mIssued.Inc()
+	}
+	g := gw.route(hello.Token)
+	backend := g.Members[g.head.Load()]
+
+	d := net.Dialer{Timeout: gw.cfg.DialTimeout}
+	up, err := d.Dial("tcp", backend.Addr)
+	if err != nil {
+		// The head is (re)starting or mid-failover: tell the client to
+		// back off and re-dial, exactly like a daemon shedding load. By
+		// its next attempt the monitor has re-homed the head.
+		gw.mDialErrs.Inc()
+		gw.reply(conn, &core.SolutionMsg{Err: "retry: fleet: backend unavailable", Retry: true})
+		return
+	}
+	defer up.Close()
+	buf, err := json.Marshal(&hello)
+	if err != nil {
+		return
+	}
+	up.SetWriteDeadline(time.Now().Add(gw.cfg.HelloTimeout))
+	if _, err := up.Write(append(buf, '\n')); err != nil {
+		gw.reply(conn, &core.SolutionMsg{Err: "retry: fleet: backend unavailable", Retry: true})
+		return
+	}
+	up.SetWriteDeadline(time.Time{})
+	conn.SetReadDeadline(time.Time{})
+
+	// Splice. Client→backend copies from br (it may hold bytes read past
+	// the hello line). Either side ending tears down both, so the peer's
+	// copy unblocks.
+	done := make(chan struct{}, 2)
+	go func() {
+		io.Copy(up, br)
+		up.Close()
+		conn.Close()
+		done <- struct{}{}
+	}()
+	go func() {
+		io.Copy(conn, up)
+		up.Close()
+		conn.Close()
+		done <- struct{}{}
+	}()
+	<-done
+	<-done
+}
+
+// reply writes one solution frame to the client (best-effort, bounded).
+func (gw *Gateway) reply(conn net.Conn, sol *core.SolutionMsg) {
+	conn.SetWriteDeadline(time.Now().Add(gw.cfg.HelloTimeout))
+	json.NewEncoder(conn).Encode(sol)
+}
+
+// Head returns the session address currently routed to for group name
+// (tests and /healthz).
+func (gw *Gateway) Head(name string) string {
+	for _, g := range gw.groups {
+		if g.Name == name {
+			return g.Members[g.head.Load()].Addr
+		}
+	}
+	return ""
+}
+
+// Handler returns the gateway's HTTP control surface: /metrics with the
+// registry and /healthz with per-group heads.
+func (gw *Gateway) Handler() http.Handler {
+	mux := http.NewServeMux()
+	mux.Handle("/metrics", gw.reg)
+	mux.HandleFunc("/healthz", func(w http.ResponseWriter, r *http.Request) {
+		type groupStatus struct {
+			Name string `json:"name"`
+			Head string `json:"head"`
+		}
+		var groups []groupStatus
+		for _, g := range gw.groups {
+			groups = append(groups, groupStatus{Name: g.Name, Head: g.Members[g.head.Load()].Addr})
+		}
+		w.Header().Set("Content-Type", "application/json")
+		json.NewEncoder(w).Encode(map[string]any{
+			"status":    "ok",
+			"groups":    groups,
+			"failovers": gw.mFailovers.Value(),
+		})
+	})
+	return mux
+}

@@ -1,0 +1,211 @@
+package fleet
+
+import (
+	"bufio"
+	"context"
+	"encoding/json"
+	"fmt"
+	"net"
+	"strings"
+	"testing"
+	"time"
+
+	"repro/internal/serve"
+)
+
+func TestNewGatewayValidation(t *testing.T) {
+	b := Backend{Addr: "a:1", Health: "a:2"}
+	for _, tc := range []struct {
+		name string
+		cfg  Config
+		want string
+	}{
+		{"no groups", Config{}, "no groups"},
+		{"unnamed", Config{Groups: []Group{{Members: []Backend{b}}}}, "no name"},
+		{"duplicate", Config{Groups: []Group{
+			{Name: "g", Members: []Backend{b}},
+			{Name: "g", Members: []Backend{b}},
+		}}, "duplicate"},
+		{"empty members", Config{Groups: []Group{{Name: "g"}}}, "no members"},
+		{"missing health", Config{Groups: []Group{{Name: "g", Members: []Backend{{Addr: "a:1"}}}}}, "health"},
+	} {
+		if _, err := NewGateway(tc.cfg); err == nil || !strings.Contains(err.Error(), tc.want) {
+			t.Errorf("%s: got %v, want an error mentioning %q", tc.name, err, tc.want)
+		}
+	}
+}
+
+// TestRouteDeterministicAndSpread: rendezvous routing is a pure function
+// of (token, group names) — two gateway instances agree on every token —
+// and tokens actually spread across groups.
+func TestRouteDeterministicAndSpread(t *testing.T) {
+	mk := func() *Gateway {
+		gw, err := NewGateway(Config{Groups: []Group{
+			{Name: "g0", Members: []Backend{{Addr: "a:1", Health: "a:2"}}},
+			{Name: "g1", Members: []Backend{{Addr: "b:1", Health: "b:2"}}},
+		}})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return gw
+	}
+	gw1, gw2 := mk(), mk()
+	hits := map[string]int{}
+	for i := 0; i < 200; i++ {
+		tok := fmt.Sprintf("session-%d", i)
+		g1, g2 := gw1.route(tok), gw2.route(tok)
+		if g1.Name != g2.Name {
+			t.Fatalf("token %q routed to %s and %s by identical gateways", tok, g1.Name, g2.Name)
+		}
+		hits[g1.Name]++
+	}
+	if hits["g0"] == 0 || hits["g1"] == 0 {
+		t.Fatalf("rendezvous hashing sent everything one way: %v", hits)
+	}
+	if gw1.Head("g0") != "a:1" || gw1.Head("missing") != "" {
+		t.Fatalf("Head: %q / %q", gw1.Head("g0"), gw1.Head("missing"))
+	}
+}
+
+// TestGatewayInjectsTokenAndSplices drives one session through a live
+// gateway against a scripted backend: the tokenless hello gets a fleet
+// token injected before forwarding, the backend's reply reaches the
+// client unmodified, and post-hello bytes splice both ways.
+func TestGatewayInjectsTokenAndSplices(t *testing.T) {
+	backendLn, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer backendLn.Close()
+	sawHello := make(chan serve.HelloMsg, 1)
+	go func() {
+		conn, err := backendLn.Accept()
+		if err != nil {
+			return
+		}
+		defer conn.Close()
+		br := bufio.NewReader(conn)
+		line, err := br.ReadBytes('\n')
+		if err != nil {
+			return
+		}
+		var hello serve.HelloMsg
+		json.Unmarshal(line, &hello)
+		sawHello <- hello
+		// Echo the token back like the daemon's hello reply, then echo
+		// every later line verbatim (the splice-proof stage).
+		json.NewEncoder(conn).Encode(map[string]string{"token": hello.Token})
+		for {
+			line, err := br.ReadBytes('\n')
+			if err != nil {
+				return
+			}
+			conn.Write(line)
+		}
+	}()
+
+	gw, err := NewGateway(Config{
+		Groups: []Group{{Name: "g0", Members: []Backend{
+			{Addr: backendLn.Addr().String(), Health: "127.0.0.1:1"},
+		}}},
+		HealthInterval: time.Hour, // keep the monitor quiet; health is not under test
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	gwLn, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	served := make(chan error, 1)
+	go func() { served <- gw.Serve(ctx, gwLn) }()
+	defer func() {
+		cancel()
+		if err := <-served; err != nil {
+			t.Errorf("gateway Serve: %v", err)
+		}
+	}()
+
+	conn, err := net.Dial("tcp", gwLn.Addr().String())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer conn.Close()
+	conn.SetDeadline(time.Now().Add(10 * time.Second))
+	fmt.Fprintf(conn, `{"topology":"t","n":6,"m":3,"spouts":2}`+"\n")
+
+	backendHello := <-sawHello
+	if !strings.HasPrefix(backendHello.Token, "fleet-") {
+		t.Fatalf("backend saw token %q; want an injected fleet token", backendHello.Token)
+	}
+	br := bufio.NewReader(conn)
+	line, err := br.ReadString('\n')
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(line, backendHello.Token) {
+		t.Fatalf("hello reply %q does not carry the injected token", line)
+	}
+	if got := gw.reg.Counter("fleet_tokens_issued_total").Value(); got != 1 {
+		t.Fatalf("fleet_tokens_issued_total = %d, want 1", got)
+	}
+	// Post-hello bytes splice verbatim.
+	fmt.Fprintf(conn, "ping-after-hello\n")
+	line, err = br.ReadString('\n')
+	if err != nil || line != "ping-after-hello\n" {
+		t.Fatalf("splice echoed %q, %v", line, err)
+	}
+}
+
+// TestGatewayShedsOnDeadBackend: a dial failure turns into a retryable
+// shed reply, not a dropped connection or a protocol error.
+func TestGatewayShedsOnDeadBackend(t *testing.T) {
+	dead, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	deadAddr := dead.Addr().String()
+	dead.Close()
+
+	gw, err := NewGateway(Config{
+		Groups:         []Group{{Name: "g0", Members: []Backend{{Addr: deadAddr, Health: "127.0.0.1:1"}}}},
+		HealthInterval: time.Hour,
+		DialTimeout:    200 * time.Millisecond,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	gwLn, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	served := make(chan error, 1)
+	go func() { served <- gw.Serve(ctx, gwLn) }()
+	defer func() {
+		cancel()
+		<-served
+	}()
+
+	conn, err := net.Dial("tcp", gwLn.Addr().String())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer conn.Close()
+	conn.SetDeadline(time.Now().Add(10 * time.Second))
+	fmt.Fprintf(conn, `{"token":"tok-1"}`+"\n")
+	var reply struct {
+		Err   string `json:"err"`
+		Retry bool   `json:"retry"`
+	}
+	if err := json.NewDecoder(conn).Decode(&reply); err != nil {
+		t.Fatal(err)
+	}
+	if !reply.Retry || !strings.Contains(reply.Err, "backend unavailable") {
+		t.Fatalf("dead backend reply %+v; want a retryable shed", reply)
+	}
+	if got := gw.reg.Counter("fleet_backend_dial_errors_total").Value(); got != 1 {
+		t.Fatalf("fleet_backend_dial_errors_total = %d, want 1", got)
+	}
+}

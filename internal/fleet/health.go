@@ -1,0 +1,103 @@
+package fleet
+
+import (
+	"context"
+	"fmt"
+	"io"
+	"net/http"
+	"time"
+)
+
+// The health monitor: one goroutine per group polls the head's /healthz.
+// FailThreshold consecutive misses declare the leader dead; the monitor
+// then walks the remaining members, promotes the first one that answers
+// /promote, and re-homes the group's head there. The dead leader stays in
+// the member list but is never re-promoted automatically — if it comes
+// back it is a stale generation the promoted node's followers refuse, and
+// an operator decides when it rejoins as a follower.
+
+// monitor polls g's head until ctx ends.
+func (gw *Gateway) monitor(ctx context.Context, g *group) {
+	t := time.NewTicker(gw.cfg.HealthInterval)
+	defer t.Stop()
+	for {
+		select {
+		case <-ctx.Done():
+			return
+		case <-t.C:
+		}
+		head := g.Members[g.head.Load()]
+		if gw.healthy(ctx, head) {
+			g.fails = 0
+			continue
+		}
+		g.fails++
+		if g.fails < gw.cfg.FailThreshold {
+			continue
+		}
+		gw.cfg.Logf("fleet: group %s: head %s failed %d health checks, failing over",
+			g.Name, head.Addr, g.fails)
+		gw.failover(ctx, g)
+		g.fails = 0
+	}
+}
+
+// healthy reports whether b answers /healthz within one poll interval.
+func (gw *Gateway) healthy(ctx context.Context, b Backend) bool {
+	rctx, cancel := context.WithTimeout(ctx, gw.cfg.HealthInterval)
+	defer cancel()
+	req, err := http.NewRequestWithContext(rctx, http.MethodGet, "http://"+b.Health+"/healthz", nil)
+	if err != nil {
+		return false
+	}
+	resp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		return false
+	}
+	io.Copy(io.Discard, resp.Body)
+	resp.Body.Close()
+	return resp.StatusCode == http.StatusOK
+}
+
+// failover promotes the first member after the dead head that accepts
+// /promote and re-homes the group there. No healthy candidate leaves the
+// head unchanged — connections keep getting retry replies and the next
+// monitor tick tries again.
+func (gw *Gateway) failover(ctx context.Context, g *group) {
+	dead := int(g.head.Load())
+	for off := 1; off < len(g.Members); off++ {
+		idx := (dead + off) % len(g.Members)
+		cand := g.Members[idx]
+		if err := gw.promote(ctx, cand); err != nil {
+			gw.mPromErrs.Inc()
+			gw.cfg.Logf("fleet: group %s: promote %s: %v", g.Name, cand.Addr, err)
+			continue
+		}
+		g.head.Store(int32(idx))
+		gw.mFailovers.Inc()
+		gw.cfg.Logf("fleet: group %s: promoted %s to leader", g.Name, cand.Addr)
+		return
+	}
+	gw.cfg.Logf("fleet: group %s: no promotable member; traffic keeps shedding until one recovers", g.Name)
+}
+
+// promote POSTs /promote to b. The daemon's endpoint is idempotent (200
+// when already serving), so a retried failover converges.
+func (gw *Gateway) promote(ctx context.Context, b Backend) error {
+	rctx, cancel := context.WithTimeout(ctx, gw.cfg.DialTimeout)
+	defer cancel()
+	req, err := http.NewRequestWithContext(rctx, http.MethodPost, "http://"+b.Health+"/promote", nil)
+	if err != nil {
+		return err
+	}
+	resp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		return err
+	}
+	body, _ := io.ReadAll(io.LimitReader(resp.Body, 1024))
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return fmt.Errorf("status %d: %s", resp.StatusCode, body)
+	}
+	return nil
+}

@@ -1,0 +1,120 @@
+package nn
+
+import (
+	"math/rand"
+	"reflect"
+	"testing"
+)
+
+// adamTrainStep runs one deterministic forward/backward/step cycle.
+func adamTrainStep(net *Network, opt *Adam, i int) {
+	x := []float64{0.3, -0.7, 0.1 * float64(i%7), 0.9}
+	out := net.Forward(x)
+	dOut := make([]float64, len(out))
+	for j, v := range out {
+		dOut[j] = v - float64(j%2) // pull toward an arbitrary fixed target
+	}
+	net.ZeroGrads()
+	net.Backward(dOut, 1)
+	opt.Step(net)
+}
+
+// TestAdamStateRoundTrip: transplanting State() into a fresh Adam resumes
+// the exact optimization trajectory — a network trained straight through
+// and one whose optimizer was serialized and restored mid-run end with
+// bitwise-identical weights. Without the moments the trajectories
+// diverge, which is exactly the drift snapshot v2 exists to eliminate.
+func TestAdamStateRoundTrip(t *testing.T) {
+	mkNet := func() *Network {
+		return New([]int{4, 6, 5, 3}, Tanh, Identity, rand.New(rand.NewSource(7)))
+	}
+	ref, refOpt := mkNet(), NewAdam(0.01)
+	sub, subOpt := mkNet(), NewAdam(0.01)
+	for i := 0; i < 10; i++ {
+		adamTrainStep(ref, refOpt, i)
+		adamTrainStep(sub, subOpt, i)
+	}
+
+	// Serialize sub's optimizer into a fresh one; also branch a control
+	// that restarts with cold moments.
+	st := subOpt.State()
+	if st.T != 10 || len(st.MW) != 3 {
+		t.Fatalf("captured state T=%d with %d moment layers; want T=10 over 3 layers", st.T, len(st.MW))
+	}
+	restored := NewAdam(0.01)
+	if err := restored.SetState(st, sub); err != nil {
+		t.Fatal(err)
+	}
+	// The round trip itself is lossless.
+	if !reflect.DeepEqual(restored.State(), st) {
+		t.Fatal("State→SetState→State round trip is not identity")
+	}
+	cold, coldOpt := mkNet(), NewAdam(0.01)
+	coldSrc := sub.Snapshot(nil)
+	if err := cold.Restore(coldSrc); err != nil {
+		t.Fatal(err)
+	}
+
+	for i := 10; i < 20; i++ {
+		adamTrainStep(ref, refOpt, i)
+		adamTrainStep(sub, restored, i)
+		adamTrainStep(cold, coldOpt, i)
+	}
+	if ref.Checksum() != sub.Checksum() {
+		t.Fatalf("restored-optimizer run diverged: %016x != %016x", sub.Checksum(), ref.Checksum())
+	}
+	if ref.Checksum() == cold.Checksum() {
+		t.Fatal("cold-moment run matched the reference; the test lost its power to detect moment loss")
+	}
+}
+
+// TestAdamSetStateMismatch: moments shaped for a different network are
+// refused without touching the optimizer.
+func TestAdamSetStateMismatch(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	big := New([]int{4, 6, 5, 3}, Tanh, Identity, rng)
+	small := New([]int{4, 3}, Tanh, Identity, rng)
+	opt := NewAdam(0.01)
+	adamTrainStep(big, opt, 0)
+	st := opt.State()
+
+	other := NewAdam(0.01)
+	if err := other.SetState(st, small); err == nil {
+		t.Fatal("layer-count mismatch accepted")
+	}
+	bad := opt.State()
+	bad.MW[0] = bad.MW[0][:3] // right layer count, wrong element count
+	if err := other.SetState(bad, big); err == nil {
+		t.Fatal("layer-shape mismatch accepted")
+	}
+	if other.t != 0 || other.mw != nil {
+		t.Fatal("failed SetState left partial state behind")
+	}
+}
+
+// TestAdamSetStateEmptyResets: the "never stepped" state restores the
+// lazy initial condition, after which training matches a truly fresh
+// optimizer.
+func TestAdamSetStateEmptyResets(t *testing.T) {
+	mkNet := func() *Network {
+		return New([]int{4, 6, 3}, Tanh, Identity, rand.New(rand.NewSource(3)))
+	}
+	a, aOpt := mkNet(), NewAdam(0.01)
+	adamTrainStep(a, aOpt, 0)
+	// Rewind the weights AND reset the optimizer: must equal a fresh run.
+	fresh := mkNet()
+	if err := a.Restore(fresh.Snapshot(nil)); err != nil {
+		t.Fatal(err)
+	}
+	if err := aOpt.SetState(&AdamState{}, a); err != nil {
+		t.Fatal(err)
+	}
+	b, bOpt := mkNet(), NewAdam(0.01)
+	for i := 0; i < 5; i++ {
+		adamTrainStep(a, aOpt, i)
+		adamTrainStep(b, bOpt, i)
+	}
+	if a.Checksum() != b.Checksum() {
+		t.Fatal("empty-state reset did not restore the pre-first-Step condition")
+	}
+}

@@ -1,6 +1,10 @@
 package rl
 
 import (
+	"encoding/binary"
+	"hash/fnv"
+	"io"
+	"math"
 	"math/rand"
 	"sort"
 	"sync"
@@ -195,6 +199,47 @@ func (s *ShardedReplay) Import(shards []ShardExport) {
 		}
 		sh.added = se.Added
 	}
+}
+
+// Checksum returns an FNV-64a digest of the buffer's full logical state:
+// every shard in sorted key order with its write sequence and transitions
+// oldest→newest, each float bit-exact. Two buffers holding the same
+// transitions in the same shard order checksum equal regardless of how
+// they got there (live adds, recovery replay, or an Import of an Export) —
+// the failover harness uses it to assert a promoted follower's replay is
+// bitwise the leader's last shipped barrier.
+func (s *ShardedReplay) Checksum() uint64 {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	h := fnv.New64a()
+	var scratch [8]byte
+	u64 := func(v uint64) {
+		binary.LittleEndian.PutUint64(scratch[:], v)
+		h.Write(scratch[:])
+	}
+	f64s := func(vs []float64) {
+		u64(uint64(len(vs)))
+		for _, v := range vs {
+			u64(math.Float64bits(v))
+		}
+	}
+	u64(uint64(len(s.keys)))
+	for _, key := range s.keys {
+		io.WriteString(h, key)
+		h.Write([]byte{0})
+		sh := s.shards[key]
+		u64(sh.added)
+		n := sh.buf.Len()
+		u64(uint64(n))
+		for i := 0; i < n; i++ {
+			t := sh.buf.At(ringIndex(sh.buf, i))
+			f64s(t.State)
+			f64s(t.Action)
+			u64(math.Float64bits(t.Reward))
+			f64s(t.NextState)
+		}
+	}
+	return h.Sum64()
 }
 
 // Sample draws n transitions uniformly at random (with replacement) across

@@ -1,0 +1,302 @@
+package serve
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"net"
+	"reflect"
+	"strings"
+	"testing"
+	"time"
+
+	"repro/internal/nn"
+)
+
+// The failover harness: a leader shipping its WAL to a live follower, a
+// lockstep learning run, a SIGKILL-equivalent leader death, and a
+// promotion that must hand every resumption token back — with the
+// follower's replay and weights bitwise the leader's last shipped
+// barrier. This is the serve-level acceptance test for the replicated
+// fleet; the byte-level ship/tail mechanics are pinned in
+// internal/durable's ship tests.
+
+// pickAddr reserves a loopback address for a listener started later.
+func pickAddr(t *testing.T) string {
+	t.Helper()
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	addr := ln.Addr().String()
+	ln.Close()
+	return addr
+}
+
+func waitCond(t *testing.T, what string, cond func() bool) {
+	t.Helper()
+	deadline := time.Now().Add(10 * time.Second)
+	for time.Now().Before(deadline) {
+		if cond() {
+			return
+		}
+		time.Sleep(2 * time.Millisecond)
+	}
+	t.Fatalf("timed out waiting for %s", what)
+}
+
+// followerTailer fetches the replica's tailer (nil until startReplica ran).
+func followerTailer(s *Server) interface{ AppliedRecs() uint64 } {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.repl == nil {
+		return nil
+	}
+	return s.repl.tailer
+}
+
+// TestReplicaFailoverGolden is the end-to-end failover acceptance run:
+//
+//  1. Leader serves and learns under 4 sessions while shipping its WAL;
+//     an explicit snapshot barrier mid-run ships the trained weights.
+//  2. At a sync barrier, the follower's warm state is compared against
+//     the leader's: session table and replay shards bitwise equal,
+//     weights and Adam moments bitwise the last shipped snapshot.
+//  3. The leader dies without flushing (in-process SIGKILL); the
+//     follower is promoted and every previously issued resumption token
+//     resumes at its exact epoch, then keeps stepping and learning.
+func TestReplicaFailoverGolden(t *testing.T) {
+	replAddr := pickAddr(t)
+	dirA, dirB := t.TempDir(), t.TempDir()
+
+	cfgA := durableConfig(dirA, true)
+	cfgA.ReplListen = replAddr
+	sA, addrA, crashA := startDurable(t, cfgA)
+
+	cfgB := durableConfig(dirB, false)
+	cfgB.ReplicateFrom = replAddr
+	sB, addrB, shutdownB := startDurable(t, cfgB)
+	defer shutdownB()
+
+	// ---- Phase 1: learn on the leader, snapshot mid-run.
+	clients := dialDurable(t, addrA, durSessions, false)
+	envs := make([]*goldenEnv, durSessions)
+	for i := range envs {
+		envs[i] = newGoldenEnv(1000+int64(i), durM, durSpouts)
+	}
+	var streams strings.Builder
+	key := modelKey{durN, durM, durSpouts}
+	var snapActor, snapCritic uint64
+	var snapAdamA, snapAdamC *nn.AdamState
+	for epoch := 1; epoch <= durPhase1; epoch++ {
+		stepAll(t, sA, clients, envs, &streams, epoch)
+		if epoch == durSnapAt {
+			if err := sA.SnapshotNow(); err != nil {
+				t.Fatalf("snapshot: %v", err)
+			}
+			sA.mu.Lock()
+			mdl := sA.models[key]
+			sA.mu.Unlock()
+			snapActor, snapCritic = mdl.learner.checksums()
+			aOpt, cOpt := mdl.learner.ac.Optimizers()
+			snapAdamA, snapAdamC = aOpt.State(), cOpt.State()
+		}
+	}
+	if got := sA.reg.Counter("serve_wal_dropped_total").Value(); got != 0 {
+		t.Fatalf("WAL dropped %d records under lockstep load", got)
+	}
+
+	// ---- Barrier: everything acknowledged is flushed, shipped, applied.
+	liveSnap, err := sA.captureSnapshot()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := sA.dur.Sync(); err != nil {
+		t.Fatal(err)
+	}
+	leaderRecs := sA.dur.FlushedPos().Recs
+	waitCond(t, "follower catch-up", func() bool {
+		tl := followerTailer(sB)
+		return tl != nil && tl.AppliedRecs() == leaderRecs
+	})
+
+	// The follower's warm state IS the leader's state at the barrier.
+	sA.mu.Lock()
+	mdlA := sA.models[key]
+	sA.mu.Unlock()
+	sB.mu.Lock()
+	mdlB := sB.models[key]
+	sB.mu.Unlock()
+	if mdlB == nil || mdlB.learner == nil {
+		t.Fatal("follower never built the replicated model")
+	}
+	bActor, bCritic := mdlB.learner.checksums()
+	if bActor != snapActor || bCritic != snapCritic {
+		t.Fatalf("follower weights %016x/%016x != leader's last shipped snapshot %016x/%016x",
+			bActor, bCritic, snapActor, snapCritic)
+	}
+	bAOpt, bCOpt := mdlB.learner.ac.Optimizers()
+	if !reflect.DeepEqual(bAOpt.State(), snapAdamA) || !reflect.DeepEqual(bCOpt.State(), snapAdamC) {
+		t.Fatal("follower Adam moments diverge from the leader's snapshot-time moments")
+	}
+	if la, fa := mdlA.learner.replay.Checksum(), mdlB.learner.replay.Checksum(); la != fa {
+		t.Fatalf("follower replay checksum %016x != leader's %016x at the sync barrier", fa, la)
+	}
+	replSnap, err := sB.captureSnapshot()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(liveSnap.Sessions, replSnap.Sessions) {
+		t.Fatalf("replicated session table diverges from the leader's:\n leader %+v\n replica %+v",
+			liveSnap.Sessions, replSnap.Sessions)
+	}
+	if liveSnap.NextGen != replSnap.NextGen {
+		t.Fatalf("generation counter diverged: leader %d, replica %d", liveSnap.NextGen, replSnap.NextGen)
+	}
+	if !reflect.DeepEqual(liveSnap.Models[0].Shards, replSnap.Models[0].Shards) {
+		t.Fatal("replicated replay shards diverge from the leader's")
+	}
+	if got := sB.reg.Gauge("serve_repl_lag_records").Value(); got != 0 {
+		t.Fatalf("serve_repl_lag_records = %d at a caught-up barrier", got)
+	}
+	if got := sA.reg.Counter("serve_repl_segments_shipped_total").Value(); got == 0 {
+		t.Fatal("leader shipped no segment frames")
+	}
+	if got := sA.reg.Counter("serve_repl_snapshots_shipped_total").Value(); got == 0 {
+		t.Fatal("leader shipped no snapshot frames")
+	}
+
+	// A leader is not promotable.
+	if err := sA.Promote(); err == nil || !strings.Contains(err.Error(), "not a replica") {
+		t.Fatalf("leader Promote returned %v; want a not-a-replica refusal", err)
+	}
+
+	// ---- Leader dies between fsyncs; the follower takes over.
+	for _, c := range clients {
+		c.Close()
+	}
+	crashA()
+	if err := sB.Promote(); err != nil {
+		t.Fatalf("promote: %v", err)
+	}
+	if err := sB.Promote(); err == nil || !strings.Contains(err.Error(), "already promoted") {
+		t.Fatalf("second Promote returned %v; want an already-promoted refusal", err)
+	}
+	if got := sB.reg.Counter("serve_promotions_total").Value(); got != 1 {
+		t.Fatalf("serve_promotions_total = %d, want 1", got)
+	}
+	if got := sB.reg.Counter("serve_promotions_rejected_total").Value(); got != 1 {
+		t.Fatalf("serve_promotions_rejected_total = %d, want 1", got)
+	}
+	if got := sB.reg.Gauge("serve_role").Value(); got != 1 {
+		t.Fatalf("serve_role = %d after promotion, want 1", got)
+	}
+
+	// Every token the dead leader issued resumes on the promoted follower
+	// at its exact epoch, and the fleet keeps learning.
+	clients = dialDurable(t, addrB, durSessions, true)
+	defer func() {
+		for _, c := range clients {
+			c.Close()
+		}
+	}()
+	for i, c := range clients {
+		if c.Epoch() != durPhase1 {
+			t.Fatalf("resumed session %d at epoch %d, want %d", i, c.Epoch(), durPhase1)
+		}
+	}
+	if got := sB.reg.Counter("serve_sessions_resumed_total").Value(); got != durSessions {
+		t.Fatalf("promoted follower resumed %d sessions, want %d", got, durSessions)
+	}
+	for epoch := durPhase1 + 1; epoch <= durPhase1+10; epoch++ {
+		stepAll(t, sB, clients, envs, &streams, epoch)
+	}
+}
+
+// TestReplicaShedsBeforePromotion: a connection landing on an unpromoted
+// replica is shed with a retry reply — healthy backpressure the client
+// retries through, never a protocol error.
+func TestReplicaShedsBeforePromotion(t *testing.T) {
+	cfg := durableConfig(t.TempDir(), false)
+	cfg.ReplicateFrom = pickAddr(t) // nothing listens; the tailer just retries
+	s, addr, shutdown := startDurable(t, cfg)
+	defer shutdown()
+
+	c := NewSession(ClientConfig{
+		Addr:        addr,
+		Hello:       HelloMsg{Topology: "durable", N: durN, M: durM, Spouts: durSpouts, Token: "early"},
+		MaxAttempts: 2,
+		BaseBackoff: time.Millisecond,
+	})
+	err := c.Connect(context.Background())
+	if err == nil {
+		c.Close()
+		t.Fatal("connected to an unpromoted replica")
+	}
+	if !errors.Is(err, errShed) {
+		t.Fatalf("replica shed surfaced as %v; want a retryable shed, not a protocol error", err)
+	}
+	if got := s.reg.Counter("serve_requests_shed_total").Value(); got == 0 {
+		t.Fatal("replica shed connections without counting them")
+	}
+}
+
+// TestPromoteWhileRecordsInFlight: promotion is legal mid-stream — the
+// in-flight frame finishes applying, the tailer stops, and the node
+// starts serving immediately, while the old leader is still alive and
+// writing. (The gateway never does this; the test pins that the race is
+// safe when an operator or a flaky health check does.)
+func TestPromoteWhileRecordsInFlight(t *testing.T) {
+	replAddr := pickAddr(t)
+	cfgA := durableConfig(t.TempDir(), false)
+	cfgA.ReplListen = replAddr
+	sA, addrA, shutdownA := startDurable(t, cfgA)
+	defer shutdownA()
+	cfgB := durableConfig(t.TempDir(), false)
+	cfgB.ReplicateFrom = replAddr
+	sB, addrB, shutdownB := startDurable(t, cfgB)
+	defer shutdownB()
+
+	clients := dialDurable(t, addrA, durSessions, false)
+	defer func() {
+		for _, c := range clients {
+			c.Close()
+		}
+	}()
+	envs := make([]*goldenEnv, durSessions)
+	for i := range envs {
+		envs[i] = newGoldenEnv(2000+int64(i), durM, durSpouts)
+	}
+	var streams strings.Builder
+	for epoch := 1; epoch <= 10; epoch++ {
+		stepAll(t, sA, clients, envs, &streams, epoch)
+	}
+	if err := sA.dur.Sync(); err != nil {
+		t.Fatal(err)
+	}
+	// Make sure the replica machinery is up, then promote without waiting
+	// for catch-up: records may be mid-flight.
+	waitCond(t, "replica start", func() bool { return followerTailer(sB) != nil })
+	if err := sB.Promote(); err != nil {
+		t.Fatalf("promote with records in flight: %v", err)
+	}
+
+	// The promoted node serves fresh sessions at once...
+	env := newGoldenEnv(9, durM, durSpouts)
+	c := NewSession(ClientConfig{
+		Addr:  addrB,
+		Hello: HelloMsg{Topology: "durable", N: durN, M: durM, Spouts: durSpouts, Token: fmt.Sprintf("fresh-%d", 0)},
+	})
+	if err := c.Connect(context.Background()); err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+	meas, _ := env.measure(c.Assign())
+	if _, err := c.Step(context.Background(), meas); err != nil {
+		t.Fatalf("step on the promoted node: %v", err)
+	}
+	// ...and the old leader is untouched by it.
+	for epoch := 11; epoch <= 12; epoch++ {
+		stepAll(t, sA, clients, envs, &streams, epoch)
+	}
+}

@@ -32,18 +32,21 @@ import (
 // What recovery restores bitwise: session epoch/solution, ε-schedule
 // position and exploration-RNG stream position (reseeded from the token
 // and fast-forwarded by the journaled draw count), reward-normalizer
-// statistics, the pending transition, and the replay shards in their
-// exact contents and order. What restarts cold, by design: the trainer's
-// Adam moments and sampling RNG (reseeded deterministically from the
-// snapshot sequence) — training resumes from the snapshotted weights, so
-// recovered state is deterministic given the data dir, which is what the
-// golden durability harness asserts.
+// statistics, the pending transition, the replay shards in their exact
+// contents and order, and (since snapshot v2) the trainers' Adam moment
+// estimates and step counters — a recovered or promoted node resumes the
+// exact optimizer trajectory, not a re-warmed one. The only thing that
+// restarts cold, by design, is the trainer's sampling RNG (reseeded
+// deterministically from the snapshot sequence; rand.Rand positions are
+// not serializable) — so recovered state is deterministic given the data
+// dir, which is what the golden durability harness asserts.
 
-// openDurable opens Config.DataDir, replays its contents into the
-// server, and activates the journaling hooks. Called by Serve before any
-// model batch loop starts.
-func (s *Server) openDurable() error {
-	lg, recovered, err := durable.Open(s.cfg.DataDir, durable.LogConfig{
+// openLog opens Config.DataDir with the server's metric hooks wired in.
+// Shared by the leader's startup path and a replica's promotion (which
+// discards the Recovered value — its warm state already matches the
+// mirror byte for byte).
+func (s *Server) openLog() (*durable.Log, *durable.Recovered, error) {
+	return durable.Open(s.cfg.DataDir, durable.LogConfig{
 		FsyncInterval: s.cfg.FsyncInterval,
 		Buffer:        s.cfg.WALBuffer,
 		Metrics: durable.Metrics{
@@ -54,6 +57,13 @@ func (s *Server) openDurable() error {
 		},
 		Logf: log.Printf,
 	})
+}
+
+// openDurable opens Config.DataDir, replays its contents into the
+// server, and activates the journaling hooks. Called by Serve before any
+// model batch loop starts.
+func (s *Server) openDurable() error {
+	lg, recovered, err := s.openLog()
 	if err != nil {
 		return err
 	}
@@ -154,9 +164,21 @@ func (s *Server) restoreModel(ms *durable.ModelSnap, snapSeq uint64) error {
 		return err
 	}
 	l := mdl.learner
-	// The learner cloned the restored serving weights; targets come from
-	// the snapshot when present (checksums cover the main networks; the
-	// targets trail them by construction).
+	// ensureLearner clones the serving weights only when it creates the
+	// learner. A replica applying an in-stream snapshot marker already
+	// built the learner cold (epoch records precede the marker), so the
+	// trainer's own networks are restored explicitly — otherwise a
+	// promoted follower would keep training from initialization while
+	// serving the leader's weights.
+	la, _, lc, _ := l.ac.Networks()
+	if err := la.Restore(actor.Snapshot(nil)); err != nil {
+		return fmt.Errorf("learner actor: %w", err)
+	}
+	if err := lc.Restore(critic.Snapshot(nil)); err != nil {
+		return fmt.Errorf("learner critic: %w", err)
+	}
+	// Targets come from the snapshot when present (checksums cover the
+	// main networks; the targets trail them by construction).
 	if len(ms.ActorT) > 0 && len(ms.CriticT) > 0 {
 		at, err := unmarshalNet(ms.ActorT, 0, "actor target")
 		if err != nil {
@@ -175,6 +197,14 @@ func (s *Server) restoreModel(ms *durable.ModelSnap, snapSeq uint64) error {
 		}
 	}
 	l.updates = ms.Updates
+	actorNet, _, criticNet, _ := l.ac.Networks()
+	actorOpt, criticOpt := l.ac.Optimizers()
+	if err := actorOpt.SetState(optimState(ms.ActorOpt), actorNet); err != nil {
+		return fmt.Errorf("actor optimizer: %w", err)
+	}
+	if err := criticOpt.SetState(optimState(ms.CriticOpt), criticNet); err != nil {
+		return fmt.Errorf("critic optimizer: %w", err)
+	}
 	l.reseedForRecovery(snapSeq)
 	shards := make([]rl.ShardExport, len(ms.Shards))
 	for i, sh := range ms.Shards {
@@ -452,6 +482,9 @@ func (l *modelLearner) exportSnap() (durable.ModelSnap, error) {
 	ms.CriticT, errs[3] = criticT.MarshalBinary()
 	ms.ActorSum, ms.CriticSum = actor.Checksum(), critic.Checksum()
 	ms.Updates = l.updates
+	actorOpt, criticOpt := l.ac.Optimizers()
+	ms.ActorOpt = optimSnap(actorOpt.State())
+	ms.CriticOpt = optimSnap(criticOpt.State())
 	l.mu.Unlock()
 	for _, err := range errs {
 		if err != nil {
@@ -466,6 +499,36 @@ func (l *modelLearner) exportSnap() (durable.ModelSnap, error) {
 		ms.Shards = append(ms.Shards, sh)
 	}
 	return ms, nil
+}
+
+// optimSnap converts a captured Adam state to its snapshot form (shared
+// backing arrays — State() already copied).
+func optimSnap(s *nn.AdamState) *durable.OptimSnap {
+	os := &durable.OptimSnap{T: s.T}
+	for i := range s.MW {
+		os.MW = append(os.MW, durable.F64s(s.MW[i]))
+		os.VW = append(os.VW, durable.F64s(s.VW[i]))
+		os.MB = append(os.MB, durable.F64s(s.MB[i]))
+		os.VB = append(os.VB, durable.F64s(s.VB[i]))
+	}
+	return os
+}
+
+// optimState converts a snapshotted optimizer back to the nn form. A nil
+// OptimSnap restores the "never stepped" state.
+func optimState(os *durable.OptimSnap) *nn.AdamState {
+	s := &nn.AdamState{}
+	if os == nil {
+		return s
+	}
+	s.T = os.T
+	for i := range os.MW {
+		s.MW = append(s.MW, []float64(os.MW[i]))
+		s.VW = append(s.VW, []float64(os.VW[i]))
+		s.MB = append(s.MB, []float64(os.MB[i]))
+		s.VB = append(s.VB, []float64(os.VB[i]))
+	}
+	return s
 }
 
 // reseedForRecovery gives the trainer a fresh sampling RNG derived from

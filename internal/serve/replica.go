@@ -1,0 +1,283 @@
+package serve
+
+import (
+	"bufio"
+	"context"
+	"encoding/json"
+	"fmt"
+	"log"
+	"net"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/durable"
+)
+
+// Replica mode (tentpole of the replicated-fleet frontier): a daemon
+// started with Config.ReplicateFrom tails the leader's WAL over TCP
+// instead of accepting sessions. Every shipped record runs through the
+// same recovery re-derivation path a restart uses, so the replica holds a
+// continuously warm session table, replay shards, and trainer weights —
+// and a byte-exact mirror of the leader's data directory on its own disk.
+// Followers never serve and never train before promotion (the Polynesia
+// lesson: replication must not contend with the leader's serve path, and
+// structurally a follower has no serve path to contend with), which is
+// also what makes the failover acceptance criterion structural: an
+// unpromoted follower's weights and replay are bitwise the leader's last
+// shipped barrier, because nothing else has ever touched them.
+//
+// Promote() flips the daemon to leader: stop tailing, bump the
+// replication generation, open the mirror as its own WAL, start the batch
+// loops and background loops, and begin accepting the old leader's
+// resumption tokens. Connections that arrive before promotion are shed
+// with a retry reply, so a client with a resumption token that lands here
+// early backs off and reconnects once promoted — zero protocol errors.
+
+// replicaState carries the follower machinery between Serve and Promote.
+type replicaState struct {
+	tailer   *durable.Tailer
+	cancel   context.CancelFunc
+	done     chan struct{} // closed when the tailer goroutine exits
+	promoted chan struct{} // closed by Promote once serving is live
+}
+
+// startReplica warms the server from the mirror directory and starts the
+// tailer. Called by Serve before the accept loop; the server's ctx is
+// still nil, so recovered models are created without batch loops.
+func (s *Server) startReplica(ctx context.Context) error {
+	if s.cfg.DataDir == "" {
+		return fmt.Errorf("serve: ReplicateFrom requires DataDir (the replication mirror)")
+	}
+	rec, st, err := durable.Recover(s.cfg.DataDir, durable.LogConfig{Logf: log.Printf})
+	if err != nil {
+		return err
+	}
+	start := time.Now()
+	nModels, err := s.recoverDurable(rec)
+	if err != nil {
+		return err
+	}
+	s.mRecoveryMS.Set(time.Since(start).Milliseconds())
+	s.mRecSessions.Set(int64(s.sessions.len()))
+	s.mRecModels.Set(int64(nModels))
+
+	tctx, cancel := context.WithCancel(ctx)
+	tailer, err := durable.NewTailer(durable.TailConfig{
+		Dir:          s.cfg.DataDir,
+		Addr:         s.cfg.ReplicateFrom,
+		Handler:      (*tailApplier)(s),
+		Logf:         log.Printf,
+		Applied:      s.reg.Counter("serve_repl_applied_records_total"),
+		SnapsApplied: s.reg.Counter("serve_repl_snapshots_applied_total"),
+		Reconnects:   s.reg.Counter("serve_repl_reconnects_total"),
+		SegsReceived: s.reg.Counter("serve_repl_segments_received_total"),
+		Lag:          s.mReplLag,
+	}, st)
+	if err != nil {
+		cancel()
+		return err
+	}
+	rs := &replicaState{tailer: tailer, cancel: cancel, done: make(chan struct{}), promoted: make(chan struct{})}
+	s.mu.Lock()
+	s.repl = rs
+	s.mu.Unlock()
+	s.wg.Add(1)
+	go func() {
+		defer s.wg.Done()
+		defer close(rs.done)
+		if err := tailer.Run(tctx); err != nil {
+			// Terminal tail failures (stale leader generation) leave the
+			// replica warm but frozen; promotion remains possible.
+			log.Printf("serve: replication tail stopped: %v", err)
+		}
+	}()
+	log.Printf("serve: replica of %s: warmed %d sessions, %d models from mirror %s",
+		s.cfg.ReplicateFrom, s.sessions.len(), nModels, s.cfg.DataDir)
+	return nil
+}
+
+// tailApplier adapts the Server to durable.TailHandler. It runs on the
+// tailer goroutine — the only mutator of serving state in replica mode.
+type tailApplier Server
+
+// ApplyRecord implements durable.TailHandler via the recovery replay
+// path (generation-guarded, so re-shipped records are no-ops).
+func (a *tailApplier) ApplyRecord(r *durable.Record) error {
+	s := (*Server)(a)
+	s.applyRecord(r)
+	// Keep the mutation counter ahead of everything applied, so state
+	// created after promotion always postdates replicated state.
+	for {
+		cur := s.sessions.genCtr.Load()
+		if r.Gen <= cur || s.sessions.genCtr.CompareAndSwap(cur, r.Gen) {
+			return nil
+		}
+	}
+}
+
+// ApplySnapshot implements durable.TailHandler. A compaction marker
+// (reset=false) arrives in-stream exactly at the leader's snapshot
+// barrier: its sessions and transitions were already applied
+// record-by-record, but the trained weights and optimizer moments travel
+// ONLY in snapshots (followers never train), so the models are installed
+// from it — that is what makes a promoted follower's networks bitwise the
+// leader's last shipped barrier instead of its own initialization. A
+// reset replaces the warm state wholesale: the follower fell behind the
+// leader's retention window and its state is no longer a prefix of the
+// leader's.
+func (a *tailApplier) ApplySnapshot(snap *durable.Snapshot, reset bool) error {
+	s := (*Server)(a)
+	if !reset {
+		for i := range snap.Models {
+			if err := s.restoreModel(&snap.Models[i], snap.Seq); err != nil {
+				return fmt.Errorf("marker model %v: %w", snap.Models[i].Key, err)
+			}
+		}
+		return nil
+	}
+	s.mu.Lock()
+	s.models = map[modelKey]*model{}
+	s.mu.Unlock()
+	s.sessions.mu.Lock()
+	s.sessions.entries = map[string]*sessionState{}
+	s.sessions.mu.Unlock()
+	_, err := s.recoverDurable(&durable.Recovered{Snapshot: snap})
+	return err
+}
+
+// shedReplica answers a connection that arrived before promotion: drain
+// the hello, reply retry, close. The client's backoff lands it back here
+// after promotion — or at the gateway's re-homed backend.
+func (s *Server) shedReplica(conn net.Conn) {
+	defer conn.Close()
+	s.mShed.Inc()
+	conn.SetReadDeadline(time.Now().Add(s.cfg.WriteTimeout))
+	core.NewFrameReader(bufio.NewReader(conn), s.cfg.MaxLineBytes).Next()
+	conn.SetWriteDeadline(time.Now().Add(s.cfg.WriteTimeout))
+	json.NewEncoder(conn).Encode(&core.SolutionMsg{Err: "retry: replica is not serving (awaiting promotion)", Retry: true})
+}
+
+// Promote flips a replica into the serving leader: stop tailing (the
+// in-flight frame finishes applying, so warm state equals the mirror),
+// bump the replication generation, open the mirror as this daemon's own
+// WAL, start batch loops and background loops, and begin accepting
+// sessions — including every resumption token the dead leader issued.
+// A second Promote (or one on a non-replica) is refused.
+func (s *Server) Promote() error {
+	s.mu.Lock()
+	rs := s.repl
+	ctx := s.ctxRun
+	s.mu.Unlock()
+	if rs == nil {
+		s.mPromoteRej.Inc()
+		return fmt.Errorf("serve: not a replica")
+	}
+	if ctx == nil {
+		s.mPromoteRej.Inc()
+		return fmt.Errorf("serve: replica is not running")
+	}
+	if !s.promoting.CompareAndSwap(false, true) {
+		s.mPromoteRej.Inc()
+		return fmt.Errorf("serve: already promoted")
+	}
+
+	start := time.Now()
+	rs.tailer.Stop()
+	<-rs.done
+	rs.cancel()
+
+	// Own the WAL under a fresh generation: the old leader, if it ever
+	// comes back, is now the stale one and every follower of this node
+	// will refuse it.
+	gen := rs.tailer.Gen() + 1
+	if err := durable.WriteGen(s.cfg.DataDir, gen); err != nil {
+		return fmt.Errorf("serve: promote: %w", err)
+	}
+	lg, _, err := s.openLog()
+	if err != nil {
+		return fmt.Errorf("serve: promote: open mirror as own WAL: %w", err)
+	}
+	// The Recovered result is deliberately ignored: warm state was built
+	// from exactly the bytes now on disk (the tailer applies and mirrors
+	// each frame together), so re-applying it would be pure waste on the
+	// failover critical path.
+	s.mu.Lock()
+	s.dur = lg
+	s.mu.Unlock()
+
+	if err := s.activate(ctx); err != nil {
+		// The only activation failure is the shipping listener; a promoted
+		// node that cannot feed its own followers must still serve.
+		log.Printf("serve: promote: %v (serving without shipping)", err)
+	}
+	close(rs.promoted)
+	s.mPromotions.Inc()
+	s.mRole.Set(1)
+	log.Printf("serve: promoted to leader (generation %d) in %v; %d sessions warm",
+		gen, time.Since(start).Round(time.Millisecond), s.sessions.len())
+	return nil
+}
+
+// promotedCh returns the channel closed at promotion (nil when not a
+// replica).
+func (s *Server) promotedCh() <-chan struct{} {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.repl == nil {
+		return nil
+	}
+	return s.repl.promoted
+}
+
+// serving reports whether sessions are accepted (leader from the start,
+// or replica after promotion).
+func (s *Server) serving() bool {
+	return s.cfg.ReplicateFrom == "" || s.promoting.Load() && s.promotedDone()
+}
+
+func (s *Server) promotedDone() bool {
+	ch := s.promotedCh()
+	if ch == nil {
+		return false
+	}
+	select {
+	case <-ch:
+		return true
+	default:
+		return false
+	}
+}
+
+// startShipServer begins serving WAL shipping on Config.ReplListen under
+// this daemon's replication generation. Followers of a just-promoted
+// node resume from their mirror position exactly as they would from the
+// original leader.
+func (s *Server) startShipServer(ctx context.Context) error {
+	gen := durable.ReadGen(s.cfg.DataDir)
+	if gen == 0 {
+		gen = 1
+		if err := durable.WriteGen(s.cfg.DataDir, gen); err != nil {
+			return err
+		}
+	}
+	ln, err := net.Listen("tcp", s.cfg.ReplListen)
+	if err != nil {
+		return fmt.Errorf("serve: repl listen %s: %w", s.cfg.ReplListen, err)
+	}
+	ss := durable.NewShipServer(durable.ShipConfig{
+		Log:              s.dur,
+		Gen:              gen,
+		Logf:             log.Printf,
+		SegmentsShipped:  s.reg.Counter("serve_repl_segments_shipped_total"),
+		SnapshotsShipped: s.reg.Counter("serve_repl_snapshots_shipped_total"),
+	})
+	stop := context.AfterFunc(ctx, func() { ln.Close(); ss.Close() })
+	s.wg.Add(1)
+	go func() {
+		defer s.wg.Done()
+		defer stop()
+		ss.Serve(ln)
+	}()
+	log.Printf("serve: shipping WAL on %s (generation %d)", s.cfg.ReplListen, gen)
+	return nil
+}

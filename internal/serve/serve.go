@@ -137,6 +137,17 @@ type Config struct {
 	// SIGKILL would leave on disk.
 	crashOnDrain bool
 
+	// ReplListen, when set, serves WAL shipping on this address so
+	// follower daemons can replicate (leaders and promoted followers
+	// only; requires DataDir).
+	ReplListen string
+	// ReplicateFrom, when set, runs the daemon as a replica of the leader
+	// shipping on that address: it tails the leader's WAL into a warm
+	// session table and a byte-exact mirror under DataDir, sheds every
+	// session connection with a retry, and serves only after Promote()
+	// (the /promote endpoint). Requires DataDir.
+	ReplicateFrom string
+
 	// GemmWorkers bounds the worker pool that large inference and
 	// training GEMMs shard their row bands across (the 64-row micro-batch
 	// is shardable where per-request GEMVs are not). 0 takes the pool
@@ -273,11 +284,21 @@ type Server struct {
 
 	// dur, when non-nil, is the open durability log (Config.DataDir); the
 	// journaling hooks and the snapshot/recovery paths live in persist.go.
+	// On a replica it stays nil until Promote opens the mirror.
 	dur *durable.Log
 
-	// run state, owned by Serve
-	ctx context.Context
-	wg  sync.WaitGroup
+	// repl is the follower machinery (replica mode only); promoting
+	// latches the one allowed Promote call.
+	repl      *replicaState
+	promoting atomic.Bool
+
+	// run state, owned by Serve. ctx is the "serving live" context —
+	// models auto-start batch loops only once it is set, which is why a
+	// replica leaves it nil until promotion. ctxRun is set for the whole
+	// Serve call (replica phase included) so Promote can activate under it.
+	ctx    context.Context
+	ctxRun context.Context
+	wg     sync.WaitGroup
 
 	// metric handles (hot path: no map lookups)
 	mSessions     *Gauge
@@ -307,6 +328,10 @@ type Server struct {
 	mRecSessions  *Gauge
 	mRecModels    *Gauge
 	mRecoveryMS   *Gauge
+	mReplLag      *Gauge
+	mPromotions   *Counter
+	mPromoteRej   *Counter
+	mRole         *Gauge
 
 	// testGate, when non-nil, is received from before each micro-batch is
 	// gathered — test-only hook to hold the batcher and force queue
@@ -356,9 +381,16 @@ func New(cfg Config) *Server {
 		mRecSessions:  reg.Gauge("serve_recovered_sessions"),
 		mRecModels:    reg.Gauge("serve_recovered_models"),
 		mRecoveryMS:   reg.Gauge("serve_recovery_ms"),
+		mReplLag:      reg.Gauge("serve_repl_lag_records"),
+		mPromotions:   reg.Counter("serve_promotions_total"),
+		mPromoteRej:   reg.Counter("serve_promotions_rejected_total"),
+		mRole:         reg.Gauge("serve_role"),
+	}
+	if cfg.ReplicateFrom == "" {
+		s.mRole.Set(1) // leader; a replica moves 0→1 at promotion
 	}
 	s.sessions = newSessionTable(cfg.SessionTTL, cfg.MaxTrackedSessions, cfg.Seed, nil)
-	s.sessions.onEvict = func(st *sessionState) {
+	s.sessions.onEvict = func(st *sessionState, gen uint64) {
 		s.mu.Lock()
 		mdl := s.models[st.key]
 		s.mu.Unlock()
@@ -368,12 +400,15 @@ func New(cfg Config) *Server {
 		if s.dur != nil {
 			// Tombstone the eviction so recovery does not resurrect the
 			// session (evicted state is only dropped by replay when the
-			// tombstone postdates it).
-			s.dur.Append(&durable.Record{
+			// tombstone postdates it). A tombstone lost to backpressure is
+			// not a bounded data loss but a permanent resurrection bug, so
+			// unlike epoch records it blocks until the buffer has room —
+			// safe here because onEvict runs outside the table lock.
+			s.dur.AppendBlocking(&durable.Record{
 				T:     durable.RecEvict,
 				Token: st.token,
 				Key:   durable.SessionKey{N: st.key.n, M: st.key.m, Spouts: st.key.spouts},
-				Gen:   s.sessions.genCtr.Add(1),
+				Gen:   gen,
 			})
 		}
 	}
@@ -442,39 +477,90 @@ func (s *Server) model(key modelKey) *model {
 // errors back off and retry. On return all sessions and batch loops have
 // drained.
 func (s *Server) Serve(ctx context.Context, l net.Listener) error {
+	isReplica := s.cfg.ReplicateFrom != ""
 	// Durability first: recovery creates models and session state, which
 	// must exist (with their restored weights installed) before any batch
-	// loop starts or any connection lands.
-	if s.cfg.DataDir != "" && s.dur == nil {
+	// loop starts or any connection lands. A replica defers this to
+	// Promote — until then the data dir is the tailer's mirror.
+	if !isReplica && s.cfg.DataDir != "" && s.dur == nil {
 		if err := s.openDurable(); err != nil {
 			return err
 		}
 	}
 	// The final snapshot must run after every session goroutine has
 	// drained (deferred before wg.Wait so it executes after it); it turns
-	// an orderly shutdown into a recovery that loses nothing.
+	// an orderly shutdown into a recovery that loses nothing. s.dur is
+	// read under the lock because promotion installs it concurrently.
 	defer func() {
-		if s.dur == nil {
+		s.mu.Lock()
+		dur := s.dur
+		s.mu.Unlock()
+		if dur == nil {
 			return
 		}
 		if s.cfg.crashOnDrain {
-			s.dur.Crash()
+			dur.Crash()
 			return
 		}
 		if err := s.SnapshotNow(); err != nil {
 			s.mSnapErrs.Inc()
 			log.Printf("serve: final snapshot: %v", err)
 		}
-		if err := s.dur.Close(); err != nil {
+		if err := dur.Close(); err != nil {
 			log.Printf("serve: closing durability log: %v", err)
 		}
 	}()
 
 	sctx, cancel := context.WithCancel(ctx)
 	s.mu.Lock()
+	s.ctxRun = sctx
+	s.mu.Unlock()
+	if isReplica {
+		if err := s.startReplica(sctx); err != nil {
+			cancel()
+			return err
+		}
+	} else if err := s.activate(sctx); err != nil {
+		cancel()
+		s.wg.Wait()
+		return err
+	}
+	defer s.wg.Wait()
+	defer cancel()
+
+	// Close the listener when ctx ends so Accept unblocks.
+	stop := context.AfterFunc(sctx, func() { l.Close() })
+	defer stop()
+
+	for {
+		conn, err := core.AcceptRetry(l)
+		if err != nil {
+			if sctx.Err() != nil || errors.Is(err, net.ErrClosed) {
+				return nil
+			}
+			return err
+		}
+		s.wg.Add(1)
+		go func() {
+			defer s.wg.Done()
+			if !s.serving() {
+				s.shedReplica(conn)
+				return
+			}
+			s.handleConn(sctx, conn)
+		}()
+	}
+}
+
+// activate turns the server live: batch loops for every existing model,
+// the background janitor/snapshot/train/checkpoint loops, and — with
+// ReplListen set — the WAL shipping server for followers. Runs at Serve
+// start on a leader, at Promote on a replica.
+func (s *Server) activate(sctx context.Context) error {
+	s.mu.Lock()
 	s.ctx = sctx
 	for _, m := range s.models {
-		m.start() // models preloaded before Serve (or recovered above)
+		m.start() // models preloaded before Serve (or recovered/replicated)
 	}
 	s.mu.Unlock()
 	if s.cfg.SessionTTL > 0 {
@@ -502,27 +588,12 @@ func (s *Server) Serve(ctx context.Context, l net.Listener) error {
 			}
 		})
 	}
-	defer s.wg.Wait()
-	defer cancel()
-
-	// Close the listener when ctx ends so Accept unblocks.
-	stop := context.AfterFunc(sctx, func() { l.Close() })
-	defer stop()
-
-	for {
-		conn, err := core.AcceptRetry(l)
-		if err != nil {
-			if sctx.Err() != nil || errors.Is(err, net.ErrClosed) {
-				return nil
-			}
+	if s.cfg.ReplListen != "" && s.dur != nil {
+		if err := s.startShipServer(sctx); err != nil {
 			return err
 		}
-		s.wg.Add(1)
-		go func() {
-			defer s.wg.Done()
-			s.handleConn(sctx, conn)
-		}()
 	}
+	return nil
 }
 
 // goLoop runs fn every period under the server's run group until ctx
@@ -622,13 +693,35 @@ func (s *Server) Handler() http.Handler {
 		s.mu.Lock()
 		nModels := len(s.models)
 		s.mu.Unlock()
+		role := "leader"
+		if !s.serving() {
+			role = "replica"
+		}
 		w.Header().Set("Content-Type", "application/json")
 		json.NewEncoder(w).Encode(map[string]any{
-			"status":         "ok",
-			"uptime_seconds": time.Since(s.started).Seconds(),
-			"sessions":       s.active.Load(),
-			"models":         nModels,
+			"status":           "ok",
+			"role":             role,
+			"uptime_seconds":   time.Since(s.started).Seconds(),
+			"sessions":         s.active.Load(),
+			"models":           nModels,
+			"repl_lag_records": s.mReplLag.Value(),
 		})
+	})
+	mux.HandleFunc("/promote", func(w http.ResponseWriter, r *http.Request) {
+		if r.Method != http.MethodPost {
+			http.Error(w, "POST required", http.StatusMethodNotAllowed)
+			return
+		}
+		err := s.Promote()
+		w.Header().Set("Content-Type", "application/json")
+		if err != nil && !s.serving() {
+			w.WriteHeader(http.StatusConflict)
+			json.NewEncoder(w).Encode(map[string]any{"error": err.Error()})
+			return
+		}
+		// Success — or an idempotent re-promote of a node already serving
+		// (the gateway retries promotion until the role flips).
+		json.NewEncoder(w).Encode(map[string]any{"status": "leader"})
 	})
 	return mux
 }

@@ -94,10 +94,17 @@ type sessionTable struct {
 	max  int
 	seed int64
 	now  func() time.Time
-	// onEvict runs (outside critical paths, inside the table lock) when a
-	// session's state is dropped — the server uses it to drop the
-	// session's replay shard.
-	onEvict func(st *sessionState)
+	// onEvict runs — OUTSIDE the table lock — when a session's state is
+	// dropped; the server uses it to drop the session's replay shard and
+	// journal the eviction tombstone. gen is the eviction's mutation
+	// number, captured under the lock at the moment of eviction, so a
+	// session re-created under the same token between the eviction and the
+	// callback always carries a newer generation than the tombstone.
+	// Running outside the lock is what lets the tombstone append BLOCK on
+	// a full WAL buffer (a dropped tombstone resurrects the session on
+	// every future recovery): the durability writer's snapshot capture
+	// takes the table lock, so blocking inside it would deadlock.
+	onEvict func(st *sessionState, gen uint64)
 
 	// genCtr numbers session mutations for the durability journal; it
 	// only ever grows (recovery fast-forwards it past everything on disk).
@@ -105,6 +112,14 @@ type sessionTable struct {
 
 	mu      sync.Mutex
 	entries map[string]*sessionState
+	// evicted accumulates sessions dropped under mu until the evicting
+	// call flushes their callbacks after releasing it.
+	evicted []evictedSession
+}
+
+type evictedSession struct {
+	st  *sessionState
+	gen uint64
 }
 
 func newSessionTable(ttl time.Duration, max int, seed int64, now func() time.Time) *sessionTable {
@@ -127,6 +142,12 @@ func (t *sessionTable) expiredLocked(st *sessionState, now time.Time) bool {
 // attached state so a later presenter of the same token can unblock this
 // connection.
 func (t *sessionTable) attach(token string, key modelKey, kick func()) (st *sessionState, resumed bool, err error) {
+	st, resumed, err = t.attachLocked(token, key, kick)
+	t.flushEvicts()
+	return st, resumed, err
+}
+
+func (t *sessionTable) attachLocked(token string, key modelKey, kick func()) (st *sessionState, resumed bool, err error) {
 	t.mu.Lock()
 	defer t.mu.Unlock()
 	now := t.now()
@@ -245,8 +266,10 @@ func (t *sessionTable) isKicked(st *sessionState) bool {
 // sweep drops every expired detached session and returns how many went.
 func (t *sessionTable) sweep() int {
 	t.mu.Lock()
-	defer t.mu.Unlock()
-	return t.sweepLocked(t.now())
+	n := t.sweepLocked(t.now())
+	t.mu.Unlock()
+	t.flushEvicts()
+	return n
 }
 
 func (t *sessionTable) sweepLocked(now time.Time) int {
@@ -282,7 +305,20 @@ func (t *sessionTable) evictOldestDetachedLocked() bool {
 func (t *sessionTable) evictLocked(st *sessionState) {
 	delete(t.entries, st.token)
 	if t.onEvict != nil {
-		t.onEvict(st)
+		t.evicted = append(t.evicted, evictedSession{st: st, gen: t.genCtr.Add(1)})
+	}
+}
+
+// flushEvicts runs the deferred onEvict callbacks outside the table lock.
+// Concurrent evictors may flush each other's entries; each callback still
+// runs exactly once.
+func (t *sessionTable) flushEvicts() {
+	t.mu.Lock()
+	evicted := t.evicted
+	t.evicted = nil
+	t.mu.Unlock()
+	for _, e := range evicted {
+		t.onEvict(e.st, e.gen)
 	}
 }
 
