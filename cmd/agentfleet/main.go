@@ -8,16 +8,19 @@
 // errors.
 //
 // Each -group flag names one replication group as a comma-separated member
-// list, every member "sessionAddr@httpAddr"; the first member is the
-// leader at startup:
+// list, every member "sessionAddr@httpAddr[@replAddr]"; the first member
+// is the leader at startup. The optional third field is the member's WAL
+// shipping address (-repl-listen) — configure it in groups of three or
+// more so the gateway can re-point surviving followers at a promoted
+// member after failover (POST /retarget):
 //
 //	agentfleet -listen 127.0.0.1:7800 \
-//	  -group 127.0.0.1:7700@127.0.0.1:7701,127.0.0.1:7710@127.0.0.1:7711
+//	  -group 127.0.0.1:7700@127.0.0.1:7701@127.0.0.1:7702,127.0.0.1:7710@127.0.0.1:7711@127.0.0.1:7712
 //
 // with the daemons started as
 //
 //	agentd -listen 127.0.0.1:7700 -http 127.0.0.1:7701 -data-dir /var/lib/a -repl-listen 127.0.0.1:7702
-//	agentd -listen 127.0.0.1:7710 -http 127.0.0.1:7711 -data-dir /var/lib/b -replicate-from 127.0.0.1:7702
+//	agentd -listen 127.0.0.1:7710 -http 127.0.0.1:7711 -data-dir /var/lib/b -repl-listen 127.0.0.1:7712 -replicate-from 127.0.0.1:7702
 package main
 
 import (
@@ -44,11 +47,15 @@ func (g *groupFlags) String() string { return fmt.Sprintf("%d groups", len(*g)) 
 func (g *groupFlags) Set(v string) error {
 	grp := fleet.Group{Name: fmt.Sprintf("g%d", len(*g))}
 	for _, m := range strings.Split(v, ",") {
-		addr, health, ok := strings.Cut(strings.TrimSpace(m), "@")
-		if !ok || addr == "" || health == "" {
-			return fmt.Errorf("member %q: want sessionAddr@httpAddr", m)
+		parts := strings.Split(strings.TrimSpace(m), "@")
+		if len(parts) < 2 || len(parts) > 3 || parts[0] == "" || parts[1] == "" {
+			return fmt.Errorf("member %q: want sessionAddr@httpAddr[@replAddr]", m)
 		}
-		grp.Members = append(grp.Members, fleet.Backend{Addr: addr, Health: health})
+		b := fleet.Backend{Addr: parts[0], Health: parts[1]}
+		if len(parts) == 3 {
+			b.Repl = parts[2]
+		}
+		grp.Members = append(grp.Members, b)
 	}
 	if len(grp.Members) == 0 {
 		return fmt.Errorf("empty group")
@@ -66,7 +73,7 @@ func main() {
 		failThr   = flag.Int("fail-threshold", 3, "consecutive failed polls before failover")
 		dialTO    = flag.Duration("dial-timeout", 2*time.Second, "backend dial timeout")
 	)
-	flag.Var(&groups, "group", "replication group \"sessionAddr@httpAddr,...\" (first member = leader; repeatable)")
+	flag.Var(&groups, "group", "replication group \"sessionAddr@httpAddr[@replAddr],...\" (first member = leader; repeatable)")
 	flag.Parse()
 
 	gw, err := fleet.NewGateway(fleet.Config{

@@ -1,0 +1,33 @@
+package main
+
+import "testing"
+
+func TestGroupFlagParsing(t *testing.T) {
+	var g groupFlags
+	if err := g.Set("127.0.0.1:1@127.0.0.1:2@127.0.0.1:3,127.0.0.1:4@127.0.0.1:5"); err != nil {
+		t.Fatal(err)
+	}
+	if len(g) != 1 || len(g[0].Members) != 2 {
+		t.Fatalf("parsed %d groups / %d members, want 1 / 2", len(g), len(g[0].Members))
+	}
+	m0, m1 := g[0].Members[0], g[0].Members[1]
+	if m0.Addr != "127.0.0.1:1" || m0.Health != "127.0.0.1:2" || m0.Repl != "127.0.0.1:3" {
+		t.Fatalf("member 0 = %+v, want addr@health@repl split", m0)
+	}
+	if m1.Addr != "127.0.0.1:4" || m1.Health != "127.0.0.1:5" || m1.Repl != "" {
+		t.Fatalf("member 1 = %+v, want two-part form with empty Repl", m1)
+	}
+	if err := g.Set("127.0.0.1:6@127.0.0.1:7"); err != nil {
+		t.Fatal(err)
+	}
+	if len(g) != 2 || g[1].Name == g[0].Name {
+		t.Fatalf("second -group: %d groups, names %q/%q", len(g), g[0].Name, g[1].Name)
+	}
+
+	for _, bad := range []string{"", "a", "a@", "@b", "a@b@c@d", "a@b,c"} {
+		var gg groupFlags
+		if err := gg.Set(bad); err == nil {
+			t.Errorf("Set(%q) accepted a malformed member list", bad)
+		}
+	}
+}

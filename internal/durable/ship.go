@@ -2,6 +2,7 @@ package durable
 
 import (
 	"bufio"
+	"bytes"
 	"encoding/json"
 	"fmt"
 	"io"
@@ -58,8 +59,18 @@ type shipFrame struct {
 
 // shipChunkMax caps one seg frame's payload; the live tail is shipped in
 // at most this many bytes per frame so acks and position frames interleave
-// with bulk catch-up traffic.
+// with bulk catch-up traffic. It is a soft cap: chunks always end on a
+// record-frame boundary, so a single frame larger than the cap ships
+// whole (readFrameChunk) rather than torn — a mid-frame cut would make
+// the follower drop the partial tail and reconnect, and a frame that
+// never fits would livelock replication entirely.
 const shipChunkMax = 1 << 20
+
+// shipFrameMax is the hard bound on one seg frame: the most the follower
+// will buffer for a single chunk, and therefore the largest record frame
+// replication can carry. WAL records are session-sized (far below this);
+// hitting the bound means a corrupt segment, not a big record.
+const shipFrameMax = 64 << 20
 
 // genFile is the per-data-dir replication generation marker.
 const genFile = "repl-gen"
@@ -274,6 +285,48 @@ func (ss *ShipServer) shipSnapshot(bw *bufio.Writer, seq uint64, reset bool, lre
 	return nil
 }
 
+// readFrameChunk reads shippable bytes from f at [off, limit) and cuts
+// the chunk on a record-frame boundary: at most chunkMax bytes normally,
+// more only when a single frame is larger than the whole chunk. The
+// range's end is frame-aligned by construction (limit is a flushed
+// position or a sealed segment's size, both from frame scans), so an
+// uncapped read needs no alignment; a capped read is aligned down to its
+// last '\n' — record frames never contain a raw newline
+// (appendJSONString escapes control bytes), so every one is a frame
+// boundary.
+func readFrameChunk(f *os.File, off, limit, chunkMax int64) ([]byte, error) {
+	n := limit - off
+	if n > chunkMax {
+		n = chunkMax
+	}
+	buf := make([]byte, n)
+	if _, err := io.ReadFull(io.NewSectionReader(f, off, n), buf); err != nil {
+		return nil, err
+	}
+	for off+int64(len(buf)) < limit {
+		if i := bytes.LastIndexByte(buf, '\n'); i >= 0 {
+			return buf[:i+1], nil
+		}
+		// No delimiter yet: one frame spans the whole chunk. Grow until
+		// its end so the follower always receives whole frames — a
+		// partial frame would be dropped as torn and the connection
+		// cycled without ever advancing.
+		grow := int64(len(buf))
+		if rem := limit - off - int64(len(buf)); grow > rem {
+			grow = rem
+		}
+		if int64(len(buf))+grow > shipFrameMax {
+			return nil, fmt.Errorf("no frame boundary within %d bytes", shipFrameMax)
+		}
+		ext := make([]byte, grow)
+		if _, err := io.ReadFull(io.NewSectionReader(f, off+int64(len(buf)), grow), ext); err != nil {
+			return nil, err
+		}
+		buf = append(buf, ext...)
+	}
+	return buf, nil
+}
+
 // shipLoop streams from pos forever: drain to the flushed position, send
 // a pos frame, wait for the next flush (or heartbeat), repeat. Returns on
 // connection error (follower gone) or log close.
@@ -330,15 +383,11 @@ func (ss *ShipServer) shipLoop(conn net.Conn, bw *bufio.Writer, pos Position) er
 				limit = fi.Size()
 			}
 			if pos.Off < limit {
-				n := limit - pos.Off
-				if n > shipChunkMax {
-					n = shipChunkMax
-				}
-				buf := make([]byte, n)
-				if _, err := io.ReadFull(io.NewSectionReader(f, pos.Off, n), buf); err != nil {
+				buf, err := readFrameChunk(f, pos.Off, limit, shipChunkMax)
+				if err != nil {
 					return fmt.Errorf("read wal-%d @%d: %w", pos.Seg, pos.Off, err)
 				}
-				if err := writeFrame(bw, &shipFrame{T: "seg", Seq: pos.Seg, Off: pos.Off, Len: n, LRecs: flushed.Recs}); err != nil {
+				if err := writeFrame(bw, &shipFrame{T: "seg", Seq: pos.Seg, Off: pos.Off, Len: int64(len(buf)), LRecs: flushed.Recs}); err != nil {
 					return err
 				}
 				if _, err := bw.Write(buf); err != nil {
@@ -347,7 +396,7 @@ func (ss *ShipServer) shipLoop(conn net.Conn, bw *bufio.Writer, pos Position) er
 				if ss.cfg.SegmentsShipped != nil {
 					ss.cfg.SegmentsShipped.Add(1)
 				}
-				pos.Off += n
+				pos.Off += int64(len(buf))
 				continue
 			}
 			// Segment drained and the leader has moved past it. If the

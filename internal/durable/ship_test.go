@@ -5,6 +5,7 @@ import (
 	"bytes"
 	"context"
 	"encoding/json"
+	"fmt"
 	"net"
 	"os"
 	"strings"
@@ -494,5 +495,302 @@ func TestLogBarrierBlocksUntilDrainNoStraddle(t *testing.T) {
 	}
 	if !tomb {
 		t.Fatal("the blocking-appended tombstone was dropped")
+	}
+}
+
+// TestReadFrameChunkAligns pins the chunk-cut invariant: every chunk
+// readFrameChunk returns ends on a record-frame boundary, and a frame
+// larger than the soft cap ships whole instead of torn.
+func TestReadFrameChunkAligns(t *testing.T) {
+	dir := t.TempDir()
+	var data []byte
+	var err error
+	for i := 0; i < 50; i++ {
+		if data, err = appendRecord(data, testRecord(i)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	path := walPath(dir, 1)
+	if err := os.WriteFile(path, data, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	f, err := os.Open(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer f.Close()
+
+	limit := int64(len(data))
+	var off int64
+	total, chunks := 0, 0
+	for off < limit {
+		buf, err := readFrameChunk(f, off, limit, 256)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(buf) == 0 || int64(len(buf)) > limit-off {
+			t.Fatalf("chunk at %d has %d bytes", off, len(buf))
+		}
+		recs, validLen, truncated := scanWALBytes(buf)
+		if truncated || validLen != int64(len(buf)) {
+			t.Fatalf("chunk at %d cut mid-frame: %d bytes, %d valid", off, len(buf), validLen)
+		}
+		total += len(recs)
+		chunks++
+		off += int64(len(buf))
+	}
+	if total != 50 {
+		t.Fatalf("chunks carried %d records, want 50", total)
+	}
+	if chunks < 10 {
+		t.Fatalf("backlog shipped in %d chunks; the 256-byte cap never split it", chunks)
+	}
+
+	// A single frame bigger than the cap: the chunk grows to carry it whole.
+	big := testRecord(0)
+	big.Workload = make(F64s, 200) // frame far beyond the 256-byte cap
+	bigData, err := appendRecord(nil, big)
+	if err != nil {
+		t.Fatal(err)
+	}
+	data2 := append([]byte{}, bigData...)
+	for i := 1; i <= 40; i++ { // a long tail, so growth stops at a frame cut, not at EOF
+		if data2, err = appendRecord(data2, testRecord(i)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	path2 := walPath(dir, 2)
+	if err := os.WriteFile(path2, data2, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	f2, err := os.Open(path2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer f2.Close()
+	buf, err := readFrameChunk(f2, 0, int64(len(data2)), 256)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if int64(len(buf)) < int64(len(bigData)) {
+		t.Fatalf("oversize frame cut at %d bytes; the whole %d-byte frame must ship", len(buf), len(bigData))
+	}
+	recs, validLen, truncated := scanWALBytes(buf)
+	if truncated || validLen != int64(len(buf)) || len(recs) == 0 {
+		t.Fatalf("oversize chunk not frame-aligned: %d bytes, %d valid, %d records", len(buf), validLen, len(recs))
+	}
+	if len(recs[0].Workload) != 200 {
+		t.Fatalf("first record of the grown chunk is not the oversize frame (workload %d)", len(recs[0].Workload))
+	}
+}
+
+// TestShipTailBigBacklogSingleConnection: a catch-up backlog well past
+// shipChunkMax — including one record whose frame alone exceeds the cap —
+// streams over ONE connection. Before frame-aligned cuts, every chunk
+// boundary landed mid-frame, each costing the follower a torn-tail
+// reconnect (and a frame over the cap livelocked replication for good).
+func TestShipTailBigBacklogSingleConnection(t *testing.T) {
+	leaderDir, followerDir := t.TempDir(), t.TempDir()
+	lg, _ := openTest(t, leaderDir)
+	defer lg.Close()
+	for i := 0; i < 128; i++ {
+		r := testRecord(i)
+		r.Workload = make(F64s, 1024) // ~11 KiB per frame
+		for j := range r.Workload {
+			r.Workload[j] = float64(i*1024 + j)
+		}
+		lg.Append(r)
+	}
+	huge := testRecord(128)
+	huge.Workload = make(F64s, 131072) // one frame ~1.4 MiB > shipChunkMax
+	for j := range huge.Workload {
+		huge.Workload[j] = float64(j) / 3
+	}
+	lg.Append(huge)
+	if err := lg.Sync(); err != nil {
+		t.Fatal(err)
+	}
+
+	addr := startShip(t, lg, 1)
+	var recon, segs countingCounter
+	h := &recHandler{}
+	_, st, err := Recover(followerDir, LogConfig{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	tl, err := NewTailer(TailConfig{
+		Dir: followerDir, Addr: addr, Handler: h,
+		BaseBackoff: 5 * time.Millisecond, MaxBackoff: 50 * time.Millisecond,
+		Reconnects: &recon, SegsReceived: &segs,
+	}, st)
+	if err != nil {
+		t.Fatal(err)
+	}
+	done := make(chan error, 1)
+	go func() { done <- tl.Run(context.Background()) }()
+	waitUntil(t, "big-backlog catch-up", func() bool { return tl.AppliedRecs() == 129 })
+
+	if got := recon.n.Load(); got != 1 {
+		t.Fatalf("catch-up took %d connections; frame-aligned chunks need exactly 1 (no torn-tail resyncs)", got)
+	}
+	if got := segs.n.Load(); got < 2 {
+		t.Fatalf("backlog arrived in %d chunk(s); the soft cap should have split it", got)
+	}
+	h.mu.Lock()
+	last := h.recs[len(h.recs)-1]
+	h.mu.Unlock()
+	if len(last.Workload) != len(huge.Workload) || last.Workload[131071] != huge.Workload[131071] {
+		t.Fatal("oversize record did not round-trip intact")
+	}
+	tl.Stop()
+	if err := <-done; err != nil {
+		t.Fatalf("tailer: %v", err)
+	}
+	_, lst, err := Recover(leaderDir, LogConfig{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, fst, err := Recover(followerDir, LogConfig{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if fst != lst {
+		t.Fatalf("mirror position %+v != leader position %+v", fst, lst)
+	}
+}
+
+// TestTailBackoffResetsAfterProgress: dial failures drive the reconnect
+// backoff toward MaxBackoff, but a connection that applies frames resets
+// the schedule — the next disconnect reconnects at BaseBackoff, not at
+// the accumulated maximum.
+func TestTailBackoffResetsAfterProgress(t *testing.T) {
+	leaderDir, followerDir := t.TempDir(), t.TempDir()
+	lg, _ := openTest(t, leaderDir)
+	defer lg.Close()
+	for i := 0; i < 5; i++ {
+		lg.Append(testRecord(i))
+	}
+	if err := lg.Sync(); err != nil {
+		t.Fatal(err)
+	}
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	ss := NewShipServer(ShipConfig{Log: lg, Gen: 1, HeartbeatEvery: 5 * time.Millisecond})
+	go ss.Serve(ln)
+	t.Cleanup(func() { ln.Close(); ss.Close() })
+
+	var mu sync.Mutex
+	var dials []time.Time
+	const failures = 10 // enough doublings to pin backoff at MaxBackoff
+	_, st, err := Recover(followerDir, LogConfig{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	tl, err := NewTailer(TailConfig{
+		Dir: followerDir, Addr: ln.Addr().String(), Handler: &recHandler{},
+		BaseBackoff: time.Millisecond, MaxBackoff: 300 * time.Millisecond,
+		Dial: func(ctx context.Context) (net.Conn, error) {
+			mu.Lock()
+			dials = append(dials, time.Now())
+			n := len(dials)
+			mu.Unlock()
+			if n <= failures {
+				return nil, errSyntheticDial
+			}
+			var d net.Dialer
+			return d.DialContext(ctx, "tcp", ln.Addr().String())
+		},
+	}, st)
+	if err != nil {
+		t.Fatal(err)
+	}
+	go tl.Run(context.Background())
+	t.Cleanup(tl.Stop)
+	waitUntil(t, "catch-up after injected dial failures", func() bool { return tl.AppliedRecs() == 5 })
+
+	mu.Lock()
+	pre := len(dials)
+	mu.Unlock()
+	tClose := time.Now()
+	ss.Close() // sever the live connection; the tailer must come back fast
+	waitUntil(t, "reconnect after sever", func() bool {
+		mu.Lock()
+		defer mu.Unlock()
+		return len(dials) > pre
+	})
+	mu.Lock()
+	gap := dials[pre].Sub(tClose)
+	mu.Unlock()
+	if gap > 150*time.Millisecond {
+		t.Fatalf("reconnect after progress waited %v; backoff was not reset toward BaseBackoff", gap)
+	}
+}
+
+var errSyntheticDial = fmt.Errorf("synthetic dial failure")
+
+// TestTailerRetargetSwitchesLeader: Retarget moves a live tailer to a new
+// shipping address (a promoted node after failover); the reconnect hello
+// resumes from the mirror position, so nothing is re-applied or lost.
+func TestTailerRetargetSwitchesLeader(t *testing.T) {
+	leaderDir, followerDir := t.TempDir(), t.TempDir()
+	lg, _ := openTest(t, leaderDir)
+	defer lg.Close()
+	for i := 0; i < 10; i++ {
+		lg.Append(testRecord(i))
+	}
+	if err := lg.Sync(); err != nil {
+		t.Fatal(err)
+	}
+
+	// Two shipping endpoints over the same log stand in for the old and
+	// the promoted leader (same history, same generation).
+	ln1, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	ss1 := NewShipServer(ShipConfig{Log: lg, Gen: 1, HeartbeatEvery: 5 * time.Millisecond})
+	go ss1.Serve(ln1)
+	addr2 := startShip(t, lg, 1)
+
+	h := &recHandler{}
+	var recon countingCounter
+	_, st, err := Recover(followerDir, LogConfig{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	tl, err := NewTailer(TailConfig{
+		Dir: followerDir, Addr: ln1.Addr().String(), Handler: h,
+		BaseBackoff: 5 * time.Millisecond, MaxBackoff: 50 * time.Millisecond,
+		Reconnects: &recon,
+	}, st)
+	if err != nil {
+		t.Fatal(err)
+	}
+	done := make(chan error, 1)
+	go func() { done <- tl.Run(context.Background()) }()
+	t.Cleanup(tl.Stop)
+	waitUntil(t, "catch-up on the first leader", func() bool { return tl.AppliedRecs() == 10 })
+
+	tl.Retarget(addr2)
+	ss1.Close() // the old endpoint is gone for good
+	ln1.Close()
+	if got := tl.Addr(); got != addr2 {
+		t.Fatalf("Addr() = %q after Retarget, want %q", got, addr2)
+	}
+	for i := 10; i < 20; i++ {
+		lg.Append(testRecord(i))
+	}
+	if err := lg.Sync(); err != nil {
+		t.Fatal(err)
+	}
+	waitUntil(t, "live tail from the new leader", func() bool { return tl.AppliedRecs() == 20 })
+	if got := h.epochs(); len(got) != 20 || got[10] != 10 || got[19] != 19 {
+		t.Fatalf("retarget re-applied or skipped records: epochs %v", got)
+	}
+	tl.Stop()
+	if err := <-done; err != nil {
+		t.Fatalf("tailer: %v", err)
 	}
 }

@@ -68,16 +68,18 @@ type Tailer struct {
 	cfg TailConfig
 	gen uint64 // newest leader generation seen (persisted in Dir)
 
-	applied  atomic.Uint64 // lifetime records applied (snapshot base included)
-	leader   atomic.Uint64 // leader's flushed recs, from frame metadata
-	seg      uint64        // mirror position: current segment
-	off      int64         // mirror position: bytes into it
-	snapSeq  uint64        // mirror's newest snapshot
-	f        *os.File      // open mirror segment
-	stopping atomic.Bool
+	applied    atomic.Uint64 // lifetime records applied (snapshot base included)
+	leader     atomic.Uint64 // leader's flushed recs, from frame metadata
+	seg        uint64        // mirror position: current segment
+	off        int64         // mirror position: bytes into it
+	snapSeq    uint64        // mirror's newest snapshot
+	f          *os.File      // open mirror segment
+	stopping   atomic.Bool
+	progressed atomic.Bool // a frame was applied on the current connection
 
-	connMu sync.Mutex // guards conn against Stop from another goroutine
+	connMu sync.Mutex // guards conn and addr against Stop/Retarget
 	conn   net.Conn
+	addr   string // current leader address (Retarget moves it)
 }
 
 // NewTailer prepares a tailer over an existing mirror state. st is the
@@ -94,20 +96,41 @@ func NewTailer(cfg TailConfig, st DirState) (*Tailer, error) {
 	if cfg.MaxBackoff <= 0 {
 		cfg.MaxBackoff = 2 * time.Second
 	}
-	if cfg.Dial == nil {
-		cfg.Dial = func(ctx context.Context) (net.Conn, error) {
-			var d net.Dialer
-			return d.DialContext(ctx, "tcp", cfg.Addr)
-		}
-	}
 	if fi, err := os.Stat(walPath(cfg.Dir, st.WalSeq)); err == nil && fi.Size() > st.WalOff {
 		if err := os.Truncate(walPath(cfg.Dir, st.WalSeq), st.WalOff); err != nil {
 			return nil, fmt.Errorf("durable: truncate mirror torn tail: %w", err)
 		}
 	}
-	t := &Tailer{cfg: cfg, gen: ReadGen(cfg.Dir), seg: st.WalSeq, off: st.WalOff, snapSeq: st.SnapSeq}
+	t := &Tailer{cfg: cfg, gen: ReadGen(cfg.Dir), seg: st.WalSeq, off: st.WalOff, snapSeq: st.SnapSeq, addr: cfg.Addr}
 	t.applied.Store(st.Recs)
+	if t.cfg.Dial == nil {
+		t.cfg.Dial = func(ctx context.Context) (net.Conn, error) {
+			var d net.Dialer
+			return d.DialContext(ctx, "tcp", t.Addr())
+		}
+	}
 	return t, nil
+}
+
+// Addr returns the leader address the tailer currently (re)connects to.
+func (t *Tailer) Addr() string {
+	t.connMu.Lock()
+	defer t.connMu.Unlock()
+	return t.addr
+}
+
+// Retarget points the tailer at a new leader address — after a failover,
+// surviving followers move to the promoted node this way. The current
+// connection, if any, is closed so the switch takes effect immediately;
+// the reconnect hello carries the mirror position, so the new leader
+// resumes shipping exactly where the old one stopped.
+func (t *Tailer) Retarget(addr string) {
+	t.connMu.Lock()
+	t.addr = addr
+	if t.conn != nil {
+		t.conn.Close()
+	}
+	t.connMu.Unlock()
 }
 
 // Pos returns the applied position (mirror segment/offset, lifetime
@@ -162,6 +185,7 @@ func (t *Tailer) Run(ctx context.Context) error {
 		if ctx.Err() != nil || t.stopping.Load() {
 			return nil
 		}
+		t.progressed.Store(false)
 		err := t.tailOnce(ctx)
 		if t.stopping.Load() || ctx.Err() != nil {
 			return nil
@@ -169,8 +193,16 @@ func (t *Tailer) Run(ctx context.Context) error {
 		if err == errStaleLeader {
 			return err
 		}
+		if t.progressed.Load() {
+			// The connection did useful work, so this failure is a fresh
+			// incident, not a continuation of the last one: restart the
+			// schedule. Without the reset, a few early failures would tax
+			// every later reconnect (torn-chunk resyncs included) with
+			// MaxBackoff forever.
+			backoff = t.cfg.BaseBackoff
+		}
 		if err != nil {
-			t.cfg.Logf("durable: tail %s: %v (reconnecting in %v)", t.cfg.Addr, err, backoff)
+			t.cfg.Logf("durable: tail %s: %v (reconnecting in %v)", t.Addr(), err, backoff)
 		}
 		select {
 		case <-time.After(backoff):
@@ -259,6 +291,7 @@ func (t *Tailer) tailOnce(ctx context.Context) error {
 		default:
 			return fmt.Errorf("unexpected frame %q", fr.T)
 		}
+		t.progressed.Store(true)
 		// Ack what has been applied; the leader drains these to know the
 		// follower is alive and caught up.
 		ack := shipFrame{T: "ack", Wal: t.seg, Off: t.off, Recs: t.applied.Load()}
@@ -304,7 +337,10 @@ func (t *Tailer) applySeg(fr *shipFrame, br *bufio.Reader) error {
 		// confused leader must not rewind the mirror.
 		return fmt.Errorf("refusing stale/disjoint seg frame wal-%d@%d (mirror at wal-%d@%d)", fr.Seq, fr.Off, t.seg, t.off)
 	}
-	if fr.Len < 0 || fr.Len > shipChunkMax {
+	// The soft cap (shipChunkMax) does not bound a frame here: a chunk
+	// carrying one record frame larger than the cap is legal — only the
+	// hard single-frame bound is enforced.
+	if fr.Len < 0 || fr.Len > shipFrameMax {
 		return fmt.Errorf("seg frame len %d out of range", fr.Len)
 	}
 	buf := make([]byte, fr.Len)
@@ -326,6 +362,7 @@ func (t *Tailer) applySeg(fr *shipFrame, br *bufio.Reader) error {
 		}
 		t.off += validLen
 		t.applied.Add(uint64(len(recs)))
+		t.progressed.Store(true) // even a torn chunk's intact prefix is progress
 		if t.cfg.Applied != nil {
 			t.cfg.Applied.Add(int64(len(recs)))
 		}

@@ -45,8 +45,14 @@ import (
 type Backend struct {
 	// Addr is the scheduler-session (NDJSON) address.
 	Addr string
-	// Health is the daemon's HTTP control address (/healthz, /promote).
+	// Health is the daemon's HTTP control address (/healthz, /promote,
+	// /demote, /retarget).
 	Health string
+	// Repl is the daemon's WAL shipping address (-repl-listen), used to
+	// re-point surviving followers at a promoted member after failover.
+	// Optional: when empty, followers of a dead leader keep tailing its
+	// old address until an operator re-points them.
+	Repl string
 }
 
 // Group is one replication group: a leader and its followers. Members[0]
@@ -115,6 +121,42 @@ type group struct {
 	// fails counts consecutive failed health polls (monitor goroutine
 	// only).
 	fails int
+
+	// connMu/conns track each spliced session's upstream connection with
+	// the member it was routed to, so failover can sever everything still
+	// attached to a deposed head (closing the upstream side tears down
+	// both splice copies).
+	connMu sync.Mutex
+	conns  map[net.Conn]int32
+}
+
+// track registers a spliced upstream connection against member idx.
+func (g *group) track(c net.Conn, idx int32) {
+	g.connMu.Lock()
+	g.conns[c] = idx
+	g.connMu.Unlock()
+}
+
+func (g *group) untrack(c net.Conn) {
+	g.connMu.Lock()
+	delete(g.conns, c)
+	g.connMu.Unlock()
+}
+
+// sever closes every tracked connection routed to member idx and returns
+// how many it cut.
+func (g *group) sever(idx int32) int {
+	g.connMu.Lock()
+	n := 0
+	for c, i := range g.conns {
+		if i == idx {
+			c.Close()
+			delete(g.conns, c)
+			n++
+		}
+	}
+	g.connMu.Unlock()
+	return n
 }
 
 // Gateway routes scheduler sessions across replication groups.
@@ -124,12 +166,15 @@ type Gateway struct {
 	reg    *serve.Registry
 	wg     sync.WaitGroup
 
-	mConns     *serve.Counter
-	mActive    *serve.Gauge
-	mIssued    *serve.Counter
-	mDialErrs  *serve.Counter
-	mFailovers *serve.Counter
-	mPromErrs  *serve.Counter
+	mConns        *serve.Counter
+	mActive       *serve.Gauge
+	mIssued       *serve.Counter
+	mDialErrs     *serve.Counter
+	mFailovers    *serve.Counter
+	mPromErrs     *serve.Counter
+	mSevered      *serve.Counter
+	mRetargets    *serve.Counter
+	mRetargetErrs *serve.Counter
 }
 
 // NewGateway validates cfg and builds a gateway (no I/O yet; Serve runs
@@ -157,7 +202,7 @@ func NewGateway(cfg Config) (*Gateway, error) {
 				return nil, fmt.Errorf("fleet: group %q: every member needs addr and health address", g.Name)
 			}
 		}
-		gw.groups = append(gw.groups, &group{Group: g})
+		gw.groups = append(gw.groups, &group{Group: g, conns: map[net.Conn]int32{}})
 	}
 	gw.mConns = gw.reg.Counter("fleet_conns_total")
 	gw.mActive = gw.reg.Gauge("fleet_conns_active")
@@ -165,6 +210,9 @@ func NewGateway(cfg Config) (*Gateway, error) {
 	gw.mDialErrs = gw.reg.Counter("fleet_backend_dial_errors_total")
 	gw.mFailovers = gw.reg.Counter("fleet_failovers_total")
 	gw.mPromErrs = gw.reg.Counter("fleet_promote_errors_total")
+	gw.mSevered = gw.reg.Counter("fleet_conns_severed_total")
+	gw.mRetargets = gw.reg.Counter("fleet_retargets_total")
+	gw.mRetargetErrs = gw.reg.Counter("fleet_retarget_errors_total")
 	return gw, nil
 }
 
@@ -257,7 +305,8 @@ func (gw *Gateway) handleConn(conn net.Conn) {
 		gw.mIssued.Inc()
 	}
 	g := gw.route(hello.Token)
-	backend := g.Members[g.head.Load()]
+	idx := g.head.Load()
+	backend := g.Members[idx]
 
 	d := net.Dialer{Timeout: gw.cfg.DialTimeout}
 	up, err := d.Dial("tcp", backend.Addr)
@@ -270,6 +319,11 @@ func (gw *Gateway) handleConn(conn net.Conn) {
 		return
 	}
 	defer up.Close()
+	// Track the upstream against the member it was routed to: if that
+	// member is deposed, failover severs the splice so the client
+	// re-dials instead of riding a fenced-off leader.
+	g.track(up, idx)
+	defer g.untrack(up)
 	buf, err := json.Marshal(&hello)
 	if err != nil {
 		return

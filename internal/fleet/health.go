@@ -5,16 +5,20 @@ import (
 	"fmt"
 	"io"
 	"net/http"
+	"net/url"
 	"time"
 )
 
 // The health monitor: one goroutine per group polls the head's /healthz.
 // FailThreshold consecutive misses declare the leader dead; the monitor
-// then walks the remaining members, promotes the first one that answers
-// /promote, and re-homes the group's head there. The dead leader stays in
-// the member list but is never re-promoted automatically — if it comes
-// back it is a stale generation the promoted node's followers refuse, and
-// an operator decides when it rejoins as a follower.
+// then fences the deposed head (severs its spliced connections, POSTs
+// /demote in case it was merely stalled), walks the remaining members,
+// promotes the first one that answers /promote, re-homes the group's head
+// there, and re-points surviving followers at the promoted node's
+// shipping address via /retarget. The dead leader stays in the member
+// list but is never re-promoted automatically — if it comes back it is a
+// demoted, stale generation the promoted node's followers refuse, and an
+// operator decides when it rejoins as a follower.
 
 // monitor polls g's head until ctx ends.
 func (gw *Gateway) monitor(ctx context.Context, g *group) {
@@ -59,16 +63,35 @@ func (gw *Gateway) healthy(ctx context.Context, b Backend) bool {
 	return resp.StatusCode == http.StatusOK
 }
 
-// failover promotes the first member after the dead head that accepts
-// /promote and re-homes the group there. No healthy candidate leaves the
-// head unchanged — connections keep getting retry replies and the next
-// monitor tick tries again.
+// failover fences the deposed head, promotes the first member after it
+// that accepts /promote, re-homes the group there, and re-points the
+// surviving followers at the promoted node's shipping address. No healthy
+// candidate leaves the head unchanged — connections keep getting retry
+// replies and the next monitor tick tries again.
+//
+// Fencing comes first: three missed polls can also mean a long GC or CPU
+// stall, in which case the old leader is still alive and serving its
+// spliced connections. Severing those connections (and telling the node
+// to demote when it is reachable) guarantees no client keeps mutating
+// session state on a leader the group has moved past — state the promoted
+// follower would never see, and a token that would otherwise be live on
+// two nodes at once.
 func (gw *Gateway) failover(ctx context.Context, g *group) {
-	dead := int(g.head.Load())
+	dead := g.head.Load()
+	deposed := g.Members[dead]
+	if n := g.sever(dead); n > 0 {
+		gw.mSevered.Add(int64(n))
+		gw.cfg.Logf("fleet: group %s: severed %d spliced connections to deposed head %s", g.Name, n, deposed.Addr)
+	}
+	// Best-effort: a stalled-but-alive head fences itself so even clients
+	// dialing it directly are shed. A truly dead head just times out.
+	if err := gw.postControl(ctx, deposed, "/demote"); err != nil {
+		gw.cfg.Logf("fleet: group %s: demote %s: %v (unreachable or already dead)", g.Name, deposed.Addr, err)
+	}
 	for off := 1; off < len(g.Members); off++ {
-		idx := (dead + off) % len(g.Members)
+		idx := (int(dead) + off) % len(g.Members)
 		cand := g.Members[idx]
-		if err := gw.promote(ctx, cand); err != nil {
+		if err := gw.postControl(ctx, cand, "/promote"); err != nil {
 			gw.mPromErrs.Inc()
 			gw.cfg.Logf("fleet: group %s: promote %s: %v", g.Name, cand.Addr, err)
 			continue
@@ -76,17 +99,48 @@ func (gw *Gateway) failover(ctx context.Context, g *group) {
 		g.head.Store(int32(idx))
 		gw.mFailovers.Inc()
 		gw.cfg.Logf("fleet: group %s: promoted %s to leader", g.Name, cand.Addr)
+		gw.retargetFollowers(ctx, g, int32(idx), dead)
 		return
 	}
 	gw.cfg.Logf("fleet: group %s: no promotable member; traffic keeps shedding until one recovers", g.Name)
 }
 
-// promote POSTs /promote to b. The daemon's endpoint is idempotent (200
-// when already serving), so a retried failover converges.
-func (gw *Gateway) promote(ctx context.Context, b Backend) error {
+// retargetFollowers re-points the group's surviving followers (everyone
+// but the promoted head and the deposed one) at the promoted node's WAL
+// shipping address, so replication continues after the failover instead
+// of every follower tailing a dead address until an operator intervenes.
+// Members without a configured Repl address are skipped with a log line —
+// re-pointing them is then the operator's job.
+func (gw *Gateway) retargetFollowers(ctx context.Context, g *group, head, dead int32) {
+	if len(g.Members) <= 2 {
+		return // nobody left to re-point
+	}
+	promoted := g.Members[head]
+	if promoted.Repl == "" {
+		gw.cfg.Logf("fleet: group %s: promoted %s has no repl address configured; surviving followers keep tailing the dead leader until re-pointed by hand", g.Name, promoted.Addr)
+		return
+	}
+	for i, m := range g.Members {
+		if int32(i) == head || int32(i) == dead {
+			continue
+		}
+		if err := gw.postControl(ctx, m, "/retarget?addr="+url.QueryEscape(promoted.Repl)); err != nil {
+			gw.mRetargetErrs.Inc()
+			gw.cfg.Logf("fleet: group %s: retarget %s -> %s: %v", g.Name, m.Addr, promoted.Repl, err)
+			continue
+		}
+		gw.mRetargets.Inc()
+		gw.cfg.Logf("fleet: group %s: re-pointed follower %s at promoted leader %s", g.Name, m.Addr, promoted.Repl)
+	}
+}
+
+// postControl POSTs path to b's control surface. The daemon's endpoints
+// are idempotent (/promote answers 200 when already serving, /demote when
+// already demoted), so retried failovers converge.
+func (gw *Gateway) postControl(ctx context.Context, b Backend, path string) error {
 	rctx, cancel := context.WithTimeout(ctx, gw.cfg.DialTimeout)
 	defer cancel()
-	req, err := http.NewRequestWithContext(rctx, http.MethodPost, "http://"+b.Health+"/promote", nil)
+	req, err := http.NewRequestWithContext(rctx, http.MethodPost, "http://"+b.Health+path, nil)
 	if err != nil {
 		return err
 	}

@@ -1,10 +1,13 @@
 package serve
 
 import (
+	"bufio"
 	"context"
 	"errors"
 	"fmt"
 	"net"
+	"os"
+	"path/filepath"
 	"reflect"
 	"strings"
 	"testing"
@@ -298,5 +301,126 @@ func TestPromoteWhileRecordsInFlight(t *testing.T) {
 	// ...and the old leader is untouched by it.
 	for epoch := 11; epoch <= 12; epoch++ {
 		stepAll(t, sA, clients, envs, &streams, epoch)
+	}
+}
+
+// TestPromoteRollsBackOnFailure: a Promote that fails past the latch (the
+// generation marker cannot be persisted) must roll the latch back, so the
+// node stays promotable — a gateway retrying the failover gets the real
+// disk error each time, not a permanent "already promoted" from a replica
+// that never started serving.
+func TestPromoteRollsBackOnFailure(t *testing.T) {
+	dir := t.TempDir()
+	cfg := durableConfig(dir, false)
+	cfg.ReplicateFrom = pickAddr(t) // nothing listens; the tailer just retries
+	s, _, shutdown := startDurable(t, cfg)
+	defer shutdown()
+	waitCond(t, "replica start", func() bool { return followerTailer(s) != nil })
+
+	// An unpromoted replica refuses to demote and vets retarget input.
+	if err := s.Demote(); err == nil || !strings.Contains(err.Error(), "not a serving leader") {
+		t.Fatalf("Demote on a replica returned %v; want a not-a-serving-leader refusal", err)
+	}
+	if err := s.RetargetReplication(""); err == nil || !strings.Contains(err.Error(), "empty address") {
+		t.Fatalf(`RetargetReplication("") returned %v; want an empty-address refusal`, err)
+	}
+
+	// Sabotage WriteGen: a directory squats on its tmp path, so persisting
+	// the bumped generation fails after the promote latch is taken.
+	trap := filepath.Join(dir, "repl-gen.tmp")
+	if err := os.Mkdir(trap, 0o755); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Promote(); err == nil {
+		t.Fatal("Promote succeeded with the generation marker unwritable")
+	} else if strings.Contains(err.Error(), "already promoted") {
+		t.Fatalf("first Promote returned %v; want the underlying disk error", err)
+	}
+	// The latch rolled back: a retry hits the same disk fault, not a stuck
+	// already-promoted refusal.
+	if err := s.Promote(); err == nil || strings.Contains(err.Error(), "already promoted") {
+		t.Fatalf("retried Promote returned %v; want the disk error again", err)
+	}
+	if got := s.reg.Counter("serve_promotions_total").Value(); got != 0 {
+		t.Fatalf("serve_promotions_total = %d after failed promotes, want 0", got)
+	}
+	if s.serving() {
+		t.Fatal("replica reports serving after failed promotes")
+	}
+
+	// Clear the fault: the same node promotes cleanly.
+	if err := os.Remove(trap); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Promote(); err != nil {
+		t.Fatalf("Promote after clearing the fault: %v", err)
+	}
+	if !s.serving() {
+		t.Fatal("promoted node not serving")
+	}
+	if got := s.reg.Counter("serve_promotions_total").Value(); got != 1 {
+		t.Fatalf("serve_promotions_total = %d, want 1", got)
+	}
+	// Promotion closes the retarget window.
+	if err := s.RetargetReplication("127.0.0.1:9"); err == nil || !strings.Contains(err.Error(), "already promoted") {
+		t.Fatalf("RetargetReplication after promotion returned %v; want an already-promoted refusal", err)
+	}
+}
+
+// TestDemoteFencesLeader: Demote severs every live session connection and
+// sheds new ones with a retry — the fencing the gateway invokes (POST
+// /demote) on a stalled-but-alive leader it has failed over from, so no
+// client keeps mutating state the promoted follower will never see.
+func TestDemoteFencesLeader(t *testing.T) {
+	cfg := durableConfig(t.TempDir(), false)
+	s, addr, shutdown := startDurable(t, cfg)
+	defer shutdown()
+
+	// A live session, established raw so the severed connection shows up
+	// as a read error instead of vanishing into client retry machinery.
+	conn, err := net.Dial("tcp", addr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer conn.Close()
+	conn.SetDeadline(time.Now().Add(10 * time.Second))
+	fmt.Fprintf(conn, `{"topology":"durable","n":%d,"m":%d,"spouts":%d,"token":"fence-me"}`+"\n", durN, durM, durSpouts)
+	br := bufio.NewReader(conn)
+	if _, err := br.ReadString('\n'); err != nil {
+		t.Fatalf("hello reply: %v", err)
+	}
+
+	if err := s.Demote(); err != nil {
+		t.Fatalf("demote: %v", err)
+	}
+	if err := s.Demote(); err != nil {
+		t.Fatalf("second demote (idempotent) returned %v", err)
+	}
+	if got := s.reg.Counter("serve_demotions_total").Value(); got != 1 {
+		t.Fatalf("serve_demotions_total = %d, want 1", got)
+	}
+	if got := s.reg.Gauge("serve_role").Value(); got != 0 {
+		t.Fatalf("serve_role = %d after demotion, want 0", got)
+	}
+
+	// The live session was severed...
+	if line, err := br.ReadString('\n'); err == nil {
+		t.Fatalf("read on a fenced session returned %q; want the connection severed", line)
+	}
+	// ...and new connections shed with a retry, never a protocol error.
+	c := NewSession(ClientConfig{
+		Addr:        addr,
+		Hello:       HelloMsg{Topology: "durable", N: durN, M: durM, Spouts: durSpouts, Token: "late"},
+		MaxAttempts: 2,
+		BaseBackoff: time.Millisecond,
+	})
+	if err := c.Connect(context.Background()); err == nil {
+		c.Close()
+		t.Fatal("connected to a demoted leader")
+	} else if !errors.Is(err, errShed) {
+		t.Fatalf("demoted-leader shed surfaced as %v; want a retryable shed", err)
+	}
+	if err := s.Demote(); err != nil {
+		t.Fatalf("demote after shedding returned %v", err)
 	}
 }

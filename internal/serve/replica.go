@@ -145,16 +145,17 @@ func (a *tailApplier) ApplySnapshot(snap *durable.Snapshot, reset bool) error {
 	return err
 }
 
-// shedReplica answers a connection that arrived before promotion: drain
-// the hello, reply retry, close. The client's backoff lands it back here
-// after promotion — or at the gateway's re-homed backend.
+// shedReplica answers a connection on a node that is not serving — a
+// replica before promotion, or a demoted leader: drain the hello, reply
+// retry, close. The client's backoff lands it back here after promotion —
+// or at the gateway's re-homed backend.
 func (s *Server) shedReplica(conn net.Conn) {
 	defer conn.Close()
 	s.mShed.Inc()
 	conn.SetReadDeadline(time.Now().Add(s.cfg.WriteTimeout))
 	core.NewFrameReader(bufio.NewReader(conn), s.cfg.MaxLineBytes).Next()
 	conn.SetWriteDeadline(time.Now().Add(s.cfg.WriteTimeout))
-	json.NewEncoder(conn).Encode(&core.SolutionMsg{Err: "retry: replica is not serving (awaiting promotion)", Retry: true})
+	json.NewEncoder(conn).Encode(&core.SolutionMsg{Err: "retry: not serving (unpromoted replica or demoted leader)", Retry: true})
 }
 
 // Promote flips a replica into the serving leader: stop tailing (the
@@ -189,12 +190,20 @@ func (s *Server) Promote() error {
 	// Own the WAL under a fresh generation: the old leader, if it ever
 	// comes back, is now the stale one and every follower of this node
 	// will refuse it.
+	// Failures past the latch roll it back: a transient disk error must
+	// leave the node promotable, or the gateway's retries would get
+	// "already promoted" from a replica that never started serving and a
+	// two-node group would shed all traffic with no way out. The steps up
+	// to here are safe to re-run — Stop is idempotent and rs.done stays
+	// closed.
 	gen := rs.tailer.Gen() + 1
 	if err := durable.WriteGen(s.cfg.DataDir, gen); err != nil {
+		s.promoting.Store(false)
 		return fmt.Errorf("serve: promote: %w", err)
 	}
 	lg, _, err := s.openLog()
 	if err != nil {
+		s.promoting.Store(false)
 		return fmt.Errorf("serve: promote: open mirror as own WAL: %w", err)
 	}
 	// The Recovered result is deliberately ignored: warm state was built
@@ -230,9 +239,35 @@ func (s *Server) promotedCh() <-chan struct{} {
 }
 
 // serving reports whether sessions are accepted (leader from the start,
-// or replica after promotion).
+// or replica after promotion — unless demoted by failover fencing).
 func (s *Server) serving() bool {
+	if s.demoted.Load() {
+		return false
+	}
 	return s.cfg.ReplicateFrom == "" || s.promoting.Load() && s.promotedDone()
+}
+
+// RetargetReplication re-points an unpromoted replica's tailer at a new
+// leader shipping address. The gateway calls it (via POST /retarget) on a
+// group's surviving followers after a failover, so they replicate from
+// the promoted node instead of tailing the dead leader forever.
+func (s *Server) RetargetReplication(addr string) error {
+	if addr == "" {
+		return fmt.Errorf("serve: retarget: empty address")
+	}
+	s.mu.Lock()
+	rs := s.repl
+	s.mu.Unlock()
+	if rs == nil {
+		return fmt.Errorf("serve: retarget: not a replica")
+	}
+	if s.promoting.Load() {
+		return fmt.Errorf("serve: retarget: already promoted")
+	}
+	old := rs.tailer.Addr()
+	rs.tailer.Retarget(addr)
+	log.Printf("serve: replication retargeted %s -> %s", old, addr)
+	return nil
 }
 
 func (s *Server) promotedDone() bool {

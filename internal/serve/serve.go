@@ -292,6 +292,17 @@ type Server struct {
 	repl      *replicaState
 	promoting atomic.Bool
 
+	// demoted fences a deposed leader (Demote): accepted connections are
+	// shed and the live ones severed, so a stalled-but-alive node the
+	// gateway failed over from cannot keep mutating session state that
+	// the promoted follower will never see.
+	demoted atomic.Bool
+
+	// connsMu/liveConns track accepted session connections so Demote can
+	// sever them; entries live exactly as long as their handler goroutine.
+	connsMu   sync.Mutex
+	liveConns map[net.Conn]struct{}
+
 	// run state, owned by Serve. ctx is the "serving live" context —
 	// models auto-start batch loops only once it is set, which is why a
 	// replica leaves it nil until promotion. ctxRun is set for the whole
@@ -331,6 +342,7 @@ type Server struct {
 	mReplLag      *Gauge
 	mPromotions   *Counter
 	mPromoteRej   *Counter
+	mDemotions    *Counter
 	mRole         *Gauge
 
 	// testGate, when non-nil, is received from before each micro-batch is
@@ -354,6 +366,7 @@ func New(cfg Config) *Server {
 		trainSem:      parallel.NewSem(runtime.GOMAXPROCS(0) - 1),
 		gemmSem:       parallel.NewSem(gemmWorkers - 1),
 		models:        map[modelKey]*model{},
+		liveConns:     map[net.Conn]struct{}{},
 		mSessions:     reg.Gauge("serve_sessions"),
 		mSessionsPeak: reg.Gauge("serve_sessions_peak"),
 		mAccepted:     reg.Counter("serve_sessions_accepted_total"),
@@ -384,6 +397,7 @@ func New(cfg Config) *Server {
 		mReplLag:      reg.Gauge("serve_repl_lag_records"),
 		mPromotions:   reg.Counter("serve_promotions_total"),
 		mPromoteRej:   reg.Counter("serve_promotions_rejected_total"),
+		mDemotions:    reg.Counter("serve_demotions_total"),
 		mRole:         reg.Gauge("serve_role"),
 	}
 	if cfg.ReplicateFrom == "" {
@@ -543,6 +557,8 @@ func (s *Server) Serve(ctx context.Context, l net.Listener) error {
 		s.wg.Add(1)
 		go func() {
 			defer s.wg.Done()
+			s.trackConn(conn)
+			defer s.untrackConn(conn)
 			if !s.serving() {
 				s.shedReplica(conn)
 				return
@@ -593,6 +609,48 @@ func (s *Server) activate(sctx context.Context) error {
 			return err
 		}
 	}
+	return nil
+}
+
+func (s *Server) trackConn(c net.Conn) {
+	s.connsMu.Lock()
+	s.liveConns[c] = struct{}{}
+	s.connsMu.Unlock()
+}
+
+func (s *Server) untrackConn(c net.Conn) {
+	s.connsMu.Lock()
+	delete(s.liveConns, c)
+	s.connsMu.Unlock()
+}
+
+// Demote fences a deposed leader (the gateway's /demote call after a
+// failover reaches a node that was stalled, not dead): stop accepting
+// sessions — new connections shed with a retry — and sever the live ones,
+// so their clients re-dial the gateway and land on the promoted node.
+// Nothing on disk is destroyed; an operator decides when and how the node
+// rejoins (typically wiped, as a follower of the promoted leader). A
+// demoted node refuses Promote, and Demote on a node that is not serving
+// is an error unless it is already demoted (idempotent retries converge).
+func (s *Server) Demote() error {
+	if s.demoted.Load() {
+		return nil
+	}
+	if !s.serving() {
+		return errors.New("serve: demote: not a serving leader")
+	}
+	if !s.demoted.CompareAndSwap(false, true) {
+		return nil
+	}
+	s.connsMu.Lock()
+	n := len(s.liveConns)
+	for c := range s.liveConns {
+		c.Close()
+	}
+	s.connsMu.Unlock()
+	s.mDemotions.Inc()
+	s.mRole.Set(0)
+	log.Printf("serve: demoted: fenced %d live sessions; shedding all traffic until operator rejoin", n)
 	return nil
 }
 
@@ -694,7 +752,10 @@ func (s *Server) Handler() http.Handler {
 		nModels := len(s.models)
 		s.mu.Unlock()
 		role := "leader"
-		if !s.serving() {
+		switch {
+		case s.demoted.Load():
+			role = "demoted"
+		case !s.serving():
 			role = "replica"
 		}
 		w.Header().Set("Content-Type", "application/json")
@@ -722,6 +783,33 @@ func (s *Server) Handler() http.Handler {
 		// Success — or an idempotent re-promote of a node already serving
 		// (the gateway retries promotion until the role flips).
 		json.NewEncoder(w).Encode(map[string]any{"status": "leader"})
+	})
+	mux.HandleFunc("/demote", func(w http.ResponseWriter, r *http.Request) {
+		if r.Method != http.MethodPost {
+			http.Error(w, "POST required", http.StatusMethodNotAllowed)
+			return
+		}
+		w.Header().Set("Content-Type", "application/json")
+		if err := s.Demote(); err != nil {
+			w.WriteHeader(http.StatusConflict)
+			json.NewEncoder(w).Encode(map[string]any{"error": err.Error()})
+			return
+		}
+		json.NewEncoder(w).Encode(map[string]any{"status": "demoted"})
+	})
+	mux.HandleFunc("/retarget", func(w http.ResponseWriter, r *http.Request) {
+		if r.Method != http.MethodPost {
+			http.Error(w, "POST required", http.StatusMethodNotAllowed)
+			return
+		}
+		w.Header().Set("Content-Type", "application/json")
+		addr := r.FormValue("addr")
+		if err := s.RetargetReplication(addr); err != nil {
+			w.WriteHeader(http.StatusConflict)
+			json.NewEncoder(w).Encode(map[string]any{"error": err.Error()})
+			return
+		}
+		json.NewEncoder(w).Encode(map[string]any{"status": "retargeted", "addr": addr})
 	})
 	return mux
 }
