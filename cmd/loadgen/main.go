@@ -10,6 +10,13 @@
 // N epochs and reconnects presenting its resumption token, exercising the
 // daemon's session-resumption path under load.
 //
+// With -scenario file.ndjson the synthetic drifting workload is replaced
+// by the scenario's topology mix: one session per topology, reporting that
+// topology's real dimensions and replaying its arrival trace (steady,
+// bursty, diurnal or shift) as the measured workload, with simulated time
+// advanced -time-scale× faster than wall clock. The same NDJSON file
+// drives `simulate -cluster-scenario` and a live daemon.
+//
 // The process exits non-zero if any session hits a protocol error or dies
 // mid-run — including sessions still failing when the run deadline fires
 // (serve.AbortedError) — which is what the CI smoke job asserts.
@@ -54,6 +61,11 @@ type options struct {
 	// the gateway a detection window plus a promotion before retried
 	// steps can land.
 	maxAttempts int
+	// scenario, when set, names an NDJSON cluster scenario whose arrival
+	// traces are replayed against the daemon (one session per topology);
+	// timeScale maps wall-clock to simulated milliseconds.
+	scenario  string
+	timeScale float64
 }
 
 func main() {
@@ -70,15 +82,22 @@ func main() {
 		tokPrefix = flag.String("token-prefix", "", "present client-chosen resumption token <prefix>-<i> per session (restart-recovery testing; empty = daemon-issued tokens)")
 		expectRes = flag.Bool("expect-resumed", false, "fail unless every session resumed existing daemon-side state on connect")
 		maxAtt    = flag.Int("max-attempts", 0, "per-step dial/shed retry budget (0 = client default; raise for failover runs)")
+		scenario  = flag.String("scenario", "", "NDJSON cluster scenario to replay (one session per topology; overrides -sessions/-n/-m/-spouts)")
+		timeScale = flag.Float64("time-scale", 60, "with -scenario: simulated ms advanced per wall-clock ms")
 	)
 	flag.Parse()
-	os.Exit(run(options{
+	opt := options{
 		addr: *addr, sessions: *sessions, duration: *duration,
 		n: *n, m: *m, spouts: *spouts,
 		think: *think, seed: *seed, dropEvery: *dropEvery,
 		tokenPrefix: *tokPrefix, expectResumed: *expectRes,
 		maxAttempts: *maxAtt,
-	}, os.Stdout))
+		scenario:    *scenario, timeScale: *timeScale,
+	}
+	if opt.scenario != "" {
+		os.Exit(runScenario(opt, os.Stdout))
+	}
+	os.Exit(run(opt, os.Stdout))
 }
 
 // run drives the load and returns the process exit code: 0 only when every

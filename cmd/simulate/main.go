@@ -8,10 +8,18 @@
 //	simulate -app cq-large -scheduler default -minutes 20
 //	simulate -app wc -scheduler ac -minutes 20 -train 500
 //	simulate -app cq-small -scheduler all       # every scheduler, in parallel
+//	simulate -cluster-scenario examples/scenarios/mixed4.ndjson
 //
 // With -scheduler all, each scheduler's training and deployment runs
 // concurrently on a bounded worker pool and the stabilized latencies are
 // printed as one comparison table (ordered, deterministic for a seed).
+//
+// With -cluster-scenario, the named NDJSON scenario file is run on the
+// shared-clock multi-topology engine (internal/multisim): every topology
+// in the scenario shares one cluster's cores, slots and network, with the
+// scenario's arrival traces and correlated fault schedule. -isolated
+// re-runs the same topologies each on a private copy of the cluster — the
+// no-interference baseline. Output is deterministic for a seed.
 package main
 
 import (
@@ -20,23 +28,34 @@ import (
 	"fmt"
 	"math/rand"
 	"os"
+	"time"
 
 	"repro"
+	"repro/internal/multisim"
 	"repro/internal/parallel"
 	"repro/internal/sim"
 )
 
 // allSchedulers is the comparison set run by -scheduler all.
-var allSchedulers = []string{"default", "random", "traffic", "model", "dqn", "ac"}
+var allSchedulers = []string{"default", "greedy", "random", "traffic", "model", "dqn", "ac"}
 
 func main() {
 	app := flag.String("app", "cq-small", "system: cq-small|cq-medium|cq-large|log|wc")
-	scheduler := flag.String("scheduler", "default", "scheduler: default|random|traffic|model|dqn|ac|all")
+	scheduler := flag.String("scheduler", "default", "scheduler: default|greedy|random|traffic|model|dqn|ac|all")
 	minutes := flag.Float64("minutes", 20, "simulated minutes")
 	train := flag.Int("train", 500, "training budget for the learning schedulers")
 	seed := flag.Int64("seed", 1, "simulation seed")
 	workers := flag.Int("workers", 0, "worker pool size for -scheduler all (0 = one per CPU)")
+	scenario := flag.String("cluster-scenario", "", "NDJSON scenario file: run its topology mix on one shared cluster")
+	isolated := flag.Bool("isolated", false, "with -cluster-scenario: give each topology a private cluster copy (no-contention baseline)")
 	flag.Parse()
+
+	if *scenario != "" {
+		if err := runScenario(*scenario, *isolated); err != nil {
+			fail(err)
+		}
+		return
+	}
 
 	sys, err := systemFor(*app)
 	if err != nil {
@@ -87,13 +106,18 @@ func compareAll(sys *repro.System, minutes float64, train int, seed int64, worke
 	type row struct {
 		stabilized float64
 		completed  int64
+		decisionNS int64
 	}
 	rows, err := parallel.Map(context.Background(), len(allSchedulers), workers,
 		func(_ context.Context, i int) (row, error) {
+			start := time.Now()
 			assign, err := schedule(sys, allSchedulers[i], train, seed)
 			if err != nil {
 				return row{}, err
 			}
+			// Scheduling cost per placement decision (one executor→machine
+			// choice), training included for the learning schedulers.
+			decisionNS := time.Since(start).Nanoseconds() / int64(sys.Top.NumExecutors())
 			cfg := sim.DefaultConfig(sys.Top, sys.Cl, sys.Arrivals, seed)
 			s, err := sim.New(cfg)
 			if err != nil {
@@ -103,15 +127,49 @@ func compareAll(sys *repro.System, minutes float64, train int, seed int64, worke
 				return row{}, err
 			}
 			s.RunUntil(minutes * 60_000)
-			return row{stabilized: s.AvgOverLastWindows(5), completed: s.Completed()}, nil
+			return row{stabilized: s.AvgOverLastWindows(5), completed: s.Completed(), decisionNS: decisionNS}, nil
 		})
 	if err != nil {
 		return err
 	}
-	fmt.Println(" scheduler   stabilized (ms)      tuples")
+	fmt.Println(" scheduler   stabilized (ms)      tuples   ns/decision")
 	for i, r := range rows {
-		fmt.Printf("  %-9s   %12.3f   %10d\n", allSchedulers[i], r.stabilized, r.completed)
+		fmt.Printf("  %-9s   %12.3f   %10d   %11d\n", allSchedulers[i], r.stabilized, r.completed, r.decisionNS)
 	}
+	return nil
+}
+
+// runScenario loads an NDJSON cluster scenario and runs it on the
+// shared-clock multi-topology engine, printing one deterministic row per
+// topology. Wall-clock throughput goes to stderr so stdout can be diffed
+// across runs.
+func runScenario(path string, isolated bool) error {
+	sc, err := multisim.LoadFile(path)
+	if err != nil {
+		return err
+	}
+	m, err := multisim.Build(sc, isolated)
+	if err != nil {
+		return err
+	}
+	mode := "shared cluster"
+	if isolated {
+		mode = "isolated baseline"
+	}
+	fmt.Printf("scenario %q: %d topologies on %d machines (%s), %.0f simulated seconds, seed %d\n",
+		sc.Name, len(sc.Topologies), sc.Cluster.Machines, mode, sc.DurationMS/1_000, sc.Seed)
+	start := time.Now()
+	m.RunUntil(sc.DurationMS)
+	elapsed := time.Since(start)
+
+	fmt.Println(" topology          stabilized (ms)    p50 (ms)    p99 (ms)    completed    replayed   dropped")
+	for _, r := range m.Results(5) {
+		fmt.Printf("  %-16s   %13.3f   %9.3f   %9.3f   %10d   %9d   %7d\n",
+			r.Name, r.StabilizedMS, r.P50MS, r.P99MS, r.Completed, r.Replayed, r.Dropped)
+	}
+	fmt.Printf("events processed: %d\n", m.EventsProcessed())
+	fmt.Fprintf(os.Stderr, "wall clock: %v (%.0f events/sec)\n",
+		elapsed.Round(time.Millisecond), float64(m.EventsProcessed())/elapsed.Seconds())
 	return nil
 }
 
@@ -120,6 +178,8 @@ func schedule(sys *repro.System, kind string, train int, seed int64) ([]int, err
 	switch kind {
 	case "default":
 		return repro.NewRoundRobinScheduler().Schedule(simEnv)
+	case "greedy":
+		return repro.NewGreedyScheduler(sys).Schedule(simEnv)
 	case "traffic":
 		return repro.NewTrafficAwareScheduler(sys).Schedule(simEnv)
 	case "random":

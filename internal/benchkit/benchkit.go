@@ -24,6 +24,7 @@ import (
 
 	"repro/internal/core"
 	"repro/internal/mat"
+	"repro/internal/multisim"
 	"repro/internal/nn"
 	"repro/internal/parallel"
 	"repro/internal/serve"
@@ -119,6 +120,15 @@ func Run(progress func(string)) (Report, error) {
 	for _, w := range []int{1, 2, 4} {
 		w := w
 		add(fmt.Sprintf("serve/Requests64Sessions_gemmworkers=%d", w), nil, func(b *testing.B) { benchServe(b, w) })
+	}
+
+	// Shared-clock multi-topology stepping at steady state: one global
+	// event through the instance heap plus the owning simulator's event
+	// heap, as resident topology count grows (matching
+	// multisim.BenchmarkClusterStep).
+	for _, n := range []int{1, 4} {
+		n := n
+		add(fmt.Sprintf("multisim/ClusterStep_topologies=%d", n), nil, func(b *testing.B) { benchMultisim(b, n) })
 	}
 	if len(failed) > 0 {
 		return rep, fmt.Errorf("benchkit: %d benchmark(s) failed: %v", len(failed), failed)
@@ -227,6 +237,36 @@ func benchInfer(b *testing.B) {
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		net.ForwardBatchInfer(x)
+	}
+}
+
+// benchMultisim steps an n-topology contended shared cluster (10 machines,
+// the benchmark app mix) warmed to steady state.
+func benchMultisim(b *testing.B, n int) {
+	apps := []string{"cq-small", "wc", "log", "cq-medium"}
+	sc := &multisim.Scenario{
+		Name:       "bench",
+		Seed:       1,
+		DurationMS: 1e18, // stepped manually; no horizon
+		Cluster:    multisim.ClusterSpec{Machines: 10},
+	}
+	for i := 0; i < n; i++ {
+		sc.Topologies = append(sc.Topologies, multisim.TopologySpec{
+			App:  apps[i%len(apps)],
+			Name: fmt.Sprintf("%s-%d", apps[i%len(apps)], i),
+		})
+	}
+	m, err := multisim.Build(sc, false)
+	if err != nil {
+		b.Fatal(err)
+	}
+	m.RunUntil(10_000)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if !m.Step() {
+			b.Fatal("ran out of events")
+		}
 	}
 }
 

@@ -174,3 +174,74 @@ func (a *Assignment) Equal(other *Assignment) bool {
 	}
 	return true
 }
+
+// AppPlacement is one application's executor→machine assignment within a
+// multi-application placement.
+type AppPlacement struct {
+	App       string
+	MachineOf []int
+}
+
+// MultiAssignment places several co-resident applications on one cluster.
+// Under the one-process-per-app constraint (§3.2) an application runs at
+// most one worker process per machine, so each application consumes
+// exactly one slot on every machine hosting at least one of its
+// executors — that is what makes worker slots a contended resource once
+// topologies share a cluster.
+type MultiAssignment struct {
+	Apps []AppPlacement
+}
+
+// Add appends one application's placement (the slice is copied).
+func (ma *MultiAssignment) Add(app string, machineOf []int) {
+	ma.Apps = append(ma.Apps, AppPlacement{App: app, MachineOf: append([]int(nil), machineOf...)})
+}
+
+// Processes returns, per machine, the number of worker processes the
+// placement requires: one per application with at least one executor on
+// that machine.
+func (ma *MultiAssignment) Processes(c *Cluster) []int {
+	procs := make([]int, c.Size())
+	seen := make([]bool, c.Size())
+	for _, ap := range ma.Apps {
+		for i := range seen {
+			seen[i] = false
+		}
+		for _, m := range ap.MachineOf {
+			if m >= 0 && m < len(seen) && !seen[m] {
+				seen[m] = true
+				procs[m]++
+			}
+		}
+	}
+	return procs
+}
+
+// Validate checks every placement maps to real machines, application names
+// are unique, and no machine needs more worker processes than it has
+// slots.
+func (ma *MultiAssignment) Validate(c *Cluster) error {
+	names := make(map[string]bool, len(ma.Apps))
+	for _, ap := range ma.Apps {
+		if ap.App == "" {
+			return fmt.Errorf("cluster: multi-assignment has an unnamed application")
+		}
+		if names[ap.App] {
+			return fmt.Errorf("cluster: duplicate application %q in multi-assignment", ap.App)
+		}
+		names[ap.App] = true
+		for i, m := range ap.MachineOf {
+			if m < 0 || m >= c.Size() {
+				return fmt.Errorf("cluster: app %q executor %d assigned to invalid machine %d (M=%d)",
+					ap.App, i, m, c.Size())
+			}
+		}
+	}
+	for m, procs := range ma.Processes(c) {
+		if procs > c.Machines[m].Slots {
+			return fmt.Errorf("cluster: machine %d (%s) needs %d worker processes but has %d slots",
+				m, c.Machines[m].Name, procs, c.Machines[m].Slots)
+		}
+	}
+	return nil
+}

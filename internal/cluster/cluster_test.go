@@ -119,6 +119,55 @@ func TestAssignmentValidate(t *testing.T) {
 	}
 }
 
+func TestMultiAssignmentProcesses(t *testing.T) {
+	c := NewUniform(3)
+	var ma MultiAssignment
+	ma.Add("cq", []int{0, 0, 1})
+	ma.Add("wc", []int{1, 2, 2, 1})
+	procs := ma.Processes(c)
+	want := []int{1, 2, 1} // cq on {0,1}, wc on {1,2}
+	for i := range want {
+		if procs[i] != want[i] {
+			t.Fatalf("Processes=%v want %v", procs, want)
+		}
+	}
+	if err := ma.Validate(c); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestMultiAssignmentValidate(t *testing.T) {
+	c := NewUniform(2)
+	var ma MultiAssignment
+	ma.Add("a", []int{0, 3})
+	if err := ma.Validate(c); err == nil {
+		t.Fatal("out-of-range machine should fail")
+	}
+	ma = MultiAssignment{}
+	ma.Add("a", []int{0})
+	ma.Add("a", []int{1})
+	if err := ma.Validate(c); err == nil {
+		t.Fatal("duplicate app name should fail")
+	}
+	ma = MultiAssignment{}
+	ma.Add("", []int{0})
+	if err := ma.Validate(c); err == nil {
+		t.Fatal("unnamed app should fail")
+	}
+	// Slot exhaustion: each app takes one worker process on machine 0.
+	ma = MultiAssignment{}
+	c.Machines[0].Slots = 2
+	ma.Add("a", []int{0})
+	ma.Add("b", []int{0, 1})
+	if err := ma.Validate(c); err != nil {
+		t.Fatal(err)
+	}
+	ma.Add("c", []int{0})
+	if err := ma.Validate(c); err == nil {
+		t.Fatal("three apps on a 2-slot machine should fail")
+	}
+}
+
 // Property: Counts always sums to N and Diff(a,b) symmetric in length.
 func TestAssignmentProperties(t *testing.T) {
 	f := func(raw []uint8) bool {

@@ -288,6 +288,15 @@ func solutions(ctx context.Context, sys *apps.System, cfg Config, epochs int) (*
 		rr[i] = i % m
 	}
 
+	// Greedy: the statistics-free baseline places executors in one pass
+	// over static structure — no training, no environment measurements, so
+	// it runs inline before the pool fans out.
+	greedy := &sched.Greedy{Top: sys.Top, Cl: sys.Cl}
+	grAssign, err := greedy.Schedule(&sim.Env{Top: sys.Top, Cl: sys.Cl, Arrivals: sys.Arrivals, Seed: cfg.Seed})
+	if err != nil {
+		return nil, err
+	}
+
 	// The three trained schedulers are independent: each task builds its
 	// own environment and agent from its own seed, so they fan out on the
 	// worker pool. Results land in per-task variables and are assembled
@@ -296,7 +305,7 @@ func solutions(ctx context.Context, sys *apps.System, cfg Config, epochs int) (*
 		mbAssign           []int
 		dqnTrained, acQual *trained
 	)
-	err := parallel.RunSem(ctx, cfg.sem, cfg.Workers,
+	err = parallel.RunSem(ctx, cfg.sem, cfg.Workers,
 		func() error {
 			// Model-based [25].
 			te, err := newTrainEnv(sys)
@@ -339,6 +348,7 @@ func solutions(ctx context.Context, sys *apps.System, cfg Config, epochs int) (*
 
 	out := &solutionSet{assignments: map[string][]int{
 		"Default":                rr,
+		"Greedy":                 grAssign,
 		"Model-based":            mbAssign,
 		"DQN-based DRL":          dqnTrained.ctrl.GreedySolution(),
 		"Actor-critic-based DRL": acQual.ctrl.GreedySolution(),

@@ -13,7 +13,7 @@ func TestQuickFig6aOrderingAndShape(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if res.ID != "6a" || len(res.Series) != 4 {
+	if res.ID != "6a" || len(res.Series) != 5 {
 		t.Fatalf("ID=%q series=%d", res.ID, len(res.Series))
 	}
 	for _, s := range res.Series {
@@ -25,6 +25,9 @@ func TestQuickFig6aOrderingAndShape(t *testing.T) {
 	ac := res.Stabilized["Actor-critic-based DRL"]
 	if def <= 0 || ac <= 0 {
 		t.Fatalf("stabilized values missing: %v", res.Stabilized)
+	}
+	if res.Stabilized["Greedy"] <= 0 {
+		t.Fatalf("greedy baseline missing from figure fan-out: %v", res.Stabilized)
 	}
 	// Even with smoke-test training budgets the trained agent must at
 	// least not lose to round-robin.

@@ -14,8 +14,10 @@ import (
 	"repro/internal/stats"
 )
 
-// schedulerOrder is the paper's legend order.
-var schedulerOrder = []string{"Default", "Model-based", "DQN-based DRL", "Actor-critic-based DRL"}
+// schedulerOrder is the paper's legend order, extended with the
+// statistics-free greedy baseline (not in the paper's comparison set; it
+// anchors the "is the NN worth its decision cost" question).
+var schedulerOrder = []string{"Default", "Greedy", "Model-based", "DQN-based DRL", "Actor-critic-based DRL"}
 
 // Fig6 reproduces Figure 6(a/b/c): average tuple processing time over 20
 // minutes for the four schedulers on the continuous-queries topology at the

@@ -1,0 +1,50 @@
+package multisim
+
+import (
+	"fmt"
+	"testing"
+)
+
+// benchMulti builds an n-topology contended cluster at steady state.
+func benchMulti(b *testing.B, n int) *Multi {
+	apps := []string{"cq-small", "wc", "log", "cq-medium"}
+	sc := &Scenario{
+		Name:       "bench",
+		Seed:       1,
+		DurationMS: 1e18, // stepping is driven manually; no horizon
+		Cluster:    ClusterSpec{Machines: 10},
+	}
+	for i := 0; i < n; i++ {
+		sc.Topologies = append(sc.Topologies, TopologySpec{
+			App:  apps[i%len(apps)],
+			Name: fmt.Sprintf("%s-%d", apps[i%len(apps)], i),
+		})
+	}
+	m, err := Build(sc, false)
+	if err != nil {
+		b.Fatal(err)
+	}
+	// Reach steady state so the benchmark measures the equilibrium event
+	// mix, with queues and heaps at their working size.
+	m.RunUntil(10_000)
+	return m
+}
+
+// BenchmarkClusterStep measures the shared-clock hot path — one global
+// event processed through the instance heap plus the owning instance's
+// event heap — as topology count grows. The events/sec throughput and
+// allocs/op here are PERFORMANCE.md §9's table.
+func BenchmarkClusterStep(b *testing.B) {
+	for _, n := range []int{1, 2, 4} {
+		b.Run(fmt.Sprintf("topologies=%d", n), func(b *testing.B) {
+			m := benchMulti(b, n)
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if !m.Step() {
+					b.Fatal("ran out of events")
+				}
+			}
+		})
+	}
+}

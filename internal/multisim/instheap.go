@@ -1,0 +1,93 @@
+package multisim
+
+// instHeap is the global event queue of the shared clock: a typed 4-ary
+// min-heap over instances keyed by each instance's next-pending-event
+// timestamp. It mirrors sim's zero-alloc event heap — entries live in a
+// reusable slice, the 4-ary shape keeps the tree shallow — but holds one
+// entry per *instance*, not per event: the per-event ordering inside an
+// instance is already total (the instance's own (t, seq) heap), so the
+// orchestrator only needs to merge N instance streams.
+//
+// (t, inst) is a total order — inst is unique per entry — so which
+// instance advances next is completely determined by the instances' event
+// schedules: same seed ⇒ same global event order, regardless of topology
+// count or GOMAXPROCS (the orchestrator is single-goroutine).
+type instEntry struct {
+	t    float64
+	inst int
+}
+
+type instHeap struct {
+	e []instEntry
+}
+
+// less orders entries by time, breaking ties by instance index.
+func instLess(a, b *instEntry) bool {
+	if a.t != b.t {
+		return a.t < b.t
+	}
+	return a.inst < b.inst
+}
+
+func (h *instHeap) len() int { return len(h.e) }
+
+func (h *instHeap) reset() { h.e = h.e[:0] }
+
+// top returns the root entry; the heap must be non-empty.
+func (h *instHeap) top() instEntry { return h.e[0] }
+
+func (h *instHeap) push(e instEntry) {
+	h.e = append(h.e, e)
+	i := len(h.e) - 1
+	for i > 0 {
+		p := (i - 1) / 4
+		if !instLess(&h.e[i], &h.e[p]) {
+			break
+		}
+		h.e[i], h.e[p] = h.e[p], h.e[i]
+		i = p
+	}
+}
+
+func (h *instHeap) pop() instEntry {
+	root := h.e[0]
+	last := len(h.e) - 1
+	h.e[0] = h.e[last]
+	h.e = h.e[:last]
+	if last > 0 {
+		h.siftDown(0)
+	}
+	return root
+}
+
+// fix replaces the root entry (whose instance just advanced and now has a
+// new, necessarily-not-earlier next event) and restores heap order.
+func (h *instHeap) fix(e instEntry) {
+	h.e[0] = e
+	h.siftDown(0)
+}
+
+func (h *instHeap) siftDown(i int) {
+	n := len(h.e)
+	for {
+		first := 4*i + 1
+		if first >= n {
+			return
+		}
+		min := first
+		end := first + 4
+		if end > n {
+			end = n
+		}
+		for c := first + 1; c < end; c++ {
+			if instLess(&h.e[c], &h.e[min]) {
+				min = c
+			}
+		}
+		if !instLess(&h.e[min], &h.e[i]) {
+			return
+		}
+		h.e[i], h.e[min] = h.e[min], h.e[i]
+		i = min
+	}
+}

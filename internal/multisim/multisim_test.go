@@ -1,0 +1,227 @@
+package multisim
+
+import (
+	"fmt"
+	"reflect"
+	"runtime"
+	"strings"
+	"testing"
+
+	"repro/internal/sim"
+)
+
+// mixedScenario is the reference 4-topology scenario the determinism and
+// interference tests share: full-rate apps packed onto 6 machines with
+// heterogeneous speeds, a correlated 2-machine failure, and all four
+// trace kinds exercised.
+func mixedScenario() *Scenario {
+	return &Scenario{
+		Name:         "mixed4-test",
+		Seed:         7,
+		DurationMS:   40_000,
+		AckTimeoutMS: 5_000,
+		Cluster:      ClusterSpec{Machines: 6, SpeedFactors: []float64{1.0, 0.85, 1.15}},
+		Topologies: []TopologySpec{
+			{App: "cq-small", Scheduler: "greedy"},
+			{App: "cq-medium", Scheduler: "default", Trace: &TraceSpec{Kind: "shift", Factor: 1.3, AtMS: 15_000}},
+			{App: "log", Scheduler: "traffic", Trace: &TraceSpec{Kind: "diurnal", PeriodMS: 20_000}},
+			{App: "wc", Scheduler: "default", Trace: &TraceSpec{Kind: "bursty", PeriodMS: 10_000, BurstMS: 2_000}},
+		},
+		Faults: []FaultSpec{{AtMS: 20_000, Machine: 1, Radius: 2, DownMS: 3_000, JitterMS: 1_000}},
+	}
+}
+
+// signature folds a run into a comparable string: per-topology results
+// plus the total event count. Byte equality of signatures is the
+// determinism bar.
+func signature(m *Multi) string {
+	return fmt.Sprintf("%+v events=%d", m.Results(5), m.EventsProcessed())
+}
+
+func runScenario(t *testing.T, sc *Scenario, isolated bool) (*Multi, string) {
+	t.Helper()
+	m, err := Build(sc, isolated)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m.RunUntil(sc.DurationMS)
+	return m, signature(m)
+}
+
+func TestScenarioDeterminism(t *testing.T) {
+	sc := mixedScenario()
+	_, first := runScenario(t, sc, false)
+	_, second := runScenario(t, sc, false)
+	if first != second {
+		t.Fatalf("two runs of the same scenario diverged:\n%s\n%s", first, second)
+	}
+
+	t.Run("gomaxprocs", func(t *testing.T) {
+		// The orchestrator is single-goroutine; scheduler parallelism must
+		// not leak into event order.
+		old := runtime.GOMAXPROCS(1)
+		defer runtime.GOMAXPROCS(old)
+		_, again := runScenario(t, sc, false)
+		if again != first {
+			t.Fatalf("GOMAXPROCS=1 run diverged:\n%s\n%s", first, again)
+		}
+	})
+}
+
+// TestIsolatedMatchesStandalone is the bitwise property: with
+// cross-topology contention disabled (isolated mode), each co-scheduled
+// topology must behave exactly as a standalone sim.Sim with the same
+// configuration — the orchestration layer itself perturbs nothing.
+func TestIsolatedMatchesStandalone(t *testing.T) {
+	sc := mixedScenario()
+	sc.Faults = nil // standalone mirror below schedules no faults
+	setups, cl, err := sc.Instances()
+	if err != nil {
+		t.Fatal(err)
+	}
+	m, err := New(cl, true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, su := range setups {
+		if err := m.Add(InstanceConfig{
+			Name: su.Name, Top: su.Top, Arrivals: su.Arrivals,
+			Assign: su.Assign, Seed: su.Seed, AckTimeoutMS: sc.AckTimeoutMS,
+		}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	m.RunUntil(sc.DurationMS)
+
+	for i, su := range setups {
+		cfg := sim.DefaultConfig(su.Top, cl, su.Arrivals, su.Seed)
+		solo, err := sim.New(cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		solo.EnableAckTimeout(sc.AckTimeoutMS)
+		if err := solo.Deploy(su.Assign); err != nil {
+			t.Fatal(err)
+		}
+		solo.RunUntil(sc.DurationMS)
+
+		co := m.Instances()[i].Sim
+		if co.Completed() != solo.Completed() || co.Emitted() != solo.Emitted() ||
+			co.Replayed() != solo.Replayed() || co.Dropped() != solo.Dropped() {
+			t.Fatalf("%s: counters diverged: co (c=%d e=%d r=%d d=%d) solo (c=%d e=%d r=%d d=%d)",
+				su.Name, co.Completed(), co.Emitted(), co.Replayed(), co.Dropped(),
+				solo.Completed(), solo.Emitted(), solo.Replayed(), solo.Dropped())
+		}
+		if !reflect.DeepEqual(co.Windows(), solo.Windows()) {
+			t.Fatalf("%s: window metrics diverged from standalone run", su.Name)
+		}
+		if co.LatencyPercentile(99) != solo.LatencyPercentile(99) {
+			t.Fatalf("%s: p99 diverged: %v vs %v", su.Name, co.LatencyPercentile(99), solo.LatencyPercentile(99))
+		}
+	}
+}
+
+// TestContentionInterference asserts the engine's raison d'être: the same
+// scenario is measurably slower co-scheduled than isolated, because the
+// topologies share cores, crowding and network congestion for real.
+func TestContentionInterference(t *testing.T) {
+	sc := mixedScenario()
+	sc.Faults = nil // compare steady-state latency, not recovery noise
+	contended, _ := runScenario(t, sc, false)
+	isolated, _ := runScenario(t, sc, true)
+
+	var sumCo, sumIso float64
+	for i, rc := range contended.Results(3) {
+		ri := isolated.Results(3)[i]
+		if rc.Completed == 0 || ri.Completed == 0 {
+			t.Fatalf("topology %s completed no tuples (co=%d iso=%d)", rc.Name, rc.Completed, ri.Completed)
+		}
+		sumCo += rc.StabilizedMS
+		sumIso += ri.StabilizedMS
+	}
+	if sumCo <= sumIso*1.02 {
+		t.Fatalf("no measurable cross-topology interference: contended %.3fms vs isolated %.3fms", sumCo, sumIso)
+	}
+}
+
+// TestCorrelatedFaultHitsEveryTopology: a cluster failure orphans tuples
+// in every resident topology, and with ack timeouts on each replays.
+func TestCorrelatedFaultHitsEveryTopology(t *testing.T) {
+	sc := mixedScenario()
+	m, _ := runScenario(t, sc, false)
+	for _, r := range m.Results(5) {
+		if r.Replayed == 0 {
+			t.Fatalf("topology %s saw no replays despite a correlated 2-machine failure: %+v", r.Name, r)
+		}
+		if r.Completed == 0 {
+			t.Fatalf("topology %s never recovered: %+v", r.Name, r)
+		}
+	}
+}
+
+func TestSlotCapacityEnforced(t *testing.T) {
+	sc := mixedScenario()
+	sc.Cluster.Slots = 2
+	setups, cl, err := sc.Instances()
+	if err != nil {
+		t.Fatal(err)
+	}
+	m, err := New(cl, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var failed error
+	added := 0
+	for _, su := range setups {
+		err := m.Add(InstanceConfig{Name: su.Name, Top: su.Top, Arrivals: su.Arrivals, Assign: su.Assign, Seed: su.Seed})
+		if err != nil {
+			failed = err
+			break
+		}
+		added++
+	}
+	// Four round-robin-ish apps across 6 machines all want a process on
+	// most machines; 2 slots cannot host all four.
+	if failed == nil {
+		t.Fatal("four apps on 2-slot machines should exhaust worker slots")
+	}
+	if !strings.Contains(failed.Error(), "slots") {
+		t.Fatalf("unexpected error: %v", failed)
+	}
+	if added == 0 {
+		t.Fatal("first apps should have fit before exhaustion")
+	}
+}
+
+func TestFaultBeforeAddRejected(t *testing.T) {
+	m, err := New(mixedScenario().Cluster.build(), false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := m.ScheduleClusterFailure(1000, []int{0}, []float64{500}); err == nil {
+		t.Fatal("fault schedule with no instances should fail")
+	}
+}
+
+// TestHeterogeneousSpeedsMatter: the same scenario on a uniformly-fast
+// cluster completes with lower latency than on one with slow machines —
+// SpeedFactor is genuinely exercised by scenarios.
+func TestHeterogeneousSpeedsMatter(t *testing.T) {
+	slow := mixedScenario()
+	slow.Faults = nil
+	slow.Cluster.SpeedFactors = []float64{0.5}
+	fast := mixedScenario()
+	fast.Faults = nil
+	fast.Cluster.SpeedFactors = []float64{1.5}
+
+	ms, _ := runScenario(t, slow, false)
+	mf, _ := runScenario(t, fast, false)
+	var sumSlow, sumFast float64
+	for i, rs := range ms.Results(3) {
+		sumSlow += rs.StabilizedMS
+		sumFast += mf.Results(3)[i].StabilizedMS
+	}
+	if sumSlow <= sumFast {
+		t.Fatalf("0.5x cluster (%.3fms) should be slower than 1.5x cluster (%.3fms)", sumSlow, sumFast)
+	}
+}

@@ -1,0 +1,417 @@
+package multisim
+
+// Scenario specs: a small declarative format for cluster-scale runs — the
+// topology mix, the cluster shape (including heterogeneous machine
+// speeds), per-topology arrival traces, and a correlated fault schedule.
+// Serialized as NDJSON so scenarios diff line-by-line and stream: one
+// JSON object per line, each wrapping exactly one of
+//
+//	{"scenario": { ...header: name, seed, duration, cluster... }}
+//	{"topology": { ...one topology: app, scheduler, trace... }}
+//	{"fault":    { ...one correlated failure... }}
+//
+// The header line comes first; topology and fault lines follow in any
+// order. See examples/scenarios/ for runnable specs.
+
+import (
+	"bufio"
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"io"
+	"math/rand"
+	"os"
+
+	"repro/internal/apps"
+	"repro/internal/cluster"
+	"repro/internal/sched"
+	"repro/internal/sim"
+	"repro/internal/topology"
+	"repro/internal/workload"
+)
+
+// ClusterSpec shapes the shared cluster. Zero-valued fields keep the
+// paper-testbed defaults (10 slots, 2 worker cores, 1 Gbps).
+type ClusterSpec struct {
+	Machines int `json:"machines"`
+	Slots    int `json:"slots,omitempty"`
+	Cores    int `json:"cores,omitempty"`
+	// SpeedFactors assigns heterogeneous CPU speeds, cycled across
+	// machines (machine i gets SpeedFactors[i % len]). Empty = all 1.0.
+	SpeedFactors []float64 `json:"speed_factors,omitempty"`
+}
+
+// build materializes the cluster.
+func (cs *ClusterSpec) build() *cluster.Cluster {
+	c := cluster.NewUniform(cs.Machines)
+	for i, mach := range c.Machines {
+		if cs.Slots > 0 {
+			mach.Slots = cs.Slots
+		}
+		if cs.Cores > 0 {
+			mach.Cores = cs.Cores
+		}
+		if len(cs.SpeedFactors) > 0 {
+			mach.SpeedFactor = cs.SpeedFactors[i%len(cs.SpeedFactors)]
+		}
+	}
+	return c
+}
+
+// TraceSpec selects a topology's arrival trace. Rate 0 uses the
+// application's default aggregate rate; unset tuning fields get the
+// defaults noted per kind.
+type TraceSpec struct {
+	// Kind: "steady" (default), "shift" (step ×Factor at AtMS, the
+	// examples/workloadshift scenario), "diurnal" (sine around Rate with
+	// Amplitude over PeriodMS), or "bursty" (square wave: ×Factor for
+	// BurstMS at each PeriodMS cycle start).
+	Kind      string  `json:"kind"`
+	Rate      float64 `json:"rate,omitempty"`
+	Factor    float64 `json:"factor,omitempty"`    // shift/bursty multiplier (default 1.5 / 2.0)
+	AtMS      float64 `json:"at_ms,omitempty"`     // shift time (default 1/3 of the run)
+	PeriodMS  float64 `json:"period_ms,omitempty"` // diurnal/bursty cycle (default 300000 / 60000)
+	Amplitude float64 `json:"amplitude,omitempty"` // diurnal swing fraction (default 0.4)
+	BurstMS   float64 `json:"burst_ms,omitempty"`  // burst duration (default 10000)
+}
+
+// process materializes the arrival process, given the app's default
+// aggregate rate and the scenario duration (for the shift default).
+func (ts *TraceSpec) process(baseRate, durationMS float64) (workload.ArrivalProcess, error) {
+	rate := ts.Rate
+	if rate <= 0 {
+		rate = baseRate
+	}
+	def := func(v, d float64) float64 {
+		if v > 0 {
+			return v
+		}
+		return d
+	}
+	switch ts.Kind {
+	case "", "steady":
+		return workload.ConstantRate{PerSecond: rate}, nil
+	case "shift":
+		return workload.StepRate{Base: rate, Factor: def(ts.Factor, 1.5), AtMS: def(ts.AtMS, durationMS/3)}, nil
+	case "diurnal":
+		return workload.SineRate{Base: rate, Amplitude: def(ts.Amplitude, 0.4), PeriodMS: def(ts.PeriodMS, 300_000)}, nil
+	case "bursty":
+		return workload.BurstRate{Base: rate, Factor: def(ts.Factor, 2.0), PeriodMS: def(ts.PeriodMS, 60_000), BurstMS: def(ts.BurstMS, 10_000)}, nil
+	default:
+		return nil, fmt.Errorf("multisim: unknown trace kind %q (want steady|shift|diurnal|bursty)", ts.Kind)
+	}
+}
+
+// TopologySpec places one application in the scenario.
+type TopologySpec struct {
+	// App: cq-small | cq-medium | cq-large | log | wc.
+	App string `json:"app"`
+	// Name defaults to App; must be unique (two instances of the same app
+	// need explicit names).
+	Name string `json:"name,omitempty"`
+	// Scheduler places the topology's executors: default (round-robin,
+	// the zero value) | greedy | traffic | random.
+	Scheduler string     `json:"scheduler,omitempty"`
+	Trace     *TraceSpec `json:"trace,omitempty"` // nil = steady at the app default rate
+	// Seed overrides the instance seed (0 = derived from the scenario
+	// seed and the topology's position).
+	Seed int64 `json:"seed,omitempty"`
+}
+
+// FaultSpec is one correlated machine failure: Radius consecutive
+// machines starting at Machine all fail at AtMS, each recovering after
+// DownMS plus its own seeded jitter in [0, JitterMS) — correlated onset,
+// staggered recovery, like a rack power event.
+type FaultSpec struct {
+	AtMS     float64 `json:"at_ms"`
+	Machine  int     `json:"machine"`
+	Radius   int     `json:"radius,omitempty"` // blast radius in machines (default 1)
+	DownMS   float64 `json:"down_ms"`
+	JitterMS float64 `json:"jitter_ms,omitempty"`
+}
+
+// expand resolves the blast radius into concrete (machine, outage) pairs,
+// drawing recovery jitter from the scenario's fault RNG.
+func (f *FaultSpec) expand(machines int, rng *rand.Rand) ([]int, []float64) {
+	r := f.Radius
+	if r < 1 {
+		r = 1
+	}
+	ms := make([]int, r)
+	downs := make([]float64, r)
+	for k := 0; k < r; k++ {
+		ms[k] = (f.Machine + k) % machines
+		downs[k] = f.DownMS
+		if f.JitterMS > 0 {
+			downs[k] += f.JitterMS * rng.Float64()
+		}
+	}
+	return ms, downs
+}
+
+// Scenario is a complete cluster-scale run description.
+type Scenario struct {
+	Name       string  `json:"name"`
+	Seed       int64   `json:"seed"`
+	DurationMS float64 `json:"duration_ms"`
+	// AckTimeoutMS enables tuple replay in every topology (0 = off;
+	// scenarios with faults usually want it on).
+	AckTimeoutMS float64     `json:"ack_timeout_ms,omitempty"`
+	Cluster      ClusterSpec `json:"cluster"`
+
+	// Topologies and Faults come from their own NDJSON lines, not the
+	// header object.
+	Topologies []TopologySpec `json:"-"`
+	Faults     []FaultSpec    `json:"-"`
+}
+
+// Validate checks the scenario is buildable, with errors naming the
+// offending line's content rather than failing deep inside Build.
+func (sc *Scenario) Validate() error {
+	if sc.Name == "" {
+		return fmt.Errorf("multisim: scenario needs a name")
+	}
+	if sc.DurationMS <= 0 {
+		return fmt.Errorf("multisim: scenario %q: duration_ms must be positive", sc.Name)
+	}
+	if sc.Cluster.Machines <= 0 {
+		return fmt.Errorf("multisim: scenario %q: cluster.machines must be positive", sc.Name)
+	}
+	for _, f := range sc.Cluster.SpeedFactors {
+		if f <= 0 {
+			return fmt.Errorf("multisim: scenario %q: non-positive speed factor %v", sc.Name, f)
+		}
+	}
+	if len(sc.Topologies) == 0 {
+		return fmt.Errorf("multisim: scenario %q has no topologies", sc.Name)
+	}
+	names := map[string]bool{}
+	for i, ts := range sc.Topologies {
+		if _, err := systemFor(ts.App); err != nil {
+			return fmt.Errorf("multisim: scenario %q topology %d: %w", sc.Name, i, err)
+		}
+		name := ts.Name
+		if name == "" {
+			name = ts.App
+		}
+		if names[name] {
+			return fmt.Errorf("multisim: scenario %q: duplicate topology name %q (give repeated apps explicit names)", sc.Name, name)
+		}
+		names[name] = true
+		switch ts.Scheduler {
+		case "", "default", "greedy", "traffic", "random":
+		default:
+			return fmt.Errorf("multisim: scenario %q topology %q: unknown scheduler %q", sc.Name, name, ts.Scheduler)
+		}
+		if ts.Trace != nil {
+			if _, err := ts.Trace.process(1, sc.DurationMS); err != nil {
+				return fmt.Errorf("multisim: scenario %q topology %q: %w", sc.Name, name, err)
+			}
+		}
+	}
+	for i, f := range sc.Faults {
+		if f.Machine < 0 || f.Machine >= sc.Cluster.Machines {
+			return fmt.Errorf("multisim: scenario %q fault %d: machine %d out of range [0,%d)", sc.Name, i, f.Machine, sc.Cluster.Machines)
+		}
+		if f.Radius > sc.Cluster.Machines {
+			return fmt.Errorf("multisim: scenario %q fault %d: radius %d exceeds cluster size %d", sc.Name, i, f.Radius, sc.Cluster.Machines)
+		}
+		if f.AtMS < 0 || f.DownMS < 0 || f.JitterMS < 0 {
+			return fmt.Errorf("multisim: scenario %q fault %d: negative time", sc.Name, i)
+		}
+	}
+	return nil
+}
+
+// systemFor maps a scenario app name to a freshly built benchmark system.
+func systemFor(app string) (*apps.System, error) {
+	switch app {
+	case "cq-small":
+		return apps.ContinuousQueries(apps.Small)
+	case "cq-medium":
+		return apps.ContinuousQueries(apps.Medium)
+	case "cq-large":
+		return apps.ContinuousQueries(apps.Large)
+	case "log":
+		return apps.LogStream()
+	case "wc":
+		return apps.WordCount()
+	default:
+		return nil, fmt.Errorf("unknown app %q (want cq-small|cq-medium|cq-large|log|wc)", app)
+	}
+}
+
+// Load parses an NDJSON scenario. Unknown wrapper keys and malformed
+// lines are errors; blank lines are skipped.
+func Load(r io.Reader) (*Scenario, error) {
+	type line struct {
+		Scenario *Scenario     `json:"scenario"`
+		Topology *TopologySpec `json:"topology"`
+		Fault    *FaultSpec    `json:"fault"`
+	}
+	var sc *Scenario
+	scan := bufio.NewScanner(r)
+	scan.Buffer(make([]byte, 0, 64*1024), 1024*1024)
+	lineNo := 0
+	for scan.Scan() {
+		lineNo++
+		raw := scan.Bytes()
+		if len(raw) == 0 {
+			continue
+		}
+		var l line
+		dec := json.NewDecoder(bytes.NewReader(raw))
+		dec.DisallowUnknownFields()
+		if err := dec.Decode(&l); err != nil {
+			return nil, fmt.Errorf("multisim: scenario line %d: %w", lineNo, err)
+		}
+		switch {
+		case l.Scenario != nil:
+			if sc != nil {
+				return nil, fmt.Errorf("multisim: scenario line %d: second scenario header", lineNo)
+			}
+			sc = l.Scenario
+		case l.Topology != nil:
+			if sc == nil {
+				return nil, fmt.Errorf("multisim: scenario line %d: topology before scenario header", lineNo)
+			}
+			sc.Topologies = append(sc.Topologies, *l.Topology)
+		case l.Fault != nil:
+			if sc == nil {
+				return nil, fmt.Errorf("multisim: scenario line %d: fault before scenario header", lineNo)
+			}
+			sc.Faults = append(sc.Faults, *l.Fault)
+		default:
+			return nil, fmt.Errorf("multisim: scenario line %d: want one of scenario|topology|fault", lineNo)
+		}
+	}
+	if err := scan.Err(); err != nil {
+		return nil, fmt.Errorf("multisim: reading scenario: %w", err)
+	}
+	if sc == nil {
+		return nil, fmt.Errorf("multisim: no scenario header line")
+	}
+	if err := sc.Validate(); err != nil {
+		return nil, err
+	}
+	return sc, nil
+}
+
+// LoadFile parses an NDJSON scenario from a file.
+func LoadFile(path string) (*Scenario, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	return Load(f)
+}
+
+// InstanceSetup is one resolved topology of a scenario: everything needed
+// to add it to a Multi — or, for loadgen's replay mode, to drive the same
+// arrival trace against a live daemon.
+type InstanceSetup struct {
+	Name      string
+	App       string
+	Scheduler string
+	Top       *topology.Topology
+	Arrivals  map[string]workload.ArrivalProcess
+	Assign    []int
+	Seed      int64
+}
+
+// Instances resolves the scenario: builds the shared cluster, maps each
+// topology spec to its application, materializes its trace, and runs its
+// scheduler. Deterministic given the scenario (schedulers here are
+// training-free; the random scheduler draws from a per-instance seeded
+// RNG).
+func (sc *Scenario) Instances() ([]InstanceSetup, *cluster.Cluster, error) {
+	if err := sc.Validate(); err != nil {
+		return nil, nil, err
+	}
+	cl := sc.Cluster.build()
+	setups := make([]InstanceSetup, 0, len(sc.Topologies))
+	for i, ts := range sc.Topologies {
+		sys, err := systemFor(ts.App)
+		if err != nil {
+			return nil, nil, err
+		}
+		name := ts.Name
+		if name == "" {
+			name = ts.App
+		}
+		seed := ts.Seed
+		if seed == 0 {
+			seed = sc.Seed + 1000*int64(i+1)
+		}
+		trace := ts.Trace
+		if trace == nil {
+			trace = &TraceSpec{}
+		}
+		proc, err := trace.process(sys.BaseRate, sc.DurationMS)
+		if err != nil {
+			return nil, nil, err
+		}
+		arrivals := make(map[string]workload.ArrivalProcess, len(sys.Arrivals))
+		for spout := range sys.Arrivals {
+			arrivals[spout] = proc
+		}
+		e := &sim.Env{Top: sys.Top, Cl: cl, Arrivals: arrivals, Seed: seed}
+		var s sched.Scheduler
+		switch ts.Scheduler {
+		case "", "default":
+			s = sched.RoundRobin{}
+		case "greedy":
+			s = &sched.Greedy{Top: sys.Top, Cl: cl}
+		case "traffic":
+			s = &sched.TrafficAware{Top: sys.Top, Cl: cl}
+		case "random":
+			s = sched.Random{Rng: rand.New(rand.NewSource(seed))}
+		default:
+			return nil, nil, fmt.Errorf("multisim: unknown scheduler %q", ts.Scheduler)
+		}
+		assign, err := s.Schedule(e)
+		if err != nil {
+			return nil, nil, fmt.Errorf("multisim: scheduling %q: %w", name, err)
+		}
+		setups = append(setups, InstanceSetup{
+			Name: name, App: ts.App, Scheduler: s.Name(),
+			Top: sys.Top, Arrivals: arrivals, Assign: assign, Seed: seed,
+		})
+	}
+	return setups, cl, nil
+}
+
+// Build constructs the ready-to-run orchestrator: instances added in spec
+// order, then the fault schedule expanded with seeded recovery jitter.
+// With isolated=true the same scenario runs without cross-topology
+// contention (the interference baseline).
+func Build(sc *Scenario, isolated bool) (*Multi, error) {
+	setups, cl, err := sc.Instances()
+	if err != nil {
+		return nil, err
+	}
+	m, err := New(cl, isolated)
+	if err != nil {
+		return nil, err
+	}
+	for _, su := range setups {
+		if err := m.Add(InstanceConfig{
+			Name: su.Name, Top: su.Top, Arrivals: su.Arrivals,
+			Assign: su.Assign, Seed: su.Seed, AckTimeoutMS: sc.AckTimeoutMS,
+		}); err != nil {
+			return nil, err
+		}
+	}
+	// One fault RNG for the whole schedule: jitter draws are a pure
+	// function of the scenario seed and fault order, identical across
+	// contended and isolated builds.
+	frng := rand.New(rand.NewSource(sc.Seed ^ 0x5CE17A11))
+	for _, f := range sc.Faults {
+		machines, downs := f.expand(cl.Size(), frng)
+		if err := m.ScheduleClusterFailure(f.AtMS, machines, downs); err != nil {
+			return nil, err
+		}
+	}
+	return m, nil
+}

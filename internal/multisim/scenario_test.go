@@ -1,0 +1,82 @@
+package multisim
+
+import (
+	"strings"
+	"testing"
+)
+
+const sampleNDJSON = `{"scenario": {"name": "smoke", "seed": 42, "duration_ms": 30000, "ack_timeout_ms": 5000, "cluster": {"machines": 4, "speed_factors": [1.0, 0.9]}}}
+{"topology": {"app": "cq-small", "scheduler": "greedy"}}
+{"topology": {"app": "cq-small", "name": "cq-b", "trace": {"kind": "bursty", "rate": 500}}}
+
+{"fault": {"at_ms": 10000, "machine": 2, "radius": 2, "down_ms": 2000, "jitter_ms": 500}}
+`
+
+func TestLoadNDJSON(t *testing.T) {
+	sc, err := Load(strings.NewReader(sampleNDJSON))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sc.Name != "smoke" || sc.Seed != 42 || sc.DurationMS != 30000 {
+		t.Fatalf("header fields wrong: %+v", sc)
+	}
+	if len(sc.Topologies) != 2 || len(sc.Faults) != 1 {
+		t.Fatalf("got %d topologies, %d faults", len(sc.Topologies), len(sc.Faults))
+	}
+	if sc.Topologies[1].Name != "cq-b" || sc.Topologies[1].Trace.Kind != "bursty" {
+		t.Fatalf("second topology wrong: %+v", sc.Topologies[1])
+	}
+	if sc.Faults[0].Radius != 2 || sc.Faults[0].JitterMS != 500 {
+		t.Fatalf("fault wrong: %+v", sc.Faults[0])
+	}
+	// The loaded scenario is actually runnable.
+	m, err := Build(sc, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m.RunUntil(sc.DurationMS)
+	if m.EventsProcessed() == 0 {
+		t.Fatal("scenario ran no events")
+	}
+}
+
+func TestLoadErrors(t *testing.T) {
+	cases := map[string]string{
+		"no header":        `{"topology": {"app": "wc"}}`,
+		"empty":            ``,
+		"double header":    "{\"scenario\": {\"name\": \"a\", \"duration_ms\": 1, \"cluster\": {\"machines\": 1}}}\n{\"scenario\": {\"name\": \"b\", \"duration_ms\": 1, \"cluster\": {\"machines\": 1}}}",
+		"unknown wrapper":  `{"mystery": {}}`,
+		"unknown field":    `{"scenario": {"name": "a", "duration_ms": 1, "cluster": {"machines": 1}, "banana": 3}}`,
+		"malformed json":   `{"scenario":`,
+		"no topologies":    `{"scenario": {"name": "a", "duration_ms": 1000, "cluster": {"machines": 2}}}`,
+		"unknown app":      "{\"scenario\": {\"name\": \"a\", \"duration_ms\": 1000, \"cluster\": {\"machines\": 2}}}\n{\"topology\": {\"app\": \"nope\"}}",
+		"dup name":         "{\"scenario\": {\"name\": \"a\", \"duration_ms\": 1000, \"cluster\": {\"machines\": 2}}}\n{\"topology\": {\"app\": \"wc\"}}\n{\"topology\": {\"app\": \"wc\"}}",
+		"bad scheduler":    "{\"scenario\": {\"name\": \"a\", \"duration_ms\": 1000, \"cluster\": {\"machines\": 2}}}\n{\"topology\": {\"app\": \"wc\", \"scheduler\": \"oracle\"}}",
+		"bad trace kind":   "{\"scenario\": {\"name\": \"a\", \"duration_ms\": 1000, \"cluster\": {\"machines\": 2}}}\n{\"topology\": {\"app\": \"wc\", \"trace\": {\"kind\": \"chaotic\"}}}",
+		"fault OOB":        "{\"scenario\": {\"name\": \"a\", \"duration_ms\": 1000, \"cluster\": {\"machines\": 2}}}\n{\"topology\": {\"app\": \"wc\"}}\n{\"fault\": {\"at_ms\": 1, \"machine\": 7, \"down_ms\": 1}}",
+		"radius too large": "{\"scenario\": {\"name\": \"a\", \"duration_ms\": 1000, \"cluster\": {\"machines\": 2}}}\n{\"topology\": {\"app\": \"wc\"}}\n{\"fault\": {\"at_ms\": 1, \"machine\": 0, \"radius\": 3, \"down_ms\": 1}}",
+	}
+	for name, doc := range cases {
+		if _, err := Load(strings.NewReader(doc)); err == nil {
+			t.Errorf("%s: expected error", name)
+		}
+	}
+}
+
+func TestTraceKinds(t *testing.T) {
+	for _, kind := range []string{"", "steady", "shift", "diurnal", "bursty"} {
+		ts := &TraceSpec{Kind: kind}
+		p, err := ts.process(100, 60_000)
+		if err != nil {
+			t.Fatalf("%q: %v", kind, err)
+		}
+		if r := p.RateAt(0); r <= 0 {
+			t.Fatalf("%q: non-positive rate %v at t=0", kind, r)
+		}
+	}
+	// Shift actually shifts, at the default 1/3-duration point.
+	p, _ := (&TraceSpec{Kind: "shift", Rate: 100}).process(0, 60_000)
+	if p.RateAt(0) != 100 || p.RateAt(30_000) != 150 {
+		t.Fatalf("shift defaults wrong: %v / %v", p.RateAt(0), p.RateAt(30_000))
+	}
+}

@@ -1,5 +1,7 @@
 package sim
 
+import "fmt"
+
 // Fault-tolerance mechanics of §2.1: "if a message ID is marked failure due
 // to acknowledgment timeout, data processing will be recovered by replaying
 // the corresponding data source tuple", and "the master monitors heartbeat
@@ -29,8 +31,43 @@ func (s *Sim) Replayed() int64 { return s.replays }
 // for downMS. This models a worker-process crash detected by the master's
 // heartbeat monitoring.
 func (s *Sim) FailMachine(machine int, downMS float64) {
+	s.failMachine(machine, downMS)
+}
+
+// ScheduleFailure declares a machine failure ahead of time: at simulated
+// time atMS the machine fails exactly as FailMachine would at that moment.
+// This is what scenario specs use — faults become part of the seeded event
+// schedule instead of requiring an imperative call between RunUntil
+// chunks (which could only land on chunk boundaries). atMS must not be in
+// the past.
+func (s *Sim) ScheduleFailure(machine int, atMS, downMS float64) error {
+	if machine < 0 || machine >= s.cl.Size() {
+		return fmt.Errorf("sim: ScheduleFailure: invalid machine %d (cluster has %d)", machine, s.cl.Size())
+	}
+	if atMS < s.now {
+		return fmt.Errorf("sim: ScheduleFailure: time %.0fms already passed (now %.0fms)", atMS, s.now)
+	}
+	if downMS < 0 {
+		return fmt.Errorf("sim: ScheduleFailure: negative outage %.0fms", downMS)
+	}
+	// The event struct is reused unchanged: exec carries the machine index
+	// and tup.emitMS the outage duration (see the evFail case in step).
+	s.push(event{t: atMS, kind: evFail, exec: machine, tup: tupleRef{emitMS: downMS}})
+	return nil
+}
+
+// failMachine is the shared implementation behind FailMachine and evFail:
+// mark the machine down until now+downMS, orphan this topology's queued
+// tuples on it, and pause its executors. In-flight services are handled at
+// their evFinish (the failedUntil check there discards results produced on
+// a machine that failed mid-service). Under shared ClusterState the
+// failedUntil write is idempotent across co-resident topologies — each
+// schedules the same failure and orphans its own tuples.
+func (s *Sim) failMachine(machine int, downMS float64) {
 	until := s.now + downMS
-	s.failedUntil[machine] = until
+	if until > s.failedUntil[machine] {
+		s.failedUntil[machine] = until
+	}
 	for i := range s.execs {
 		e := &s.execs[i]
 		if e.machine != machine {
@@ -41,7 +78,9 @@ func (s *Sim) FailMachine(machine int, downMS float64) {
 			s.orphanTuple(tup)
 		}
 		e.qReset()
-		e.pausedUntil = until
+		if until > e.pausedUntil {
+			e.pausedUntil = until
+		}
 		s.push(event{t: until, kind: evResume, exec: i})
 	}
 }

@@ -108,6 +108,67 @@ func TestFailedMachineProcessesNothingWhileDown(t *testing.T) {
 	}
 }
 
+func TestScheduledFailureMatchesImperative(t *testing.T) {
+	// A declaratively scheduled failure must reproduce the imperative
+	// two-phase run exactly: RunUntil(T) pops every event with t ≤ T, and
+	// continuous-time event stamps never land exactly on the integer
+	// deadline, so the fault fires at the same point of the event sequence
+	// either way.
+	decl := faultSim(t, 5_000)
+	if err := decl.ScheduleFailure(1, 20_000, 10_000); err != nil {
+		t.Fatal(err)
+	}
+	decl.RunUntil(60_000)
+
+	imp := faultSim(t, 5_000)
+	imp.RunUntil(20_000)
+	imp.FailMachine(1, 10_000)
+	imp.RunUntil(60_000)
+
+	if decl.Completed() != imp.Completed() || decl.Replayed() != imp.Replayed() ||
+		decl.Emitted() != imp.Emitted() {
+		t.Fatalf("declarative (c=%d r=%d e=%d) diverged from imperative (c=%d r=%d e=%d)",
+			decl.Completed(), decl.Replayed(), decl.Emitted(),
+			imp.Completed(), imp.Replayed(), imp.Emitted())
+	}
+	if decl.Replayed() == 0 {
+		t.Fatal("scheduled failure triggered no replays")
+	}
+}
+
+func TestScheduleFailureValidation(t *testing.T) {
+	s := faultSim(t, 0)
+	if err := s.ScheduleFailure(99, 1_000, 500); err == nil {
+		t.Fatal("invalid machine should fail")
+	}
+	if err := s.ScheduleFailure(0, 1_000, -1); err == nil {
+		t.Fatal("negative outage should fail")
+	}
+	s.RunUntil(5_000)
+	if err := s.ScheduleFailure(0, 1_000, 500); err == nil {
+		t.Fatal("scheduling in the past should fail")
+	}
+}
+
+func TestStepPrimitivesMatchRunUntil(t *testing.T) {
+	// Driving the exported step primitives by hand must be
+	// indistinguishable from RunUntil — they are the same loop decomposed.
+	a := faultSim(t, 0)
+	b := faultSim(t, 0)
+	a.RunUntil(10_000)
+	for b.HasPendingEvents() && b.PeekNextEventTime() <= 10_000 {
+		b.ProcessNextEvent()
+	}
+	b.AdvanceTo(10_000)
+	if a.Completed() != b.Completed() || a.Emitted() != b.Emitted() || a.Now() != b.Now() {
+		t.Fatalf("primitives diverged: RunUntil (c=%d e=%d now=%v) manual (c=%d e=%d now=%v)",
+			a.Completed(), a.Emitted(), a.Now(), b.Completed(), b.Emitted(), b.Now())
+	}
+	if got := a.AvgOverLastWindows(3) - b.AvgOverLastWindows(3); got != 0 {
+		t.Fatalf("window metrics diverged by %v", got)
+	}
+}
+
 func TestReplayLatencyMeasuredFromReplayEmission(t *testing.T) {
 	// Replayed tuples must not poison the latency metric with the full
 	// timeout span: stabilized average should stay far below the deadline.

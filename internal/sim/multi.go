@@ -1,0 +1,60 @@
+package sim
+
+// Multi-instance support: the stepping primitives and shared machine state
+// that let an external orchestrator (internal/multisim) advance several
+// Sim instances over ONE cluster in global timestamp order. The pattern is
+// composition, not inheritance: Run-style loops decompose into
+// HasPendingEvents / PeekNextEventTime / ProcessNextEvent, and the
+// orchestrator owns the policy of which instance advances next. A Sim
+// never reaches into a sibling — the only deliberately shared state is the
+// ClusterState below.
+
+import "repro/internal/cluster"
+
+// ClusterState is the machine-level state shared by co-scheduled
+// simulations: per-machine busy-level EWMAs, outbound-transfer congestion
+// counters, resident-executor counts, and failure windows. Every Sim
+// constructed with Config.Shared pointing at the same ClusterState mutates
+// the same backing arrays, so CPU contention, network congestion, crowding
+// and machine failures are felt across topology boundaries.
+//
+// The state is only coherent under single-goroutine, global-timestamp-order
+// stepping (each machine's EWMA folds elapsed time from its last update;
+// out-of-order updates would fold negative intervals). multisim.Multi
+// guarantees that order.
+type ClusterState struct {
+	machines    []machineState
+	failedUntil []float64
+}
+
+// NewClusterState returns empty shared machine state for a cluster.
+func NewClusterState(cl *cluster.Cluster) *ClusterState {
+	return &ClusterState{
+		machines:    make([]machineState, cl.Size()),
+		failedUntil: make([]float64, cl.Size()),
+	}
+}
+
+// HasPendingEvents reports whether the simulation has any event left to
+// process.
+func (s *Sim) HasPendingEvents() bool { return s.events.len() > 0 }
+
+// PeekNextEventTime returns the timestamp of the earliest pending event.
+// It must only be called when HasPendingEvents is true.
+func (s *Sim) PeekNextEventTime() float64 { return s.events.peekTime() }
+
+// ProcessNextEvent processes exactly one event — the earliest pending one —
+// and advances the simulation clock to its timestamp. Returns false when
+// no events remain. This is the step primitive a shared-clock orchestrator
+// drives; RunUntil is the single-instance convenience loop over it.
+func (s *Sim) ProcessNextEvent() bool { return s.step() }
+
+// AdvanceTo moves the simulation clock forward to tMS without processing
+// any events, finalizing Windows()/AvgOverLastWindows for a horizon the
+// orchestrator already drained events up to. Calls with tMS in the past
+// are ignored (the clock never moves backwards).
+func (s *Sim) AdvanceTo(tMS float64) {
+	if tMS > s.now {
+		s.now = tMS
+	}
+}

@@ -61,6 +61,15 @@ type Config struct {
 	// NoContention disables the busy/cores CPU slowdown (diagnostic knob
 	// for calibration tooling and ablation benches).
 	NoContention bool
+
+	// Shared, when non-nil, makes this simulation read and write machine
+	// state (busy levels, congestion counters, resident counts, failure
+	// windows) through a ClusterState shared with other co-scheduled
+	// simulations of the SAME cluster. Co-resident topologies then contend
+	// for cores and network for real. Sharing is only coherent when all
+	// participating simulations advance in global timestamp order — use
+	// multisim.Multi rather than stepping shared sims independently.
+	Shared *ClusterState
 }
 
 // DefaultConfig fills in the calibration constants used across the
@@ -87,6 +96,7 @@ const (
 	evFinish           // an executor finishes servicing a tuple
 	evResume           // a paused (moved) executor resumes
 	evAckCheck         // ack-timeout check for a root tuple
+	evFail             // a scheduled machine failure fires (see faults.go)
 )
 
 type tupleRef struct {
@@ -292,8 +302,17 @@ func New(cfg Config) (*Sim, error) {
 		}
 	}
 	s.execs = make([]execState, s.top.NumExecutors())
-	s.machines = make([]machineState, s.cl.Size())
-	s.failedUntil = make([]float64, s.cl.Size())
+	if cfg.Shared != nil {
+		if len(cfg.Shared.machines) != s.cl.Size() {
+			return nil, fmt.Errorf("sim: shared cluster state has %d machines, cluster has %d",
+				len(cfg.Shared.machines), s.cl.Size())
+		}
+		s.machines = cfg.Shared.machines
+		s.failedUntil = cfg.Shared.failedUntil
+	} else {
+		s.machines = make([]machineState, s.cl.Size())
+		s.failedUntil = make([]float64, s.cl.Size())
+	}
 	for i := range s.execs {
 		s.execs[i].machine = -1
 	}
@@ -614,6 +633,10 @@ func (s *Sim) step() bool {
 		s.tryStartService(ev.exec)
 	case evAckCheck:
 		s.checkAck(ev.tup.root, ev.exec, ev.tup.comp)
+	case evFail:
+		// Declaratively scheduled machine failure; ev.exec carries the
+		// machine index and ev.tup.emitMS the outage duration.
+		s.failMachine(ev.exec, ev.tup.emitMS)
 	}
 	return true
 }

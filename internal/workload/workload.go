@@ -63,6 +63,28 @@ func (s SineRate) RateAt(tMS float64) float64 {
 	return s.Base * (1 + s.Amplitude*math.Sin(2*math.Pi*tMS/s.PeriodMS))
 }
 
+// BurstRate alternates between Base and Base·Factor: each PeriodMS cycle
+// opens with BurstMS of elevated rate, then falls back to Base. It is the
+// "bursty" trace kind of cluster scenarios — a square wave where SineRate
+// is smooth — stressing queue build-up and drain.
+type BurstRate struct {
+	Base     float64
+	Factor   float64 // rate multiplier during a burst
+	PeriodMS float64 // cycle length
+	BurstMS  float64 // burst duration at the start of each cycle
+}
+
+// RateAt implements ArrivalProcess.
+func (b BurstRate) RateAt(tMS float64) float64 {
+	if b.PeriodMS <= 0 || b.BurstMS <= 0 {
+		return b.Base
+	}
+	if math.Mod(tMS, b.PeriodMS) < b.BurstMS {
+		return b.Base * b.Factor
+	}
+	return b.Base
+}
+
 // PoissonGaps draws successive inter-arrival gaps (ms) for a process whose
 // instantaneous rate comes from p. Rates ≤ 0 yield +Inf (no arrivals).
 func PoissonGaps(rng *rand.Rand, p ArrivalProcess, tMS float64) float64 {

@@ -205,3 +205,23 @@ func TestFieldsHashSpreads(t *testing.T) {
 		t.Fatalf("hash poorly spread: %v", counts)
 	}
 }
+
+func TestBurstRate(t *testing.T) {
+	b := BurstRate{Base: 100, Factor: 3, PeriodMS: 10_000, BurstMS: 2_000}
+	if got := b.RateAt(0); got != 300 {
+		t.Fatalf("burst onset rate %v want 300", got)
+	}
+	if got := b.RateAt(1_999); got != 300 {
+		t.Fatalf("in-burst rate %v want 300", got)
+	}
+	if got := b.RateAt(2_000); got != 100 {
+		t.Fatalf("post-burst rate %v want 100", got)
+	}
+	if got := b.RateAt(10_500); got != 300 {
+		t.Fatalf("second-cycle burst rate %v want 300", got)
+	}
+	// Degenerate periods fall back to the base rate.
+	if got := (BurstRate{Base: 50}).RateAt(123); got != 50 {
+		t.Fatalf("degenerate burst rate %v want 50", got)
+	}
+}

@@ -137,6 +137,13 @@ func NewTrafficAwareScheduler(sys *System) Scheduler {
 	return &sched.TrafficAware{Top: sys.Top, Cl: sys.Cl}
 }
 
+// NewGreedyScheduler returns the statistics-free greedy baseline: one
+// speed-normalized load-balancing pass with upstream affinity, no runtime
+// measurements or training.
+func NewGreedyScheduler(sys *System) Scheduler {
+	return &sched.Greedy{Top: sys.Top, Cl: sys.Cl}
+}
+
 // DRL control framework (the paper's contribution, §3).
 type (
 	// Agent is a DRL scheduling agent (actor-critic or DQN).
