@@ -57,6 +57,7 @@ func main() {
 		listen   = flag.String("listen", "127.0.0.1:7700", "scheduler session listen address")
 		httpAddr = flag.String("http", "127.0.0.1:7701", "HTTP control surface address (/metrics, /healthz); empty disables")
 		sessions = flag.Int("max-sessions", 4096, "max concurrent scheduler sessions")
+		shards   = flag.Int("accept-shards", 0, "accept-loop goroutines sharing the listener (0 = GOMAXPROCS)")
 		queue    = flag.Int("queue", 1024, "per-model pending inference queue depth")
 		window   = flag.Duration("batch-window", 200*time.Microsecond, "micro-batch gather window (negative disables coalescing)")
 		maxBatch = flag.Int("max-batch", 64, "max inference micro-batch size (1 = per-request)")
@@ -89,6 +90,7 @@ func main() {
 
 	s := serve.New(serve.Config{
 		MaxSessions:     *sessions,
+		AcceptShards:    *shards,
 		QueueDepth:      *queue,
 		BatchWindow:     *window,
 		MaxBatch:        *maxBatch,
@@ -172,7 +174,7 @@ func main() {
 	}
 	if httpSrv != nil {
 		shutCtx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
-		httpSrv.Shutdown(shutCtx)
+		_ = httpSrv.Shutdown(shutCtx)
 		cancel()
 	}
 	if err != nil {

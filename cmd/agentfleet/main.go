@@ -109,7 +109,7 @@ func main() {
 	err = gw.Serve(ctx, l)
 	if httpSrv != nil {
 		shutCtx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
-		httpSrv.Shutdown(shutCtx)
+		_ = httpSrv.Shutdown(shutCtx)
 		cancel()
 	}
 	if err != nil {

@@ -66,6 +66,9 @@ type options struct {
 	// timeScale maps wall-clock to simulated milliseconds.
 	scenario  string
 	timeScale float64
+	// proto selects the wire framing: auto (negotiate binary, fall back),
+	// binary (require it), or ndjson.
+	proto string
 }
 
 func main() {
@@ -84,6 +87,7 @@ func main() {
 		maxAtt    = flag.Int("max-attempts", 0, "per-step dial/shed retry budget (0 = client default; raise for failover runs)")
 		scenario  = flag.String("scenario", "", "NDJSON cluster scenario to replay (one session per topology; overrides -sessions/-n/-m/-spouts)")
 		timeScale = flag.Float64("time-scale", 60, "with -scenario: simulated ms advanced per wall-clock ms")
+		proto     = flag.String("proto", "auto", "wire framing: auto (binary hello, NDJSON fallback), binary (required), ndjson")
 	)
 	flag.Parse()
 	opt := options{
@@ -93,6 +97,7 @@ func main() {
 		tokenPrefix: *tokPrefix, expectResumed: *expectRes,
 		maxAttempts: *maxAtt,
 		scenario:    *scenario, timeScale: *timeScale,
+		proto: *proto,
 	}
 	if opt.scenario != "" {
 		os.Exit(runScenario(opt, os.Stdout))
@@ -108,6 +113,7 @@ func run(opt options, out io.Writer) int {
 		Addr:        opt.addr,
 		Hello:       serve.HelloMsg{Topology: "loadgen", N: opt.n, M: opt.m, Spouts: opt.spouts},
 		MaxAttempts: opt.maxAttempts,
+		Proto:       opt.proto,
 	}, opt.sessions)
 	if opt.tokenPrefix != "" {
 		for i := 0; i < opt.sessions; i++ {

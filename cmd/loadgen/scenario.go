@@ -63,6 +63,7 @@ func runScenario(opt options, out io.Writer) int {
 			Addr:        opt.addr,
 			Hello:       serve.HelloMsg{Topology: su.Name, N: len(su.Assign), M: cl.Size(), Spouts: tr.spouts},
 			MaxAttempts: opt.maxAttempts,
+			Proto:       opt.proto,
 		}, 1)
 		runs[i] = tr
 	}

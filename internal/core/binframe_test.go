@@ -1,0 +1,248 @@
+package core
+
+import (
+	"bufio"
+	"bytes"
+	"encoding/json"
+	"errors"
+	"io"
+	"math"
+	"reflect"
+	"testing"
+)
+
+func TestBinaryCodecRoundTrips(t *testing.T) {
+	hellos := []HelloMsg{
+		{},
+		{Topology: "wordcount", N: 12, M: 4, Spouts: 2},
+		{Topology: "q\"uo\\te\nme", N: -3, M: 1 << 40, Spouts: 0, Token: "s0ffee"},
+		{Token: "fleet-deadbeef"},
+	}
+	for _, h := range hellos {
+		frame := AppendHelloBin(nil, &h)
+		typ, p, err := NewBinFrameReader(bufio.NewReader(bytes.NewReader(frame)), 1<<20).Next()
+		if err != nil || typ != BinTypeHello {
+			t.Fatalf("hello %+v: frame read typ=%d err=%v", h, typ, err)
+		}
+		var got HelloMsg
+		if err := DecodeHelloBin(p, &got); err != nil {
+			t.Fatalf("hello %+v: decode: %v", h, err)
+		}
+		if !reflect.DeepEqual(h, got) {
+			t.Fatalf("hello round trip drifted: %+v vs %+v", h, got)
+		}
+	}
+
+	sols := []SolutionMsg{
+		{},
+		{Epoch: 7, Assign: []int{0, 1, 2, 1}},
+		{Epoch: -1, Assign: []int{}, Err: "bad hello: shape", Retry: true},
+		{Epoch: 3, Assign: []int{1, 0}, Token: "s42", Resumed: true},
+	}
+	for _, m := range sols {
+		frame := AppendSolutionBin(nil, &m)
+		typ, p, err := NewBinFrameReader(bufio.NewReader(bytes.NewReader(frame)), 1<<20).Next()
+		if err != nil || typ != BinTypeSolution {
+			t.Fatalf("solution %+v: frame read typ=%d err=%v", m, typ, err)
+		}
+		var got SolutionMsg
+		if err := DecodeSolutionBin(p, &got); err != nil {
+			t.Fatalf("solution %+v: decode: %v", m, err)
+		}
+		if !reflect.DeepEqual(m, got) {
+			t.Fatalf("solution round trip drifted: %+v vs %+v", m, got)
+		}
+		// nil-vs-empty must survive the codec: it is observable through
+		// encoding/json ("assign":null vs "assign":[]).
+		if (m.Assign == nil) != (got.Assign == nil) {
+			t.Fatalf("solution nilness drifted: %v vs %v", m.Assign == nil, got.Assign == nil)
+		}
+	}
+
+	meas := []MeasurementMsg{
+		{},
+		{Epoch: 9, AvgTupleTimeMS: 41.5, Workload: []float64{120, 80.25}},
+		{AvgTupleTimeMS: math.Inf(1), Workload: []float64{}, Err: "deploy failed"},
+	}
+	for _, m := range meas {
+		frame := AppendMeasurementBin(nil, &m)
+		typ, p, err := NewBinFrameReader(bufio.NewReader(bytes.NewReader(frame)), 1<<20).Next()
+		if err != nil || typ != BinTypeMeasurement {
+			t.Fatalf("measurement %+v: frame read typ=%d err=%v", m, typ, err)
+		}
+		var got MeasurementMsg
+		if err := DecodeMeasurementBin(p, &got); err != nil {
+			t.Fatalf("measurement %+v: decode: %v", m, err)
+		}
+		if !reflect.DeepEqual(m, got) {
+			t.Fatalf("measurement round trip drifted: %+v vs %+v", m, got)
+		}
+	}
+
+	// NaN round-trips bit-exactly through the binary framing (it has no
+	// NDJSON encoding at all, which Wire.WriteMeasurement enforces).
+	nan := MeasurementMsg{AvgTupleTimeMS: math.NaN(), Workload: []float64{math.Float64frombits(0x7ff8000000000001)}}
+	frame := AppendMeasurementBin(nil, &nan)
+	_, p, err := NewBinFrameReader(bufio.NewReader(bytes.NewReader(frame)), 1<<20).Next()
+	if err != nil {
+		t.Fatalf("NaN frame: %v", err)
+	}
+	var got MeasurementMsg
+	if err := DecodeMeasurementBin(p, &got); err != nil {
+		t.Fatalf("NaN decode: %v", err)
+	}
+	if !math.IsNaN(got.AvgTupleTimeMS) ||
+		math.Float64bits(got.Workload[0]) != 0x7ff8000000000001 {
+		t.Fatalf("NaN bits drifted: %x", math.Float64bits(got.Workload[0]))
+	}
+}
+
+func TestBinFrameReaderErrors(t *testing.T) {
+	sol := AppendSolutionBin(nil, &SolutionMsg{Epoch: 1, Assign: []int{0, 1}})
+
+	read := func(data []byte, max int) error {
+		_, _, err := NewBinFrameReader(bufio.NewReader(bytes.NewReader(data)), max).Next()
+		return err
+	}
+
+	if err := read(nil, 1<<20); err != io.EOF {
+		t.Fatalf("empty stream: got %v, want io.EOF", err)
+	}
+	for cut := 1; cut < len(sol); cut++ {
+		if err := read(sol[:cut], 1<<20); !errors.Is(err, io.ErrUnexpectedEOF) {
+			t.Fatalf("frame cut at %d: got %v, want io.ErrUnexpectedEOF", cut, err)
+		}
+	}
+	if err := read([]byte(`{"epoch":1}`+"\n"), 1<<20); !errors.Is(err, ErrBadFrame) {
+		t.Fatalf("NDJSON on a binary reader: got %v, want ErrBadFrame", err)
+	}
+	corrupt := append([]byte(nil), sol...)
+	corrupt[len(corrupt)-1] = 'x' // guard byte
+	if err := read(corrupt, 1<<20); !errors.Is(err, ErrBadFrame) {
+		t.Fatalf("bad guard byte: got %v, want ErrBadFrame", err)
+	}
+
+	// Oversized: the cap trips without buffering the payload, and Drain
+	// positions the reader exactly at the next frame.
+	big := AppendMeasurementBin(nil, &MeasurementMsg{Workload: make([]float64, 100)})
+	stream := append(append([]byte(nil), big...), sol...)
+	br := NewBinFrameReader(bufio.NewReader(bytes.NewReader(stream)), 64)
+	if _, _, err := br.Next(); !errors.Is(err, ErrFrameTooLong) {
+		t.Fatalf("oversized frame: got %v, want ErrFrameTooLong", err)
+	}
+	if err := br.Drain(); err != nil {
+		t.Fatalf("drain: %v", err)
+	}
+	typ, p, err := br.Next()
+	if err != nil || typ != BinTypeSolution {
+		t.Fatalf("frame after drain: typ=%d err=%v", typ, err)
+	}
+	var got SolutionMsg
+	if err := DecodeSolutionBin(p, &got); err != nil || got.Epoch != 1 {
+		t.Fatalf("frame after drain decoded to %+v (err %v)", got, err)
+	}
+}
+
+func TestDecodeBinRejectsMalformedPayloads(t *testing.T) {
+	sol := SolutionMsg{Epoch: 2, Assign: []int{1}, Token: "s1"}
+	frame := AppendSolutionBin(nil, &sol)
+	payload := frame[6 : len(frame)-1]
+
+	// Every strict prefix of a valid payload must fail loudly.
+	for cut := 0; cut < len(payload); cut++ {
+		var m SolutionMsg
+		if err := DecodeSolutionBin(payload[:cut], &m); err == nil {
+			t.Fatalf("payload truncated to %d bytes decoded cleanly", cut)
+		}
+	}
+	// Trailing garbage is a protocol error, not ignored padding.
+	var m SolutionMsg
+	if err := DecodeSolutionBin(append(append([]byte(nil), payload...), 0), &m); err == nil {
+		t.Fatal("payload with a trailing byte decoded cleanly")
+	}
+	// Unknown flag bits are rejected (canonical-encoding invariant).
+	bad := append([]byte(nil), payload...)
+	bad[8] |= 4
+	if err := DecodeSolutionBin(bad, &m); err == nil {
+		t.Fatal("unknown flag bits decoded cleanly")
+	}
+	// A string length running past the payload must not over-read.
+	var h HelloMsg
+	if err := DecodeHelloBin([]byte{0xff, 0xff, 0xff, 0x7f, 'x'}, &h); err == nil {
+		t.Fatal("runaway string length decoded cleanly")
+	}
+}
+
+// TestWireNegotiation drives both framings through the Wire layer over
+// in-memory streams, including the cross-version fallback contract.
+func TestWireNegotiation(t *testing.T) {
+	for _, binary := range []bool{false, true} {
+		var wire bytes.Buffer
+		w := NewWire(bufio.NewReader(&wire), &wire, 1<<20, binary)
+		hello := HelloMsg{Topology: "t", N: 4, M: 2, Spouts: 1, Token: "s9"}
+		if err := w.WriteHello(&hello); err != nil {
+			t.Fatalf("binary=%v: write hello: %v", binary, err)
+		}
+		isBin, err := SniffBinary(bufio.NewReader(bytes.NewReader(wire.Bytes())))
+		if err != nil || isBin != binary {
+			t.Fatalf("binary=%v: sniffed %v (err %v)", binary, isBin, err)
+		}
+		var gotHello HelloMsg
+		if err := w.ReadHello(&gotHello); err != nil || !reflect.DeepEqual(hello, gotHello) {
+			t.Fatalf("binary=%v: hello came back %+v (err %v)", binary, gotHello, err)
+		}
+
+		sol := SolutionMsg{Epoch: 5, Assign: []int{1, 0, 1, 1}, Token: "s9", Resumed: true}
+		if err := w.WriteSolution(&sol); err != nil {
+			t.Fatalf("binary=%v: write solution: %v", binary, err)
+		}
+		var gotSol SolutionMsg
+		if err := w.ReadSolution(&gotSol); err != nil || !reflect.DeepEqual(sol, gotSol) {
+			t.Fatalf("binary=%v: solution came back %+v (err %v)", binary, gotSol, err)
+		}
+
+		meas := MeasurementMsg{Epoch: 6, AvgTupleTimeMS: 33.5, Workload: []float64{1, 2}}
+		if err := w.WriteMeasurement(&meas); err != nil {
+			t.Fatalf("binary=%v: write measurement: %v", binary, err)
+		}
+		var gotMeas MeasurementMsg
+		if err := w.ReadMeasurement(&gotMeas); err != nil || !reflect.DeepEqual(meas, gotMeas) {
+			t.Fatalf("binary=%v: measurement came back %+v (err %v)", binary, gotMeas, err)
+		}
+	}
+
+	// Wrong frame type on the binary framing is malformed (the peer is
+	// still synchronized; shed paths reply before closing).
+	var wire bytes.Buffer
+	w := NewWire(bufio.NewReader(&wire), &wire, 1<<20, true)
+	if err := w.WriteMeasurement(&MeasurementMsg{}); err != nil {
+		t.Fatal(err)
+	}
+	var h HelloMsg
+	if err := w.ReadHello(&h); !IsMalformed(err) {
+		t.Fatalf("measurement where hello expected: got %v, want MalformedError", err)
+	}
+
+	// NDJSON cannot carry NaN; the write must fail, not emit bad JSON.
+	w = NewWire(bufio.NewReader(&wire), &wire, 1<<20, false)
+	if err := w.WriteMeasurement(&MeasurementMsg{AvgTupleTimeMS: math.NaN()}); !IsMalformed(err) {
+		t.Fatalf("NaN over NDJSON: got %v, want MalformedError", err)
+	}
+
+	// The old-server fallback contract: a binary hello is one complete
+	// NDJSON "line" (guard '\n'), so an NDJSON FrameReader consumes it and
+	// the bad-hello error reply that follows is readable — it starts with
+	// '{', which is how the client detects the downgrade.
+	binHello := AppendHelloBin(nil, &HelloMsg{Topology: "t", N: 2, M: 1, Spouts: 1})
+	fr := NewFrameReader(bufio.NewReader(bytes.NewReader(binHello)), 1<<20)
+	line, err := fr.Next()
+	if err != nil {
+		t.Fatalf("old server reading a binary hello as a line: %v", err)
+	}
+	if err := json.Unmarshal(line, &h); err == nil {
+		t.Fatal("a binary hello must not parse as JSON")
+	}
+	if _, err := fr.Next(); err != io.EOF {
+		t.Fatalf("binary hello left bytes behind on an NDJSON reader: %v", err)
+	}
+}

@@ -3,11 +3,13 @@ package core
 import (
 	"bufio"
 	"bytes"
+	"encoding/binary"
 	"encoding/json"
 	"errors"
 	"io"
 	"reflect"
 	"testing"
+	"unicode/utf8"
 )
 
 // FuzzWireFrames fuzzes the NDJSON wire decoder (FrameReader) against a
@@ -106,36 +108,206 @@ func FuzzWireFrames(f *testing.F) {
 
 // checkMessageRoundTrip asserts decode→encode→decode consistency for
 // frames that happen to parse as protocol messages (hello replies carrying
-// resumption tokens included): re-encoding a decoded message and decoding
-// it again must reproduce the same value, or the daemon and client would
-// disagree after one hop.
+// resumption tokens included), differentially across all three encoders:
+// encoding/json (the oracle), the hand-rolled NDJSON emitters, and the
+// binary codec must all reproduce the same value after one hop, or the
+// daemon and client would disagree depending on negotiated framing.
 func checkMessageRoundTrip(t *testing.T, frame []byte) {
 	var sol SolutionMsg
 	if json.Unmarshal(frame, &sol) == nil {
-		blob, err := json.Marshal(&sol)
-		if err != nil {
-			t.Fatalf("re-encode SolutionMsg %+v: %v", sol, err)
-		}
-		var again SolutionMsg
-		if err := json.Unmarshal(blob, &again); err != nil {
-			t.Fatalf("decode re-encoded SolutionMsg %s: %v", blob, err)
-		}
-		if !reflect.DeepEqual(sol, again) {
-			t.Fatalf("SolutionMsg round trip drifted: %+v vs %+v", sol, again)
-		}
+		differential(t, "SolutionMsg", &sol, AppendSolutionJSON(nil, &sol))
+		checkBinaryDifferential(t, "SolutionMsg", &sol,
+			AppendSolutionBin(nil, &sol), BinTypeSolution,
+			func(p []byte, m *SolutionMsg) error { return DecodeSolutionBin(p, m) })
 	}
 	var meas MeasurementMsg
 	if json.Unmarshal(frame, &meas) == nil {
-		blob, err := json.Marshal(&meas)
-		if err != nil {
-			t.Fatalf("re-encode MeasurementMsg %+v: %v", meas, err)
+		differential(t, "MeasurementMsg", &meas, AppendMeasurementJSON(nil, &meas))
+		checkBinaryDifferential(t, "MeasurementMsg", &meas,
+			AppendMeasurementBin(nil, &meas), BinTypeMeasurement,
+			func(p []byte, m *MeasurementMsg) error { return DecodeMeasurementBin(p, m) })
+	}
+	var hello HelloMsg
+	if json.Unmarshal(frame, &hello) == nil {
+		differential(t, "HelloMsg", &hello, AppendHelloJSON(nil, &hello))
+		checkBinaryDifferential(t, "HelloMsg", &hello,
+			AppendHelloBin(nil, &hello), BinTypeHello,
+			func(p []byte, m *HelloMsg) error { return DecodeHelloBin(p, m) })
+	}
+}
+
+// differential decodes two encodings of msg — the encoding/json oracle's
+// and a hand-rolled emitter's — and requires both to reproduce msg exactly.
+func differential[M any](t *testing.T, kind string, msg *M, encoded []byte) {
+	t.Helper()
+	oracle, err := json.Marshal(msg)
+	if err != nil {
+		t.Fatalf("re-encode %s %+v: %v", kind, msg, err)
+	}
+	for _, blob := range [][]byte{oracle, encoded} {
+		again := new(M)
+		if err := json.Unmarshal(blob, again); err != nil {
+			t.Fatalf("decode re-encoded %s %s: %v", kind, blob, err)
 		}
-		var again MeasurementMsg
-		if err := json.Unmarshal(blob, &again); err != nil {
-			t.Fatalf("decode re-encoded MeasurementMsg %s: %v", blob, err)
+		if !reflect.DeepEqual(*msg, *again) {
+			t.Fatalf("%s round trip drifted via %s: %+v vs %+v", kind, blob, msg, again)
 		}
-		if !reflect.DeepEqual(meas, again) {
-			t.Fatalf("MeasurementMsg round trip drifted: %+v vs %+v", meas, again)
+	}
+}
+
+// checkBinaryDifferential pushes msg through the binary framing and
+// requires the decoded struct to be reflect.DeepEqual to the original.
+func checkBinaryDifferential[M any](t *testing.T, kind string, msg *M, binFrame []byte, wantTyp byte, decode func([]byte, *M) error) {
+	t.Helper()
+	typ, p, err := NewBinFrameReader(bufio.NewReaderSize(bytes.NewReader(binFrame), 16), len(binFrame)).Next()
+	if err != nil || typ != wantTyp {
+		t.Fatalf("%s binary frame read back typ=%d err=%v", kind, typ, err)
+	}
+	again := new(M)
+	if err := decode(p, again); err != nil {
+		t.Fatalf("decode binary %s %+v: %v", kind, msg, err)
+	}
+	if !reflect.DeepEqual(*msg, *again) {
+		t.Fatalf("%s binary round trip drifted: %+v vs %+v", kind, msg, again)
+	}
+}
+
+// FuzzBinaryFrames fuzzes the binary frame reader against an independent
+// walk of the framing spec: magic byte, type, u32 LE payload length,
+// payload, '\n' guard. Torn, truncated, oversized and corrupted frames
+// must surface the documented errors — never a panic, never a mis-framed
+// payload — and a payload that decodes as a protocol message must
+// re-encode to the identical bytes (the encoding is canonical) and agree
+// with the NDJSON codec on the decoded value.
+func FuzzBinaryFrames(f *testing.F) {
+	hello := AppendHelloBin(nil, &HelloMsg{Topology: "wc", N: 12, M: 4, Spouts: 2, Token: "sess-7"})
+	sol := AppendSolutionBin(nil, &SolutionMsg{Epoch: 3, Assign: []int{1, 0}, Token: "s42", Resumed: true})
+	shed := AppendSolutionBin(nil, &SolutionMsg{Err: "retry: inference queue full", Retry: true})
+	meas := AppendMeasurementBin(nil, &MeasurementMsg{Epoch: 4, AvgTupleTimeMS: 41.5, Workload: []float64{120, 80}})
+	badGuard := append(append([]byte(nil), sol[:len(sol)-1]...), 'x')
+	seeds := [][]byte{
+		hello, sol, shed, meas,
+		append(append(append([]byte(nil), hello...), sol...), meas...),
+		sol[:5], sol[:len(sol)-1], // torn header, torn guard
+		badGuard,
+		[]byte(`{"epoch":1,"assign":[0,1]}` + "\n"), // NDJSON against the binary reader
+		{BinMagic, BinTypeSolution, 0xff, 0xff, 0xff, 0x7f},
+	}
+	for _, s := range seeds {
+		f.Add(s, uint8(64))
+		f.Add(s, uint8(7))
+	}
+
+	f.Fuzz(func(t *testing.T, data []byte, maxRaw uint8) {
+		max := int(maxRaw)%128 + 1
+		br := NewBinFrameReader(bufio.NewReaderSize(bytes.NewReader(data), 16), max)
+		rest := data
+		for {
+			typ, payload, err := br.Next()
+			if len(rest) == 0 {
+				if err != io.EOF {
+					t.Fatalf("empty stream: got %v, want io.EOF", err)
+				}
+				return
+			}
+			if rest[0] != BinMagic {
+				if !errors.Is(err, ErrBadFrame) {
+					t.Fatalf("non-magic first byte %#x: got %v, want ErrBadFrame", rest[0], err)
+				}
+				return
+			}
+			if len(rest) < 6 {
+				if !errors.Is(err, io.ErrUnexpectedEOF) {
+					t.Fatalf("torn header: got %v, want io.ErrUnexpectedEOF", err)
+				}
+				return
+			}
+			n := int(binary.LittleEndian.Uint32(rest[2:6]))
+			if n > max {
+				if !errors.Is(err, ErrFrameTooLong) {
+					t.Fatalf("length %d above cap %d: got %v, want ErrFrameTooLong", n, max, err)
+				}
+				if len(rest) < 6+n+1 {
+					if br.Drain() == nil {
+						t.Fatal("Drain reported success past end of stream")
+					}
+					return
+				}
+				if err := br.Drain(); err != nil {
+					t.Fatalf("drain of complete oversized frame: %v", err)
+				}
+				rest = rest[6+n+1:]
+				continue
+			}
+			if len(rest) < 6+n+1 {
+				if !errors.Is(err, io.ErrUnexpectedEOF) {
+					t.Fatalf("torn payload: got %v, want io.ErrUnexpectedEOF", err)
+				}
+				return
+			}
+			if rest[6+n] != '\n' {
+				if !errors.Is(err, ErrBadFrame) {
+					t.Fatalf("bad guard byte: got %v, want ErrBadFrame", err)
+				}
+				return
+			}
+			if err != nil {
+				t.Fatalf("well-formed frame errored: %v", err)
+			}
+			if typ != rest[1] || !bytes.Equal(payload, rest[6:6+n]) {
+				t.Fatalf("mis-framed: typ %d/%d payload %q vs %q", typ, rest[1], payload, rest[6:6+n])
+			}
+			checkBinaryPayload(t, rest[:6+n+1], typ, payload)
+			rest = rest[6+n+1:]
+		}
+	})
+}
+
+// checkBinaryPayload feeds a well-framed fuzz payload to the typed decoder
+// (which must never panic); when it decodes cleanly the canonical-encoding
+// invariant (re-encode reproduces the frame bytes) and the NDJSON
+// differential both apply.
+func checkBinaryPayload(t *testing.T, frame []byte, typ byte, payload []byte) {
+	t.Helper()
+	switch typ {
+	case BinTypeHello:
+		var h HelloMsg
+		if DecodeHelloBin(payload, &h) != nil {
+			return
+		}
+		if again := AppendHelloBin(nil, &h); !bytes.Equal(again, frame) {
+			t.Fatalf("hello re-encode drifted: %x vs %x", again, frame)
+		}
+		if utf8.ValidString(h.Topology) && utf8.ValidString(h.Token) {
+			differential(t, "HelloMsg", &h, AppendHelloJSON(nil, &h))
+		}
+	case BinTypeSolution:
+		var m SolutionMsg
+		if DecodeSolutionBin(payload, &m) != nil {
+			return
+		}
+		if again := AppendSolutionBin(nil, &m); !bytes.Equal(again, frame) {
+			t.Fatalf("solution re-encode drifted: %x vs %x", again, frame)
+		}
+		if utf8.ValidString(m.Err) && utf8.ValidString(m.Token) {
+			differential(t, "SolutionMsg", &m, AppendSolutionJSON(nil, &m))
+		}
+	case BinTypeMeasurement:
+		var m MeasurementMsg
+		if DecodeMeasurementBin(payload, &m) != nil {
+			return
+		}
+		if again := AppendMeasurementBin(nil, &m); !bytes.Equal(again, frame) {
+			t.Fatalf("measurement re-encode drifted: %x vs %x", again, frame)
+		}
+		// The binary framing carries any IEEE 754 bits; JSON cannot, so the
+		// NDJSON differential only applies to finite samples.
+		finite := isFinite(m.AvgTupleTimeMS)
+		for _, v := range m.Workload {
+			finite = finite && isFinite(v)
+		}
+		if finite && utf8.ValidString(m.Err) {
+			differential(t, "MeasurementMsg", &m, AppendMeasurementJSON(nil, &m))
 		}
 	}
 }

@@ -68,6 +68,27 @@ type MeasurementMsg struct {
 	Err string `json:"err,omitempty"`
 }
 
+// HelloMsg opens a session against the serving daemon (internal/serve):
+// the scheduler announces its topology shape so the daemon can route it to
+// (or create) the matching model. It is the only message the daemon reads
+// before entering the measurement→solution loop, and the frame both
+// framings negotiate over (wire.go).
+type HelloMsg struct {
+	// Topology is a free-form name used for logging/metrics only.
+	Topology string `json:"topology"`
+	// N is the executor count, M the machine count, Spouts the number of
+	// data sources — together the state/action dimensions.
+	N      int `json:"n"`
+	M      int `json:"m"`
+	Spouts int `json:"spouts"`
+	// Token, when set, asks the daemon to resume the session it issued
+	// the token for (in its hello reply's Token field). A token the
+	// daemon no longer tracks — TTL-evicted or from a restarted daemon —
+	// starts a fresh session under that token instead of failing, so a
+	// reconnecting scheduler degrades to a cold start, never to an error.
+	Token string `json:"token,omitempty"`
+}
+
 // Deployer is the custom scheduler's view of the DSDPS: deploy a solution
 // (minimal-diff, §3.1) and measure after re-stabilization.
 type Deployer interface {
@@ -102,7 +123,7 @@ func ServeScheduler(l net.Listener, d Deployer) error {
 	drain := func() {
 		cmu.Lock()
 		for c := range conns {
-			c.SetDeadline(time.Now())
+			_ = c.SetDeadline(time.Now())
 		}
 		cmu.Unlock()
 		wg.Wait()

@@ -1,0 +1,229 @@
+package core
+
+import (
+	"bufio"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"math"
+)
+
+// Wire is one connection's negotiated framing: the same three protocol
+// messages over either NDJSON (the fallback every peer speaks) or the
+// binary framing of binframe.go.
+//
+// Negotiation happens entirely at hello, with no extra round trip:
+//
+//   - A client opens with a binary (magic-prefixed) hello. A
+//     binary-capable server sniffs the first byte of the connection —
+//     0xA7 is binary, '{' is NDJSON — and answers in kind.
+//   - A server that predates the binary protocol reads the binary hello
+//     as one NDJSON line (the guard '\n' terminates its line read) and
+//     replies an NDJSON bad-hello error. The client sniffs the reply's
+//     first byte, sees '{' instead of the magic, and re-dials speaking
+//     NDJSON.
+//   - Old NDJSON clients against a new server just work: their first
+//     byte is '{'.
+//
+// Once negotiated, a connection never switches framings.
+type Wire struct {
+	binary bool
+	fr     *FrameReader
+	bfr    *BinFrameReader
+	w      io.Writer
+	buf    []byte // write buffer, reused across frames
+}
+
+// NewWire builds a Wire over an established stream. br must be the
+// buffered reader the framing was sniffed on (it may hold unconsumed
+// bytes); maxFrame caps one frame's payload in either framing.
+func NewWire(br *bufio.Reader, w io.Writer, maxFrame int, binary bool) *Wire {
+	wr := &Wire{binary: binary, w: w}
+	if binary {
+		wr.bfr = NewBinFrameReader(br, maxFrame)
+	} else {
+		wr.fr = NewFrameReader(br, maxFrame)
+	}
+	return wr
+}
+
+// Binary reports the negotiated framing.
+func (w *Wire) Binary() bool { return w.binary }
+
+// SniffBinary reports whether the stream's next frame is binary, without
+// consuming anything. It blocks until one byte is readable (callers bound
+// it with a read deadline).
+func SniffBinary(br *bufio.Reader) (bool, error) {
+	first, err := br.Peek(1)
+	if err != nil {
+		return false, err
+	}
+	return first[0] == BinMagic, nil
+}
+
+// MalformedError marks a content-level protocol error: a complete,
+// well-framed frame whose payload did not decode as the expected message.
+// Distinct from framing/transport errors because the peer is still
+// synchronized and listening — an error reply will be read, so shed and
+// rejection paths reply before closing.
+type MalformedError struct{ Err error }
+
+// Error implements error.
+func (e *MalformedError) Error() string { return e.Err.Error() }
+
+// Unwrap exposes the underlying decode error.
+func (e *MalformedError) Unwrap() error { return e.Err }
+
+// IsMalformed reports whether err is a MalformedError.
+func IsMalformed(err error) bool {
+	var me *MalformedError
+	return errors.As(err, &me)
+}
+
+func malformedf(format string, args ...any) error {
+	return &MalformedError{Err: fmt.Errorf(format, args...)}
+}
+
+// readBin reads one binary frame and checks its type.
+func (w *Wire) readBin(want byte, what string) ([]byte, error) {
+	typ, p, err := w.bfr.Next()
+	if err != nil {
+		return nil, err
+	}
+	if typ != want {
+		return nil, malformedf("frame type %d where a %s was expected", typ, what)
+	}
+	return p, nil
+}
+
+// ReadHello reads one hello into h.
+func (w *Wire) ReadHello(h *HelloMsg) error {
+	if w.binary {
+		p, err := w.readBin(BinTypeHello, "hello")
+		if err != nil {
+			return err
+		}
+		if err := DecodeHelloBin(p, h); err != nil {
+			return malformedf("%v", err)
+		}
+		return nil
+	}
+	line, err := w.fr.Next()
+	if err != nil {
+		return err
+	}
+	*h = HelloMsg{}
+	if err := json.Unmarshal(line, h); err != nil {
+		return malformedf("%v", err)
+	}
+	return nil
+}
+
+// ReadMeasurement reads one measurement into m, reusing m's Workload
+// backing array on the binary framing.
+func (w *Wire) ReadMeasurement(m *MeasurementMsg) error {
+	if w.binary {
+		p, err := w.readBin(BinTypeMeasurement, "measurement")
+		if err != nil {
+			return err
+		}
+		if err := DecodeMeasurementBin(p, m); err != nil {
+			return malformedf("%v", err)
+		}
+		return nil
+	}
+	line, err := w.fr.Next()
+	if err != nil {
+		return err
+	}
+	*m = MeasurementMsg{}
+	if err := json.Unmarshal(line, m); err != nil {
+		return malformedf("%v", err)
+	}
+	return nil
+}
+
+// ReadSolution reads one solution into m, reusing m's Assign backing
+// array on the binary framing.
+func (w *Wire) ReadSolution(m *SolutionMsg) error {
+	if w.binary {
+		p, err := w.readBin(BinTypeSolution, "solution")
+		if err != nil {
+			return err
+		}
+		if err := DecodeSolutionBin(p, m); err != nil {
+			return malformedf("%v", err)
+		}
+		return nil
+	}
+	line, err := w.fr.Next()
+	if err != nil {
+		return err
+	}
+	*m = SolutionMsg{}
+	if err := json.Unmarshal(line, m); err != nil {
+		return malformedf("%v", err)
+	}
+	return nil
+}
+
+// WriteHello writes h as one frame.
+func (w *Wire) WriteHello(h *HelloMsg) error {
+	if w.binary {
+		w.buf = AppendHelloBin(w.buf[:0], h)
+	} else {
+		w.buf = AppendHelloJSON(w.buf[:0], h)
+		w.buf = append(w.buf, '\n')
+	}
+	_, err := w.w.Write(w.buf)
+	return err
+}
+
+// WriteSolution writes m as one frame.
+func (w *Wire) WriteSolution(m *SolutionMsg) error {
+	if w.binary {
+		w.buf = AppendSolutionBin(w.buf[:0], m)
+	} else {
+		w.buf = AppendSolutionJSON(w.buf[:0], m)
+		w.buf = append(w.buf, '\n')
+	}
+	_, err := w.w.Write(w.buf)
+	return err
+}
+
+// WriteMeasurement writes m as one frame. On the NDJSON framing
+// non-finite floats are rejected (JSON cannot express them); the binary
+// framing carries any IEEE 754 bits.
+func (w *Wire) WriteMeasurement(m *MeasurementMsg) error {
+	if w.binary {
+		w.buf = AppendMeasurementBin(w.buf[:0], m)
+	} else {
+		if !isFinite(m.AvgTupleTimeMS) {
+			return malformedf("non-finite avg_tuple_time_ms %v has no JSON encoding", m.AvgTupleTimeMS)
+		}
+		for _, v := range m.Workload {
+			if !isFinite(v) {
+				return malformedf("non-finite workload rate %v has no JSON encoding", v)
+			}
+		}
+		w.buf = AppendMeasurementJSON(w.buf[:0], m)
+		w.buf = append(w.buf, '\n')
+	}
+	_, err := w.w.Write(w.buf)
+	return err
+}
+
+// Drain consumes the rest of an oversized frame (after ErrFrameTooLong)
+// so the error reply about it survives — closing a socket with unread
+// received data sends RST, destroying the reply in flight.
+func (w *Wire) Drain() error {
+	if w.binary {
+		return w.bfr.Drain()
+	}
+	return w.fr.DrainLine()
+}
+
+func isFinite(v float64) bool {
+	return !math.IsNaN(v) && !math.IsInf(v, 0)
+}

@@ -1,0 +1,49 @@
+package core
+
+import (
+	"bufio"
+	"bytes"
+	"testing"
+)
+
+// benchWireRoundTrip measures one epoch's worth of wire work in a single
+// framing: encode a measurement and a solution, then frame-read and decode
+// both — the client write + server read + server write + client read CPU
+// cost per epoch, minus the sockets.
+func benchWireRoundTrip(b *testing.B, binary bool) {
+	sol := &SolutionMsg{
+		Epoch:  42,
+		Assign: []int{0, 1, 2, 3, 0, 1, 2, 3, 0, 1, 2, 3},
+		Token:  "s0123456789abcdef01234567",
+	}
+	meas := &MeasurementMsg{Epoch: 42, AvgTupleTimeMS: 47.5, Workload: []float64{120.5, 80.25}}
+	var buf bytes.Buffer
+	br := bufio.NewReader(&buf)
+	w := NewWire(br, &buf, 1<<20, binary)
+	var gotSol SolutionMsg
+	var gotMeas MeasurementMsg
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		buf.Reset()
+		br.Reset(&buf)
+		if err := w.WriteMeasurement(meas); err != nil {
+			b.Fatal(err)
+		}
+		if err := w.WriteSolution(sol); err != nil {
+			b.Fatal(err)
+		}
+		if err := w.ReadMeasurement(&gotMeas); err != nil {
+			b.Fatal(err)
+		}
+		if err := w.ReadSolution(&gotSol); err != nil {
+			b.Fatal(err)
+		}
+	}
+	if len(gotSol.Assign) != len(sol.Assign) {
+		b.Fatal("decode dropped the solution")
+	}
+}
+
+func BenchmarkWireEpochNDJSON(b *testing.B) { benchWireRoundTrip(b, false) }
+func BenchmarkWireEpochBinary(b *testing.B) { benchWireRoundTrip(b, true) }

@@ -202,8 +202,8 @@ func (ss *ShipServer) serveConn(conn net.Conn) error {
 		return fmt.Errorf("bad hello %q", line)
 	}
 	if hello.Gen > ss.cfg.Gen {
-		writeFrame(bw, &shipFrame{T: "err", Msg: fmt.Sprintf("follower has seen generation %d, this leader is generation %d (stale leader)", hello.Gen, ss.cfg.Gen)})
-		bw.Flush()
+		_ = writeFrame(bw, &shipFrame{T: "err", Msg: fmt.Sprintf("follower has seen generation %d, this leader is generation %d (stale leader)", hello.Gen, ss.cfg.Gen)})
+		_ = bw.Flush() // best-effort refusal note; the follower is being dropped
 		return fmt.Errorf("refused follower at generation %d > ours %d", hello.Gen, ss.cfg.Gen)
 	}
 	if err := writeFrame(bw, &shipFrame{T: "gen", Gen: ss.cfg.Gen}); err != nil {

@@ -175,8 +175,8 @@ var errStaleLeader = fmt.Errorf("durable: leader generation is stale for this mi
 func (t *Tailer) Run(ctx context.Context) error {
 	defer func() {
 		if t.f != nil {
-			t.f.Sync()
-			t.f.Close()
+			_ = t.f.Sync() // best-effort: the mirror is re-validated on reconnect
+			_ = t.f.Close()
 			t.f = nil
 		}
 	}()

@@ -8,12 +8,14 @@
 // follower was promoted in its place.
 //
 // The gateway is a layer-4 proxy with exactly one protocol smart: it reads
-// the hello frame (the first NDJSON line of every session) to learn the
-// token. A hello without a token gets one injected before forwarding — the
-// daemon honors client-chosen tokens and echoes them in its hello reply,
-// so the client adopts the gateway's token and every future reconnect
-// hashes to the same group. After the hello the connection is spliced
-// byte-for-byte; the gateway never parses another frame.
+// the hello frame — in whichever framing the client opened with, NDJSON or
+// the length-prefixed binary protocol — to learn the token. A hello
+// without a token gets one injected before forwarding in the same framing
+// the client spoke — the daemon honors client-chosen tokens and echoes
+// them in its hello reply, so the client adopts the gateway's token and
+// every future reconnect hashes to the same group. After the hello the
+// connection is spliced byte-for-byte (framing-agnostic); the gateway
+// never parses another frame.
 //
 // Failover is the health monitor's job (health.go): when a group's head
 // stops answering /healthz it promotes the next healthy member via
@@ -28,6 +30,7 @@ import (
 	"crypto/rand"
 	"encoding/hex"
 	"encoding/json"
+	"errors"
 	"fmt"
 	"hash/fnv"
 	"io"
@@ -259,9 +262,9 @@ func (gw *Gateway) route(token string) *group {
 	best, bestScore := gw.groups[0], uint64(0)
 	for i, g := range gw.groups {
 		h := fnv.New64a()
-		io.WriteString(h, token)
-		io.WriteString(h, "/")
-		io.WriteString(h, g.Name)
+		_, _ = io.WriteString(h, token) // hash.Hash writes cannot fail
+		_, _ = io.WriteString(h, "/")
+		_, _ = io.WriteString(h, g.Name)
 		if s := h.Sum64(); i == 0 || s > bestScore {
 			best, bestScore = g, s
 		}
@@ -275,7 +278,7 @@ func (gw *Gateway) route(token string) *group {
 // resume — a session some earlier gateway issued.
 func (gw *Gateway) newToken() string {
 	var b [16]byte
-	rand.Read(b[:]) // crypto/rand.Read cannot fail (it panics instead)
+	_, _ = rand.Read(b[:]) // crypto/rand.Read cannot fail (it panics instead)
 	return "fleet-" + hex.EncodeToString(b[:])
 }
 
@@ -288,14 +291,24 @@ func (gw *Gateway) handleConn(conn net.Conn) {
 	defer gw.mActive.Add(-1)
 
 	br := bufio.NewReader(conn)
-	conn.SetReadDeadline(time.Now().Add(gw.cfg.HelloTimeout))
-	line, err := core.NewFrameReader(br, gw.cfg.MaxLineBytes).Next()
+	if conn.SetReadDeadline(time.Now().Add(gw.cfg.HelloTimeout)) != nil {
+		return
+	}
+	binary, err := core.SniffBinary(br)
 	if err != nil {
 		return // no hello, nothing to route
 	}
-	var hello serve.HelloMsg
-	if err := json.Unmarshal(line, &hello); err != nil {
-		gw.reply(conn, &core.SolutionMsg{Err: "fleet: malformed hello"})
+	w := core.NewWire(br, conn, gw.cfg.MaxLineBytes, binary)
+	var hello core.HelloMsg
+	if err := w.ReadHello(&hello); err != nil {
+		// Only reply once the peer is synchronized: a complete frame with a
+		// bad payload, or an oversized frame fully drained. A torn frame
+		// gets silence — any reply would land mid-frame.
+		if !core.IsMalformed(err) &&
+			!(errors.Is(err, core.ErrFrameTooLong) && w.Drain() == nil) {
+			return
+		}
+		gw.reply(w, conn, &core.SolutionMsg{Err: "fleet: malformed hello"})
 		return
 	}
 	if hello.Token == "" {
@@ -315,7 +328,7 @@ func (gw *Gateway) handleConn(conn net.Conn) {
 		// back off and re-dial, exactly like a daemon shedding load. By
 		// its next attempt the monitor has re-homed the head.
 		gw.mDialErrs.Inc()
-		gw.reply(conn, &core.SolutionMsg{Err: "retry: fleet: backend unavailable", Retry: true})
+		gw.reply(w, conn, &core.SolutionMsg{Err: "retry: fleet: backend unavailable", Retry: true})
 		return
 	}
 	defer up.Close()
@@ -324,30 +337,38 @@ func (gw *Gateway) handleConn(conn net.Conn) {
 	// re-dials instead of riding a fenced-off leader.
 	g.track(up, idx)
 	defer g.untrack(up)
-	buf, err := json.Marshal(&hello)
-	if err != nil {
+	// Re-encode the (possibly token-injected) hello to the backend in the
+	// client's framing, so the spliced session stays in one protocol
+	// end-to-end.
+	var buf []byte
+	if binary {
+		buf = core.AppendHelloBin(nil, &hello)
+	} else {
+		buf = append(core.AppendHelloJSON(nil, &hello), '\n')
+	}
+	if up.SetWriteDeadline(time.Now().Add(gw.cfg.HelloTimeout)) != nil {
 		return
 	}
-	up.SetWriteDeadline(time.Now().Add(gw.cfg.HelloTimeout))
-	if _, err := up.Write(append(buf, '\n')); err != nil {
-		gw.reply(conn, &core.SolutionMsg{Err: "retry: fleet: backend unavailable", Retry: true})
+	if _, err := up.Write(buf); err != nil {
+		gw.reply(w, conn, &core.SolutionMsg{Err: "retry: fleet: backend unavailable", Retry: true})
 		return
 	}
-	up.SetWriteDeadline(time.Time{})
-	conn.SetReadDeadline(time.Time{})
+	if up.SetWriteDeadline(time.Time{}) != nil || conn.SetReadDeadline(time.Time{}) != nil {
+		return
+	}
 
 	// Splice. Client→backend copies from br (it may hold bytes read past
-	// the hello line). Either side ending tears down both, so the peer's
+	// the hello frame). Either side ending tears down both, so the peer's
 	// copy unblocks.
 	done := make(chan struct{}, 2)
 	go func() {
-		io.Copy(up, br)
+		_, _ = io.Copy(up, br)
 		up.Close()
 		conn.Close()
 		done <- struct{}{}
 	}()
 	go func() {
-		io.Copy(conn, up)
+		_, _ = io.Copy(conn, up)
 		up.Close()
 		conn.Close()
 		done <- struct{}{}
@@ -356,10 +377,13 @@ func (gw *Gateway) handleConn(conn net.Conn) {
 	<-done
 }
 
-// reply writes one solution frame to the client (best-effort, bounded).
-func (gw *Gateway) reply(conn net.Conn, sol *core.SolutionMsg) {
-	conn.SetWriteDeadline(time.Now().Add(gw.cfg.HelloTimeout))
-	json.NewEncoder(conn).Encode(sol)
+// reply writes one solution frame to the client in its own framing
+// (best-effort, bounded).
+func (gw *Gateway) reply(w *core.Wire, conn net.Conn, sol *core.SolutionMsg) {
+	if conn.SetWriteDeadline(time.Now().Add(gw.cfg.HelloTimeout)) != nil {
+		return
+	}
+	_ = w.WriteSolution(sol)
 }
 
 // Head returns the session address currently routed to for group name
@@ -388,7 +412,7 @@ func (gw *Gateway) Handler() http.Handler {
 			groups = append(groups, groupStatus{Name: g.Name, Head: g.Members[g.head.Load()].Addr})
 		}
 		w.Header().Set("Content-Type", "application/json")
-		json.NewEncoder(w).Encode(map[string]any{
+		_ = json.NewEncoder(w).Encode(map[string]any{
 			"status":    "ok",
 			"groups":    groups,
 			"failovers": gw.mFailovers.Value(),

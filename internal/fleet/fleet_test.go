@@ -10,6 +10,7 @@ import (
 	"testing"
 	"time"
 
+	"repro/internal/core"
 	"repro/internal/serve"
 )
 
@@ -207,5 +208,171 @@ func TestGatewayShedsOnDeadBackend(t *testing.T) {
 	}
 	if got := gw.reg.Counter("fleet_backend_dial_errors_total").Value(); got != 1 {
 		t.Fatalf("fleet_backend_dial_errors_total = %d, want 1", got)
+	}
+}
+
+// TestGatewayBinaryHello drives a binary-framing session through the
+// gateway: the hello is sniffed and decoded from the binary framing, the
+// injected fleet token is re-encoded to the backend in the SAME framing,
+// and post-hello binary frames splice verbatim.
+func TestGatewayBinaryHello(t *testing.T) {
+	backendLn, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer backendLn.Close()
+	sawHello := make(chan core.HelloMsg, 1)
+	go func() {
+		conn, err := backendLn.Accept()
+		if err != nil {
+			return
+		}
+		defer conn.Close()
+		br := core.NewBinFrameReader(bufio.NewReader(conn), 1<<20)
+		typ, payload, err := br.Next()
+		if err != nil || typ != core.BinTypeHello {
+			return
+		}
+		var hello core.HelloMsg
+		if core.DecodeHelloBin(payload, &hello) != nil {
+			return
+		}
+		sawHello <- hello
+		// Hello reply in the binary framing, then echo frames verbatim.
+		if _, err := conn.Write(core.AppendSolutionBin(nil, &core.SolutionMsg{Token: hello.Token})); err != nil {
+			return
+		}
+		for {
+			typ, payload, err := br.Next()
+			if err != nil {
+				return
+			}
+			if typ != core.BinTypeMeasurement {
+				return
+			}
+			var meas core.MeasurementMsg
+			if core.DecodeMeasurementBin(payload, &meas) != nil {
+				return
+			}
+			if _, err := conn.Write(core.AppendSolutionBin(nil, &core.SolutionMsg{Epoch: meas.Epoch})); err != nil {
+				return
+			}
+		}
+	}()
+
+	gw, err := NewGateway(Config{
+		Groups: []Group{{Name: "g0", Members: []Backend{
+			{Addr: backendLn.Addr().String(), Health: "127.0.0.1:1"},
+		}}},
+		HealthInterval: time.Hour,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	gwLn, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	served := make(chan error, 1)
+	go func() { served <- gw.Serve(ctx, gwLn) }()
+	defer func() {
+		cancel()
+		if err := <-served; err != nil {
+			t.Errorf("gateway Serve: %v", err)
+		}
+	}()
+
+	conn, err := net.Dial("tcp", gwLn.Addr().String())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer conn.Close()
+	conn.SetDeadline(time.Now().Add(10 * time.Second))
+	if _, err := conn.Write(core.AppendHelloBin(nil, &core.HelloMsg{Topology: "t", N: 6, M: 3, Spouts: 2})); err != nil {
+		t.Fatal(err)
+	}
+
+	backendHello := <-sawHello
+	if !strings.HasPrefix(backendHello.Token, "fleet-") {
+		t.Fatalf("backend saw token %q; want an injected fleet token", backendHello.Token)
+	}
+	br := core.NewBinFrameReader(bufio.NewReader(conn), 1<<20)
+	typ, payload, err := br.Next()
+	if err != nil || typ != core.BinTypeSolution {
+		t.Fatalf("hello reply frame: type %d, %v", typ, err)
+	}
+	var sol core.SolutionMsg
+	if err := core.DecodeSolutionBin(payload, &sol); err != nil {
+		t.Fatal(err)
+	}
+	if sol.Token != backendHello.Token {
+		t.Fatalf("hello reply token %q, want injected %q", sol.Token, backendHello.Token)
+	}
+	// Post-hello frames splice verbatim in both directions.
+	if _, err := conn.Write(core.AppendMeasurementBin(nil, &core.MeasurementMsg{Epoch: 7, Workload: []float64{1, 2}})); err != nil {
+		t.Fatal(err)
+	}
+	typ, payload, err = br.Next()
+	if err != nil || typ != core.BinTypeSolution {
+		t.Fatalf("spliced reply frame: type %d, %v", typ, err)
+	}
+	if err := core.DecodeSolutionBin(payload, &sol); err != nil {
+		t.Fatal(err)
+	}
+	if sol.Epoch != 7 {
+		t.Fatalf("spliced reply epoch %d, want 7", sol.Epoch)
+	}
+}
+
+// TestGatewayShedsBinaryClientInKind: a binary-hello client shed on a
+// dead backend gets its retry reply in the binary framing.
+func TestGatewayShedsBinaryClientInKind(t *testing.T) {
+	dead, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	deadAddr := dead.Addr().String()
+	dead.Close()
+
+	gw, err := NewGateway(Config{
+		Groups:         []Group{{Name: "g0", Members: []Backend{{Addr: deadAddr, Health: "127.0.0.1:1"}}}},
+		HealthInterval: time.Hour,
+		DialTimeout:    200 * time.Millisecond,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	gwLn, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	served := make(chan error, 1)
+	go func() { served <- gw.Serve(ctx, gwLn) }()
+	defer func() {
+		cancel()
+		<-served
+	}()
+
+	conn, err := net.Dial("tcp", gwLn.Addr().String())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer conn.Close()
+	conn.SetDeadline(time.Now().Add(10 * time.Second))
+	if _, err := conn.Write(core.AppendHelloBin(nil, &core.HelloMsg{Token: "tok-1"})); err != nil {
+		t.Fatal(err)
+	}
+	typ, payload, err := core.NewBinFrameReader(bufio.NewReader(conn), 1<<20).Next()
+	if err != nil || typ != core.BinTypeSolution {
+		t.Fatalf("shed reply frame: type %d, %v", typ, err)
+	}
+	var sol core.SolutionMsg
+	if err := core.DecodeSolutionBin(payload, &sol); err != nil {
+		t.Fatal(err)
+	}
+	if !sol.Retry || !strings.Contains(sol.Err, "backend unavailable") {
+		t.Fatalf("dead backend reply %+v; want a retryable shed", sol)
 	}
 }

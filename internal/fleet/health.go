@@ -58,7 +58,7 @@ func (gw *Gateway) healthy(ctx context.Context, b Backend) bool {
 	if err != nil {
 		return false
 	}
-	io.Copy(io.Discard, resp.Body)
+	_, _ = io.Copy(io.Discard, resp.Body) // drain for connection reuse
 	resp.Body.Close()
 	return resp.StatusCode == http.StatusOK
 }

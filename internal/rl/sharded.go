@@ -215,7 +215,7 @@ func (s *ShardedReplay) Checksum() uint64 {
 	var scratch [8]byte
 	u64 := func(v uint64) {
 		binary.LittleEndian.PutUint64(scratch[:], v)
-		h.Write(scratch[:])
+		_, _ = h.Write(scratch[:]) // hash.Hash writes cannot fail
 	}
 	f64s := func(vs []float64) {
 		u64(uint64(len(vs)))
@@ -225,8 +225,8 @@ func (s *ShardedReplay) Checksum() uint64 {
 	}
 	u64(uint64(len(s.keys)))
 	for _, key := range s.keys {
-		io.WriteString(h, key)
-		h.Write([]byte{0})
+		_, _ = io.WriteString(h, key)
+		_, _ = h.Write([]byte{0})
 		sh := s.shards[key]
 		u64(sh.added)
 		n := sh.buf.Len()

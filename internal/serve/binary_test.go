@@ -1,0 +1,322 @@
+package serve
+
+import (
+	"bufio"
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net"
+	"strings"
+	"testing"
+	"time"
+
+	"repro/internal/core"
+)
+
+// TestBinaryEndToEnd drives a strict-binary session through several epochs:
+// the whole exchange (hello, measurements, solutions) rides the
+// length-prefixed framing, and the daemon counts the session as binary.
+func TestBinaryEndToEnd(t *testing.T) {
+	s, addr, shutdown := startServer(t, Config{Seed: 42})
+	defer shutdown()
+
+	const n, m, epochs = 6, 3, 5
+	sess := NewSession(ClientConfig{
+		Addr:  addr,
+		Hello: HelloMsg{Topology: "bin", N: n, M: m, Spouts: 2},
+		Proto: "binary",
+	})
+	defer sess.Close()
+	if err := sess.Connect(context.Background()); err != nil {
+		t.Fatal(err)
+	}
+	if !sess.Binary() {
+		t.Fatal("Proto binary negotiated an NDJSON session")
+	}
+	for e := 1; e <= epochs; e++ {
+		assign, err := sess.Step(context.Background(), core.MeasurementMsg{
+			AvgTupleTimeMS: 40,
+			Workload:       []float64{100, 50 + float64(e)},
+		})
+		if err != nil {
+			t.Fatalf("epoch %d: %v", e, err)
+		}
+		if len(assign) != n {
+			t.Fatalf("epoch %d: solution length %d", e, len(assign))
+		}
+	}
+	if got := s.reg.Counter("serve_sessions_binary_total").Value(); got != 1 {
+		t.Fatalf("binary sessions %d, want 1", got)
+	}
+	if got := s.reg.Counter("serve_sessions_ndjson_total").Value(); got != 0 {
+		t.Fatalf("ndjson sessions %d, want 0", got)
+	}
+	if got := s.reg.Counter("serve_protocol_errors_total").Value(); got != 0 {
+		t.Fatalf("%d protocol errors", got)
+	}
+}
+
+// TestNDJSONProtoStillServed pins the fallback contract: a client forced to
+// NDJSON speaks the original line protocol against the same daemon.
+func TestNDJSONProtoStillServed(t *testing.T) {
+	s, addr, shutdown := startServer(t, Config{Seed: 42})
+	defer shutdown()
+
+	sess := NewSession(ClientConfig{
+		Addr:  addr,
+		Hello: HelloMsg{N: 4, M: 2, Spouts: 1},
+		Proto: "ndjson",
+	})
+	defer sess.Close()
+	if err := sess.Connect(context.Background()); err != nil {
+		t.Fatal(err)
+	}
+	if sess.Binary() {
+		t.Fatal("Proto ndjson negotiated a binary session")
+	}
+	if _, err := sess.Step(context.Background(), core.MeasurementMsg{AvgTupleTimeMS: 50, Workload: []float64{10}}); err != nil {
+		t.Fatal(err)
+	}
+	if got := s.reg.Counter("serve_sessions_ndjson_total").Value(); got != 1 {
+		t.Fatalf("ndjson sessions %d, want 1", got)
+	}
+}
+
+// TestCrossFramingResume: a session opened over binary detaches and is
+// resumed by an NDJSON client presenting the same token — the framing is a
+// per-connection property, not part of the session state.
+func TestCrossFramingResume(t *testing.T) {
+	_, addr, shutdown := startServer(t, Config{Seed: 3})
+	defer shutdown()
+
+	first := NewSession(ClientConfig{Addr: addr, Hello: HelloMsg{N: 4, M: 2, Spouts: 1}, Proto: "binary"})
+	if err := first.Connect(context.Background()); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := first.Step(context.Background(), core.MeasurementMsg{AvgTupleTimeMS: 50, Workload: []float64{7}}); err != nil {
+		t.Fatal(err)
+	}
+	token, epoch := first.Token(), first.Epoch()
+	first.Close()
+	if token == "" {
+		t.Fatal("no token issued")
+	}
+
+	second := NewSession(ClientConfig{Addr: addr, Hello: HelloMsg{N: 4, M: 2, Spouts: 1}, Proto: "ndjson"})
+	defer second.Close()
+	second.SetToken(token)
+	if err := second.Connect(context.Background()); err != nil {
+		t.Fatal(err)
+	}
+	if !second.Resumed() {
+		t.Fatal("NDJSON client did not resume the binary-opened session")
+	}
+	if second.Epoch() != epoch {
+		t.Fatalf("resumed at epoch %d, want %d", second.Epoch(), epoch)
+	}
+}
+
+// fakeOldServer emulates a daemon that predates the binary protocol: it
+// reads newline-delimited frames only, answers a hello it cannot parse
+// with an NDJSON error line (what the pre-binary session loop did with a
+// binary hello — one complete unparseable "line" thanks to the frame's
+// trailing guard byte), and otherwise serves a trivial fixed session.
+func fakeOldServer(t *testing.T) (addr string, stop func()) {
+	t.Helper()
+	l, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	go func() {
+		for {
+			conn, err := l.Accept()
+			if err != nil {
+				return
+			}
+			go func(conn net.Conn) {
+				defer conn.Close()
+				fr := core.NewFrameReader(bufio.NewReader(conn), 1<<20)
+				line, err := fr.Next()
+				if err != nil {
+					return
+				}
+				var hello HelloMsg
+				if err := json.Unmarshal(line, &hello); err != nil {
+					fmt.Fprintf(conn, "{\"err\":\"bad hello: invalid character\"}\n")
+					return
+				}
+				enc := json.NewEncoder(conn)
+				assign := make([]int, hello.N)
+				if enc.Encode(&core.SolutionMsg{Assign: assign, Token: "old-style-token"}) != nil {
+					return
+				}
+				for epoch := 1; ; epoch++ {
+					if _, err := fr.Next(); err != nil {
+						return
+					}
+					if enc.Encode(&core.SolutionMsg{Epoch: epoch, Assign: assign}) != nil {
+						return
+					}
+				}
+			}(conn)
+		}
+	}()
+	return l.Addr().String(), func() { l.Close() }
+}
+
+// TestAutoFallsBackToNDJSON: Proto auto against an old server reads the
+// NDJSON reply to its binary hello, latches NDJSON, redials, and the
+// session proceeds on the line protocol — no client-visible error.
+func TestAutoFallsBackToNDJSON(t *testing.T) {
+	addr, stop := fakeOldServer(t)
+	defer stop()
+
+	sess := NewSession(ClientConfig{Addr: addr, Hello: HelloMsg{N: 4, M: 2, Spouts: 1}})
+	defer sess.Close()
+	if err := sess.Connect(context.Background()); err != nil {
+		t.Fatalf("auto client against old server: %v", err)
+	}
+	if sess.Binary() {
+		t.Fatal("negotiated binary against a server without binary support")
+	}
+	if sess.Token() != "old-style-token" {
+		t.Fatalf("token %q not adopted from the NDJSON hello reply", sess.Token())
+	}
+	if _, err := sess.Step(context.Background(), core.MeasurementMsg{AvgTupleTimeMS: 50, Workload: []float64{1}}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestBinaryRequiredAgainstOldServer: Proto binary is strict — an NDJSON
+// answer to the binary hello is a deterministic rejection, not a retry
+// loop.
+func TestBinaryRequiredAgainstOldServer(t *testing.T) {
+	addr, stop := fakeOldServer(t)
+	defer stop()
+
+	sess := NewSession(ClientConfig{Addr: addr, Hello: HelloMsg{N: 4, M: 2, Spouts: 1}, Proto: "binary"})
+	defer sess.Close()
+	err := sess.Connect(context.Background())
+	if err == nil || !strings.Contains(err.Error(), "binary") {
+		t.Fatalf("err = %v, want binary-support rejection", err)
+	}
+}
+
+// TestUnknownProtoRejected: a typo'd Proto fails fast instead of dialing.
+func TestUnknownProtoRejected(t *testing.T) {
+	sess := NewSession(ClientConfig{Addr: "127.0.0.1:1", Hello: HelloMsg{N: 4, M: 2, Spouts: 1}, Proto: "bianry"})
+	defer sess.Close()
+	err := sess.Connect(context.Background())
+	if err == nil || !strings.Contains(err.Error(), "unknown protocol") {
+		t.Fatalf("err = %v, want unknown-protocol rejection", err)
+	}
+}
+
+// TestBinaryShedReplyParseable: a binary-hello connection shed at the
+// session cap gets its retry reply in the binary framing — a complete,
+// decodable solution frame, not NDJSON bytes mid-stream.
+func TestBinaryShedReplyParseable(t *testing.T) {
+	_, addr, shutdown := startServer(t, Config{MaxSessions: 1, Seed: 1})
+	defer shutdown()
+
+	first := NewSession(ClientConfig{Addr: addr, Hello: HelloMsg{N: 4, M: 2, Spouts: 1}})
+	if err := first.Connect(context.Background()); err != nil {
+		t.Fatal(err)
+	}
+	defer first.Close()
+
+	conn := rawDial(t, addr)
+	defer conn.Close()
+	hello := core.AppendHelloBin(nil, &core.HelloMsg{N: 4, M: 2, Spouts: 1})
+	if _, err := conn.Write(hello); err != nil {
+		t.Fatal(err)
+	}
+	if err := conn.SetReadDeadline(time.Now().Add(5 * time.Second)); err != nil {
+		t.Fatal(err)
+	}
+	typ, payload, err := core.NewBinFrameReader(bufio.NewReader(conn), 1<<20).Next()
+	if err != nil {
+		t.Fatalf("shed reply not a binary frame: %v", err)
+	}
+	if typ != core.BinTypeSolution {
+		t.Fatalf("shed reply frame type %d, want solution", typ)
+	}
+	var sol core.SolutionMsg
+	if err := core.DecodeSolutionBin(payload, &sol); err != nil {
+		t.Fatalf("shed reply payload: %v", err)
+	}
+	if !sol.Retry || !strings.Contains(sol.Err, "capacity") {
+		t.Fatalf("shed reply %+v, want retryable capacity error", sol)
+	}
+}
+
+// TestShedSilenceOnTornHello: a shed connection whose hello never
+// completes gets NO reply bytes — writing into a half-frame would
+// desynchronize the client's decoder (the original shedReplica bug).
+func TestShedSilenceOnTornHello(t *testing.T) {
+	_, addr, shutdown := startServer(t, Config{MaxSessions: 1, Seed: 1})
+	defer shutdown()
+
+	first := NewSession(ClientConfig{Addr: addr, Hello: HelloMsg{N: 4, M: 2, Spouts: 1}})
+	if err := first.Connect(context.Background()); err != nil {
+		t.Fatal(err)
+	}
+	defer first.Close()
+
+	conn := rawDial(t, addr)
+	defer conn.Close()
+	hello := core.AppendHelloBin(nil, &core.HelloMsg{N: 4, M: 2, Spouts: 1})
+	if _, err := conn.Write(hello[:len(hello)/2]); err != nil {
+		t.Fatal(err)
+	}
+	if err := conn.(*net.TCPConn).CloseWrite(); err != nil {
+		t.Fatal(err)
+	}
+	if err := conn.SetReadDeadline(time.Now().Add(5 * time.Second)); err != nil {
+		t.Fatal(err)
+	}
+	buf, err := io.ReadAll(conn)
+	if err != nil {
+		t.Fatalf("reading shed connection: %v", err)
+	}
+	if len(buf) != 0 {
+		t.Fatalf("torn hello drew %d reply bytes (%q), want silence", len(buf), buf)
+	}
+}
+
+// TestAcceptShardsServe: a server with several accept shards serves a
+// burst of concurrent sessions and reports the shard counts as gauges.
+func TestAcceptShardsServe(t *testing.T) {
+	s, addr, shutdown := startServer(t, Config{AcceptShards: 4, Seed: 9})
+	defer shutdown()
+
+	if got := s.reg.Gauge("serve_accept_shards").Value(); got != 4 {
+		t.Fatalf("serve_accept_shards %d, want 4", got)
+	}
+	if got := s.reg.Gauge("serve_session_shards").Value(); got < 1 {
+		t.Fatalf("serve_session_shards %d, want >= 1", got)
+	}
+	const nSess, epochs = 16, 3
+	pool := NewPool(ClientConfig{
+		Addr:  addr,
+		Hello: HelloMsg{Topology: "shards", N: 6, M: 3, Spouts: 1},
+	}, nSess)
+	err := pool.Run(context.Background(), func(ctx context.Context, i int, sess *Session) error {
+		for e := 1; e <= epochs; e++ {
+			if _, err := sess.Step(ctx, core.MeasurementMsg{AvgTupleTimeMS: 40, Workload: []float64{float64(i)}}); err != nil {
+				return fmt.Errorf("session %d epoch %d: %w", i, e, err)
+			}
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := s.reg.Counter("serve_requests_total").Value(); got != nSess*epochs {
+		t.Fatalf("served %d requests, want %d", got, nSess*epochs)
+	}
+	if got := s.reg.Counter("serve_protocol_errors_total").Value(); got != 0 {
+		t.Fatalf("%d protocol errors", got)
+	}
+}

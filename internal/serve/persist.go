@@ -70,7 +70,7 @@ func (s *Server) openDurable() error {
 	start := time.Now()
 	nModels, err := s.recoverDurable(recovered)
 	if err != nil {
-		lg.Close()
+		_ = lg.Close() // recovery failure is the error that matters
 		return err
 	}
 	elapsed := time.Since(start)
@@ -269,9 +269,10 @@ func (s *Server) applyRecord(r *durable.Record) {
 func (s *Server) applyEpochRecord(r *durable.Record) {
 	key := modelKey{r.Key.N, r.Key.M, r.Key.Spouts}
 	t := s.sessions
-	t.mu.Lock()
-	defer t.mu.Unlock()
-	st, ok := t.entries[r.Token]
+	sh := t.shardFor(r.Token)
+	sh.mu.Lock()
+	defer sh.mu.Unlock()
+	st, ok := sh.entries[r.Token]
 	if ok && st.gen >= r.Gen {
 		return // snapshot or an earlier record already restored newer state
 	}
@@ -281,7 +282,8 @@ func (s *Server) applyEpochRecord(r *durable.Record) {
 			key:   key,
 			rng:   rand.New(rand.NewSource(t.seed ^ int64(hashToken(r.Token)))),
 		}
-		t.entries[r.Token] = st
+		sh.entries[r.Token] = st
+		t.count.Add(1)
 	}
 
 	if s.cfg.Learn && len(r.Workload) > 0 {
@@ -338,14 +340,16 @@ func (s *Server) applyEpochRecord(r *durable.Record) {
 // has a newer generation and survives).
 func (s *Server) applyEvict(r *durable.Record) {
 	t := s.sessions
-	t.mu.Lock()
-	st, ok := t.entries[r.Token]
+	sh := t.shardFor(r.Token)
+	sh.mu.Lock()
+	st, ok := sh.entries[r.Token]
 	if !ok || st.gen >= r.Gen {
-		t.mu.Unlock()
+		sh.mu.Unlock()
 		return
 	}
-	delete(t.entries, r.Token)
-	t.mu.Unlock()
+	delete(sh.entries, r.Token)
+	t.count.Add(-1)
+	sh.mu.Unlock()
 	s.mu.Lock()
 	mdl := s.models[st.key]
 	s.mu.Unlock()
@@ -361,9 +365,10 @@ func (s *Server) applyEvict(r *durable.Record) {
 // stopped.
 func (t *sessionTable) applyRecovered(ss *durable.SessionSnap) {
 	key := modelKey{ss.Key.N, ss.Key.M, ss.Key.Spouts}
-	t.mu.Lock()
-	defer t.mu.Unlock()
-	st, ok := t.entries[ss.Token]
+	sh := t.shardFor(ss.Token)
+	sh.mu.Lock()
+	defer sh.mu.Unlock()
+	st, ok := sh.entries[ss.Token]
 	if ok && st.gen >= ss.Gen {
 		return // snapshot or an earlier record already restored newer state
 	}
@@ -373,7 +378,8 @@ func (t *sessionTable) applyRecovered(ss *durable.SessionSnap) {
 			key:   key,
 			rng:   rand.New(rand.NewSource(t.seed ^ int64(hashToken(ss.Token)))),
 		}
-		t.entries[ss.Token] = st
+		sh.entries[ss.Token] = st
+		t.count.Add(1)
 	}
 	for st.rngDraws < ss.RNGDraws {
 		st.rngDraws++
@@ -402,20 +408,28 @@ func (s *Server) captureSnapshot() (*durable.Snapshot, error) {
 		Seed:    s.cfg.Seed,
 		NextGen: s.sessions.genCtr.Load(),
 	}
+	// Collect the sessions shard by shard (locking one shard at a time,
+	// never two), then emit in sorted token order so identical state
+	// produces identical snapshot bytes regardless of shard layout. An
+	// acknowledged epoch always reaches the snapshot: its record enqueues
+	// after the session is visible in its shard, both on the capturing
+	// goroutine's past side of the record boundary the capture runs at.
 	t := s.sessions
-	t.mu.Lock()
-	tokens := make([]string, 0, len(t.entries))
-	for tok := range t.entries {
-		tokens = append(tokens, tok)
+	var sessions []*sessionState
+	for i := range t.shards {
+		sh := &t.shards[i]
+		sh.mu.Lock()
+		for _, st := range sh.entries {
+			sessions = append(sessions, st)
+		}
+		sh.mu.Unlock()
 	}
-	sort.Strings(tokens)
-	for _, tok := range tokens {
-		st := t.entries[tok]
+	sort.Slice(sessions, func(i, j int) bool { return sessions[i].token < sessions[j].token })
+	for _, st := range sessions {
 		st.mu.Lock()
 		snap.Sessions = append(snap.Sessions, snapOfSession(st))
 		st.mu.Unlock()
 	}
-	t.mu.Unlock()
 	for _, m := range s.learningModels() {
 		ms, err := m.learner.exportSnap()
 		if err != nil {

@@ -3,7 +3,6 @@ package serve
 import (
 	"bufio"
 	"context"
-	"encoding/json"
 	"errors"
 	"fmt"
 	"net"
@@ -32,6 +31,12 @@ type ClientConfig struct {
 	MaxAttempts int
 	// MaxLineBytes bounds one reply frame (default 1MiB).
 	MaxLineBytes int
+	// Proto selects the wire framing: "auto" (the default) opens every
+	// dial with a binary hello and permanently falls back to NDJSON when
+	// the reply shows a server that predates the binary protocol;
+	// "binary" requires the binary framing and fails deterministically
+	// against an old server; "ndjson" speaks NDJSON only.
+	Proto string
 }
 
 func (c ClientConfig) withDefaults() ClientConfig {
@@ -52,6 +57,9 @@ func (c ClientConfig) withDefaults() ClientConfig {
 	}
 	if c.MaxLineBytes <= 0 {
 		c.MaxLineBytes = 1 << 20
+	}
+	if c.Proto == "" {
+		c.Proto = "auto"
 	}
 	return c
 }
@@ -76,10 +84,15 @@ type Session struct {
 	stats *PoolStats
 
 	conn   net.Conn
-	enc    *json.Encoder
-	lr     *core.FrameReader
+	br     *bufio.Reader
+	wire   *core.Wire
 	assign []int
 	epoch  int
+	// ndjsonOnly latches Proto "auto"'s downgrade: once a server answered
+	// a binary hello in NDJSON, every redial of this session speaks NDJSON
+	// directly instead of re-probing a server known to predate the binary
+	// protocol.
+	ndjsonOnly bool
 	// token is the daemon-issued resumption token from the last hello
 	// reply; reconnects present it so the daemon restores the session's
 	// state instead of starting cold. cfg.Hello.Token seeds it for
@@ -111,6 +124,10 @@ func (s *Session) Token() string { return s.token }
 // Resumed reports whether the latest hello restored a prior session's
 // state on the daemon.
 func (s *Session) Resumed() bool { return s.resumed }
+
+// Binary reports whether the current connection negotiated the binary
+// framing (false when disconnected or on NDJSON).
+func (s *Session) Binary() bool { return s.conn != nil && s.wire.Binary() }
 
 // SetToken sets the resumption token the next hello will present, before
 // the first dial. Clients that own their session identity across process
@@ -222,23 +239,64 @@ var errRejected = errors.New("hello rejected")
 // and never a failure cause in AbortedError terms.
 var errShed = errors.New("shed by daemon")
 
-// dialOnce performs one dial + hello exchange.
+// dialOnce performs one dial + hello exchange, negotiating the framing
+// per ClientConfig.Proto.
 func (s *Session) dialOnce(ctx context.Context) error {
 	s.close()
+	switch s.cfg.Proto {
+	case "auto", "binary", "ndjson":
+	default:
+		return fmt.Errorf("serve: %w: unknown protocol %q (want auto, binary or ndjson)", errRejected, s.cfg.Proto)
+	}
 	d := net.Dialer{Timeout: s.cfg.DialTimeout}
 	conn, err := d.DialContext(ctx, "tcp", s.cfg.Addr)
 	if err != nil {
 		return err
 	}
 	s.conn = conn
-	s.enc = json.NewEncoder(conn)
-	s.lr = core.NewFrameReader(bufio.NewReader(conn), s.cfg.MaxLineBytes)
+	s.br = bufio.NewReader(conn)
+	binary := s.cfg.Proto == "binary" || (s.cfg.Proto == "auto" && !s.ndjsonOnly)
+	s.wire = core.NewWire(s.br, conn, s.cfg.MaxLineBytes, binary)
 	hello := s.cfg.Hello
 	if s.token != "" {
 		hello.Token = s.token // resume the session the daemon issued this for
 	}
-	sol, err := s.roundTrip(&hello)
-	if err != nil {
+	deadline := time.Now().Add(s.cfg.IOTimeout)
+	if err := s.conn.SetWriteDeadline(deadline); err != nil {
+		s.close()
+		return err
+	}
+	if err := s.wire.WriteHello(&hello); err != nil {
+		s.close()
+		return err
+	}
+	if err := s.conn.SetReadDeadline(deadline); err != nil {
+		s.close()
+		return err
+	}
+	if binary {
+		// Negotiation: a binary-capable server answers the binary hello in
+		// kind. A server that predates the protocol read the hello as one
+		// non-JSON line (the frame's guard byte) and replied a normal
+		// NDJSON bad-hello error — so an actual '{' first byte, and only
+		// that, downgrades; a read failure here is a transport error, not
+		// evidence about the server's protocol support.
+		isBin, err := core.SniffBinary(s.br)
+		if err != nil {
+			s.close()
+			return err
+		}
+		if !isBin {
+			s.close()
+			if s.cfg.Proto == "binary" {
+				return fmt.Errorf("serve: %w: server answered the binary hello in NDJSON (no binary protocol support)", errRejected)
+			}
+			s.ndjsonOnly = true
+			return s.dialOnce(ctx) // redial speaking NDJSON from the first byte
+		}
+	}
+	var sol core.SolutionMsg
+	if err := s.wire.ReadSolution(&sol); err != nil {
 		s.close()
 		return err
 	}
@@ -267,23 +325,22 @@ func (s *Session) dialOnce(ctx context.Context) error {
 	return nil
 }
 
-// roundTrip writes one message and reads one SolutionMsg under IOTimeout.
-func (s *Session) roundTrip(msg any) (core.SolutionMsg, error) {
+// roundTrip writes one measurement and reads one SolutionMsg under
+// IOTimeout.
+func (s *Session) roundTrip(meas *core.MeasurementMsg) (core.SolutionMsg, error) {
 	var sol core.SolutionMsg
 	deadline := time.Now().Add(s.cfg.IOTimeout)
-	s.conn.SetWriteDeadline(deadline)
-	if err := s.enc.Encode(msg); err != nil {
+	if err := s.conn.SetWriteDeadline(deadline); err != nil {
 		return sol, err
 	}
-	s.conn.SetReadDeadline(deadline)
-	line, err := s.lr.Next()
-	if err != nil {
+	if err := s.wire.WriteMeasurement(meas); err != nil {
 		return sol, err
 	}
-	if err := json.Unmarshal(line, &sol); err != nil {
+	if err := s.conn.SetReadDeadline(deadline); err != nil {
 		return sol, err
 	}
-	return sol, nil
+	err := s.wire.ReadSolution(&sol)
+	return sol, err
 }
 
 // Step submits one measurement and returns the daemon's next scheduling

@@ -3,13 +3,11 @@ package serve
 import (
 	"bufio"
 	"context"
-	"encoding/json"
 	"fmt"
 	"log"
 	"net"
 	"time"
 
-	"repro/internal/core"
 	"repro/internal/durable"
 )
 
@@ -138,24 +136,25 @@ func (a *tailApplier) ApplySnapshot(snap *durable.Snapshot, reset bool) error {
 	s.mu.Lock()
 	s.models = map[modelKey]*model{}
 	s.mu.Unlock()
-	s.sessions.mu.Lock()
-	s.sessions.entries = map[string]*sessionState{}
-	s.sessions.mu.Unlock()
+	s.sessions.reset()
 	_, err := s.recoverDurable(&durable.Recovered{Snapshot: snap})
 	return err
 }
 
 // shedReplica answers a connection on a node that is not serving — a
-// replica before promotion, or a demoted leader: drain the hello, reply
-// retry, close. The client's backoff lands it back here after promotion —
-// or at the gateway's re-homed backend.
+// replica before promotion, or a demoted leader: read the hello (in
+// whichever framing the client opened with), reply retry, close. The
+// client's backoff lands it back here after promotion — or at the
+// gateway's re-homed backend. The heavy lifting is shedConn's, which only
+// replies after a complete hello frame: the old code here read a frame,
+// ignored the result, and wrote an NDJSON reply unconditionally — against
+// a client whose hello never completed (or arrived in the binary framing)
+// that reply lands mid-frame or in the wrong framing and turns a clean
+// "retry later" into a client-side protocol error during failover.
 func (s *Server) shedReplica(conn net.Conn) {
 	defer conn.Close()
 	s.mShed.Inc()
-	conn.SetReadDeadline(time.Now().Add(s.cfg.WriteTimeout))
-	core.NewFrameReader(bufio.NewReader(conn), s.cfg.MaxLineBytes).Next()
-	conn.SetWriteDeadline(time.Now().Add(s.cfg.WriteTimeout))
-	json.NewEncoder(conn).Encode(&core.SolutionMsg{Err: "retry: not serving (unpromoted replica or demoted leader)", Retry: true})
+	s.shedConn(conn, bufio.NewReader(conn), "retry: not serving (unpromoted replica or demoted leader)")
 }
 
 // Promote flips a replica into the serving leader: stop tailing (the

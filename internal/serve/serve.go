@@ -24,22 +24,10 @@ import (
 // HelloMsg opens a session: the scheduler announces its topology shape so
 // the daemon can route it to (or create) the matching model. It is the
 // only message the daemon reads before entering the measurement→solution
-// loop of the core protocol.
-type HelloMsg struct {
-	// Topology is a free-form name used for logging/metrics only.
-	Topology string `json:"topology"`
-	// N is the executor count, M the machine count, Spouts the number of
-	// data sources — together the state/action dimensions.
-	N      int `json:"n"`
-	M      int `json:"m"`
-	Spouts int `json:"spouts"`
-	// Token, when set, asks the daemon to resume the session it issued
-	// the token for (in its hello reply's Token field). A token the
-	// daemon no longer tracks — TTL-evicted or from a restarted daemon —
-	// starts a fresh session under that token instead of failing, so a
-	// reconnecting scheduler degrades to a cold start, never to an error.
-	Token string `json:"token,omitempty"`
-}
+// loop. The definition moved to internal/core (next to the other wire
+// messages and both framings' codecs); the alias keeps the serve package's
+// public surface unchanged.
+type HelloMsg = core.HelloMsg
 
 // Config holds the daemon's knobs.
 type Config struct {
@@ -63,9 +51,17 @@ type Config struct {
 	IdleTimeout time.Duration
 	// WriteTimeout bounds each reply write.
 	WriteTimeout time.Duration
-	// MaxLineBytes bounds one NDJSON frame; longer lines are a protocol
+	// MaxLineBytes bounds one wire frame in either framing (an NDJSON
+	// line, or a binary frame's payload); longer frames are a protocol
 	// error and close the session.
 	MaxLineBytes int
+	// AcceptShards is how many goroutines accept connections from the
+	// listener in parallel. One accepting goroutine serializes the TCP
+	// handshake tail (and the kernel wakes exactly one blocked acceptor
+	// per connection, so there is no thundering herd); with thousands of
+	// short-lived sessions the single acceptor becomes the admission
+	// bottleneck. 0 takes GOMAXPROCS.
+	AcceptShards int
 	// K is the K-NN candidate count of the decision rule.
 	K int
 	// Seed seeds each model's randomly initialized networks.
@@ -209,6 +205,9 @@ func (c Config) withDefaults() Config {
 	if c.MaxLineBytes <= 0 {
 		c.MaxLineBytes = d.MaxLineBytes
 	}
+	if c.AcceptShards <= 0 {
+		c.AcceptShards = runtime.GOMAXPROCS(0)
+	}
 	if c.K <= 0 {
 		c.K = d.K
 	}
@@ -344,6 +343,8 @@ type Server struct {
 	mPromoteRej   *Counter
 	mDemotions    *Counter
 	mRole         *Gauge
+	mBinSessions  *Counter
+	mNDJSessions  *Counter
 
 	// testGate, when non-nil, is received from before each micro-batch is
 	// gathered — test-only hook to hold the batcher and force queue
@@ -399,11 +400,15 @@ func New(cfg Config) *Server {
 		mPromoteRej:   reg.Counter("serve_promotions_rejected_total"),
 		mDemotions:    reg.Counter("serve_demotions_total"),
 		mRole:         reg.Gauge("serve_role"),
+		mBinSessions:  reg.Counter("serve_sessions_binary_total"),
+		mNDJSessions:  reg.Counter("serve_sessions_ndjson_total"),
 	}
 	if cfg.ReplicateFrom == "" {
 		s.mRole.Set(1) // leader; a replica moves 0→1 at promotion
 	}
 	s.sessions = newSessionTable(cfg.SessionTTL, cfg.MaxTrackedSessions, cfg.Seed, nil)
+	reg.Gauge("serve_accept_shards").Set(int64(cfg.AcceptShards))
+	reg.Gauge("serve_session_shards").Set(int64(len(s.sessions.shards)))
 	s.sessions.onEvict = func(st *sessionState, gen uint64) {
 		s.mu.Lock()
 		mdl := s.models[st.key]
@@ -546,6 +551,38 @@ func (s *Server) Serve(ctx context.Context, l net.Listener) error {
 	stop := context.AfterFunc(sctx, func() { l.Close() })
 	defer stop()
 
+	// Per-core accept sharding: AcceptShards goroutines block in Accept on
+	// the shared listener, so connection admission (handshake tail, session
+	// goroutine spawn, admission check) runs in parallel instead of
+	// serializing on one acceptor. A fatal accept error on any shard closes
+	// the listener, which unblocks the siblings; the first such error is
+	// the Serve result, exactly as with one acceptor.
+	shards := s.cfg.AcceptShards
+	errc := make(chan error, shards)
+	for i := 0; i < shards; i++ {
+		s.wg.Add(1)
+		go func() {
+			defer s.wg.Done()
+			err := s.acceptLoop(sctx, l)
+			if err != nil {
+				l.Close()
+			}
+			errc <- err
+		}()
+	}
+	var first error
+	for i := 0; i < shards; i++ {
+		if err := <-errc; err != nil && first == nil {
+			first = err
+		}
+	}
+	return first
+}
+
+// acceptLoop is one accept shard: accept, spawn the session goroutine,
+// repeat. Returns nil on orderly shutdown (context cancelled or listener
+// closed), the fatal accept error otherwise.
+func (s *Server) acceptLoop(sctx context.Context, l net.Listener) error {
 	for {
 		conn, err := core.AcceptRetry(l)
 		if err != nil {
@@ -759,7 +796,7 @@ func (s *Server) Handler() http.Handler {
 			role = "replica"
 		}
 		w.Header().Set("Content-Type", "application/json")
-		json.NewEncoder(w).Encode(map[string]any{
+		_ = json.NewEncoder(w).Encode(map[string]any{
 			"status":           "ok",
 			"role":             role,
 			"uptime_seconds":   time.Since(s.started).Seconds(),
@@ -777,12 +814,12 @@ func (s *Server) Handler() http.Handler {
 		w.Header().Set("Content-Type", "application/json")
 		if err != nil && !s.serving() {
 			w.WriteHeader(http.StatusConflict)
-			json.NewEncoder(w).Encode(map[string]any{"error": err.Error()})
+			_ = json.NewEncoder(w).Encode(map[string]any{"error": err.Error()})
 			return
 		}
 		// Success — or an idempotent re-promote of a node already serving
 		// (the gateway retries promotion until the role flips).
-		json.NewEncoder(w).Encode(map[string]any{"status": "leader"})
+		_ = json.NewEncoder(w).Encode(map[string]any{"status": "leader"})
 	})
 	mux.HandleFunc("/demote", func(w http.ResponseWriter, r *http.Request) {
 		if r.Method != http.MethodPost {
@@ -792,10 +829,10 @@ func (s *Server) Handler() http.Handler {
 		w.Header().Set("Content-Type", "application/json")
 		if err := s.Demote(); err != nil {
 			w.WriteHeader(http.StatusConflict)
-			json.NewEncoder(w).Encode(map[string]any{"error": err.Error()})
+			_ = json.NewEncoder(w).Encode(map[string]any{"error": err.Error()})
 			return
 		}
-		json.NewEncoder(w).Encode(map[string]any{"status": "demoted"})
+		_ = json.NewEncoder(w).Encode(map[string]any{"status": "demoted"})
 	})
 	mux.HandleFunc("/retarget", func(w http.ResponseWriter, r *http.Request) {
 		if r.Method != http.MethodPost {
@@ -806,10 +843,10 @@ func (s *Server) Handler() http.Handler {
 		addr := r.FormValue("addr")
 		if err := s.RetargetReplication(addr); err != nil {
 			w.WriteHeader(http.StatusConflict)
-			json.NewEncoder(w).Encode(map[string]any{"error": err.Error()})
+			_ = json.NewEncoder(w).Encode(map[string]any{"error": err.Error()})
 			return
 		}
-		json.NewEncoder(w).Encode(map[string]any{"status": "retargeted", "addr": addr})
+		_ = json.NewEncoder(w).Encode(map[string]any{"status": "retargeted", "addr": addr})
 	})
 	return mux
 }

@@ -3,7 +3,6 @@ package serve
 import (
 	"bufio"
 	"context"
-	"encoding/json"
 	"errors"
 	"fmt"
 	"io"
@@ -16,35 +15,26 @@ import (
 	"repro/internal/rl"
 )
 
-// errLineTooLong aliases the shared frame-decoder's cap error; the decoder
-// itself lives in internal/core (core.FrameReader), next to the wire
-// protocol it frames, where the fuzz harness exercises it.
+// errLineTooLong aliases the shared frame-decoder's cap error; the decoders
+// (both framings) live in internal/core next to the wire protocol they
+// frame, where the fuzz harness exercises them.
 var errLineTooLong = core.ErrFrameTooLong
 
-// handleConn services one scheduler session end to end: admission, hello,
-// then the measurement→solution loop. Everything the session owns
-// (buffers, request object) lives here, so a session costs one goroutine
-// plus a few small allocations no matter how many epochs it runs.
+// handleConn services one scheduler session end to end: admission, framing
+// negotiation, hello, then the measurement→solution loop. Everything the
+// session owns (buffers, request object) lives here, so a session costs one
+// goroutine plus a few small allocations no matter how many epochs it runs.
 func (s *Server) handleConn(ctx context.Context, conn net.Conn) {
 	defer conn.Close()
-	enc := json.NewEncoder(conn)
-	write := func(msg *core.SolutionMsg) error {
-		conn.SetWriteDeadline(time.Now().Add(s.cfg.WriteTimeout))
-		return enc.Encode(msg)
-	}
-
-	lr := core.NewFrameReader(bufio.NewReader(conn), s.cfg.MaxLineBytes)
+	br := bufio.NewReader(conn)
 
 	// Admission control: beyond MaxSessions the daemon is explicit about
-	// being full instead of letting sessions pile up. The client's hello is
-	// drained before replying — closing a socket with unread received data
-	// sends RST, which would destroy the retry reply in flight.
+	// being full instead of letting sessions pile up. Counted before any
+	// per-connection work — the framing sniff below blocks on client bytes.
 	if s.active.Add(1) > int64(s.cfg.MaxSessions) {
 		s.active.Add(-1)
 		s.mRejected.Inc()
-		conn.SetReadDeadline(time.Now().Add(s.cfg.WriteTimeout))
-		lr.Next()
-		write(&core.SolutionMsg{Err: "retry: server at session capacity", Retry: true})
+		s.shedConn(conn, br, "retry: server at session capacity")
 		return
 	}
 	defer s.active.Add(-1)
@@ -57,27 +47,48 @@ func (s *Server) handleConn(ctx context.Context, conn net.Conn) {
 	defer s.mSessions.Add(-1)
 
 	// Unblock blocking reads/writes when the server shuts down.
-	stop := context.AfterFunc(ctx, func() { conn.SetDeadline(time.Now()) })
+	stop := context.AfterFunc(ctx, func() { _ = conn.SetDeadline(time.Now()) })
 	defer stop()
 
-	// Hello: topology shape, answered with the session's starting solution.
-	conn.SetReadDeadline(time.Now().Add(s.cfg.IdleTimeout))
-	line, err := lr.Next()
-	if err != nil {
-		if isProtoErr(err) {
-			s.mProtoErrs.Inc()
-		}
+	// Framing negotiation: the connection's first byte names the framing
+	// (the binary magic, or '{' opening an NDJSON hello) and the whole
+	// session stays in it — see core.Wire for the negotiation contract.
+	if conn.SetReadDeadline(time.Now().Add(s.cfg.IdleTimeout)) != nil {
 		return
 	}
+	binary, err := core.SniffBinary(br)
+	if err != nil {
+		return
+	}
+	w := core.NewWire(br, conn, s.cfg.MaxLineBytes, binary)
+	if binary {
+		s.mBinSessions.Inc()
+	} else {
+		s.mNDJSessions.Inc()
+	}
+	write := func(msg *core.SolutionMsg) error {
+		if err := conn.SetWriteDeadline(time.Now().Add(s.cfg.WriteTimeout)); err != nil {
+			return err
+		}
+		return w.WriteSolution(msg)
+	}
+
+	// Hello: topology shape, answered with the session's starting solution.
 	var hello HelloMsg
-	if err := json.Unmarshal(line, &hello); err != nil {
-		s.mProtoErrs.Inc()
-		write(&core.SolutionMsg{Err: fmt.Sprintf("bad hello: %v", err)})
+	if err := w.ReadHello(&hello); err != nil {
+		if isProtoErr(err) {
+			s.mProtoErrs.Inc()
+			if core.IsMalformed(err) {
+				// A complete frame that wasn't a valid hello: the peer is
+				// still synchronized, so the rejection is readable.
+				_ = write(&core.SolutionMsg{Err: fmt.Sprintf("bad hello: %v", err)})
+			}
+		}
 		return
 	}
 	if err := s.validShape(hello.N, hello.M, hello.Spouts); err != nil {
 		s.mProtoErrs.Inc()
-		write(&core.SolutionMsg{Err: fmt.Sprintf("bad hello: %v", err)})
+		_ = write(&core.SolutionMsg{Err: fmt.Sprintf("bad hello: %v", err)})
 		return
 	}
 	key := modelKey{hello.N, hello.M, hello.Spouts}
@@ -88,10 +99,10 @@ func (s *Server) handleConn(ctx context.Context, conn net.Conn) {
 	// schedule position, reward statistics and pending transition — while
 	// an empty or unknown token starts cold under a (possibly new) token.
 	st, resumed, aerr := s.sessions.attach(hello.Token, key, func() {
-		// Fired (under the table lock) when another connection presents
+		// Fired (under the shard lock) when another connection presents
 		// this session's token: unblock this goroutine's I/O so it
 		// detaches and the presenter's retry can take the session over.
-		conn.SetDeadline(time.Now())
+		_ = conn.SetDeadline(time.Now())
 	})
 	if aerr != nil {
 		if hello.Token != "" {
@@ -104,9 +115,9 @@ func (s *Server) handleConn(ctx context.Context, conn net.Conn) {
 			// Transient: the stale connection holding the token (or the
 			// table slot) is about to be reaped; the client backs off and
 			// redials.
-			write(&core.SolutionMsg{Err: "retry: " + aerr.Error(), Retry: true})
+			_ = write(&core.SolutionMsg{Err: "retry: " + aerr.Error(), Retry: true})
 		} else {
-			write(&core.SolutionMsg{Err: fmt.Sprintf("bad hello: %v", aerr)})
+			_ = write(&core.SolutionMsg{Err: fmt.Sprintf("bad hello: %v", aerr)})
 		}
 		return
 	}
@@ -143,24 +154,21 @@ func (s *Server) handleConn(ctx context.Context, conn net.Conn) {
 			// otherwise erase the presenter's I/O kick).
 			return
 		}
-		conn.SetReadDeadline(time.Now().Add(s.cfg.IdleTimeout))
-		line, err := lr.Next()
-		if err != nil {
-			if ctx.Err() == nil && isProtoErr(err) {
-				s.mProtoErrs.Inc()
-				if errors.Is(err, errLineTooLong) {
-					conn.SetReadDeadline(time.Now().Add(s.cfg.WriteTimeout))
-					if lr.DrainLine() == nil {
-						write(&core.SolutionMsg{Epoch: epoch, Err: errLineTooLong.Error()})
-					}
-				}
-			}
+		if conn.SetReadDeadline(time.Now().Add(s.cfg.IdleTimeout)) != nil {
 			return
 		}
-		meas = core.MeasurementMsg{}
-		if err := json.Unmarshal(line, &meas); err != nil {
-			s.mProtoErrs.Inc()
-			write(&core.SolutionMsg{Epoch: epoch, Err: fmt.Sprintf("bad measurement: %v", err)})
+		if err := w.ReadMeasurement(&meas); err != nil {
+			if ctx.Err() == nil && isProtoErr(err) {
+				s.mProtoErrs.Inc()
+				switch {
+				case errors.Is(err, errLineTooLong):
+					if conn.SetReadDeadline(time.Now().Add(s.cfg.WriteTimeout)) == nil && w.Drain() == nil {
+						_ = write(&core.SolutionMsg{Epoch: epoch, Err: errLineTooLong.Error()})
+					}
+				case core.IsMalformed(err):
+					_ = write(&core.SolutionMsg{Epoch: epoch, Err: fmt.Sprintf("bad measurement: %v", err)})
+				}
+			}
 			return
 		}
 		s.mRequests.Inc()
@@ -171,7 +179,7 @@ func (s *Server) handleConn(ctx context.Context, conn net.Conn) {
 		}
 		if len(meas.Workload) != hello.Spouts {
 			s.mProtoErrs.Inc()
-			write(&core.SolutionMsg{Epoch: epoch, Err: fmt.Sprintf("measurement has %d spout rates, session declared %d", len(meas.Workload), hello.Spouts)})
+			_ = write(&core.SolutionMsg{Epoch: epoch, Err: fmt.Sprintf("measurement has %d spout rates, session declared %d", len(meas.Workload), hello.Spouts)})
 			return
 		}
 		// A non-zero epoch echo (1-based) not matching the last served
@@ -299,9 +307,39 @@ func (s *Server) handleConn(ctx context.Context, conn net.Conn) {
 	}
 }
 
-// isProtoErr classifies read failures: oversized frames and mid-frame
-// drops are protocol errors; a clean EOF, a closed connection, or an idle
-// timeout are normal session ends.
+// shedConn reads a connection's hello — in whichever framing the client
+// opened with — and answers an explicit retry in that framing, so the
+// client backs off instead of treating the shed as a dead server. The
+// reply is only written after a COMPLETE hello frame (malformed contents
+// are fine — the peer is synchronized and will parse the reply; a torn or
+// oversized-and-undrainable frame is not, and gets silence): replying into
+// a half-written frame would desynchronize the client's decoder. The hello
+// is consumed first because closing a socket with unread received data
+// sends RST, destroying the retry reply in flight. Used by the admission
+// path and by shedReplica.
+func (s *Server) shedConn(conn net.Conn, br *bufio.Reader, errText string) {
+	if conn.SetDeadline(time.Now().Add(s.cfg.WriteTimeout)) != nil {
+		return
+	}
+	binary, err := core.SniffBinary(br)
+	if err != nil {
+		return
+	}
+	w := core.NewWire(br, conn, s.cfg.MaxLineBytes, binary)
+	var hello core.HelloMsg
+	if err := w.ReadHello(&hello); err != nil && !core.IsMalformed(err) {
+		if !errors.Is(err, core.ErrFrameTooLong) || w.Drain() != nil {
+			return
+		}
+	}
+	_ = w.WriteSolution(&core.SolutionMsg{Err: errText, Retry: true})
+}
+
+// isProtoErr classifies read failures: oversized frames, mid-frame drops,
+// binary framing violations and well-framed-but-undecodable payloads are
+// protocol errors; a clean EOF, a closed connection, or an idle timeout
+// are normal session ends.
 func isProtoErr(err error) bool {
-	return errors.Is(err, errLineTooLong) || errors.Is(err, io.ErrUnexpectedEOF)
+	return errors.Is(err, errLineTooLong) || errors.Is(err, io.ErrUnexpectedEOF) ||
+		errors.Is(err, core.ErrBadFrame) || core.IsMalformed(err)
 }

@@ -7,6 +7,7 @@ import (
 	"fmt"
 	"hash/fnv"
 	"math/rand"
+	"runtime"
 	"sync"
 	"sync/atomic"
 	"time"
@@ -22,6 +23,13 @@ import (
 // keyed by an opaque token issued on the first hello; a reconnecting
 // client presents the token in its next hello and continues where it left
 // off. Detached state lives until a TTL sweep reclaims it.
+//
+// The table is sharded by token hash so steady-state serving — detach,
+// kick polling, per-epoch bookkeeping — takes only one shard's lock and
+// scales with the per-core accept sharding instead of funneling every
+// session through a single mutex. Capacity stays a GLOBAL property (one
+// atomic entry count, cross-shard eviction of the oldest detached entry),
+// so sharding changes contention, never admission semantics.
 
 var (
 	// errTokenLive marks a hello presenting a token that is attached to a
@@ -37,7 +45,7 @@ var (
 // sessionState is one session's resumable state. While a connection is
 // attached the owning goroutine accesses the mutable fields exclusively
 // (the table hands a token's state to at most one live connection); the
-// table itself only touches live/lastSeen under its lock.
+// table itself only touches live/lastSeen under the owning shard's lock.
 type sessionState struct {
 	token string
 	key   modelKey
@@ -47,7 +55,7 @@ type sessionState struct {
 	// (two uncontended lock pairs per epoch) and the snapshot capture
 	// reads them under mu, so a snapshot never observes a half-updated
 	// epoch. The goroutine must never call table methods while holding
-	// mu (lock order is table.mu → st.mu).
+	// mu (lock order is shard.mu → st.mu).
 	mu sync.Mutex
 	// gen is the session table's monotone mutation counter value at this
 	// session's last journaled mutation; WAL replay applies a record only
@@ -68,7 +76,7 @@ type sessionState struct {
 	// once the old connection has drained (connection takeover). kicked
 	// is the sticky record of that request — the deadline kick alone can
 	// be erased by the holder's own per-epoch deadline re-arming, so the
-	// holder also polls kicked (under the table lock) each epoch.
+	// holder also polls kicked (under the shard lock) each epoch.
 	kick   func()
 	kicked bool
 
@@ -88,32 +96,45 @@ type sessionState struct {
 	noiseOn    bool      // that decision (shed resubmits must reuse it)
 }
 
-// sessionTable tracks resumable sessions by token.
+// sessionShard is one lock-striped partition of the token→state map.
+type sessionShard struct {
+	mu      sync.Mutex
+	entries map[string]*sessionState
+}
+
+// sessionTable tracks resumable sessions by token, striped across
+// power-of-two shards addressed by the token's FNV-1a hash.
 type sessionTable struct {
 	ttl  time.Duration
 	max  int
 	seed int64
 	now  func() time.Time
-	// onEvict runs — OUTSIDE the table lock — when a session's state is
+	// onEvict runs — OUTSIDE every table lock — when a session's state is
 	// dropped; the server uses it to drop the session's replay shard and
 	// journal the eviction tombstone. gen is the eviction's mutation
-	// number, captured under the lock at the moment of eviction, so a
-	// session re-created under the same token between the eviction and the
-	// callback always carries a newer generation than the tombstone.
-	// Running outside the lock is what lets the tombstone append BLOCK on
+	// number, captured under the shard lock at the moment of eviction, so
+	// a session re-created under the same token between the eviction and
+	// the callback always carries a newer generation than the tombstone.
+	// Running outside the locks is what lets the tombstone append BLOCK on
 	// a full WAL buffer (a dropped tombstone resurrects the session on
 	// every future recovery): the durability writer's snapshot capture
-	// takes the table lock, so blocking inside it would deadlock.
+	// takes the shard locks, so blocking inside them would deadlock.
 	onEvict func(st *sessionState, gen uint64)
 
 	// genCtr numbers session mutations for the durability journal; it
 	// only ever grows (recovery fast-forwards it past everything on disk).
 	genCtr atomic.Uint64
 
-	mu      sync.Mutex
-	entries map[string]*sessionState
-	// evicted accumulates sessions dropped under mu until the evicting
-	// call flushes their callbacks after releasing it.
+	shards []sessionShard
+	mask   uint64
+	// count is the global entry total (live + detached) across shards; a
+	// fresh attach reserves its slot here before inserting, so MaxTracked
+	// stays a hard cap without any cross-shard lock on the steady path.
+	count atomic.Int64
+
+	// evicted accumulates sessions dropped under a shard lock until the
+	// evicting call flushes their callbacks after releasing it.
+	evictMu sync.Mutex
 	evicted []evictedSession
 }
 
@@ -126,11 +147,26 @@ func newSessionTable(ttl time.Duration, max int, seed int64, now func() time.Tim
 	if now == nil {
 		now = time.Now
 	}
-	return &sessionTable{ttl: ttl, max: max, seed: seed, now: now, entries: map[string]*sessionState{}}
+	nShards := 1
+	for nShards < runtime.GOMAXPROCS(0) && nShards < 64 {
+		nShards <<= 1
+	}
+	t := &sessionTable{ttl: ttl, max: max, seed: seed, now: now,
+		shards: make([]sessionShard, nShards), mask: uint64(nShards - 1)}
+	for i := range t.shards {
+		t.shards[i].entries = map[string]*sessionState{}
+	}
+	return t
 }
 
-// expiredLocked reports whether a detached entry has outlived the TTL.
-func (t *sessionTable) expiredLocked(st *sessionState, now time.Time) bool {
+// shardFor returns the shard owning token.
+func (t *sessionTable) shardFor(token string) *sessionShard {
+	return &t.shards[hashToken(token)&t.mask]
+}
+
+// expired reports whether a detached entry has outlived the TTL; callers
+// hold the entry's shard lock.
+func (t *sessionTable) expired(st *sessionState, now time.Time) bool {
 	return !st.live && t.ttl > 0 && now.Sub(st.lastSeen) > t.ttl
 }
 
@@ -142,26 +178,27 @@ func (t *sessionTable) expiredLocked(st *sessionState, now time.Time) bool {
 // attached state so a later presenter of the same token can unblock this
 // connection.
 func (t *sessionTable) attach(token string, key modelKey, kick func()) (st *sessionState, resumed bool, err error) {
-	st, resumed, err = t.attachLocked(token, key, kick)
+	st, resumed, err = t.doAttach(token, key, kick)
 	t.flushEvicts()
 	return st, resumed, err
 }
 
-func (t *sessionTable) attachLocked(token string, key modelKey, kick func()) (st *sessionState, resumed bool, err error) {
-	t.mu.Lock()
-	defer t.mu.Unlock()
+func (t *sessionTable) doAttach(token string, key modelKey, kick func()) (st *sessionState, resumed bool, err error) {
 	now := t.now()
 
 	if token != "" {
-		if st, ok := t.entries[token]; ok {
-			if t.expiredLocked(st, now) {
-				t.evictLocked(st)
+		sh := t.shardFor(token)
+		sh.mu.Lock()
+		if st, ok := sh.entries[token]; ok {
+			if t.expired(st, now) {
+				t.evictEntry(sh, st) // fall through to a fresh session below
 			} else {
 				switch {
 				case st.key != key:
 					// Checked before the live branch: a presenter whose
 					// takeover could never succeed must not get to kill a
 					// healthy holder.
+					sh.mu.Unlock()
 					return nil, false, fmt.Errorf("token %s belongs to a %dx%d/%d session, hello declares %dx%d/%d",
 						token, st.key.n, st.key.m, st.key.spouts, key.n, key.m, key.spouts)
 				case st.live:
@@ -173,42 +210,60 @@ func (t *sessionTable) attachLocked(token string, key modelKey, kick func()) (st
 					if st.kick != nil {
 						st.kick()
 					}
+					sh.mu.Unlock()
 					return nil, false, errTokenLive
 				}
 				st.live = true
 				st.lastSeen = now
 				st.kick = kick
 				st.kicked = false
+				sh.mu.Unlock()
 				return st, true, nil
 			}
 		}
+		sh.mu.Unlock()
 	}
 
-	if len(t.entries) >= t.max {
-		t.sweepLocked(now)
-		if len(t.entries) >= t.max && !t.evictOldestDetachedLocked() {
+	// Fresh session. Reserve the slot in the global count first — capacity
+	// is a whole-table property; the reservation makes it a hard cap even
+	// though inserts race across shards.
+	if t.count.Add(1) > int64(t.max) {
+		if t.sweepNow(now) == 0 && !t.evictOldestDetached() {
+			t.count.Add(-1)
 			return nil, false, errTableFull
 		}
 	}
 
-	if token == "" {
-		for {
+	minted := token == ""
+	for {
+		if minted {
 			token = newToken()
-			if _, taken := t.entries[token]; !taken {
-				break
-			}
 		}
+		sh := t.shardFor(token)
+		sh.mu.Lock()
+		if _, taken := sh.entries[token]; taken {
+			sh.mu.Unlock()
+			if minted {
+				continue // astronomically unlikely collision; mint another
+			}
+			// A client-chosen token raced another connection's create
+			// between our lookup and this insert; release the reserved
+			// slot and restart — the retry resolves to resume or takeover.
+			t.count.Add(-1)
+			return t.doAttach(token, key, kick)
+		}
+		st = &sessionState{
+			token:    token,
+			key:      key,
+			live:     true,
+			lastSeen: now,
+			kick:     kick,
+			rng:      rand.New(rand.NewSource(t.seed ^ int64(hashToken(token)))),
+		}
+		sh.entries[token] = st
+		sh.mu.Unlock()
+		return st, false, nil
 	}
-	st = &sessionState{
-		token:    token,
-		key:      key,
-		live:     true,
-		lastSeen: now,
-		kick:     kick,
-		rng:      rand.New(rand.NewSource(t.seed ^ int64(hashToken(token)))),
-	}
-	t.entries[token] = st
-	return st, false, nil
 }
 
 // newToken returns an unguessable session token. Tokens gate access to
@@ -247,90 +302,134 @@ func (st *sessionState) drawFloat() float64 {
 // detach releases a live session's state back to the table, starting its
 // TTL clock.
 func (t *sessionTable) detach(st *sessionState) {
-	t.mu.Lock()
+	sh := t.shardFor(st.token)
+	sh.mu.Lock()
 	st.live = false
 	st.kick = nil
 	st.lastSeen = t.now()
-	t.mu.Unlock()
+	sh.mu.Unlock()
 }
 
 // isKicked reports whether a takeover presenter has requested this
 // session's holder to stand down; the holder polls it once per epoch
 // because its own deadline re-arming can erase the I/O kick.
 func (t *sessionTable) isKicked(st *sessionState) bool {
-	t.mu.Lock()
-	defer t.mu.Unlock()
+	sh := t.shardFor(st.token)
+	sh.mu.Lock()
+	defer sh.mu.Unlock()
 	return st.kicked
 }
 
 // sweep drops every expired detached session and returns how many went.
 func (t *sessionTable) sweep() int {
-	t.mu.Lock()
-	n := t.sweepLocked(t.now())
-	t.mu.Unlock()
+	n := t.sweepNow(t.now())
 	t.flushEvicts()
 	return n
 }
 
-func (t *sessionTable) sweepLocked(now time.Time) int {
+// sweepNow walks every shard (locking one at a time) evicting expired
+// detached entries.
+func (t *sessionTable) sweepNow(now time.Time) int {
 	n := 0
-	for _, st := range t.entries {
-		if t.expiredLocked(st, now) {
-			t.evictLocked(st)
-			n++
+	for i := range t.shards {
+		sh := &t.shards[i]
+		sh.mu.Lock()
+		for _, st := range sh.entries {
+			if t.expired(st, now) {
+				t.evictEntry(sh, st)
+				n++
+			}
 		}
+		sh.mu.Unlock()
 	}
 	return n
 }
 
-// evictOldestDetachedLocked frees one slot by dropping the detached entry
-// with the oldest lastSeen, reporting whether one existed.
-func (t *sessionTable) evictOldestDetachedLocked() bool {
-	var oldest *sessionState
-	for _, st := range t.entries {
-		if st.live {
-			continue
+// evictOldestDetached frees one slot by dropping the detached entry with
+// the oldest lastSeen anywhere in the table, reporting whether one went.
+// The scan locks one shard at a time (never two — no ordering to
+// deadlock on), so the winner can change state before the second lock;
+// the evict re-verifies under its shard and rescans on interference.
+func (t *sessionTable) evictOldestDetached() bool {
+	for attempt := 0; attempt < 4; attempt++ {
+		var oldest *sessionState
+		for i := range t.shards {
+			sh := &t.shards[i]
+			sh.mu.Lock()
+			for _, st := range sh.entries {
+				if !st.live && (oldest == nil || st.lastSeen.Before(oldest.lastSeen)) {
+					oldest = st
+				}
+			}
+			sh.mu.Unlock()
 		}
-		if oldest == nil || st.lastSeen.Before(oldest.lastSeen) {
-			oldest = st
+		if oldest == nil {
+			return false
 		}
+		sh := t.shardFor(oldest.token)
+		sh.mu.Lock()
+		if cur, ok := sh.entries[oldest.token]; ok && cur == oldest && !cur.live {
+			t.evictEntry(sh, cur)
+			sh.mu.Unlock()
+			return true
+		}
+		sh.mu.Unlock() // resumed or already evicted since the scan; rescan
 	}
-	if oldest == nil {
-		return false
-	}
-	t.evictLocked(oldest)
-	return true
+	return false
 }
 
-func (t *sessionTable) evictLocked(st *sessionState) {
-	delete(t.entries, st.token)
+// evictEntry drops one entry; callers hold sh's lock (the shard owning
+// st.token).
+func (t *sessionTable) evictEntry(sh *sessionShard, st *sessionState) {
+	delete(sh.entries, st.token)
+	t.count.Add(-1)
 	if t.onEvict != nil {
-		t.evicted = append(t.evicted, evictedSession{st: st, gen: t.genCtr.Add(1)})
+		gen := t.genCtr.Add(1)
+		t.evictMu.Lock()
+		t.evicted = append(t.evicted, evictedSession{st: st, gen: gen})
+		t.evictMu.Unlock()
 	}
 }
 
-// flushEvicts runs the deferred onEvict callbacks outside the table lock.
-// Concurrent evictors may flush each other's entries; each callback still
-// runs exactly once.
+// flushEvicts runs the deferred onEvict callbacks outside every table
+// lock. Concurrent evictors may flush each other's entries; each callback
+// still runs exactly once.
 func (t *sessionTable) flushEvicts() {
-	t.mu.Lock()
+	t.evictMu.Lock()
 	evicted := t.evicted
 	t.evicted = nil
-	t.mu.Unlock()
+	t.evictMu.Unlock()
 	for _, e := range evicted {
 		t.onEvict(e.st, e.gen)
 	}
 }
 
-// len returns the number of tracked sessions (live + detached).
-func (t *sessionTable) len() int {
-	t.mu.Lock()
-	defer t.mu.Unlock()
-	return len(t.entries)
+// reset drops every entry without eviction callbacks (replica wholesale
+// replacement: the incoming snapshot supersedes all warm state).
+func (t *sessionTable) reset() {
+	for i := range t.shards {
+		sh := &t.shards[i]
+		sh.mu.Lock()
+		t.count.Add(-int64(len(sh.entries)))
+		sh.entries = map[string]*sessionState{}
+		sh.mu.Unlock()
+	}
 }
 
-// hashToken is FNV-1a over the token, used to derive per-session RNG
-// seeds deterministically from the token alone.
+// len returns the number of tracked sessions (live + detached).
+func (t *sessionTable) len() int {
+	n := 0
+	for i := range t.shards {
+		sh := &t.shards[i]
+		sh.mu.Lock()
+		n += len(sh.entries)
+		sh.mu.Unlock()
+	}
+	return n
+}
+
+// hashToken is FNV-1a over the token, used both to pick the owning shard
+// and to derive per-session RNG seeds deterministically from the token.
 func hashToken(token string) uint64 {
 	h := fnv.New64a()
 	h.Write([]byte(token))
