@@ -1,0 +1,572 @@
+// Chaos mode: `loadgen -chaos` spawns a three-member replicated agentd
+// group behind an agentfleet gateway, parks a byte-tearing proxy between
+// the clients and the gateway, and drives a seeded fault schedule
+// (leader SIGKILL, leader SIGSTOP, torn client connections) against it.
+// After every fault the harness requires the fleet to heal itself —
+// exactly one leader, every survivor a replica, killed members restarted
+// with plain leader flags and demoted+rejoined by the gateway, not by
+// the harness — and then replays every session token through the proxy,
+// failing unless all of them resume with zero protocol errors. The run
+// ends with a quiesced snapshot barrier proving the group's weight
+// checksums converged bitwise. The seed is printed first so a CI failure
+// replays locally with one flag.
+package main
+
+import (
+	"context"
+	"fmt"
+	"io"
+	"math/rand"
+	"net"
+	"os"
+	"path/filepath"
+	"strconv"
+	"strings"
+	"sync/atomic"
+	"time"
+
+	"repro/internal/chaos"
+	"repro/internal/core"
+	"repro/internal/serve"
+)
+
+// chaosOptions are the -chaos-specific knobs; the shared load shape
+// (sessions, topology, seed, proto) comes from options.
+type chaosOptions struct {
+	agentdBin string // agentd binary to spawn
+	fleetBin  string // agentfleet binary to spawn
+	dir       string // work dir for data+logs ("" = temp, removed on pass)
+	extra     int    // random events beyond the mandatory kill/kill/stall/tear
+	steps     int    // steps per session per load phase
+}
+
+const (
+	// chaosHealthInterval is the gateway poll cadence. The probe deadline
+	// equals it, so a SIGSTOPped leader is declared dead after
+	// chaosFailThreshold * ~2*interval even though its TCP stack answers.
+	chaosHealthInterval = 100 * time.Millisecond
+	chaosFailThreshold  = 3
+
+	chaosSettleTimeout   = 45 * time.Second
+	chaosHealTimeout     = 45 * time.Second
+	chaosPhaseTimeout    = 2 * time.Minute
+	chaosConvergeTimeout = 60 * time.Second
+	chaosMinStall        = 500 * time.Millisecond
+	chaosMaxStall        = 1500 * time.Millisecond
+)
+
+// chaosMember is one spawned agentd plus everything needed to restart it.
+type chaosMember struct {
+	name             string
+	sess, http, repl string
+	dir              string
+	proc             *chaos.Proc
+}
+
+// chaosHarness owns the fleet, the proxy, the checker and the cumulative
+// verdict counters for the final report.
+type chaosHarness struct {
+	opt  options
+	copt chaosOptions
+	out  io.Writer
+	dir  string
+
+	members []*chaosMember
+	gateway *chaos.Proc
+	proxy   *chaos.Proxy
+	checker *chaos.Checker
+	logs    []*os.File
+
+	// tokens are the resumption tokens recorded after the last completed
+	// load phase; the next phase must resume every one of them.
+	tokens      []string
+	pendingTear bool
+	// rejoined marks members that were deposed (killed or stalled out of
+	// leadership) and healed back in by the gateway; the golden coda
+	// requires leadership to eventually land on one of them again.
+	rejoined map[string]bool
+
+	failovers, rejoins, tears  int
+	steps, reconnects, resumes int64
+}
+
+// runChaos is the -chaos entry point; returns the process exit code.
+func runChaos(opt options, copt chaosOptions, out io.Writer) int {
+	if copt.agentdBin == "" || copt.fleetBin == "" {
+		fmt.Fprintln(os.Stderr, "loadgen: -chaos requires -agentd-bin and -agentfleet-bin")
+		return 1
+	}
+	for _, bin := range []string{copt.agentdBin, copt.fleetBin} {
+		if _, err := os.Stat(bin); err != nil {
+			fmt.Fprintf(os.Stderr, "loadgen: chaos binary: %v\n", err)
+			return 1
+		}
+	}
+	dir := copt.dir
+	scratch := false
+	if dir == "" {
+		d, err := os.MkdirTemp("", "loadgen-chaos-*")
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "loadgen: %v\n", err)
+			return 1
+		}
+		dir, scratch = d, true
+	} else if err := os.MkdirAll(dir, 0o755); err != nil {
+		fmt.Fprintf(os.Stderr, "loadgen: %v\n", err)
+		return 1
+	}
+
+	h := &chaosHarness{opt: opt, copt: copt, out: out, dir: dir, rejoined: map[string]bool{}}
+	// Reproducibility first: the seed is on stdout before anything can fail.
+	fmt.Fprintf(out, "chaos: seed %d (replay with -seed %d)\n", opt.seed, opt.seed)
+	err := h.run()
+	h.teardown()
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "loadgen: chaos run FAILED (seed %d, artifacts kept in %s): %v\n",
+			opt.seed, dir, err)
+		return 1
+	}
+	if scratch {
+		os.RemoveAll(dir)
+	}
+	fmt.Fprintf(out, "chaos: PASS\n")
+	fmt.Fprintf(out, "events:      %d applied (%d failovers, %d automatic rejoins, %d tear events, %d torn connections)\n",
+		h.failovers+h.rejoins+h.tears, h.failovers, h.rejoins, h.tears, h.proxy.Torn())
+	fmt.Fprintf(out, "sessions:    %d, every token resumed through every fault\n", opt.sessions)
+	fmt.Fprintf(out, "requests:    %d total (%d reconnects, %d resumes)\n", h.steps, h.reconnects, h.resumes)
+	fmt.Fprintf(out, "errors:      0\n")
+	fmt.Fprintf(out, "converged:   weight checksums bitwise-identical across the group at the final barrier\n")
+	return 0
+}
+
+func (h *chaosHarness) logf(format string, args ...any) {
+	fmt.Fprintf(h.out, format+"\n", args...)
+}
+
+// run drives the whole schedule; any error is terminal for the run.
+func (h *chaosHarness) run() error {
+	ctx := context.Background()
+	if err := h.startFleet(); err != nil {
+		return err
+	}
+	plan := chaos.Plan(h.opt.seed, h.copt.extra, chaosMinStall, chaosMaxStall)
+	kinds := make([]string, len(plan))
+	for i, ev := range plan {
+		kinds[i] = ev.Kind.String()
+	}
+	h.logf("chaos: schedule: %s", strings.Join(kinds, " -> "))
+
+	if _, err := h.checker.Settle(ctx, chaosSettleTimeout); err != nil {
+		return fmt.Errorf("initial settle: %w", err)
+	}
+	if err := h.phase("baseline", false); err != nil {
+		return err
+	}
+	for i, ev := range plan {
+		h.logf("chaos: event %d/%d: %s", i+1, len(plan), ev.Kind)
+		if err := h.inject(ev); err != nil {
+			return fmt.Errorf("event %d (%s): %w", i+1, ev.Kind, err)
+		}
+		if err := h.phase(fmt.Sprintf("%d-%s", i+1, ev.Kind), true); err != nil {
+			return err
+		}
+	}
+
+	// Golden coda: the full circle the self-healing story promises is a
+	// failover landing leadership BACK on a member that was previously
+	// deposed and rejoined. The random schedule does not guarantee that
+	// ordering, so keep killing leaders (each one rejoins) until it
+	// happens — with three members, at most three more kills.
+	for i := 0; ; i++ {
+		m, err := h.currentLeader()
+		if err != nil {
+			return err
+		}
+		if h.rejoined[m.name] {
+			h.logf("chaos: golden: leadership landed back on previously-deposed %s", m.name)
+			break
+		}
+		if i >= len(h.members) {
+			return fmt.Errorf("golden coda: leadership never returned to a rejoined member")
+		}
+		h.logf("chaos: golden %d: leader %s has never been deposed — killing it", i+1, m.name)
+		if err := h.inject(chaos.Event{Kind: chaos.KillLeader}); err != nil {
+			return fmt.Errorf("golden kill %d: %w", i+1, err)
+		}
+		if err := h.phase(fmt.Sprintf("golden-%d", i+1), true); err != nil {
+			return err
+		}
+	}
+
+	// Quiesced now (every phase pool is closed): drive the snapshot
+	// barrier and require bitwise convergence across the group.
+	leader, err := h.checker.Settle(ctx, chaosSettleTimeout)
+	if err != nil {
+		return fmt.Errorf("final settle: %w", err)
+	}
+	if err := h.checker.WaitConverged(ctx, leader, chaosConvergeTimeout); err != nil {
+		return err
+	}
+	if h.tears > 0 && h.proxy.Torn() == 0 {
+		return fmt.Errorf("tear events ran but the proxy severed nothing")
+	}
+	return nil
+}
+
+// inject applies one fault and waits for the fleet to heal itself. The
+// harness never posts /promote, /demote or /rejoin — if the gateway does
+// not do it, the run fails.
+func (h *chaosHarness) inject(ev chaos.Event) error {
+	ctx := context.Background()
+	switch ev.Kind {
+	case chaos.KillLeader:
+		m, err := h.currentLeader()
+		if err != nil {
+			return err
+		}
+		h.logf("chaos: SIGKILL leader %s (pid %d)", m.name, m.proc.Pid())
+		if err := m.proc.Kill(); err != nil {
+			return err
+		}
+		if _, err := h.checker.Settle(ctx, chaosSettleTimeout); err != nil {
+			return fmt.Errorf("failover after killing %s: %w", m.name, err)
+		}
+		h.failovers++
+		// Restart the corpse with plain LEADER flags — what a dumb init
+		// system would do. It boots believing it still leads; the gateway
+		// must demote it and rejoin it as a tailing follower.
+		m.proc.Args = h.leaderArgs(m)
+		if err := m.proc.Start(); err != nil {
+			return err
+		}
+		h.logf("chaos: restarted %s as a stray leader (pid %d); waiting for the gateway to heal it", m.name, m.proc.Pid())
+		if err := h.checker.WaitRole(ctx, m.name, "replica", chaosHealTimeout); err != nil {
+			return fmt.Errorf("gateway never rejoined restarted %s: %w", m.name, err)
+		}
+		h.rejoins++
+		h.rejoined[m.name] = true
+		if _, err := h.checker.Settle(ctx, chaosSettleTimeout); err != nil {
+			return err
+		}
+
+	case chaos.StallLeader:
+		m, err := h.currentLeader()
+		if err != nil {
+			return err
+		}
+		h.logf("chaos: SIGSTOP leader %s for %v (pid %d)", m.name, ev.Stall, m.proc.Pid())
+		if err := m.proc.Stall(); err != nil {
+			return err
+		}
+		stallEnd := time.Now().Add(ev.Stall)
+		// The stalled process still completes TCP handshakes; only the
+		// gateway's request-level probe deadline can declare it dead.
+		if _, err := h.checker.Settle(ctx, chaosSettleTimeout); err != nil {
+			_ = m.proc.Resume()
+			return fmt.Errorf("failover after stalling %s: %w", m.name, err)
+		}
+		h.failovers++
+		if d := time.Until(stallEnd); d > 0 {
+			time.Sleep(d)
+		}
+		if err := m.proc.Resume(); err != nil {
+			return err
+		}
+		h.logf("chaos: SIGCONT %s; it wakes believing it leads — gateway must heal it", m.name)
+		if err := h.checker.WaitRole(ctx, m.name, "replica", chaosHealTimeout); err != nil {
+			return fmt.Errorf("gateway never rejoined resumed %s: %w", m.name, err)
+		}
+		h.rejoins++
+		h.rejoined[m.name] = true
+		if _, err := h.checker.Settle(ctx, chaosSettleTimeout); err != nil {
+			return err
+		}
+
+	case chaos.TearClients:
+		// Arm a mid-frame fuse for the next connection and let the phase
+		// tear the rest mid-flight; sessions must reconnect and resume.
+		h.proxy.TearNextAfter(512)
+		h.pendingTear = true
+		h.tears++
+	}
+	return nil
+}
+
+// currentLeader settles the fleet and maps the leader back to its Proc.
+func (h *chaosHarness) currentLeader() (*chaosMember, error) {
+	lm, err := h.checker.Settle(context.Background(), chaosSettleTimeout)
+	if err != nil {
+		return nil, err
+	}
+	for _, m := range h.members {
+		if m.name == lm.Name {
+			return m, nil
+		}
+	}
+	return nil, fmt.Errorf("settled leader %q is not a member", lm.Name)
+}
+
+// phase drives one load round through the proxy: every session steps
+// copt.steps times; with expectResumed every session must resume its
+// recorded token. Protocol errors and unresumed sessions fail the run.
+func (h *chaosHarness) phase(name string, expectResumed bool) error {
+	pool := serve.NewPool(serve.ClientConfig{
+		Addr:        h.proxy.Addr(),
+		Hello:       serve.HelloMsg{Topology: "chaos", N: h.opt.n, M: h.opt.m, Spouts: h.opt.spouts},
+		MaxAttempts: h.chaosAttempts(),
+		BaseBackoff: 50 * time.Millisecond,
+		MaxBackoff:  500 * time.Millisecond,
+		Proto:       h.opt.proto,
+	}, h.opt.sessions)
+	if expectResumed {
+		if len(h.tokens) != h.opt.sessions {
+			return fmt.Errorf("phase %s: %d recorded tokens, want %d", name, len(h.tokens), h.opt.sessions)
+		}
+		for i, tok := range h.tokens {
+			pool.Session(i).SetToken(tok)
+		}
+	}
+	// A tear phase slows each step down so the pool is still mid-stream
+	// when the cut lands; the tear goroutine waits for live connections
+	// instead of guessing a delay.
+	tearing := h.pendingTear
+	tornBefore := h.proxy.Torn()
+	var think time.Duration
+	if tearing {
+		h.pendingTear = false
+		think = 20 * time.Millisecond
+		go func() {
+			deadline := time.Now().Add(30 * time.Second)
+			for h.proxy.Live() <= h.opt.sessions/2 && time.Now().Before(deadline) {
+				time.Sleep(5 * time.Millisecond)
+			}
+			time.Sleep(30 * time.Millisecond) // land mid-stream, not on the hellos
+			h.proxy.Tear()
+		}()
+	}
+
+	var notResumed atomic.Int64
+	ctx, cancel := context.WithTimeout(context.Background(), chaosPhaseTimeout)
+	defer cancel()
+	runErr := pool.Run(ctx, func(ctx context.Context, i int, sess *serve.Session) error {
+		if expectResumed && !sess.Resumed() {
+			notResumed.Add(1)
+			return fmt.Errorf("session %d: daemon did not resume token %s", i, sess.Token())
+		}
+		rng := rand.New(rand.NewSource(h.opt.seed + int64(i)))
+		base := 100 + 900*rng.Float64()
+		meas := core.MeasurementMsg{AvgTupleTimeMS: 50, Workload: make([]float64, h.opt.spouts)}
+		for step := 0; step < h.copt.steps && ctx.Err() == nil; step++ {
+			for j := range meas.Workload {
+				meas.Workload[j] = base * (0.8 + 0.4*rng.Float64())
+			}
+			if _, err := sess.Step(ctx, meas); err != nil {
+				if benignEnd(err) {
+					return nil
+				}
+				return fmt.Errorf("session %d: %w", i, err)
+			}
+			meas.AvgTupleTimeMS = 30 + 40*rng.Float64()
+			if think > 0 {
+				select {
+				case <-time.After(think):
+				case <-ctx.Done():
+				}
+			}
+		}
+		return nil
+	})
+	stats := pool.Stats()
+	h.steps += stats.Steps.Load()
+	h.reconnects += stats.Reconnects.Load()
+	h.resumes += stats.Resumes.Load()
+	if runErr != nil && !benignEnd(runErr) {
+		return fmt.Errorf("phase %s: %w", name, runErr)
+	}
+	if ctx.Err() != nil {
+		return fmt.Errorf("phase %s: timed out after %v", name, chaosPhaseTimeout)
+	}
+	if n := stats.Errors.Load(); n > 0 {
+		return fmt.Errorf("phase %s: %d protocol errors", name, n)
+	}
+	if nr := notResumed.Load(); nr > 0 {
+		return fmt.Errorf("phase %s: %d/%d sessions not resumed", name, nr, h.opt.sessions)
+	}
+	if tearing && h.proxy.Torn() == tornBefore {
+		return fmt.Errorf("phase %s: tear event severed no live connection", name)
+	}
+	toks := make([]string, h.opt.sessions)
+	for i := range toks {
+		toks[i] = pool.Session(i).Token()
+		if toks[i] == "" {
+			return fmt.Errorf("phase %s: session %d finished without a resumption token", name, i)
+		}
+	}
+	h.tokens = toks
+	h.logf("chaos: phase %s: %d steps, %d reconnects, %d resumes, 0 errors",
+		name, stats.Steps.Load(), stats.Reconnects.Load(), stats.Resumes.Load())
+	return nil
+}
+
+// chaosAttempts is the per-step retry budget: wide enough to ride out a
+// detection window plus promotion plus rejoin traffic.
+func (h *chaosHarness) chaosAttempts() int {
+	if h.opt.maxAttempts > 0 {
+		return h.opt.maxAttempts
+	}
+	return 60
+}
+
+// startFleet spawns a (leader) + b, c (followers) + the gateway, waits
+// for everyone to report in, and parks the tear proxy in front.
+func (h *chaosHarness) startFleet() error {
+	ctx := context.Background()
+	for _, name := range []string{"a", "b", "c"} {
+		sess, err := chaosFreeAddr()
+		if err != nil {
+			return err
+		}
+		httpA, err := chaosFreeAddr()
+		if err != nil {
+			return err
+		}
+		repl, err := chaosFreeAddr()
+		if err != nil {
+			return err
+		}
+		mdir := filepath.Join(h.dir, name)
+		if err := os.MkdirAll(mdir, 0o755); err != nil {
+			return err
+		}
+		logF, err := os.Create(filepath.Join(h.dir, name+".log"))
+		if err != nil {
+			return err
+		}
+		h.logs = append(h.logs, logF)
+		m := &chaosMember{name: name, sess: sess, http: httpA, repl: repl, dir: mdir}
+		m.proc = &chaos.Proc{Name: name, Bin: h.copt.agentdBin, Log: logF}
+		h.members = append(h.members, m)
+	}
+	checkMembers := make([]chaos.Member, len(h.members))
+	for i, m := range h.members {
+		checkMembers[i] = chaos.Member{Name: m.name, Health: m.http}
+	}
+	h.checker = chaos.NewChecker(checkMembers, h.logf)
+
+	head := h.members[0]
+	head.proc.Args = h.leaderArgs(head)
+	if err := head.proc.Start(); err != nil {
+		return err
+	}
+	if err := h.checker.WaitRole(ctx, head.name, "leader", chaosHealTimeout); err != nil {
+		return fmt.Errorf("head never came up: %w", err)
+	}
+	for _, m := range h.members[1:] {
+		m.proc.Args = append(h.leaderArgs(m), "-replicate-from", head.repl)
+		if err := m.proc.Start(); err != nil {
+			return err
+		}
+	}
+	for _, m := range h.members[1:] {
+		if err := h.checker.WaitRole(ctx, m.name, "replica", chaosHealTimeout); err != nil {
+			return fmt.Errorf("follower %s never tailed: %w", m.name, err)
+		}
+	}
+
+	gwSess, err := chaosFreeAddr()
+	if err != nil {
+		return err
+	}
+	group := make([]string, len(h.members))
+	for i, m := range h.members {
+		group[i] = m.sess + "@" + m.http + "@" + m.repl
+	}
+	gwLog, err := os.Create(filepath.Join(h.dir, "gateway.log"))
+	if err != nil {
+		return err
+	}
+	h.logs = append(h.logs, gwLog)
+	h.gateway = &chaos.Proc{
+		Name: "gateway",
+		Bin:  h.copt.fleetBin,
+		Args: []string{
+			"-listen", gwSess,
+			"-group", strings.Join(group, ","),
+			"-health-interval", chaosHealthInterval.String(),
+			"-fail-threshold", strconv.Itoa(chaosFailThreshold),
+		},
+		Log: gwLog,
+	}
+	if err := h.gateway.Start(); err != nil {
+		return err
+	}
+	deadline := time.Now().Add(10 * time.Second)
+	for {
+		c, err := net.DialTimeout("tcp", gwSess, time.Second)
+		if err == nil {
+			c.Close()
+			break
+		}
+		if time.Now().After(deadline) {
+			return fmt.Errorf("gateway never accepted on %s: %v", gwSess, err)
+		}
+		time.Sleep(50 * time.Millisecond)
+	}
+	h.proxy, err = chaos.NewProxy(gwSess, h.logf)
+	if err != nil {
+		return err
+	}
+	h.logf("chaos: fleet up: a=%s b=%s c=%s gateway=%s proxy=%s (artifacts in %s)",
+		h.members[0].http, h.members[1].http, h.members[2].http, gwSess, h.proxy.Addr(), h.dir)
+	return nil
+}
+
+// leaderArgs are the member's ordinary flags, sans -replicate-from: a
+// durable learning leader. Restarts after a kill reuse these regardless
+// of what role the member held — the gateway owns role repair.
+func (h *chaosHarness) leaderArgs(m *chaosMember) []string {
+	return []string{
+		"-listen", m.sess,
+		"-http", m.http,
+		"-data-dir", m.dir,
+		"-repl-listen", m.repl,
+		"-learn",
+		"-seed", strconv.FormatInt(h.opt.seed, 10),
+		"-fsync-interval", "5ms",
+		// Long enough that the final explicit /snapshot barrier is the
+		// only snapshot in flight while convergence is checked.
+		"-snapshot-every", "30s",
+		"-train-interval", "50ms",
+	}
+}
+
+// teardown stops everything, resuming stalled processes first so they
+// can die; log files close after their writers are gone.
+func (h *chaosHarness) teardown() {
+	if h.proxy != nil {
+		h.proxy.Close()
+	}
+	if h.gateway != nil {
+		h.gateway.Stop()
+	}
+	for _, m := range h.members {
+		if m.proc != nil {
+			_ = m.proc.Resume()
+			m.proc.Stop()
+		}
+	}
+	for _, f := range h.logs {
+		f.Close()
+	}
+}
+
+// chaosFreeAddr reserves a loopback port by binding and releasing it.
+func chaosFreeAddr() (string, error) {
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		return "", err
+	}
+	addr := ln.Addr().String()
+	ln.Close()
+	return addr, nil
+}

@@ -88,6 +88,13 @@ func main() {
 		scenario  = flag.String("scenario", "", "NDJSON cluster scenario to replay (one session per topology; overrides -sessions/-n/-m/-spouts)")
 		timeScale = flag.Float64("time-scale", 60, "with -scenario: simulated ms advanced per wall-clock ms")
 		proto     = flag.String("proto", "auto", "wire framing: auto (binary hello, NDJSON fallback), binary (required), ndjson")
+
+		chaosMode  = flag.Bool("chaos", false, "spawn a 3-member replicated fleet behind a gateway and drive a seeded fault schedule against it (ignores -addr)")
+		agentdBin  = flag.String("agentd-bin", "", "agentd binary to spawn (with -chaos)")
+		fleetBin   = flag.String("agentfleet-bin", "", "agentfleet binary to spawn (with -chaos)")
+		chaosExtra = flag.Int("chaos-extra", 1, "random fault events beyond the mandatory kill/kill/stall/tear (with -chaos)")
+		chaosDir   = flag.String("chaos-dir", "", "work directory for daemon data and logs (with -chaos; empty = temp dir, removed on pass, kept on failure)")
+		chaosSteps = flag.Int("chaos-steps", 12, "steps per session per load phase (with -chaos)")
 	)
 	flag.Parse()
 	opt := options{
@@ -98,6 +105,12 @@ func main() {
 		maxAttempts: *maxAtt,
 		scenario:    *scenario, timeScale: *timeScale,
 		proto: *proto,
+	}
+	if *chaosMode {
+		os.Exit(runChaos(opt, chaosOptions{
+			agentdBin: *agentdBin, fleetBin: *fleetBin,
+			dir: *chaosDir, extra: *chaosExtra, steps: *chaosSteps,
+		}, os.Stdout))
 	}
 	if opt.scenario != "" {
 		os.Exit(runScenario(opt, os.Stdout))

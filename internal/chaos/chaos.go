@@ -1,0 +1,111 @@
+// Package chaos is the fault-injection harness behind `loadgen -chaos`:
+// seeded, randomized-but-reproducible fault schedules against a live
+// replicated agentd fleet, with the invariants the self-healing story
+// promises checked after every event.
+//
+// The harness owns three fault primitives:
+//
+//   - Proc: a spawned daemon process it can SIGKILL (crash without
+//     flushing), SIGSTOP/SIGCONT (a stalled-but-alive leader — the
+//     failure a connect-only health check cannot see), and restart.
+//   - Proxy: a byte-level TCP relay in front of the gateway that tears
+//     live connections mid-frame, so clients exercise the torn-tail
+//     reconnect path rather than clean FIN shutdowns.
+//   - Plan: a seeded schedule over those primitives. The same seed
+//     replays the same schedule; the seed is printed so a CI failure is
+//     reproducible locally with one flag.
+//
+// The Checker polls every member's /healthz control surface and holds
+// the fleet to the invariants that make the chaos run a proof rather
+// than a stress test: at most one serving leader at any probe, exactly
+// one once the fleet has settled after an event, per-member replication
+// generations that never move backwards, and — at the final quiesced
+// barrier — bitwise-identical weight checksums across the group
+// (/checksums). Token resumption and protocol-error counting live with
+// the load driver (cmd/loadgen), which owns the client sessions.
+package chaos
+
+import (
+	"math/rand"
+	"time"
+)
+
+// Kind is one fault class in a schedule.
+type Kind int
+
+const (
+	// KillLeader SIGKILLs the current leader (no flush, no final
+	// snapshot), waits for the gateway to fail over, then restarts the
+	// dead member with its ordinary leader flags — the restarted stray
+	// must be demoted and rejoined by the gateway, not by an operator.
+	KillLeader Kind = iota
+	// StallLeader SIGSTOPs the current leader for Stall: the kernel keeps
+	// completing TCP handshakes while the process answers nothing, so
+	// only a request-level health deadline can declare it dead. After the
+	// failover the process is SIGCONTed and must be healed back in as a
+	// follower.
+	StallLeader
+	// TearClients severs every client connection flowing through the
+	// harness proxy mid-byte, and arms a mid-frame tear on the next
+	// connection. Sessions must reconnect and resume with zero protocol
+	// errors.
+	TearClients
+)
+
+// String names the fault for logs.
+func (k Kind) String() string {
+	switch k {
+	case KillLeader:
+		return "kill-leader"
+	case StallLeader:
+		return "stall-leader"
+	case TearClients:
+		return "tear-clients"
+	default:
+		return "unknown"
+	}
+}
+
+// Event is one scheduled fault.
+type Event struct {
+	Kind Kind
+	// Stall is how long a StallLeader event holds the process stopped;
+	// zero for other kinds.
+	Stall time.Duration
+}
+
+// Plan builds a seeded fault schedule: the base set every run must
+// contain — two leader kills (two full failovers plus two automatic
+// rejoins of the restarted members), one stall (the failure mode that
+// distinguishes request-level liveness from connect-level), and one
+// client-side tear — plus extra additional random events, shuffled
+// deterministically. Stall durations are drawn from [minStall,
+// maxStall]. The same (seed, extra, minStall, maxStall) always yields
+// the same schedule.
+func Plan(seed int64, extra int, minStall, maxStall time.Duration) []Event {
+	rng := rand.New(rand.NewSource(seed))
+	stall := func() time.Duration {
+		if maxStall <= minStall {
+			return minStall
+		}
+		return minStall + time.Duration(rng.Int63n(int64(maxStall-minStall)+1))
+	}
+	events := []Event{
+		{Kind: KillLeader},
+		{Kind: KillLeader},
+		{Kind: StallLeader, Stall: stall()},
+		{Kind: TearClients},
+	}
+	for i := 0; i < extra; i++ {
+		switch rng.Intn(3) {
+		case 0:
+			events = append(events, Event{Kind: KillLeader})
+		case 1:
+			events = append(events, Event{Kind: StallLeader, Stall: stall()})
+		default:
+			events = append(events, Event{Kind: TearClients})
+		}
+	}
+	rng.Shuffle(len(events), func(i, j int) { events[i], events[j] = events[j], events[i] })
+	return events
+}

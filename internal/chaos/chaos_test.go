@@ -1,0 +1,212 @@
+package chaos
+
+import (
+	"bytes"
+	"io"
+	"net"
+	"reflect"
+	"testing"
+	"time"
+)
+
+// TestPlanSeededAndComplete: the same seed yields the same schedule, a
+// different seed (almost surely) a different order, and every plan
+// carries the mandatory fault mix — two kills, a stall, a tear.
+func TestPlanSeededAndComplete(t *testing.T) {
+	a := Plan(42, 3, 500*time.Millisecond, time.Second)
+	b := Plan(42, 3, 500*time.Millisecond, time.Second)
+	if !reflect.DeepEqual(a, b) {
+		t.Fatalf("same seed, different plans:\n%v\n%v", a, b)
+	}
+	counts := map[Kind]int{}
+	for _, ev := range a {
+		counts[ev.Kind]++
+		if ev.Kind == StallLeader {
+			if ev.Stall < 500*time.Millisecond || ev.Stall > time.Second {
+				t.Fatalf("stall %v outside [500ms, 1s]", ev.Stall)
+			}
+		} else if ev.Stall != 0 {
+			t.Fatalf("%v event carries a stall duration", ev.Kind)
+		}
+	}
+	if counts[KillLeader] < 2 || counts[StallLeader] < 1 || counts[TearClients] < 1 {
+		t.Fatalf("plan misses mandatory faults: %v", counts)
+	}
+	if len(a) != 4+3 {
+		t.Fatalf("plan has %d events, want 7", len(a))
+	}
+}
+
+// echoBackend accepts connections and echoes bytes until closed.
+func echoBackend(t *testing.T) net.Listener {
+	t.Helper()
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	go func() {
+		for {
+			conn, err := ln.Accept()
+			if err != nil {
+				return
+			}
+			go func(c net.Conn) {
+				defer c.Close()
+				io.Copy(c, c)
+			}(conn)
+		}
+	}()
+	t.Cleanup(func() { ln.Close() })
+	return ln
+}
+
+// TestProxyRelaysAndTears: bytes flow verbatim through the proxy, Tear
+// severs a live connection mid-stream, and a fresh connection works
+// afterwards (tearing is per-connection, not fatal to the proxy).
+func TestProxyRelaysAndTears(t *testing.T) {
+	backend := echoBackend(t)
+	p, err := NewProxy(backend.Addr().String(), t.Logf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer p.Close()
+
+	conn, err := net.Dial("tcp", p.Addr())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer conn.Close()
+	conn.SetDeadline(time.Now().Add(10 * time.Second))
+	msg := []byte("through-the-proxy\n")
+	if _, err := conn.Write(msg); err != nil {
+		t.Fatal(err)
+	}
+	got := make([]byte, len(msg))
+	if _, err := io.ReadFull(conn, got); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(got, msg) {
+		t.Fatalf("relayed %q, want %q", got, msg)
+	}
+	if n := p.Live(); n != 1 {
+		t.Fatalf("Live() = %d with one relayed connection, want 1", n)
+	}
+
+	if n := p.Tear(); n != 1 {
+		t.Fatalf("Tear cut %d connections, want 1", n)
+	}
+	if _, err := conn.Read(make([]byte, 1)); err == nil {
+		t.Fatal("read on a torn connection succeeded")
+	}
+
+	// The proxy still accepts and relays after a tear.
+	conn2, err := net.Dial("tcp", p.Addr())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer conn2.Close()
+	conn2.SetDeadline(time.Now().Add(10 * time.Second))
+	if _, err := conn2.Write(msg); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := io.ReadFull(conn2, got); err != nil {
+		t.Fatalf("relay after tear: %v", err)
+	}
+}
+
+// TestProxyFuseSeversMidStream: an armed fuse severs the next connection
+// after the byte budget, leaving later connections untouched.
+func TestProxyFuseSeversMidStream(t *testing.T) {
+	backend := echoBackend(t)
+	p, err := NewProxy(backend.Addr().String(), t.Logf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer p.Close()
+
+	p.TearNextAfter(64)
+	conn, err := net.Dial("tcp", p.Addr())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer conn.Close()
+	conn.SetDeadline(time.Now().Add(10 * time.Second))
+	// Push well past the budget; the echo path doubles the byte count, so
+	// the fuse must blow long before everything comes back.
+	payload := bytes.Repeat([]byte("x"), 4096)
+	torn := false
+	for i := 0; i < 64; i++ {
+		if _, err := conn.Write(payload); err != nil {
+			torn = true
+			break
+		}
+		buf := make([]byte, len(payload))
+		if _, err := io.ReadFull(conn, buf); err != nil {
+			torn = true
+			break
+		}
+	}
+	if !torn {
+		t.Fatal("fused connection survived 256KiB past a 64-byte budget")
+	}
+	if p.Torn() == 0 {
+		t.Fatal("fuse sever not counted")
+	}
+
+	// The fuse was consumed: the next connection relays unbounded.
+	conn2, err := net.Dial("tcp", p.Addr())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer conn2.Close()
+	conn2.SetDeadline(time.Now().Add(10 * time.Second))
+	for i := 0; i < 8; i++ {
+		if _, err := conn2.Write(payload); err != nil {
+			t.Fatalf("post-fuse write %d: %v", i, err)
+		}
+		buf := make([]byte, len(payload))
+		if _, err := io.ReadFull(conn2, buf); err != nil {
+			t.Fatalf("post-fuse read %d: %v", i, err)
+		}
+	}
+}
+
+// TestProcLifecycle: start, stall (still alive), resume, kill (dead),
+// restart — the primitive sequence every chaos schedule is built from.
+func TestProcLifecycle(t *testing.T) {
+	// Signal the target directly (no shell in between: sh does not forward
+	// SIGTERM, which would orphan the child and leak it past the test).
+	p := &Proc{Name: "sleeper", Bin: "/bin/sleep", Args: []string{"60"}, Log: io.Discard}
+	if err := p.Start(); err != nil {
+		t.Fatal(err)
+	}
+	defer p.Stop()
+	if !p.Alive() {
+		t.Fatal("started process not alive")
+	}
+	if err := p.Start(); err == nil {
+		t.Fatal("double Start succeeded")
+	}
+	if err := p.Stall(); err != nil {
+		t.Fatal(err)
+	}
+	if !p.Alive() {
+		t.Fatal("SIGSTOPped process reported dead")
+	}
+	if err := p.Resume(); err != nil {
+		t.Fatal(err)
+	}
+	if err := p.Kill(); err != nil {
+		t.Fatal(err)
+	}
+	if p.Alive() {
+		t.Fatal("SIGKILLed process reported alive")
+	}
+	if err := p.Start(); err != nil {
+		t.Fatalf("restart after kill: %v", err)
+	}
+	if !p.Alive() {
+		t.Fatal("restarted process not alive")
+	}
+	p.Stop()
+}

@@ -1,0 +1,290 @@
+package chaos
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"sort"
+	"strings"
+	"time"
+)
+
+// Member is one fleet member's control surface, as the checker sees it.
+type Member struct {
+	Name   string
+	Health string // host:port of the daemon's HTTP control surface
+}
+
+// Health is one /healthz probe result. A member that did not answer has
+// OK false and zero values everywhere else.
+type Health struct {
+	OK         bool
+	Role       string // "leader", "replica", "demoted"
+	Generation int64
+	ReplLag    int64
+}
+
+// Checker polls the members and enforces the run's structural
+// invariants. It is the difference between a chaos run and a stress
+// test: every fault is followed by a Settle that proves the fleet
+// healed itself, and a generation regression at any probe fails the run
+// immediately — monotone generations are what make "exactly one leader"
+// meaningful across failovers.
+type Checker struct {
+	Members []Member
+	Logf    func(string, ...any)
+
+	client  *http.Client
+	lastGen map[string]int64
+}
+
+// NewChecker builds a checker over members.
+func NewChecker(members []Member, logf func(string, ...any)) *Checker {
+	if logf == nil {
+		logf = func(string, ...any) {}
+	}
+	return &Checker{
+		Members: members,
+		Logf:    logf,
+		client:  &http.Client{Timeout: 2 * time.Second},
+		lastGen: map[string]int64{},
+	}
+}
+
+// Probe GETs one member's /healthz.
+func (c *Checker) Probe(m Member) Health {
+	resp, err := c.client.Get("http://" + m.Health + "/healthz")
+	if err != nil {
+		return Health{}
+	}
+	defer resp.Body.Close()
+	var body struct {
+		Role       string `json:"role"`
+		Generation int64  `json:"generation"`
+		ReplLag    int64  `json:"repl_lag_records"`
+	}
+	if err := json.NewDecoder(io.LimitReader(resp.Body, 4096)).Decode(&body); err != nil {
+		return Health{}
+	}
+	return Health{
+		OK:         resp.StatusCode == http.StatusOK,
+		Role:       body.Role,
+		Generation: body.Generation,
+		ReplLag:    body.ReplLag,
+	}
+}
+
+// probeAll probes every member and enforces generation monotonicity: a
+// member whose generation moved backwards since any earlier probe is a
+// split-generation bug, terminal for the run.
+func (c *Checker) probeAll() (map[string]Health, error) {
+	hs := make(map[string]Health, len(c.Members))
+	for _, m := range c.Members {
+		h := c.Probe(m)
+		hs[m.Name] = h
+		if !h.OK {
+			continue
+		}
+		if last, seen := c.lastGen[m.Name]; seen && h.Generation < last {
+			return hs, fmt.Errorf("chaos: generation regressed on %s: %d -> %d", m.Name, last, h.Generation)
+		}
+		c.lastGen[m.Name] = h.Generation
+	}
+	return hs, nil
+}
+
+// describe formats a probe map for error messages, sorted by name.
+func describe(hs map[string]Health) string {
+	names := make([]string, 0, len(hs))
+	for n := range hs {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	var b strings.Builder
+	for _, n := range names {
+		h := hs[n]
+		if !h.OK {
+			fmt.Fprintf(&b, "%s=down ", n)
+			continue
+		}
+		fmt.Fprintf(&b, "%s=%s(gen %d, lag %d) ", n, h.Role, h.Generation, h.ReplLag)
+	}
+	return strings.TrimSpace(b.String())
+}
+
+// Settle waits until the fleet has converged after a fault: exactly one
+// responding member is the leader and every other responding member is
+// an unpromoted replica — no demoted stragglers, no second leader.
+// Generations are checked at every poll. Members that do not respond
+// (killed, stalled) are excluded; the caller decides whether that is
+// expected. Returns the settled leader.
+func (c *Checker) Settle(ctx context.Context, timeout time.Duration) (Member, error) {
+	deadline := time.Now().Add(timeout)
+	var last map[string]Health
+	for time.Now().Before(deadline) && ctx.Err() == nil {
+		hs, err := c.probeAll()
+		if err != nil {
+			return Member{}, err
+		}
+		last = hs
+		leaders := 0
+		var leader Member
+		settled := true
+		for _, m := range c.Members {
+			h := hs[m.Name]
+			if !h.OK {
+				continue
+			}
+			switch h.Role {
+			case "leader":
+				leaders++
+				leader = m
+			case "replica":
+			default:
+				settled = false // demoted (or unknown): healing not finished
+			}
+		}
+		if settled && leaders == 1 {
+			return leader, nil
+		}
+		time.Sleep(50 * time.Millisecond)
+	}
+	if ctx.Err() != nil {
+		return Member{}, ctx.Err()
+	}
+	return Member{}, fmt.Errorf("chaos: fleet did not settle within %v: %s", timeout, describe(last))
+}
+
+// WaitRole waits until one member responds with the wanted role —
+// "replica" after a heal, "leader" after a promotion. Generation
+// monotonicity is enforced along the way.
+func (c *Checker) WaitRole(ctx context.Context, name, role string, timeout time.Duration) error {
+	deadline := time.Now().Add(timeout)
+	var member *Member
+	for i := range c.Members {
+		if c.Members[i].Name == name {
+			member = &c.Members[i]
+		}
+	}
+	if member == nil {
+		return fmt.Errorf("chaos: unknown member %q", name)
+	}
+	var last Health
+	for time.Now().Before(deadline) && ctx.Err() == nil {
+		hs, err := c.probeAll()
+		if err != nil {
+			return err
+		}
+		last = hs[name]
+		if last.OK && last.Role == role {
+			return nil
+		}
+		time.Sleep(50 * time.Millisecond)
+	}
+	if ctx.Err() != nil {
+		return ctx.Err()
+	}
+	return fmt.Errorf("chaos: %s never reached role %q within %v (last: ok=%v role=%q)",
+		name, role, timeout, last.OK, last.Role)
+}
+
+// Checksums fetches one member's /checksums: live trainer sums and the
+// sums of the last snapshot barrier it captured or applied, per model
+// key, as %016x strings.
+func (c *Checker) Checksums(m Member) (live, snapshot map[string][2]string, err error) {
+	resp, err := c.client.Get("http://" + m.Health + "/checksums")
+	if err != nil {
+		return nil, nil, err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return nil, nil, fmt.Errorf("chaos: %s /checksums: status %d", m.Name, resp.StatusCode)
+	}
+	var body struct {
+		Live     map[string][2]string `json:"live"`
+		Snapshot map[string][2]string `json:"snapshot"`
+	}
+	if err := json.NewDecoder(io.LimitReader(resp.Body, 1<<20)).Decode(&body); err != nil {
+		return nil, nil, err
+	}
+	return body.Live, body.Snapshot, nil
+}
+
+// PostControl POSTs a control path (/snapshot, /promote, ...) to m.
+func (c *Checker) PostControl(m Member, path string) error {
+	resp, err := c.client.Post("http://"+m.Health+path, "", nil)
+	if err != nil {
+		return err
+	}
+	body, _ := io.ReadAll(io.LimitReader(resp.Body, 1024))
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return fmt.Errorf("chaos: %s %s: status %d: %s", m.Name, path, resp.StatusCode, body)
+	}
+	return nil
+}
+
+// WaitConverged drives the final bitwise-convergence barrier: POST
+// /snapshot on the leader, then wait until every follower in members
+// (responding members other than the leader) reports snapshot sums
+// equal to the leader's AND live sums equal to its own snapshot sums —
+// i.e. the barrier propagated byte-exactly and nothing trained against
+// it. The leader's live sums are deliberately NOT compared: its trainer
+// keeps moving after the barrier.
+func (c *Checker) WaitConverged(ctx context.Context, leader Member, timeout time.Duration) error {
+	if err := c.PostControl(leader, "/snapshot"); err != nil {
+		return fmt.Errorf("chaos: snapshot barrier: %w", err)
+	}
+	deadline := time.Now().Add(timeout)
+	var lastErr error
+	for time.Now().Before(deadline) && ctx.Err() == nil {
+		lastErr = c.convergedOnce(leader)
+		if lastErr == nil {
+			return nil
+		}
+		time.Sleep(100 * time.Millisecond)
+	}
+	if ctx.Err() != nil {
+		return ctx.Err()
+	}
+	return fmt.Errorf("chaos: group never converged within %v: %w", timeout, lastErr)
+}
+
+func (c *Checker) convergedOnce(leader Member) error {
+	_, leaderSnap, err := c.Checksums(leader)
+	if err != nil {
+		return err
+	}
+	if len(leaderSnap) == 0 {
+		return fmt.Errorf("leader %s has no snapshot checksums", leader.Name)
+	}
+	checked := 0
+	for _, m := range c.Members {
+		if m.Name == leader.Name {
+			continue
+		}
+		h := c.Probe(m)
+		if !h.OK || h.Role != "replica" {
+			continue // down or not following; not part of the barrier
+		}
+		live, snap, err := c.Checksums(m)
+		if err != nil {
+			return err
+		}
+		for key, want := range leaderSnap {
+			if got := snap[key]; got != want {
+				return fmt.Errorf("%s snapshot sums for %s = %v, leader's barrier %v", m.Name, key, got, want)
+			}
+			if got := live[key]; got != want {
+				return fmt.Errorf("%s live sums for %s = %v diverged from the barrier %v", m.Name, key, got, want)
+			}
+		}
+		checked++
+	}
+	if checked == 0 {
+		return fmt.Errorf("no responding follower to check against leader %s", leader.Name)
+	}
+	return nil
+}

@@ -1,0 +1,148 @@
+package chaos
+
+import (
+	"fmt"
+	"io"
+	"os/exec"
+	"sync"
+	"syscall"
+	"time"
+)
+
+// Proc is one spawned daemon under chaos control. It exists to deliver
+// the two fault signals a polite in-process shutdown cannot model:
+// SIGKILL (death between fsyncs — nothing flushes, nothing drains) and
+// SIGSTOP (alive to the kernel, dead to every request). Restarting a
+// killed Proc re-runs the same binary with the same arguments, which is
+// exactly what an init system would do — and what turns a dead leader
+// into a stray one the fleet must heal.
+type Proc struct {
+	// Name labels the process in logs ("a", "b", "gateway").
+	Name string
+	// Bin and Args are the command line; Log receives stdout+stderr.
+	Bin  string
+	Args []string
+	Log  io.Writer
+
+	mu   sync.Mutex
+	cmd  *exec.Cmd
+	done chan struct{} // closed when Wait returns for the current cmd
+}
+
+// Start launches (or relaunches) the process. The previous incarnation,
+// if any, must be dead.
+func (p *Proc) Start() error {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	if p.cmd != nil && p.alive() {
+		return fmt.Errorf("chaos: %s already running (pid %d)", p.Name, p.cmd.Process.Pid)
+	}
+	cmd := exec.Command(p.Bin, p.Args...)
+	cmd.Stdout = p.Log
+	cmd.Stderr = p.Log
+	if err := cmd.Start(); err != nil {
+		return fmt.Errorf("chaos: start %s: %w", p.Name, err)
+	}
+	done := make(chan struct{})
+	go func() {
+		_ = cmd.Wait() // chaos kills on purpose; the exit status is not a verdict
+		close(done)
+	}()
+	p.cmd, p.done = cmd, done
+	return nil
+}
+
+// Pid returns the current process id (0 when never started).
+func (p *Proc) Pid() int {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	if p.cmd == nil {
+		return 0
+	}
+	return p.cmd.Process.Pid
+}
+
+// alive reports liveness; callers hold p.mu.
+func (p *Proc) alive() bool {
+	if p.cmd == nil {
+		return false
+	}
+	select {
+	case <-p.done:
+		return false
+	default:
+		return true
+	}
+}
+
+// Alive reports whether the current incarnation is still running. A
+// SIGSTOPped process is alive.
+func (p *Proc) Alive() bool {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	return p.alive()
+}
+
+// signal delivers sig to the current incarnation.
+func (p *Proc) signal(sig syscall.Signal) error {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	if p.cmd == nil {
+		return fmt.Errorf("chaos: %s never started", p.Name)
+	}
+	return p.cmd.Process.Signal(sig)
+}
+
+// Kill SIGKILLs the process and waits for the kernel to reap it: no
+// flush, no drain snapshot, no goodbye — the crash the WAL exists for.
+// A SIGSTOPped process is killable (SIGKILL cannot be blocked), so Kill
+// needs no Resume first.
+func (p *Proc) Kill() error {
+	if err := p.signal(syscall.SIGKILL); err != nil {
+		return err
+	}
+	p.mu.Lock()
+	done := p.done
+	p.mu.Unlock()
+	select {
+	case <-done:
+		return nil
+	case <-time.After(10 * time.Second):
+		return fmt.Errorf("chaos: %s did not die within 10s of SIGKILL", p.Name)
+	}
+}
+
+// Stall SIGSTOPs the process: sockets stay open, handshakes complete,
+// requests hang. The stalled-leader failure mode.
+func (p *Proc) Stall() error { return p.signal(syscall.SIGSTOP) }
+
+// Resume SIGCONTs a stalled process.
+func (p *Proc) Resume() error { return p.signal(syscall.SIGCONT) }
+
+// Stop ends the process for cleanup: SIGTERM, a grace period, then
+// SIGKILL. Unlike Kill it is not a fault — it is how the harness exits.
+func (p *Proc) Stop() {
+	p.mu.Lock()
+	cmd, done := p.cmd, p.done
+	p.mu.Unlock()
+	if cmd == nil {
+		return
+	}
+	select {
+	case <-done:
+		return
+	default:
+	}
+	_ = cmd.Process.Signal(syscall.SIGTERM)
+	select {
+	case <-done:
+	case <-time.After(5 * time.Second):
+		_ = cmd.Process.Kill()
+		select {
+		case <-done:
+		case <-time.After(10 * time.Second):
+			// Wait can outlive the process when an orphaned grandchild
+			// holds the stdout pipe open; cleanup must not hang on it.
+		}
+	}
+}

@@ -1,0 +1,191 @@
+package chaos
+
+import (
+	"fmt"
+	"net"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// Proxy is a byte-level TCP relay the chaos harness parks between the
+// clients and the gateway. It forwards bytes verbatim — sessions run
+// through it untouched — until told to misbehave:
+//
+//   - Tear() closes every live relayed connection immediately, in
+//     whatever mid-frame state the streams happen to be. Clients see a
+//     torn transport, not a clean shutdown.
+//   - TearNextAfter(n) arms a fuse for the NEXT accepted connection:
+//     after about n relayed bytes (counting both directions) the pair is
+//     severed. That lands the cut inside a frame deterministically-ish,
+//     which a whole-connection Tear alone cannot guarantee.
+//
+// Either way the client's next read or write fails and its reconnect
+// path — redial, hello with resumption token, resume — is what the
+// harness is actually testing.
+type Proxy struct {
+	target string
+	logf   func(string, ...any)
+	ln     net.Listener
+
+	mu     sync.Mutex
+	conns  map[net.Conn]net.Conn // client -> backend, live pairs
+	fuse   int64                 // armed byte budget for the next accept; 0 = none
+	torn   int64
+	closed bool
+}
+
+// NewProxy starts a relay on a fresh loopback port toward target.
+func NewProxy(target string, logf func(string, ...any)) (*Proxy, error) {
+	if logf == nil {
+		logf = func(string, ...any) {}
+	}
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		return nil, fmt.Errorf("chaos: proxy listen: %w", err)
+	}
+	p := &Proxy{target: target, logf: logf, ln: ln, conns: map[net.Conn]net.Conn{}}
+	go p.acceptLoop()
+	return p, nil
+}
+
+// Addr is the address clients dial instead of the gateway.
+func (p *Proxy) Addr() string { return p.ln.Addr().String() }
+
+// Torn reports how many connections have been severed so far.
+func (p *Proxy) Torn() int64 {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	return p.torn
+}
+
+// Live reports how many relayed connection pairs are currently open —
+// what a Tear would cut. Harnesses wait on this before tearing so the
+// cut lands on live traffic instead of an already-drained pool.
+func (p *Proxy) Live() int {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	return len(p.conns)
+}
+
+// TearNextAfter arms the mid-frame fuse: the next accepted connection is
+// severed after about n relayed bytes.
+func (p *Proxy) TearNextAfter(n int64) {
+	p.mu.Lock()
+	p.fuse = n
+	p.mu.Unlock()
+}
+
+// Tear severs every live relayed connection and returns how many pairs
+// it cut.
+func (p *Proxy) Tear() int {
+	p.mu.Lock()
+	n := len(p.conns)
+	for c, b := range p.conns {
+		c.Close()
+		b.Close()
+	}
+	p.torn += int64(n)
+	p.mu.Unlock()
+	if n > 0 {
+		p.logf("chaos: proxy tore %d live connections", n)
+	}
+	return n
+}
+
+// Close stops accepting and severs everything.
+func (p *Proxy) Close() {
+	p.mu.Lock()
+	p.closed = true
+	p.mu.Unlock()
+	p.ln.Close()
+	p.Tear()
+}
+
+func (p *Proxy) acceptLoop() {
+	for {
+		client, err := p.ln.Accept()
+		if err != nil {
+			return
+		}
+		p.mu.Lock()
+		fuse := p.fuse
+		p.fuse = 0
+		closed := p.closed
+		p.mu.Unlock()
+		if closed {
+			client.Close()
+			return
+		}
+		go p.relay(client, fuse)
+	}
+}
+
+// relay dials the backend and splices bytes both ways. A non-zero fuse
+// is a shared countdown across both directions; hitting zero severs the
+// pair wherever the streams happen to be.
+func (p *Proxy) relay(client net.Conn, fuse int64) {
+	backend, err := net.DialTimeout("tcp", p.target, 5*time.Second)
+	if err != nil {
+		p.logf("chaos: proxy dial %s: %v", p.target, err)
+		client.Close()
+		return
+	}
+	p.mu.Lock()
+	if p.closed {
+		p.mu.Unlock()
+		client.Close()
+		backend.Close()
+		return
+	}
+	p.conns[client] = backend
+	p.mu.Unlock()
+
+	var budget *atomic.Int64
+	if fuse > 0 {
+		budget = &atomic.Int64{}
+		budget.Store(fuse)
+	}
+	sever := func(fused bool) {
+		// Bookkeeping first: the instant the close lands, the client side
+		// can observe the tear and ask Torn() — the count must already be
+		// there.
+		p.mu.Lock()
+		if _, live := p.conns[client]; live {
+			delete(p.conns, client)
+			if fused {
+				p.torn++
+			}
+		}
+		p.mu.Unlock()
+		client.Close()
+		backend.Close()
+	}
+	var wg sync.WaitGroup
+	pump := func(dst, src net.Conn) {
+		defer wg.Done()
+		buf := make([]byte, 512) // small reads: a fused cut lands mid-frame, not on a frame boundary
+		for {
+			n, err := src.Read(buf)
+			if n > 0 {
+				if _, werr := dst.Write(buf[:n]); werr != nil {
+					sever(false)
+					return
+				}
+				if budget != nil && budget.Add(int64(-n)) <= 0 {
+					p.logf("chaos: proxy fuse blew after budget on %s", client.RemoteAddr())
+					sever(true)
+					return
+				}
+			}
+			if err != nil {
+				sever(false)
+				return
+			}
+		}
+	}
+	wg.Add(2)
+	go pump(backend, client)
+	go pump(client, backend)
+	wg.Wait()
+}

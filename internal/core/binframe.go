@@ -181,6 +181,11 @@ func AppendHelloBin(b []byte, h *HelloMsg) []byte {
 	b = appendU64(b, uint64(int64(h.M)))
 	b = appendU64(b, uint64(int64(h.Spouts)))
 	b = appendBinString(b, h.Token)
+	var flags byte
+	if h.ReadOnly {
+		flags |= 1
+	}
+	b = append(b, flags)
 	return endBinFrame(b, start)
 }
 
@@ -325,6 +330,14 @@ func DecodeHelloBin(p []byte, h *HelloMsg) error {
 	h.M = c.int()
 	h.Spouts = c.int()
 	h.Token = c.str()
+	flags := c.u8()
+	if flags&^1 != 0 {
+		// Unknown flag bits are rejected rather than ignored: every valid
+		// payload has exactly one encoding, so re-encoding a decoded frame
+		// must reproduce its bytes.
+		c.bad = true
+	}
+	h.ReadOnly = flags&1 != 0
 	return c.done()
 }
 

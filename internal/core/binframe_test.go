@@ -17,6 +17,8 @@ func TestBinaryCodecRoundTrips(t *testing.T) {
 		{Topology: "wordcount", N: 12, M: 4, Spouts: 2},
 		{Topology: "q\"uo\\te\nme", N: -3, M: 1 << 40, Spouts: 0, Token: "s0ffee"},
 		{Token: "fleet-deadbeef"},
+		{Topology: "follower-read", N: 6, M: 3, Spouts: 2, Token: "warm", ReadOnly: true},
+		{ReadOnly: true},
 	}
 	for _, h := range hellos {
 		frame := AppendHelloBin(nil, &h)
@@ -171,6 +173,15 @@ func TestDecodeBinRejectsMalformedPayloads(t *testing.T) {
 	if err := DecodeHelloBin([]byte{0xff, 0xff, 0xff, 0x7f, 'x'}, &h); err == nil {
 		t.Fatal("runaway string length decoded cleanly")
 	}
+	// Unknown hello flag bits (beyond ReadOnly) are rejected too: a newer
+	// peer's extension must not be silently dropped on re-encode.
+	hello := HelloMsg{Topology: "t", N: 2, M: 1, Spouts: 1, ReadOnly: true}
+	hframe := AppendHelloBin(nil, &hello)
+	hpayload := append([]byte(nil), hframe[6:len(hframe)-1]...)
+	hpayload[len(hpayload)-1] |= 2 // flags is the hello payload's last byte
+	if err := DecodeHelloBin(hpayload, &h); err == nil {
+		t.Fatal("unknown hello flag bits decoded cleanly")
+	}
 }
 
 // TestWireNegotiation drives both framings through the Wire layer over
@@ -179,7 +190,7 @@ func TestWireNegotiation(t *testing.T) {
 	for _, binary := range []bool{false, true} {
 		var wire bytes.Buffer
 		w := NewWire(bufio.NewReader(&wire), &wire, 1<<20, binary)
-		hello := HelloMsg{Topology: "t", N: 4, M: 2, Spouts: 1, Token: "s9"}
+		hello := HelloMsg{Topology: "t", N: 4, M: 2, Spouts: 1, Token: "s9", ReadOnly: true}
 		if err := w.WriteHello(&hello); err != nil {
 			t.Fatalf("binary=%v: write hello: %v", binary, err)
 		}

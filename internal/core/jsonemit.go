@@ -27,6 +27,9 @@ func AppendHelloJSON(b []byte, h *HelloMsg) []byte {
 		b = append(b, `,"token":`...)
 		b = appendJSONString(b, h.Token)
 	}
+	if h.ReadOnly {
+		b = append(b, `,"readonly":true`...)
+	}
 	return append(b, '}')
 }
 

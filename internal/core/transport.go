@@ -87,6 +87,12 @@ type HelloMsg struct {
 	// starts a fresh session under that token instead of failing, so a
 	// reconnecting scheduler degrades to a cold start, never to an error.
 	Token string `json:"token,omitempty"`
+	// ReadOnly asks for an inference-only session: the daemon answers
+	// state→action requests from its current weights but journals
+	// nothing, learns nothing, and issues no resumption state. Replicas
+	// accept read-only sessions while tailing a leader (follower reads),
+	// serving from their continuously-warm weights.
+	ReadOnly bool `json:"readonly,omitempty"`
 }
 
 // Deployer is the custom scheduler's view of the DSDPS: deploy a solution

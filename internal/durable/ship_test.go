@@ -443,6 +443,11 @@ func TestLogBarrierBlocksUntilDrainNoStraddle(t *testing.T) {
 	}
 	// Park the writer: it dequeues this record, then blocks on the gate.
 	lg.Append(testRecord(0))
+	// Wait until the writer has actually dequeued it and parked — only a
+	// parked writer keeps the ops queue full once overflowed. If the
+	// overflow below ran first, the writer's eventual dequeue would free a
+	// slot and let the blocking append slip in ahead of the stall.
+	waitUntil(t, "writer parked at the gate", func() bool { return len(lg.ops) == 0 })
 	// Overflow the 4-slot buffer behind the stall.
 	appended := 0
 	for dropped.n.Load() == 0 && appended < 1000 {

@@ -6,6 +6,7 @@ import (
 	"encoding/json"
 	"fmt"
 	"io"
+	"math/rand"
 	"net"
 	"os"
 	"path/filepath"
@@ -52,6 +53,7 @@ type TailConfig struct {
 	Reconnects   Counter // connection (re)establishments
 	SegsReceived Counter // seg frames received
 	Lag          Gauge   // leader flushed recs − applied recs
+	Gen          Gauge   // newest leader generation accepted
 }
 
 // Tailer is the follower side of replication: it keeps a byte-exact
@@ -103,6 +105,9 @@ func NewTailer(cfg TailConfig, st DirState) (*Tailer, error) {
 	}
 	t := &Tailer{cfg: cfg, gen: ReadGen(cfg.Dir), seg: st.WalSeq, off: st.WalOff, snapSeq: st.SnapSeq, addr: cfg.Addr}
 	t.applied.Store(st.Recs)
+	if cfg.Gen != nil {
+		cfg.Gen.Set(int64(t.gen))
+	}
 	if t.cfg.Dial == nil {
 		t.cfg.Dial = func(ctx context.Context) (net.Conn, error) {
 			var d net.Dialer
@@ -173,6 +178,12 @@ var errStaleLeader = fmt.Errorf("durable: leader generation is stale for this mi
 // with backoff; the hello carries the mirror position so the leader
 // re-ships only what is missing.
 func (t *Tailer) Run(ctx context.Context) error {
+	// A live leader that has nothing to ship leaves the tailer parked in a
+	// blocking read, where ctx cancellation alone cannot reach it. Stop
+	// severs the in-flight connection, so wiring it to ctx makes drain
+	// prompt even when the leader is healthy and idle.
+	unhook := context.AfterFunc(ctx, t.Stop)
+	defer unhook()
 	defer func() {
 		if t.f != nil {
 			_ = t.f.Sync() // best-effort: the mirror is re-validated on reconnect
@@ -205,7 +216,7 @@ func (t *Tailer) Run(ctx context.Context) error {
 			t.cfg.Logf("durable: tail %s: %v (reconnecting in %v)", t.Addr(), err, backoff)
 		}
 		select {
-		case <-time.After(backoff):
+		case <-time.After(jitter(backoff)):
 		case <-ctx.Done():
 			return nil
 		}
@@ -261,6 +272,9 @@ func (t *Tailer) tailOnce(ctx context.Context) error {
 			if err := WriteGen(t.cfg.Dir, t.gen); err != nil {
 				return err
 			}
+			if t.cfg.Gen != nil {
+				t.cfg.Gen.Set(int64(t.gen))
+			}
 		}
 	case "err":
 		return fmt.Errorf("leader refused: %s", reply.Msg)
@@ -302,6 +316,41 @@ func (t *Tailer) tailOnce(ctx context.Context) error {
 			return err
 		}
 	}
+}
+
+// jitter spreads a backoff sleep over [d/2, d]: a leader death disconnects
+// every follower of the group at the same instant, and without jitter
+// their reconnect schedules stay phase-locked — each retry wave hits the
+// promoted node simultaneously (thundering herd) instead of spreading
+// over the window.
+func jitter(d time.Duration) time.Duration {
+	if d <= 1 {
+		return d
+	}
+	half := d / 2
+	return half + time.Duration(rand.Int63n(int64(half)+1))
+}
+
+// ResetMirror clears a data directory's snapshots and WAL segments while
+// keeping the replication generation file, so the next tailer hello
+// carries position zero under the generations this mirror has already
+// followed — the leader answers with a full reset snapshot (the lagged-
+// follower resync path) and the generation guard still refuses a stale
+// leader. Rejoin uses it: a deposed leader's local history diverged at
+// the failover and must not be resumed from.
+func ResetMirror(dir string) error {
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		return err
+	}
+	for _, e := range entries {
+		if n := e.Name(); strings.HasPrefix(n, "snap-") || strings.HasPrefix(n, "wal-") {
+			if err := os.Remove(filepath.Join(dir, n)); err != nil {
+				return err
+			}
+		}
+	}
+	return syncDir(dir)
 }
 
 func readFrame(br *bufio.Reader) (*shipFrame, error) {

@@ -22,6 +22,17 @@
 // /promote and re-homes new connections there. Clients riding a dead
 // leader see a transport error, back off, re-dial the gateway, present
 // their token, and resume on the promoted follower — zero protocol errors.
+// The monitor also supervises the non-head members: a stray that believes
+// it is a leader (a restarted ex-leader, generation-stale) is demoted and
+// rejoined as a follower of the current head via POST /rejoin, and a
+// demoted member is rejoined — the fleet heals itself after failover with
+// no operator in the loop.
+//
+// Read-only hellos (core.HelloMsg.ReadOnly) are routed to a healthy
+// unpromoted follower of the token's group when one exists — follower
+// reads: inference-only traffic served from the follower's continuously-
+// warm replicated weights, off the leader's serve path — falling back to
+// the head when no follower is known healthy.
 package fleet
 
 import (
@@ -125,6 +136,17 @@ type group struct {
 	// only).
 	fails int
 
+	// roOK[i] records whether member i probed as a healthy unpromoted
+	// replica — eligible to serve read-only sessions. Monitor writes,
+	// router reads.
+	roOK []atomic.Bool
+	// roNext round-robins read-only routing across eligible followers.
+	roNext atomic.Uint32
+	// lastHeal rate-limits automatic demote+rejoin per member (monitor
+	// goroutine only): a node that fails to rejoin is retried on a
+	// cooldown, not hammered every tick.
+	lastHeal []time.Time
+
 	// connMu/conns track each spliced session's upstream connection with
 	// the member it was routed to, so failover can sever everything still
 	// attached to a deposed head (closing the upstream side tears down
@@ -144,6 +166,24 @@ func (g *group) untrack(c net.Conn) {
 	g.connMu.Lock()
 	delete(g.conns, c)
 	g.connMu.Unlock()
+}
+
+// pickReadOnly returns a member to serve a read-only session: round-robin
+// across the followers the monitor last probed as healthy unpromoted
+// replicas. ok=false means no such follower is known — route to the head.
+func (g *group) pickReadOnly(head int32) (int32, bool) {
+	n := len(g.Members)
+	if n <= 1 {
+		return head, false
+	}
+	start := g.roNext.Add(1)
+	for off := 0; off < n; off++ {
+		i := int32((start + uint32(off)) % uint32(n))
+		if i != head && g.roOK[i].Load() {
+			return i, true
+		}
+	}
+	return head, false
 }
 
 // sever closes every tracked connection routed to member idx and returns
@@ -178,6 +218,9 @@ type Gateway struct {
 	mSevered      *serve.Counter
 	mRetargets    *serve.Counter
 	mRetargetErrs *serve.Counter
+	mRejoins      *serve.Counter
+	mRejoinErrs   *serve.Counter
+	mRORouted     *serve.Counter
 }
 
 // NewGateway validates cfg and builds a gateway (no I/O yet; Serve runs
@@ -205,7 +248,12 @@ func NewGateway(cfg Config) (*Gateway, error) {
 				return nil, fmt.Errorf("fleet: group %q: every member needs addr and health address", g.Name)
 			}
 		}
-		gw.groups = append(gw.groups, &group{Group: g, conns: map[net.Conn]int32{}})
+		gw.groups = append(gw.groups, &group{
+			Group:    g,
+			conns:    map[net.Conn]int32{},
+			roOK:     make([]atomic.Bool, len(g.Members)),
+			lastHeal: make([]time.Time, len(g.Members)),
+		})
 	}
 	gw.mConns = gw.reg.Counter("fleet_conns_total")
 	gw.mActive = gw.reg.Gauge("fleet_conns_active")
@@ -216,6 +264,9 @@ func NewGateway(cfg Config) (*Gateway, error) {
 	gw.mSevered = gw.reg.Counter("fleet_conns_severed_total")
 	gw.mRetargets = gw.reg.Counter("fleet_retargets_total")
 	gw.mRetargetErrs = gw.reg.Counter("fleet_retarget_errors_total")
+	gw.mRejoins = gw.reg.Counter("fleet_rejoins_total")
+	gw.mRejoinErrs = gw.reg.Counter("fleet_rejoin_errors_total")
+	gw.mRORouted = gw.reg.Counter("fleet_readonly_routed_total")
 	return gw, nil
 }
 
@@ -319,6 +370,15 @@ func (gw *Gateway) handleConn(conn net.Conn) {
 	}
 	g := gw.route(hello.Token)
 	idx := g.head.Load()
+	if hello.ReadOnly {
+		// Follower reads: inference-only sessions go to a healthy
+		// unpromoted follower when the monitor knows one, keeping them off
+		// the leader's serve path; otherwise the head answers them too.
+		if ri, ok := g.pickReadOnly(idx); ok {
+			idx = ri
+			gw.mRORouted.Inc()
+		}
+	}
 	backend := g.Members[idx]
 
 	d := net.Dialer{Timeout: gw.cfg.DialTimeout}

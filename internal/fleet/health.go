@@ -2,65 +2,164 @@ package fleet
 
 import (
 	"context"
+	"encoding/json"
 	"fmt"
 	"io"
+	"math/rand"
 	"net/http"
 	"net/url"
 	"time"
 )
 
 // The health monitor: one goroutine per group polls the head's /healthz.
-// FailThreshold consecutive misses declare the leader dead; the monitor
-// then fences the deposed head (severs its spliced connections, POSTs
-// /demote in case it was merely stalled), walks the remaining members,
-// promotes the first one that answers /promote, re-homes the group's head
-// there, and re-points surviving followers at the promoted node's
-// shipping address via /retarget. The dead leader stays in the member
-// list but is never re-promoted automatically — if it comes back it is a
-// demoted, stale generation the promoted node's followers refuse, and an
-// operator decides when it rejoins as a follower.
+// FailThreshold consecutive misses declare the leader dead — a miss is a
+// request that does not complete within one poll interval, so a
+// stalled-but-alive leader (SIGSTOP, long GC pause) whose kernel still
+// completes TCP handshakes fails polls exactly like a killed one. The
+// monitor then fences the deposed head (severs its spliced connections,
+// POSTs /demote in case it was merely stalled), walks the remaining
+// members, promotes the first one that answers /promote, re-homes the
+// group's head there, and re-points surviving followers at the promoted
+// node's shipping address via /retarget.
+//
+// The same goroutine supervises the non-head members each tick: a member
+// probing as a healthy unpromoted replica becomes a read-only routing
+// candidate, and a stray — a non-head member whose role is "leader" (a
+// restarted ex-leader, generation-stale) or "demoted" (fenced by an
+// earlier failover) — is healed back into the group: demoted if it still
+// serves, then POST /rejoin?addr=<head's shipping address>, which resets
+// its local state through the lagged-follower resync path and re-enters
+// it as a tailing follower. What used to be an operator runbook is a
+// cooldown-limited control loop.
 
-// monitor polls g's head until ctx ends.
+// monitor polls g until ctx ends. Ticks are jittered over
+// [interval/2, interval]: gateways watching many groups (or several
+// gateways watching one fleet) must not phase-lock their probe and
+// failover bursts.
 func (gw *Gateway) monitor(ctx context.Context, g *group) {
-	t := time.NewTicker(gw.cfg.HealthInterval)
-	defer t.Stop()
 	for {
 		select {
 		case <-ctx.Done():
 			return
-		case <-t.C:
+		case <-time.After(jitter(gw.cfg.HealthInterval)):
 		}
-		head := g.Members[g.head.Load()]
-		if gw.healthy(ctx, head) {
+		headIdx := g.head.Load()
+		head := g.Members[headIdx]
+		st := gw.probe(ctx, head)
+		if st.ok {
 			g.fails = 0
-			continue
+		} else {
+			g.fails++
+			if g.fails >= gw.cfg.FailThreshold {
+				gw.cfg.Logf("fleet: group %s: head %s failed %d health checks, failing over",
+					g.Name, head.Addr, g.fails)
+				gw.failover(ctx, g)
+				g.fails = 0
+				continue
+			}
 		}
-		g.fails++
-		if g.fails < gw.cfg.FailThreshold {
-			continue
-		}
-		gw.cfg.Logf("fleet: group %s: head %s failed %d health checks, failing over",
-			g.Name, head.Addr, g.fails)
-		gw.failover(ctx, g)
-		g.fails = 0
+		gw.supervise(ctx, g, headIdx, st.ok)
 	}
 }
 
-// healthy reports whether b answers /healthz within one poll interval.
-func (gw *Gateway) healthy(ctx context.Context, b Backend) bool {
+// memberState is one /healthz probe result. role is the daemon's
+// self-reported role ("leader", "replica", "demoted"); empty when the
+// body carried none.
+type memberState struct {
+	ok   bool
+	role string
+}
+
+// probe GETs b's /healthz with a hard one-interval deadline on the whole
+// request — connect, response AND body. The deadline is what makes a
+// stalled process indistinguishable from a dead one here: SIGSTOP leaves
+// the socket accepting (the kernel completes handshakes without the
+// process) while the response never comes, and a connect-only liveness
+// check would call that healthy forever.
+func (gw *Gateway) probe(ctx context.Context, b Backend) memberState {
 	rctx, cancel := context.WithTimeout(ctx, gw.cfg.HealthInterval)
 	defer cancel()
 	req, err := http.NewRequestWithContext(rctx, http.MethodGet, "http://"+b.Health+"/healthz", nil)
 	if err != nil {
-		return false
+		return memberState{}
 	}
 	resp, err := http.DefaultClient.Do(req)
 	if err != nil {
-		return false
+		return memberState{}
 	}
+	var body struct {
+		Role string `json:"role"`
+	}
+	_ = json.NewDecoder(io.LimitReader(resp.Body, 4096)).Decode(&body)
 	_, _ = io.Copy(io.Discard, resp.Body) // drain for connection reuse
 	resp.Body.Close()
-	return resp.StatusCode == http.StatusOK
+	return memberState{ok: resp.StatusCode == http.StatusOK, role: body.Role}
+}
+
+// supervise probes every non-head member: records read-only routing
+// eligibility and heals strays. Healing only runs while the head itself
+// is answering — mid-failover the head is about to move, and rejoining
+// anyone at a dying head's address would be churn.
+func (gw *Gateway) supervise(ctx context.Context, g *group, headIdx int32, headOK bool) {
+	now := time.Now()
+	cooldown := 5 * gw.cfg.HealthInterval
+	for i := range g.Members {
+		if int32(i) == headIdx {
+			continue
+		}
+		st := gw.probe(ctx, g.Members[i])
+		g.roOK[i].Store(st.ok && st.role == "replica")
+		if !headOK || !st.ok || (st.role != "leader" && st.role != "demoted") {
+			continue
+		}
+		if now.Sub(g.lastHeal[i]) < cooldown {
+			continue
+		}
+		g.lastHeal[i] = now
+		gw.heal(ctx, g, i, headIdx, st.role)
+	}
+}
+
+// heal re-enters one stray member as a follower of the current head. A
+// stray still serving as a leader is a split generation in the making (a
+// restarted ex-leader owns the same tokens under a stale generation), so
+// it is severed and demoted first; then /rejoin resets it through the
+// follower resync path.
+func (gw *Gateway) heal(ctx context.Context, g *group, idx int, headIdx int32, role string) {
+	m := g.Members[idx]
+	headRepl := g.Members[headIdx].Repl
+	if headRepl == "" {
+		gw.cfg.Logf("fleet: group %s: member %s is %s but the head has no repl address configured; cannot rejoin it automatically", g.Name, m.Addr, role)
+		return
+	}
+	if role == "leader" {
+		if n := g.sever(int32(idx)); n > 0 {
+			gw.mSevered.Add(int64(n))
+			gw.cfg.Logf("fleet: group %s: severed %d spliced connections to stray leader %s", g.Name, n, m.Addr)
+		}
+		if err := gw.postControl(ctx, m, "/demote"); err != nil {
+			gw.mRejoinErrs.Inc()
+			gw.cfg.Logf("fleet: group %s: demote stray leader %s: %v", g.Name, m.Addr, err)
+			return
+		}
+	}
+	if err := gw.postControl(ctx, m, "/rejoin?addr="+url.QueryEscape(headRepl)); err != nil {
+		gw.mRejoinErrs.Inc()
+		gw.cfg.Logf("fleet: group %s: rejoin %s -> %s: %v", g.Name, m.Addr, headRepl, err)
+		return
+	}
+	gw.mRejoins.Inc()
+	gw.cfg.Logf("fleet: group %s: rejoined %s member %s as follower of %s", g.Name, role, m.Addr, headRepl)
+}
+
+// jitter spreads a poll sleep over [d/2, d] so independent monitor loops
+// decorrelate instead of bursting in lockstep.
+func jitter(d time.Duration) time.Duration {
+	if d <= 1 {
+		return d
+	}
+	half := d / 2
+	return half + time.Duration(rand.Int63n(int64(half)+1))
 }
 
 // failover fences the deposed head, promotes the first member after it

@@ -15,13 +15,17 @@ import (
 	"time"
 )
 
-// ctrl is a scripted daemon control surface: /healthz answers by flag,
-// every other POST is recorded (with its decoded addr param, when
+// ctrl is a scripted daemon control surface: /healthz answers by flag
+// (optionally reporting a role, optionally hanging without answering at
+// all), every other POST is recorded (with its decoded addr param, when
 // present) and answered 200.
 type ctrl struct {
 	srv     *httptest.Server
 	healthy atomic.Bool
+	hang    atomic.Bool  // accept /healthz but never answer (SIGSTOP, wedged disk)
+	probes  atomic.Int64 // /healthz hits, hung or not
 	mu      sync.Mutex
+	role    string // reported in the /healthz body when non-empty
 	posts   []string
 }
 
@@ -31,8 +35,20 @@ func newCtrl(t *testing.T) *ctrl {
 	c.healthy.Store(true)
 	c.srv = httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
 		if r.URL.Path == "/healthz" {
+			c.probes.Add(1)
+			if c.hang.Load() {
+				<-r.Context().Done() // hold the probe open until the gateway gives up
+				return
+			}
 			if !c.healthy.Load() {
 				http.Error(w, "stalled", http.StatusServiceUnavailable)
+				return
+			}
+			c.mu.Lock()
+			role := c.role
+			c.mu.Unlock()
+			if role != "" {
+				fmt.Fprintf(w, "{\"role\":%q}\n", role)
 			}
 			return
 		}
@@ -54,6 +70,13 @@ func newCtrl(t *testing.T) *ctrl {
 
 // addr returns the control surface as host:port (Backend.Health form).
 func (c *ctrl) addr() string { return strings.TrimPrefix(c.srv.URL, "http://") }
+
+// setRole scripts the role the /healthz body reports from now on.
+func (c *ctrl) setRole(role string) {
+	c.mu.Lock()
+	c.role = role
+	c.mu.Unlock()
+}
 
 func (c *ctrl) got(prefix string) bool {
 	c.mu.Lock()

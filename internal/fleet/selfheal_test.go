@@ -1,0 +1,228 @@
+package fleet
+
+import (
+	"bufio"
+	"encoding/json"
+	"fmt"
+	"net"
+	"strings"
+	"testing"
+	"time"
+)
+
+// newEchoBackend starts a scripted session backend that answers every
+// hello with the given token and then echoes lines, so a test can tell
+// which member a spliced connection landed on.
+func newEchoBackend(t *testing.T, token string) string {
+	t.Helper()
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { ln.Close() })
+	go func() {
+		for {
+			conn, err := ln.Accept()
+			if err != nil {
+				return
+			}
+			go func(conn net.Conn) {
+				defer conn.Close()
+				br := bufio.NewReader(conn)
+				if _, err := br.ReadBytes('\n'); err != nil {
+					return
+				}
+				json.NewEncoder(conn).Encode(map[string]string{"token": token})
+				for {
+					line, err := br.ReadBytes('\n')
+					if err != nil {
+						return
+					}
+					conn.Write(line)
+				}
+			}(conn)
+		}
+	}()
+	return ln.Addr().String()
+}
+
+// TestHungHealthzFailsOver: a leader whose /healthz ACCEPTS the probe but
+// never answers — SIGSTOP, a wedged disk, a full accept queue draining at
+// a crawl — must be treated exactly like a dead one. The probe carries a
+// request-level deadline (one health interval), so a hang converts into a
+// missed poll instead of parking the monitor loop forever; FailThreshold
+// hangs later the group fails over.
+func TestHungHealthzFailsOver(t *testing.T) {
+	ctrlA, ctrlB, ctrlC := newCtrl(t), newCtrl(t), newCtrl(t)
+	gw, err := NewGateway(Config{
+		Groups: []Group{{Name: "g0", Members: []Backend{
+			{Addr: "127.0.0.1:9001", Health: ctrlA.addr(), Repl: "10.0.0.1:7702"},
+			{Addr: "127.0.0.1:9002", Health: ctrlB.addr(), Repl: "10.0.0.2:7702"},
+			{Addr: "127.0.0.1:9003", Health: ctrlC.addr(), Repl: "10.0.0.3:7702"},
+		}}},
+		HealthInterval: 20 * time.Millisecond,
+		FailThreshold:  2,
+		DialTimeout:    time.Second,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	startGateway(t, gw)
+
+	// Let the monitor see a healthy leader first, then wedge it.
+	waitFor(t, "first probe", func() bool { return ctrlA.probes.Load() >= 1 })
+	ctrlA.hang.Store(true)
+	start := time.Now()
+	waitFor(t, "failover off the hung leader", func() bool {
+		return gw.reg.Counter("fleet_failovers_total").Value() == 1
+	})
+	// Each probe is clamped to one health interval, so two misses resolve
+	// in a handful of 20ms ticks. Anything in whole-second territory means
+	// the hang rode a connection-level timeout instead of the probe
+	// deadline (or worse, blocked until the scripted server was torn down).
+	if d := time.Since(start); d > 1500*time.Millisecond {
+		t.Fatalf("failover took %v; hung probes are not being deadlined", d)
+	}
+	if got := gw.Head("g0"); got != "127.0.0.1:9002" {
+		t.Fatalf("head after failover = %q, want 127.0.0.1:9002", got)
+	}
+	if !ctrlB.got("/promote") {
+		t.Fatal("promoted member never received POST /promote")
+	}
+	waitFor(t, "deposed head demote", func() bool { return ctrlA.got("/demote") })
+}
+
+// TestSuperviseHealsStrayLeader: a non-head member probing healthy with
+// role "leader" is a restarted ex-leader — a split generation in the
+// making, since it owns the same tokens under a stale generation. The
+// monitor must demote it and rejoin it at the head's shipping address,
+// and must leave a well-behaved replica member alone.
+func TestSuperviseHealsStrayLeader(t *testing.T) {
+	ctrlA, ctrlB, ctrlC := newCtrl(t), newCtrl(t), newCtrl(t)
+	ctrlA.setRole("leader")
+	ctrlB.setRole("leader") // stray: restarted from its old data dir
+	ctrlC.setRole("replica")
+	gw, err := NewGateway(Config{
+		Groups: []Group{{Name: "g0", Members: []Backend{
+			{Addr: "127.0.0.1:9001", Health: ctrlA.addr(), Repl: "10.0.0.1:7702"},
+			{Addr: "127.0.0.1:9002", Health: ctrlB.addr(), Repl: "10.0.0.2:7702"},
+			{Addr: "127.0.0.1:9003", Health: ctrlC.addr(), Repl: "10.0.0.3:7702"},
+		}}},
+		HealthInterval: 20 * time.Millisecond,
+		FailThreshold:  2,
+		DialTimeout:    time.Second,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	startGateway(t, gw)
+
+	waitFor(t, "stray demote", func() bool { return ctrlB.got("/demote") })
+	waitFor(t, "stray rejoin at the head", func() bool {
+		return ctrlB.got("/rejoin?addr=10.0.0.1:7702")
+	})
+	waitFor(t, "rejoin counted", func() bool {
+		return gw.reg.Counter("fleet_rejoins_total").Value() >= 1
+	})
+	// The head never wavered: healing a stray is not a failover.
+	if got := gw.reg.Counter("fleet_failovers_total").Value(); got != 0 {
+		t.Fatalf("fleet_failovers_total = %d, want 0", got)
+	}
+	if got := gw.Head("g0"); got != "127.0.0.1:9001" {
+		t.Fatalf("head = %q, want the original 127.0.0.1:9001", got)
+	}
+	// The replica member got no control posts at all.
+	if ctrlC.got("/") {
+		t.Fatal("well-behaved replica received a control post")
+	}
+	if got := gw.reg.Counter("fleet_rejoin_errors_total").Value(); got != 0 {
+		t.Fatalf("fleet_rejoin_errors_total = %d, want 0", got)
+	}
+}
+
+// TestSuperviseRejoinsDemotedStray: a member already fenced (role
+// "demoted" — the failover's demote landed, or it fenced itself) skips
+// the demote leg and goes straight to /rejoin.
+func TestSuperviseRejoinsDemotedStray(t *testing.T) {
+	ctrlA, ctrlB := newCtrl(t), newCtrl(t)
+	ctrlA.setRole("leader")
+	ctrlB.setRole("demoted")
+	gw, err := NewGateway(Config{
+		Groups: []Group{{Name: "g0", Members: []Backend{
+			{Addr: "127.0.0.1:9001", Health: ctrlA.addr(), Repl: "10.0.0.1:7702"},
+			{Addr: "127.0.0.1:9002", Health: ctrlB.addr(), Repl: "10.0.0.2:7702"},
+		}}},
+		HealthInterval: 20 * time.Millisecond,
+		FailThreshold:  2,
+		DialTimeout:    time.Second,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	startGateway(t, gw)
+
+	waitFor(t, "demoted stray rejoin", func() bool {
+		return ctrlB.got("/rejoin?addr=10.0.0.1:7702")
+	})
+	if ctrlB.got("/demote") {
+		t.Fatal("already-demoted member was demoted again")
+	}
+}
+
+// TestReadOnlyRoutesToFollower: a hello carrying readonly lands on a
+// member the monitor has probed as a healthy unpromoted replica, keeping
+// inference-only traffic off the leader's serve path; a full session
+// keeps going to the head.
+func TestReadOnlyRoutesToFollower(t *testing.T) {
+	headAddr := newEchoBackend(t, "via-head")
+	followerAddr := newEchoBackend(t, "via-follower")
+	ctrlA, ctrlB := newCtrl(t), newCtrl(t)
+	ctrlA.setRole("leader")
+	ctrlB.setRole("replica")
+	gw, err := NewGateway(Config{
+		Groups: []Group{{Name: "g0", Members: []Backend{
+			{Addr: headAddr, Health: ctrlA.addr(), Repl: "10.0.0.1:7702"},
+			{Addr: followerAddr, Health: ctrlB.addr(), Repl: "10.0.0.2:7702"},
+		}}},
+		HealthInterval: 20 * time.Millisecond,
+		FailThreshold:  3,
+		DialTimeout:    time.Second,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	gwAddr := startGateway(t, gw)
+
+	// Routing eligibility comes from the monitor's probes; wait until the
+	// follower has been seen as a replica at least once.
+	waitFor(t, "follower probed", func() bool { return ctrlB.probes.Load() >= 1 })
+
+	dialHello := func(hello string) string {
+		t.Helper()
+		conn, err := net.Dial("tcp", gwAddr)
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer conn.Close()
+		conn.SetDeadline(time.Now().Add(10 * time.Second))
+		fmt.Fprintln(conn, hello)
+		reply, err := bufio.NewReader(conn).ReadString('\n')
+		if err != nil {
+			t.Fatalf("hello reply: %v", err)
+		}
+		return reply
+	}
+
+	// ReadOnly sessions may race the very first supervise tick; the
+	// monitor marks the follower eligible within a tick or two.
+	waitFor(t, "read-only hello routed to the follower", func() bool {
+		return strings.Contains(dialHello(`{"token":"ro-1","readonly":true}`), "via-follower")
+	})
+	if got := gw.reg.Counter("fleet_readonly_routed_total").Value(); got < 1 {
+		t.Fatalf("fleet_readonly_routed_total = %d, want >= 1", got)
+	}
+	// Full sessions still ride the head.
+	if reply := dialHello(`{"token":"rw-1"}`); !strings.Contains(reply, "via-head") {
+		t.Fatalf("full session reply %q; want it spliced to the head", reply)
+	}
+}

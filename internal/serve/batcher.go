@@ -21,6 +21,11 @@ type inferReq struct {
 	// requests get batched.
 	noise  []float64
 	result []int
+	// failed is set (before done closes) when the batch loop drained this
+	// request on exit instead of serving it — a role transition tore the
+	// loop down; the session sheds with a retry instead of using a result
+	// that was never computed.
+	failed bool
 	done   chan struct{}
 }
 
@@ -36,6 +41,12 @@ type model struct {
 
 	// learner trains this model online; nil when the daemon is frozen.
 	learner *modelLearner
+	// running marks the batch loop as launched (guarded by srv.mu); start
+	// is idempotent so a follower's loops survive promotion untouched.
+	running bool
+	// stopped closes when the batch loop exits, so sessions waiting on a
+	// request that will never be served (role teardown) unblock.
+	stopped chan struct{}
 	// Weight publication is an explicit ownership transfer, so the
 	// trainer can never write a pair the batch loop is reading: toServe
 	// (cap 1) hands freshly published pairs to the loop — a pending pair
@@ -72,27 +83,64 @@ func newModel(s *Server, key modelKey) *model {
 		key:      key,
 		pol:      NewPolicy(key.n, key.m, key.spouts, s.cfg.K, s.cfg.Seed+int64(key.n*1_000_003+key.m*1009+key.spouts)),
 		queue:    make(chan *inferReq, s.cfg.QueueDepth),
+		stopped:  make(chan struct{}),
 		gemmPool: nn.NewPool(s.gemmSem),
+		// The weight publication channels exist on every model, learner or
+		// not: a follower's tailer installs replicated weights into running
+		// batch loops through the same single-producer handoff the trainer
+		// uses (see restoreModel).
+		toServe:  make(chan *netPair, 1),
+		returned: make(chan *netPair, pubRingSize),
 	}
 	m.pol.SetPool(m.gemmPool)
 	return m
 }
 
 // start launches the batch loop (and builds the trainer) under the
-// server's run context. It runs with the server lock held, after any
-// Preload has installed checkpoint weights, so the trainer clones the
-// weights actually being served.
+// server's run context and current role epoch. It runs with the server
+// lock held, after any Preload has installed checkpoint weights, so the
+// trainer clones the weights actually being served. Idempotent: a loop
+// started for follower reads keeps running across promotion.
 func (m *model) start() {
+	if m.running {
+		return
+	}
+	m.running = true
 	if err := m.ensureLearner(); err != nil {
 		// Shapes come from the policy itself, so this is unreachable;
 		// fail safe by serving frozen.
 		log.Printf("serve: model %v: online learning disabled: %v", m.key, err)
 	}
+	ctx := m.srv.ctx
+	rwg := m.srv.roleWG
 	m.srv.wg.Add(1)
+	if rwg != nil {
+		rwg.Add(1)
+	}
 	go func() {
 		defer m.srv.wg.Done()
-		m.run(m.srv.ctx)
+		if rwg != nil {
+			defer rwg.Done()
+		}
+		m.run(ctx)
 	}()
+}
+
+// failPending drains requests enqueued after the batch loop's own exit
+// drain (role teardown, loops already waited): each is completed as
+// failed so its session sheds with a retry. Callers must know the loop
+// is down — concurrent completion of the same request would double-close
+// done.
+func (m *model) failPending() {
+	for {
+		select {
+		case r := <-m.queue:
+			r.failed = true
+			close(r.done)
+		default:
+			return
+		}
+	}
 }
 
 // ensureLearner builds the trainer if the server learns and this model
@@ -111,24 +159,30 @@ func (m *model) ensureLearner() error {
 	return nil
 }
 
-// installPublished swaps in the newest published weight pair, if the
-// trainer has produced one since the last batch, and returns the pair it
-// stops serving to the trainer.
+// installPublished swaps in the newest published weight pair, if a
+// publisher (the trainer — or, on a follower, the tailer installing a
+// shipped snapshot) has produced one since the last batch, and returns
+// the pair it stops serving. The returned-send never blocks: on a frozen
+// follower nothing drains the channel, and a full one just drops the
+// pair (the learner's publish path self-heals a shrunken ring).
 func (m *model) installPublished() {
-	if m.toServe == nil {
-		return
-	}
 	select {
 	case p := <-m.toServe:
 		if err := m.pol.SetNetworks(p.actor, p.critic); err != nil {
-			// Unreachable (ring pairs share the policy's architecture);
-			// hand the pair back rather than leak a ring slot.
+			// Unreachable (published pairs share the policy's architecture);
+			// try to hand the pair back rather than leak a ring slot.
 			log.Printf("serve: model %v: rejected published weights: %v", m.key, err)
-			m.returned <- p
+			select {
+			case m.returned <- p:
+			default:
+			}
 			return
 		}
 		if m.serving != nil {
-			m.returned <- m.serving
+			select {
+			case m.returned <- m.serving:
+			default:
+			}
 		}
 		m.serving = p
 		m.srv.mSwaps.Inc()
@@ -143,6 +197,14 @@ func (m *model) installPublished() {
 // GEMVs into one GEMM per window — the serving-path analogue of the
 // batched training step.
 func (m *model) run(ctx context.Context) {
+	defer func() {
+		// The loop is exiting (shutdown or role teardown): wake waiters,
+		// then fail everything still queued so no session blocks on a
+		// request nobody will serve. stopped closes first — a session that
+		// races an enqueue past this drain selects on it and sheds.
+		close(m.stopped)
+		m.failPending()
+	}()
 	cfg := m.srv.cfg
 	for {
 		if m.srv.testGate != nil {

@@ -41,7 +41,7 @@ func durableConfig(dir string, crash bool) Config {
 }
 
 // startDurable boots a server on cfg and fails the test if Serve errors.
-func startDurable(t *testing.T, cfg Config) (*Server, string, func()) {
+func startDurable(t testing.TB, cfg Config) (*Server, string, func()) {
 	t.Helper()
 	s := New(cfg)
 	l, err := net.Listen("tcp", "127.0.0.1:0")
@@ -80,7 +80,7 @@ type durableResult struct {
 	finActor, finCritic   uint64 // trainer checksums at the end of phase 2
 }
 
-func stepAll(t *testing.T, s *Server, clients []*Session, envs []*goldenEnv, streams *strings.Builder, epoch int) {
+func stepAll(t testing.TB, s *Server, clients []*Session, envs []*goldenEnv, streams *strings.Builder, epoch int) {
 	t.Helper()
 	for i, c := range clients {
 		meas, _ := envs[i].measure(c.Assign())
@@ -93,7 +93,7 @@ func stepAll(t *testing.T, s *Server, clients []*Session, envs []*goldenEnv, str
 	s.TrainNow()
 }
 
-func dialDurable(t *testing.T, addr string, n int, wantResumed bool) []*Session {
+func dialDurable(t testing.TB, addr string, n int, wantResumed bool) []*Session {
 	t.Helper()
 	clients := make([]*Session, n)
 	for i := range clients {

@@ -25,7 +25,7 @@ import (
 // internal/durable's ship tests.
 
 // pickAddr reserves a loopback address for a listener started later.
-func pickAddr(t *testing.T) string {
+func pickAddr(t testing.TB) string {
 	t.Helper()
 	ln, err := net.Listen("tcp", "127.0.0.1:0")
 	if err != nil {
@@ -36,7 +36,7 @@ func pickAddr(t *testing.T) string {
 	return addr
 }
 
-func waitCond(t *testing.T, what string, cond func() bool) {
+func waitCond(t testing.TB, what string, cond func() bool) {
 	t.Helper()
 	deadline := time.Now().Add(10 * time.Second)
 	for time.Now().Before(deadline) {

@@ -34,6 +34,14 @@ type netPair struct {
 	actor, critic *nn.Network
 }
 
+// pubRingSize is the weight-publication ring: at most one pair pending in
+// toServe (drained before every publish) and at most two loop-held (the
+// serving pair, plus — for one instant — a newly received pair before
+// the old one is pushed to returned), so after reclaiming returned at
+// least one slot is normally free; publishLocked mints a replacement if a
+// non-blocking handoff ever dropped one.
+const pubRingSize = 3
+
 // modelLearner owns one model's training side.
 type modelLearner struct {
 	mdl *model
@@ -48,12 +56,8 @@ type modelLearner struct {
 	batch     []rl.Transition
 	updates   int // minibatch updates completed
 
-	// free holds the ring slots the trainer currently owns. Three slots
-	// suffice: at most one is pending in toServe (drained before every
-	// publish) and at most two are loop-held (the serving pair, plus —
-	// for one instant — a newly received pair before the old one is
-	// pushed to returned), so after reclaiming returned at least one
-	// slot is always free.
+	// free holds the ring slots the trainer currently owns (pubRingSize
+	// of them at rest; see the constant for the ownership accounting).
 	free []*netPair
 	// lastPublished records the most recent publish for introspection
 	// (golden-test checksum assertions); guarded by mu and only ever
@@ -98,12 +102,9 @@ func newModelLearner(m *model, cfg Config) (*modelLearner, error) {
 		pool:      nn.NewPool(m.srv.gemmSem),
 	}
 	ac.SetPool(l.pool)
-	const ringSize = 3
-	for i := 0; i < ringSize; i++ {
+	for i := 0; i < pubRingSize; i++ {
 		l.free = append(l.free, &netPair{actor: m.pol.Actor.Clone(), critic: m.pol.Critic.Clone()})
 	}
-	m.toServe = make(chan *netPair, 1)
-	m.returned = make(chan *netPair, ringSize)
 	return l, nil
 }
 
@@ -178,10 +179,16 @@ reclaim:
 		l.free = append(l.free, p)
 	default:
 	}
+	actor, _, critic, _ := l.ac.Networks()
+	if len(l.free) == 0 {
+		// A non-blocking returned-send dropped a slot (possible only
+		// around role transitions); mint a replacement so publication
+		// never stalls on a shrunken ring.
+		l.free = append(l.free, &netPair{actor: actor.Clone(), critic: critic.Clone()})
+	}
 
 	pair := l.free[len(l.free)-1]
 	l.free = l.free[:len(l.free)-1]
-	actor, _, critic, _ := l.ac.Networks()
 	actor.Snapshot(&l.snapActor)
 	critic.Snapshot(&l.snapCritic)
 	// Restore cannot fail here: the ring pairs are clones of the same

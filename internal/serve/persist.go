@@ -145,7 +145,7 @@ func (s *Server) restoreModel(ms *durable.ModelSnap, snapSeq uint64) error {
 	if err := s.validShape(key.n, key.m, key.spouts); err != nil {
 		return err
 	}
-	mdl := s.model(key) // pre-Serve: created but not started
+	mdl := s.model(key)
 	actor, err := unmarshalNet(ms.Actor, ms.ActorSum, "actor")
 	if err != nil {
 		return err
@@ -154,10 +154,30 @@ func (s *Server) restoreModel(ms *durable.ModelSnap, snapSeq uint64) error {
 	if err != nil {
 		return err
 	}
-	if err := mdl.pol.SetNetworks(actor, critic); err != nil {
-		return err
+	s.mu.Lock()
+	running := mdl.running
+	s.mu.Unlock()
+	if !running {
+		// No batch loop yet (startup recovery, or a follower warming from
+		// its mirror before the loops start): install directly.
+		if err := mdl.pol.SetNetworks(actor, critic); err != nil {
+			return err
+		}
+	} else if !s.cfg.Learn {
+		// A running frozen loop (follower reads) owns the policy; hand the
+		// weights over through the publication channel instead of racing
+		// it. This path runs on the tailer goroutine — the follower's
+		// single publisher, so draining our own stale pending pair cannot
+		// race another producer. (The learning case publishes through the
+		// trainer ring below, after the learner nets are restored.)
+		select {
+		case <-mdl.toServe:
+		default:
+		}
+		mdl.toServe <- &netPair{actor: actor, critic: critic}
 	}
 	if !s.cfg.Learn {
+		s.recordSnapSums(key, ms.ActorSum, ms.CriticSum)
 		return nil
 	}
 	if err := mdl.ensureLearner(); err != nil {
@@ -216,7 +236,27 @@ func (s *Server) restoreModel(ms *durable.ModelSnap, snapSeq uint64) error {
 	}
 	l.replay.Import(shards)
 	l.mReplay.Set(int64(l.replay.Len()))
+	if running {
+		// Publish the restored weights to the running loop through the
+		// trainer's ring (bitwise the snapshot's weights: Snapshot/Restore
+		// round-trips exactly). No trainer runs concurrently on a follower
+		// — goLoops are leader-side — so the tailer is still the only
+		// publisher.
+		l.mu.Lock()
+		l.publishLocked()
+		l.mu.Unlock()
+	}
+	s.recordSnapSums(key, ms.ActorSum, ms.CriticSum)
 	return nil
+}
+
+// recordSnapSums notes the checksums of the snapshot state this node last
+// applied for one model (follower resync, restart recovery). The leader
+// side records in captureSnapshot; /checksums exposes both.
+func (s *Server) recordSnapSums(key modelKey, actorSum, criticSum uint64) {
+	s.mu.Lock()
+	s.snapSums[fmt.Sprintf("%dx%d/%d", key.n, key.m, key.spouts)] = [2]uint64{actorSum, criticSum}
+	s.mu.Unlock()
 }
 
 // unmarshalNet decodes a weight blob and, when wantSum is non-zero,
@@ -437,6 +477,16 @@ func (s *Server) captureSnapshot() (*durable.Snapshot, error) {
 		}
 		snap.Models = append(snap.Models, ms)
 	}
+	// Record the barrier's weight checksums for /checksums: every learning
+	// model is in every snapshot, so wholesale replacement is exact.
+	sums := make(map[string][2]uint64, len(snap.Models))
+	for i := range snap.Models {
+		k := snap.Models[i].Key
+		sums[fmt.Sprintf("%dx%d/%d", k.N, k.M, k.Spouts)] = [2]uint64{snap.Models[i].ActorSum, snap.Models[i].CriticSum}
+	}
+	s.mu.Lock()
+	s.snapSums = sums
+	s.mu.Unlock()
 	return snap, nil
 }
 

@@ -1,11 +1,11 @@
 package serve
 
 import (
-	"bufio"
 	"context"
 	"fmt"
 	"log"
 	"net"
+	"sync"
 	"time"
 
 	"repro/internal/durable"
@@ -17,12 +17,14 @@ import (
 // same recovery re-derivation path a restart uses, so the replica holds a
 // continuously warm session table, replay shards, and trainer weights —
 // and a byte-exact mirror of the leader's data directory on its own disk.
-// Followers never serve and never train before promotion (the Polynesia
-// lesson: replication must not contend with the leader's serve path, and
-// structurally a follower has no serve path to contend with), which is
-// also what makes the failover acceptance criterion structural: an
-// unpromoted follower's weights and replay are bitwise the leader's last
-// shipped barrier, because nothing else has ever touched them.
+// Followers never accept full sessions and never train before promotion
+// (the Polynesia lesson: replication must not contend with the leader's
+// serve path), which is what makes the failover acceptance criterion
+// structural: an unpromoted follower's weights and replay are bitwise the
+// leader's last shipped barrier, because nothing has trained against
+// them. Followers do answer read-only (inference-only) sessions from
+// those continuously-warm weights — follower reads never mutate state, so
+// the bitwise property survives them.
 //
 // Promote() flips the daemon to leader: stop tailing, bump the
 // replication generation, open the mirror as its own WAL, start the batch
@@ -40,9 +42,17 @@ type replicaState struct {
 }
 
 // startReplica warms the server from the mirror directory and starts the
-// tailer. Called by Serve before the accept loop; the server's ctx is
-// still nil, so recovered models are created without batch loops.
+// tailer. Called by Serve before the accept loop.
 func (s *Server) startReplica(ctx context.Context) error {
+	return s.startReplicaTo(ctx, s.cfg.ReplicateFrom)
+}
+
+// startReplicaTo begins (or re-begins, at Rejoin) a follower role epoch
+// tailing the leader shipping on addr: warm state is recovered from the
+// mirror, the batch loops start so the follower can answer read-only
+// sessions from its continuously-warm weights, and the tailer runs under
+// the role epoch's context and wait group.
+func (s *Server) startReplicaTo(ctx context.Context, addr string) error {
 	if s.cfg.DataDir == "" {
 		return fmt.Errorf("serve: ReplicateFrom requires DataDir (the replication mirror)")
 	}
@@ -62,7 +72,7 @@ func (s *Server) startReplica(ctx context.Context) error {
 	tctx, cancel := context.WithCancel(ctx)
 	tailer, err := durable.NewTailer(durable.TailConfig{
 		Dir:          s.cfg.DataDir,
-		Addr:         s.cfg.ReplicateFrom,
+		Addr:         addr,
 		Handler:      (*tailApplier)(s),
 		Logf:         log.Printf,
 		Applied:      s.reg.Counter("serve_repl_applied_records_total"),
@@ -70,6 +80,7 @@ func (s *Server) startReplica(ctx context.Context) error {
 		Reconnects:   s.reg.Counter("serve_repl_reconnects_total"),
 		SegsReceived: s.reg.Counter("serve_repl_segments_received_total"),
 		Lag:          s.mReplLag,
+		Gen:          s.mGen,
 	}, st)
 	if err != nil {
 		cancel()
@@ -78,10 +89,26 @@ func (s *Server) startReplica(ctx context.Context) error {
 	rs := &replicaState{tailer: tailer, cancel: cancel, done: make(chan struct{}), promoted: make(chan struct{})}
 	s.mu.Lock()
 	s.repl = rs
+	rwg := s.roleWG
+	// Follower reads: batch loops run on the follower too, serving
+	// inference-only sessions from the replicated weights. Recovery above
+	// ran with ctx unset (direct weight installs are safe before a loop
+	// exists); everything from here on routes installs through the
+	// publication channels.
+	s.ctx = ctx
+	for _, m := range s.models {
+		m.start()
+	}
 	s.mu.Unlock()
 	s.wg.Add(1)
+	if rwg != nil {
+		rwg.Add(1)
+	}
 	go func() {
 		defer s.wg.Done()
+		if rwg != nil {
+			defer rwg.Done()
+		}
 		defer close(rs.done)
 		if err := tailer.Run(tctx); err != nil {
 			// Terminal tail failures (stale leader generation) leave the
@@ -90,7 +117,7 @@ func (s *Server) startReplica(ctx context.Context) error {
 		}
 	}()
 	log.Printf("serve: replica of %s: warmed %d sessions, %d models from mirror %s",
-		s.cfg.ReplicateFrom, s.sessions.len(), nModels, s.cfg.DataDir)
+		addr, s.sessions.len(), nModels, s.cfg.DataDir)
 	return nil
 }
 
@@ -133,40 +160,31 @@ func (a *tailApplier) ApplySnapshot(snap *durable.Snapshot, reset bool) error {
 		}
 		return nil
 	}
-	s.mu.Lock()
-	s.models = map[modelKey]*model{}
-	s.mu.Unlock()
+	// Wholesale replacement of the session table — but the model objects
+	// must survive: live read-only sessions hold references to them and
+	// their running batch loops. restoreModel re-installs each model's
+	// weights through the publication channel; a model absent from the
+	// snapshot just keeps serving its last weights until one covers it.
 	s.sessions.reset()
 	_, err := s.recoverDurable(&durable.Recovered{Snapshot: snap})
 	return err
 }
 
-// shedReplica answers a connection on a node that is not serving — a
-// replica before promotion, or a demoted leader: read the hello (in
-// whichever framing the client opened with), reply retry, close. The
-// client's backoff lands it back here after promotion — or at the
-// gateway's re-homed backend. The heavy lifting is shedConn's, which only
-// replies after a complete hello frame: the old code here read a frame,
-// ignored the result, and wrote an NDJSON reply unconditionally — against
-// a client whose hello never completed (or arrived in the binary framing)
-// that reply lands mid-frame or in the wrong framing and turns a clean
-// "retry later" into a client-side protocol error during failover.
-func (s *Server) shedReplica(conn net.Conn) {
-	defer conn.Close()
-	s.mShed.Inc()
-	s.shedConn(conn, bufio.NewReader(conn), "retry: not serving (unpromoted replica or demoted leader)")
-}
-
 // Promote flips a replica into the serving leader: stop tailing (the
 // in-flight frame finishes applying, so warm state equals the mirror),
 // bump the replication generation, open the mirror as this daemon's own
-// WAL, start batch loops and background loops, and begin accepting
+// WAL, start the leader-side background loops, and begin accepting full
 // sessions — including every resumption token the dead leader issued.
-// A second Promote (or one on a non-replica) is refused.
+// The batch loops keep running across the flip (a follower serving
+// read-only sessions upgrades in place). A second Promote (or one on a
+// non-replica) is refused — until a Rejoin starts the next follower
+// epoch, after which the node is promotable again.
 func (s *Server) Promote() error {
+	s.roleMu.Lock()
+	defer s.roleMu.Unlock()
 	s.mu.Lock()
 	rs := s.repl
-	ctx := s.ctxRun
+	ctx := s.roleCtx
 	s.mu.Unlock()
 	if rs == nil {
 		s.mPromoteRej.Inc()
@@ -175,6 +193,10 @@ func (s *Server) Promote() error {
 	if ctx == nil {
 		s.mPromoteRej.Inc()
 		return fmt.Errorf("serve: replica is not running")
+	}
+	if s.demoted.Load() {
+		s.mPromoteRej.Inc()
+		return fmt.Errorf("serve: promote: node is demoted (rejoin first)")
 	}
 	if !s.promoting.CompareAndSwap(false, true) {
 		s.mPromoteRej.Inc()
@@ -218,32 +240,38 @@ func (s *Server) Promote() error {
 		// node that cannot feed its own followers must still serve.
 		log.Printf("serve: promote: %v (serving without shipping)", err)
 	}
+	s.replicating.Store(false)
 	close(rs.promoted)
 	s.mPromotions.Inc()
 	s.mRole.Set(1)
+	s.mGen.Set(int64(gen))
 	log.Printf("serve: promoted to leader (generation %d) in %v; %d sessions warm",
 		gen, time.Since(start).Round(time.Millisecond), s.sessions.len())
 	return nil
 }
 
-// promotedCh returns the channel closed at promotion (nil when not a
-// replica).
-func (s *Server) promotedCh() <-chan struct{} {
-	s.mu.Lock()
-	defer s.mu.Unlock()
-	if s.repl == nil {
-		return nil
-	}
-	return s.repl.promoted
+// serving reports whether full sessions are accepted (leader from the
+// start, or replica after promotion — unless demoted by failover
+// fencing, and not while a rejoined node is back to following).
+func (s *Server) serving() bool {
+	return !s.demoted.Load() && !s.replicating.Load()
 }
 
-// serving reports whether sessions are accepted (leader from the start,
-// or replica after promotion — unless demoted by failover fencing).
-func (s *Server) serving() bool {
+// readOnlyOK reports whether inference-only sessions are accepted: any
+// serving leader, or an undemoted follower whose batch loops are warm
+// (follower reads). A demoted node serves nothing — fencing must fence
+// reads too, or a stalled ex-leader would answer from frozen weights.
+func (s *Server) readOnlyOK() bool {
 	if s.demoted.Load() {
 		return false
 	}
-	return s.cfg.ReplicateFrom == "" || s.promoting.Load() && s.promotedDone()
+	if s.serving() {
+		return true
+	}
+	s.mu.Lock()
+	warm := s.ctx != nil
+	s.mu.Unlock()
+	return s.replicating.Load() && warm
 }
 
 // RetargetReplication re-points an unpromoted replica's tailer at a new
@@ -269,17 +297,105 @@ func (s *Server) RetargetReplication(addr string) error {
 	return nil
 }
 
-func (s *Server) promotedDone() bool {
-	ch := s.promotedCh()
-	if ch == nil {
-		return false
+// Rejoin re-enters a demoted (or otherwise deposed) ex-leader into the
+// group as a tailing follower of the leader shipping on addr — the
+// self-healing step failover used to leave to an operator. The current
+// role epoch is torn down (batch loops, background loops, ship server,
+// tailer — sessions and accept loops survive, shedding meanwhile), local
+// snapshots and WAL segments are cleared so the tailer's hello carries
+// position zero, and the next follower epoch starts: the leader answers
+// the blank position with a full reset snapshot — the exact lagged-
+// follower resync path — under the generation guard (repl-gen is kept;
+// the new leader's higher generation is adopted, a stale one refused).
+// On a node already tailing undemoted, Rejoin degenerates to an
+// idempotent retarget. A serving leader refuses (demote first).
+func (s *Server) Rejoin(addr string) error {
+	if addr == "" {
+		return fmt.Errorf("serve: rejoin: empty leader address")
 	}
-	select {
-	case <-ch:
-		return true
-	default:
-		return false
+	s.roleMu.Lock()
+	defer s.roleMu.Unlock()
+
+	if s.replicating.Load() && !s.demoted.Load() {
+		s.mu.Lock()
+		rs := s.repl
+		s.mu.Unlock()
+		if rs != nil {
+			if rs.tailer.Addr() != addr {
+				rs.tailer.Retarget(addr)
+				log.Printf("serve: rejoin: already following; retargeted to %s", addr)
+			}
+			return nil
+		}
 	}
+	if s.serving() {
+		return fmt.Errorf("serve: rejoin: node is the serving leader (demote first)")
+	}
+	s.mu.Lock()
+	ctxRun := s.ctxRun
+	cancel := s.roleCancel
+	rwg := s.roleWG
+	s.mu.Unlock()
+	if ctxRun == nil || ctxRun.Err() != nil {
+		return fmt.Errorf("serve: rejoin: daemon is not running")
+	}
+
+	start := time.Now()
+	if cancel != nil {
+		cancel()
+	}
+	if rwg != nil {
+		rwg.Wait()
+	}
+	// Every role-scoped goroutine is down. Fail whatever a racing session
+	// managed to enqueue after the batch loops' own exit drain, drop the
+	// warm state, and close the WAL (no final snapshot — the mirror is
+	// about to be reset anyway).
+	s.mu.Lock()
+	models := s.models
+	s.models = map[modelKey]*model{}
+	s.reg.Gauge("serve_models").Set(0)
+	dur := s.dur
+	s.dur = nil
+	s.ctx = nil
+	s.repl = nil
+	s.mu.Unlock()
+	for _, m := range models {
+		m.failPending()
+	}
+	if dur != nil {
+		if err := dur.Close(); err != nil {
+			log.Printf("serve: rejoin: closing WAL: %v", err)
+		}
+	}
+	s.sessions.reset()
+	if err := durable.ResetMirror(s.cfg.DataDir); err != nil {
+		s.mRejoinErrs.Inc()
+		return fmt.Errorf("serve: rejoin: reset mirror: %w", err)
+	}
+
+	// Next epoch: a follower of addr. replicating flips before demoted
+	// clears so serving() is never momentarily true in between.
+	roleCtx, roleCancel := context.WithCancel(ctxRun)
+	s.mu.Lock()
+	s.roleCtx = roleCtx
+	s.roleCancel = roleCancel
+	s.roleWG = &sync.WaitGroup{}
+	s.mu.Unlock()
+	s.promoting.Store(false)
+	s.replicating.Store(true)
+	s.demoted.Store(false)
+	s.mRole.Set(0)
+	if err := s.startReplicaTo(roleCtx, addr); err != nil {
+		// A node that failed to re-enter must stay fenced, not half-serve.
+		s.demoted.Store(true)
+		s.mRejoinErrs.Inc()
+		return fmt.Errorf("serve: rejoin: %w", err)
+	}
+	s.mRejoins.Inc()
+	log.Printf("serve: rejoined as follower of %s in %v (state reset, resyncing from scratch)",
+		addr, time.Since(start).Round(time.Millisecond))
+	return nil
 }
 
 // startShipServer begins serving WAL shipping on Config.ReplListen under
@@ -306,12 +422,22 @@ func (s *Server) startShipServer(ctx context.Context) error {
 		SnapshotsShipped: s.reg.Counter("serve_repl_snapshots_shipped_total"),
 	})
 	stop := context.AfterFunc(ctx, func() { ln.Close(); ss.Close() })
+	s.mu.Lock()
+	rwg := s.roleWG
+	s.mu.Unlock()
 	s.wg.Add(1)
+	if rwg != nil {
+		rwg.Add(1)
+	}
 	go func() {
 		defer s.wg.Done()
+		if rwg != nil {
+			defer rwg.Done()
+		}
 		defer stop()
 		ss.Serve(ln)
 	}()
+	s.mGen.Set(int64(gen))
 	log.Printf("serve: shipping WAL on %s (generation %d)", s.cfg.ReplListen, gen)
 	return nil
 }

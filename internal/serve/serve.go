@@ -281,15 +281,29 @@ type Server struct {
 	mu     sync.Mutex
 	models map[modelKey]*model
 
+	// snapSums records, per model key ("NxM/S"), the actor/critic weight
+	// checksums of the last snapshot this node captured (leader) or
+	// applied (follower, restart recovery). /checksums exposes it so an
+	// external harness can assert bitwise convergence across a group: a
+	// follower at lag zero must report exactly the sums of the leader's
+	// last snapshot barrier. Guarded by mu.
+	snapSums map[string][2]uint64
+
 	// dur, when non-nil, is the open durability log (Config.DataDir); the
 	// journaling hooks and the snapshot/recovery paths live in persist.go.
 	// On a replica it stays nil until Promote opens the mirror.
 	dur *durable.Log
 
 	// repl is the follower machinery (replica mode only); promoting
-	// latches the one allowed Promote call.
+	// latches the one allowed Promote call per role epoch (Rejoin resets
+	// it when the node re-enters the group as a follower).
 	repl      *replicaState
 	promoting atomic.Bool
+
+	// replicating is true while the node is an unpromoted follower: set
+	// at construction for ReplicateFrom daemons, cleared by Promote, set
+	// again by Rejoin. serving() is !demoted && !replicating.
+	replicating atomic.Bool
 
 	// demoted fences a deposed leader (Demote): accepted connections are
 	// shed and the live ones severed, so a stalled-but-alive node the
@@ -302,13 +316,27 @@ type Server struct {
 	connsMu   sync.Mutex
 	liveConns map[net.Conn]struct{}
 
-	// run state, owned by Serve. ctx is the "serving live" context —
-	// models auto-start batch loops only once it is set, which is why a
-	// replica leaves it nil until promotion. ctxRun is set for the whole
-	// Serve call (replica phase included) so Promote can activate under it.
+	// run state, owned by Serve. ctx is the "batch loops live" context —
+	// models auto-start batch loops only once it is set. A follower sets
+	// it too (read-only sessions are served from continuously-warm
+	// weights), so on every role it equals roleCtx once the role is up.
+	// ctxRun is set for the whole Serve call so role transitions can
+	// derive fresh role epochs under it.
 	ctx    context.Context
 	ctxRun context.Context
 	wg     sync.WaitGroup
+
+	// Role epoch: everything a role transition must tear down — batch
+	// loops, background loops, the ship server, the tailer — runs under
+	// roleCtx and registers on roleWG (in addition to wg). Promote is an
+	// in-place upgrade (loops keep running); only Rejoin ends an epoch:
+	// cancel roleCancel, wait roleWG, start the next epoch as a follower.
+	// roleMu serializes role transitions; the context fields are guarded
+	// by mu (readers) and only rewritten under roleMu.
+	roleMu     sync.Mutex
+	roleCtx    context.Context
+	roleCancel context.CancelFunc
+	roleWG     *sync.WaitGroup
 
 	// metric handles (hot path: no map lookups)
 	mSessions     *Gauge
@@ -345,6 +373,11 @@ type Server struct {
 	mRole         *Gauge
 	mBinSessions  *Counter
 	mNDJSessions  *Counter
+	mRejoins      *Counter
+	mRejoinErrs   *Counter
+	mROSessions   *Counter
+	mROActive     *Gauge
+	mGen          *Gauge
 
 	// testGate, when non-nil, is received from before each micro-batch is
 	// gathered — test-only hook to hold the batcher and force queue
@@ -367,6 +400,7 @@ func New(cfg Config) *Server {
 		trainSem:      parallel.NewSem(runtime.GOMAXPROCS(0) - 1),
 		gemmSem:       parallel.NewSem(gemmWorkers - 1),
 		models:        map[modelKey]*model{},
+		snapSums:      map[string][2]uint64{},
 		liveConns:     map[net.Conn]struct{}{},
 		mSessions:     reg.Gauge("serve_sessions"),
 		mSessionsPeak: reg.Gauge("serve_sessions_peak"),
@@ -402,9 +436,16 @@ func New(cfg Config) *Server {
 		mRole:         reg.Gauge("serve_role"),
 		mBinSessions:  reg.Counter("serve_sessions_binary_total"),
 		mNDJSessions:  reg.Counter("serve_sessions_ndjson_total"),
+		mRejoins:      reg.Counter("serve_rejoins_total"),
+		mRejoinErrs:   reg.Counter("serve_rejoin_errors_total"),
+		mROSessions:   reg.Counter("serve_readonly_sessions_total"),
+		mROActive:     reg.Gauge("serve_readonly_active"),
+		mGen:          reg.Gauge("serve_repl_generation"),
 	}
 	if cfg.ReplicateFrom == "" {
 		s.mRole.Set(1) // leader; a replica moves 0→1 at promotion
+	} else {
+		s.replicating.Store(true)
 	}
 	s.sessions = newSessionTable(cfg.SessionTTL, cfg.MaxTrackedSessions, cfg.Seed, nil)
 	reg.Gauge("serve_accept_shards").Set(int64(cfg.AcceptShards))
@@ -531,15 +572,22 @@ func (s *Server) Serve(ctx context.Context, l net.Listener) error {
 	}()
 
 	sctx, cancel := context.WithCancel(ctx)
+	// First role epoch: leader or follower, everything role-scoped runs
+	// under roleCtx so a later Rejoin can tear it down without ending
+	// Serve (sessions and accept loops live under sctx).
+	roleCtx, roleCancel := context.WithCancel(sctx)
 	s.mu.Lock()
 	s.ctxRun = sctx
+	s.roleCtx = roleCtx
+	s.roleCancel = roleCancel
+	s.roleWG = &sync.WaitGroup{}
 	s.mu.Unlock()
 	if isReplica {
-		if err := s.startReplica(sctx); err != nil {
+		if err := s.startReplica(roleCtx); err != nil {
 			cancel()
 			return err
 		}
-	} else if err := s.activate(sctx); err != nil {
+	} else if err := s.activate(roleCtx); err != nil {
 		cancel()
 		s.wg.Wait()
 		return err
@@ -596,10 +644,9 @@ func (s *Server) acceptLoop(sctx context.Context, l net.Listener) error {
 			defer s.wg.Done()
 			s.trackConn(conn)
 			defer s.untrackConn(conn)
-			if !s.serving() {
-				s.shedReplica(conn)
-				return
-			}
+			// Serving-state gating happens inside handleConn, after the
+			// hello: a follower sheds full sessions but accepts read-only
+			// ones (follower reads), and only the hello says which is which.
 			s.handleConn(sctx, conn)
 		}()
 	}
@@ -608,7 +655,9 @@ func (s *Server) acceptLoop(sctx context.Context, l net.Listener) error {
 // activate turns the server live: batch loops for every existing model,
 // the background janitor/snapshot/train/checkpoint loops, and — with
 // ReplListen set — the WAL shipping server for followers. Runs at Serve
-// start on a leader, at Promote on a replica.
+// start on a leader, at Promote on a replica. On a follower serving
+// read-only sessions the batch loops are already running (m.start is
+// idempotent); activate then only adds the leader-side loops.
 func (s *Server) activate(sctx context.Context) error {
 	s.mu.Lock()
 	s.ctx = sctx
@@ -665,8 +714,9 @@ func (s *Server) untrackConn(c net.Conn) {
 // failover reaches a node that was stalled, not dead): stop accepting
 // sessions — new connections shed with a retry — and sever the live ones,
 // so their clients re-dial the gateway and land on the promoted node.
-// Nothing on disk is destroyed; an operator decides when and how the node
-// rejoins (typically wiped, as a follower of the promoted leader). A
+// Nothing on disk is destroyed; Rejoin (the gateway drives it via POST
+// /rejoin) resets the node's state through the follower resync path and
+// re-enters it as a tailing follower of the new leader — no operator. A
 // demoted node refuses Promote, and Demote on a node that is not serving
 // is an error unless it is already demoted (idempotent retries converge).
 func (s *Server) Demote() error {
@@ -691,12 +741,23 @@ func (s *Server) Demote() error {
 	return nil
 }
 
-// goLoop runs fn every period under the server's run group until ctx
-// ends (janitor, background trainer, checkpointer).
+// goLoop runs fn every period under the server's run group AND the
+// current role epoch's group until ctx ends (janitor, background
+// trainer, checkpointer) — Rejoin waits for the role group, Serve's
+// drain waits for the run group.
 func (s *Server) goLoop(ctx context.Context, period time.Duration, fn func()) {
+	s.mu.Lock()
+	rwg := s.roleWG
+	s.mu.Unlock()
 	s.wg.Add(1)
+	if rwg != nil {
+		rwg.Add(1)
+	}
 	go func() {
 		defer s.wg.Done()
+		if rwg != nil {
+			defer rwg.Done()
+		}
 		t := time.NewTicker(period)
 		defer t.Stop()
 		for {
@@ -803,6 +864,7 @@ func (s *Server) Handler() http.Handler {
 			"sessions":         s.active.Load(),
 			"models":           nModels,
 			"repl_lag_records": s.mReplLag.Value(),
+			"generation":       s.mGen.Value(),
 		})
 	})
 	mux.HandleFunc("/promote", func(w http.ResponseWriter, r *http.Request) {
@@ -833,6 +895,56 @@ func (s *Server) Handler() http.Handler {
 			return
 		}
 		_ = json.NewEncoder(w).Encode(map[string]any{"status": "demoted"})
+	})
+	mux.HandleFunc("/rejoin", func(w http.ResponseWriter, r *http.Request) {
+		if r.Method != http.MethodPost {
+			http.Error(w, "POST required", http.StatusMethodNotAllowed)
+			return
+		}
+		w.Header().Set("Content-Type", "application/json")
+		addr := r.FormValue("addr")
+		if err := s.Rejoin(addr); err != nil {
+			w.WriteHeader(http.StatusConflict)
+			_ = json.NewEncoder(w).Encode(map[string]any{"error": err.Error()})
+			return
+		}
+		_ = json.NewEncoder(w).Encode(map[string]any{"status": "rejoining", "addr": addr})
+	})
+	mux.HandleFunc("/snapshot", func(w http.ResponseWriter, r *http.Request) {
+		if r.Method != http.MethodPost {
+			http.Error(w, "POST required", http.StatusMethodNotAllowed)
+			return
+		}
+		w.Header().Set("Content-Type", "application/json")
+		if err := s.SnapshotNow(); err != nil {
+			w.WriteHeader(http.StatusConflict)
+			_ = json.NewEncoder(w).Encode(map[string]any{"error": err.Error()})
+			return
+		}
+		_ = json.NewEncoder(w).Encode(map[string]any{"status": "snapshotted"})
+	})
+	mux.HandleFunc("/checksums", func(w http.ResponseWriter, _ *http.Request) {
+		// live: the trainer networks as they are right now (a leader's keep
+		// moving while it trains; a follower's are frozen at the last
+		// applied snapshot). snapshot: the sums recorded at the last
+		// snapshot barrier this node captured or applied. A chaos harness
+		// quiesces load, snapshots the leader, waits for follower lag zero,
+		// then requires follower live == follower snapshot == leader
+		// snapshot.
+		s.mu.Lock()
+		snapshot := make(map[string][2]string, len(s.snapSums))
+		for k, sums := range s.snapSums {
+			snapshot[k] = [2]string{fmt.Sprintf("%016x", sums[0]), fmt.Sprintf("%016x", sums[1])}
+		}
+		s.mu.Unlock()
+		live := map[string][2]string{}
+		for _, m := range s.learningModels() {
+			a, c := m.learner.checksums()
+			live[fmt.Sprintf("%dx%d/%d", m.key.n, m.key.m, m.key.spouts)] =
+				[2]string{fmt.Sprintf("%016x", a), fmt.Sprintf("%016x", c)}
+		}
+		w.Header().Set("Content-Type", "application/json")
+		_ = json.NewEncoder(w).Encode(map[string]any{"live": live, "snapshot": snapshot})
 	})
 	mux.HandleFunc("/retarget", func(w http.ResponseWriter, r *http.Request) {
 		if r.Method != http.MethodPost {

@@ -94,6 +94,25 @@ func (s *Server) handleConn(ctx context.Context, conn net.Conn) {
 	key := modelKey{hello.N, hello.M, hello.Spouts}
 	mdl := s.model(key)
 
+	// Role gating, after the hello — only the hello says whether the
+	// session is full or inference-only. Full sessions need a serving
+	// leader; read-only ones are also answered by an undemoted warm
+	// follower (follower reads).
+	if hello.ReadOnly {
+		if !s.readOnlyOK() {
+			s.mShed.Inc()
+			_ = write(&core.SolutionMsg{Err: "retry: read-only unavailable (demoted or cold)", Retry: true})
+			return
+		}
+		s.runReadOnly(ctx, conn, w, write, &hello, mdl)
+		return
+	}
+	if !s.serving() {
+		s.mShed.Inc()
+		_ = write(&core.SolutionMsg{Err: "retry: not serving (unpromoted replica or demoted leader)", Retry: true})
+		return
+	}
+
 	// Attach resumable per-topology state: a hello presenting a tracked
 	// token continues that session — same current solution, exploration
 	// schedule position, reward statistics and pending transition — while
@@ -241,9 +260,27 @@ func (s *Server) handleConn(ctx context.Context, conn net.Conn) {
 			epoch--
 			continue
 		}
+		failed := false
 		select {
 		case <-req.done:
+			failed = req.failed
+		case <-mdl.stopped:
+			// The batch loop tore down mid-request (role transition):
+			// either its exit drain failed the request — done closes right
+			// after stopped — or the enqueue raced past the drain and the
+			// request will never complete. Shed either way.
+			select {
+			case <-req.done:
+				failed = req.failed
+			default:
+				failed = true
+			}
 		case <-ctx.Done():
+			return
+		}
+		if failed {
+			s.mShed.Inc()
+			_ = write(&core.SolutionMsg{Epoch: epoch, Err: "retry: not serving (role change)", Retry: true})
 			return
 		}
 		if stale {
@@ -307,6 +344,121 @@ func (s *Server) handleConn(ctx context.Context, conn net.Conn) {
 	}
 }
 
+// runReadOnly services an inference-only session: state→action answers
+// from the node's current weights, nothing journaled, nothing learned, no
+// resumption state issued. Served by leaders and — the point — by
+// undemoted followers from their continuously-warm replicated weights,
+// with staleness bounded by the serve_repl_lag_records gauge. A hello
+// token is honored as a warm start: the tracked session's replicated
+// solution seeds the state encoding, but the session is never attached —
+// the leader's client may resume it elsewhere at any moment.
+func (s *Server) runReadOnly(ctx context.Context, conn net.Conn, w *core.Wire, write func(*core.SolutionMsg) error, hello *core.HelloMsg, mdl *model) {
+	s.mROSessions.Inc()
+	s.mROActive.Add(1)
+	defer s.mROActive.Add(-1)
+
+	// Starting solution: the tracked session's state when the hello
+	// presents a known token of the same shape, the cold round-robin prior
+	// otherwise (an unknown token is a cold start, never an error — same
+	// degradation rule as resumption after TTL eviction).
+	assign := make([]int, hello.N)
+	epoch := 0
+	warm := false
+	if hello.Token != "" {
+		if pkey, passign, pepoch, ok := s.sessions.peek(hello.Token); ok && pkey == mdl.key && len(passign) == hello.N {
+			copy(assign, passign)
+			epoch = pepoch
+			warm = true
+		}
+	}
+	if !warm {
+		for i := range assign {
+			assign[i] = i % hello.M
+		}
+	}
+	// No token in the reply: there is nothing resumable to come back to.
+	if err := write(&core.SolutionMsg{Epoch: epoch, Assign: assign, Resumed: warm}); err != nil {
+		return
+	}
+
+	req := &inferReq{
+		state:  make([]float64, mdl.pol.StateDim()),
+		result: make([]int, hello.N),
+	}
+	var meas core.MeasurementMsg
+	for epoch++; ; epoch++ {
+		if conn.SetReadDeadline(time.Now().Add(s.cfg.IdleTimeout)) != nil {
+			return
+		}
+		if err := w.ReadMeasurement(&meas); err != nil {
+			if ctx.Err() == nil && isProtoErr(err) {
+				s.mProtoErrs.Inc()
+				switch {
+				case errors.Is(err, errLineTooLong):
+					if conn.SetReadDeadline(time.Now().Add(s.cfg.WriteTimeout)) == nil && w.Drain() == nil {
+						_ = write(&core.SolutionMsg{Epoch: epoch, Err: errLineTooLong.Error()})
+					}
+				case core.IsMalformed(err):
+					_ = write(&core.SolutionMsg{Epoch: epoch, Err: fmt.Sprintf("bad measurement: %v", err)})
+				}
+			}
+			return
+		}
+		s.mRequests.Inc()
+		if len(meas.Workload) != hello.Spouts {
+			s.mProtoErrs.Inc()
+			_ = write(&core.SolutionMsg{Epoch: epoch, Err: fmt.Sprintf("measurement has %d spout rates, session declared %d", len(meas.Workload), hello.Spouts)})
+			return
+		}
+		if !s.readOnlyOK() {
+			// Demoted (or torn down) since the hello: fencing fences reads
+			// too — a stalled ex-leader must not answer from frozen weights.
+			s.mShed.Inc()
+			_ = write(&core.SolutionMsg{Epoch: epoch, Err: "retry: not serving (role change)", Retry: true})
+			return
+		}
+
+		start := time.Now()
+		mdl.pol.Codec.Encode(assign, meas.Workload, req.state)
+		req.noise = nil
+		req.done = make(chan struct{})
+		select {
+		case mdl.queue <- req:
+		default:
+			s.mShed.Inc()
+			if err := write(&core.SolutionMsg{Epoch: epoch, Err: "retry: inference queue full", Retry: true}); err != nil {
+				return
+			}
+			epoch--
+			continue
+		}
+		failed := false
+		select {
+		case <-req.done:
+			failed = req.failed
+		case <-mdl.stopped:
+			select {
+			case <-req.done:
+				failed = req.failed
+			default:
+				failed = true
+			}
+		case <-ctx.Done():
+			return
+		}
+		if failed {
+			s.mShed.Inc()
+			_ = write(&core.SolutionMsg{Epoch: epoch, Err: "retry: not serving (role change)", Retry: true})
+			return
+		}
+		copy(assign, req.result)
+		if err := write(&core.SolutionMsg{Epoch: epoch, Assign: assign}); err != nil {
+			return
+		}
+		s.mLatency.Observe(time.Since(start))
+	}
+}
+
 // shedConn reads a connection's hello — in whichever framing the client
 // opened with — and answers an explicit retry in that framing, so the
 // client backs off instead of treating the shed as a dead server. The
@@ -316,7 +468,8 @@ func (s *Server) handleConn(ctx context.Context, conn net.Conn) {
 // a half-written frame would desynchronize the client's decoder. The hello
 // is consumed first because closing a socket with unread received data
 // sends RST, destroying the retry reply in flight. Used by the admission
-// path and by shedReplica.
+// path, which sheds before reading the hello; post-hello role gating
+// replies through the session's already-negotiated Wire instead.
 func (s *Server) shedConn(conn net.Conn, br *bufio.Reader, errText string) {
 	if conn.SetDeadline(time.Now().Add(s.cfg.WriteTimeout)) != nil {
 		return

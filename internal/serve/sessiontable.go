@@ -299,6 +299,29 @@ func (st *sessionState) drawFloat() float64 {
 	return st.rng.Float64()
 }
 
+// peek returns a copy of a tracked session's shape, current solution and
+// epoch without attaching it — the warm start for read-only sessions,
+// which must not take ownership of state the owning client could resume
+// at any moment. Live and detached entries both peek fine (the copy is
+// consistent under st.mu); an expired entry reads as absent.
+func (t *sessionTable) peek(token string) (key modelKey, assign []int, epoch int, ok bool) {
+	if token == "" {
+		return key, nil, 0, false
+	}
+	sh := t.shardFor(token)
+	sh.mu.Lock()
+	defer sh.mu.Unlock()
+	st, found := sh.entries[token]
+	if !found || t.expired(st, t.now()) {
+		return key, nil, 0, false
+	}
+	st.mu.Lock()
+	assign = append([]int(nil), st.assign...)
+	epoch = st.epoch
+	st.mu.Unlock()
+	return st.key, assign, epoch, true
+}
+
 // detach releases a live session's state back to the table, starting its
 // TTL clock.
 func (t *sessionTable) detach(st *sessionState) {
