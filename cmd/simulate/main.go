@@ -8,47 +8,69 @@
 //	simulate -app cq-large -scheduler default -minutes 20
 //	simulate -app wc -scheduler ac -minutes 20 -train 500
 //	simulate -app cq-small -scheduler all       # every scheduler, in parallel
-//	simulate -cluster-scenario examples/scenarios/mixed4.ndjson
+//	simulate -cluster-scenario examples/scenarios/drlmix.ndjson
+//	simulate -tournament -tournament-out TOURNAMENT.json
 //
-// With -scheduler all, each scheduler's training and deployment runs
-// concurrently on a bounded worker pool and the stabilized latencies are
-// printed as one comparison table (ordered, deterministic for a seed).
+// Schedulers are constructed through the sched registry — the scheduler
+// flag accepts any registered name (sched.Names()) or "all".
 //
 // With -cluster-scenario, the named NDJSON scenario file is run on the
 // shared-clock multi-topology engine (internal/multisim): every topology
 // in the scenario shares one cluster's cores, slots and network, with the
-// scenario's arrival traces and correlated fault schedule. -isolated
-// re-runs the same topologies each on a private copy of the cluster — the
-// no-interference baseline. Output is deterministic for a seed.
+// scenario's arrival traces and correlated fault schedule. Scenarios may
+// place topologies with any registered scheduler, including the trained
+// ones. -isolated re-runs the same topologies each on a private copy of
+// the cluster — the no-interference baseline. Output is deterministic
+// for a seed.
+//
+// With -tournament, every registered scheduler is swept across the
+// default workload regimes (steady, bursty, diurnal, shifting, faulty,
+// contended) and the win/loss matrix is printed as a table and written
+// as deterministic JSON. -tournament-gate diffs the matrix against a
+// committed baseline and exits non-zero on flipped winners or stabilized
+// drift beyond -max-drift percent; -tournament-in gates a previously
+// written matrix without re-running the sweep.
 package main
 
 import (
-	"context"
 	"flag"
 	"fmt"
-	"math/rand"
 	"os"
+	"strings"
 	"time"
 
 	"repro"
 	"repro/internal/multisim"
-	"repro/internal/parallel"
-	"repro/internal/sim"
+	"repro/internal/sched"
+	"repro/internal/tournament"
 )
-
-// allSchedulers is the comparison set run by -scheduler all.
-var allSchedulers = []string{"default", "greedy", "random", "traffic", "model", "dqn", "ac"}
 
 func main() {
 	app := flag.String("app", "cq-small", "system: cq-small|cq-medium|cq-large|log|wc")
-	scheduler := flag.String("scheduler", "default", "scheduler: default|greedy|random|traffic|model|dqn|ac|all")
+	scheduler := flag.String("scheduler", "default",
+		fmt.Sprintf("scheduler: %s|all", strings.Join(sched.Names(), "|")))
 	minutes := flag.Float64("minutes", 20, "simulated minutes")
 	train := flag.Int("train", 500, "training budget for the learning schedulers")
 	seed := flag.Int64("seed", 1, "simulation seed")
-	workers := flag.Int("workers", 0, "worker pool size for -scheduler all (0 = one per CPU)")
+	workers := flag.Int("workers", 0, "worker pool size for -scheduler all and -tournament (0 = one per CPU)")
 	scenario := flag.String("cluster-scenario", "", "NDJSON scenario file: run its topology mix on one shared cluster")
 	isolated := flag.Bool("isolated", false, "with -cluster-scenario: give each topology a private cluster copy (no-contention baseline)")
+	tourney := flag.Bool("tournament", false, "sweep every scheduler across the workload regimes and emit the win/loss matrix")
+	tourneyOut := flag.String("tournament-out", "TOURNAMENT.json", "with -tournament: matrix JSON output path (empty = table only)")
+	tourneySecs := flag.Float64("tournament-duration", 120, "with -tournament: simulated seconds per regime")
+	tourneyTiming := flag.Bool("tournament-timing", false, "with -tournament: record wall-clock columns (train_ms, ns_per_decision); breaks byte-identical output across machines")
+	tourneyIn := flag.String("tournament-in", "", "gate an existing matrix JSON file instead of running the sweep")
+	tourneyGate := flag.String("tournament-gate", "", "baseline matrix JSON to gate against (flipped winners and drift fail)")
+	maxDrift := flag.Float64("max-drift", 25, "with -tournament-gate: allowed stabilized-latency drift per cell, percent")
 	flag.Parse()
+
+	if *tourney || *tourneyIn != "" {
+		if err := runTournament(*tourneyIn, *tourneyOut, *tourneyGate,
+			*tourneySecs, *maxDrift, *train, *seed, *workers, *tourneyTiming); err != nil {
+			fail(err)
+		}
+		return
+	}
 
 	if *scenario != "" {
 		if err := runScenario(*scenario, *isolated); err != nil {
@@ -69,13 +91,12 @@ func main() {
 		return
 	}
 
-	assign, err := schedule(sys, *scheduler, *train, *seed)
+	assign, _, err := schedule(sys, *scheduler, *train, *seed)
 	if err != nil {
 		fail(err)
 	}
 
-	cfg := sim.DefaultConfig(sys.Top, sys.Cl, sys.Arrivals, *seed)
-	s, err := sim.New(cfg)
+	s, err := repro.NewSimulator(sys, *seed)
 	if err != nil {
 		fail(err)
 	}
@@ -97,10 +118,36 @@ func main() {
 		s.AvgOverLastWindows(5), s.Completed())
 }
 
-// compareAll trains and deploys every scheduler concurrently (each task owns
-// its agents, environments and simulator) and prints a comparison table in
-// the fixed allSchedulers order.
+// schedule constructs the named scheduler through the registry, trains
+// it if trainable, and returns the assignment for the system's
+// simulation environment plus the wall-clock nanoseconds spent
+// (training + the frozen Schedule call).
+func schedule(sys *repro.System, kind string, train int, seed int64) ([]int, int64, error) {
+	s, err := sched.New(kind, sched.Config{
+		Top: sys.Top, Cl: sys.Cl, Arrivals: sys.Arrivals,
+		Seed: seed, TrainBudget: train, Workers: 1,
+	})
+	if err != nil {
+		return nil, 0, err
+	}
+	start := time.Now()
+	if tr, ok := s.(sched.Trainable); ok {
+		if err := tr.Train(train); err != nil {
+			return nil, 0, err
+		}
+	}
+	assign, err := s.Schedule(repro.NewSimEnv(sys, seed))
+	if err != nil {
+		return nil, 0, err
+	}
+	return assign, time.Since(start).Nanoseconds(), nil
+}
+
+// compareAll trains and deploys every registered scheduler concurrently
+// (each task owns its agents, environments and simulator) and prints a
+// comparison table in canonical registry order.
 func compareAll(sys *repro.System, minutes float64, train int, seed int64, workers int) error {
+	names := sched.Names()
 	fmt.Printf("%s under all schedulers for %.0f simulated minutes (N=%d, M=%d)\n",
 		sys.Name, minutes, sys.Top.NumExecutors(), sys.Cl.Size())
 	type row struct {
@@ -108,33 +155,30 @@ func compareAll(sys *repro.System, minutes float64, train int, seed int64, worke
 		completed  int64
 		decisionNS int64
 	}
-	rows, err := parallel.Map(context.Background(), len(allSchedulers), workers,
-		func(_ context.Context, i int) (row, error) {
-			start := time.Now()
-			assign, err := schedule(sys, allSchedulers[i], train, seed)
-			if err != nil {
-				return row{}, err
-			}
-			// Scheduling cost per placement decision (one executor→machine
-			// choice), training included for the learning schedulers.
-			decisionNS := time.Since(start).Nanoseconds() / int64(sys.Top.NumExecutors())
-			cfg := sim.DefaultConfig(sys.Top, sys.Cl, sys.Arrivals, seed)
-			s, err := sim.New(cfg)
-			if err != nil {
-				return row{}, err
-			}
-			if err := s.Deploy(assign); err != nil {
-				return row{}, err
-			}
-			s.RunUntil(minutes * 60_000)
-			return row{stabilized: s.AvgOverLastWindows(5), completed: s.Completed(), decisionNS: decisionNS}, nil
-		})
+	rows, err := repro.ParallelMap(len(names), workers, func(i int) (row, error) {
+		assign, elapsedNS, err := schedule(sys, names[i], train, seed)
+		if err != nil {
+			return row{}, err
+		}
+		// Scheduling cost per placement decision (one executor→machine
+		// choice), training included for the learning schedulers.
+		decisionNS := elapsedNS / int64(sys.Top.NumExecutors())
+		s, err := repro.NewSimulator(sys, seed)
+		if err != nil {
+			return row{}, err
+		}
+		if err := s.Deploy(assign); err != nil {
+			return row{}, err
+		}
+		s.RunUntil(minutes * 60_000)
+		return row{stabilized: s.AvgOverLastWindows(5), completed: s.Completed(), decisionNS: decisionNS}, nil
+	})
 	if err != nil {
 		return err
 	}
 	fmt.Println(" scheduler   stabilized (ms)      tuples   ns/decision")
 	for i, r := range rows {
-		fmt.Printf("  %-9s   %12.3f   %10d   %11d\n", allSchedulers[i], r.stabilized, r.completed, r.decisionNS)
+		fmt.Printf("  %-9s   %12.3f   %10d   %11d\n", names[i], r.stabilized, r.completed, r.decisionNS)
 	}
 	return nil
 }
@@ -148,7 +192,11 @@ func runScenario(path string, isolated bool) error {
 	if err != nil {
 		return err
 	}
-	m, err := multisim.Build(sc, isolated)
+	setups, cl, err := sc.Instances()
+	if err != nil {
+		return err
+	}
+	m, err := multisim.BuildInstances(sc, setups, cl, isolated)
 	if err != nil {
 		return err
 	}
@@ -158,6 +206,9 @@ func runScenario(path string, isolated bool) error {
 	}
 	fmt.Printf("scenario %q: %d topologies on %d machines (%s), %.0f simulated seconds, seed %d\n",
 		sc.Name, len(sc.Topologies), sc.Cluster.Machines, mode, sc.DurationMS/1_000, sc.Seed)
+	for _, su := range setups {
+		fmt.Printf("  %-16s placed by %s\n", su.Name, su.Scheduler)
+	}
 	start := time.Now()
 	m.RunUntil(sc.DurationMS)
 	elapsed := time.Since(start)
@@ -173,46 +224,79 @@ func runScenario(path string, isolated bool) error {
 	return nil
 }
 
-func schedule(sys *repro.System, kind string, train int, seed int64) ([]int, error) {
-	simEnv := repro.NewSimEnv(sys, seed)
-	switch kind {
-	case "default":
-		return repro.NewRoundRobinScheduler().Schedule(simEnv)
-	case "greedy":
-		return repro.NewGreedyScheduler(sys).Schedule(simEnv)
-	case "traffic":
-		return repro.NewTrafficAwareScheduler(sys).Schedule(simEnv)
-	case "random":
-		n, m := sys.Top.NumExecutors(), sys.Cl.Size()
-		space := repro.NewActionSpace(n, m)
-		rng := rand.New(rand.NewSource(seed))
-		return space.Random(rng), nil
-	case "model":
-		trainEnv, err := repro.NewAnalyticEnv(sys)
+// runTournament sweeps the matrix (or loads one with -tournament-in),
+// prints the human table, writes the JSON, and optionally gates against
+// a committed baseline.
+func runTournament(inPath, outPath, gatePath string, durationSecs, maxDrift float64,
+	train int, seed int64, workers int, timing bool) error {
+	var m *tournament.Matrix
+	if inPath != "" {
+		f, err := os.Open(inPath)
 		if err != nil {
-			return nil, err
+			return err
 		}
-		return repro.NewModelBasedScheduler(sys, seed).Schedule(trainEnv)
-	case "dqn", "ac":
-		trainEnv, err := repro.NewAnalyticEnv(sys)
+		m, err = tournament.LoadJSON(f)
+		f.Close()
 		if err != nil {
-			return nil, err
+			return err
 		}
-		var agent repro.Agent
-		if kind == "ac" {
-			agent = repro.NewActorCriticAgent(sys, seed)
-		} else {
-			agent = repro.NewDQNAgent(sys, seed)
+	} else {
+		var err error
+		m, err = tournament.Run(tournament.Options{
+			Seed:        seed,
+			DurationMS:  durationSecs * 1_000,
+			TrainBudget: train,
+			Timing:      timing,
+			Workers:     workers,
+		})
+		if err != nil {
+			return err
 		}
-		ctrl := repro.NewController(trainEnv, agent)
-		if err := ctrl.CollectOffline(train); err != nil {
-			return nil, err
-		}
-		ctrl.OnlineLearn(train/2, nil)
-		return ctrl.GreedySolution(), nil
-	default:
-		return nil, fmt.Errorf("unknown -scheduler %q", kind)
 	}
+
+	m.WriteTable(os.Stdout)
+	for _, s := range m.Schedulers {
+		for _, r := range m.Regimes {
+			if c := m.Cells[s][r]; c != nil && c.Error != "" {
+				fmt.Fprintf(os.Stderr, "cell %s×%s errored: %s\n", s, r, c.Error)
+			}
+		}
+	}
+
+	if outPath != "" && inPath == "" {
+		f, err := os.Create(outPath)
+		if err != nil {
+			return err
+		}
+		if err := m.WriteJSON(f); err != nil {
+			f.Close()
+			return err
+		}
+		if err := f.Close(); err != nil {
+			return err
+		}
+		fmt.Printf("\nmatrix written to %s\n", outPath)
+	}
+
+	if gatePath != "" {
+		f, err := os.Open(gatePath)
+		if err != nil {
+			return err
+		}
+		baseline, err := tournament.LoadJSON(f)
+		f.Close()
+		if err != nil {
+			return err
+		}
+		if violations := tournament.Gate(baseline, m, maxDrift); len(violations) > 0 {
+			for _, viol := range violations {
+				fmt.Fprintln(os.Stderr, "tournament gate:", viol)
+			}
+			return fmt.Errorf("tournament gate failed: %d violation(s) against %s", len(violations), gatePath)
+		}
+		fmt.Printf("tournament gate passed against %s (max drift %.1f%%)\n", gatePath, maxDrift)
+	}
+	return nil
 }
 
 func systemFor(app string) (*repro.System, error) {

@@ -14,18 +14,13 @@ import (
 	"context"
 	"fmt"
 	"io"
-	"math/rand"
 	"sync"
 
-	"repro/internal/analytic"
 	"repro/internal/apps"
 	"repro/internal/core"
-	"repro/internal/env"
-	"repro/internal/nn"
 	"repro/internal/parallel"
 	"repro/internal/sched"
 	"repro/internal/sim"
-	"repro/internal/workload"
 )
 
 // Config controls experiment fidelity. Defaults() follows the paper;
@@ -149,125 +144,40 @@ type Result struct {
 	Stabilized map[string]float64
 }
 
-// trainEnv builds the mutable-rate analytic environment used for training:
-// the returned rates can be scaled to expose the agent to varying
-// workloads.
-type trainEnv struct {
-	*analytic.Evaluator
-	rates map[string]*workload.ConstantRate
-	base  map[string]float64
-}
-
-func newTrainEnv(sys *apps.System) (*trainEnv, error) {
-	rates := map[string]*workload.ConstantRate{}
-	base := map[string]float64{}
-	arr := map[string]workload.ArrivalProcess{}
-	for name, p := range sys.Arrivals {
-		r := &workload.ConstantRate{PerSecond: p.RateAt(0)}
-		rates[name] = r
-		base[name] = r.PerSecond
-		arr[name] = r
-	}
-	ev, err := analytic.New(sys.Top, sys.Cl, arr)
-	if err != nil {
-		return nil, err
-	}
-	return &trainEnv{Evaluator: ev, rates: rates, base: base}, nil
-}
-
-// setScale multiplies all base rates by s.
-func (te *trainEnv) setScale(s float64) {
-	for name, r := range te.rates {
-		r.PerSecond = te.base[name] * s
+// schedConfig maps an experiment configuration onto a registry
+// configuration for one system: same seed, same budgets, same training
+// noise, and the shared worker pool — the scheduler adapters in
+// internal/sched use the same per-scheduler seed offsets this package's
+// hand-rolled pipelines always did.
+func (c Config) schedConfig(sys *apps.System) sched.Config {
+	return sched.Config{
+		Top: sys.Top, Cl: sys.Cl, Arrivals: sys.Arrivals,
+		Seed:           c.Seed,
+		TrainBudget:    c.OfflineSamples,
+		OnlineEpochs:   c.OnlineEpochs,
+		MeasureSigma:   c.MeasureSigma,
+		WorkloadJitter: c.WorkloadJitter,
+		ACUpdates:      c.ACUpdates,
+		Sem:            c.sem,
+		Workers:        c.Workers,
 	}
 }
 
-// trained bundles a trained agent with its controller and reward history.
-type trained struct {
-	ctrl    *core.Controller
-	rewards []float64 // raw online-learning rewards (−ms)
+// trainBudget is the offline budget for one registry scheduler under this
+// configuration (the model-based baseline has its own training-set size).
+func (c Config) trainBudget(name string) int {
+	if name == "model" {
+		return c.MBSamples
+	}
+	return c.OfflineSamples
 }
 
-// jitterer perturbs the training workload every few epochs.
-type jitterer struct {
-	te    *trainEnv
-	cfg   Config
-	rng   *rand.Rand
-	count int
-}
-
-func (j *jitterer) maybe() {
-	if j.cfg.WorkloadJitter <= 0 {
-		return
-	}
-	j.count++
-	s := 1 + j.cfg.WorkloadJitter*(2*j.rng.Float64()-1)
-	j.te.setScale(s)
-}
-
-// trainAgent runs offline collection plus online learning for an agent on
-// the system's analytic environment and returns the controller and reward
-// history. epochs overrides cfg.OnlineEpochs when positive.
-//
-// Intra-run parallelism: the offline phase's environment rollouts fan out
-// over the shared pool in chunks (per-slot jitter streams, results
-// replayed in sample order — see core.Controller.CollectOfflineParallel),
-// and the agent's batched training GEMMs shard across the same pool
-// (SetPool). Both are invariant to the pool capacity, so figure output
-// stays byte-identical for every Workers setting.
-func trainAgent(sys *apps.System, agent core.Agent, cfg Config, epochs int) (*trained, error) {
-	te, err := newTrainEnv(sys)
-	if err != nil {
-		return nil, err
-	}
-	noisy := &env.Noisy{
-		Environment: te,
-		Sigma:       cfg.MeasureSigma,
-		Rng:         rand.New(rand.NewSource(cfg.Seed + 100)),
-		StreamSeed:  cfg.Seed + 101,
-	}
-	ctrl := core.NewController(noisy, agent)
-	jit := &jitterer{te: te, cfg: cfg, rng: rand.New(rand.NewSource(cfg.Seed + 200))}
-	if p := cfg.gemmPool(); p != nil {
-		type pooled interface{ SetPool(*nn.Pool) }
-		if ag, ok := agent.(pooled); ok {
-			ag.SetPool(p)
-		}
-	}
-
-	// Offline phase: collect in chunks so the workload can vary between
-	// chunks (the paper collects 10,000 samples "for each experimental
-	// setup"); within a chunk the rollouts run concurrently.
-	remaining := cfg.OfflineSamples
-	for remaining > 0 {
-		chunk := 25
-		if chunk > remaining {
-			chunk = remaining
-		}
-		if err := ctrl.CollectOfflineParallel(chunk, chunk, cfg.sem, cfg.Workers); err != nil {
-			return nil, err
-		}
-		remaining -= chunk
-		jit.maybe()
-	}
-
-	// Online phase.
-	if epochs <= 0 {
-		epochs = cfg.OnlineEpochs
-	}
-	for t := 0; t < epochs; t += 25 {
-		n := 25
-		if t+n > epochs {
-			n = epochs - t
-		}
-		ctrl.OnlineLearn(n, nil)
-		jit.maybe()
-	}
-	// Leave the environment at the base workload so the extracted greedy
-	// solution targets the nominal rates.
-	te.setScale(1)
-	return &trained{ctrl: ctrl, rewards: ctrl.Rewards}, nil
-}
+// figureSchedulers is the comparison set of the paper's figures, as
+// registry names in legend order (matching schedulerOrder): the paper's
+// four schedulers plus the statistics-free greedy baseline. The full
+// registry also carries "traffic" and "random"; the tournament harness
+// sweeps those.
+var figureSchedulers = []string{"default", "greedy", "model", "dqn", "ac"}
 
 // solutionSet computes the final scheduling solution of every method for a
 // system. Reward histories for the two DRL methods are returned for the
@@ -279,90 +189,59 @@ type solutionSet struct {
 }
 
 func solutions(ctx context.Context, sys *apps.System, cfg Config, epochs int) (*solutionSet, error) {
-	n, m := sys.Top.NumExecutors(), sys.Cl.Size()
-	numSpouts := sys.NumSpouts()
-
-	// Default: Storm's round-robin.
-	rr := make([]int, n)
-	for i := range rr {
-		rr[i] = i % m
+	scfg := cfg.schedConfig(sys)
+	if epochs > 0 {
+		scfg.OnlineEpochs = epochs
 	}
 
-	// Greedy: the statistics-free baseline places executors in one pass
-	// over static structure — no training, no environment measurements, so
-	// it runs inline before the pool fans out.
-	greedy := &sched.Greedy{Top: sys.Top, Cl: sys.Cl}
-	grAssign, err := greedy.Schedule(&sim.Env{Top: sys.Top, Cl: sys.Cl, Arrivals: sys.Arrivals, Seed: cfg.Seed})
-	if err != nil {
-		return nil, err
+	// Every scheduler comes from the registry and runs as one pool task:
+	// each task builds its own environments and agents from its own fixed
+	// seeds, so results are identical for any Workers setting. Intra-task
+	// parallelism (offline rollout chunks, training GEMM row bands) shares
+	// the same pool and is bitwise pool-invariant.
+	type out struct {
+		name    string // display name
+		assign  []int
+		rewards []float64
 	}
-
-	// The three trained schedulers are independent: each task builds its
-	// own environment and agent from its own seed, so they fan out on the
-	// worker pool. Results land in per-task variables and are assembled
-	// into the map after the pool drains (map writes are not concurrent).
-	var (
-		mbAssign           []int
-		dqnTrained, acQual *trained
-	)
-	err = parallel.RunSem(ctx, cfg.sem, cfg.Workers,
-		func() error {
-			// Model-based [25].
-			te, err := newTrainEnv(sys)
+	outs, err := parallel.MapSem(ctx, cfg.sem, len(figureSchedulers), cfg.Workers,
+		func(_ context.Context, i int) (out, error) {
+			name := figureSchedulers[i]
+			s, err := sched.New(name, scfg)
 			if err != nil {
-				return err
+				return out{}, err
 			}
-			mb := &sched.ModelBased{
-				Top: sys.Top, Cl: sys.Cl,
-				Rng:     rand.New(rand.NewSource(cfg.Seed + 300)),
-				Samples: cfg.MBSamples,
-				Sem:     cfg.sem,
-				Workers: cfg.Workers,
+			if tr, ok := s.(sched.Trainable); ok {
+				cfg.logf("  training %q (budget %d, %d online)", name, cfg.trainBudget(name), scfg.OnlineEpochs)
+				if err := tr.Train(cfg.trainBudget(name)); err != nil {
+					return out{}, err
+				}
 			}
-			cfg.logf("  fitting model-based scheduler (%d samples)", cfg.MBSamples)
-			mbAssign, err = mb.Schedule(&env.Noisy{Environment: te, Sigma: cfg.MeasureSigma,
-				Rng:        rand.New(rand.NewSource(cfg.Seed + 301)),
-				StreamSeed: cfg.Seed + 302})
-			return err
-		},
-		func() error {
-			// DQN-based DRL (§3.2).
-			cfg.logf("  training DQN agent (%d offline, %d online)", cfg.OfflineSamples, max(epochs, cfg.OnlineEpochs))
-			dqn := core.NewDQN(n, m, numSpouts, core.DefaultDQNConfig(), cfg.Seed+400)
-			var err error
-			dqnTrained, err = trainAgent(sys, dqn, cfg, epochs)
-			return err
-		},
-		func() error {
-			// Actor-critic-based DRL (Algorithm 1).
-			cfg.logf("  training actor-critic agent (%d offline, %d online)", cfg.OfflineSamples, max(epochs, cfg.OnlineEpochs))
-			ac := core.NewActorCritic(n, m, numSpouts, cfg.acConfig(), cfg.Seed+500)
-			var err error
-			acQual, err = trainAgent(sys, ac, cfg, epochs)
-			return err
-		},
-	)
+			assign, err := s.Schedule(&sim.Env{Top: sys.Top, Cl: sys.Cl, Arrivals: sys.Arrivals, Seed: cfg.Seed})
+			if err != nil {
+				return out{}, err
+			}
+			o := out{name: s.Name(), assign: assign}
+			if rw, ok := s.(interface{ Rewards() []float64 }); ok {
+				o.rewards = rw.Rewards()
+			}
+			return o, nil
+		})
 	if err != nil {
 		return nil, err
 	}
 
-	out := &solutionSet{assignments: map[string][]int{
-		"Default":                rr,
-		"Greedy":                 grAssign,
-		"Model-based":            mbAssign,
-		"DQN-based DRL":          dqnTrained.ctrl.GreedySolution(),
-		"Actor-critic-based DRL": acQual.ctrl.GreedySolution(),
-	}}
-	out.dqnRewards = dqnTrained.rewards
-	out.acRewards = acQual.rewards
-	return out, nil
-}
-
-func max(a, b int) int {
-	if a > b {
-		return a
+	res := &solutionSet{assignments: map[string][]int{}}
+	for _, o := range outs {
+		res.assignments[o.name] = o.assign
+		switch o.name {
+		case "DQN-based DRL":
+			res.dqnRewards = o.rewards
+		case "Actor-critic-based DRL":
+			res.acRewards = o.rewards
+		}
 	}
-	return b
+	return res, nil
 }
 
 // acConfig returns the actor-critic hyperparameters for this experiment
@@ -385,17 +264,6 @@ func (c Config) withSem() Config {
 		c.sem = parallel.NewSem(parallel.PoolSize(c.Workers) - 1)
 	}
 	return c
-}
-
-// gemmPool returns the worker pool a training run's GEMM row bands shard
-// across: the run-shared semaphore, or nil (sequential) when the
-// configuration is single-worker. The kernels are bitwise invariant to
-// the pool, so this never affects figure output.
-func (c Config) gemmPool() *nn.Pool {
-	if c.sem == nil {
-		return nil
-	}
-	return nn.NewPool(c.sem)
 }
 
 // curve runs one 20-minute deployment of an assignment on a cold DES and

@@ -127,29 +127,6 @@ func TestSummary(t *testing.T) {
 	}
 }
 
-func TestTrainEnvScaling(t *testing.T) {
-	sys, err := apps.ContinuousQueries(apps.Small)
-	if err != nil {
-		t.Fatal(err)
-	}
-	te, err := newTrainEnv(sys)
-	if err != nil {
-		t.Fatal(err)
-	}
-	base := te.Workload()[0]
-	if base != sys.BaseRate {
-		t.Fatalf("base workload %v want %v", base, sys.BaseRate)
-	}
-	te.setScale(1.5)
-	if got := te.Workload()[0]; got != sys.BaseRate*1.5 {
-		t.Fatalf("scaled workload %v want %v", got, sys.BaseRate*1.5)
-	}
-	te.setScale(1)
-	if got := te.Workload()[0]; got != sys.BaseRate {
-		t.Fatalf("restore failed: %v", got)
-	}
-}
-
 func TestConfigPresets(t *testing.T) {
 	full, red, quick := Defaults(), Reduced(), Quick()
 	if full.OfflineSamples != 10_000 || full.OnlineEpochs != 2_000 {

@@ -3,11 +3,9 @@ package experiments
 import (
 	"context"
 	"fmt"
-	mrand "math/rand"
 	"sort"
 
 	"repro/internal/apps"
-	"repro/internal/core"
 	"repro/internal/parallel"
 	"repro/internal/sched"
 	"repro/internal/sim"
@@ -119,26 +117,33 @@ func rewardFigure(ctx context.Context, id, title string, sys *apps.System, cfg C
 		epochs = cfg.OnlineEpochs // honor reduced/quick configurations
 	}
 	cfg.logf("figure %s: %s (T=%d)", id, sys.Name, epochs)
-	n, m, numSpouts := sys.Top.NumExecutors(), sys.Cl.Size(), sys.NumSpouts()
+	scfg := cfg.schedConfig(sys)
+	scfg.OnlineEpochs = epochs
 
 	// The two agents learn independently (own seeds, own environments);
-	// train them concurrently.
-	var acT, dqnT *trained
+	// train them concurrently, each constructed through the registry.
+	var acRewards, dqnRewards []float64
+	trainOne := func(name string, dst *[]float64) func() error {
+		return func() error {
+			cfg.logf("  training %q online", name)
+			s, err := sched.New(name, scfg)
+			if err != nil {
+				return err
+			}
+			drl, ok := s.(*sched.DRL)
+			if !ok {
+				return fmt.Errorf("experiments: %q is not a DRL scheduler", name)
+			}
+			if err := drl.Train(cfg.OfflineSamples); err != nil {
+				return err
+			}
+			*dst = drl.Rewards()
+			return nil
+		}
+	}
 	err := parallel.RunSem(ctx, cfg.sem, cfg.Workers,
-		func() error {
-			cfg.logf("  training actor-critic agent online")
-			ac := core.NewActorCritic(n, m, numSpouts, cfg.acConfig(), cfg.Seed+500)
-			var err error
-			acT, err = trainAgent(sys, ac, cfg, epochs)
-			return err
-		},
-		func() error {
-			cfg.logf("  training DQN agent online")
-			dqn := core.NewDQN(n, m, numSpouts, core.DefaultDQNConfig(), cfg.Seed+400)
-			var err error
-			dqnT, err = trainAgent(sys, dqn, cfg, epochs)
-			return err
-		},
+		trainOne("ac", &acRewards),
+		trainOne("dqn", &dqnRewards),
 	)
 	if err != nil {
 		return nil, err
@@ -149,8 +154,8 @@ func rewardFigure(ctx context.Context, id, title string, sys *apps.System, cfg C
 		name    string
 		rewards []float64
 	}{
-		{"Actor-critic-based DRL", acT.rewards},
-		{"DQN-based DRL", dqnT.rewards},
+		{"Actor-critic-based DRL", acRewards},
+		{"DQN-based DRL", dqnRewards},
 	} {
 		// The paper normalizes with (r−rmin)/(rmax−rmin) and smooths with
 		// forward-backward filtering (§4.2).
@@ -200,40 +205,56 @@ func Fig12(ctx context.Context, which string, cfg Config) (*Result, error) {
 	// Train the actor-critic agent at the base workload (with jitter, so
 	// the workload state input carries signal) and fit the model-based
 	// baseline concurrently: the two pipelines share only read-only system
-	// state.
+	// state. Both schedulers come from the registry and freeze after
+	// training; the frozen policies are then re-projected under the
+	// stepped workload below.
 	n, m, numSpouts := sys.Top.NumExecutors(), sys.Cl.Size(), sys.NumSpouts()
-	ac := core.NewActorCritic(n, m, numSpouts, cfg.acConfig(), cfg.Seed+500)
+	scfg := cfg.schedConfig(sys)
 	var (
+		drl            *sched.DRL
+		mbT            sched.Trainable
 		acBase, mbBase []int
-		te             *trainEnv
-		mb             *sched.ModelBased
 	)
 	err = parallel.RunSem(ctx, cfg.sem, cfg.Workers,
 		func() error {
 			cfg.logf("  training actor-critic agent")
-			acT, err := trainAgent(sys, ac, cfg, 0)
+			s, err := sched.New("ac", scfg)
 			if err != nil {
 				return err
 			}
-			acBase = acT.ctrl.GreedySolution()
-			return nil
+			drl = s.(*sched.DRL)
+			if err := drl.Train(cfg.OfflineSamples); err != nil {
+				return err
+			}
+			acBase, err = drl.Schedule(&sim.Env{Top: sys.Top, Cl: sys.Cl, Arrivals: sys.Arrivals, Seed: cfg.Seed})
+			return err
 		},
 		func() error {
-			var err error
-			te, err = newTrainEnv(sys)
+			cfg.logf("  fitting model-based scheduler")
+			s, err := sched.New("model", scfg)
 			if err != nil {
 				return err
 			}
-			mb = &sched.ModelBased{Top: sys.Top, Cl: sys.Cl,
-				Rng: seededRand(cfg.Seed + 300), Samples: cfg.MBSamples,
-				Sem: cfg.sem, Workers: cfg.Workers}
-			cfg.logf("  fitting model-based scheduler")
-			mbBase, err = mb.Schedule(te)
+			var ok bool
+			if mbT, ok = s.(sched.Trainable); !ok {
+				return fmt.Errorf("experiments: model scheduler is not Trainable")
+			}
+			if err := mbT.Train(cfg.MBSamples); err != nil {
+				return err
+			}
+			mbBase, err = mbT.Schedule(&sim.Env{Top: sys.Top, Cl: sys.Cl, Arrivals: sys.Arrivals, Seed: cfg.Seed})
 			return err
 		},
 	)
 	if err != nil {
 		return nil, err
+	}
+
+	// The reaction workload both frozen schedulers see: the per-spout
+	// rates after the step.
+	stepW := make([]float64, numSpouts)
+	for i, sp := range sys.Top.Spouts() {
+		stepW[i] = stepped.Arrivals[sp.Name].RateAt(reactAt * 60_000)
 	}
 
 	res := &Result{ID: "12" + sub,
@@ -251,10 +272,9 @@ func Fig12(ctx context.Context, which string, cfg Config) (*Result, error) {
 			base: mbBase,
 			next: func(cur []int) ([]int, error) {
 				// The model-based scheduler re-predicts with the new
-				// workload features and re-searches ([25]'s procedure).
-				te.setScale(1.5)
-				defer te.setScale(1)
-				return mb.Schedule(te)
+				// workload features and re-searches ([25]'s procedure);
+				// the fitted model itself is frozen.
+				return mbT.Schedule(sched.StaticEnv{NExec: n, NMach: m, Rates: stepW})
 			},
 			seed: cfg.Seed + 2000,
 		},
@@ -264,11 +284,7 @@ func Fig12(ctx context.Context, which string, cfg Config) (*Result, error) {
 			next: func(cur []int) ([]int, error) {
 				// The agent sees the new workload in its state and emits a
 				// new scheduling solution directly — no re-training.
-				w := make([]float64, numSpouts)
-				for i, sp := range sys.Top.Spouts() {
-					w[i] = stepped.Arrivals[sp.Name].RateAt(reactAt * 60_000)
-				}
-				return ac.Greedy(cur, w), nil
+				return drl.Policy(cur, stepW), nil
 			},
 			seed: cfg.Seed + 2001,
 		},
@@ -348,6 +364,3 @@ func Summary(results []*Result) (overDefault, overModelBased float64, lines []st
 	sort.Strings(lines)
 	return dSum / float64(count), mSum / float64(count), lines
 }
-
-// seededRand builds a seeded *rand.Rand.
-func seededRand(seed int64) *mrand.Rand { return mrand.New(mrand.NewSource(seed)) }

@@ -21,6 +21,8 @@ import (
 	"io"
 	"math/rand"
 	"os"
+	"strings"
+	"time"
 
 	"repro/internal/apps"
 	"repro/internal/cluster"
@@ -109,10 +111,16 @@ type TopologySpec struct {
 	// Name defaults to App; must be unique (two instances of the same app
 	// need explicit names).
 	Name string `json:"name,omitempty"`
-	// Scheduler places the topology's executors: default (round-robin,
-	// the zero value) | greedy | traffic | random.
+	// Scheduler places the topology's executors: any name registered in
+	// the sched registry — default (round-robin, the zero value), greedy,
+	// traffic, random, or the trained ones (model, dqn, ac), which are
+	// trained on the topology's own analytic model before placement.
 	Scheduler string     `json:"scheduler,omitempty"`
 	Trace     *TraceSpec `json:"trace,omitempty"` // nil = steady at the app default rate
+	// Train overrides the training budget for trainable schedulers
+	// (offline samples; 0 = the scenario-level train budget, which itself
+	// defaults to the scheduler's own default).
+	Train int `json:"train,omitempty"`
 	// Seed overrides the instance seed (0 = derived from the scenario
 	// seed and the topology's position).
 	Seed int64 `json:"seed,omitempty"`
@@ -156,8 +164,11 @@ type Scenario struct {
 	DurationMS float64 `json:"duration_ms"`
 	// AckTimeoutMS enables tuple replay in every topology (0 = off;
 	// scenarios with faults usually want it on).
-	AckTimeoutMS float64     `json:"ack_timeout_ms,omitempty"`
-	Cluster      ClusterSpec `json:"cluster"`
+	AckTimeoutMS float64 `json:"ack_timeout_ms,omitempty"`
+	// Train is the default training budget for topologies placed by
+	// trainable schedulers (0 = each scheduler's own default).
+	Train   int         `json:"train,omitempty"`
+	Cluster ClusterSpec `json:"cluster"`
 
 	// Topologies and Faults come from their own NDJSON lines, not the
 	// header object.
@@ -176,6 +187,9 @@ func (sc *Scenario) Validate() error {
 	}
 	if sc.Cluster.Machines <= 0 {
 		return fmt.Errorf("multisim: scenario %q: cluster.machines must be positive", sc.Name)
+	}
+	if sc.Train < 0 {
+		return fmt.Errorf("multisim: scenario %q: negative train budget", sc.Name)
 	}
 	for _, f := range sc.Cluster.SpeedFactors {
 		if f <= 0 {
@@ -198,10 +212,12 @@ func (sc *Scenario) Validate() error {
 			return fmt.Errorf("multisim: scenario %q: duplicate topology name %q (give repeated apps explicit names)", sc.Name, name)
 		}
 		names[name] = true
-		switch ts.Scheduler {
-		case "", "default", "greedy", "traffic", "random":
-		default:
-			return fmt.Errorf("multisim: scenario %q topology %q: unknown scheduler %q", sc.Name, name, ts.Scheduler)
+		if ts.Scheduler != "" && !sched.Default.Has(ts.Scheduler) {
+			return fmt.Errorf("multisim: scenario %q topology %q: unknown scheduler %q (want one of %s)",
+				sc.Name, name, ts.Scheduler, strings.Join(sched.Names(), "|"))
+		}
+		if ts.Train < 0 {
+			return fmt.Errorf("multisim: scenario %q topology %q: negative train budget", sc.Name, name)
 		}
 		if ts.Trace != nil {
 			if _, err := ts.Trace.process(1, sc.DurationMS); err != nil {
@@ -318,13 +334,22 @@ type InstanceSetup struct {
 	Arrivals  map[string]workload.ArrivalProcess
 	Assign    []int
 	Seed      int64
+
+	// TrainMS and ScheduleNS record the wall-clock cost of training the
+	// scheduler (zero for training-free ones) and of the final Schedule
+	// call. Diagnostics only: they vary run to run and appear in no
+	// deterministic output.
+	TrainMS    float64
+	ScheduleNS int64
 }
 
 // Instances resolves the scenario: builds the shared cluster, maps each
 // topology spec to its application, materializes its trace, and runs its
-// scheduler. Deterministic given the scenario (schedulers here are
-// training-free; the random scheduler draws from a per-instance seeded
-// RNG).
+// scheduler through the sched registry. Trainable schedulers (model,
+// dqn, ac) are trained here on the topology's own analytic model, fully
+// sequentially, so the resulting placement is a pure function of the
+// scenario spec — the same determinism contract the training-free
+// schedulers have always had.
 func (sc *Scenario) Instances() ([]InstanceSetup, *cluster.Cluster, error) {
 	if err := sc.Validate(); err != nil {
 		return nil, nil, err
@@ -356,27 +381,40 @@ func (sc *Scenario) Instances() ([]InstanceSetup, *cluster.Cluster, error) {
 		for spout := range sys.Arrivals {
 			arrivals[spout] = proc
 		}
-		e := &sim.Env{Top: sys.Top, Cl: cl, Arrivals: arrivals, Seed: seed}
-		var s sched.Scheduler
-		switch ts.Scheduler {
-		case "", "default":
-			s = sched.RoundRobin{}
-		case "greedy":
-			s = &sched.Greedy{Top: sys.Top, Cl: cl}
-		case "traffic":
-			s = &sched.TrafficAware{Top: sys.Top, Cl: cl}
-		case "random":
-			s = sched.Random{Rng: rand.New(rand.NewSource(seed))}
-		default:
-			return nil, nil, fmt.Errorf("multisim: unknown scheduler %q", ts.Scheduler)
+		schedName := ts.Scheduler
+		if schedName == "" {
+			schedName = "default"
 		}
+		budget := ts.Train
+		if budget == 0 {
+			budget = sc.Train
+		}
+		s, err := sched.New(schedName, sched.Config{
+			Top: sys.Top, Cl: cl, Arrivals: arrivals,
+			Seed: seed, TrainBudget: budget, Workers: 1,
+		})
+		if err != nil {
+			return nil, nil, fmt.Errorf("multisim: scenario %q topology %q: %w", sc.Name, name, err)
+		}
+		var trainMS float64
+		if tr, ok := s.(sched.Trainable); ok {
+			t0 := time.Now()
+			if err := tr.Train(budget); err != nil {
+				return nil, nil, fmt.Errorf("multisim: training %q for %q: %w", schedName, name, err)
+			}
+			trainMS = float64(time.Since(t0).Nanoseconds()) / 1e6
+		}
+		e := &sim.Env{Top: sys.Top, Cl: cl, Arrivals: arrivals, Seed: seed}
+		t0 := time.Now()
 		assign, err := s.Schedule(e)
+		schedNS := time.Since(t0).Nanoseconds()
 		if err != nil {
 			return nil, nil, fmt.Errorf("multisim: scheduling %q: %w", name, err)
 		}
 		setups = append(setups, InstanceSetup{
 			Name: name, App: ts.App, Scheduler: s.Name(),
 			Top: sys.Top, Arrivals: arrivals, Assign: assign, Seed: seed,
+			TrainMS: trainMS, ScheduleNS: schedNS,
 		})
 	}
 	return setups, cl, nil
@@ -391,6 +429,14 @@ func Build(sc *Scenario, isolated bool) (*Multi, error) {
 	if err != nil {
 		return nil, err
 	}
+	return BuildInstances(sc, setups, cl, isolated)
+}
+
+// BuildInstances assembles the orchestrator from already-resolved
+// instances, so callers comparing contended vs isolated builds (or
+// inspecting placements before running) resolve — and train — each
+// topology's scheduler exactly once.
+func BuildInstances(sc *Scenario, setups []InstanceSetup, cl *cluster.Cluster, isolated bool) (*Multi, error) {
 	m, err := New(cl, isolated)
 	if err != nil {
 		return nil, err

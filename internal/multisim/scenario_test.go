@@ -80,3 +80,69 @@ func TestTraceKinds(t *testing.T) {
 		t.Fatalf("shift defaults wrong: %v / %v", p.RateAt(0), p.RateAt(30_000))
 	}
 }
+
+// TestScenarioWithTrainedScheduler: a scenario can place a topology with
+// a trained DRL scheduler end-to-end — the DRL-in-scenarios follow-on.
+func TestScenarioWithTrainedScheduler(t *testing.T) {
+	doc := `{"scenario": {"name": "drl", "seed": 42, "duration_ms": 30000, "train": 25, "cluster": {"machines": 4}}}
+{"topology": {"app": "cq-small", "scheduler": "ac"}}
+{"topology": {"app": "wc", "scheduler": "greedy"}}
+`
+	sc, err := Load(strings.NewReader(doc))
+	if err != nil {
+		t.Fatal(err)
+	}
+	setups, cl, err := sc.Instances()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if setups[0].Scheduler != "Actor-critic-based DRL" {
+		t.Fatalf("subject scheduler %q", setups[0].Scheduler)
+	}
+	m, err := BuildInstances(sc, setups, cl, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m.RunUntil(sc.DurationMS)
+	r := m.Results(5)[0]
+	if r.Completed == 0 {
+		t.Fatal("DRL-placed topology completed no tuples")
+	}
+}
+
+// TestScenarioTrainedDeterminism: resolving the same DRL scenario twice
+// yields identical placements (training is a pure function of the spec).
+func TestScenarioTrainedDeterminism(t *testing.T) {
+	doc := `{"scenario": {"name": "drl", "seed": 7, "duration_ms": 10000, "cluster": {"machines": 4}}}
+{"topology": {"app": "cq-small", "scheduler": "dqn", "train": 25}}
+`
+	resolve := func() []int {
+		sc, err := Load(strings.NewReader(doc))
+		if err != nil {
+			t.Fatal(err)
+		}
+		setups, _, err := sc.Instances()
+		if err != nil {
+			t.Fatal(err)
+		}
+		return setups[0].Assign
+	}
+	a, b := resolve(), resolve()
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("trained placement diverged at %d: %v vs %v", i, a, b)
+		}
+	}
+}
+
+func TestScenarioNegativeTrainRejected(t *testing.T) {
+	docs := []string{
+		`{"scenario": {"name": "a", "duration_ms": 1000, "train": -1, "cluster": {"machines": 2}}}` + "\n" + `{"topology": {"app": "wc"}}`,
+		`{"scenario": {"name": "a", "duration_ms": 1000, "cluster": {"machines": 2}}}` + "\n" + `{"topology": {"app": "wc", "train": -5}}`,
+	}
+	for i, doc := range docs {
+		if _, err := Load(strings.NewReader(doc)); err == nil {
+			t.Errorf("case %d: negative train budget accepted", i)
+		}
+	}
+}

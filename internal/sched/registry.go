@@ -1,0 +1,215 @@
+package sched
+
+// The scheduler registry: one canonical name→factory mapping for the
+// whole comparison set. Every consumer that used to hand-roll a switch
+// over scheduler names — cmd/simulate's schedule(), the figure fan-out's
+// scheduler list, internal/multisim's scenario placement — constructs
+// through Default instead, so adding a scheduler (or a trained policy)
+// to the comparison set is one Register call.
+//
+// Seeding is uniform: a Factory derives every RNG it needs (agent
+// initialization, exploration, measurement jitter, workload jitter, the
+// random scheduler's stream) from Config.Seed with fixed offsets, so a
+// scheduler's output is a pure function of (name, Config) — tournament
+// rows are independently reproducible from (name, seed) alone.
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+	"sync"
+
+	"repro/internal/cluster"
+	"repro/internal/core"
+	"repro/internal/parallel"
+	"repro/internal/topology"
+	"repro/internal/workload"
+)
+
+// Config carries everything a Factory needs to build a scheduler for one
+// (topology, cluster, workload) triple. Training-free schedulers use only
+// the structural fields; trainable ones also honor the budgets and the
+// training-noise knobs.
+type Config struct {
+	Top      *topology.Topology
+	Cl       *cluster.Cluster
+	Arrivals map[string]workload.ArrivalProcess
+
+	// Seed is the single reproducibility knob. Factories derive their RNG
+	// streams from it with fixed per-scheduler offsets (the same offsets
+	// the figure pipelines have always used), never from shared state.
+	Seed int64
+
+	// TrainBudget is the offline training budget for Trainable schedulers:
+	// offline transition samples for the DRL agents, fit samples for the
+	// model-based baseline. Zero keeps the scheduler's default.
+	TrainBudget int
+	// OnlineEpochs is the DRL agents' online-learning epoch count after
+	// the offline phase. Zero means TrainBudget/2.
+	OnlineEpochs int
+	// MeasureSigma perturbs training measurements with multiplicative
+	// Gaussian noise (real-cluster measurement jitter). Zero = exact.
+	MeasureSigma float64
+	// WorkloadJitter rescales the training workload within
+	// [1−j, 1+j] between training chunks so the workload part of the DRL
+	// state carries signal. Zero = stationary training workload.
+	WorkloadJitter float64
+	// ACUpdates overrides the actor-critic's SGD updates per decision
+	// epoch (reduced-budget configurations compensate with more updates).
+	ACUpdates int
+
+	// Sem/Workers fan a trainable scheduler's environment rollouts and
+	// training GEMMs out over the shared worker pool; both paths are
+	// bitwise pool-invariant, so they never change the trained policy.
+	// Workers 1 forces fully sequential training.
+	Sem     *parallel.Sem
+	Workers int
+}
+
+// validate checks the structural fields every factory needs.
+func (cfg Config) validate() error {
+	if cfg.Top == nil || cfg.Cl == nil {
+		return fmt.Errorf("sched: config needs Top and Cl")
+	}
+	return nil
+}
+
+// Factory builds an unstarted scheduler from a configuration.
+type Factory func(cfg Config) (Scheduler, error)
+
+// Trainable is a Scheduler with an explicit training lifecycle:
+// Train(budget) spends the budget exactly once (budget ≤ 0 uses the
+// configured Config.TrainBudget), after which the policy is frozen and
+// Schedule projects it onto whatever environment it is given. Calling
+// Schedule on an untrained scheduler trains first with the configured
+// budget; calling Train again after training is a no-op.
+type Trainable interface {
+	Scheduler
+	Train(budget int) error
+	Trained() bool
+}
+
+// Registry maps canonical scheduler names to factories, preserving
+// registration order (the canonical comparison-set order).
+type Registry struct {
+	mu        sync.RWMutex
+	names     []string
+	factories map[string]Factory
+}
+
+// NewRegistry returns an empty registry.
+func NewRegistry() *Registry {
+	return &Registry{factories: map[string]Factory{}}
+}
+
+// Register adds a named factory. Empty names and duplicates are errors:
+// the registry is the one place that knows the comparison set, and a
+// silent overwrite would make that set ambiguous.
+func (r *Registry) Register(name string, f Factory) error {
+	if name == "" {
+		return fmt.Errorf("sched: scheduler name must be non-empty")
+	}
+	if f == nil {
+		return fmt.Errorf("sched: nil factory for %q", name)
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if _, dup := r.factories[name]; dup {
+		return fmt.Errorf("sched: scheduler %q already registered", name)
+	}
+	r.factories[name] = f
+	r.names = append(r.names, name)
+	return nil
+}
+
+// Has reports whether name is registered.
+func (r *Registry) Has(name string) bool {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	_, ok := r.factories[name]
+	return ok
+}
+
+// Names returns the registered names in registration order.
+func (r *Registry) Names() []string {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	return append([]string(nil), r.names...)
+}
+
+// New constructs the named scheduler. Unknown names are errors that list
+// the registered set (sorted, so the message is deterministic).
+func (r *Registry) New(name string, cfg Config) (Scheduler, error) {
+	if err := cfg.validate(); err != nil {
+		return nil, err
+	}
+	r.mu.RLock()
+	f, ok := r.factories[name]
+	r.mu.RUnlock()
+	if !ok {
+		known := r.Names()
+		sort.Strings(known)
+		return nil, fmt.Errorf("sched: unknown scheduler %q (have %s)", name, strings.Join(known, "|"))
+	}
+	return f(cfg)
+}
+
+// Default is the process-wide registry holding the full comparison set,
+// in canonical order: the training-free schedulers first (cheap to
+// expensive), then the trained ones.
+var Default = func() *Registry {
+	r := NewRegistry()
+	reg := func(name string, f Factory) {
+		if err := r.Register(name, f); err != nil {
+			panic(err)
+		}
+	}
+	reg("default", func(cfg Config) (Scheduler, error) {
+		return RoundRobin{}, nil
+	})
+	reg("greedy", func(cfg Config) (Scheduler, error) {
+		return &Greedy{Top: cfg.Top, Cl: cfg.Cl}, nil
+	})
+	reg("random", func(cfg Config) (Scheduler, error) {
+		return Random{Seed: cfg.Seed}, nil
+	})
+	reg("traffic", func(cfg Config) (Scheduler, error) {
+		return &TrafficAware{Top: cfg.Top, Cl: cfg.Cl}, nil
+	})
+	reg("model", newModelBasedTrained)
+	reg("dqn", func(cfg Config) (Scheduler, error) {
+		n, m, spouts := cfg.Top.NumExecutors(), cfg.Cl.Size(), len(cfg.Top.Spouts())
+		return newDRL(cfg, core.NewDQN(n, m, spouts, core.DefaultDQNConfig(), cfg.Seed+seedDQNAgent)), nil
+	})
+	reg("ac", func(cfg Config) (Scheduler, error) {
+		n, m, spouts := cfg.Top.NumExecutors(), cfg.Cl.Size(), len(cfg.Top.Spouts())
+		acc := core.DefaultACConfig()
+		if cfg.ACUpdates > 0 {
+			acc.UpdatesPerStep = cfg.ACUpdates
+		}
+		return newDRL(cfg, core.NewActorCritic(n, m, spouts, acc, cfg.Seed+seedACAgent)), nil
+	})
+	return r
+}()
+
+// Seed offsets, shared by every factory so that a scheduler trained
+// anywhere (figure pipeline, tournament cell, scenario placement)
+// reproduces bit-for-bit from the same Config. They match the offsets
+// the figure pipelines in internal/experiments have used since PR 1.
+const (
+	seedNoisyRng    = 100 // training measurement jitter (DRL)
+	seedNoisyStream = 101 // per-slot jitter streams (DRL)
+	seedJitter      = 200 // workload-jitter scale draws
+	seedModelRng    = 300 // model-based sampling + search
+	seedModelNoisy  = 301 // model-based measurement jitter
+	seedModelStream = 302 // model-based per-slot jitter streams
+	seedDQNAgent    = 400 // DQN network init + exploration
+	seedACAgent     = 500 // actor-critic network init + exploration
+)
+
+// Names lists the default registry's canonical scheduler names in
+// comparison-set order.
+func Names() []string { return Default.Names() }
+
+// New constructs a scheduler from the default registry.
+func New(name string, cfg Config) (Scheduler, error) { return Default.New(name, cfg) }

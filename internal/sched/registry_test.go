@@ -1,0 +1,233 @@
+package sched
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/workload"
+)
+
+// testConfig builds a registry Config for the shared test system, with
+// budgets small enough for the trainable schedulers to run in test time.
+func testConfig(t testing.TB, seed int64) Config {
+	t.Helper()
+	top, cl, _ := testSystem(t, 400)
+	return Config{
+		Top: top, Cl: cl,
+		Arrivals:     map[string]workload.ArrivalProcess{"spout": workload.ConstantRate{PerSecond: 400}},
+		Seed:         seed,
+		TrainBudget:  30,
+		OnlineEpochs: 10,
+		Workers:      1,
+	}
+}
+
+func TestRegistryRoundTrip(t *testing.T) {
+	want := map[string]string{
+		"default": "Default",
+		"greedy":  "Greedy",
+		"random":  "Random",
+		"traffic": "Traffic-aware",
+		"model":   "Model-based",
+		"dqn":     "DQN-based DRL",
+		"ac":      "Actor-critic-based DRL",
+	}
+	names := Names()
+	if len(names) != len(want) {
+		t.Fatalf("registry has %d names %v, want %d", len(names), names, len(want))
+	}
+	cfg := testConfig(t, 1)
+	for _, name := range names {
+		s, err := New(name, cfg)
+		if err != nil {
+			t.Fatalf("New(%q): %v", name, err)
+		}
+		if got := s.Name(); got != want[name] {
+			t.Errorf("New(%q).Name() = %q, want %q", name, got, want[name])
+		}
+	}
+}
+
+func TestRegistryCanonicalOrder(t *testing.T) {
+	got := strings.Join(Names(), ",")
+	want := "default,greedy,random,traffic,model,dqn,ac"
+	if got != want {
+		t.Fatalf("canonical order %s, want %s", got, want)
+	}
+}
+
+func TestRegistryUnknownName(t *testing.T) {
+	_, err := New("oracle", testConfig(t, 1))
+	if err == nil {
+		t.Fatal("unknown scheduler accepted")
+	}
+	if !strings.Contains(err.Error(), `"oracle"`) || !strings.Contains(err.Error(), "ac|") {
+		t.Fatalf("error should name the offender and the known set: %v", err)
+	}
+}
+
+func TestRegistryRejectsBadConfig(t *testing.T) {
+	if _, err := New("default", Config{}); err == nil {
+		t.Fatal("config without Top/Cl accepted")
+	}
+}
+
+func TestRegistryRegisterErrors(t *testing.T) {
+	r := NewRegistry()
+	if err := r.Register("", func(Config) (Scheduler, error) { return RoundRobin{}, nil }); err == nil {
+		t.Fatal("empty name accepted")
+	}
+	if err := r.Register("x", nil); err == nil {
+		t.Fatal("nil factory accepted")
+	}
+	if err := r.Register("x", func(Config) (Scheduler, error) { return RoundRobin{}, nil }); err != nil {
+		t.Fatal(err)
+	}
+	if err := r.Register("x", func(Config) (Scheduler, error) { return RoundRobin{}, nil }); err == nil {
+		t.Fatal("duplicate name accepted")
+	}
+	if !r.Has("x") || r.Has("y") {
+		t.Fatal("Has")
+	}
+}
+
+// TestUniformSeeding is the registry's reproducibility contract: for
+// every registered scheduler, two independent constructions from the
+// same (name, seed) produce identical assignments, and the stochastic
+// ones differ across seeds.
+func TestUniformSeeding(t *testing.T) {
+	_, _, ev := testSystem(t, 400)
+	for _, name := range Names() {
+		a := scheduleWith(t, name, 7, ev)
+		b := scheduleWith(t, name, 7, ev)
+		for i := range a {
+			if a[i] != b[i] {
+				t.Fatalf("%s: same seed diverged at %d: %v vs %v", name, i, a, b)
+			}
+		}
+	}
+	// The random scheduler must actually depend on the seed.
+	a := scheduleWith(t, "random", 7, ev)
+	c := scheduleWith(t, "random", 8, ev)
+	same := true
+	for i := range a {
+		if a[i] != c[i] {
+			same = false
+		}
+	}
+	if same {
+		t.Fatal("random scheduler ignored the seed")
+	}
+}
+
+func scheduleWith(t testing.TB, name string, seed int64, e interface {
+	N() int
+	M() int
+	Workload() []float64
+	AvgTupleTimeMS([]int) float64
+}) []int {
+	t.Helper()
+	cfg := testConfig(t, seed)
+	s, err := New(name, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	assign, err := s.Schedule(e)
+	if err != nil {
+		t.Fatalf("%s: %v", name, err)
+	}
+	if len(assign) != e.N() {
+		t.Fatalf("%s: len %d want %d", name, len(assign), e.N())
+	}
+	for _, m := range assign {
+		if m < 0 || m >= e.M() {
+			t.Fatalf("%s: invalid machine %d", name, m)
+		}
+	}
+	return assign
+}
+
+// TestTrainableLifecycle checks the explicit Train(budget) → frozen
+// Schedule contract on every trainable scheduler.
+func TestTrainableLifecycle(t *testing.T) {
+	_, _, ev := testSystem(t, 400)
+	for _, name := range []string{"model", "dqn", "ac"} {
+		s, err := New(name, testConfig(t, 3))
+		if err != nil {
+			t.Fatal(err)
+		}
+		tr, ok := s.(Trainable)
+		if !ok {
+			t.Fatalf("%s does not implement Trainable", name)
+		}
+		if tr.Trained() {
+			t.Fatalf("%s trained before Train", name)
+		}
+		if err := tr.Train(0); err != nil {
+			t.Fatalf("%s Train: %v", name, err)
+		}
+		if !tr.Trained() {
+			t.Fatalf("%s not trained after Train", name)
+		}
+		// Frozen: repeated Schedule calls are idempotent.
+		a, err := tr.Schedule(ev)
+		if err != nil {
+			t.Fatalf("%s Schedule: %v", name, err)
+		}
+		b, err := tr.Schedule(ev)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for i := range a {
+			if a[i] != b[i] {
+				t.Fatalf("%s: frozen policy diverged at %d: %v vs %v", name, i, a, b)
+			}
+		}
+		// Re-training is a no-op, not an error.
+		if err := tr.Train(999); err != nil {
+			t.Fatalf("%s re-Train: %v", name, err)
+		}
+	}
+}
+
+// TestTrainableDimensionMismatch: a trained scheduler refuses an
+// environment with different dimensions instead of emitting a garbage
+// assignment.
+func TestTrainableDimensionMismatch(t *testing.T) {
+	s, err := New("ac", testConfig(t, 4))
+	if err != nil {
+		t.Fatal(err)
+	}
+	small := StaticEnv{NExec: 2, NMach: 2, Rates: []float64{1, 1}}
+	if _, err := s.Schedule(small); err == nil {
+		t.Fatal("dimension mismatch accepted")
+	}
+}
+
+// TestTrainEnvScaling: the mutable training environment rescales all
+// arrival rates around the time-0 snapshot.
+func TestTrainEnvScaling(t *testing.T) {
+	cfg := testConfig(t, 5)
+	te, err := cfg.newTrainEnv()
+	if err != nil {
+		t.Fatal(err)
+	}
+	base := te.Workload()
+	te.setScale(1.5)
+	scaled := te.Workload()
+	for i := range base {
+		if base[i] == 0 {
+			continue
+		}
+		if r := scaled[i] / base[i]; r < 1.49 || r > 1.51 {
+			t.Fatalf("slot %d scaled by %v, want 1.5", i, r)
+		}
+	}
+	te.setScale(1)
+	back := te.Workload()
+	for i := range base {
+		if back[i] != base[i] {
+			t.Fatalf("setScale(1) did not restore slot %d", i)
+		}
+	}
+}

@@ -1,9 +1,18 @@
-// Package sched implements the non-DRL schedulers the paper compares
-// against: Storm's default round-robin scheduler, a uniformly random
-// scheduler (used to collect offline training samples), the model-based
-// predictive scheduler of Li et al. [25] (SVR delay prediction + assignment
-// search), and a T-Storm-style traffic-aware heuristic [52] as an extra
-// baseline.
+// Package sched implements every scheduler of the comparison set behind
+// one interface and one registry: Storm's default round-robin scheduler,
+// a uniformly random scheduler (used to collect offline training
+// samples), the statistics-free greedy baseline, a T-Storm-style
+// traffic-aware heuristic [52], the model-based predictive scheduler of
+// Li et al. [25] (SVR delay prediction + assignment search), and — via
+// adapters around the internal/core agents — the paper's DQN and
+// actor-critic DRL policies.
+//
+// The Registry (see registry.go) is the single canonical name→factory
+// mapping; cmd/simulate, the figure fan-out in internal/experiments, the
+// scenario engine in internal/multisim and the tournament harness all
+// construct schedulers through it. Trainable schedulers expose an
+// explicit Train(budget) phase, after which Schedule projects the frozen
+// policy onto the environment it is given.
 package sched
 
 import (
@@ -46,8 +55,15 @@ func (RoundRobin) Schedule(e env.Environment) ([]int, error) {
 // Random assigns every thread to a uniformly random machine; the paper's
 // offline-training phase deploys exactly such randomly-generated solutions
 // to collect transition samples (§3.2).
+//
+// Schedule derives its stream from Seed alone on every call, so the
+// output is a pure function of (Seed, environment dimensions) — the
+// registry's (name, seed) reproducibility contract — and repeated calls
+// return the same assignment. Callers that want a sequence of distinct
+// random schedules use distinct seeds (or actionspace.Space.Random with
+// their own stream).
 type Random struct {
-	Rng *rand.Rand
+	Seed int64
 }
 
 // Name implements Scheduler.
@@ -59,9 +75,10 @@ func (r Random) Schedule(e env.Environment) ([]int, error) {
 	if m <= 0 {
 		return nil, fmt.Errorf("sched: no machines")
 	}
+	rng := rand.New(rand.NewSource(r.Seed))
 	assign := make([]int, n)
 	for i := range assign {
-		assign[i] = r.Rng.Intn(m)
+		assign[i] = rng.Intn(m)
 	}
 	return assign, nil
 }

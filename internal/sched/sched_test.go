@@ -67,26 +67,36 @@ func TestRoundRobin(t *testing.T) {
 
 func TestRandomScheduler(t *testing.T) {
 	_, _, ev := testSystem(t, 400)
-	s := Random{Rng: rand.New(rand.NewSource(1))}
-	a, err := s.Schedule(ev)
+	a, err := Random{Seed: 1}.Schedule(ev)
 	if err != nil {
 		t.Fatal(err)
 	}
-	b, err := s.Schedule(ev)
+	// Idempotent: same seed → same assignment on every call.
+	b, err := Random{Seed: 1}.Schedule(ev)
 	if err != nil {
 		t.Fatal(err)
 	}
-	same := true
 	for i := range a {
 		if a[i] < 0 || a[i] >= ev.M() {
 			t.Fatalf("invalid machine %d", a[i])
 		}
 		if a[i] != b[i] {
+			t.Fatalf("same seed produced different schedules at %d: %v vs %v", i, a, b)
+		}
+	}
+	// Distinct seeds → (almost surely) distinct assignments.
+	c, err := Random{Seed: 2}.Schedule(ev)
+	if err != nil {
+		t.Fatal(err)
+	}
+	same := true
+	for i := range a {
+		if a[i] != c[i] {
 			same = false
 		}
 	}
 	if same {
-		t.Fatal("two random schedules identical (suspicious)")
+		t.Fatal("seeds 1 and 2 gave identical schedules (suspicious)")
 	}
 }
 

@@ -1,0 +1,432 @@
+// Package tournament sweeps every registered scheduler across a
+// spectrum of workload regimes — steady, bursty, diurnal, shifting,
+// faulty, and a cluster-scale contended scenario — on the shared-clock
+// multi-topology engine, and reduces the sweep to a machine-readable
+// win/loss matrix: per cell the stabilized latency, tuples processed,
+// per-decision scheduling cost and training cost; per regime the winner.
+//
+// Every regime is a multisim scenario with one designated subject
+// topology; a cell (scheduler × regime) re-runs the scenario with the
+// subject placed by that scheduler (background topologies, where
+// present, keep fixed placements so the contention field is identical
+// across rows). Cells are pure functions of (scheduler name, seed):
+// training is fully sequential inside a cell, cells fan out over a
+// bounded pool with results assembled by index, and wall-clock timing
+// fields are zeroed unless explicitly requested — so the emitted matrix
+// is byte-identical across runs and GOMAXPROCS settings.
+//
+// The matrix doubles as a regression corpus: Gate diffs a freshly
+// measured matrix against a committed baseline and flags flipped
+// winners (hard) and stabilized-latency drift (tolerance).
+package tournament
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"math"
+	"sort"
+
+	"repro/internal/multisim"
+	"repro/internal/parallel"
+	"repro/internal/sched"
+)
+
+// Options configures a tournament run.
+type Options struct {
+	// Seed drives every cell: scenario instance seeds (and through them
+	// each scheduler's training streams) derive from it.
+	Seed int64
+	// DurationMS is the simulated duration of each regime run
+	// (0 = 120000, twelve 10-second metric windows).
+	DurationMS float64
+	// TrainBudget is the offline budget for trainable schedulers
+	// (0 = each scheduler's default).
+	TrainBudget int
+	// Timing records wall-clock columns (train_ms, ns_per_decision).
+	// Off by default because wall time varies run to run — with Timing
+	// false the matrix is byte-identical across runs.
+	Timing bool
+	// Workers bounds the cell fan-out pool (0 = one per CPU). Never
+	// affects results: cells are independent and assembled by index.
+	Workers int
+	// Schedulers and Regimes narrow the sweep (nil = the full registry
+	// comparison set / the full default regime spectrum).
+	Schedulers []string
+	Regimes    []Regime
+}
+
+// Regime is one column of the matrix: a scenario factory plus the index
+// of the subject topology whose metrics feed the cell.
+type Regime struct {
+	Name    string
+	Subject int
+	// Make builds a fresh scenario value for one cell. It is called once
+	// per cell (cells mutate the subject's scheduler field), so it must
+	// return an independent value every time.
+	Make func(seed, durationMS float64) *multisim.Scenario
+}
+
+// Cell is one (scheduler, regime) outcome.
+type Cell struct {
+	StabilizedMS  float64 `json:"stabilized_ms"`
+	P50MS         float64 `json:"p50_ms"`
+	P99MS         float64 `json:"p99_ms"`
+	Completed     int64   `json:"completed"`
+	Emitted       int64   `json:"emitted"`
+	Replayed      int64   `json:"replayed,omitempty"`
+	Dropped       int64   `json:"dropped,omitempty"`
+	NSPerDecision int64   `json:"ns_per_decision,omitempty"`
+	TrainMS       float64 `json:"train_ms,omitempty"`
+	Error         string  `json:"error,omitempty"`
+}
+
+// Matrix is the full tournament outcome, shaped for stable JSON: slices
+// preserve sweep order, maps marshal with sorted keys, so the encoding
+// is deterministic.
+type Matrix struct {
+	Version     int     `json:"version"`
+	Seed        int64   `json:"seed"`
+	DurationMS  float64 `json:"duration_ms"`
+	TrainBudget int     `json:"train_budget"`
+	Timing      bool    `json:"timing"`
+	// Schedulers in canonical registry order; Regimes in sweep order.
+	Schedulers []string `json:"schedulers"`
+	Regimes    []string `json:"regimes"`
+	// Cells[scheduler][regime].
+	Cells map[string]map[string]*Cell `json:"cells"`
+	// Winners[regime] = scheduler with the lowest stabilized latency
+	// among cells that completed tuples without error (ties go to the
+	// earlier scheduler in canonical order). Wins counts victories.
+	Winners map[string]string `json:"winners"`
+	Wins    map[string]int    `json:"wins"`
+}
+
+// DefaultRegimes returns the standard workload spectrum. The first five
+// run the small continuous-queries benchmark alone on the paper testbed
+// cluster under one trace each; "contended" shares the cluster with a
+// log-stream and a word-count topology plus a rack fault — the
+// cluster-scale interference column.
+func DefaultRegimes() []Regime {
+	single := func(name string, trace *multisim.TraceSpec, faults []multisim.FaultSpec, ackMS float64) Regime {
+		return Regime{
+			Name:    name,
+			Subject: 0,
+			Make: func(seed, durationMS float64) *multisim.Scenario {
+				return &multisim.Scenario{
+					Name:         name,
+					Seed:         int64(seed),
+					DurationMS:   durationMS,
+					AckTimeoutMS: ackMS,
+					Cluster:      multisim.ClusterSpec{Machines: 10},
+					Topologies: []multisim.TopologySpec{
+						{App: "cq-small", Trace: trace},
+					},
+					Faults: faults,
+				}
+			},
+		}
+	}
+	return []Regime{
+		single("steady", nil, nil, 0),
+		single("bursty", &multisim.TraceSpec{Kind: "bursty", Factor: 2, PeriodMS: 40_000, BurstMS: 8_000}, nil, 0),
+		single("diurnal", &multisim.TraceSpec{Kind: "diurnal", Amplitude: 0.4, PeriodMS: 60_000}, nil, 0),
+		single("shifting", &multisim.TraceSpec{Kind: "shift", Factor: 1.5}, nil, 0),
+		single("faulty", nil, []multisim.FaultSpec{
+			{AtMS: 40_000, Machine: 1, Radius: 2, DownMS: 8_000, JitterMS: 4_000},
+		}, 10_000),
+		{
+			Name:    "contended",
+			Subject: 0,
+			Make: func(seed, durationMS float64) *multisim.Scenario {
+				return &multisim.Scenario{
+					Name:         "contended",
+					Seed:         int64(seed),
+					DurationMS:   durationMS,
+					AckTimeoutMS: 10_000,
+					Cluster:      multisim.ClusterSpec{Machines: 10, SpeedFactors: []float64{1.0, 0.85, 1.15}},
+					Topologies: []multisim.TopologySpec{
+						{App: "cq-small"},
+						{App: "log", Scheduler: "traffic", Trace: &multisim.TraceSpec{Kind: "diurnal", PeriodMS: 60_000}},
+						{App: "wc", Scheduler: "greedy", Trace: &multisim.TraceSpec{Kind: "bursty", PeriodMS: 40_000, BurstMS: 8_000}},
+					},
+					Faults: []multisim.FaultSpec{
+						{AtMS: 70_000, Machine: 1, Radius: 2, DownMS: 4_000, JitterMS: 2_000},
+					},
+				}
+			},
+		},
+	}
+}
+
+// Run executes the sweep and reduces it to a Matrix. Individual cell
+// failures land in the cell's Error field rather than aborting the
+// sweep; Run errors only on malformed options.
+func Run(opts Options) (*Matrix, error) {
+	schedulers := opts.Schedulers
+	if len(schedulers) == 0 {
+		schedulers = sched.Names()
+	}
+	for _, name := range schedulers {
+		if !sched.Default.Has(name) {
+			return nil, fmt.Errorf("tournament: unknown scheduler %q", name)
+		}
+	}
+	regimes := opts.Regimes
+	if len(regimes) == 0 {
+		regimes = DefaultRegimes()
+	}
+	duration := opts.DurationMS
+	if duration <= 0 {
+		duration = 120_000
+	}
+
+	m := &Matrix{
+		Version:     1,
+		Seed:        opts.Seed,
+		DurationMS:  duration,
+		TrainBudget: opts.TrainBudget,
+		Timing:      opts.Timing,
+		Schedulers:  append([]string(nil), schedulers...),
+		Cells:       map[string]map[string]*Cell{},
+		Winners:     map[string]string{},
+		Wins:        map[string]int{},
+	}
+	for _, r := range regimes {
+		m.Regimes = append(m.Regimes, r.Name)
+	}
+
+	// One task per cell, fanned out over the pool and assembled by index
+	// so the matrix never depends on completion order.
+	type task struct {
+		schedName string
+		regime    Regime
+	}
+	tasks := make([]task, 0, len(schedulers)*len(regimes))
+	for _, s := range schedulers {
+		for _, r := range regimes {
+			tasks = append(tasks, task{schedName: s, regime: r})
+		}
+	}
+	cells, err := parallel.Map(context.Background(), len(tasks), opts.Workers,
+		func(_ context.Context, i int) (*Cell, error) {
+			t := tasks[i]
+			return runCell(t.schedName, t.regime, opts.Seed, duration, opts.TrainBudget, opts.Timing), nil
+		})
+	if err != nil {
+		return nil, err
+	}
+	for i, t := range tasks {
+		row := m.Cells[t.schedName]
+		if row == nil {
+			row = map[string]*Cell{}
+			m.Cells[t.schedName] = row
+		}
+		row[t.regime.Name] = cells[i]
+	}
+
+	// Winner per regime: lowest stabilized latency among valid cells;
+	// ties break toward the earlier scheduler in canonical order.
+	for _, r := range regimes {
+		best := ""
+		bestLat := math.Inf(1)
+		for _, s := range schedulers {
+			c := m.Cells[s][r.Name]
+			if c.Error != "" || c.Completed == 0 {
+				continue
+			}
+			if c.StabilizedMS < bestLat {
+				best, bestLat = s, c.StabilizedMS
+			}
+		}
+		if best != "" {
+			m.Winners[r.Name] = best
+			m.Wins[best]++
+		}
+	}
+	return m, nil
+}
+
+// runCell runs one scenario with the subject topology placed by the
+// named scheduler.
+func runCell(schedName string, regime Regime, seed int64, durationMS float64, trainBudget int, timing bool) *Cell {
+	sc := regime.Make(float64(seed), durationMS)
+	if regime.Subject < 0 || regime.Subject >= len(sc.Topologies) {
+		return &Cell{Error: fmt.Sprintf("subject index %d out of range", regime.Subject)}
+	}
+	sc.Topologies[regime.Subject].Scheduler = schedName
+	sc.Train = trainBudget
+	setups, cl, err := sc.Instances()
+	if err != nil {
+		return &Cell{Error: err.Error()}
+	}
+	multi, err := multisim.BuildInstances(sc, setups, cl, false)
+	if err != nil {
+		return &Cell{Error: err.Error()}
+	}
+	multi.RunUntil(sc.DurationMS)
+	r := multi.Results(5)[regime.Subject]
+	c := &Cell{
+		StabilizedMS: sanitize(r.StabilizedMS),
+		P50MS:        sanitize(r.P50MS),
+		P99MS:        sanitize(r.P99MS),
+		Completed:    r.Completed,
+		Emitted:      r.Emitted,
+		Replayed:     r.Replayed,
+		Dropped:      r.Dropped,
+	}
+	if timing {
+		su := setups[regime.Subject]
+		c.TrainMS = su.TrainMS
+		if n := su.Top.NumExecutors(); n > 0 {
+			c.NSPerDecision = su.ScheduleNS / int64(n)
+		}
+	}
+	return c
+}
+
+// sanitize maps non-finite metrics (no tuples in window) to 0 so the
+// matrix always marshals.
+func sanitize(v float64) float64 {
+	if math.IsNaN(v) || math.IsInf(v, 0) {
+		return 0
+	}
+	return v
+}
+
+// WriteJSON emits the canonical matrix encoding: two-space indent,
+// sorted map keys (encoding/json), trailing newline. This is the byte
+// representation the determinism tests and the drift gate compare.
+func (m *Matrix) WriteJSON(w io.Writer) error {
+	b, err := json.MarshalIndent(m, "", "  ")
+	if err != nil {
+		return err
+	}
+	_, err = w.Write(append(b, '\n'))
+	return err
+}
+
+// LoadJSON parses a matrix previously written by WriteJSON.
+func LoadJSON(r io.Reader) (*Matrix, error) {
+	var m Matrix
+	dec := json.NewDecoder(r)
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(&m); err != nil {
+		return nil, fmt.Errorf("tournament: parsing matrix: %w", err)
+	}
+	if m.Version != 1 {
+		return nil, fmt.Errorf("tournament: unsupported matrix version %d", m.Version)
+	}
+	return &m, nil
+}
+
+// WriteTable renders the human view: one row per scheduler, one column
+// per regime, stabilized latency per cell with the per-regime winner
+// starred, then the win counts and (when measured) the timing columns.
+func (m *Matrix) WriteTable(w io.Writer) {
+	fmt.Fprintf(w, "tournament: %d schedulers × %d regimes, %.0fs simulated each, seed %d\n\n",
+		len(m.Schedulers), len(m.Regimes), m.DurationMS/1_000, m.Seed)
+	fmt.Fprintf(w, " %-10s", "scheduler")
+	for _, r := range m.Regimes {
+		fmt.Fprintf(w, " %12s", r)
+	}
+	fmt.Fprintf(w, " %6s\n", "wins")
+	for _, s := range m.Schedulers {
+		fmt.Fprintf(w, " %-10s", s)
+		for _, r := range m.Regimes {
+			c := m.Cells[s][r]
+			switch {
+			case c == nil:
+				fmt.Fprintf(w, " %12s", "-")
+			case c.Error != "":
+				fmt.Fprintf(w, " %12s", "ERROR")
+			default:
+				star := " "
+				if m.Winners[r] == s {
+					star = "*"
+				}
+				fmt.Fprintf(w, " %11.3f%s", c.StabilizedMS, star)
+			}
+		}
+		fmt.Fprintf(w, " %6d\n", m.Wins[s])
+	}
+	fmt.Fprintln(w, "\n(* = regime winner by stabilized ms; cells are stabilized latency in ms)")
+	if m.Timing {
+		fmt.Fprintf(w, "\n %-10s %12s %14s\n", "scheduler", "train (ms)", "ns/decision")
+		for _, s := range m.Schedulers {
+			var trainMS float64
+			var nsPD, n int64
+			for _, r := range m.Regimes {
+				if c := m.Cells[s][r]; c != nil && c.Error == "" {
+					trainMS += c.TrainMS
+					nsPD += c.NSPerDecision
+					n++
+				}
+			}
+			if n > 0 {
+				fmt.Fprintf(w, " %-10s %12.1f %14d\n", s, trainMS/float64(n), nsPD/n)
+			}
+		}
+		fmt.Fprintln(w, "(timing columns are per-cell means; train is wall clock, ns/decision is the frozen Schedule call per executor placement)")
+	}
+}
+
+// Gate diffs a measured matrix against a committed baseline, returning
+// one violation string per regression: structural drift (scheduler or
+// regime sets changed), error cells that were previously clean, flipped
+// regime winners (hard failures regardless of tolerance), and stabilized
+// latency drifting more than maxDriftPct percent in either direction.
+// An empty slice means the gate passes.
+func Gate(baseline, current *Matrix, maxDriftPct float64) []string {
+	var v []string
+	if !sameSet(baseline.Schedulers, current.Schedulers) {
+		v = append(v, fmt.Sprintf("scheduler set changed: baseline %v, current %v", baseline.Schedulers, current.Schedulers))
+	}
+	if !sameSet(baseline.Regimes, current.Regimes) {
+		v = append(v, fmt.Sprintf("regime set changed: baseline %v, current %v", baseline.Regimes, current.Regimes))
+	}
+	for _, r := range baseline.Regimes {
+		bw, cw := baseline.Winners[r], current.Winners[r]
+		if bw != "" && cw != "" && bw != cw {
+			v = append(v, fmt.Sprintf("regime %q winner flipped: %s → %s", r, bw, cw))
+		}
+	}
+	for _, s := range baseline.Schedulers {
+		for _, r := range baseline.Regimes {
+			bc, cc := baseline.Cells[s][r], current.Cells[s][r]
+			if bc == nil || cc == nil {
+				continue
+			}
+			if bc.Error == "" && cc.Error != "" {
+				v = append(v, fmt.Sprintf("cell %s×%s now errors: %s", s, r, cc.Error))
+				continue
+			}
+			if bc.Error != "" || cc.Error != "" || bc.StabilizedMS <= 0 {
+				continue
+			}
+			drift := 100 * math.Abs(cc.StabilizedMS-bc.StabilizedMS) / bc.StabilizedMS
+			if drift > maxDriftPct {
+				v = append(v, fmt.Sprintf("cell %s×%s stabilized drifted %.1f%% (%.3f → %.3f ms, tolerance %.1f%%)",
+					s, r, drift, bc.StabilizedMS, cc.StabilizedMS, maxDriftPct))
+			}
+		}
+	}
+	return v
+}
+
+func sameSet(a, b []string) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	as := append([]string(nil), a...)
+	bs := append([]string(nil), b...)
+	sort.Strings(as)
+	sort.Strings(bs)
+	for i := range as {
+		if as[i] != bs[i] {
+			return false
+		}
+	}
+	return true
+}

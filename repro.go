@@ -37,6 +37,7 @@ import (
 	"repro/internal/core"
 	"repro/internal/env"
 	"repro/internal/experiments"
+	"repro/internal/parallel"
 	"repro/internal/sched"
 	"repro/internal/sim"
 	"repro/internal/topology"
@@ -142,6 +143,53 @@ func NewTrafficAwareScheduler(sys *System) Scheduler {
 // measurements or training.
 func NewGreedyScheduler(sys *System) Scheduler {
 	return &sched.Greedy{Top: sys.Top, Cl: sys.Cl}
+}
+
+// Scheduler registry: the canonical name→factory mapping for the whole
+// comparison set, shared by cmd/simulate, the figure pipelines, scenario
+// placement and the tournament harness.
+type (
+	// SchedulerConfig parameterizes registry construction: the system
+	// triple, the reproducibility seed, and training budgets/noise for
+	// the trainable schedulers.
+	SchedulerConfig = sched.Config
+	// TrainableScheduler is a Scheduler with an explicit Train(budget) →
+	// frozen Schedule lifecycle (the model-based, DQN and actor-critic
+	// entries).
+	TrainableScheduler = sched.Trainable
+)
+
+// SchedulerNames lists the registered schedulers in canonical
+// comparison-set order (default, greedy, random, traffic, model, dqn, ac).
+func SchedulerNames() []string { return sched.Names() }
+
+// NewRegisteredScheduler constructs any registered scheduler by name.
+func NewRegisteredScheduler(name string, cfg SchedulerConfig) (Scheduler, error) {
+	return sched.New(name, cfg)
+}
+
+// NewSchedulerConfig returns a registry configuration for a system with
+// every training knob at its default.
+func NewSchedulerConfig(sys *System, seed int64) SchedulerConfig {
+	return sched.Config{Top: sys.Top, Cl: sys.Cl, Arrivals: sys.Arrivals, Seed: seed}
+}
+
+// Simulator is the discrete-event simulator behind NewSimEnv, exposed
+// for callers that drive runs window by window.
+type Simulator = sim.Sim
+
+// NewSimulator builds a simulator for a system with the paper-default
+// configuration.
+func NewSimulator(sys *System, seed int64) (*Simulator, error) {
+	return sim.New(sim.DefaultConfig(sys.Top, sys.Cl, sys.Arrivals, seed))
+}
+
+// ParallelMap runs fn(0..n-1) on a bounded worker pool (workers ≤ 0 means
+// one per CPU) and returns the results assembled by index — deterministic
+// output order regardless of completion order.
+func ParallelMap[T any](n, workers int, fn func(i int) (T, error)) ([]T, error) {
+	return parallel.Map(context.Background(), n, workers,
+		func(_ context.Context, i int) (T, error) { return fn(i) })
 }
 
 // DRL control framework (the paper's contribution, §3).
